@@ -1,0 +1,44 @@
+# snmpv3fp — build, test and reproduction targets.
+
+GO ?= go
+
+.PHONY: all build vet test test-short race bench reproduce examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full suite, including the full-scale pipeline validation (~30 s extra).
+test:
+	$(GO) test ./...
+
+# Fast suite for iteration.
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+# Every paper table/figure as benchmarks, plus the ablations.
+bench:
+	$(GO) test -bench=. -benchmem
+
+# The complete evaluation, paper order, full scale.
+reproduce:
+	$(GO) run ./cmd/reproduce
+
+# Run all runnable examples.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/labtest
+	$(GO) run ./examples/aliasres
+	$(GO) run ./examples/vendorsurvey
+	$(GO) run ./examples/security
+	$(GO) run ./examples/monitoring
+
+clean:
+	$(GO) clean ./...

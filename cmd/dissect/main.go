@@ -1,0 +1,83 @@
+// Command dissect renders SNMP datagrams as Wireshark-style protocol trees
+// (the paper's Figures 2 and 3).
+//
+// With no arguments it dissects a freshly built discovery request and the
+// paper's Figure 3 Brocade response. Hex dumps can be passed as arguments
+// or piped on stdin (one hex string per line, whitespace ignored).
+package main
+
+import (
+	"bufio"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"strings"
+
+	"snmpv3fp/internal/dissect"
+	"snmpv3fp/internal/snmp"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		stat, _ := os.Stdin.Stat()
+		if stat != nil && stat.Mode()&os.ModeCharDevice == 0 {
+			scanStdin()
+			return
+		}
+		showExamples()
+		return
+	}
+	for _, a := range args {
+		dissectHex(a)
+	}
+}
+
+func scanStdin() {
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		dissectHex(line)
+	}
+}
+
+func dissectHex(s string) {
+	s = strings.NewReplacer(" ", "", ":", "", "0x", "").Replace(s)
+	payload, err := hex.DecodeString(s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dissect: bad hex: %v\n", err)
+		os.Exit(1)
+	}
+	tree, err := dissect.Message(payload)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dissect: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(tree)
+	fmt.Println()
+}
+
+func showExamples() {
+	req, err := snmp.EncodeDiscoveryRequest(821490644, 1565454380)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("# discovery request (%d bytes): %x\n", len(req), req)
+	tree, _ := dissect.Message(req)
+	fmt.Print(tree)
+	fmt.Println()
+
+	rep := snmp.NewDiscoveryReport(snmp.NewDiscoveryRequest(821490644, 1565454380),
+		[]byte{0x80, 0x00, 0x07, 0xc7, 0x03, 0x74, 0x8e, 0xf8, 0x31, 0xdb, 0x80},
+		148, 10043812, 1)
+	wire, err := rep.Encode()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("# discovery response (%d bytes): %x\n", len(wire), wire)
+	tree, _ = dissect.Message(wire)
+	fmt.Print(tree)
+}

@@ -1,0 +1,126 @@
+// Command snmpalias runs the paper's offline analysis over two captured
+// campaigns: validation (Section 4.4), alias resolution (Section 5) and
+// vendor fingerprinting (Section 6), reading the NDJSON files that
+// `snmpscan -json` writes.
+//
+//	snmpscan -json ... > scan1.ndjson    # first campaign
+//	snmpscan -json ... > scan2.ndjson    # second campaign, days later
+//	snmpalias -scan1 scan1.ndjson -scan2 scan2.ndjson
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"snmpv3fp"
+	"snmpv3fp/internal/alias"
+	"snmpv3fp/internal/records"
+	"snmpv3fp/internal/report"
+)
+
+func main() {
+	scan1Path := flag.String("scan1", "", "NDJSON file of the first campaign")
+	scan2Path := flag.String("scan2", "", "NDJSON file of the second campaign")
+	showSets := flag.Int("sets", 10, "print the N largest alias sets")
+	variant := flag.String("variant", "div20-both", "matching rule: exact|round|div20 x -first|-both (e.g. div20-both)")
+	flag.Parse()
+
+	if *scan1Path == "" || *scan2Path == "" {
+		fmt.Fprintln(os.Stderr, "snmpalias: -scan1 and -scan2 are required")
+		os.Exit(2)
+	}
+	c1 := loadCampaign(*scan1Path)
+	c2 := loadCampaign(*scan2Path)
+
+	rep := snmpv3fp.Validate(c1, c2)
+	fmt.Printf("scan 1: %d IPs; scan 2: %d IPs; overlap: %d\n",
+		rep.Scan1IPs, rep.Scan2IPs, rep.Overlap)
+	rows := [][]string{{"Filter step", "Removed"}}
+	for _, s := range rep.Steps {
+		rows = append(rows, []string{s.Name, report.Count(s.Removed)})
+	}
+	fmt.Println(report.Table("Validation (Section 4.4)", rows))
+	fmt.Printf("valid IPs: %d\n\n", len(rep.Valid))
+
+	v, err := parseVariant(*variant)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snmpalias: %v\n", err)
+		os.Exit(2)
+	}
+	sets := snmpv3fp.ResolveAliases(rep.Valid, v)
+	st := alias.Summarize(sets)
+	fmt.Printf("alias sets (%s): %d total, %d non-singleton, %.1f IPs per non-singleton\n\n",
+		v.Name(), st.Sets, st.NonSingleton, st.IPsPerNonSingleton())
+
+	// Vendor breakdown.
+	vendors := map[string]int{}
+	for _, s := range sets {
+		vendors[snmpv3fp.FingerprintEngineID(s.Members[0].EngineID).VendorLabel()]++
+	}
+	names := make([]string, 0, len(vendors))
+	for v := range vendors {
+		names = append(names, v)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if vendors[names[i]] != vendors[names[j]] {
+			return vendors[names[i]] > vendors[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	if len(names) > 10 {
+		names = names[:10]
+	}
+	counts := make([]int, len(names))
+	for i, n := range names {
+		counts[i] = vendors[n]
+	}
+	fmt.Println(report.Bar("Devices per vendor (top 10)", names, counts))
+
+	for i, s := range sets {
+		if i >= *showSets || s.Singleton() {
+			break
+		}
+		fp := snmpv3fp.FingerprintEngineID(s.Members[0].EngineID)
+		fmt.Printf("set %d (%s, %d IPs, %s):", i+1, fp.VendorLabel(), s.Size(), s.Family())
+		for j, m := range s.Members {
+			if j == 8 {
+				fmt.Printf(" …")
+				break
+			}
+			fmt.Printf(" %v", m.IP)
+		}
+		fmt.Println()
+	}
+}
+
+func loadCampaign(path string) *snmpv3fp.Campaign {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snmpalias: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	c, err := records.ReadCampaign(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snmpalias: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return c
+}
+
+func parseVariant(s string) (alias.Variant, error) {
+	for _, v := range alias.Variants {
+		name := map[string]string{
+			"Exact first": "exact-first", "Exact both": "exact-both",
+			"Round first": "round-first", "Round both": "round-both",
+			"Divide by 20 first": "div20-first", "Divide by 20 both": "div20-both",
+			"Divide by 20+round first": "div20round-first", "Divide by 20+round both": "div20round-both",
+		}[v.Name()]
+		if name == s {
+			return v, nil
+		}
+	}
+	return alias.Variant{}, fmt.Errorf("unknown variant %q", s)
+}

@@ -1,0 +1,302 @@
+// Command snmpget is a small SNMP client: Get or walk OIDs against an
+// agent over UDP, with SNMPv2c community or authenticated SNMPv3 (USM)
+// credentials. Against a target without credentials, -discover performs
+// the paper's unauthenticated engine discovery.
+//
+//	snmpget -addr 127.0.0.1:16161 -community public 1.3.6.1.2.1.1.1.0
+//	snmpget -addr 127.0.0.1:16161 -community public -walk 1.3.6.1.2.1
+//	snmpget -addr 127.0.0.1:16161 -v3-user monitor -v3-pass s3cret 1.3.6.1.2.1.1.1.0
+//	snmpget -addr 127.0.0.1:16161 -discover
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/netip"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"snmpv3fp/internal/ber"
+	"snmpv3fp/internal/labsim"
+	"snmpv3fp/internal/snmp"
+	"snmpv3fp/internal/usm"
+)
+
+func main() {
+	addr := flag.String("addr", "", "agent address, host:port")
+	community := flag.String("community", "", "SNMPv2c community")
+	v3User := flag.String("v3-user", "", "SNMPv3 user name (authNoPriv)")
+	v3Pass := flag.String("v3-pass", "", "SNMPv3 authentication password")
+	v3Proto := flag.String("v3-proto", "sha1", "SNMPv3 auth protocol: md5 or sha1")
+	walk := flag.Bool("walk", false, "GetNext-walk the subtree instead of a single Get")
+	bulk := flag.Bool("bulk", false, "use GetBulk for walking (v2c only)")
+	maxReps := flag.Int("max-repetitions", 10, "GetBulk max-repetitions")
+	discover := flag.Bool("discover", false, "unauthenticated engine discovery only")
+	timeout := flag.Duration("timeout", 2*time.Second, "request timeout")
+	flag.Parse()
+
+	if *addr == "" {
+		fatal(fmt.Errorf("-addr is required"))
+	}
+	ap, err := netip.ParseAddrPort(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	conn, err := net.DialUDP("udp", nil, net.UDPAddrFromAddrPort(ap))
+	if err != nil {
+		fatal(err)
+	}
+	defer conn.Close()
+	cl := &client{conn: conn, timeout: *timeout}
+
+	if *discover {
+		dr, err := cl.discover()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("engine ID:    0x%x\nengine boots: %d\nengine time:  %d s\nlast reboot:  %s\n",
+			dr.EngineID, dr.EngineBoots, dr.EngineTime,
+			time.Now().Add(-time.Duration(dr.EngineTime)*time.Second).Format(time.RFC3339))
+		return
+	}
+
+	oids := make([][]uint32, 0, flag.NArg())
+	for _, arg := range flag.Args() {
+		oid, err := parseOID(arg)
+		if err != nil {
+			fatal(err)
+		}
+		oids = append(oids, oid)
+	}
+	if len(oids) == 0 {
+		fatal(fmt.Errorf("no OIDs given"))
+	}
+
+	switch {
+	case *v3User != "":
+		proto := usm.AuthSHA1
+		if strings.EqualFold(*v3Proto, "md5") {
+			proto = usm.AuthMD5
+		}
+		user := labsim.V3User{Name: *v3User, Protocol: proto, Password: *v3Pass}
+		if err := cl.v3Get(user, oids); err != nil {
+			fatal(err)
+		}
+	case *community != "":
+		switch {
+		case *bulk:
+			if err := cl.bulkWalk(*community, oids[0], *maxReps); err != nil {
+				fatal(err)
+			}
+		case *walk:
+			if err := cl.walk(*community, oids[0]); err != nil {
+				fatal(err)
+			}
+		default:
+			if err := cl.communityGet(*community, oids); err != nil {
+				fatal(err)
+			}
+		}
+	default:
+		fatal(fmt.Errorf("need -community, -v3-user, or -discover"))
+	}
+}
+
+type client struct {
+	conn    *net.UDPConn
+	timeout time.Duration
+	reqID   int64
+}
+
+func (c *client) exchange(req []byte) ([]byte, error) {
+	if _, err := c.conn.Write(req); err != nil {
+		return nil, err
+	}
+	c.conn.SetReadDeadline(time.Now().Add(c.timeout))
+	buf := make([]byte, 4096)
+	n, err := c.conn.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+func (c *client) discover() (*snmp.DiscoveryResponse, error) {
+	c.reqID++
+	wire, err := snmp.EncodeDiscoveryRequest(c.reqID, c.reqID)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.exchange(wire)
+	if err != nil {
+		return nil, err
+	}
+	return snmp.ParseDiscoveryResponse(resp)
+}
+
+func (c *client) communityGet(community string, oids [][]uint32) error {
+	c.reqID++
+	vbs := make([]snmp.VarBind, 0, len(oids))
+	for _, oid := range oids {
+		vbs = append(vbs, snmp.VarBind{Name: oid, Value: snmp.NullValue()})
+	}
+	req := &snmp.CommunityMessage{
+		Version: snmp.V2c, Community: []byte(community),
+		PDU: &snmp.PDU{Type: snmp.PDUGetRequest, RequestID: c.reqID, VarBinds: vbs},
+	}
+	wire, err := req.Encode()
+	if err != nil {
+		return err
+	}
+	resp, err := c.exchange(wire)
+	if err != nil {
+		return err
+	}
+	msg, err := snmp.DecodeCommunity(resp)
+	if err != nil {
+		return err
+	}
+	printVarBinds(msg.PDU.VarBinds)
+	return nil
+}
+
+func (c *client) walk(community string, root []uint32) error {
+	cur := root
+	for steps := 0; steps < 1000; steps++ {
+		c.reqID++
+		req := &snmp.CommunityMessage{
+			Version: snmp.V2c, Community: []byte(community),
+			PDU: &snmp.PDU{Type: snmp.PDUGetNextRequest, RequestID: c.reqID,
+				VarBinds: []snmp.VarBind{{Name: cur, Value: snmp.NullValue()}}},
+		}
+		wire, err := req.Encode()
+		if err != nil {
+			return err
+		}
+		resp, err := c.exchange(wire)
+		if err != nil {
+			return err
+		}
+		msg, err := snmp.DecodeCommunity(resp)
+		if err != nil {
+			return err
+		}
+		vb := msg.PDU.VarBinds[0]
+		if vb.Value.Tag == ber.TagEndOfMibView || !hasPrefix(vb.Name, root) {
+			return nil
+		}
+		printVarBinds([]snmp.VarBind{vb})
+		cur = vb.Name
+	}
+	return fmt.Errorf("walk exceeded 1000 steps")
+}
+
+// bulkWalk walks a subtree with GetBulk requests.
+func (c *client) bulkWalk(community string, root []uint32, maxReps int) error {
+	cur := root
+	for steps := 0; steps < 1000; steps++ {
+		c.reqID++
+		req := &snmp.CommunityMessage{
+			Version: snmp.V2c, Community: []byte(community),
+			PDU: &snmp.PDU{Type: snmp.PDUGetBulkRequest, RequestID: c.reqID,
+				ErrorIndex: int64(maxReps),
+				VarBinds:   []snmp.VarBind{{Name: cur, Value: snmp.NullValue()}}},
+		}
+		wire, err := req.Encode()
+		if err != nil {
+			return err
+		}
+		resp, err := c.exchange(wire)
+		if err != nil {
+			return err
+		}
+		msg, err := snmp.DecodeCommunity(resp)
+		if err != nil {
+			return err
+		}
+		if len(msg.PDU.VarBinds) == 0 {
+			return nil
+		}
+		for _, vb := range msg.PDU.VarBinds {
+			if vb.Value.Tag == ber.TagEndOfMibView || !hasPrefix(vb.Name, root) {
+				return nil
+			}
+			printVarBinds([]snmp.VarBind{vb})
+			cur = vb.Name
+		}
+	}
+	return fmt.Errorf("bulk walk exceeded 1000 steps")
+}
+
+func (c *client) v3Get(user labsim.V3User, oids [][]uint32) error {
+	dr, err := c.discover()
+	if err != nil {
+		return fmt.Errorf("discovery: %w", err)
+	}
+	for _, oid := range oids {
+		c.reqID++
+		wire, err := labsim.NewAuthenticatedGet(user, dr.EngineID, dr.EngineBoots, dr.EngineTime, c.reqID, oid)
+		if err != nil {
+			return err
+		}
+		resp, err := c.exchange(wire)
+		if err != nil {
+			return err
+		}
+		msg, err := snmp.DecodeV3(resp)
+		if err != nil && err != snmp.ErrEncrypted {
+			return err
+		}
+		if msg.ScopedPDU.PDU == nil {
+			return fmt.Errorf("empty response")
+		}
+		if msg.ScopedPDU.PDU.Type == snmp.PDUReport {
+			return fmt.Errorf("agent rejected the request: %s",
+				snmp.OIDString(msg.ScopedPDU.PDU.VarBinds[0].Name))
+		}
+		printVarBinds(msg.ScopedPDU.PDU.VarBinds)
+	}
+	return nil
+}
+
+func printVarBinds(vbs []snmp.VarBind) {
+	for _, vb := range vbs {
+		fmt.Printf("%s = %s\n", snmp.OIDString(vb.Name), vb.Value)
+	}
+}
+
+func hasPrefix(oid, prefix []uint32) bool {
+	if len(oid) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if oid[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func parseOID(s string) ([]uint32, error) {
+	parts := strings.Split(strings.TrimPrefix(s, "."), ".")
+	oid := make([]uint32, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad OID %q: %w", s, err)
+		}
+		oid = append(oid, uint32(v))
+	}
+	if len(oid) < 2 {
+		return nil, fmt.Errorf("OID %q too short", s)
+	}
+	return oid, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "snmpget: %v\n", err)
+	os.Exit(1)
+}

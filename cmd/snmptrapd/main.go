@@ -1,0 +1,100 @@
+// Command snmptrapd receives SNMP traps on a UDP port and prints each as a
+// dissected protocol tree. It understands SNMPv1 Trap-PDUs and SNMPv2c/v3
+// notification messages.
+//
+//	snmptrapd -listen 127.0.0.1:16200
+//
+// Pair it with a lab agent configured with that trap sink:
+//
+//	snmpagent -os cisco-ios -community traps ... (the agent emits a
+//	coldStart trap on start when a sink is configured)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/netip"
+	"os"
+	"time"
+
+	"snmpv3fp/internal/dissect"
+	"snmpv3fp/internal/snmp"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:16200", "address to receive traps on")
+	count := flag.Int("count", 0, "exit after N traps (0 = run forever)")
+	flag.Parse()
+
+	ap, err := netip.ParseAddrPort(*listen)
+	if err != nil {
+		fatal(err)
+	}
+	conn, err := net.ListenUDP("udp", net.UDPAddrFromAddrPort(ap))
+	if err != nil {
+		fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(os.Stderr, "snmptrapd: listening on %v\n", conn.LocalAddr())
+
+	buf := make([]byte, 4096)
+	received := 0
+	for {
+		n, from, err := conn.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("---- trap from %v at %s ----\n", from, time.Now().Format(time.RFC3339))
+		if out, ok := render(buf[:n]); ok {
+			fmt.Print(out)
+		} else {
+			fmt.Printf("(unparseable datagram, %d bytes: %x)\n", n, buf[:n])
+		}
+		received++
+		if *count > 0 && received >= *count {
+			return
+		}
+	}
+}
+
+// render dissects a trap datagram, trying the SNMPv1 trap layout first and
+// falling back to the generic dissector for v2c/v3 notifications.
+func render(payload []byte) (string, bool) {
+	if community, trap, err := snmp.DecodeTrapV1(payload); err == nil {
+		s := fmt.Sprintf("SNMPv1 Trap (community %q)\n", community)
+		s += fmt.Sprintf("    enterprise:    %s\n", snmp.OIDString(trap.Enterprise))
+		s += fmt.Sprintf("    agent-addr:    %d.%d.%d.%d\n",
+			trap.AgentAddr[0], trap.AgentAddr[1], trap.AgentAddr[2], trap.AgentAddr[3])
+		s += fmt.Sprintf("    generic-trap:  %s (%d)\n", genericName(trap.GenericTrap), trap.GenericTrap)
+		s += fmt.Sprintf("    specific-trap: %d\n", trap.SpecificTrap)
+		s += fmt.Sprintf("    time-stamp:    %d ticks\n", trap.Timestamp)
+		for _, vb := range trap.VarBinds {
+			s += fmt.Sprintf("    %s = %s\n", snmp.OIDString(vb.Name), vb.Value)
+		}
+		return s, true
+	}
+	if out, err := dissect.Message(payload); err == nil {
+		return out, true
+	}
+	return "", false
+}
+
+func genericName(code int64) string {
+	names := map[int64]string{
+		snmp.TrapColdStart: "coldStart", snmp.TrapWarmStart: "warmStart",
+		snmp.TrapLinkDown: "linkDown", snmp.TrapLinkUp: "linkUp",
+		snmp.TrapAuthFailure:        "authenticationFailure",
+		snmp.TrapEGPNeighborLoss:    "egpNeighborLoss",
+		snmp.TrapEnterpriseSpecific: "enterpriseSpecific",
+	}
+	if n, ok := names[code]; ok {
+		return n
+	}
+	return "unknown"
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "snmptrapd: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,27 @@
+// Lab test example: reproduce the paper's Section 6.2.1 finding over real
+// loopback UDP — configuring only an SNMPv2c community string implicitly
+// enables unauthenticated SNMPv3 discovery on Cisco IOS / IOS XR and
+// (per-interface) Juniper Junos.
+//
+//	go run ./examples/labtest
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"snmpv3fp/internal/experiments"
+)
+
+func main() {
+	res, err := experiments.Section621()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Render())
+	fmt.Println()
+	fmt.Println("Note how a device that only had `snmp-server community ... RO`")
+	fmt.Println("configured answers the unauthenticated SNMPv3 query with its")
+	fmt.Println("MAC-derived engine ID — operators enabling v2c may be unaware")
+	fmt.Println("they are exposing a persistent device identifier.")
+}

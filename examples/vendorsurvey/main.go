@@ -1,0 +1,73 @@
+// Vendor survey example: run an Internet-scale simulated campaign and
+// estimate router vendor market share per region — the paper's Section 6
+// analysis as a library user would run it.
+//
+//	go run ./examples/vendorsurvey
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"snmpv3fp/internal/experiments"
+	"snmpv3fp/internal/netsim"
+)
+
+func main() {
+	// The tiny world keeps this example fast; switch to DefaultConfig for
+	// the full-scale population cmd/reproduce uses.
+	env, err := experiments.NewEnv(netsim.TinyConfig(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Count routers per vendor per region.
+	type key struct {
+		region netsim.Region
+		vendor string
+	}
+	counts := map[key]int{}
+	regionTotals := map[netsim.Region]int{}
+	for _, s := range env.RouterSets {
+		region, ok := env.SetRegion(s)
+		if !ok {
+			continue
+		}
+		vendor := experiments.SetVendor(s).VendorLabel()
+		counts[key{region, vendor}]++
+		regionTotals[region]++
+	}
+
+	fmt.Printf("fingerprinted %d routers across %d alias sets\n\n",
+		len(env.RouterSets), len(env.CombinedSets))
+	for _, region := range netsim.AllRegions {
+		total := regionTotals[region]
+		if total == 0 {
+			continue
+		}
+		type share struct {
+			vendor string
+			n      int
+		}
+		var shares []share
+		for k, n := range counts {
+			if k.region == region {
+				shares = append(shares, share{k.vendor, n})
+			}
+		}
+		sort.Slice(shares, func(i, j int) bool {
+			if shares[i].n != shares[j].n {
+				return shares[i].n > shares[j].n
+			}
+			return shares[i].vendor < shares[j].vendor
+		})
+		fmt.Printf("%s (%d routers):\n", region, total)
+		for i, sh := range shares {
+			if i == 4 {
+				break
+			}
+			fmt.Printf("  %-12s %5.1f%%\n", sh.vendor, 100*float64(sh.n)/float64(total))
+		}
+	}
+}

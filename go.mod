@@ -1,0 +1,3 @@
+module snmpv3fp
+
+go 1.22

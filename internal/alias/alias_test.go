@@ -1,0 +1,213 @@
+package alias
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"snmpv3fp/internal/filter"
+)
+
+var baseReboot = time.Date(2021, 1, 10, 3, 4, 5, 0, time.UTC)
+
+func merged(ip string, engID string, boots int64, reboot time.Time) *filter.Merged {
+	return &filter.Merged{
+		IP:         netip.MustParseAddr(ip),
+		EngineID:   []byte(engID),
+		Boots:      [2]int64{boots, boots},
+		LastReboot: [2]time.Time{reboot, reboot},
+	}
+}
+
+func TestResolveGroupsSameDevice(t *testing.T) {
+	valid := []*filter.Merged{
+		merged("192.0.2.1", "dev-a", 5, baseReboot),
+		merged("192.0.2.2", "dev-a", 5, baseReboot.Add(3*time.Second)),
+		merged("192.0.2.3", "dev-a", 5, baseReboot.Add(-2*time.Second)),
+		merged("198.51.100.1", "dev-b", 2, baseReboot),
+	}
+	sets := Resolve(valid, Default)
+	if len(sets) != 2 {
+		t.Fatalf("sets = %d, want 2", len(sets))
+	}
+	if sets[0].Size() != 3 || sets[1].Size() != 1 {
+		t.Errorf("sizes = %d, %d", sets[0].Size(), sets[1].Size())
+	}
+}
+
+func TestResolveSeparatesByBoots(t *testing.T) {
+	valid := []*filter.Merged{
+		merged("192.0.2.1", "shared", 5, baseReboot),
+		merged("192.0.2.2", "shared", 6, baseReboot),
+	}
+	sets := Resolve(valid, Default)
+	if len(sets) != 2 {
+		t.Fatalf("same engine ID with different boots must not merge: %d sets", len(sets))
+	}
+}
+
+func TestResolveSeparatesByReboot(t *testing.T) {
+	// Same engine ID (cloned image), same boots, reboots a year apart.
+	valid := []*filter.Merged{
+		merged("192.0.2.1", "cloned", 2, baseReboot),
+		merged("192.0.2.2", "cloned", 2, baseReboot.Add(365*24*time.Hour)),
+	}
+	sets := Resolve(valid, Default)
+	if len(sets) != 2 {
+		t.Fatalf("cloned engine IDs with distant reboots must not merge: %d sets", len(sets))
+	}
+}
+
+func TestResolveBothScansCatchesSecondScanDivergence(t *testing.T) {
+	// Two devices identical in scan 1, diverging in scan 2 (one rebooted).
+	a := &filter.Merged{
+		IP: netip.MustParseAddr("192.0.2.1"), EngineID: []byte("x"),
+		Boots:      [2]int64{3, 3},
+		LastReboot: [2]time.Time{baseReboot, baseReboot},
+	}
+	b := &filter.Merged{
+		IP: netip.MustParseAddr("192.0.2.2"), EngineID: []byte("x"),
+		Boots:      [2]int64{3, 4},
+		LastReboot: [2]time.Time{baseReboot, baseReboot.Add(24 * time.Hour)},
+	}
+	both := Resolve([]*filter.Merged{a, b}, Variant{BinDiv20, true})
+	if len(both) != 2 {
+		t.Errorf("both-scans variant should split: %d sets", len(both))
+	}
+	first := Resolve([]*filter.Merged{a, b}, Variant{BinDiv20, false})
+	if len(first) != 1 {
+		t.Errorf("first-scan variant should merge: %d sets", len(first))
+	}
+}
+
+func TestBinning(t *testing.T) {
+	base := time.Unix(1000, 0)
+	cases := []struct {
+		bin  Binning
+		a, b time.Time
+		same bool
+	}{
+		{BinExact, base, base, true},
+		{BinExact, base, base.Add(time.Second), false},
+		{BinRound, time.Unix(1004, 0), time.Unix(1006, 0), true},  // both round to 1000/1010? 1004→1000, 1006→1010
+		{BinDiv20, time.Unix(1000, 0), time.Unix(1019, 0), true},  // same 20s bin
+		{BinDiv20, time.Unix(1019, 0), time.Unix(1020, 0), false}, // bin edge
+	}
+	for i, c := range cases {
+		got := c.bin.apply(c.a) == c.bin.apply(c.b)
+		if i == 2 {
+			// Round: 1004 → 1000, 1006 → 1010: actually different.
+			if got {
+				t.Errorf("case %d: round(1004) == round(1006) unexpectedly", i)
+			}
+			continue
+		}
+		if got != c.same {
+			t.Errorf("case %d (%v): same=%v, want %v", i, c.bin, got, c.same)
+		}
+	}
+}
+
+func TestVariantNames(t *testing.T) {
+	want := []string{
+		"Exact first", "Exact both",
+		"Round first", "Round both",
+		"Divide by 20 first", "Divide by 20 both",
+		"Divide by 20+round first", "Divide by 20+round both",
+	}
+	if len(Variants) != len(want) {
+		t.Fatalf("variants = %d", len(Variants))
+	}
+	for i, v := range Variants {
+		if v.Name() != want[i] {
+			t.Errorf("variant %d = %q, want %q", i, v.Name(), want[i])
+		}
+	}
+	if Default.Name() != "Divide by 20 both" {
+		t.Errorf("default variant = %q", Default.Name())
+	}
+}
+
+func TestFamilyClassification(t *testing.T) {
+	v4 := merged("192.0.2.1", "a", 1, baseReboot)
+	v6 := merged("2001:db8::1", "a", 1, baseReboot)
+	if (&Set{Members: []*filter.Merged{v4}}).Family() != V4Only {
+		t.Error("v4-only misclassified")
+	}
+	if (&Set{Members: []*filter.Merged{v6}}).Family() != V6Only {
+		t.Error("v6-only misclassified")
+	}
+	if (&Set{Members: []*filter.Merged{v4, v6}}).Family() != DualStack {
+		t.Error("dual-stack misclassified")
+	}
+	if V4Only.String() != "IPv4-only" || V6Only.String() != "IPv6-only" || DualStack.String() != "dual-stack" {
+		t.Error("family names wrong")
+	}
+}
+
+func TestDualStackResolution(t *testing.T) {
+	valid := []*filter.Merged{
+		merged("192.0.2.1", "router", 9, baseReboot),
+		merged("192.0.2.2", "router", 9, baseReboot),
+		merged("2001:db8::1", "router", 9, baseReboot),
+	}
+	sets := Resolve(valid, Default)
+	if len(sets) != 1 {
+		t.Fatalf("dual-stack device split into %d sets", len(sets))
+	}
+	if sets[0].Family() != DualStack {
+		t.Errorf("family = %v", sets[0].Family())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	sets := []*Set{
+		{Members: make([]*filter.Merged, 5)},
+		{Members: make([]*filter.Merged, 3)},
+		{Members: make([]*filter.Merged, 1)},
+	}
+	st := Summarize(sets)
+	if st.Sets != 3 || st.NonSingleton != 2 || st.IPsNonSingleton != 8 {
+		t.Errorf("stats = %+v", st)
+	}
+	if got := st.IPsPerNonSingleton(); got != 4.0 {
+		t.Errorf("avg = %v", got)
+	}
+	if (Stats{}).IPsPerNonSingleton() != 0 {
+		t.Error("empty stats avg should be 0")
+	}
+}
+
+func TestSplitByFamily(t *testing.T) {
+	valid := []*filter.Merged{
+		merged("192.0.2.1", "a", 1, baseReboot),
+		merged("2001:db8::1", "b", 1, baseReboot),
+		merged("192.0.2.9", "c", 1, baseReboot),
+		merged("2001:db8::9", "c", 1, baseReboot),
+	}
+	split := SplitByFamily(Resolve(valid, Default))
+	if len(split[V4Only]) != 1 || len(split[V6Only]) != 1 || len(split[DualStack]) != 1 {
+		t.Errorf("split = v4:%d v6:%d dual:%d",
+			len(split[V4Only]), len(split[V6Only]), len(split[DualStack]))
+	}
+}
+
+func TestResolveDeterministicOrder(t *testing.T) {
+	valid := []*filter.Merged{
+		merged("192.0.2.3", "b", 1, baseReboot),
+		merged("192.0.2.1", "a", 1, baseReboot),
+		merged("192.0.2.2", "a", 1, baseReboot),
+	}
+	s1 := Resolve(valid, Default)
+	// Shuffle input order.
+	valid2 := []*filter.Merged{valid[2], valid[0], valid[1]}
+	s2 := Resolve(valid2, Default)
+	if len(s1) != len(s2) {
+		t.Fatal("set counts differ")
+	}
+	for i := range s1 {
+		if s1[i].Size() != s2[i].Size() || s1[i].Members[0].IP != s2[i].Members[0].IP {
+			t.Fatal("set ordering not deterministic")
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package analysis provides the statistical machinery behind the paper's
+// figures: empirical CDFs, set-overlap comparisons between alias-resolution
+// techniques, per-AS coverage, vendor counting and vendor dominance.
+package analysis
+
+import (
+	"math"
+	"sort"
+)
+
+// ECDF is an empirical cumulative distribution over float64 samples.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from samples (which it copies and sorts).
+func NewECDF(samples []float64) *ECDF {
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// N returns the sample count.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// At returns P(X <= x).
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1).
+func (e *ECDF) Quantile(q float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	i := int(q * float64(len(e.sorted)))
+	if i >= len(e.sorted) {
+		i = len(e.sorted) - 1
+	}
+	return e.sorted[i]
+}
+
+// Min and Max return the extremes.
+func (e *ECDF) Min() float64 { return e.Quantile(0) }
+
+// Max returns the largest sample.
+func (e *ECDF) Max() float64 { return e.Quantile(1) }
+
+// Points samples the ECDF at n evenly spaced probabilities, returning
+// (value, probability) pairs suitable for plotting or table rendering.
+func (e *ECDF) Points(n int) [][2]float64 {
+	if n < 2 || e.N() == 0 {
+		return nil
+	}
+	out := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		q := float64(i) / float64(n-1)
+		out = append(out, [2]float64{e.Quantile(q), q})
+	}
+	return out
+}
+
+// Histogram bins samples into n equal-width bins over [lo, hi], returning
+// the fraction of samples per bin (the form of the paper's Figure 6).
+func Histogram(samples []float64, lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	if len(samples) == 0 || hi <= lo || n == 0 {
+		return out
+	}
+	w := (hi - lo) / float64(n)
+	total := 0
+	for _, s := range samples {
+		if s < lo || s > hi {
+			continue
+		}
+		i := int((s - lo) / w)
+		if i >= n {
+			i = n - 1
+		}
+		out[i]++
+		total++
+	}
+	if total > 0 {
+		for i := range out {
+			out[i] /= float64(total)
+		}
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean.
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, s := range samples {
+		sum += s
+	}
+	return sum / float64(len(samples))
+}
+
+// Skewness returns the sample skewness (positive = right tail), used to
+// verify the Figure 6 observation about non-conforming engine IDs.
+func Skewness(samples []float64) float64 {
+	n := float64(len(samples))
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(samples)
+	var m2, m3 float64
+	for _, s := range samples {
+		d := s - m
+		m2 += d * d
+		m3 += d * d * d
+	}
+	m2 /= n
+	m3 /= n
+	if m2 == 0 {
+		return 0
+	}
+	return m3 / math.Pow(m2, 1.5)
+}
+
+// TopK returns the k keys with the largest counts, in decreasing order
+// (ties broken lexicographically for determinism).
+func TopK(counts map[string]int, k int) []string {
+	keys := make([]string, 0, len(counts))
+	for key := range counts {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	if k < len(keys) {
+		keys = keys[:k]
+	}
+	return keys
+}
+
+// Dominance returns the share of the largest count (the paper's vendor
+// dominance metric, Section 6.5).
+func Dominance(counts map[string]int) float64 {
+	total, best := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > best {
+			best = c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(best) / float64(total)
+}
+
+// DominantKey returns the key with the largest count.
+func DominantKey(counts map[string]int) string {
+	best, bestKey := -1, ""
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if counts[k] > best {
+			best, bestKey = counts[k], k
+		}
+	}
+	return bestKey
+}

@@ -1,0 +1,290 @@
+package analysis
+
+import (
+	"math"
+	"net/netip"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestECDFBasics(t *testing.T) {
+	e := NewECDF([]float64{3, 1, 2, 4, 5})
+	if e.N() != 5 {
+		t.Fatalf("N = %d", e.N())
+	}
+	cases := []struct {
+		x, want float64
+	}{
+		{0, 0}, {1, 0.2}, {2.5, 0.4}, {5, 1.0}, {100, 1.0},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.Min() != 1 || e.Max() != 5 {
+		t.Errorf("min/max = %v/%v", e.Min(), e.Max())
+	}
+	if e.Quantile(0.5) != 3 {
+		t.Errorf("median = %v", e.Quantile(0.5))
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	e := NewECDF(nil)
+	if e.At(1) != 0 {
+		t.Error("empty At should be 0")
+	}
+	if !math.IsNaN(e.Quantile(0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+	if e.Points(5) != nil {
+		t.Error("empty Points should be nil")
+	}
+}
+
+func TestECDFDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	NewECDF(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("input mutated")
+	}
+}
+
+func TestECDFQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		clean := raw[:0:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		e := NewECDF(clean)
+		// Monotonic in x.
+		prev := -1.0
+		for _, q := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			p := e.At(e.Quantile(q))
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 3, 4})
+	pts := e.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0][1] != 0 || pts[4][1] != 1 {
+		t.Errorf("probability endpoints wrong: %v", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i][0] < pts[i-1][0] {
+			t.Error("points not monotone")
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{0.05, 0.15, 0.15, 0.95}, 0, 1, 10)
+	if len(h) != 10 {
+		t.Fatalf("bins = %d", len(h))
+	}
+	if math.Abs(h[0]-0.25) > 1e-9 || math.Abs(h[1]-0.5) > 1e-9 || math.Abs(h[9]-0.25) > 1e-9 {
+		t.Errorf("histogram = %v", h)
+	}
+	sum := 0.0
+	for _, v := range h {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("histogram sums to %v", sum)
+	}
+	// Out-of-range samples are ignored; boundary value lands in last bin.
+	h2 := Histogram([]float64{-1, 2, 1.0}, 0, 1, 4)
+	if h2[3] != 1.0 {
+		t.Errorf("boundary handling: %v", h2)
+	}
+}
+
+func TestMeanAndSkewness(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("empty mean should be NaN")
+	}
+	sym := []float64{1, 2, 3, 4, 5}
+	if s := Skewness(sym); math.Abs(s) > 1e-9 {
+		t.Errorf("symmetric skew = %v", s)
+	}
+	right := []float64{1, 1, 1, 1, 10}
+	if s := Skewness(right); s <= 0 {
+		t.Errorf("right-tailed skew = %v", s)
+	}
+	if s := Skewness([]float64{5, 5, 5}); s != 0 {
+		t.Errorf("constant skew = %v", s)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	counts := map[string]int{"a": 3, "b": 5, "c": 1, "d": 5}
+	top := TopK(counts, 2)
+	if len(top) != 2 || top[0] != "b" || top[1] != "d" {
+		t.Errorf("top = %v", top)
+	}
+	if got := TopK(counts, 10); len(got) != 4 {
+		t.Errorf("overlong k = %v", got)
+	}
+}
+
+func TestDominance(t *testing.T) {
+	if d := Dominance(map[string]int{"cisco": 9, "juniper": 1}); d != 0.9 {
+		t.Errorf("dominance = %v", d)
+	}
+	if Dominance(nil) != 0 {
+		t.Error("empty dominance should be 0")
+	}
+	if k := DominantKey(map[string]int{"x": 1, "y": 3}); k != "y" {
+		t.Errorf("dominant key = %q", k)
+	}
+}
+
+func mustAddr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func TestCompareSetsExactAndPartial(t *testing.T) {
+	a := []AddrSet{
+		{mustAddr("192.0.2.1"), mustAddr("192.0.2.2")},
+		{mustAddr("192.0.2.9")},
+	}
+	b := []AddrSet{
+		{mustAddr("192.0.2.2"), mustAddr("192.0.2.1")},  // same set, other order
+		{mustAddr("192.0.2.9"), mustAddr("192.0.2.10")}, // partial
+		{mustAddr("203.0.113.1")},                       // disjoint
+	}
+	st := CompareSets(a, b)
+	if st.ExactMatches != 1 {
+		t.Errorf("exact = %d", st.ExactMatches)
+	}
+	if st.PartialMatches != 1 {
+		t.Errorf("partial = %d", st.PartialMatches)
+	}
+	if st.PartialSingletons != 0 {
+		t.Errorf("partial singletons = %d", st.PartialSingletons)
+	}
+}
+
+func TestCompareSetsSingletonPartial(t *testing.T) {
+	a := []AddrSet{{mustAddr("192.0.2.1"), mustAddr("192.0.2.2")}}
+	b := []AddrSet{{mustAddr("192.0.2.1")}}
+	st := CompareSets(a, b)
+	if st.PartialMatches != 1 || st.PartialSingletons != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPrecisionRecallPerfect(t *testing.T) {
+	truth := map[netip.Addr]int{
+		mustAddr("192.0.2.1"): 1,
+		mustAddr("192.0.2.2"): 1,
+		mustAddr("192.0.2.3"): 2,
+	}
+	inferred := []AddrSet{
+		{mustAddr("192.0.2.1"), mustAddr("192.0.2.2")},
+		{mustAddr("192.0.2.3")},
+	}
+	p, r := PrecisionRecall(inferred, truth)
+	if p != 1 || r != 1 {
+		t.Errorf("p=%v r=%v", p, r)
+	}
+}
+
+func TestPrecisionRecallFalseMerge(t *testing.T) {
+	truth := map[netip.Addr]int{
+		mustAddr("192.0.2.1"): 1,
+		mustAddr("192.0.2.2"): 2,
+	}
+	inferred := []AddrSet{{mustAddr("192.0.2.1"), mustAddr("192.0.2.2")}}
+	p, _ := PrecisionRecall(inferred, truth)
+	if p != 0 {
+		t.Errorf("precision = %v, want 0", p)
+	}
+}
+
+func TestPrecisionRecallMissedPair(t *testing.T) {
+	truth := map[netip.Addr]int{
+		mustAddr("192.0.2.1"): 1,
+		mustAddr("192.0.2.2"): 1,
+	}
+	inferred := []AddrSet{{mustAddr("192.0.2.1")}, {mustAddr("192.0.2.2")}}
+	p, r := PrecisionRecall(inferred, truth)
+	if p != 0 || r != 0 {
+		t.Errorf("p=%v r=%v (no pairs inferred, one true pair missed)", p, r)
+	}
+}
+
+func TestAddrSetNormalize(t *testing.T) {
+	s := AddrSet{mustAddr("192.0.2.9"), mustAddr("192.0.2.1")}
+	s.Normalize()
+	if !sort.SliceIsSorted(s, func(i, j int) bool { return s[i].Less(s[j]) }) {
+		t.Error("not sorted")
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	// A constant sample has a degenerate interval.
+	lo, hi := BootstrapCI([]float64{5, 5, 5, 5}, Mean, 200, 0.95, 1)
+	if lo != 5 || hi != 5 {
+		t.Errorf("constant CI = [%v, %v]", lo, hi)
+	}
+	// A fair-coin sample's mean CI straddles 0.5 and narrows with n.
+	mk := func(n int) []float64 {
+		s := make([]float64, n)
+		for i := 0; i < n/2; i++ {
+			s[i] = 1
+		}
+		return s
+	}
+	loSmall, hiSmall := BootstrapCI(mk(40), Mean, 500, 0.95, 2)
+	loBig, hiBig := BootstrapCI(mk(4000), Mean, 500, 0.95, 2)
+	if !(loSmall < 0.5 && hiSmall > 0.5 && loBig < 0.5 && hiBig > 0.5) {
+		t.Errorf("CIs do not cover the mean: [%v,%v] [%v,%v]", loSmall, hiSmall, loBig, hiBig)
+	}
+	if hiBig-loBig >= hiSmall-loSmall {
+		t.Errorf("larger sample should narrow the CI: %v vs %v", hiBig-loBig, hiSmall-loSmall)
+	}
+	// Empty inputs are safe.
+	if lo, hi := BootstrapCI(nil, Mean, 100, 0.95, 1); lo != 0 || hi != 0 {
+		t.Error("empty sample CI should be zero")
+	}
+}
+
+func TestProportionCI(t *testing.T) {
+	lo, hi := ProportionCI(70, 100, 500, 0.95, 3)
+	if !(lo < 0.7 && hi > 0.7) {
+		t.Errorf("CI [%v, %v] misses 0.7", lo, hi)
+	}
+	if lo < 0.55 || hi > 0.85 {
+		t.Errorf("CI [%v, %v] implausibly wide", lo, hi)
+	}
+	if lo, hi := ProportionCI(1, 0, 100, 0.95, 1); lo != 0 || hi != 0 {
+		t.Error("n=0 CI should be zero")
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	lo1, hi1 := BootstrapCI(s, Mean, 300, 0.9, 7)
+	lo2, hi2 := BootstrapCI(s, Mean, 300, 0.9, 7)
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Error("same seed produced different intervals")
+	}
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// BootstrapCI estimates a confidence interval for a statistic of a sample
+// by nonparametric bootstrap: `iters` resamples with replacement, statistic
+// recomputed on each, interval taken at the (1-level)/2 quantiles.
+//
+// The paper reports point estimates of vendor market share from one scan;
+// bootstrap intervals quantify how tight those estimates are given the
+// de-aliased device sample.
+func BootstrapCI(sample []float64, statistic func([]float64) float64, iters int, level float64, seed int64) (lo, hi float64) {
+	if len(sample) == 0 || iters <= 0 {
+		return 0, 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	stats := make([]float64, iters)
+	resample := make([]float64, len(sample))
+	for i := 0; i < iters; i++ {
+		for j := range resample {
+			resample[j] = sample[rng.Intn(len(sample))]
+		}
+		stats[i] = statistic(resample)
+	}
+	sort.Float64s(stats)
+	alpha := (1 - level) / 2
+	loIdx := int(alpha * float64(iters))
+	hiIdx := int((1 - alpha) * float64(iters))
+	if hiIdx >= iters {
+		hiIdx = iters - 1
+	}
+	return stats[loIdx], stats[hiIdx]
+}
+
+// ProportionCI bootstraps a confidence interval for the share k/n of a
+// binary property across n observed items.
+func ProportionCI(k, n, iters int, level float64, seed int64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 0
+	}
+	sample := make([]float64, n)
+	for i := 0; i < k; i++ {
+		sample[i] = 1
+	}
+	return BootstrapCI(sample, Mean, iters, level, seed)
+}

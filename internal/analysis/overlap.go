@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"net/netip"
+	"sort"
+)
+
+// AddrSet is one alias set as a plain address list, the common currency for
+// comparing alias-resolution techniques (Sections 5.2 and 5.3).
+type AddrSet []netip.Addr
+
+// Normalize sorts the addresses in place and returns the set.
+func (s AddrSet) Normalize() AddrSet {
+	sort.Slice(s, func(i, j int) bool { return s[i].Less(s[j]) })
+	return s
+}
+
+// key renders the normalized set as a comparable string.
+func (s AddrSet) key() string {
+	b := make([]byte, 0, len(s)*16)
+	for _, a := range s {
+		x := a.As16()
+		b = append(b, x[:]...)
+	}
+	return string(b)
+}
+
+// OverlapStats compares two alias-set collections.
+type OverlapStats struct {
+	// ExactMatches counts sets identical in both collections.
+	ExactMatches int
+	// PartialMatches counts sets of B sharing at least one address with
+	// some set of A without being identical to any set of A.
+	PartialMatches int
+	// PartialSingletons counts partial matches where the B set is a
+	// singleton.
+	PartialSingletons int
+}
+
+// CompareSets computes overlap statistics of collection B against
+// collection A (B is typically the baseline technique being compared to the
+// SNMPv3 sets A).
+func CompareSets(a, b []AddrSet) OverlapStats {
+	exact := make(map[string]bool, len(a))
+	member := make(map[netip.Addr]bool)
+	for _, s := range a {
+		s.Normalize()
+		exact[s.key()] = true
+		for _, addr := range s {
+			member[addr] = true
+		}
+	}
+	var st OverlapStats
+	for _, s := range b {
+		s.Normalize()
+		if exact[s.key()] {
+			st.ExactMatches++
+			continue
+		}
+		for _, addr := range s {
+			if member[addr] {
+				st.PartialMatches++
+				if len(s) == 1 {
+					st.PartialSingletons++
+				}
+				break
+			}
+		}
+	}
+	return st
+}
+
+// PrecisionRecall scores inferred alias sets against ground-truth device
+// groupings at the pair level: precision is the fraction of inferred
+// same-device pairs that are truly same-device; recall is the fraction of
+// true pairs (among inferred addresses) recovered.
+func PrecisionRecall(inferred []AddrSet, truth map[netip.Addr]int) (precision, recall float64) {
+	var tp, fp int64
+	// Count true pairs among addresses that appear in the inference at all
+	// (alias resolution cannot be charged for unprobed or filtered IPs).
+	covered := map[int][]netip.Addr{}
+	for _, s := range inferred {
+		for _, a := range s {
+			if dev, ok := truth[a]; ok {
+				covered[dev] = append(covered[dev], a)
+			}
+		}
+	}
+	var truePairs int64
+	for _, addrs := range covered {
+		n := int64(len(addrs))
+		truePairs += n * (n - 1) / 2
+	}
+	for _, s := range inferred {
+		for i := 0; i < len(s); i++ {
+			di, iok := truth[s[i]]
+			for j := i + 1; j < len(s); j++ {
+				dj, jok := truth[s[j]]
+				if iok && jok && di == dj {
+					tp++
+				} else {
+					fp++
+				}
+			}
+		}
+	}
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if truePairs > 0 {
+		recall = float64(tp) / float64(truePairs)
+	}
+	return precision, recall
+}

@@ -1,0 +1,63 @@
+// Package dnsnames implements router alias resolution from reverse-DNS
+// hostnames in the style of CAIDA's Router Names dataset (Luckie et al.,
+// "Learning Regexes to Extract Router Names from Hostnames", 2019) — the
+// paper's Section 5.2 comparison and its only prior technique able to find
+// dual-stack router aliases.
+//
+// Per-domain regexes extract a router name from each interface's PTR
+// record; interfaces whose extracted names match are aliases. Only regexes
+// with a high positive predictive value are used, which here corresponds to
+// the transit-AS naming convention the simulator emits
+// (`if<N>.<router>.<domain>` / `v6if<N>.<router>.<domain>`).
+package dnsnames
+
+import (
+	"net/netip"
+	"regexp"
+	"sort"
+
+	"snmpv3fp/internal/analysis"
+	"snmpv3fp/internal/netsim"
+)
+
+// interfacePattern is the per-domain-suffix extraction regex: it strips the
+// interface component and captures the router hostname plus domain.
+var interfacePattern = regexp.MustCompile(`^(?:v6)?if\d+\.([a-z0-9.-]+)\.(as\d+\.(?:net|com|org|io))$`)
+
+// ExtractRouterName applies the regex to one PTR record, returning the
+// router key (hostname + domain) and whether extraction succeeded.
+func ExtractRouterName(ptr string) (string, bool) {
+	m := interfacePattern.FindStringSubmatch(ptr)
+	if m == nil {
+		return "", false
+	}
+	return m[1] + "." + m[2], true
+}
+
+// Resolve groups the candidate addresses by extracted router name.
+// Addresses without PTR records, or whose records do not match the learned
+// regexes, are excluded — exactly the blind spot the paper describes.
+func Resolve(w *netsim.World, candidates []netip.Addr) []analysis.AddrSet {
+	groups := map[string][]netip.Addr{}
+	for _, a := range candidates {
+		ptr := w.PTR(a)
+		if ptr == "" {
+			continue
+		}
+		name, ok := ExtractRouterName(ptr)
+		if !ok {
+			continue
+		}
+		groups[name] = append(groups[name], a)
+	}
+	names := make([]string, 0, len(groups))
+	for n := range groups {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]analysis.AddrSet, 0, len(groups))
+	for _, n := range names {
+		out = append(out, analysis.AddrSet(groups[n]).Normalize())
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package dnsnames
+
+import (
+	"net/netip"
+	"testing"
+
+	"snmpv3fp/internal/netsim"
+)
+
+func TestExtractRouterName(t *testing.T) {
+	cases := []struct {
+		ptr  string
+		want string
+		ok   bool
+	}{
+		{"if0.rtr12.par3.as100.net", "rtr12.par3.as100.net", true},
+		{"if15.rtr12.par3.as100.net", "rtr12.par3.as100.net", true},
+		{"v6if2.rtr12.par3.as100.net", "rtr12.par3.as100.net", true},
+		{"host-1-2-3-4.dsl.example.com", "", false},
+		{"", "", false},
+		{"rtr12.par3.as100.net", "", false}, // no interface component
+	}
+	for _, c := range cases {
+		got, ok := ExtractRouterName(c.ptr)
+		if ok != c.ok || got != c.want {
+			t.Errorf("ExtractRouterName(%q) = %q, %v; want %q, %v", c.ptr, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestV4AndV6InterfacesShareRouterName(t *testing.T) {
+	// The technique's unique power: dual-stack alias sets.
+	a, okA := ExtractRouterName("if0.rtr7.fra1.as200.org")
+	b, okB := ExtractRouterName("v6if1.rtr7.fra1.as200.org")
+	if !okA || !okB || a != b {
+		t.Errorf("dual-stack names differ: %q vs %q", a, b)
+	}
+}
+
+func TestResolveAgainstWorld(t *testing.T) {
+	w := netsim.Generate(netsim.TinyConfig(5))
+	// All router addresses as candidates.
+	var cands []netip.Addr
+	for _, d := range w.Devices {
+		if d.Router() {
+			cands = append(cands, d.AllAddrs()...)
+		}
+	}
+	sets := Resolve(w, cands)
+	if len(sets) == 0 {
+		t.Fatal("no name sets")
+	}
+	nonSingleton := 0
+	dual := 0
+	for _, s := range sets {
+		first := w.DeviceAt(s[0])
+		for _, a := range s[1:] {
+			if w.DeviceAt(a) != first {
+				t.Fatalf("name set merges different devices: %v", s)
+			}
+		}
+		if len(s) > 1 {
+			nonSingleton++
+		}
+		var has4, has6 bool
+		for _, a := range s {
+			if a.Is4() {
+				has4 = true
+			} else {
+				has6 = true
+			}
+		}
+		if has4 && has6 {
+			dual++
+		}
+	}
+	if nonSingleton == 0 {
+		t.Error("no non-singleton name sets")
+	}
+	if dual == 0 {
+		t.Error("no dual-stack name sets — the technique's hallmark")
+	}
+	// Coverage is partial: many router addresses have no usable PTR.
+	covered := 0
+	for _, s := range sets {
+		covered += len(s)
+	}
+	if covered >= len(cands) {
+		t.Errorf("name sets cover all %d candidates; PTR coverage should be partial", len(cands))
+	}
+}
+
+func TestResolveIgnoresCPE(t *testing.T) {
+	w := netsim.Generate(netsim.TinyConfig(5))
+	var cands []netip.Addr
+	for _, d := range w.Devices {
+		if d.Class == netsim.ClassCPE {
+			cands = append(cands, d.AllAddrs()...)
+			if len(cands) > 500 {
+				break
+			}
+		}
+	}
+	if got := Resolve(w, cands); len(got) != 0 {
+		t.Errorf("CPE addresses produced %d name sets", len(got))
+	}
+}

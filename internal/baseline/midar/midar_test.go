@@ -1,0 +1,157 @@
+package midar
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"snmpv3fp/internal/netsim"
+)
+
+func world(t *testing.T) *netsim.World {
+	t.Helper()
+	return netsim.Generate(netsim.TinyConfig(5))
+}
+
+// candidatesOf gathers IPv4 addresses of devices matching the predicate
+// whose interfaces answer ICMP probing.
+func candidatesOf(w *netsim.World, now time.Time, pred func(*netsim.Device) bool) []netip.Addr {
+	var out []netip.Addr
+	for _, d := range w.Devices {
+		if !pred(d) {
+			continue
+		}
+		for _, a := range d.V4 {
+			if _, ok := w.IPIDSample(a, now, 0); ok {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+func TestResolveFindsSharedCounterAliases(t *testing.T) {
+	w := world(t)
+	now := w.Cfg.StartTime
+	// Restrict to slow shared-counter devices with 2+ reachable
+	// interfaces: the technique's sweet spot.
+	cands := candidatesOf(w, now, func(d *netsim.Device) bool {
+		return d.Responds && d.Profile.IPID == netsim.IPIDShared && len(d.V4) >= 2
+	})
+	if len(cands) < 10 {
+		t.Skip("not enough shared-counter candidates in tiny world")
+	}
+	sets := Resolve(w, cands, now, DefaultConfig())
+	nonSingleton := 0
+	for _, s := range sets {
+		if len(s) > 1 {
+			nonSingleton++
+		}
+	}
+	if nonSingleton == 0 {
+		t.Fatal("no aliases found among shared-counter devices")
+	}
+	// Precision check: every non-singleton set must group one device.
+	for _, s := range sets {
+		if len(s) < 2 {
+			continue
+		}
+		first := w.DeviceAt(s[0])
+		for _, a := range s[1:] {
+			if w.DeviceAt(a) != first {
+				t.Fatalf("false alias: %v and %v are different devices", s[0], a)
+			}
+		}
+	}
+}
+
+func TestResolveRejectsRandomCounters(t *testing.T) {
+	w := world(t)
+	now := w.Cfg.StartTime
+	cands := candidatesOf(w, now, func(d *netsim.Device) bool {
+		return d.Responds && d.Profile.IPID == netsim.IPIDRandom
+	})
+	sets := Resolve(w, cands, now, DefaultConfig())
+	for _, s := range sets {
+		if len(s) > 1 {
+			t.Fatalf("random-IPID devices aliased: %v", s)
+		}
+	}
+}
+
+func TestResolveDoesNotMergePerInterfaceCounters(t *testing.T) {
+	w := world(t)
+	now := w.Cfg.StartTime
+	cands := candidatesOf(w, now, func(d *netsim.Device) bool {
+		return d.Responds && d.Profile.IPID == netsim.IPIDPerInterface && len(d.V4) >= 2
+	})
+	sets := Resolve(w, cands, now, DefaultConfig())
+	merged := 0
+	total := 0
+	for _, s := range sets {
+		total += len(s)
+		if len(s) > 1 {
+			merged += len(s)
+		}
+	}
+	// Per-interface counters may occasionally pair by chance, but the bulk
+	// must stay singletons.
+	if total > 0 && float64(merged)/float64(total) > 0.2 {
+		t.Errorf("%d/%d per-interface addresses merged", merged, total)
+	}
+}
+
+func TestResolveEmptyAndUnresponsive(t *testing.T) {
+	w := world(t)
+	now := w.Cfg.StartTime
+	if got := Resolve(w, nil, now, DefaultConfig()); len(got) != 0 {
+		t.Error("empty candidates produced sets")
+	}
+	// Unallocated addresses are skipped entirely.
+	got := Resolve(w, []netip.Addr{netip.MustParseAddr("203.0.113.99")}, now, DefaultConfig())
+	if len(got) != 0 {
+		t.Error("unallocated address produced a set")
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := newUnionFind(5)
+	uf.union(0, 1)
+	uf.union(3, 4)
+	uf.union(1, 3)
+	if uf.find(0) != uf.find(4) {
+		t.Error("union chain broken")
+	}
+	if uf.find(2) == uf.find(0) {
+		t.Error("separate element merged")
+	}
+	uf.union(0, 4) // already merged: must be a no-op
+	if uf.find(0) != uf.find(4) {
+		t.Error("re-union broke the structure")
+	}
+}
+
+func TestPairTestMonotonic(t *testing.T) {
+	// A synthetic sampler with one shared counter for a/b and an offset
+	// counter for c.
+	a := netip.MustParseAddr("192.0.2.1")
+	b := netip.MustParseAddr("192.0.2.2")
+	c := netip.MustParseAddr("192.0.2.3")
+	counter := 0
+	sample := func(addr netip.Addr, at time.Time, seq int) (uint16, bool) {
+		counter++
+		base := 0
+		if addr == c {
+			base = 40000
+		}
+		return uint16(base + counter), true
+	}
+	seq := 0
+	next := func() int { seq++; return seq }
+	if !pairTest(sample, a, b, time.Now(), 6, next) {
+		t.Error("shared counter pair rejected")
+	}
+	if pairTest(sample, a, c, time.Now(), 6, next) {
+		t.Error("offset counters accepted")
+	}
+}

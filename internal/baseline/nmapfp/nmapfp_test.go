@@ -1,0 +1,92 @@
+package nmapfp
+
+import (
+	"net/netip"
+	"testing"
+
+	"snmpv3fp/internal/netsim"
+)
+
+func TestOutcomeStrings(t *testing.T) {
+	if NoResult.String() != "no result" || ExactMatch.String() != "exact match" || BestGuess.String() != "best guess" {
+		t.Error("outcome names wrong")
+	}
+}
+
+func TestFingerprintUnallocated(t *testing.T) {
+	w := netsim.Generate(netsim.TinyConfig(9))
+	res := Fingerprint(w, netip.MustParseAddr("203.0.113.50"))
+	if res.Outcome != NoResult {
+		t.Errorf("unallocated outcome = %v", res.Outcome)
+	}
+}
+
+func TestFingerprintDistribution(t *testing.T) {
+	w := netsim.Generate(netsim.TinyConfig(9))
+	var noResult, match, guess int
+	var correct, wrong int
+	for _, d := range w.Devices {
+		if !d.Router() || !d.Responds || len(d.V4) == 0 {
+			continue
+		}
+		res := Fingerprint(w, d.V4[0])
+		switch res.Outcome {
+		case NoResult:
+			noResult++
+		case ExactMatch:
+			match++
+			if res.Vendor == d.Profile.Vendor {
+				correct++
+			} else {
+				wrong++
+			}
+		case BestGuess:
+			guess++
+		}
+	}
+	total := noResult + match + guess
+	if total == 0 {
+		t.Fatal("no routers probed")
+	}
+	// The paper's shape: the vast majority yields no result.
+	if float64(noResult)/float64(total) < 0.6 {
+		t.Errorf("no-result share %d/%d too low", noResult, total)
+	}
+	if match == 0 {
+		t.Error("no exact matches at all")
+	}
+	if wrong > 0 {
+		t.Errorf("%d exact matches with wrong vendor (signature DB broken)", wrong)
+	}
+}
+
+func TestExactMatchUsesSignatureDB(t *testing.T) {
+	w := netsim.Generate(netsim.TinyConfig(9))
+	for _, d := range w.Devices {
+		if !d.Responds || len(d.V4) == 0 {
+			continue
+		}
+		if banner, open := w.TCPBanner(d.V4[0]); open {
+			if want, ok := signatureDB[banner]; ok {
+				res := Fingerprint(w, d.V4[0])
+				if res.Outcome != ExactMatch || res.Vendor != want {
+					t.Errorf("banner %q: got %v/%q, want exact/%q", banner, res.Outcome, res.Vendor, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	w := netsim.Generate(netsim.TinyConfig(9))
+	for _, d := range w.Devices[:50] {
+		if len(d.V4) == 0 {
+			continue
+		}
+		a := Fingerprint(w, d.V4[0])
+		b := Fingerprint(w, d.V4[0])
+		if a != b {
+			t.Fatal("fingerprint not deterministic")
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package siblings
+
+import (
+	"testing"
+	"time"
+
+	"snmpv3fp/internal/netsim"
+)
+
+func TestVerdictStrings(t *testing.T) {
+	if Siblings.String() != "siblings" || NonSiblings.String() != "non-siblings" || NoData.String() != "no data" {
+		t.Error("verdict names wrong")
+	}
+}
+
+// collectCandidates builds true sibling pairs (same device) and decoy pairs
+// (different devices) from dual-stack devices with open TCP on both
+// families.
+func collectCandidates(w *netsim.World, at time.Time) (true_, decoys []Candidate) {
+	var measurable []*netsim.Device
+	for _, d := range w.Devices {
+		if len(d.V4) == 0 || len(d.V6) == 0 || !d.Responds {
+			continue
+		}
+		if _, ok := w.TCPTimestamp(d.V4[0], at); !ok {
+			continue
+		}
+		if _, ok := w.TCPTimestamp(d.V6[0], at); !ok {
+			continue
+		}
+		measurable = append(measurable, d)
+	}
+	for i, d := range measurable {
+		true_ = append(true_, Candidate{V4: d.V4[0], V6: d.V6[0]})
+		if i+1 < len(measurable) {
+			decoys = append(decoys, Candidate{V4: d.V4[0], V6: measurable[i+1].V6[0]})
+		}
+	}
+	return true_, decoys
+}
+
+func TestSiblingsDetected(t *testing.T) {
+	w := netsim.Generate(netsim.TinyConfig(8))
+	at := w.Cfg.StartTime.Add(20 * 24 * time.Hour)
+	truePairs, decoys := collectCandidates(w, at)
+	if len(truePairs) == 0 {
+		t.Skip("no measurable dual-stack devices in tiny world")
+	}
+	for _, c := range truePairs {
+		if got := Classify(w, c, at); got != Siblings {
+			t.Errorf("true pair %v/%v classified %v", c.V4, c.V6, got)
+		}
+	}
+	for _, c := range decoys {
+		if got := Classify(w, c, at); got == Siblings {
+			t.Errorf("decoy pair %v/%v classified siblings", c.V4, c.V6)
+		}
+	}
+}
+
+func TestNoDataForClosedDevices(t *testing.T) {
+	w := netsim.Generate(netsim.TinyConfig(8))
+	at := w.Cfg.StartTime
+	// Find a dual-stack device without an open TCP port.
+	for _, d := range w.Devices {
+		if len(d.V4) == 0 || len(d.V6) == 0 {
+			continue
+		}
+		if _, ok := w.TCPTimestamp(d.V4[0], at); ok {
+			continue
+		}
+		got := Classify(w, Candidate{V4: d.V4[0], V6: d.V6[0]}, at)
+		if got != NoData {
+			t.Errorf("closed device classified %v", got)
+		}
+		return
+	}
+	t.Skip("all dual-stack devices have open TCP")
+}
+
+func TestRunAggregates(t *testing.T) {
+	w := netsim.Generate(netsim.TinyConfig(8))
+	at := w.Cfg.StartTime.Add(20 * 24 * time.Hour)
+	truePairs, decoys := collectCandidates(w, at)
+	all := append(append([]Candidate{}, truePairs...), decoys...)
+	r := Run(w, all, at)
+	if r.Candidates != len(all) {
+		t.Errorf("candidates = %d", r.Candidates)
+	}
+	if r.Siblings != len(truePairs) {
+		t.Errorf("siblings = %d, want %d", r.Siblings, len(truePairs))
+	}
+	if r.Siblings+r.NonSiblings+r.NoData != r.Candidates {
+		t.Error("counts do not add up")
+	}
+}

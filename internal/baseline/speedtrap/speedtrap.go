@@ -1,0 +1,31 @@
+// Package speedtrap implements IPv6 alias resolution in the style of
+// Speedtrap (Luckie et al., 2013), the paper's IPv6 comparison baseline.
+//
+// IPv6 has no per-packet identification field, but a router answering
+// too-big-triggering probes emits fragments whose Identification values come
+// from a per-device counter; interleaving those counters across candidate
+// addresses admits the same monotonic-bounds reasoning as MIDAR. The
+// simulated world models the fragment-ID counter with the same per-device
+// counter machinery as the IPv4 IP-ID, so this package delegates to the
+// shared resolver with IPv6 candidates.
+package speedtrap
+
+import (
+	"net/netip"
+	"time"
+
+	"snmpv3fp/internal/analysis"
+	"snmpv3fp/internal/baseline/midar"
+	"snmpv3fp/internal/netsim"
+)
+
+// Resolve runs Speedtrap-style alias resolution over IPv6 candidates.
+func Resolve(w *netsim.World, candidates []netip.Addr, now time.Time) []analysis.AddrSet {
+	v6 := candidates[:0:0]
+	for _, a := range candidates {
+		if a.Is6() && !a.Is4In6() {
+			v6 = append(v6, a)
+		}
+	}
+	return midar.Resolve(w, v6, now, midar.DefaultConfig())
+}

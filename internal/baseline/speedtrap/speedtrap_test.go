@@ -1,0 +1,65 @@
+package speedtrap
+
+import (
+	"net/netip"
+	"testing"
+
+	"snmpv3fp/internal/netsim"
+)
+
+func TestResolveIPv6Only(t *testing.T) {
+	w := netsim.Generate(netsim.TinyConfig(5))
+	now := w.Cfg.StartTime
+	// Mix IPv4 and IPv6 candidates: the IPv4 ones must be ignored.
+	var cands []netip.Addr
+	v6Candidates := 0
+	for _, d := range w.Devices {
+		if !d.Responds {
+			continue
+		}
+		cands = append(cands, d.V4...)
+		cands = append(cands, d.V6...)
+		v6Candidates += len(d.V6)
+	}
+	sets := Resolve(w, cands, now)
+	for _, s := range sets {
+		for _, a := range s {
+			if a.Is4() {
+				t.Fatalf("IPv4 address %v in a Speedtrap set", a)
+			}
+		}
+	}
+	if v6Candidates > 0 && len(sets) == 0 {
+		t.Error("no IPv6 sets at all")
+	}
+}
+
+func TestResolvePrecision(t *testing.T) {
+	w := netsim.Generate(netsim.TinyConfig(5))
+	now := w.Cfg.StartTime
+	var cands []netip.Addr
+	for _, d := range w.Devices {
+		if d.Responds && d.Profile.IPID == netsim.IPIDShared {
+			cands = append(cands, d.V6...)
+		}
+	}
+	sets := Resolve(w, cands, now)
+	for _, s := range sets {
+		if len(s) < 2 {
+			continue
+		}
+		first := w.DeviceAt(s[0])
+		for _, a := range s[1:] {
+			if w.DeviceAt(a) != first {
+				t.Fatalf("false IPv6 alias: %v", s)
+			}
+		}
+	}
+}
+
+func TestResolveEmpty(t *testing.T) {
+	w := netsim.Generate(netsim.TinyConfig(5))
+	if got := Resolve(w, nil, w.Cfg.StartTime); len(got) != 0 {
+		t.Error("empty candidates produced sets")
+	}
+}

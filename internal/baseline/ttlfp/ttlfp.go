@@ -1,0 +1,74 @@
+// Package ttlfp implements initial-TTL router fingerprinting in the style
+// of Vanaubel et al. ("Network Fingerprinting: TTL-Based Router
+// Signatures", IMC 2013), discussed in the paper's Section 7.1.
+//
+// The inferred initial TTL of a router's replies narrows the platform: the
+// classic pitfall — reproduced here — is that the signature space is tiny,
+// so e.g. Huawei and Cisco share the iTTL=255 class and cannot be told
+// apart.
+package ttlfp
+
+import (
+	"net/netip"
+
+	"snmpv3fp/internal/netsim"
+)
+
+// Signature is the iTTL class of a device.
+type Signature struct {
+	ITTL int
+	// Candidates are the vendors known to use this iTTL; the inference is
+	// ambiguous whenever there is more than one.
+	Candidates []string
+}
+
+// Ambiguous reports whether the signature admits multiple vendors.
+func (s Signature) Ambiguous() bool { return len(s.Candidates) > 1 }
+
+// classes maps observed iTTL to candidate vendor sets.
+var classes = map[int][]string{
+	255: {"Cisco", "Huawei", "H3C", "Ericsson", "Fortinet"},
+	128: {"OneAccess", "Windows-based"},
+	64:  {"Juniper", "Net-SNMP", "Brocade", "MikroTik", "Nokia SROS", "Adtran", "Ruijie"},
+	32:  {"legacy-unix"},
+}
+
+// inferITTL rounds a hop-decremented TTL up to the next canonical initial
+// value, as the technique does with real replies.
+func inferITTL(ttl int) int {
+	switch {
+	case ttl > 128:
+		return 255
+	case ttl > 64:
+		return 128
+	case ttl > 32:
+		return 64
+	default:
+		return 32
+	}
+}
+
+// Fingerprint infers the iTTL class of addr. ok is false when the target
+// does not reply at all.
+func Fingerprint(w *netsim.World, addr netip.Addr, hops int) (Signature, bool) {
+	ttl, ok := w.TTLSample(addr)
+	if !ok {
+		return Signature{}, false
+	}
+	observed := ttl - hops
+	if observed < 1 {
+		observed = 1
+	}
+	ittl := inferITTL(observed)
+	return Signature{ITTL: ittl, Candidates: classes[ittl]}, true
+}
+
+// Matches reports whether the signature is consistent with the vendor.
+func (s Signature) Matches(vendor string) bool {
+	for _, c := range s.Candidates {
+		if c == vendor {
+			return true
+		}
+	}
+	return false
+}

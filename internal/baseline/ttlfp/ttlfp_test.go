@@ -1,0 +1,85 @@
+package ttlfp
+
+import (
+	"net/netip"
+	"testing"
+
+	"snmpv3fp/internal/netsim"
+)
+
+func TestInferITTL(t *testing.T) {
+	cases := []struct {
+		ttl, want int
+	}{
+		{255, 255}, {250, 255}, {129, 255},
+		{128, 128}, {120, 128}, {65, 128},
+		{64, 64}, {60, 64}, {33, 64},
+		{32, 32}, {1, 32},
+	}
+	for _, c := range cases {
+		if got := inferITTL(c.ttl); got != c.want {
+			t.Errorf("inferITTL(%d) = %d, want %d", c.ttl, got, c.want)
+		}
+	}
+}
+
+func TestFingerprintAgainstWorld(t *testing.T) {
+	w := netsim.Generate(netsim.TinyConfig(4))
+	checked := 0
+	ambiguous := 0
+	for _, d := range w.Devices {
+		if !d.Responds || len(d.V4) == 0 {
+			continue
+		}
+		sig, ok := Fingerprint(w, d.V4[0], 5)
+		if !ok {
+			t.Fatalf("responsive device %d gave no TTL", d.ID)
+		}
+		if sig.ITTL != d.Profile.InitTTL {
+			t.Fatalf("device %d: inferred iTTL %d, actual %d", d.ID, sig.ITTL, d.Profile.InitTTL)
+		}
+		if sig.Ambiguous() {
+			ambiguous++
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("nothing checked")
+	}
+	// The technique's key weakness: almost everything is ambiguous.
+	if float64(ambiguous)/float64(checked) < 0.9 {
+		t.Errorf("only %d/%d ambiguous; iTTL classes should be coarse", ambiguous, checked)
+	}
+}
+
+func TestCiscoHuaweiShareClass(t *testing.T) {
+	// The paper's explicit example: Huawei has the same iTTL signature as
+	// Cisco, so the technique cannot separate them.
+	sig := Signature{ITTL: 255, Candidates: classes[255]}
+	if !sig.Matches("Cisco") || !sig.Matches("Huawei") {
+		t.Error("iTTL 255 class should contain both Cisco and Huawei")
+	}
+	if sig.Matches("Juniper") {
+		t.Error("Juniper (iTTL 64) must not match the 255 class")
+	}
+}
+
+func TestFingerprintSilent(t *testing.T) {
+	w := netsim.Generate(netsim.TinyConfig(4))
+	if _, ok := Fingerprint(w, netip.MustParseAddr("203.0.113.1"), 3); ok {
+		t.Error("silent address fingerprinted")
+	}
+}
+
+func TestHopSaturation(t *testing.T) {
+	w := netsim.Generate(netsim.TinyConfig(4))
+	for _, d := range w.Devices {
+		if d.Responds && len(d.V4) > 0 {
+			// Even absurd hop counts must not panic or go negative.
+			if sig, ok := Fingerprint(w, d.V4[0], 1000); ok && sig.ITTL < 32 {
+				t.Errorf("iTTL = %d", sig.ITTL)
+			}
+			break
+		}
+	}
+}

@@ -1,0 +1,312 @@
+// Package ber implements the subset of ASN.1 Basic Encoding Rules used by
+// SNMP (RFC 1157, RFC 3416, RFC 3417).
+//
+// SNMP restricts itself to definite-length, primitive-or-constructed BER with
+// a small universal type vocabulary (INTEGER, OCTET STRING, NULL, OBJECT
+// IDENTIFIER, SEQUENCE) plus application-class types (IpAddress, Counter32,
+// Gauge32/Unsigned32, TimeTicks, Opaque, Counter64) and context-class tagged
+// PDUs. The standard library's encoding/asn1 cannot express SNMP's implicit
+// application tags or its context-tagged CHOICE PDUs, so this package
+// implements the codec from scratch.
+//
+// The package is split into a low-level token API (EncodeTLV, DecodeTLV) and
+// a Builder/Parser pair that higher layers use to assemble and walk nested
+// SEQUENCEs without intermediate allocations.
+package ber
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Class is the BER tag class (top two bits of the identifier octet).
+type Class byte
+
+// BER tag classes.
+const (
+	ClassUniversal   Class = 0x00
+	ClassApplication Class = 0x40
+	ClassContext     Class = 0x80
+	ClassPrivate     Class = 0xC0
+)
+
+// Tag identifiers used by SNMP. The value includes the class bits and, for
+// constructed types, the constructed bit (0x20).
+const (
+	TagInteger        = 0x02
+	TagOctetString    = 0x04
+	TagNull           = 0x05
+	TagOID            = 0x06
+	TagSequence       = 0x30 // universal, constructed
+	TagIPAddress      = 0x40 // application 0, primitive
+	TagCounter32      = 0x41 // application 1
+	TagGauge32        = 0x42 // application 2 (a.k.a. Unsigned32)
+	TagTimeTicks      = 0x43 // application 3
+	TagOpaque         = 0x44 // application 4
+	TagCounter64      = 0x46 // application 6
+	TagNoSuchObject   = 0x80 // context 0, primitive (v2 exception)
+	TagNoSuchInstance = 0x81 // context 1, primitive
+	TagEndOfMibView   = 0x82 // context 2, primitive
+)
+
+// Errors returned by the decoder.
+var (
+	ErrTruncated     = errors.New("ber: truncated input")
+	ErrIndefinite    = errors.New("ber: indefinite length not allowed in SNMP")
+	ErrLengthTooLong = errors.New("ber: length exceeds implementation limit")
+	ErrBadTag        = errors.New("ber: unexpected tag")
+	ErrIntegerRange  = errors.New("ber: integer out of range")
+	ErrTrailingData  = errors.New("ber: trailing data after value")
+)
+
+// maxLen bounds a single TLV body. SNMP messages are UDP datagrams; 1 MiB is
+// far beyond any legitimate message and keeps hostile inputs from driving
+// huge allocations.
+const maxLen = 1 << 20
+
+// TLV is one decoded tag-length-value token. Value aliases the input buffer;
+// callers must copy it if they retain it past the buffer's lifetime.
+type TLV struct {
+	Tag   byte
+	Value []byte
+}
+
+// Constructed reports whether the TLV has the constructed bit set.
+func (t TLV) Constructed() bool { return t.Tag&0x20 != 0 }
+
+// Class returns the tag class bits.
+func (t TLV) Class() Class { return Class(t.Tag & 0xC0) }
+
+// DecodeTLV decodes one TLV from the front of buf and returns it together
+// with the remaining bytes.
+func DecodeTLV(buf []byte) (TLV, []byte, error) {
+	if len(buf) < 2 {
+		return TLV{}, nil, ErrTruncated
+	}
+	tag := buf[0]
+	if tag&0x1F == 0x1F {
+		return TLV{}, nil, fmt.Errorf("ber: high-tag-number form unsupported (tag 0x%02x)", tag)
+	}
+	length, n, err := decodeLength(buf[1:])
+	if err != nil {
+		return TLV{}, nil, err
+	}
+	rest := buf[1+n:]
+	if length > len(rest) {
+		return TLV{}, nil, ErrTruncated
+	}
+	return TLV{Tag: tag, Value: rest[:length]}, rest[length:], nil
+}
+
+// decodeLength decodes a definite-length octet sequence, returning the length
+// and the number of octets consumed.
+func decodeLength(buf []byte) (int, int, error) {
+	if len(buf) == 0 {
+		return 0, 0, ErrTruncated
+	}
+	b := buf[0]
+	if b < 0x80 {
+		return int(b), 1, nil
+	}
+	if b == 0x80 {
+		return 0, 0, ErrIndefinite
+	}
+	n := int(b & 0x7F)
+	if n > 4 {
+		return 0, 0, ErrLengthTooLong
+	}
+	if len(buf) < 1+n {
+		return 0, 0, ErrTruncated
+	}
+	var length uint64
+	for _, c := range buf[1 : 1+n] {
+		length = length<<8 | uint64(c)
+	}
+	if length > maxLen {
+		return 0, 0, ErrLengthTooLong
+	}
+	return int(length), 1 + n, nil
+}
+
+// AppendLength appends the BER definite-length encoding of n to dst.
+func AppendLength(dst []byte, n int) []byte {
+	switch {
+	case n < 0x80:
+		return append(dst, byte(n))
+	case n <= 0xFF:
+		return append(dst, 0x81, byte(n))
+	case n <= 0xFFFF:
+		return append(dst, 0x82, byte(n>>8), byte(n))
+	case n <= 0xFFFFFF:
+		return append(dst, 0x83, byte(n>>16), byte(n>>8), byte(n))
+	default:
+		return append(dst, 0x84, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	}
+}
+
+// lengthSize returns the number of octets AppendLength will emit for n.
+func lengthSize(n int) int {
+	switch {
+	case n < 0x80:
+		return 1
+	case n <= 0xFF:
+		return 2
+	case n <= 0xFFFF:
+		return 3
+	case n <= 0xFFFFFF:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// EncodeTLV appends tag, length and value to dst.
+func EncodeTLV(dst []byte, tag byte, value []byte) []byte {
+	dst = append(dst, tag)
+	dst = AppendLength(dst, len(value))
+	return append(dst, value...)
+}
+
+// AppendInt appends a two's-complement INTEGER body (no tag/length) to dst
+// using the minimal number of octets.
+func AppendInt(dst []byte, v int64) []byte {
+	n := intSize(v)
+	for i := n - 1; i >= 0; i-- {
+		dst = append(dst, byte(v>>(8*i)))
+	}
+	return dst
+}
+
+func intSize(v int64) int {
+	n := 1
+	for v > 0x7F || v < -0x80 {
+		v >>= 8
+		n++
+	}
+	return n
+}
+
+// ParseInt decodes a two's-complement INTEGER body.
+func ParseInt(body []byte) (int64, error) {
+	if len(body) == 0 {
+		return 0, ErrTruncated
+	}
+	if len(body) > 8 {
+		return 0, ErrIntegerRange
+	}
+	// Reject non-minimal encodings longer than one octet where the first
+	// nine bits are all-zero or all-one; SNMP encoders must be minimal, but
+	// we accept them leniently when decoding hostile input is not a goal.
+	v := int64(int8(body[0])) // sign-extend
+	for _, b := range body[1:] {
+		v = v<<8 | int64(b)
+	}
+	return v, nil
+}
+
+// AppendUint appends an unsigned INTEGER body. Values with the top bit set in
+// their leading octet gain a 0x00 pad so they decode as positive.
+func AppendUint(dst []byte, v uint64) []byte {
+	n := 1
+	for x := v; x > 0xFF; x >>= 8 {
+		n++
+	}
+	if v>>(8*uint(n-1))&0x80 != 0 {
+		dst = append(dst, 0x00)
+	}
+	for i := n - 1; i >= 0; i-- {
+		dst = append(dst, byte(v>>(8*uint(i))))
+	}
+	return dst
+}
+
+// ParseUint decodes an unsigned INTEGER body (Counter32, Gauge32, TimeTicks,
+// Counter64). Leading 0x00 pads are accepted.
+func ParseUint(body []byte) (uint64, error) {
+	if len(body) == 0 {
+		return 0, ErrTruncated
+	}
+	if body[0] == 0x00 {
+		body = body[1:]
+	} else if body[0]&0x80 != 0 {
+		return 0, ErrIntegerRange
+	}
+	if len(body) > 8 {
+		return 0, ErrIntegerRange
+	}
+	var v uint64
+	for _, b := range body {
+		v = v<<8 | uint64(b)
+	}
+	return v, nil
+}
+
+// AppendOID appends the encoded body of an OBJECT IDENTIFIER to dst.
+// The OID must have at least two arcs, with oid[0] < 3 and oid[1] < 40 for
+// the first two arcs' combined octet.
+func AppendOID(dst []byte, oid []uint32) ([]byte, error) {
+	if len(oid) < 2 {
+		return dst, fmt.Errorf("ber: OID needs >= 2 arcs, got %d", len(oid))
+	}
+	if oid[0] > 2 || (oid[0] < 2 && oid[1] >= 40) {
+		return dst, fmt.Errorf("ber: invalid OID leading arcs %d.%d", oid[0], oid[1])
+	}
+	dst = appendBase128(dst, uint64(oid[0])*40+uint64(oid[1]))
+	for _, arc := range oid[2:] {
+		dst = appendBase128(dst, uint64(arc))
+	}
+	return dst, nil
+}
+
+func appendBase128(dst []byte, v uint64) []byte {
+	if v == 0 {
+		return append(dst, 0)
+	}
+	var tmp [10]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte(v&0x7F) | 0x80
+		v >>= 7
+	}
+	tmp[len(tmp)-1] &^= 0x80
+	return append(dst, tmp[i:]...)
+}
+
+// ParseOID decodes an OBJECT IDENTIFIER body into its arcs.
+func ParseOID(body []byte) ([]uint32, error) {
+	if len(body) == 0 {
+		return nil, ErrTruncated
+	}
+	oid := make([]uint32, 0, len(body)+1)
+	var v uint64
+	first := true
+	for i, b := range body {
+		v = v<<7 | uint64(b&0x7F)
+		if v > math.MaxUint32 {
+			return nil, fmt.Errorf("ber: OID arc overflow at octet %d", i)
+		}
+		if b&0x80 != 0 {
+			continue
+		}
+		if first {
+			first = false
+			switch {
+			case v < 40:
+				oid = append(oid, 0, uint32(v))
+			case v < 80:
+				oid = append(oid, 1, uint32(v-40))
+			default:
+				oid = append(oid, 2, uint32(v-80))
+			}
+		} else {
+			oid = append(oid, uint32(v))
+		}
+		v = 0
+	}
+	if body[len(body)-1]&0x80 != 0 {
+		return nil, ErrTruncated
+	}
+	return oid, nil
+}

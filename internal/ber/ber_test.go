@@ -1,0 +1,258 @@
+package ber
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendLength(t *testing.T) {
+	cases := []struct {
+		n    int
+		want []byte
+	}{
+		{0, []byte{0x00}},
+		{1, []byte{0x01}},
+		{0x7F, []byte{0x7F}},
+		{0x80, []byte{0x81, 0x80}},
+		{0xFF, []byte{0x81, 0xFF}},
+		{0x100, []byte{0x82, 0x01, 0x00}},
+		{0xFFFF, []byte{0x82, 0xFF, 0xFF}},
+		{0x10000, []byte{0x83, 0x01, 0x00, 0x00}},
+		{0x1000000, []byte{0x84, 0x01, 0x00, 0x00, 0x00}},
+	}
+	for _, c := range cases {
+		got := AppendLength(nil, c.n)
+		if !bytes.Equal(got, c.want) {
+			t.Errorf("AppendLength(%d) = %x, want %x", c.n, got, c.want)
+		}
+		if len(got) != lengthSize(c.n) {
+			t.Errorf("lengthSize(%d) = %d, emitted %d", c.n, lengthSize(c.n), len(got))
+		}
+	}
+}
+
+func TestLengthRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 127, 128, 255, 256, 65535, 65536, maxLen} {
+		enc := AppendLength(nil, n)
+		got, consumed, err := decodeLength(enc)
+		if err != nil {
+			t.Fatalf("decodeLength(%x): %v", enc, err)
+		}
+		if got != n || consumed != len(enc) {
+			t.Errorf("length %d round-tripped to %d (consumed %d of %d)", n, got, consumed, len(enc))
+		}
+	}
+}
+
+func TestDecodeLengthErrors(t *testing.T) {
+	if _, _, err := decodeLength(nil); err != ErrTruncated {
+		t.Errorf("empty: got %v, want ErrTruncated", err)
+	}
+	if _, _, err := decodeLength([]byte{0x80}); err != ErrIndefinite {
+		t.Errorf("indefinite: got %v, want ErrIndefinite", err)
+	}
+	if _, _, err := decodeLength([]byte{0x85, 1, 2, 3, 4, 5}); err != ErrLengthTooLong {
+		t.Errorf("5-octet length: got %v, want ErrLengthTooLong", err)
+	}
+	if _, _, err := decodeLength([]byte{0x82, 0x01}); err != ErrTruncated {
+		t.Errorf("short length: got %v, want ErrTruncated", err)
+	}
+	// Length larger than maxLen.
+	if _, _, err := decodeLength([]byte{0x84, 0xFF, 0xFF, 0xFF, 0xFF}); err != ErrLengthTooLong {
+		t.Errorf("huge length: got %v, want ErrLengthTooLong", err)
+	}
+}
+
+func TestIntRoundTrip(t *testing.T) {
+	values := []int64{0, 1, -1, 127, 128, -128, -129, 255, 256, 32767, 32768,
+		-32768, -32769, math.MaxInt32, math.MinInt32, math.MaxInt64, math.MinInt64}
+	for _, v := range values {
+		body := AppendInt(nil, v)
+		got, err := ParseInt(body)
+		if err != nil {
+			t.Fatalf("ParseInt(%x): %v", body, err)
+		}
+		if got != v {
+			t.Errorf("int %d round-tripped to %d via %x", v, got, body)
+		}
+	}
+}
+
+func TestIntMinimalEncoding(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want []byte
+	}{
+		{0, []byte{0x00}},
+		{127, []byte{0x7F}},
+		{128, []byte{0x00, 0x80}},
+		{-128, []byte{0x80}},
+		{-129, []byte{0xFF, 0x7F}},
+		{256, []byte{0x01, 0x00}},
+	}
+	for _, c := range cases {
+		got := AppendInt(nil, c.v)
+		if !bytes.Equal(got, c.want) {
+			t.Errorf("AppendInt(%d) = %x, want %x", c.v, got, c.want)
+		}
+	}
+}
+
+func TestIntQuick(t *testing.T) {
+	f := func(v int64) bool {
+		got, err := ParseInt(AppendInt(nil, v))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUintRoundTrip(t *testing.T) {
+	values := []uint64{0, 1, 127, 128, 255, 256, math.MaxUint32, math.MaxUint64}
+	for _, v := range values {
+		body := AppendUint(nil, v)
+		got, err := ParseUint(body)
+		if err != nil {
+			t.Fatalf("ParseUint(%x): %v", body, err)
+		}
+		if got != v {
+			t.Errorf("uint %d round-tripped to %d via %x", v, got, body)
+		}
+	}
+}
+
+func TestUintQuick(t *testing.T) {
+	f := func(v uint64) bool {
+		got, err := ParseUint(AppendUint(nil, v))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUintHighBitPadding(t *testing.T) {
+	// 0x80 needs a leading 0x00 pad so it is not read as negative.
+	got := AppendUint(nil, 0x80)
+	if !bytes.Equal(got, []byte{0x00, 0x80}) {
+		t.Errorf("AppendUint(0x80) = %x, want 0080", got)
+	}
+	if _, err := ParseUint([]byte{0x80}); err == nil {
+		t.Error("ParseUint of negative-looking body should fail")
+	}
+}
+
+func TestOIDRoundTrip(t *testing.T) {
+	oids := [][]uint32{
+		{1, 3},
+		{1, 3, 6, 1, 6, 3, 15, 1, 1, 4, 0},
+		{1, 3, 6, 1, 2, 1, 1, 1, 0},
+		{2, 999, 3},
+		{0, 39},
+		{1, 3, 6, 1, 4, 1, 4294967295},
+	}
+	for _, oid := range oids {
+		body, err := AppendOID(nil, oid)
+		if err != nil {
+			t.Fatalf("AppendOID(%v): %v", oid, err)
+		}
+		got, err := ParseOID(body)
+		if err != nil {
+			t.Fatalf("ParseOID(%x): %v", body, err)
+		}
+		if len(got) != len(oid) {
+			t.Fatalf("OID %v round-tripped to %v", oid, got)
+		}
+		for i := range oid {
+			if got[i] != oid[i] {
+				t.Errorf("OID %v round-tripped to %v", oid, got)
+				break
+			}
+		}
+	}
+}
+
+func TestOIDKnownEncoding(t *testing.T) {
+	// 1.3.6.1.6.3.15.1.1.4.0 = usmStatsUnknownEngineIDs
+	body, err := AppendOID(nil, []uint32{1, 3, 6, 1, 6, 3, 15, 1, 1, 4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x2B, 0x06, 0x01, 0x06, 0x03, 0x0F, 0x01, 0x01, 0x04, 0x00}
+	if !bytes.Equal(body, want) {
+		t.Errorf("encoded %x, want %x", body, want)
+	}
+}
+
+func TestOIDErrors(t *testing.T) {
+	if _, err := AppendOID(nil, []uint32{1}); err == nil {
+		t.Error("single-arc OID should fail")
+	}
+	if _, err := AppendOID(nil, []uint32{3, 1}); err == nil {
+		t.Error("first arc 3 should fail")
+	}
+	if _, err := AppendOID(nil, []uint32{0, 40}); err == nil {
+		t.Error("second arc 40 under first arc 0 should fail")
+	}
+	if _, err := ParseOID(nil); err == nil {
+		t.Error("empty OID body should fail")
+	}
+	if _, err := ParseOID([]byte{0xAB}); err == nil {
+		t.Error("dangling continuation bit should fail")
+	}
+}
+
+func TestDecodeTLV(t *testing.T) {
+	buf := EncodeTLV(nil, TagOctetString, []byte("hello"))
+	buf = append(buf, 0x02, 0x01, 0x07) // trailing INTEGER 7
+	tlv, rest, err := DecodeTLV(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tlv.Tag != TagOctetString || string(tlv.Value) != "hello" {
+		t.Errorf("got tag 0x%02x value %q", tlv.Tag, tlv.Value)
+	}
+	if len(rest) != 3 {
+		t.Errorf("rest = %x", rest)
+	}
+	tlv2, rest2, err := DecodeTLV(rest)
+	if err != nil || tlv2.Tag != TagInteger || len(rest2) != 0 {
+		t.Errorf("second TLV: %+v %x %v", tlv2, rest2, err)
+	}
+}
+
+func TestDecodeTLVTruncated(t *testing.T) {
+	full := EncodeTLV(nil, TagOctetString, bytes.Repeat([]byte{0xAA}, 300))
+	for i := 0; i < len(full); i++ {
+		if _, _, err := DecodeTLV(full[:i]); err == nil {
+			t.Fatalf("truncation at %d not detected", i)
+		}
+	}
+}
+
+func TestTLVClassAndConstructed(t *testing.T) {
+	if (TLV{Tag: TagSequence}).Class() != ClassUniversal {
+		t.Error("SEQUENCE class")
+	}
+	if !(TLV{Tag: TagSequence}).Constructed() {
+		t.Error("SEQUENCE should be constructed")
+	}
+	if (TLV{Tag: TagCounter64}).Class() != ClassApplication {
+		t.Error("Counter64 class")
+	}
+	if (TLV{Tag: TagCounter64}).Constructed() {
+		t.Error("Counter64 should be primitive")
+	}
+	if (TLV{Tag: 0xA8}).Class() != ClassContext {
+		t.Error("Report PDU class")
+	}
+}
+
+func TestHighTagNumberRejected(t *testing.T) {
+	if _, _, err := DecodeTLV([]byte{0x1F, 0x85, 0x01, 0x00}); err == nil {
+		t.Error("high-tag-number form should be rejected")
+	}
+}

@@ -1,0 +1,260 @@
+package ber
+
+import "fmt"
+
+// Builder incrementally assembles a BER message. Nested constructed types are
+// opened with Begin and closed with End; lengths are back-patched when the
+// container closes, so the message is produced in a single forward pass over
+// one growable buffer.
+//
+// The zero value is ready to use.
+type Builder struct {
+	buf   []byte
+	marks []int // offsets of pending length placeholders
+	err   error
+}
+
+// NewBuilder returns a Builder with capacity preallocated for a typical SNMP
+// message.
+func NewBuilder() *Builder {
+	return &Builder{buf: make([]byte, 0, 256)}
+}
+
+// Err returns the first error encountered while building, or nil.
+func (b *Builder) Err() error { return b.err }
+
+// Bytes finalizes the message and returns the encoded bytes. It is an error
+// to call Bytes with unclosed containers.
+func (b *Builder) Bytes() ([]byte, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.marks) != 0 {
+		return nil, fmt.Errorf("ber: %d unclosed container(s)", len(b.marks))
+	}
+	return b.buf, nil
+}
+
+// Begin opens a constructed type with the given tag. Each Begin must be
+// paired with an End.
+func (b *Builder) Begin(tag byte) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.buf = append(b.buf, tag)
+	b.marks = append(b.marks, len(b.buf))
+	// Reserve one octet; End shifts the body if the final length needs more.
+	b.buf = append(b.buf, 0x00)
+	return b
+}
+
+// End closes the most recently opened container, back-patching its length.
+func (b *Builder) End() *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(b.marks) == 0 {
+		b.err = fmt.Errorf("ber: End without Begin")
+		return b
+	}
+	mark := b.marks[len(b.marks)-1]
+	b.marks = b.marks[:len(b.marks)-1]
+	bodyLen := len(b.buf) - mark - 1
+	need := lengthSize(bodyLen)
+	if need > 1 {
+		// Grow and shift the body right to make room for the longer length.
+		b.buf = append(b.buf, make([]byte, need-1)...)
+		copy(b.buf[mark+need:], b.buf[mark+1:])
+	}
+	var tmp [5]byte
+	enc := AppendLength(tmp[:0], bodyLen)
+	copy(b.buf[mark:], enc)
+	return b
+}
+
+// Int appends an INTEGER.
+func (b *Builder) Int(v int64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.buf = append(b.buf, TagInteger)
+	b.buf = AppendLength(b.buf, intSize(v))
+	b.buf = AppendInt(b.buf, v)
+	return b
+}
+
+// Uint appends an unsigned value with the given application tag
+// (Counter32, Gauge32, TimeTicks, Counter64).
+func (b *Builder) Uint(tag byte, v uint64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	var tmp [9]byte
+	body := AppendUint(tmp[:0], v)
+	b.buf = EncodeTLV(b.buf, tag, body)
+	return b
+}
+
+// OctetString appends an OCTET STRING.
+func (b *Builder) OctetString(v []byte) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.buf = EncodeTLV(b.buf, TagOctetString, v)
+	return b
+}
+
+// Null appends a NULL.
+func (b *Builder) Null() *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.buf = append(b.buf, TagNull, 0x00)
+	return b
+}
+
+// OID appends an OBJECT IDENTIFIER.
+func (b *Builder) OID(oid []uint32) *Builder {
+	if b.err != nil {
+		return b
+	}
+	var tmp [64]byte
+	body, err := AppendOID(tmp[:0], oid)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	b.buf = EncodeTLV(b.buf, TagOID, body)
+	return b
+}
+
+// Raw appends pre-encoded TLV bytes verbatim.
+func (b *Builder) Raw(tlv []byte) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.buf = append(b.buf, tlv...)
+	return b
+}
+
+// IPAddress appends an application-tagged IpAddress (4 octets).
+func (b *Builder) IPAddress(addr [4]byte) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.buf = EncodeTLV(b.buf, TagIPAddress, addr[:])
+	return b
+}
+
+// Parser walks a decoded BER buffer token by token. Like Builder it latches
+// the first error so call sites can chain reads and check once.
+type Parser struct {
+	rest []byte
+	err  error
+}
+
+// NewParser returns a Parser over buf.
+func NewParser(buf []byte) *Parser { return &Parser{rest: buf} }
+
+// Err returns the first error encountered while parsing, or nil.
+func (p *Parser) Err() error { return p.err }
+
+// Empty reports whether all input has been consumed.
+func (p *Parser) Empty() bool { return len(p.rest) == 0 }
+
+// Peek returns the tag of the next TLV without consuming it, or 0 at end of
+// input or after an error.
+func (p *Parser) Peek() byte {
+	if p.err != nil || len(p.rest) == 0 {
+		return 0
+	}
+	return p.rest[0]
+}
+
+func (p *Parser) next(wantTag byte) (TLV, bool) {
+	if p.err != nil {
+		return TLV{}, false
+	}
+	tlv, rest, err := DecodeTLV(p.rest)
+	if err != nil {
+		p.err = err
+		return TLV{}, false
+	}
+	if wantTag != 0 && tlv.Tag != wantTag {
+		p.err = fmt.Errorf("%w: want 0x%02x, got 0x%02x", ErrBadTag, wantTag, tlv.Tag)
+		return TLV{}, false
+	}
+	p.rest = rest
+	return tlv, true
+}
+
+// Enter consumes a constructed TLV with the given tag and returns a Parser
+// over its body.
+func (p *Parser) Enter(tag byte) *Parser {
+	tlv, ok := p.next(tag)
+	if !ok {
+		return &Parser{err: p.err}
+	}
+	return &Parser{rest: tlv.Value}
+}
+
+// Int consumes an INTEGER.
+func (p *Parser) Int() int64 {
+	tlv, ok := p.next(TagInteger)
+	if !ok {
+		return 0
+	}
+	v, err := ParseInt(tlv.Value)
+	if err != nil {
+		p.err = err
+	}
+	return v
+}
+
+// Uint consumes a value with the given tag and decodes it as unsigned.
+func (p *Parser) Uint(tag byte) uint64 {
+	tlv, ok := p.next(tag)
+	if !ok {
+		return 0
+	}
+	v, err := ParseUint(tlv.Value)
+	if err != nil {
+		p.err = err
+	}
+	return v
+}
+
+// OctetString consumes an OCTET STRING and returns its body (aliasing the
+// input buffer).
+func (p *Parser) OctetString() []byte {
+	tlv, ok := p.next(TagOctetString)
+	if !ok {
+		return nil
+	}
+	return tlv.Value
+}
+
+// OID consumes an OBJECT IDENTIFIER.
+func (p *Parser) OID() []uint32 {
+	tlv, ok := p.next(TagOID)
+	if !ok {
+		return nil
+	}
+	oid, err := ParseOID(tlv.Value)
+	if err != nil {
+		p.err = err
+	}
+	return oid
+}
+
+// Any consumes the next TLV whatever its tag.
+func (p *Parser) Any() TLV {
+	tlv, _ := p.next(0)
+	return tlv
+}
+
+// Expect consumes the next TLV and requires the given tag.
+func (p *Parser) Expect(tag byte) TLV {
+	tlv, _ := p.next(tag)
+	return tlv
+}

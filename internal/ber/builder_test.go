@@ -1,0 +1,210 @@
+package ber
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderSimpleSequence(t *testing.T) {
+	b := NewBuilder()
+	b.Begin(TagSequence).Int(3).OctetString([]byte("ab")).Null().End()
+	got, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x30, 0x09, 0x02, 0x01, 0x03, 0x04, 0x02, 'a', 'b', 0x05, 0x00}
+	if !bytes.Equal(got, want) {
+		t.Errorf("got %x, want %x", got, want)
+	}
+}
+
+func TestBuilderNested(t *testing.T) {
+	b := NewBuilder()
+	b.Begin(TagSequence)
+	b.Int(1)
+	b.Begin(TagSequence).Int(2).End()
+	b.End()
+	got, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewParser(got)
+	seq := p.Enter(TagSequence)
+	if v := seq.Int(); v != 1 {
+		t.Errorf("outer int = %d", v)
+	}
+	inner := seq.Enter(TagSequence)
+	if v := inner.Int(); v != 2 {
+		t.Errorf("inner int = %d", v)
+	}
+	if err := inner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Empty() || !p.Empty() {
+		t.Error("unconsumed input")
+	}
+}
+
+func TestBuilderLongBody(t *testing.T) {
+	// Bodies longer than 127 bytes force End to shift for a 2-octet length.
+	payload := bytes.Repeat([]byte{0x5A}, 200)
+	b := NewBuilder()
+	b.Begin(TagSequence).OctetString(payload).End()
+	got, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlv, rest, err := DecodeTLV(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Error("trailing bytes")
+	}
+	p := NewParser(tlv.Value)
+	if !bytes.Equal(p.OctetString(), payload) {
+		t.Error("payload mismatch")
+	}
+}
+
+func TestBuilderVeryLongBody(t *testing.T) {
+	// Force a 3-octet length (> 0xFF body).
+	payload := bytes.Repeat([]byte{0x11}, 70000)
+	b := NewBuilder()
+	b.Begin(TagSequence).OctetString(payload).End()
+	got, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlv, _, err := DecodeTLV(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewParser(tlv.Value)
+	if !bytes.Equal(p.OctetString(), payload) {
+		t.Error("payload mismatch after multi-octet length shift")
+	}
+}
+
+func TestBuilderUnclosed(t *testing.T) {
+	b := NewBuilder()
+	b.Begin(TagSequence)
+	if _, err := b.Bytes(); err == nil {
+		t.Error("unclosed container should fail")
+	}
+}
+
+func TestBuilderEndWithoutBegin(t *testing.T) {
+	b := NewBuilder()
+	b.End()
+	if b.Err() == nil {
+		t.Error("End without Begin should latch an error")
+	}
+}
+
+func TestBuilderErrorLatches(t *testing.T) {
+	b := NewBuilder()
+	b.OID([]uint32{5}) // invalid OID
+	b.Int(42)          // must be ignored
+	if _, err := b.Bytes(); err == nil {
+		t.Error("latched error should surface from Bytes")
+	}
+}
+
+func TestParserBadTag(t *testing.T) {
+	buf := EncodeTLV(nil, TagInteger, []byte{0x01})
+	p := NewParser(buf)
+	p.OctetString()
+	if p.Err() == nil {
+		t.Error("tag mismatch should latch error")
+	}
+}
+
+func TestParserPeek(t *testing.T) {
+	b := NewBuilder()
+	b.Uint(TagTimeTicks, 12345)
+	buf, _ := b.Bytes()
+	p := NewParser(buf)
+	if p.Peek() != TagTimeTicks {
+		t.Errorf("Peek = 0x%02x", p.Peek())
+	}
+	if v := p.Uint(TagTimeTicks); v != 12345 {
+		t.Errorf("TimeTicks = %d", v)
+	}
+	if p.Peek() != 0 {
+		t.Error("Peek at EOF should be 0")
+	}
+}
+
+func TestParserAnyAndExpect(t *testing.T) {
+	b := NewBuilder()
+	b.IPAddress([4]byte{192, 0, 2, 1}).Null()
+	buf, _ := b.Bytes()
+	p := NewParser(buf)
+	ip := p.Expect(TagIPAddress)
+	if !bytes.Equal(ip.Value, []byte{192, 0, 2, 1}) {
+		t.Errorf("IPAddress = %x", ip.Value)
+	}
+	nul := p.Any()
+	if nul.Tag != TagNull {
+		t.Errorf("Any tag = 0x%02x", nul.Tag)
+	}
+	if p.Err() != nil || !p.Empty() {
+		t.Error("parse state wrong")
+	}
+}
+
+// TestBuilderParserQuick round-trips a structure with randomized contents.
+func TestBuilderParserQuick(t *testing.T) {
+	f := func(a int64, s []byte, u uint64, c uint32) bool {
+		oid := []uint32{1, 3, 6, 1, 4, 1, c}
+		b := NewBuilder()
+		b.Begin(TagSequence)
+		b.Int(a)
+		b.OctetString(s)
+		b.Uint(TagCounter64, u)
+		b.OID(oid)
+		b.Begin(0xA8).Int(a).End() // context-tagged inner PDU
+		b.End()
+		buf, err := b.Bytes()
+		if err != nil {
+			return false
+		}
+		p := NewParser(buf).Enter(TagSequence)
+		if p.Int() != a {
+			return false
+		}
+		if !bytes.Equal(p.OctetString(), s) {
+			return false
+		}
+		if p.Uint(TagCounter64) != u {
+			return false
+		}
+		got := p.OID()
+		if len(got) != len(oid) || got[len(got)-1] != c {
+			return false
+		}
+		inner := p.Enter(0xA8)
+		return inner.Int() == a && inner.Err() == nil && p.Err() == nil && p.Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBuilderSNMPShape(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bd := NewBuilder()
+		bd.Begin(TagSequence)
+		bd.Int(3)
+		bd.Begin(TagSequence).Int(int64(i)).Int(65507).OctetString([]byte{4}).Int(3).End()
+		bd.OctetString([]byte{0x30, 0x0e})
+		bd.Begin(TagSequence).OctetString(nil).OctetString(nil).Begin(0xA0).Int(int64(i)).Int(0).Int(0).Begin(TagSequence).End().End().End()
+		bd.End()
+		if _, err := bd.Bytes(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package core implements the paper's measurement primitive as a library:
+// collecting unauthenticated SNMPv3 discovery responses into per-IP
+// observations carrying the three identifiers (engine ID, engine boots,
+// engine time / last reboot), probing single targets, and fingerprinting
+// vendors from engine IDs.
+//
+// The full pipeline composes this package with internal/scanner (campaigns),
+// internal/filter (Section 4.4 validation), and internal/alias (Section 5
+// alias resolution).
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"snmpv3fp/internal/engineid"
+	"snmpv3fp/internal/scanner"
+	"snmpv3fp/internal/snmp"
+)
+
+// Observation is the merged per-IP result of one scan campaign.
+type Observation struct {
+	IP netip.Addr
+	// EngineID is the reported authoritative engine ID; nil when the
+	// response carried none.
+	EngineID []byte
+	// EngineBoots and EngineTime are the USM timeliness values.
+	EngineBoots int64
+	EngineTime  int64
+	// ReceivedAt is when the first response packet arrived.
+	ReceivedAt time.Time
+	// Packets counts response datagrams from this IP (>1 for the paper's
+	// multi-response anomaly).
+	Packets int
+	// Inconsistent marks IPs that returned differing engine IDs within a
+	// single campaign.
+	Inconsistent bool
+}
+
+// LastReboot derives the device's last SNMP-engine restart instant by
+// subtracting the engine time from the packet receive time (Section 4.3).
+func (o *Observation) LastReboot() time.Time {
+	return o.ReceivedAt.Add(-time.Duration(o.EngineTime) * time.Second)
+}
+
+// Campaign is the per-IP view of one scan.
+type Campaign struct {
+	ByIP map[netip.Addr]*Observation
+	// Malformed counts response datagrams that did not parse as SNMPv3.
+	Malformed int
+	// TotalPackets counts all response datagrams, duplicates included.
+	TotalPackets int
+	Started      time.Time
+	Finished     time.Time
+}
+
+// MultiResponders returns how many IPs answered with more than one packet.
+func (c *Campaign) MultiResponders() int {
+	n := 0
+	for _, o := range c.ByIP {
+		if o.Packets > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Collect folds raw scan responses into per-IP observations. Responses that
+// fail to parse as SNMPv3 are counted and dropped; IPs whose responses
+// disagree on the engine ID within the campaign are flagged Inconsistent.
+func Collect(res *scanner.Result) *Campaign {
+	c := &Campaign{
+		ByIP:     make(map[netip.Addr]*Observation, len(res.Responses)),
+		Started:  res.Started,
+		Finished: res.Finished,
+	}
+	for i := range res.Responses {
+		r := &res.Responses[i]
+		c.TotalPackets++
+		obs, seen := c.ByIP[r.Src]
+		if seen {
+			// Only parse duplicates far enough to check consistency.
+			obs.Packets++
+			dr, err := snmp.ParseDiscoveryResponse(r.Payload)
+			if err == nil && string(dr.EngineID) != string(obs.EngineID) {
+				obs.Inconsistent = true
+			}
+			continue
+		}
+		dr, err := snmp.ParseDiscoveryResponse(r.Payload)
+		if err != nil {
+			c.Malformed++
+			continue
+		}
+		c.ByIP[r.Src] = &Observation{
+			IP:          r.Src,
+			EngineID:    dr.EngineID,
+			EngineBoots: dr.EngineBoots,
+			EngineTime:  dr.EngineTime,
+			ReceivedAt:  r.At,
+			Packets:     1,
+		}
+	}
+	return c
+}
+
+// Fingerprint is a vendor inference for one device.
+type Fingerprint struct {
+	// Vendor is the inferred vendor label, "" when unknown.
+	Vendor string
+	// Source is "oui" (highest confidence: MAC-format engine ID),
+	// "enterprise" (IANA number embedded in the engine ID), or "".
+	Source string
+	// Format is the engine ID format category.
+	Format engineid.Format
+}
+
+// FingerprintEngineID infers the vendor of the device behind an engine ID
+// (Section 3.1, "SNMPv3-based Vendor Fingerprinting").
+func FingerprintEngineID(id []byte) Fingerprint {
+	p := engineid.Classify(id)
+	vendor, source := p.Vendor()
+	return Fingerprint{Vendor: vendor, Source: source, Format: p.Format}
+}
+
+// VendorLabel returns the vendor, or the paper's "unknown vendor" label.
+func (f Fingerprint) VendorLabel() string {
+	if f.Vendor == "" {
+		return "unknown"
+	}
+	return f.Vendor
+}
+
+// Probe sends a single discovery request to addr over tr and waits for the
+// matching report: the one-packet-per-target primitive of the paper, exposed
+// for interactive use (see examples/quickstart).
+func Probe(tr scanner.Transport, addr netip.Addr, timeout time.Duration) (*Observation, error) {
+	return ProbeWithID(tr, addr, 1, timeout)
+}
+
+// ProbeWithID is Probe with a caller-chosen message ID. Load-balanced VIPs
+// hand different connections to different backends, so varying the message
+// ID across repeated probes exposes identity cycling (the NAT/load-balancer
+// inference of the paper's conclusion).
+func ProbeWithID(tr scanner.Transport, addr netip.Addr, msgID int64, timeout time.Duration) (*Observation, error) {
+	probe, err := snmp.EncodeDiscoveryRequest(msgID, msgID)
+	if err != nil {
+		return nil, err
+	}
+	if err := tr.Send(addr, probe); err != nil {
+		return nil, err
+	}
+	type recvResult struct {
+		obs *Observation
+		err error
+	}
+	done := make(chan recvResult, 1)
+	go func() {
+		for {
+			src, payload, at, err := tr.Recv()
+			if err != nil {
+				done <- recvResult{nil, err}
+				return
+			}
+			if src != addr {
+				continue
+			}
+			dr, err := snmp.ParseDiscoveryResponse(payload)
+			if err != nil {
+				continue
+			}
+			done <- recvResult{&Observation{
+				IP:          src,
+				EngineID:    dr.EngineID,
+				EngineBoots: dr.EngineBoots,
+				EngineTime:  dr.EngineTime,
+				ReceivedAt:  at,
+				Packets:     1,
+			}, nil}
+			return
+		}
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-done:
+		return r.obs, r.err
+	case <-timer.C:
+		return nil, fmt.Errorf("core: no response from %v within %v", addr, timeout)
+	}
+}

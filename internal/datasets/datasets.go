@@ -1,0 +1,119 @@
+// Package datasets derives the synthetic third-party router datasets the
+// paper uses for router tagging (Section 4.1.2, Table 2): CAIDA ITDK
+// (MIDAR-covered IPv4 and Speedtrap-covered IPv6 interfaces), RIPE Atlas
+// traceroute hops, and the IPv6 Hitlist Service.
+//
+// Each dataset is an imperfect sample of the simulated ground truth —
+// partial device coverage, partial interface coverage — so the tagging,
+// coverage and comparison analyses inherit realistic blind spots.
+package datasets
+
+import (
+	"math/rand"
+	"net/netip"
+
+	"snmpv3fp/internal/netsim"
+)
+
+// Router datasets as address sets.
+type Router struct {
+	// ITDK4 / ITDK6 are the ITDK interface addresses (IPv4 via MIDAR
+	// topologies, IPv6 via Speedtrap).
+	ITDK4 map[netip.Addr]bool
+	ITDK6 map[netip.Addr]bool
+	// Atlas4 / Atlas6 are intermediate-hop addresses from RIPE Atlas
+	// traceroutes.
+	Atlas4 map[netip.Addr]bool
+	Atlas6 map[netip.Addr]bool
+	// Hitlist6 is the router-address subset of the IPv6 Hitlist.
+	Hitlist6 map[netip.Addr]bool
+}
+
+// Sampling rates for interface inclusion per dataset. ITDK sees most
+// interfaces of covered routers (traceroutes from many vantage points);
+// Atlas sees fewer.
+const (
+	itdkIfaceProb  = 0.55
+	atlasIfaceProb = 0.30
+)
+
+// Build derives the datasets from the world. The derivation is
+// deterministic for a given world seed.
+func Build(w *netsim.World) *Router {
+	r := &Router{
+		ITDK4:    map[netip.Addr]bool{},
+		ITDK6:    map[netip.Addr]bool{},
+		Atlas4:   map[netip.Addr]bool{},
+		Atlas6:   map[netip.Addr]bool{},
+		Hitlist6: map[netip.Addr]bool{},
+	}
+	rng := rand.New(rand.NewSource(w.Cfg.Seed ^ 0xDA7A))
+	for _, d := range w.Devices {
+		if !d.Router() {
+			continue
+		}
+		if d.InITDK {
+			for _, a := range d.V4 {
+				if rng.Float64() < itdkIfaceProb {
+					r.ITDK4[a] = true
+				}
+			}
+			for _, a := range d.V6 {
+				if rng.Float64() < itdkIfaceProb {
+					r.ITDK6[a] = true
+				}
+			}
+		}
+		if d.InAtlas {
+			for _, a := range d.V4 {
+				if rng.Float64() < atlasIfaceProb {
+					r.Atlas4[a] = true
+				}
+			}
+			for _, a := range d.V6 {
+				if rng.Float64() < atlasIfaceProb {
+					r.Atlas6[a] = true
+				}
+			}
+		}
+		if d.InHitlist {
+			for _, a := range d.V6 {
+				r.Hitlist6[a] = true
+			}
+		}
+	}
+	return r
+}
+
+// Union4 returns the union of IPv4 router addresses.
+func (r *Router) Union4() map[netip.Addr]bool {
+	out := make(map[netip.Addr]bool, len(r.ITDK4)+len(r.Atlas4))
+	for a := range r.ITDK4 {
+		out[a] = true
+	}
+	for a := range r.Atlas4 {
+		out[a] = true
+	}
+	return out
+}
+
+// Union6 returns the union of IPv6 router addresses (including the hitlist
+// router addresses, as in the paper's Table 2).
+func (r *Router) Union6() map[netip.Addr]bool {
+	out := make(map[netip.Addr]bool, len(r.ITDK6)+len(r.Atlas6)+len(r.Hitlist6))
+	for a := range r.ITDK6 {
+		out[a] = true
+	}
+	for a := range r.Atlas6 {
+		out[a] = true
+	}
+	for a := range r.Hitlist6 {
+		out[a] = true
+	}
+	return out
+}
+
+// IsRouterAddr reports whether addr appears in any router dataset.
+func (r *Router) IsRouterAddr(addr netip.Addr) bool {
+	return r.ITDK4[addr] || r.ITDK6[addr] || r.Atlas4[addr] || r.Atlas6[addr] || r.Hitlist6[addr]
+}

@@ -1,0 +1,81 @@
+package datasets
+
+import (
+	"net/netip"
+	"testing"
+
+	"snmpv3fp/internal/netsim"
+)
+
+func TestBuildDeterministic(t *testing.T) {
+	w := netsim.Generate(netsim.TinyConfig(3))
+	a := Build(w)
+	b := Build(w)
+	if len(a.ITDK4) != len(b.ITDK4) || len(a.Atlas4) != len(b.Atlas4) || len(a.Hitlist6) != len(b.Hitlist6) {
+		t.Error("same world produced different datasets")
+	}
+}
+
+func TestDatasetsContainOnlyRouterAddresses(t *testing.T) {
+	w := netsim.Generate(netsim.TinyConfig(3))
+	ds := Build(w)
+	check := func(name string, set map[netip.Addr]bool) {
+		for a := range set {
+			d := w.DeviceAt(a)
+			if d == nil || !d.Router() {
+				t.Fatalf("%s contains non-router address %v", name, a)
+			}
+		}
+	}
+	check("ITDK4", ds.ITDK4)
+	check("ITDK6", ds.ITDK6)
+	check("Atlas4", ds.Atlas4)
+	check("Atlas6", ds.Atlas6)
+	check("Hitlist6", ds.Hitlist6)
+}
+
+func TestDatasetsArePartial(t *testing.T) {
+	w := netsim.Generate(netsim.TinyConfig(3))
+	ds := Build(w)
+	var allRouter4 int
+	for _, d := range w.Devices {
+		if d.Router() {
+			allRouter4 += len(d.V4)
+		}
+	}
+	if len(ds.ITDK4) == 0 {
+		t.Fatal("empty ITDK")
+	}
+	if len(ds.ITDK4) >= allRouter4 {
+		t.Errorf("ITDK covers all %d router addresses — should be a partial sample", allRouter4)
+	}
+	if len(ds.Atlas4) >= len(ds.ITDK4) {
+		t.Errorf("Atlas (%d) should be smaller than ITDK (%d)", len(ds.Atlas4), len(ds.ITDK4))
+	}
+}
+
+func TestUnions(t *testing.T) {
+	w := netsim.Generate(netsim.TinyConfig(3))
+	ds := Build(w)
+	u4 := ds.Union4()
+	if len(u4) < len(ds.ITDK4) || len(u4) > len(ds.ITDK4)+len(ds.Atlas4) {
+		t.Errorf("union4 size %d outside [%d, %d]", len(u4), len(ds.ITDK4), len(ds.ITDK4)+len(ds.Atlas4))
+	}
+	for a := range ds.ITDK4 {
+		if !u4[a] {
+			t.Fatal("union4 missing ITDK address")
+		}
+	}
+	u6 := ds.Union6()
+	for a := range ds.Hitlist6 {
+		if !u6[a] {
+			t.Fatal("union6 missing hitlist address")
+		}
+	}
+	// IsRouterAddr agrees with the unions.
+	for a := range u4 {
+		if !ds.IsRouterAddr(a) {
+			t.Fatal("IsRouterAddr false for union member")
+		}
+	}
+}

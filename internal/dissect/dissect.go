@@ -1,0 +1,162 @@
+// Package dissect renders SNMP messages as Wireshark-style protocol trees,
+// reproducing the packet dissections of the paper's Figures 2 and 3.
+package dissect
+
+import (
+	"fmt"
+	"strings"
+
+	"snmpv3fp/internal/engineid"
+	"snmpv3fp/internal/snmp"
+)
+
+// Message dissects an SNMP datagram (any version) into an indented
+// protocol tree.
+func Message(payload []byte) (string, error) {
+	version, err := snmp.PeekVersion(payload)
+	if err != nil {
+		return "", err
+	}
+	switch version {
+	case snmp.V3:
+		msg, err := snmp.DecodeV3(payload)
+		if err != nil && err != snmp.ErrEncrypted {
+			return "", err
+		}
+		return V3Message(msg), nil
+	default:
+		msg, err := snmp.DecodeCommunity(payload)
+		if err != nil {
+			return "", err
+		}
+		return communityMessage(msg), nil
+	}
+}
+
+// V3Message renders an SNMPv3 message in the style of Figures 2 and 3.
+func V3Message(m *snmp.V3Message) string {
+	var b strings.Builder
+	b.WriteString("Simple Network Management Protocol\n")
+	fmt.Fprintf(&b, "    msgVersion: snmpv3 (3)\n")
+	b.WriteString("    msgGlobalData\n")
+	fmt.Fprintf(&b, "        msgID: %d\n", m.MsgID)
+	fmt.Fprintf(&b, "        msgMaxSize: %d\n", m.MsgMaxSize)
+	fmt.Fprintf(&b, "        msgFlags: 0x%02x (%s)\n", m.MsgFlags, flagString(m.MsgFlags))
+	fmt.Fprintf(&b, "        msgSecurityModel: USM (%d)\n", m.MsgSecurityModel)
+	writeEngineID(&b, m.USM.AuthoritativeEngineID)
+	fmt.Fprintf(&b, "    msgAuthoritativeEngineBoots: %d\n", m.USM.AuthoritativeEngineBoots)
+	fmt.Fprintf(&b, "    msgAuthoritativeEngineTime: %d\n", m.USM.AuthoritativeEngineTime)
+	fmt.Fprintf(&b, "    msgUserName: %s\n", orMissing(string(m.USM.UserName)))
+	fmt.Fprintf(&b, "    msgAuthenticationParameters: %s\n", orMissing(hexOrEmpty(m.USM.AuthenticationParameters)))
+	fmt.Fprintf(&b, "    msgPrivacyParameters: %s\n", orMissing(hexOrEmpty(m.USM.PrivacyParameters)))
+	if m.PrivFlag() {
+		b.WriteString("    msgData: encryptedPDU (1)\n")
+		return b.String()
+	}
+	b.WriteString("    msgData: plaintext (0)\n")
+	if pdu := m.ScopedPDU.PDU; pdu != nil {
+		fmt.Fprintf(&b, "        contextEngineID: %s\n", orMissing(hexOrEmpty(m.ScopedPDU.ContextEngineID)))
+		fmt.Fprintf(&b, "        data: %s (0x%02x)\n", pdu.Type, byte(pdu.Type)&0x1F)
+		fmt.Fprintf(&b, "            request-id: %d\n", pdu.RequestID)
+		fmt.Fprintf(&b, "            error-status: %d\n", pdu.ErrorStatus)
+		fmt.Fprintf(&b, "            error-index: %d\n", pdu.ErrorIndex)
+		b.WriteString("            variable-bindings\n")
+		for _, vb := range pdu.VarBinds {
+			fmt.Fprintf(&b, "                %s: %s\n", snmp.OIDString(vb.Name), vb.Value)
+		}
+	}
+	return b.String()
+}
+
+// writeEngineID renders the engine ID sub-tree with the RFC 3411
+// conformance, enterprise, and format annotations of Figure 3.
+func writeEngineID(b *strings.Builder, id []byte) {
+	if len(id) == 0 {
+		fmt.Fprintf(b, "    msgAuthoritativeEngineID: <MISSING>\n")
+		return
+	}
+	fmt.Fprintf(b, "    msgAuthoritativeEngineID: %x\n", id)
+	p := engineid.Classify(id)
+	if p.Conformant {
+		fmt.Fprintf(b, "        1... .... = Engine ID Conformance: RFC3411 (SNMPv3)\n")
+		fmt.Fprintf(b, "        Engine Enterprise ID: %s (%d)\n", p.EnterpriseName(), p.Enterprise)
+	} else {
+		fmt.Fprintf(b, "        0... .... = Engine ID Conformance: RFC1910 (Non-SNMPv3)\n")
+	}
+	switch p.Format {
+	case engineid.FormatMAC:
+		mac, _ := p.MAC()
+		vendor, _ := p.Vendor()
+		if vendor == "" {
+			vendor = "unknown"
+		}
+		fmt.Fprintf(b, "        Engine ID Format: MAC address (3)\n")
+		fmt.Fprintf(b, "        Engine ID Data: %s (%02x:%02x:%02x:%02x:%02x:%02x)\n",
+			vendor, mac[0], mac[1], mac[2], mac[3], mac[4], mac[5])
+	case engineid.FormatIPv4:
+		fmt.Fprintf(b, "        Engine ID Format: IPv4 address (1)\n")
+		fmt.Fprintf(b, "        Engine ID Data: %d.%d.%d.%d\n", p.Data[0], p.Data[1], p.Data[2], p.Data[3])
+	case engineid.FormatIPv6:
+		fmt.Fprintf(b, "        Engine ID Format: IPv6 address (2)\n")
+		fmt.Fprintf(b, "        Engine ID Data: %x\n", p.Data)
+	case engineid.FormatText:
+		fmt.Fprintf(b, "        Engine ID Format: text (4)\n")
+		fmt.Fprintf(b, "        Engine ID Data: %q\n", p.Data)
+	case engineid.FormatOctets:
+		fmt.Fprintf(b, "        Engine ID Format: octets (5)\n")
+		fmt.Fprintf(b, "        Engine ID Data: %x\n", p.Data)
+	case engineid.FormatNetSNMP:
+		fmt.Fprintf(b, "        Engine ID Format: Net-SNMP specific (128)\n")
+		fmt.Fprintf(b, "        Engine ID Data: %x\n", p.Data)
+	default:
+		fmt.Fprintf(b, "        Engine ID Format: %s\n", p.Format)
+		fmt.Fprintf(b, "        Engine ID Data: %x\n", p.Data)
+	}
+}
+
+func communityMessage(m *snmp.CommunityMessage) string {
+	var b strings.Builder
+	b.WriteString("Simple Network Management Protocol\n")
+	fmt.Fprintf(&b, "    version: %s (%d)\n", m.Version, int64(m.Version))
+	fmt.Fprintf(&b, "    community: %s\n", m.Community)
+	fmt.Fprintf(&b, "    data: %s (0x%02x)\n", m.PDU.Type, byte(m.PDU.Type)&0x1F)
+	fmt.Fprintf(&b, "        request-id: %d\n", m.PDU.RequestID)
+	fmt.Fprintf(&b, "        error-status: %d\n", m.PDU.ErrorStatus)
+	fmt.Fprintf(&b, "        error-index: %d\n", m.PDU.ErrorIndex)
+	b.WriteString("        variable-bindings\n")
+	for _, vb := range m.PDU.VarBinds {
+		fmt.Fprintf(&b, "            %s: %s\n", snmp.OIDString(vb.Name), vb.Value)
+	}
+	return b.String()
+}
+
+func flagString(f byte) string {
+	var parts []string
+	if f&snmp.FlagAuth != 0 {
+		parts = append(parts, "auth")
+	}
+	if f&snmp.FlagPriv != 0 {
+		parts = append(parts, "priv")
+	}
+	if f&snmp.FlagReportable != 0 {
+		parts = append(parts, "reportable")
+	}
+	if len(parts) == 0 {
+		return "noAuthNoPriv"
+	}
+	return strings.Join(parts, "|")
+}
+
+func orMissing(s string) string {
+	if s == "" {
+		return "<MISSING>"
+	}
+	return s
+}
+
+func hexOrEmpty(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%x", b)
+}

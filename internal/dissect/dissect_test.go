@@ -1,0 +1,152 @@
+package dissect
+
+import (
+	"strings"
+	"testing"
+
+	"snmpv3fp/internal/snmp"
+)
+
+func TestDissectDiscoveryRequest(t *testing.T) {
+	wire, err := snmp.EncodeDiscoveryRequest(821490644, 1565454380)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Message(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The elements of the paper's Figure 2.
+	for _, want := range []string{
+		"msgVersion: snmpv3 (3)",
+		"msgGlobalData",
+		"msgAuthoritativeEngineID: <MISSING>",
+		"msgAuthoritativeEngineBoots: 0",
+		"msgAuthoritativeEngineTime: 0",
+		"msgUserName: <MISSING>",
+		"msgAuthenticationParameters: <MISSING>",
+		"msgPrivacyParameters: <MISSING>",
+		"msgData: plaintext (0)",
+	} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("missing %q in:\n%s", want, tree)
+		}
+	}
+}
+
+func TestDissectFigure3Response(t *testing.T) {
+	// Reconstruct the paper's Figure 3: Brocade, boots 148, time 10043812.
+	req := snmp.NewDiscoveryRequest(1, 1)
+	rep := snmp.NewDiscoveryReport(req,
+		[]byte{0x80, 0x00, 0x07, 0xc7, 0x03, 0x74, 0x8e, 0xf8, 0x31, 0xdb, 0x80},
+		148, 10043812, 1)
+	wire, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Message(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"msgAuthoritativeEngineID: 800007c703748ef831db80",
+		"1... .... = Engine ID Conformance: RFC3411 (SNMPv3)",
+		"Engine Enterprise ID: Foundry (1991)",
+		"Engine ID Format: MAC address (3)",
+		"Engine ID Data: Brocade (74:8e:f8:31:db:80)",
+		"msgAuthoritativeEngineBoots: 148",
+		"msgAuthoritativeEngineTime: 10043812",
+		"report",
+		"1.3.6.1.6.3.15.1.1.4.0",
+	} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("missing %q in:\n%s", want, tree)
+		}
+	}
+}
+
+func TestDissectEngineIDFormats(t *testing.T) {
+	cases := []struct {
+		id   []byte
+		want string
+	}{
+		{[]byte{0x80, 0x00, 0x00, 0x09, 0x01, 192, 0, 2, 1}, "IPv4 address (1)"},
+		{append([]byte{0x80, 0x00, 0x00, 0x09, 0x02}, make([]byte, 16)...), "IPv6 address (2)"},
+		{[]byte{0x80, 0x00, 0x00, 0x09, 0x04, 'r', 't', 'r'}, "text (4)"},
+		{[]byte{0x80, 0x00, 0x00, 0x09, 0x05, 1, 2, 3}, "octets (5)"},
+		{[]byte{0x80, 0x00, 0x1f, 0x88, 0x80, 1, 2, 3, 4, 5, 6, 7, 8}, "Net-SNMP specific (128)"},
+		{[]byte{0x03, 0x00, 0xe0, 0xac, 0xf1}, "RFC1910 (Non-SNMPv3)"},
+	}
+	for _, c := range cases {
+		req := snmp.NewDiscoveryRequest(1, 1)
+		rep := snmp.NewDiscoveryReport(req, c.id, 1, 1, 1)
+		wire, err := rep.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := Message(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(tree, c.want) {
+			t.Errorf("engine ID %x: missing %q in:\n%s", c.id, c.want, tree)
+		}
+	}
+}
+
+func TestDissectCommunityMessage(t *testing.T) {
+	wire, err := snmp.NewGetRequest(snmp.V2c, "public", 42, snmp.OIDSysDescr).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Message(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"version: snmpv2c (1)",
+		"community: public",
+		"get-request",
+		"request-id: 42",
+		"1.3.6.1.2.1.1.1.0: null",
+	} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("missing %q in:\n%s", want, tree)
+		}
+	}
+}
+
+func TestDissectEncrypted(t *testing.T) {
+	msg := &snmp.V3Message{
+		MsgID: 5, MsgMaxSize: 65507,
+		MsgFlags:         snmp.FlagAuth | snmp.FlagPriv,
+		MsgSecurityModel: snmp.SecurityModelUSM,
+		USM: snmp.USMSecurityParameters{
+			AuthoritativeEngineID: []byte{0x80, 0, 0, 9, 3, 1, 2, 3, 4, 5, 6},
+		},
+		ScopedPDU: snmp.ScopedPDU{PDU: &snmp.PDU{Type: snmp.PDUGetRequest}},
+	}
+	wire, err := msg.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Message(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tree, "msgData: encryptedPDU (1)") {
+		t.Errorf("missing encrypted marker in:\n%s", tree)
+	}
+	if !strings.Contains(tree, "auth|priv") {
+		t.Errorf("missing flags in:\n%s", tree)
+	}
+}
+
+func TestDissectGarbage(t *testing.T) {
+	if _, err := Message([]byte("junk")); err == nil {
+		t.Error("garbage dissected")
+	}
+	if _, err := Message(nil); err == nil {
+		t.Error("nil dissected")
+	}
+}

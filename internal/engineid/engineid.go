@@ -1,0 +1,299 @@
+// Package engineid constructs and classifies RFC 3411 snmpEngineID values.
+//
+// The engine ID is the paper's central identifier: persistent across
+// re-initializations (re-keying makes changing it cumbersome), disclosed to
+// unauthenticated discovery probes, and in the common case derived from one
+// of the device's IEEE MAC addresses. An engine ID is laid out as
+//
+//	bytes 0..3  enterprise number; bit 7 of byte 0 is the RFC 3411
+//	            conformance bit (1 = new format, 0 = legacy 12-octet format)
+//	byte  4     format: 1 IPv4, 2 IPv6, 3 MAC, 4 text, 5 octets,
+//	            6..127 reserved, 128..255 enterprise-specific
+//	bytes 5..   format-dependent body
+//
+// Real-world agents also emit values that follow no RFC layout at all; the
+// paper calls these "non-SNMPv3-conforming" and this package classifies them
+// as FormatNonConforming.
+package engineid
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"snmpv3fp/internal/oui"
+	"snmpv3fp/internal/pen"
+)
+
+// Format is the engine ID body format, extended with the observational
+// categories of the paper's Figure 5.
+type Format int
+
+// Engine ID formats.
+const (
+	// FormatNonConforming covers values without the RFC 3411 structure
+	// (conformance bit clear and not the legacy 12-octet layout, or too
+	// short to carry a header).
+	FormatNonConforming Format = iota
+	// FormatLegacy is the original RFC 1910 12-octet layout (conformance
+	// bit clear, exactly 12 octets, first four octets an enterprise number).
+	FormatLegacy
+	FormatIPv4
+	FormatIPv6
+	FormatMAC
+	FormatText
+	FormatOctets
+	// FormatReserved is a conformant header with format byte 0 or 6..127.
+	FormatReserved
+	// FormatNetSNMP is the Net-SNMP enterprise-specific layout
+	// (enterprise 8072, format byte 128): the most common software agent.
+	FormatNetSNMP
+	// FormatEnterprise is any other enterprise-specific layout (format byte
+	// 128..255).
+	FormatEnterprise
+)
+
+// String names the format.
+func (f Format) String() string {
+	switch f {
+	case FormatNonConforming:
+		return "non-conforming"
+	case FormatLegacy:
+		return "legacy"
+	case FormatIPv4:
+		return "ipv4"
+	case FormatIPv6:
+		return "ipv6"
+	case FormatMAC:
+		return "mac"
+	case FormatText:
+		return "text"
+	case FormatOctets:
+		return "octets"
+	case FormatReserved:
+		return "reserved"
+	case FormatNetSNMP:
+		return "net-snmp"
+	case FormatEnterprise:
+		return "enterprise-specific"
+	default:
+		return fmt.Sprintf("format(%d)", int(f))
+	}
+}
+
+// PaperCategory maps the format onto the category labels of the paper's
+// Figure 5.
+func (f Format) PaperCategory() string {
+	switch f {
+	case FormatMAC:
+		return "MAC"
+	case FormatOctets:
+		return "Octets"
+	case FormatNetSNMP:
+		return "Net-SNMP"
+	case FormatIPv4:
+		return "IPv4"
+	case FormatIPv6:
+		return "IPv6"
+	case FormatText:
+		return "Text"
+	case FormatEnterprise, FormatReserved, FormatLegacy:
+		return "Other"
+	default:
+		return "Non-conforming"
+	}
+}
+
+// netSNMPEnterprise is Net-SNMP's IANA enterprise number.
+const netSNMPEnterprise = 8072
+
+// Parsed is a classified engine ID.
+type Parsed struct {
+	// Raw is the engine ID exactly as received.
+	Raw []byte
+	// Conformant reports whether the RFC 3411 conformance bit is set.
+	Conformant bool
+	// Enterprise is the embedded IANA enterprise number; zero when the
+	// value is non-conforming.
+	Enterprise uint32
+	// Format is the classified body format.
+	Format Format
+	// Data is the format-dependent body (e.g. the 6 MAC octets). It aliases
+	// Raw.
+	Data []byte
+}
+
+// Classify parses raw into its RFC 3411 components. It never fails: values
+// that fit no layout come back as FormatNonConforming with Data == Raw.
+func Classify(raw []byte) Parsed {
+	p := Parsed{Raw: raw, Data: raw}
+	if len(raw) < 5 {
+		return p
+	}
+	if raw[0]&0x80 == 0 {
+		// Conformance bit clear: the only structured possibility is the
+		// legacy 12-octet layout with a known enterprise number.
+		if len(raw) == 12 {
+			ent := binary.BigEndian.Uint32(raw[:4])
+			if _, ok := pen.Lookup(ent); ok {
+				p.Format = FormatLegacy
+				p.Enterprise = ent
+				p.Data = raw[4:]
+				return p
+			}
+		}
+		return p
+	}
+	p.Conformant = true
+	p.Enterprise = binary.BigEndian.Uint32(raw[:4]) &^ 0x80000000
+	format := raw[4]
+	body := raw[5:]
+	p.Data = body
+	switch {
+	case format == 1 && len(body) == 4:
+		p.Format = FormatIPv4
+	case format == 2 && len(body) == 16:
+		p.Format = FormatIPv6
+	case format == 3 && len(body) >= 6 && len(body) <= 8:
+		// RFC 3411 mandates exactly 6 octets, but agents in the wild pad
+		// with trailing bytes (the Cisco CSCts87275 bug ID carries 7); the
+		// paper still classifies these as MAC-based, as do dissectors.
+		p.Format = FormatMAC
+		p.Data = body[:6]
+	case format == 4 && len(body) >= 1 && len(body) <= 27:
+		p.Format = FormatText
+	case format == 5:
+		p.Format = FormatOctets
+	case format >= 128:
+		if p.Enterprise == netSNMPEnterprise {
+			p.Format = FormatNetSNMP
+		} else {
+			p.Format = FormatEnterprise
+		}
+	case format == 1 || format == 2 || format == 3 || format == 4:
+		// Right format byte, wrong body length: treat as opaque octets, as
+		// the measurement must (the value is still usable as an identifier).
+		p.Format = FormatOctets
+	default:
+		p.Format = FormatReserved
+	}
+	return p
+}
+
+// MAC returns the MAC address for MAC-format engine IDs.
+func (p Parsed) MAC() ([]byte, bool) {
+	if p.Format != FormatMAC {
+		return nil, false
+	}
+	return p.Data, true
+}
+
+// IPv4 returns the embedded IPv4 address for IPv4-format engine IDs.
+func (p Parsed) IPv4() ([4]byte, bool) {
+	if p.Format != FormatIPv4 || len(p.Data) != 4 {
+		return [4]byte{}, false
+	}
+	return [4]byte{p.Data[0], p.Data[1], p.Data[2], p.Data[3]}, true
+}
+
+// Vendor infers the device vendor. MAC-format engine IDs use the IEEE OUI
+// (the paper's highest-confidence signal); everything else falls back to the
+// embedded enterprise number. The returned source is "oui", "enterprise" or
+// "" when no inference is possible.
+func (p Parsed) Vendor() (vendor, source string) {
+	if mac, ok := p.MAC(); ok {
+		if v, ok := oui.LookupMAC(mac); ok {
+			return v, "oui"
+		}
+	}
+	if p.Enterprise != 0 {
+		if v, ok := pen.Lookup(p.Enterprise); ok {
+			return v, "enterprise"
+		}
+	}
+	return "", ""
+}
+
+// EnterpriseName resolves the embedded enterprise number against the IANA
+// registry subset.
+func (p Parsed) EnterpriseName() string {
+	if p.Enterprise == 0 {
+		return "unknown"
+	}
+	return pen.Name(p.Enterprise)
+}
+
+// String renders the engine ID as lowercase hex, the notation used
+// throughout the paper.
+func (p Parsed) String() string { return fmt.Sprintf("0x%x", p.Raw) }
+
+// header returns the four enterprise octets with the conformance bit set.
+func header(enterprise uint32) []byte {
+	var h [4]byte
+	binary.BigEndian.PutUint32(h[:], enterprise|0x80000000)
+	return h[:]
+}
+
+// NewMAC builds a conformant MAC-format engine ID.
+func NewMAC(enterprise uint32, mac [6]byte) []byte {
+	id := append(header(enterprise), 3)
+	return append(id, mac[:]...)
+}
+
+// NewIPv4 builds a conformant IPv4-format engine ID.
+func NewIPv4(enterprise uint32, addr [4]byte) []byte {
+	id := append(header(enterprise), 1)
+	return append(id, addr[:]...)
+}
+
+// NewIPv6 builds a conformant IPv6-format engine ID.
+func NewIPv6(enterprise uint32, addr [16]byte) []byte {
+	id := append(header(enterprise), 2)
+	return append(id, addr[:]...)
+}
+
+// NewText builds a conformant text-format engine ID. Text longer than the
+// RFC's 27-octet limit is truncated.
+func NewText(enterprise uint32, text string) []byte {
+	if len(text) > 27 {
+		text = text[:27]
+	}
+	id := append(header(enterprise), 4)
+	return append(id, text...)
+}
+
+// NewOctets builds a conformant octets-format engine ID.
+func NewOctets(enterprise uint32, octets []byte) []byte {
+	id := append(header(enterprise), 5)
+	return append(id, octets...)
+}
+
+// NewNetSNMP builds a Net-SNMP style engine ID: enterprise 8072, the
+// enterprise-specific format byte Net-SNMP uses for its random layout, and
+// an 8-octet body (random bytes + creation time in Net-SNMP itself).
+func NewNetSNMP(body [8]byte) []byte {
+	id := append(header(netSNMPEnterprise), 0x80)
+	return append(id, body[:]...)
+}
+
+// NewNonConforming returns raw as-is; it exists to make call sites in the
+// simulator explicit about producing broken values.
+func NewNonConforming(raw []byte) []byte { return raw }
+
+// HammingWeight counts the 1-bits of the value.
+func HammingWeight(b []byte) int {
+	n := 0
+	for _, x := range b {
+		n += bits.OnesCount8(x)
+	}
+	return n
+}
+
+// RelativeHammingWeight is the fraction of bits set to one, the randomness
+// indicator of the paper's Figure 6. It returns 0 for empty input.
+func RelativeHammingWeight(b []byte) float64 {
+	if len(b) == 0 {
+		return 0
+	}
+	return float64(HammingWeight(b)) / float64(len(b)*8)
+}

@@ -1,0 +1,240 @@
+package engineid
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassifyPaperExamples(t *testing.T) {
+	// Figure 3: Brocade engine ID 800007c703748ef831db80 —
+	// enterprise 1991 (Foundry/Brocade block 0x7c7), MAC format,
+	// MAC 74:8e:f8:31:db:80 whose OUI is registered to Brocade.
+	raw := []byte{0x80, 0x00, 0x07, 0xc7, 0x03, 0x74, 0x8e, 0xf8, 0x31, 0xdb, 0x80}
+	p := Classify(raw)
+	if !p.Conformant {
+		t.Error("should be conformant")
+	}
+	if p.Enterprise != 1991 {
+		t.Errorf("enterprise = %d", p.Enterprise)
+	}
+	if p.Format != FormatMAC {
+		t.Errorf("format = %v", p.Format)
+	}
+	mac, ok := p.MAC()
+	if !ok || !bytes.Equal(mac, []byte{0x74, 0x8e, 0xf8, 0x31, 0xdb, 0x80}) {
+		t.Errorf("MAC = %x", mac)
+	}
+	vendor, source := p.Vendor()
+	if vendor != "Brocade" || source != "oui" {
+		t.Errorf("vendor = %q via %q", vendor, source)
+	}
+	if p.String() != "0x800007c703748ef831db80" {
+		t.Errorf("String = %s", p.String())
+	}
+}
+
+func TestClassifyCiscoBugEngineID(t *testing.T) {
+	// Section 4.3: the CSCts87275 bug yields the constant engine ID
+	// 0x800000090300000000000000 — Cisco enterprise, MAC format, zero MAC.
+	raw := []byte{0x80, 0x00, 0x00, 0x09, 0x03, 0, 0, 0, 0, 0, 0, 0}
+	p := Classify(raw)
+	if p.Enterprise != 9 || p.Format != FormatMAC {
+		t.Errorf("enterprise %d format %v", p.Enterprise, p.Format)
+	}
+	// The zero OUI is unregistered: vendor falls back to the enterprise.
+	vendor, source := p.Vendor()
+	if vendor != "Cisco" || source != "enterprise" {
+		t.Errorf("vendor = %q via %q", vendor, source)
+	}
+}
+
+func TestClassifyNonConforming(t *testing.T) {
+	// Section 4.2 example: 0x0300e0acf1325a88 carries no format info.
+	raw := []byte{0x03, 0x00, 0xe0, 0xac, 0xf1, 0x32, 0x5a, 0x88}
+	p := Classify(raw)
+	if p.Conformant || p.Format != FormatNonConforming {
+		t.Errorf("conformant=%v format=%v", p.Conformant, p.Format)
+	}
+	if p.Format.PaperCategory() != "Non-conforming" {
+		t.Errorf("category = %s", p.Format.PaperCategory())
+	}
+	if v, _ := p.Vendor(); v != "" {
+		t.Errorf("vendor should be unknown, got %q", v)
+	}
+}
+
+func TestClassifyNetSNMP(t *testing.T) {
+	id := NewNetSNMP([8]byte{0x0f, 0x01, 0x0e, 0x37, 0x32, 0xbe, 0xd2, 0x5e})
+	p := Classify(id)
+	if p.Format != FormatNetSNMP {
+		t.Errorf("format = %v", p.Format)
+	}
+	if p.Enterprise != 8072 {
+		t.Errorf("enterprise = %d", p.Enterprise)
+	}
+	if v, src := p.Vendor(); v != "Net-SNMP" || src != "enterprise" {
+		t.Errorf("vendor = %q via %q", v, src)
+	}
+	if p.Format.PaperCategory() != "Net-SNMP" {
+		t.Errorf("category = %s", p.Format.PaperCategory())
+	}
+}
+
+func TestConstructorsRoundTrip(t *testing.T) {
+	cases := []struct {
+		name   string
+		raw    []byte
+		format Format
+		ent    uint32
+	}{
+		{"mac", NewMAC(9, [6]byte{0x58, 0x8d, 0x09, 1, 2, 3}), FormatMAC, 9},
+		{"ipv4", NewIPv4(2011, [4]byte{192, 0, 2, 1}), FormatIPv4, 2011},
+		{"ipv6", NewIPv6(2636, [16]byte{0x20, 0x01, 0x0d, 0xb8}), FormatIPv6, 2636},
+		{"text", NewText(9, "router1.example"), FormatText, 9},
+		{"octets", NewOctets(25506, []byte{0x39, 0x10, 0x91, 0x06, 0x80, 0x00, 0x29, 0x70}), FormatOctets, 25506},
+		{"netsnmp", NewNetSNMP([8]byte{1, 2, 3, 4, 5, 6, 7, 8}), FormatNetSNMP, 8072},
+	}
+	for _, c := range cases {
+		p := Classify(c.raw)
+		if p.Format != c.format {
+			t.Errorf("%s: format %v, want %v", c.name, p.Format, c.format)
+		}
+		if p.Enterprise != c.ent {
+			t.Errorf("%s: enterprise %d, want %d", c.name, p.Enterprise, c.ent)
+		}
+		if !p.Conformant {
+			t.Errorf("%s: should be conformant", c.name)
+		}
+	}
+}
+
+func TestTextTruncation(t *testing.T) {
+	long := "this-text-is-well-beyond-the-twenty-seven-octet-limit"
+	id := NewText(9, long)
+	p := Classify(id)
+	if p.Format != FormatText {
+		t.Errorf("format = %v", p.Format)
+	}
+	if len(p.Data) != 27 {
+		t.Errorf("text length %d", len(p.Data))
+	}
+}
+
+func TestClassifyShortAndEmpty(t *testing.T) {
+	for _, raw := range [][]byte{nil, {}, {0x80}, {0x80, 0x00, 0x00, 0x09}} {
+		p := Classify(raw)
+		if p.Format != FormatNonConforming {
+			t.Errorf("short %x: format %v", raw, p.Format)
+		}
+	}
+}
+
+func TestClassifyLegacy(t *testing.T) {
+	// Legacy 12-octet: enterprise 9 with conformance bit clear.
+	raw := []byte{0x00, 0x00, 0x00, 0x09, 1, 2, 3, 4, 5, 6, 7, 8}
+	p := Classify(raw)
+	if p.Format != FormatLegacy || p.Enterprise != 9 {
+		t.Errorf("format %v enterprise %d", p.Format, p.Enterprise)
+	}
+	// Same layout with an unknown enterprise stays non-conforming.
+	raw2 := []byte{0x00, 0x0F, 0xFF, 0xFF, 1, 2, 3, 4, 5, 6, 7, 8}
+	if p2 := Classify(raw2); p2.Format != FormatNonConforming {
+		t.Errorf("unknown legacy enterprise: %v", p2.Format)
+	}
+}
+
+func TestClassifyWrongBodyLengths(t *testing.T) {
+	// MAC format byte with a 5-octet body is classified as octets (usable
+	// identifier, unusable MAC).
+	raw := []byte{0x80, 0x00, 0x00, 0x09, 0x03, 1, 2, 3, 4, 5}
+	p := Classify(raw)
+	if p.Format != FormatOctets {
+		t.Errorf("format = %v", p.Format)
+	}
+	if _, ok := p.MAC(); ok {
+		t.Error("MAC() should fail on 5-octet body")
+	}
+}
+
+func TestClassifyReserved(t *testing.T) {
+	raw := []byte{0x80, 0x00, 0x00, 0x09, 0x10, 1, 2, 3}
+	if p := Classify(raw); p.Format != FormatReserved {
+		t.Errorf("format = %v", p.Format)
+	}
+}
+
+func TestClassifyEnterpriseSpecific(t *testing.T) {
+	raw := []byte{0x80, 0x00, 0x00, 0x09, 0x81, 1, 2, 3}
+	p := Classify(raw)
+	if p.Format != FormatEnterprise {
+		t.Errorf("format = %v", p.Format)
+	}
+	if p.Format.PaperCategory() != "Other" {
+		t.Errorf("category = %s", p.Format.PaperCategory())
+	}
+}
+
+func TestIPv4Accessor(t *testing.T) {
+	id := NewIPv4(9, [4]byte{198, 51, 100, 7})
+	p := Classify(id)
+	addr, ok := p.IPv4()
+	if !ok || addr != [4]byte{198, 51, 100, 7} {
+		t.Errorf("IPv4 = %v ok=%v", addr, ok)
+	}
+	if _, ok := Classify(NewMAC(9, [6]byte{})).IPv4(); ok {
+		t.Error("IPv4() on MAC format should fail")
+	}
+}
+
+func TestHammingWeight(t *testing.T) {
+	cases := []struct {
+		in   []byte
+		want int
+	}{
+		{nil, 0},
+		{[]byte{0x00}, 0},
+		{[]byte{0xFF}, 8},
+		{[]byte{0x0F, 0xF0}, 8},
+		{[]byte{0x01, 0x02, 0x04}, 3},
+	}
+	for _, c := range cases {
+		if got := HammingWeight(c.in); got != c.want {
+			t.Errorf("HammingWeight(%x) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	if RelativeHammingWeight(nil) != 0 {
+		t.Error("empty relative weight should be 0")
+	}
+	if got := RelativeHammingWeight([]byte{0x0F}); got != 0.5 {
+		t.Errorf("relative = %v", got)
+	}
+	if got := RelativeHammingWeight([]byte{0xFF, 0xFF}); got != 1.0 {
+		t.Errorf("relative = %v", got)
+	}
+}
+
+func TestClassifyQuickNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		p := Classify(raw)
+		_ = p.Format.String()
+		_ = p.Format.PaperCategory()
+		_, _ = p.Vendor()
+		_ = p.EnterpriseName()
+		return bytes.Equal(p.Raw, raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatStrings(t *testing.T) {
+	for f := FormatNonConforming; f <= FormatEnterprise; f++ {
+		if f.String() == "" {
+			t.Errorf("format %d has empty name", int(f))
+		}
+	}
+	if Format(99).String() != "format(99)" {
+		t.Error("unknown format name")
+	}
+}

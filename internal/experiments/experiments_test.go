@@ -1,0 +1,767 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"snmpv3fp/internal/alias"
+	"snmpv3fp/internal/netsim"
+)
+
+// env returns the shared tiny environment; all experiment tests cut from
+// the same campaigns, as the paper does.
+func env(t testing.TB) *Env {
+	t.Helper()
+	e, err := SharedTiny(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestTable1Shape(t *testing.T) {
+	e := env(t)
+	r := Table1(e)
+	// Both same-family scans find nearly the same population.
+	for _, pair := range [][2]int{{0, 1}, {2, 3}} {
+		a, b := r.IPs[pair[0]], r.IPs[pair[1]]
+		if a == 0 || b == 0 {
+			t.Fatalf("empty scan: %v", r.IPs)
+		}
+		diff := float64(a-b) / float64(a)
+		if diff < -0.1 || diff > 0.1 {
+			t.Errorf("scan sizes diverge: %d vs %d", a, b)
+		}
+	}
+	// Engine IDs are fewer than IPs (aliasing), and the valid sets shrink
+	// monotonically, as in the paper's Table 1.
+	if r.EngineIDs[0] >= r.IPs[0] {
+		t.Errorf("engine IDs %d >= IPs %d", r.EngineIDs[0], r.IPs[0])
+	}
+	if !(r.ValidEngineID[0] < r.IPs[0] && r.ValidEngineIDTime[0] < r.ValidEngineID[0]) {
+		t.Errorf("IPv4 funnel broken: %d > %d > %d wanted",
+			r.IPs[0], r.ValidEngineID[0], r.ValidEngineIDTime[0])
+	}
+	// The dominant IPv4 removals are reboot and boots inconsistency.
+	steps := map[string]int{}
+	for _, s := range r.FilterSteps[0] {
+		steps[s.Name] = s.Removed
+	}
+	if steps["inconsistent last reboot"] <= steps["promiscuous engine ID"] {
+		t.Error("reboot inconsistency should dominate removals")
+	}
+	if r.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	e := env(t)
+	r := Table2(e)
+	if r.ITDK4 == 0 || r.Atlas4 == 0 || r.Hitlist == 0 {
+		t.Fatalf("empty datasets: %+v", r)
+	}
+	// ITDK is the largest IPv4 dataset; the union is at least as large.
+	if r.ITDK4 <= r.Atlas4 {
+		t.Errorf("ITDK4 %d <= Atlas4 %d", r.ITDK4, r.Atlas4)
+	}
+	if r.Union4 < r.ITDK4 {
+		t.Errorf("union %d < ITDK %d", r.Union4, r.ITDK4)
+	}
+	// Coverage is partial in both directions.
+	if r.ITDK4Resp == 0 || r.ITDK4Resp >= r.ITDK4 {
+		t.Errorf("ITDK4 responsive %d of %d not partial", r.ITDK4Resp, r.ITDK4)
+	}
+	if !strings.Contains(r.Render(), "ITDK") {
+		t.Error("render missing ITDK row")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	e := env(t)
+	r := Table3(e)
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byName := map[string]alias.Stats{}
+	for _, row := range r.Rows {
+		byName[row.Variant] = row.Stats
+	}
+	// The paper's Table 3 ordering: exact matching fragments devices into
+	// more sets than binned matching.
+	if byName["Exact both"].Sets <= byName["Divide by 20 both"].Sets {
+		t.Errorf("exact (%d sets) should exceed div20 (%d sets)",
+			byName["Exact both"].Sets, byName["Divide by 20 both"].Sets)
+	}
+	// And binned matching yields more IPs per non-singleton set.
+	if byName["Divide by 20 both"].IPsPerNonSingleton() <= byName["Exact both"].IPsPerNonSingleton() {
+		t.Error("binned variant should produce larger sets")
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	e := env(t)
+	r := Figure4(e)
+	// Most engine IDs are on a single IP; the distribution is heavy-tailed.
+	if r.SingleIPShareV4 < 0.5 {
+		t.Errorf("single-IP share = %.2f", r.SingleIPShareV4)
+	}
+	if r.V4.Max() < 10 {
+		t.Errorf("no heavy tail: max = %v", r.V4.Max())
+	}
+	if r.V4.N() == 0 || r.V6.N() == 0 {
+		t.Error("empty ECDFs")
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	e := env(t)
+	r := Figure5(e)
+	// MAC is the dominant format in both families (paper: ~60%).
+	if r.V4["MAC"] < 0.4 {
+		t.Errorf("IPv4 MAC share = %.2f", r.V4["MAC"])
+	}
+	if r.V6["MAC"] < 0.3 {
+		t.Errorf("IPv6 MAC share = %.2f", r.V6["MAC"])
+	}
+	sum := 0.0
+	for _, cat := range Figure5Categories {
+		sum += r.V4[cat]
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("IPv4 shares sum to %.3f", sum)
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	e := env(t)
+	r := Figure6(e)
+	if r.OctetsN == 0 || r.NonConformingN == 0 {
+		t.Fatalf("populations empty: %d octets, %d non-conforming", r.OctetsN, r.NonConformingN)
+	}
+	// Octets are random: mean relative Hamming weight near 0.5.
+	if r.OctetsMean < 0.45 || r.OctetsMean > 0.55 {
+		t.Errorf("octets mean = %.3f", r.OctetsMean)
+	}
+	// Non-conforming values skew positive (fewer ones than random).
+	if r.NonConformingMean >= 0.45 {
+		t.Errorf("non-conforming mean = %.3f, want < 0.45", r.NonConformingMean)
+	}
+	if r.NonConformingSkew <= 0 {
+		t.Errorf("non-conforming skew = %.2f, want positive", r.NonConformingSkew)
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	e := env(t)
+	r := Figure7(e)
+	if len(r.V4) != 3 || len(r.V6) != 3 {
+		t.Fatalf("top counts: %d/%d", len(r.V4), len(r.V6))
+	}
+	// The most popular engine IDs are shared by many IPs…
+	if r.V4[0].IPs < 10 {
+		t.Errorf("top IPv4 engine ID on only %d IPs", r.V4[0].IPs)
+	}
+	// …and at least one of them is a misconfiguration whose member devices
+	// rebooted at very different times (spread over months).
+	foundSpread := false
+	for _, en := range append(append([]Figure7Entry{}, r.V4...), r.V6...) {
+		if en.SpreadDays > 30 {
+			foundSpread = true
+		}
+	}
+	if !foundSpread {
+		t.Error("no top engine ID with multi-month reboot spread")
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	e := env(t)
+	r := Figure8(e)
+	if r.V4All.N() == 0 || r.V4Router.N() == 0 {
+		t.Fatal("empty distributions")
+	}
+	// Router reboot deltas are much more consistent than the overall
+	// population (the basis for the 10 s threshold).
+	if r.WithinThresholdRouter4 < 0.85 {
+		t.Errorf("router within-threshold share = %.2f", r.WithinThresholdRouter4)
+	}
+	if r.V4All.At(10) >= r.WithinThresholdRouter4 {
+		t.Error("all-IP distribution should be wider than routers'")
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	e := env(t)
+	r := Figure9(e)
+	// Router sets are bigger than the general population.
+	if r.Routers.Quantile(0.5) < r.V4.Quantile(0.5) {
+		t.Error("router median set size below overall median")
+	}
+	// Dual-stack sets exist and all are non-singleton by construction.
+	dual := r.Families[alias.DualStack]
+	if dual.Sets == 0 {
+		t.Fatal("no dual-stack sets")
+	}
+	if dual.NonSingleton != dual.Sets {
+		t.Error("dual-stack sets must span 2+ addresses")
+	}
+	// Alias resolution against ground truth is near-perfect (the paper's
+	// operators confirmed all sampled sets).
+	if r.Precision < 0.99 {
+		t.Errorf("precision = %.4f", r.Precision)
+	}
+	if r.Recall < 0.9 {
+		t.Errorf("recall = %.4f", r.Recall)
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	e := env(t)
+	r := Figure10(e)
+	// Paper: ~16% overall coverage.
+	if r.OverallCoverage < 0.08 || r.OverallCoverage > 0.35 {
+		t.Errorf("overall coverage = %.2f", r.OverallCoverage)
+	}
+	for _, th := range Figure10Thresholds {
+		if r.ByThreshold[th] == nil {
+			t.Fatalf("threshold %d missing", th)
+		}
+	}
+	if r.ByThreshold[2].N() < r.ByThreshold[100].N() {
+		t.Error("higher thresholds must qualify fewer ASes")
+	}
+}
+
+func TestSection52Shape(t *testing.T) {
+	e := env(t)
+	r := Section52(e)
+	if r.NameSets == 0 {
+		t.Fatal("no router-name sets")
+	}
+	// SNMPv3 finds more non-singleton sets than the rDNS approach, and
+	// the two are complementary (few exact matches, some partial).
+	if r.SNMPNonSingleton <= r.NameSets {
+		t.Errorf("SNMPv3 %d <= names %d", r.SNMPNonSingleton, r.NameSets)
+	}
+	if r.Overlap.PartialMatches == 0 {
+		t.Error("no partial overlap at all")
+	}
+	if r.Overlap.ExactMatches > r.Overlap.PartialMatches {
+		t.Error("exact matches should be rare relative to partial")
+	}
+}
+
+func TestSection53Shape(t *testing.T) {
+	e := env(t)
+	r := Section53(e)
+	// SNMPv3 finds more non-singleton sets than both IP-ID baselines.
+	if r.SNMP4NonSingleton <= r.MIDARStats.NonSingleton {
+		t.Errorf("SNMPv3 v4 %d <= MIDAR %d", r.SNMP4NonSingleton, r.MIDARStats.NonSingleton)
+	}
+	if r.MIDARStats.Sets == 0 {
+		t.Error("MIDAR found nothing")
+	}
+}
+
+func TestSection54Shape(t *testing.T) {
+	e := env(t)
+	r := Section54(e)
+	// Combining increases coverage over either alone (paper: 11.7% / 14.8%
+	// / 23%).
+	if !(r.Union > r.MIDAROnly && r.Union > r.SNMPOnly) {
+		t.Errorf("union %.3f not above components %.3f / %.3f",
+			r.Union, r.MIDAROnly, r.SNMPOnly)
+	}
+	if r.Union > r.MIDAROnly+r.SNMPOnly {
+		t.Error("union exceeds sum of components")
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	e := env(t)
+	r := Figure11(e)
+	if r.TotalDevices == 0 || len(r.Top) == 0 {
+		t.Fatal("no devices")
+	}
+	// The paper: top-10 vendors cover >80% of devices.
+	if r.Top10Share < 0.7 {
+		t.Errorf("top-10 share = %.2f", r.Top10Share)
+	}
+	// Cisco and Net-SNMP are among the leaders.
+	leaders := map[string]bool{}
+	for i, vs := range r.Top {
+		if i < 4 {
+			leaders[vs.Vendor] = true
+		}
+	}
+	if !leaders["Cisco"] || !leaders["Net-SNMP"] {
+		t.Errorf("leaders = %v", leaders)
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	e := env(t)
+	r := Figure12(e)
+	if r.TotalRouters == 0 {
+		t.Fatal("no routers")
+	}
+	// Cisco #1, Huawei #2 (paper Figure 12), top-4 heavily consolidated.
+	if r.Top[0].Vendor != "Cisco" {
+		t.Errorf("top router vendor = %s", r.Top[0].Vendor)
+	}
+	if r.Top[1].Vendor != "Huawei" {
+		t.Errorf("second router vendor = %s", r.Top[1].Vendor)
+	}
+	if r.Top4Share < 0.80 {
+		t.Errorf("top-4 share = %.2f", r.Top4Share)
+	}
+	// Routers have a higher IPv6/dual share than the general population
+	// (paper Section 6.1).
+	gen := Figure11(e)
+	genV6 := 0
+	for _, vs := range gen.Top {
+		genV6 += vs.V6Only + vs.Dual
+	}
+	routerShare := float64(r.V6Only+r.Dual) / float64(r.TotalRouters)
+	generalShare := float64(genV6) / float64(gen.TotalDevices)
+	if routerShare <= generalShare*0.8 {
+		t.Errorf("router v6/dual share %.3f not above general %.3f", routerShare, generalShare)
+	}
+}
+
+func TestFigure13Shape(t *testing.T) {
+	e := env(t)
+	r := Figure13(e)
+	if r.Reboots.N() == 0 {
+		t.Fatal("no router uptimes")
+	}
+	// Paper: >50% rebooted within the measurement year, <25% uptime > 1y…
+	if r.WithinYearOfScan < 0.35 {
+		t.Errorf("within-year share = %.2f", r.WithinYearOfScan)
+	}
+	if r.OverOneYear > 0.4 {
+		t.Errorf("over-one-year share = %.2f", r.OverOneYear)
+	}
+	// …and around 20% within the last month.
+	if r.WithinMonth < 0.08 || r.WithinMonth > 0.35 {
+		t.Errorf("within-month share = %.2f", r.WithinMonth)
+	}
+}
+
+func TestFigure14Shape(t *testing.T) {
+	e := env(t)
+	r := Figure14(e)
+	// A large share of ASes with 5+ routers are single-vendor (paper ~40%).
+	if r.SingleVendorShare5 < 0.2 {
+		t.Errorf("single-vendor share = %.2f", r.SingleVendorShare5)
+	}
+	// Vendor counts are small everywhere.
+	if e5 := r.ByThreshold[5]; e5.N() > 0 && e5.Max() > 8 {
+		t.Errorf("max vendors per AS = %v", e5.Max())
+	}
+}
+
+func TestFigure15Shape(t *testing.T) {
+	e := env(t)
+	r := Figure15(e)
+	if len(r.Rows) != len(netsim.AllRegions) {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// Thinly populated regions carry no signal at test scale.
+		if row.Routers < 30 {
+			continue
+		}
+		// Cisco leads in every populated region (paper: dominant across
+		// all regions)…
+		if row.Share["Cisco"] < 25 {
+			t.Errorf("%s: Cisco share %.1f%%", row.Region, row.Share["Cisco"])
+		}
+		// …and Huawei is absent from North America.
+		if row.Region == netsim.RegionNA && row.Share["Huawei"] > 1 {
+			t.Errorf("NA Huawei share %.1f%%", row.Share["Huawei"])
+		}
+	}
+}
+
+func TestFigure16Shape(t *testing.T) {
+	e := env(t)
+	r := Figure16(e)
+	if len(r.Rows) == 0 {
+		t.Fatal("no top networks")
+	}
+	if len(r.Rows) > 10 {
+		t.Errorf("rows = %d", len(r.Rows))
+	}
+	// Rows are sorted by router count.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Routers > r.Rows[i-1].Routers {
+			t.Error("rows not sorted")
+		}
+	}
+	// Top networks are heavily consolidated (paper: typically >95% in one
+	// or two vendors).
+	consolidated := 0
+	for _, row := range r.Rows {
+		if row.TopTwoShare >= 0.9 {
+			consolidated++
+		}
+	}
+	if consolidated < len(r.Rows)/2 {
+		t.Errorf("only %d/%d top networks consolidated", consolidated, len(r.Rows))
+	}
+}
+
+func TestFigure17Shape(t *testing.T) {
+	e := env(t)
+	r := Figure17(e)
+	// Paper: >80% of ASes have dominance >= 0.7.
+	if r.HighDominanceShare < 0.6 {
+		t.Errorf("high dominance share = %.2f", r.HighDominanceShare)
+	}
+	if r.ByThreshold[2].N() == 0 {
+		t.Fatal("no ASes")
+	}
+}
+
+func TestFigure18And20Shapes(t *testing.T) {
+	e := env(t)
+	r18 := Figure18(e)
+	counted := 0
+	for _, region := range netsim.AllRegions {
+		counted += r18.ASCounts[region]
+	}
+	if counted == 0 {
+		t.Error("figure 18 has no qualifying ASes")
+	}
+	r20 := Figure20(e)
+	if r20.All.N() == 0 {
+		t.Fatal("figure 20 empty")
+	}
+	if r20.MappedShare < 0.99 {
+		t.Errorf("mapped share = %.2f", r20.MappedShare)
+	}
+}
+
+func TestFigure19Shape(t *testing.T) {
+	e := env(t)
+	r := Figure19(e)
+	// Paper: 97.2% (IPv4) and 99.8% (IPv6) of IPs have tuples mapping to a
+	// single engine ID.
+	if r.UniqueShareV4 < 0.9 {
+		t.Errorf("IPv4 unique tuple share = %.3f", r.UniqueShareV4)
+	}
+	if r.UniqueShareV6 < 0.9 {
+		t.Errorf("IPv6 unique tuple share = %.3f", r.UniqueShareV6)
+	}
+	// But not 100%: co-located reboots do collide.
+	if r.UniqueShareV4 == 1.0 {
+		t.Error("expected some tuple collisions in IPv4")
+	}
+}
+
+func TestSection621(t *testing.T) {
+	r, err := Section621()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Row 0: unconfigured Cisco is silent on both protocols.
+	if r.Rows[0].V2Answered || r.Rows[0].V3Answered {
+		t.Error("unconfigured device answered")
+	}
+	// Rows 1-2: community alone implicitly enables v3.
+	for _, i := range []int{1, 2} {
+		if !r.Rows[i].V2Answered || !r.Rows[i].V3Answered {
+			t.Errorf("row %d: v2=%v v3=%v", i, r.Rows[i].V2Answered, r.Rows[i].V3Answered)
+		}
+		if !strings.Contains(r.Rows[i].EngineIDMAC, "Cisco") {
+			t.Errorf("row %d engine ID: %s", i, r.Rows[i].EngineIDMAC)
+		}
+	}
+	// Row 3: Junos without interface enable is silent; row 4 answers.
+	if r.Rows[3].V3Answered {
+		t.Error("Junos without interface enable answered")
+	}
+	if !r.Rows[4].V3Answered || !strings.Contains(r.Rows[4].EngineIDMAC, "Juniper") {
+		t.Errorf("Junos row: %+v", r.Rows[4])
+	}
+}
+
+func TestSection622(t *testing.T) {
+	e := env(t)
+	r := Section622(e)
+	if r.OperatorsSurveyed == 0 || r.SetsShared == 0 {
+		t.Fatal("nothing surveyed")
+	}
+	// The paper: operators confirmed every shared alias set and vendor.
+	if r.SetsConfirmed != r.SetsShared {
+		t.Errorf("only %d/%d sets confirmed", r.SetsConfirmed, r.SetsShared)
+	}
+	if float64(r.VendorConfirmed)/float64(r.SetsShared) < 0.95 {
+		t.Errorf("vendor confirmations %d/%d", r.VendorConfirmed, r.SetsShared)
+	}
+	// The ACL caveat is visible: a substantial interface share is missed.
+	if r.MissedInterfaceShare < 0.2 || r.MissedInterfaceShare > 0.95 {
+		t.Errorf("missed interface share = %.2f", r.MissedInterfaceShare)
+	}
+}
+
+func TestSection623Shape(t *testing.T) {
+	e := env(t)
+	r := Section623(e)
+	if r.Sampled == 0 {
+		t.Fatal("nothing sampled")
+	}
+	// Paper: 84% no result, 11% match, 5% mismatch.
+	noShare := float64(r.NoResult) / float64(r.Sampled)
+	if noShare < 0.6 {
+		t.Errorf("no-result share = %.2f", noShare)
+	}
+	if r.Match == 0 {
+		t.Error("no matches")
+	}
+	if r.Match <= r.Mismatch {
+		t.Errorf("matches (%d) should exceed mismatches (%d)", r.Match, r.Mismatch)
+	}
+	// iTTL: nearly everything ambiguous.
+	if r.TTLTotal > 0 && float64(r.TTLAmbiguous)/float64(r.TTLTotal) < 0.9 {
+		t.Error("iTTL should be ambiguous for almost all routers")
+	}
+}
+
+func TestSection73(t *testing.T) {
+	e := env(t)
+	r := Section73(e)
+	if r.DualStackSNMP == 0 {
+		t.Fatal("no dual-stack sets")
+	}
+	if r.Skew.Candidates == 0 {
+		t.Fatal("no candidate pairs")
+	}
+	// The skew technique confirms some pairs but cannot measure most
+	// (routers lack open TCP) — SNMPv3's coverage advantage.
+	if r.Skew.NoData == 0 {
+		t.Error("skew technique measured everything — router TCP posture missing")
+	}
+	if r.Skew.NoData <= r.Skew.Siblings {
+		t.Errorf("expected unmeasurable (%d) to dominate confirmed (%d)", r.Skew.NoData, r.Skew.Siblings)
+	}
+	// But pairs it does measure are confirmed (they are true siblings).
+	if r.Skew.NonSiblings > r.Skew.Siblings {
+		t.Errorf("more non-siblings (%d) than siblings (%d) among true pairs", r.Skew.NonSiblings, r.Skew.Siblings)
+	}
+}
+
+func TestSection8(t *testing.T) {
+	e := env(t)
+	r, err := Section8(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The multi-response anomaly exists but is rare (paper: 0.6% of
+	// responders), with a handful of heavy amplifiers.
+	if r.MultiResponders == 0 {
+		t.Error("no multi-responders")
+	}
+	if float64(r.MultiResponders)/float64(len(e.V4Scan1.ByIP)) > 0.05 {
+		t.Error("multi-responders too common")
+	}
+	if r.HeavyAmplifiers == 0 || r.MaxResponses < 1000 {
+		t.Errorf("amplifiers missing: %d heavy, max %d", r.HeavyAmplifiers, r.MaxResponses)
+	}
+	// The exchange amplifies: responses are bigger than probes.
+	if r.BAF <= 1 {
+		t.Errorf("BAF = %.2f", r.BAF)
+	}
+	// The brute force recovers the weak password.
+	if r.CrackedPassword != "cisco123" {
+		t.Errorf("cracked %q", r.CrackedPassword)
+	}
+	if !strings.Contains(r.Render(), "brute force") {
+		t.Error("render missing brute force line")
+	}
+}
+
+func TestFigures23(t *testing.T) {
+	e := env(t)
+	r, err := Figures23(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Request, "msgAuthoritativeEngineID: <MISSING>") {
+		t.Error("request dissection wrong")
+	}
+	if !strings.Contains(r.Response, "Engine ID Data: Brocade (74:8e:f8:31:db:80)") {
+		t.Error("response dissection wrong")
+	}
+	// The paper reports an 88-byte request and ~130-byte average response
+	// including headers; ours must be in that region.
+	if r.RequestBytes < 70 || r.RequestBytes > 120 {
+		t.Errorf("request bytes = %d", r.RequestBytes)
+	}
+	if r.ResponseBytes < 110 || r.ResponseBytes > 180 {
+		t.Errorf("response bytes = %d", r.ResponseBytes)
+	}
+}
+
+func TestMonitorExtension(t *testing.T) {
+	e := env(t)
+	r, err := Monitor(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Summary.Tracked == 0 {
+		t.Fatal("nothing tracked")
+	}
+	// Recurring-reboot devices restart within the monitoring window.
+	if r.Summary.RebootEvents == 0 {
+		t.Error("no restarts detected over five weeks")
+	}
+	// IPv6-style churn is rare on IPv4, but the inter-campaign flips count.
+	if r.Summary.IdentityChanges == 0 {
+		t.Error("no identity changes detected")
+	}
+	// Availability is high but not perfect (per-scan loss).
+	if r.Summary.MeanAvailability < 0.85 || r.Summary.MeanAvailability >= 1.0 {
+		t.Errorf("availability = %.3f", r.Summary.MeanAvailability)
+	}
+	if r.RebootRatePerWeek <= 0 {
+		t.Error("zero reboot rate")
+	}
+}
+
+func TestSection9NATInference(t *testing.T) {
+	e := env(t)
+	r := Section9(e)
+	if r.Survey.Candidates == 0 {
+		t.Fatal("no identity-changing candidates")
+	}
+	// Every simulated VIP that responded must be found, with no false
+	// positives among churned addresses.
+	if r.FalsePositives != 0 {
+		t.Errorf("false load-balancer calls: %d", r.FalsePositives)
+	}
+	if r.TruePositives == 0 {
+		t.Error("no load balancers detected")
+	}
+	// Churn dominates the candidate set, as on the real Internet.
+	if r.Survey.Stable <= r.Survey.LoadBalanced {
+		t.Errorf("stable %d <= load-balanced %d", r.Survey.Stable, r.Survey.LoadBalanced)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, ex := range All {
+		if ids[ex.ID] {
+			t.Errorf("duplicate experiment ID %q", ex.ID)
+		}
+		ids[ex.ID] = true
+		if ex.Title == "" || ex.Run == nil {
+			t.Errorf("experiment %q incomplete", ex.ID)
+		}
+	}
+	// Every table and figure of the paper must be covered.
+	for _, want := range []string{"table1", "table2", "table3",
+		"fig2-3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+		"fig18", "fig19", "fig20", "sec52", "sec53", "sec54", "sec621",
+		"sec622", "sec623", "sec73", "sec8", "monitor", "nat"} {
+		if !ids[want] {
+			t.Errorf("experiment %q missing from registry", want)
+		}
+	}
+	if _, ok := ByID("fig4"); !ok {
+		t.Error("ByID broken")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID found a ghost")
+	}
+}
+
+func TestAllExperimentsRender(t *testing.T) {
+	e := env(t)
+	for _, ex := range All {
+		out, err := ex.Run(e)
+		if err != nil {
+			t.Fatalf("%s: %v", ex.ID, err)
+		}
+		if len(out) < 40 {
+			t.Errorf("%s: suspiciously short output (%d bytes)", ex.ID, len(out))
+		}
+	}
+}
+
+// TestEnvDeterminism: the same seed must reproduce identical campaign and
+// pipeline outcomes — the property that makes every figure regenerable.
+func TestEnvDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	e1, err := NewEnv(netsim.TinyConfig(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NewEnv(netsim.TinyConfig(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e1.V4Scan1.ByIP) != len(e2.V4Scan1.ByIP) ||
+		len(e1.V4Filter.Valid) != len(e2.V4Filter.Valid) ||
+		len(e1.CombinedSets) != len(e2.CombinedSets) ||
+		len(e1.RouterSets) != len(e2.RouterSets) {
+		t.Fatalf("same seed, different outcomes: %d/%d IPs, %d/%d valid, %d/%d sets",
+			len(e1.V4Scan1.ByIP), len(e2.V4Scan1.ByIP),
+			len(e1.V4Filter.Valid), len(e2.V4Filter.Valid),
+			len(e1.CombinedSets), len(e2.CombinedSets))
+	}
+	// Per-IP observations agree exactly.
+	for ip, o1 := range e1.V4Scan1.ByIP {
+		o2 := e2.V4Scan1.ByIP[ip]
+		if o2 == nil || string(o1.EngineID) != string(o2.EngineID) ||
+			o1.EngineBoots != o2.EngineBoots || o1.EngineTime != o2.EngineTime {
+			t.Fatalf("observation for %v differs between runs", ip)
+		}
+	}
+}
+
+// TestIoTPopulationPresent: the world includes the exposed-IoT class the
+// paper's limitations section expects to capture.
+func TestIoTPopulationPresent(t *testing.T) {
+	e := env(t)
+	iot := 0
+	for _, d := range e.World.Devices {
+		if d.Class == netsim.ClassIoT {
+			iot++
+		}
+	}
+	if iot != e.World.Cfg.IoTDevices {
+		t.Errorf("IoT devices = %d, want %d", iot, e.World.Cfg.IoTDevices)
+	}
+}
+
+// TestRoutesMatchGroundTruth: the LPM IP-to-AS mapping must agree with the
+// simulator's ground truth for every device address.
+func TestRoutesMatchGroundTruth(t *testing.T) {
+	e := env(t)
+	checked := 0
+	for _, d := range e.World.Devices {
+		for _, a := range d.AllAddrs() {
+			asn, ok := e.Routes.Lookup(a)
+			if !ok {
+				t.Fatalf("no route for %v", a)
+			}
+			if asn != d.ASN {
+				t.Fatalf("route says AS%d for %v, ground truth AS%d", asn, a, d.ASN)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("nothing checked")
+	}
+}

@@ -1,0 +1,393 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"snmpv3fp/internal/alias"
+	"snmpv3fp/internal/analysis"
+	"snmpv3fp/internal/baseline/dnsnames"
+	"snmpv3fp/internal/baseline/midar"
+	"snmpv3fp/internal/baseline/speedtrap"
+	"snmpv3fp/internal/report"
+)
+
+// Figure9Result: ECDF of IPs per alias set (Figure 9).
+type Figure9Result struct {
+	V4, V6, Routers *analysis.ECDF
+	// Stats per family plus the dual-stack split of Section 5.1.
+	V4Stats, V6Stats alias.Stats
+	Families         map[alias.Family]alias.Stats
+	// Ground-truth quality of the default variant (not in the paper,
+	// which lacked ground truth; our simulation has it).
+	Precision, Recall float64
+}
+
+// Figure9 computes alias-set size distributions.
+func Figure9(e *Env) *Figure9Result {
+	sizes := func(sets []*alias.Set) []float64 {
+		out := make([]float64, len(sets))
+		for i, s := range sets {
+			out[i] = float64(s.Size())
+		}
+		return out
+	}
+	r := &Figure9Result{
+		V4:       analysis.NewECDF(sizes(e.V4Sets)),
+		V6:       analysis.NewECDF(sizes(e.V6Sets)),
+		Routers:  analysis.NewECDF(sizes(e.RouterSets)),
+		V4Stats:  alias.Summarize(e.V4Sets),
+		V6Stats:  alias.Summarize(e.V6Sets),
+		Families: map[alias.Family]alias.Stats{},
+	}
+	for fam, sets := range alias.SplitByFamily(e.CombinedSets) {
+		r.Families[fam] = alias.Summarize(sets)
+	}
+	// Pair-level quality against simulation ground truth.
+	truth := map[netip.Addr]int{}
+	for _, d := range e.World.Devices {
+		for _, a := range d.AllAddrs() {
+			truth[a] = d.ID
+		}
+	}
+	inferred := make([]analysis.AddrSet, 0, len(e.CombinedSets))
+	for _, s := range e.CombinedSets {
+		as := make(analysis.AddrSet, 0, len(s.Members))
+		for _, m := range s.Members {
+			as = append(as, m.IP)
+		}
+		inferred = append(inferred, as)
+	}
+	r.Precision, r.Recall = analysis.PrecisionRecall(inferred, truth)
+	return r
+}
+
+// Render formats Figure 9 and the Section 5.1 numbers.
+func (r *Figure9Result) Render() string {
+	s := report.ECDFSeries("Figure 9: number of IPs per alias set",
+		[]string{"IPv4", "IPv6", "routers"},
+		[]*analysis.ECDF{r.V4, r.V6, r.Routers}, "%.0f")
+	s += fmt.Sprintf("IPv4: %d sets, %d non-singleton, %.1f IPs per non-singleton set\n",
+		r.V4Stats.Sets, r.V4Stats.NonSingleton, r.V4Stats.IPsPerNonSingleton())
+	s += fmt.Sprintf("IPv6: %d sets, %d non-singleton, %.1f IPs per non-singleton set\n",
+		r.V6Stats.Sets, r.V6Stats.NonSingleton, r.V6Stats.IPsPerNonSingleton())
+	for _, fam := range []alias.Family{alias.V4Only, alias.V6Only, alias.DualStack} {
+		st := r.Families[fam]
+		s += fmt.Sprintf("%-10s: %d sets (%d non-singleton, %.1f IPs/set)\n",
+			fam, st.Sets, st.NonSingleton, st.IPsPerNonSingleton())
+	}
+	s += fmt.Sprintf("pair-level quality vs ground truth: precision %.4f, recall %.4f\n",
+		r.Precision, r.Recall)
+	return s
+}
+
+// Figure10Result: SNMPv3 coverage of router IPs per AS (Figure 10).
+type Figure10Result struct {
+	// ByThreshold maps the minimum dataset-IP count per AS to the coverage
+	// ECDF over qualifying ASes.
+	ByThreshold map[int]*analysis.ECDF
+	// OverallCoverage is responsive router IPs / dataset router IPs.
+	OverallCoverage float64
+}
+
+// Figure10Thresholds mirrors the paper's 2+, 5+, 10+, 50+, 100+ IP cuts.
+var Figure10Thresholds = []int{2, 5, 10, 50, 100}
+
+// Figure10 computes per-AS SNMPv3 router coverage.
+func Figure10(e *Env) *Figure10Result {
+	resp := make(map[netip.Addr]bool, len(e.V4Scan1.ByIP))
+	for ip := range e.V4Scan1.ByIP {
+		resp[ip] = true
+	}
+	for ip := range e.V4Scan2.ByIP {
+		resp[ip] = true
+	}
+	type asCount struct{ total, responsive int }
+	perAS := map[uint32]*asCount{}
+	var total, totalResp int
+	for a := range e.RouterAddrs4 {
+		d := e.World.DeviceAt(a)
+		if d == nil {
+			continue
+		}
+		c := perAS[d.ASN]
+		if c == nil {
+			c = &asCount{}
+			perAS[d.ASN] = c
+		}
+		c.total++
+		total++
+		if resp[a] {
+			c.responsive++
+			totalResp++
+		}
+	}
+	r := &Figure10Result{ByThreshold: map[int]*analysis.ECDF{}}
+	if total > 0 {
+		r.OverallCoverage = float64(totalResp) / float64(total)
+	}
+	for _, th := range Figure10Thresholds {
+		var cov []float64
+		for _, c := range perAS {
+			if c.total >= th {
+				cov = append(cov, float64(c.responsive)/float64(c.total))
+			}
+		}
+		r.ByThreshold[th] = analysis.NewECDF(cov)
+	}
+	return r
+}
+
+// Render formats Figure 10.
+func (r *Figure10Result) Render() string {
+	names := make([]string, 0, len(Figure10Thresholds))
+	curves := make([]*analysis.ECDF, 0, len(Figure10Thresholds))
+	for _, th := range Figure10Thresholds {
+		names = append(names, fmt.Sprintf("ASes %d+ IPs", th))
+		curves = append(curves, r.ByThreshold[th])
+	}
+	s := report.ECDFSeries("Figure 10: SNMPv3 coverage of router IPv4 addresses per AS", names, curves, "%.2f")
+	s += fmt.Sprintf("overall coverage: %.1f%% of router IPv4 addresses respond to SNMPv3\n", r.OverallCoverage*100)
+	return s
+}
+
+// Section52Result: comparison with rDNS Router Names (Section 5.2).
+type Section52Result struct {
+	// RouterNames non-singleton set count and address count.
+	NameSets, NameSetAddrs int
+	DualStackNameSets      int
+	// SNMPv3 non-singleton and dual-stack non-singleton counts.
+	SNMPNonSingleton, SNMPDualNonSingleton int
+	// Overlap of name sets against SNMPv3 sets.
+	Overlap analysis.OverlapStats
+}
+
+// Section52 runs the rDNS baseline over the router dataset addresses and
+// compares the resulting alias sets with the SNMPv3 sets.
+func Section52(e *Env) *Section52Result {
+	var candidates []netip.Addr
+	for a := range e.RouterAddrs4 {
+		candidates = append(candidates, a)
+	}
+	for a := range e.RouterAddrs6 {
+		candidates = append(candidates, a)
+	}
+	nameSets := dnsnames.Resolve(e.World, candidates)
+
+	r := &Section52Result{}
+	var nameNonSingleton []analysis.AddrSet
+	for _, s := range nameSets {
+		if len(s) < 2 {
+			continue
+		}
+		nameNonSingleton = append(nameNonSingleton, s)
+		r.NameSets++
+		r.NameSetAddrs += len(s)
+		var has4, has6 bool
+		for _, a := range s {
+			if a.Is4() {
+				has4 = true
+			} else {
+				has6 = true
+			}
+		}
+		if has4 && has6 {
+			r.DualStackNameSets++
+		}
+	}
+	var snmpSets []analysis.AddrSet
+	for _, s := range e.CombinedSets {
+		if s.Singleton() {
+			continue
+		}
+		r.SNMPNonSingleton++
+		if s.Family() == alias.DualStack {
+			r.SNMPDualNonSingleton++
+		}
+		as := make(analysis.AddrSet, 0, len(s.Members))
+		for _, m := range s.Members {
+			as = append(as, m.IP)
+		}
+		snmpSets = append(snmpSets, as)
+	}
+	r.Overlap = analysis.CompareSets(snmpSets, nameNonSingleton)
+	return r
+}
+
+// Render formats the Section 5.2 comparison.
+func (r *Section52Result) Render() string {
+	rows := [][]string{
+		{"Metric", "Router Names", "SNMPv3"},
+		{"non-singleton alias sets", report.Count(r.NameSets), report.Count(r.SNMPNonSingleton)},
+		{"dual-stack non-singleton", report.Count(r.DualStackNameSets), report.Count(r.SNMPDualNonSingleton)},
+	}
+	s := report.Table("Section 5.2: comparison with rDNS Router Names", rows)
+	s += fmt.Sprintf("name sets exactly matching an SNMPv3 set: %d; partially overlapping: %d\n",
+		r.Overlap.ExactMatches, r.Overlap.PartialMatches)
+	return s
+}
+
+// Section53Result: comparison with MIDAR and Speedtrap (Section 5.3).
+type Section53Result struct {
+	MIDARStats, SpeedtrapStats struct {
+		Sets, NonSingleton, IPsNonSingleton int
+	}
+	// Overlaps of baseline sets vs SNMPv3 sets.
+	MIDAROverlap, SpeedtrapOverlap analysis.OverlapStats
+	// SNMPv3 per-family non-singleton counts for the "magnitude more"
+	// comparison.
+	SNMP4NonSingleton, SNMP6NonSingleton int
+}
+
+// Section53 runs the IP-ID baselines over the router datasets.
+func Section53(e *Env) *Section53Result {
+	now := e.World.Cfg.StartTime.Add(25 * 24 * time.Hour)
+	var cands4 []netip.Addr
+	for a := range e.Datasets.ITDK4 {
+		cands4 = append(cands4, a)
+	}
+	sortAddrs(cands4)
+	midarSets := midar.Resolve(e.World, cands4, now, midar.DefaultConfig())
+
+	var cands6 []netip.Addr
+	for a := range e.Datasets.ITDK6 {
+		cands6 = append(cands6, a)
+	}
+	sortAddrs(cands6)
+	stSets := speedtrap.Resolve(e.World, cands6, now)
+
+	r := &Section53Result{}
+	fill := func(sets []analysis.AddrSet, st *struct{ Sets, NonSingleton, IPsNonSingleton int }) []analysis.AddrSet {
+		st.Sets = len(sets)
+		var ns []analysis.AddrSet
+		for _, s := range sets {
+			if len(s) > 1 {
+				st.NonSingleton++
+				st.IPsNonSingleton += len(s)
+				ns = append(ns, s)
+			}
+		}
+		return ns
+	}
+	midarNS := fill(midarSets, &r.MIDARStats)
+	stNS := fill(stSets, &r.SpeedtrapStats)
+
+	snmp4 := make([]analysis.AddrSet, 0)
+	snmp6 := make([]analysis.AddrSet, 0)
+	for _, s := range e.V4Sets {
+		if !s.Singleton() {
+			r.SNMP4NonSingleton++
+			snmp4 = append(snmp4, setAddrs(s))
+		}
+	}
+	for _, s := range e.V6Sets {
+		if !s.Singleton() {
+			r.SNMP6NonSingleton++
+			snmp6 = append(snmp6, setAddrs(s))
+		}
+	}
+	r.MIDAROverlap = analysis.CompareSets(snmp4, midarNS)
+	r.SpeedtrapOverlap = analysis.CompareSets(snmp6, stNS)
+	return r
+}
+
+func setAddrs(s *alias.Set) analysis.AddrSet {
+	out := make(analysis.AddrSet, 0, len(s.Members))
+	for _, m := range s.Members {
+		out = append(out, m.IP)
+	}
+	return out
+}
+
+func sortAddrs(a []netip.Addr) {
+	sort.Slice(a, func(i, j int) bool { return a[i].Less(a[j]) })
+}
+
+// Render formats the Section 5.3 comparison.
+func (r *Section53Result) Render() string {
+	rows := [][]string{
+		{"Technique", "Alias sets", "Non-singleton", "IPs in non-singleton"},
+		{"MIDAR (IPv4)", report.Count(r.MIDARStats.Sets), report.Count(r.MIDARStats.NonSingleton), report.Count(r.MIDARStats.IPsNonSingleton)},
+		{"SNMPv3 (IPv4)", "-", report.Count(r.SNMP4NonSingleton), "-"},
+		{"Speedtrap (IPv6)", report.Count(r.SpeedtrapStats.Sets), report.Count(r.SpeedtrapStats.NonSingleton), report.Count(r.SpeedtrapStats.IPsNonSingleton)},
+		{"SNMPv3 (IPv6)", "-", report.Count(r.SNMP6NonSingleton), "-"},
+	}
+	s := report.Table("Section 5.3: comparison with MIDAR / Speedtrap", rows)
+	s += fmt.Sprintf("MIDAR sets exact/partial overlap with SNMPv3: %d / %d\n",
+		r.MIDAROverlap.ExactMatches, r.MIDAROverlap.PartialMatches)
+	s += fmt.Sprintf("Speedtrap sets exact/partial overlap with SNMPv3: %d / %d\n",
+		r.SpeedtrapOverlap.ExactMatches, r.SpeedtrapOverlap.PartialMatches)
+	return s
+}
+
+// Section54Result: combined de-aliasing coverage (Section 5.4).
+type Section54Result struct {
+	// Coverage of router IPv4 addresses de-aliased (member of a
+	// non-singleton set) by MIDAR only, SNMPv3 only, and the union.
+	MIDAROnly, SNMPOnly, Union float64
+	RouterAddrs                int
+}
+
+// Section54 computes the combined coverage over the IPv4 router dataset.
+func Section54(e *Env) *Section54Result {
+	now := e.World.Cfg.StartTime.Add(26 * 24 * time.Hour)
+	var cands []netip.Addr
+	for a := range e.RouterAddrs4 {
+		cands = append(cands, a)
+	}
+	sortAddrs(cands)
+	midarSets := midar.Resolve(e.World, cands, now, midar.DefaultConfig())
+
+	inMIDAR := map[netip.Addr]bool{}
+	for _, s := range midarSets {
+		if len(s) > 1 {
+			for _, a := range s {
+				inMIDAR[a] = true
+			}
+		}
+	}
+	inSNMP := map[netip.Addr]bool{}
+	for _, s := range e.V4Sets {
+		if s.Singleton() {
+			continue
+		}
+		for _, m := range s.Members {
+			if e.RouterAddrs4[m.IP] {
+				inSNMP[m.IP] = true
+			}
+		}
+	}
+	r := &Section54Result{RouterAddrs: len(e.RouterAddrs4)}
+	var mid, snmp, union int
+	for a := range e.RouterAddrs4 {
+		m, s := inMIDAR[a], inSNMP[a]
+		if m {
+			mid++
+		}
+		if s {
+			snmp++
+		}
+		if m || s {
+			union++
+		}
+	}
+	if r.RouterAddrs > 0 {
+		r.MIDAROnly = float64(mid) / float64(r.RouterAddrs)
+		r.SNMPOnly = float64(snmp) / float64(r.RouterAddrs)
+		r.Union = float64(union) / float64(r.RouterAddrs)
+	}
+	return r
+}
+
+// Render formats the Section 5.4 coverage comparison.
+func (r *Section54Result) Render() string {
+	rows := [][]string{
+		{"De-aliasing technique", "Router IPv4 coverage"},
+		{"MIDAR only", fmt.Sprintf("%.1f%%", r.MIDAROnly*100)},
+		{"SNMPv3 only", fmt.Sprintf("%.1f%%", r.SNMPOnly*100)},
+		{"Combined", fmt.Sprintf("%.1f%%", r.Union*100)},
+	}
+	return report.Table("Section 5.4: combined de-aliasing coverage", rows)
+}

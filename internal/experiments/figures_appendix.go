@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"snmpv3fp/internal/analysis"
+	"snmpv3fp/internal/filter"
+	"snmpv3fp/internal/netsim"
+	"snmpv3fp/internal/report"
+)
+
+// Figure19Result: uniqueness of the (last reboot, engine boots) tuple
+// (Appendix B, Figure 19).
+type Figure19Result struct {
+	V4, V6 *analysis.ECDF
+	// UniqueShareV4/V6 is the fraction of IPs whose tuple maps to a single
+	// engine ID (paper: 97.2% IPv4, 99.8% IPv6).
+	UniqueShareV4, UniqueShareV6 float64
+}
+
+func tupleUniqueness(valid []*filter.Merged) (*analysis.ECDF, float64) {
+	// Map each (binned last reboot, boots) tuple to its engine IDs.
+	tuples := map[[16]byte]map[string]bool{}
+	for _, m := range valid {
+		k := m.TupleKey(0, 20*time.Second) // 20-second bins
+		if tuples[k] == nil {
+			tuples[k] = map[string]bool{}
+		}
+		tuples[k][m.EngineIDKey()] = true
+	}
+	var perIP []float64
+	unique := 0
+	for _, m := range valid {
+		n := len(tuples[m.TupleKey(0, 20*time.Second)])
+		perIP = append(perIP, float64(n))
+		if n == 1 {
+			unique++
+		}
+	}
+	share := 0.0
+	if len(valid) > 0 {
+		share = float64(unique) / float64(len(valid))
+	}
+	return analysis.NewECDF(perIP), share
+}
+
+// Figure19 measures how often a (last reboot, boots) tuple spans multiple
+// engine IDs.
+func Figure19(e *Env) *Figure19Result {
+	r := &Figure19Result{}
+	r.V4, r.UniqueShareV4 = tupleUniqueness(e.V4Filter.Valid)
+	r.V6, r.UniqueShareV6 = tupleUniqueness(e.V6Filter.Valid)
+	return r
+}
+
+// Render formats Figure 19.
+func (r *Figure19Result) Render() string {
+	s := report.ECDFSeries("Figure 19: engine IDs per (last reboot, boots) tuple",
+		[]string{"IPv4", "IPv6"}, []*analysis.ECDF{r.V4, r.V6}, "%.0f")
+	s += fmt.Sprintf("IPs with single-engine-ID tuple: IPv4 %.1f%%, IPv6 %.1f%%\n",
+		r.UniqueShareV4*100, r.UniqueShareV6*100)
+	return s
+}
+
+// Figure20Result: routers per AS per region (Appendix C, Figure 20).
+type Figure20Result struct {
+	ByRegion map[netsim.Region]*analysis.ECDF
+	All      *analysis.ECDF
+	// MappedShare is the fraction of router ASes with a region mapping
+	// (the paper maps 99.9% via CAIDA AS Rank).
+	MappedShare float64
+}
+
+// Figure20 computes routers-per-AS distributions split by region.
+func Figure20(e *Env) *Figure20Result {
+	perAS := routerVendorByAS(e)
+	samples := map[netsim.Region][]float64{}
+	var all []float64
+	mapped := 0
+	for asn, vendors := range perAS {
+		routers := 0
+		for _, c := range vendors {
+			routers += c
+		}
+		all = append(all, float64(routers))
+		a := e.World.ASByNumber(asn)
+		if a == nil {
+			continue
+		}
+		mapped++
+		samples[a.Region] = append(samples[a.Region], float64(routers))
+	}
+	r := &Figure20Result{ByRegion: map[netsim.Region]*analysis.ECDF{}, All: analysis.NewECDF(all)}
+	for _, region := range netsim.AllRegions {
+		r.ByRegion[region] = analysis.NewECDF(samples[region])
+	}
+	if len(all) > 0 {
+		r.MappedShare = float64(mapped) / float64(len(all))
+	}
+	return r
+}
+
+// Render formats Figure 20.
+func (r *Figure20Result) Render() string {
+	names := []string{"ALL"}
+	curves := []*analysis.ECDF{r.All}
+	for _, region := range netsim.AllRegions {
+		names = append(names, string(region))
+		curves = append(curves, r.ByRegion[region])
+	}
+	s := report.ECDFSeries("Figure 20: number of SNMPv3 routers per AS per region", names, curves, "%.0f")
+	s += fmt.Sprintf("ASes mapped to a region: %.1f%%\n", r.MappedShare*100)
+	return s
+}

@@ -1,0 +1,369 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"snmpv3fp/internal/analysis"
+	"snmpv3fp/internal/core"
+	"snmpv3fp/internal/engineid"
+	"snmpv3fp/internal/filter"
+	"snmpv3fp/internal/report"
+)
+
+// mergedObservations unions the two campaigns of one family keeping the
+// first scan's observation per IP (the view Figures 4–7 are computed on:
+// raw responses before the validity pipeline).
+func mergedObservations(s1, s2 *core.Campaign) []*core.Observation {
+	out := make([]*core.Observation, 0, len(s1.ByIP))
+	seen := make(map[string]bool, len(s1.ByIP))
+	for _, o := range s1.ByIP {
+		out = append(out, o)
+		seen[o.IP.String()] = true
+	}
+	for _, o := range s2.ByIP {
+		if !seen[o.IP.String()] {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Figure4Result: ECDF of the number of IPs per engine ID (Figure 4).
+type Figure4Result struct {
+	V4, V6 *analysis.ECDF
+	// SingleIPShareV4/V6 is the fraction of engine IDs seen on exactly one
+	// IP (paper: >80% for IPv4, >50% for IPv6).
+	SingleIPShareV4, SingleIPShareV6 float64
+}
+
+// Figure4 computes IPs-per-engine-ID distributions from the raw campaigns.
+func Figure4(e *Env) *Figure4Result {
+	count := func(obs []*core.Observation) ([]float64, float64) {
+		perID := map[string]int{}
+		for _, o := range obs {
+			if len(o.EngineID) > 0 {
+				perID[string(o.EngineID)]++
+			}
+		}
+		vals := make([]float64, 0, len(perID))
+		singles := 0
+		for _, n := range perID {
+			vals = append(vals, float64(n))
+			if n == 1 {
+				singles++
+			}
+		}
+		share := 0.0
+		if len(perID) > 0 {
+			share = float64(singles) / float64(len(perID))
+		}
+		return vals, share
+	}
+	v4, s4 := count(mergedObservations(e.V4Scan1, e.V4Scan2))
+	v6, s6 := count(mergedObservations(e.V6Scan1, e.V6Scan2))
+	return &Figure4Result{
+		V4: analysis.NewECDF(v4), V6: analysis.NewECDF(v6),
+		SingleIPShareV4: s4, SingleIPShareV6: s6,
+	}
+}
+
+// Render formats Figure 4.
+func (r *Figure4Result) Render() string {
+	s := report.ECDFSeries("Figure 4: number of IPs per engine ID",
+		[]string{"IPv4", "IPv6"}, []*analysis.ECDF{r.V4, r.V6}, "%.0f")
+	s += fmt.Sprintf("single-IP engine IDs: IPv4 %.1f%%, IPv6 %.1f%%\n",
+		r.SingleIPShareV4*100, r.SingleIPShareV6*100)
+	return s
+}
+
+// Figure5Result: engine ID format distribution (Figure 5).
+type Figure5Result struct {
+	// Shares maps paper category -> fraction, per family.
+	V4, V6 map[string]float64
+}
+
+// Figure5 classifies every distinct engine ID per family.
+func Figure5(e *Env) *Figure5Result {
+	classify := func(obs []*core.Observation) map[string]float64 {
+		perID := map[string]string{}
+		for _, o := range obs {
+			if len(o.EngineID) > 0 {
+				perID[string(o.EngineID)] = engineid.Classify(o.EngineID).Format.PaperCategory()
+			}
+		}
+		counts := map[string]float64{}
+		for _, cat := range perID {
+			counts[cat]++
+		}
+		for k := range counts {
+			counts[k] /= float64(len(perID))
+		}
+		return counts
+	}
+	return &Figure5Result{
+		V4: classify(mergedObservations(e.V4Scan1, e.V4Scan2)),
+		V6: classify(mergedObservations(e.V6Scan1, e.V6Scan2)),
+	}
+}
+
+// Figure5Categories is the display order of Figure 5.
+var Figure5Categories = []string{"MAC", "Octets", "Non-conforming", "Net-SNMP", "IPv4", "IPv6", "Text", "Other"}
+
+// Render formats Figure 5.
+func (r *Figure5Result) Render() string {
+	rows := [][]string{{"Format", "IPv4 share", "IPv6 share"}}
+	for _, cat := range Figure5Categories {
+		rows = append(rows, []string{cat,
+			fmt.Sprintf("%5.1f%%", r.V4[cat]*100),
+			fmt.Sprintf("%5.1f%%", r.V6[cat]*100)})
+	}
+	return report.Table("Figure 5: engine ID format distribution", rows)
+}
+
+// Figure6Result: relative Hamming weight of Octets vs non-conforming
+// engine IDs (Figure 6).
+type Figure6Result struct {
+	// OctetsHist and NonConformingHist are 20-bin histograms over [0,1].
+	OctetsHist, NonConformingHist []float64
+	OctetsMean, NonConformingMean float64
+	NonConformingSkew             float64
+	OctetsN, NonConformingN       int
+}
+
+// Figure6 computes the Hamming-weight distributions over distinct IPv4
+// engine IDs.
+func Figure6(e *Env) *Figure6Result {
+	var octets, noncon []float64
+	seen := map[string]bool{}
+	for _, o := range mergedObservations(e.V4Scan1, e.V4Scan2) {
+		key := string(o.EngineID)
+		if len(o.EngineID) == 0 || seen[key] {
+			continue
+		}
+		seen[key] = true
+		p := engineid.Classify(o.EngineID)
+		switch p.Format {
+		case engineid.FormatOctets:
+			octets = append(octets, engineid.RelativeHammingWeight(p.Data))
+		case engineid.FormatNonConforming:
+			noncon = append(noncon, engineid.RelativeHammingWeight(p.Raw))
+		}
+	}
+	return &Figure6Result{
+		OctetsHist:        analysis.Histogram(octets, 0, 1, 20),
+		NonConformingHist: analysis.Histogram(noncon, 0, 1, 20),
+		OctetsMean:        analysis.Mean(octets),
+		NonConformingMean: analysis.Mean(noncon),
+		NonConformingSkew: analysis.Skewness(noncon),
+		OctetsN:           len(octets),
+		NonConformingN:    len(noncon),
+	}
+}
+
+// Render formats Figure 6.
+func (r *Figure6Result) Render() string {
+	rows := [][]string{{"Rel. Hamming weight", "Octets", "Non-conforming"}}
+	for i := range r.OctetsHist {
+		lo := float64(i) / 20
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f-%.2f", lo, lo+0.05),
+			fmt.Sprintf("%5.1f%%", r.OctetsHist[i]*100),
+			fmt.Sprintf("%5.1f%%", r.NonConformingHist[i]*100),
+		})
+	}
+	s := report.Table("Figure 6: relative Hamming weight of engine IDs", rows)
+	s += fmt.Sprintf("means: octets %.3f (n=%d), non-conforming %.3f (n=%d, skew %+.2f)\n",
+		r.OctetsMean, r.OctetsN, r.NonConformingMean, r.NonConformingN, r.NonConformingSkew)
+	return s
+}
+
+// Figure7Result: last-reboot distribution of the top-3 engine IDs per
+// family (Figure 7) — the evidence that popular engine IDs are shared by
+// unrelated devices.
+type Figure7Result struct {
+	// Top engine IDs (hex) and the reboot-time spread of each.
+	V4 []Figure7Entry
+	V6 []Figure7Entry
+}
+
+// Figure7Entry is one popular engine ID.
+type Figure7Entry struct {
+	EngineID string
+	IPs      int
+	// SpreadDays is the span between the 5th and 95th percentile of last
+	// reboot times: near zero for a true single device.
+	SpreadDays float64
+	Reboots    *analysis.ECDF
+}
+
+func topEngineIDs(obs []*core.Observation, k int) []Figure7Entry {
+	byID := map[string][]*core.Observation{}
+	for _, o := range obs {
+		if len(o.EngineID) > 0 {
+			byID[string(o.EngineID)] = append(byID[string(o.EngineID)], o)
+		}
+	}
+	ids := make([]string, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if len(byID[ids[i]]) != len(byID[ids[j]]) {
+			return len(byID[ids[i]]) > len(byID[ids[j]])
+		}
+		return ids[i] < ids[j]
+	})
+	if len(ids) > k {
+		ids = ids[:k]
+	}
+	out := make([]Figure7Entry, 0, k)
+	for _, id := range ids {
+		group := byID[id]
+		vals := make([]float64, 0, len(group))
+		for _, o := range group {
+			vals = append(vals, float64(o.LastReboot().Unix()))
+		}
+		ecdf := analysis.NewECDF(vals)
+		spread := (ecdf.Quantile(0.95) - ecdf.Quantile(0.05)) / 86400
+		out = append(out, Figure7Entry{
+			EngineID:   fmt.Sprintf("0x%x", []byte(id)),
+			IPs:        len(group),
+			SpreadDays: spread,
+			Reboots:    ecdf,
+		})
+	}
+	return out
+}
+
+// Figure7 finds the top-3 engine IDs per family.
+func Figure7(e *Env) *Figure7Result {
+	return &Figure7Result{
+		V4: topEngineIDs(mergedObservations(e.V4Scan1, e.V4Scan2), 3),
+		V6: topEngineIDs(mergedObservations(e.V6Scan1, e.V6Scan2), 3),
+	}
+}
+
+// Render formats Figure 7.
+func (r *Figure7Result) Render() string {
+	rows := [][]string{{"Family", "Engine ID", "IPs", "reboot spread (days, p5-p95)"}}
+	add := func(fam string, entries []Figure7Entry) {
+		for i, en := range entries {
+			rows = append(rows, []string{
+				fmt.Sprintf("%s #%d", fam, i+1),
+				truncate(en.EngineID, 30),
+				report.Count(en.IPs),
+				fmt.Sprintf("%.1f", en.SpreadDays),
+			})
+		}
+	}
+	add("IPv4", r.V4)
+	add("IPv6", r.V6)
+	return report.Table("Figure 7: last reboot spread of the top-3 engine IDs", rows)
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// Figure8Result: last-reboot difference between the two campaigns
+// (Figure 8), for all IPs and for router IPs.
+type Figure8Result struct {
+	V4All, V4Router *analysis.ECDF
+	V6All, V6Router *analysis.ECDF
+	// WithinThresholdRouter4 is the share of IPv4 router IPs within the
+	// 10 s threshold (the knee the paper picks).
+	WithinThresholdRouter4 float64
+}
+
+// Figure8 computes reboot deltas over the merged pre-threshold data: every
+// IP answering consistently in both campaigns with matching boots, before
+// the final 10 s filter is applied.
+func Figure8(e *Env) *Figure8Result {
+	var all4, rtr4, all6, rtr6 []float64
+	walk := func(s1, s2 *core.Campaign, isRouter map[netip.Addr]bool, all, rtr *[]float64) {
+		for ip, o1 := range s1.ByIP {
+			o2, ok := s2.ByIP[ip]
+			if !ok || len(o1.EngineID) == 0 || string(o1.EngineID) != string(o2.EngineID) {
+				continue
+			}
+			if o1.EngineTime == 0 || o2.EngineTime == 0 || o1.EngineBoots != o2.EngineBoots {
+				continue
+			}
+			d := o1.LastReboot().Sub(o2.LastReboot())
+			if d < 0 {
+				d = -d
+			}
+			sec := d.Seconds()
+			if sec > 120 {
+				sec = 120 // the paper's x-axis tops at 120 s
+			}
+			*all = append(*all, sec)
+			if isRouter[ip] {
+				*rtr = append(*rtr, sec)
+			}
+		}
+	}
+	walk(e.V4Scan1, e.V4Scan2, e.RouterAddrs4, &all4, &rtr4)
+	walk(e.V6Scan1, e.V6Scan2, e.RouterAddrs6, &all6, &rtr6)
+
+	res := &Figure8Result{
+		V4All:    analysis.NewECDF(all4),
+		V4Router: analysis.NewECDF(rtr4),
+		V6All:    analysis.NewECDF(all6),
+		V6Router: analysis.NewECDF(rtr6),
+	}
+	res.WithinThresholdRouter4 = res.V4Router.At(filter.RebootThreshold.Seconds())
+	return res
+}
+
+// Render formats Figure 8.
+func (r *Figure8Result) Render() string {
+	s := report.ECDFSeries("Figure 8: |Δ last reboot| between scans [s]",
+		[]string{"IPv4 all", "IPv4 routers", "IPv6 all", "IPv6 routers"},
+		[]*analysis.ECDF{r.V4All, r.V4Router, r.V6All, r.V6Router}, "%.1f")
+	s += fmt.Sprintf("IPv4 router IPs within %v threshold: %.1f%%\n",
+		filter.RebootThreshold, r.WithinThresholdRouter4*100)
+	return s
+}
+
+// Figure13Result: time since last reboot for routers (Figure 13).
+type Figure13Result struct {
+	Reboots *analysis.ECDF
+	// Shares match the paper's prose: rebooted within 30 days, within the
+	// measurement year, more than a year ago.
+	WithinMonth, WithinYearOfScan, OverOneYear float64
+}
+
+// Figure13 computes router uptime from the validated router alias sets.
+func Figure13(e *Env) *Figure13Result {
+	scanTime := e.World.Cfg.StartTime.Add(15 * 24 * time.Hour)
+	var ages []float64
+	for _, s := range e.RouterSets {
+		m := s.Members[0]
+		age := scanTime.Sub(m.LastReboot[0])
+		ages = append(ages, age.Hours()/24)
+	}
+	ecdf := analysis.NewECDF(ages)
+	yearStart := scanTime.Sub(time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)).Hours() / 24
+	return &Figure13Result{
+		Reboots:          ecdf,
+		WithinMonth:      ecdf.At(30),
+		WithinYearOfScan: ecdf.At(yearStart),
+		OverOneYear:      1 - ecdf.At(365),
+	}
+}
+
+// Render formats Figure 13.
+func (r *Figure13Result) Render() string {
+	s := report.ECDFSeries("Figure 13: days since last reboot (routers)",
+		[]string{"days"}, []*analysis.ECDF{r.Reboots}, "%.0f")
+	s += fmt.Sprintf("rebooted <=30d: %.0f%%; within measurement year: %.0f%%; >1y ago: %.0f%%\n",
+		r.WithinMonth*100, r.WithinYearOfScan*100, r.OverOneYear*100)
+	return s
+}

@@ -1,0 +1,518 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"snmpv3fp/internal/alias"
+	"snmpv3fp/internal/analysis"
+	"snmpv3fp/internal/netsim"
+	"snmpv3fp/internal/report"
+)
+
+// VendorSplit counts alias sets per vendor, split by address family
+// (the stacked bars of Figures 11 and 12).
+type VendorSplit struct {
+	Vendor string
+	V4Only int
+	V6Only int
+	Dual   int
+}
+
+// Total is the overall set count for the vendor.
+func (v VendorSplit) Total() int { return v.V4Only + v.V6Only + v.Dual }
+
+func vendorSplits(sets []*alias.Set, topK int) []VendorSplit {
+	agg := map[string]*VendorSplit{}
+	for _, s := range sets {
+		vendor := SetVendor(s).VendorLabel()
+		vs := agg[vendor]
+		if vs == nil {
+			vs = &VendorSplit{Vendor: vendor}
+			agg[vendor] = vs
+		}
+		switch s.Family() {
+		case alias.V4Only:
+			vs.V4Only++
+		case alias.V6Only:
+			vs.V6Only++
+		default:
+			vs.Dual++
+		}
+	}
+	out := make([]VendorSplit, 0, len(agg))
+	for _, vs := range agg {
+		out = append(out, *vs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total() != out[j].Total() {
+			return out[i].Total() > out[j].Total()
+		}
+		return out[i].Vendor < out[j].Vendor
+	})
+	if topK > 0 && len(out) > topK {
+		out = out[:topK]
+	}
+	return out
+}
+
+// Figure11Result: device vendor popularity (Figure 11).
+type Figure11Result struct {
+	TotalDevices int
+	Top          []VendorSplit
+	// Top10Share is the fraction of devices covered by the top-10 vendors
+	// (paper: >80%).
+	Top10Share float64
+}
+
+// Figure11 fingerprints every alias set.
+func Figure11(e *Env) *Figure11Result {
+	r := &Figure11Result{TotalDevices: len(e.CombinedSets)}
+	all := vendorSplits(e.CombinedSets, 0)
+	topTotal := 0
+	for i, vs := range all {
+		if i < 10 {
+			topTotal += vs.Total()
+		}
+	}
+	if len(all) > 10 {
+		r.Top = all[:10]
+	} else {
+		r.Top = all
+	}
+	if r.TotalDevices > 0 {
+		r.Top10Share = float64(topTotal) / float64(r.TotalDevices)
+	}
+	return r
+}
+
+// Render formats Figure 11.
+func (r *Figure11Result) Render() string {
+	rows := [][]string{{"Vendor", "IPv4-only", "IPv6-only", "dual-stack", "total"}}
+	for _, vs := range r.Top {
+		rows = append(rows, []string{vs.Vendor,
+			report.Count(vs.V4Only), report.Count(vs.V6Only), report.Count(vs.Dual), report.Count(vs.Total())})
+	}
+	s := report.Table(fmt.Sprintf("Figure 11: vendor popularity (%s devices de-aliased)", report.Count(r.TotalDevices)), rows)
+	s += fmt.Sprintf("top-10 vendors cover %.1f%% of devices\n", r.Top10Share*100)
+	return s
+}
+
+// Figure12Result: router vendor popularity (Figure 12).
+type Figure12Result struct {
+	TotalRouters int
+	V4Only       int
+	V6Only       int
+	Dual         int
+	Top          []VendorSplit
+	// Top4Share is the share of the four major vendors (paper: >95% via
+	// Cisco, Huawei, Juniper, H3C).
+	Top4Share   float64
+	Top4Vendors []string
+	// LeaderShareCI is the bootstrap 95% interval of the #1 vendor's
+	// market share (not in the paper; quantifies the estimate).
+	LeaderShareCI [2]float64
+}
+
+// Figure12 fingerprints the router alias sets.
+func Figure12(e *Env) *Figure12Result {
+	r := &Figure12Result{TotalRouters: len(e.RouterSets)}
+	for _, s := range e.RouterSets {
+		switch s.Family() {
+		case alias.V4Only:
+			r.V4Only++
+		case alias.V6Only:
+			r.V6Only++
+		default:
+			r.Dual++
+		}
+	}
+	all := vendorSplits(e.RouterSets, 0)
+	if len(all) > 10 {
+		r.Top = all[:10]
+	} else {
+		r.Top = all
+	}
+	top4 := 0
+	for i, vs := range all {
+		if i < 4 {
+			top4 += vs.Total()
+			r.Top4Vendors = append(r.Top4Vendors, vs.Vendor)
+		}
+	}
+	if r.TotalRouters > 0 {
+		r.Top4Share = float64(top4) / float64(r.TotalRouters)
+	}
+	if len(all) > 0 && r.TotalRouters > 0 {
+		lo, hi := analysis.ProportionCI(all[0].Total(), r.TotalRouters, 400, 0.95, 12)
+		r.LeaderShareCI = [2]float64{lo, hi}
+	}
+	return r
+}
+
+// Render formats Figure 12.
+func (r *Figure12Result) Render() string {
+	rows := [][]string{{"Vendor", "IPv4-only", "IPv6-only", "dual-stack", "total"}}
+	for _, vs := range r.Top {
+		rows = append(rows, []string{vs.Vendor,
+			report.Count(vs.V4Only), report.Count(vs.V6Only), report.Count(vs.Dual), report.Count(vs.Total())})
+	}
+	s := report.Table(fmt.Sprintf("Figure 12: router vendor popularity (%s routers: %s v4-only, %s v6-only, %s dual)",
+		report.Count(r.TotalRouters), report.Count(r.V4Only), report.Count(r.V6Only), report.Count(r.Dual)), rows)
+	s += fmt.Sprintf("top-4 vendors (%s) cover %.1f%% of routers\n",
+		strings.Join(r.Top4Vendors, ", "), r.Top4Share*100)
+	if r.LeaderShareCI[1] > 0 {
+		s += fmt.Sprintf("leading vendor share: %.1f%% (bootstrap 95%%: %.1f%%-%.1f%%)\n",
+			100*float64(r.Top[0].Total())/float64(r.TotalRouters),
+			r.LeaderShareCI[0]*100, r.LeaderShareCI[1]*100)
+	}
+	return s
+}
+
+// routerVendorByAS aggregates router alias sets into per-AS vendor counts.
+func routerVendorByAS(e *Env) map[uint32]map[string]int {
+	perAS := map[uint32]map[string]int{}
+	for _, s := range e.RouterSets {
+		asn, ok := e.SetASN(s)
+		if !ok {
+			continue
+		}
+		vendor := SetVendor(s).VendorLabel()
+		if perAS[asn] == nil {
+			perAS[asn] = map[string]int{}
+		}
+		perAS[asn][vendor]++
+	}
+	return perAS
+}
+
+// Figure14Result: number of router vendors per AS (Figure 14).
+type Figure14Result struct {
+	ByThreshold map[int]*analysis.ECDF
+	// SingleVendorShare5 is the share of ASes with 5+ routers that run a
+	// single vendor (paper: ~40%).
+	SingleVendorShare5 float64
+}
+
+// Figure14Thresholds mirrors the paper's router-count cuts.
+var Figure14Thresholds = []int{1, 5, 20, 100, 1000}
+
+// Figure14 counts distinct vendors per AS.
+func Figure14(e *Env) *Figure14Result {
+	perAS := routerVendorByAS(e)
+	r := &Figure14Result{ByThreshold: map[int]*analysis.ECDF{}}
+	for _, th := range Figure14Thresholds {
+		var counts []float64
+		single5 := 0
+		n5 := 0
+		for _, vendors := range perAS {
+			routers := 0
+			for _, c := range vendors {
+				routers += c
+			}
+			if routers >= th {
+				counts = append(counts, float64(len(vendors)))
+			}
+			if th == 5 && routers >= 5 {
+				n5++
+				if len(vendors) == 1 {
+					single5++
+				}
+			}
+		}
+		r.ByThreshold[th] = analysis.NewECDF(counts)
+		if th == 5 && n5 > 0 {
+			r.SingleVendorShare5 = float64(single5) / float64(n5)
+		}
+	}
+	return r
+}
+
+// Render formats Figure 14.
+func (r *Figure14Result) Render() string {
+	names := make([]string, 0, len(Figure14Thresholds))
+	curves := make([]*analysis.ECDF, 0, len(Figure14Thresholds))
+	for _, th := range Figure14Thresholds {
+		label := "all ASes"
+		if th > 1 {
+			label = fmt.Sprintf("ASes %d+ routers", th)
+		}
+		names = append(names, label)
+		curves = append(curves, r.ByThreshold[th])
+	}
+	s := report.ECDFSeries("Figure 14: number of router vendors per AS", names, curves, "%.0f")
+	s += fmt.Sprintf("single-vendor share among ASes with 5+ routers: %.0f%%\n", r.SingleVendorShare5*100)
+	return s
+}
+
+// RegionVendorShare is one heatmap row: vendor shares in one region.
+type RegionVendorShare struct {
+	Region  netsim.Region
+	Routers int
+	// Share maps vendor -> percentage of the region's routers.
+	Share map[string]float64
+}
+
+// Figure15Vendors is the heatmap column order.
+var Figure15Vendors = []string{"Cisco", "Huawei", "Net-SNMP", "Juniper", "Other"}
+
+// Figure15Result: router vendor popularity per continent (Figure 15).
+type Figure15Result struct {
+	Rows []RegionVendorShare
+}
+
+// Figure15 aggregates router vendors per region.
+func Figure15(e *Env) *Figure15Result {
+	perRegion := map[netsim.Region]map[string]int{}
+	totals := map[netsim.Region]int{}
+	for _, s := range e.RouterSets {
+		region, ok := e.SetRegion(s)
+		if !ok {
+			continue
+		}
+		vendor := SetVendor(s).VendorLabel()
+		if perRegion[region] == nil {
+			perRegion[region] = map[string]int{}
+		}
+		perRegion[region][vendor]++
+		totals[region]++
+	}
+	r := &Figure15Result{}
+	for _, region := range netsim.AllRegions {
+		total := totals[region]
+		row := RegionVendorShare{Region: region, Routers: total, Share: map[string]float64{}}
+		if total > 0 {
+			other := 0
+			for vendor, c := range perRegion[region] {
+				named := false
+				for _, v := range Figure15Vendors[:len(Figure15Vendors)-1] {
+					if vendor == v {
+						row.Share[v] = 100 * float64(c) / float64(total)
+						named = true
+					}
+				}
+				if !named {
+					other += c
+				}
+			}
+			row.Share["Other"] = 100 * float64(other) / float64(total)
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	// Sort by router count, as the paper orders its heatmap rows.
+	sort.Slice(r.Rows, func(i, j int) bool { return r.Rows[i].Routers > r.Rows[j].Routers })
+	return r
+}
+
+// Render formats Figure 15.
+func (r *Figure15Result) Render() string {
+	rowLabels := make([]string, len(r.Rows))
+	cells := make([][]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		rowLabels[i] = fmt.Sprintf("%s (%s)", row.Region, report.Count(row.Routers))
+		cells[i] = make([]float64, len(Figure15Vendors))
+		for j, v := range Figure15Vendors {
+			cells[i][j] = row.Share[v]
+		}
+	}
+	return report.Heatmap("Figure 15: router vendor share per continent [%]", rowLabels, Figure15Vendors, cells)
+}
+
+// Figure16Result: vendor popularity in the top-10 networks (Figure 16).
+type Figure16Result struct {
+	Rows []struct {
+		Label   string
+		Region  netsim.Region
+		Routers int
+		Share   map[string]float64
+		// TopTwoShare is the combined share of the two largest vendors
+		// (paper: typically >95%).
+		TopTwoShare float64
+	}
+}
+
+// Figure16 finds the ten ASes with the most routers.
+func Figure16(e *Env) *Figure16Result {
+	perAS := routerVendorByAS(e)
+	type asEntry struct {
+		asn     uint32
+		routers int
+	}
+	entries := make([]asEntry, 0, len(perAS))
+	for asn, vendors := range perAS {
+		n := 0
+		for _, c := range vendors {
+			n += c
+		}
+		entries = append(entries, asEntry{asn, n})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].routers != entries[j].routers {
+			return entries[i].routers > entries[j].routers
+		}
+		return entries[i].asn < entries[j].asn
+	})
+	if len(entries) > 10 {
+		entries = entries[:10]
+	}
+	r := &Figure16Result{}
+	regionCounter := map[netsim.Region]int{}
+	for _, en := range entries {
+		a := e.World.ASByNumber(en.asn)
+		region := a.Region
+		regionCounter[region]++
+		share := map[string]float64{}
+		var counts []int
+		for vendor, c := range perAS[en.asn] {
+			share[vendor] = 100 * float64(c) / float64(en.routers)
+			counts = append(counts, c)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+		topTwo := 0
+		for i, c := range counts {
+			if i < 2 {
+				topTwo += c
+			}
+		}
+		r.Rows = append(r.Rows, struct {
+			Label       string
+			Region      netsim.Region
+			Routers     int
+			Share       map[string]float64
+			TopTwoShare float64
+		}{
+			Label:       fmt.Sprintf("%s-%d", region, regionCounter[region]),
+			Region:      region,
+			Routers:     en.routers,
+			Share:       share,
+			TopTwoShare: float64(topTwo) / float64(en.routers),
+		})
+	}
+	return r
+}
+
+// Render formats Figure 16.
+func (r *Figure16Result) Render() string {
+	rowLabels := make([]string, len(r.Rows))
+	cells := make([][]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		rowLabels[i] = fmt.Sprintf("%s (%s)", row.Label, report.Count(row.Routers))
+		cells[i] = make([]float64, len(Figure15Vendors))
+		for j, v := range Figure15Vendors {
+			if v == "Other" {
+				named := 0.0
+				for _, nv := range Figure15Vendors[:len(Figure15Vendors)-1] {
+					named += row.Share[nv]
+				}
+				cells[i][j] = 100 - named
+			} else {
+				cells[i][j] = row.Share[v]
+			}
+		}
+	}
+	return report.Heatmap("Figure 16: vendor share in the top-10 networks by router count [%]", rowLabels, Figure15Vendors, cells)
+}
+
+// Figure17Result: vendor dominance per AS (Figure 17).
+type Figure17Result struct {
+	ByThreshold map[int]*analysis.ECDF
+	// HighDominanceShare is the fraction of ASes (2+ routers) with
+	// dominance >= 0.7 (paper: >80% of networks).
+	HighDominanceShare float64
+}
+
+// Figure17Thresholds mirrors the paper's cuts.
+var Figure17Thresholds = []int{2, 5, 10, 50, 100}
+
+// Figure17 computes per-AS vendor dominance.
+func Figure17(e *Env) *Figure17Result {
+	perAS := routerVendorByAS(e)
+	r := &Figure17Result{ByThreshold: map[int]*analysis.ECDF{}}
+	for _, th := range Figure17Thresholds {
+		var doms []float64
+		high, n := 0, 0
+		for _, vendors := range perAS {
+			routers := 0
+			for _, c := range vendors {
+				routers += c
+			}
+			if routers < th {
+				continue
+			}
+			d := analysis.Dominance(vendors)
+			doms = append(doms, d)
+			if th == 2 {
+				n++
+				if d >= 0.7 {
+					high++
+				}
+			}
+		}
+		r.ByThreshold[th] = analysis.NewECDF(doms)
+		if th == 2 && n > 0 {
+			r.HighDominanceShare = float64(high) / float64(n)
+		}
+	}
+	return r
+}
+
+// Render formats Figure 17.
+func (r *Figure17Result) Render() string {
+	names := make([]string, 0, len(Figure17Thresholds))
+	curves := make([]*analysis.ECDF, 0, len(Figure17Thresholds))
+	for _, th := range Figure17Thresholds {
+		names = append(names, fmt.Sprintf("ASes %d+ routers", th))
+		curves = append(curves, r.ByThreshold[th])
+	}
+	s := report.ECDFSeries("Figure 17: vendor dominance per AS", names, curves, "%.2f")
+	s += fmt.Sprintf("ASes (2+ routers) with dominance >= 0.7: %.0f%%\n", r.HighDominanceShare*100)
+	return s
+}
+
+// Figure18Result: vendor dominance per region, ASes with 10+ routers
+// (Figure 18).
+type Figure18Result struct {
+	ByRegion map[netsim.Region]*analysis.ECDF
+	ASCounts map[netsim.Region]int
+}
+
+// Figure18 splits dominance by region.
+func Figure18(e *Env) *Figure18Result {
+	perAS := routerVendorByAS(e)
+	r := &Figure18Result{
+		ByRegion: map[netsim.Region]*analysis.ECDF{},
+		ASCounts: map[netsim.Region]int{},
+	}
+	samples := map[netsim.Region][]float64{}
+	for asn, vendors := range perAS {
+		routers := 0
+		for _, c := range vendors {
+			routers += c
+		}
+		if routers < 10 {
+			continue
+		}
+		a := e.World.ASByNumber(asn)
+		if a == nil {
+			continue
+		}
+		samples[a.Region] = append(samples[a.Region], analysis.Dominance(vendors))
+	}
+	for _, region := range netsim.AllRegions {
+		r.ByRegion[region] = analysis.NewECDF(samples[region])
+		r.ASCounts[region] = len(samples[region])
+	}
+	return r
+}
+
+// Render formats Figure 18.
+func (r *Figure18Result) Render() string {
+	names := make([]string, 0, len(netsim.AllRegions))
+	curves := make([]*analysis.ECDF, 0, len(netsim.AllRegions))
+	for _, region := range netsim.AllRegions {
+		names = append(names, fmt.Sprintf("%s (%d ASes)", region, r.ASCounts[region]))
+		curves = append(curves, r.ByRegion[region])
+	}
+	return report.ECDFSeries("Figure 18: vendor dominance per region (ASes with 10+ routers)", names, curves, "%.2f")
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"testing"
+
+	"snmpv3fp/internal/netsim"
+)
+
+// TestFullScaleShapes validates the headline paper shapes at the default
+// (publication) scale — the configuration cmd/reproduce and the benchmarks
+// use. Tiny-scale tests can miss full-scale calibration regressions, so
+// this runs the complete pipeline once (guarded by -short).
+func TestFullScaleShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale pipeline (~30s); skipped in -short mode")
+	}
+	e, err := Shared(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Table 1 funnel: the two-scan overlap keeps most responders; the
+	// timeliness filters cut roughly half.
+	t1 := Table1(e)
+	if t1.IPs[0] < 100_000 {
+		t.Errorf("IPv4 scan 1 found only %d IPs", t1.IPs[0])
+	}
+	ratio := float64(t1.ValidEngineIDTime[0]) / float64(t1.IPs[0])
+	if ratio < 0.3 || ratio > 0.7 {
+		t.Errorf("valid/responsive ratio = %.2f, want ~0.5", ratio)
+	}
+
+	// Figure 7: the Cisco bug engine ID tops the IPv4 list with a
+	// multi-year reboot spread.
+	f7 := Figure7(e)
+	bugID := "0x800000090300000000000000"
+	if f7.V4[0].EngineID != bugID {
+		t.Errorf("top IPv4 engine ID = %s, want the CSCts87275 constant", f7.V4[0].EngineID)
+	}
+	if f7.V4[0].SpreadDays < 365 {
+		t.Errorf("bug population reboot spread = %.0f days", f7.V4[0].SpreadDays)
+	}
+
+	// Figure 12: the exact top-4 vendor set, in order.
+	f12 := Figure12(e)
+	want := []string{"Cisco", "Huawei", "Juniper", "H3C"}
+	for i, v := range want {
+		if f12.Top[i].Vendor != v {
+			t.Errorf("router vendor #%d = %s, want %s", i+1, f12.Top[i].Vendor, v)
+		}
+	}
+	if f12.Top4Share < 0.90 {
+		t.Errorf("top-4 share = %.2f", f12.Top4Share)
+	}
+	if !(f12.LeaderShareCI[0] < 0.69 && f12.LeaderShareCI[1] > 0.60) {
+		t.Errorf("leader CI = %v", f12.LeaderShareCI)
+	}
+
+	// Figure 15: Huawei absent from North America, strong in Asia.
+	f15 := Figure15(e)
+	for _, row := range f15.Rows {
+		if row.Region == netsim.RegionNA && row.Share["Huawei"] > 1 {
+			t.Errorf("NA Huawei share = %.1f%%", row.Share["Huawei"])
+		}
+		if row.Region == netsim.RegionAS && row.Share["Huawei"] < 15 {
+			t.Errorf("AS Huawei share = %.1f%%", row.Share["Huawei"])
+		}
+	}
+
+	// Section 5.4: combined > SNMPv3-only > MIDAR-only, as measured.
+	s54 := Section54(e)
+	if !(s54.Union > s54.SNMPOnly && s54.SNMPOnly > s54.MIDAROnly) {
+		t.Errorf("coverage ordering broken: %.3f / %.3f / %.3f",
+			s54.MIDAROnly, s54.SNMPOnly, s54.Union)
+	}
+
+	// Figure 9: alias resolution stays near-perfect at scale.
+	f9 := Figure9(e)
+	if f9.Precision < 0.999 {
+		t.Errorf("precision = %.4f", f9.Precision)
+	}
+	if f9.Recall < 0.9 {
+		t.Errorf("recall = %.4f", f9.Recall)
+	}
+}
+
+// TestMultiSeedShapes guards the shape assertions against seed overfitting:
+// the central claims must hold for worlds the tests were not tuned on.
+func TestMultiSeedShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep; skipped in -short mode")
+	}
+	for _, seed := range []int64{2, 3} {
+		e, err := SharedTiny(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f12 := Figure12(e)
+		if f12.Top[0].Vendor != "Cisco" {
+			t.Errorf("seed %d: top router vendor = %s", seed, f12.Top[0].Vendor)
+		}
+		if f12.Top4Share < 0.75 {
+			t.Errorf("seed %d: top-4 share = %.2f", seed, f12.Top4Share)
+		}
+		f9 := Figure9(e)
+		if f9.Precision < 0.99 {
+			t.Errorf("seed %d: precision = %.4f", seed, f9.Precision)
+		}
+		f19 := Figure19(e)
+		if f19.UniqueShareV4 < 0.9 {
+			t.Errorf("seed %d: tuple uniqueness = %.3f", seed, f19.UniqueShareV4)
+		}
+		s54 := Section54(e)
+		if s54.Union <= s54.MIDAROnly {
+			t.Errorf("seed %d: combined coverage not above MIDAR", seed)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"snmpv3fp/internal/core"
+	"snmpv3fp/internal/report"
+	"snmpv3fp/internal/tracker"
+)
+
+// MonitorResult implements the longitudinal follow-up the paper's
+// Section 6.3 announces: repeated campaigns tracking last-reboot times and
+// engine-boots counters to observe restarts, outages, and identifier
+// churn over time. This is an extension beyond the paper's published
+// tables (clearly marked as such in EXPERIMENTS.md).
+type MonitorResult struct {
+	Campaigns int
+	Summary   tracker.Summary
+	// RebootRatePerWeek is restart events per tracked IP per week over the
+	// monitoring window.
+	RebootRatePerWeek float64
+	// WindowDays is the monitoring window length.
+	WindowDays float64
+}
+
+// Monitor extends the shared measurement with two additional IPv4
+// campaigns two weeks apart and tracks every IP across all four.
+func Monitor(e *Env) (*MonitorResult, error) {
+	w := e.World
+	day := 24 * time.Hour
+	prefixes := w.ScanPrefixes4()
+
+	extra := make([]*core.Campaign, 0, 2)
+	for i, at := range []time.Duration{35 * day, 49 * day} {
+		w.Clock.Set(w.Cfg.StartTime.Add(at))
+		c, err := runPrefixes(w, prefixes, v4Rate, w.Cfg.Seed+200+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		extra = append(extra, c)
+	}
+	campaigns := []*core.Campaign{e.V4Scan1, e.V4Scan2, extra[0], extra[1]}
+	timelines := tracker.Build(campaigns)
+	sum := tracker.Summarize(timelines)
+
+	window := 49.0 - 15.0 // days between first and last campaign
+	r := &MonitorResult{
+		Campaigns:  len(campaigns),
+		Summary:    sum,
+		WindowDays: window,
+	}
+	if sum.Tracked > 0 {
+		r.RebootRatePerWeek = float64(sum.RebootEvents) / float64(sum.Tracked) / (window / 7)
+	}
+	return r, nil
+}
+
+// Render formats the monitoring summary.
+func (r *MonitorResult) Render() string {
+	rows := [][]string{
+		{"Quantity", "Value"},
+		{"campaigns", fmt.Sprintf("%d over %.0f days", r.Campaigns, r.WindowDays)},
+		{"IPs tracked (2+ responsive samples)", report.Count(r.Summary.Tracked)},
+		{"IPs with detected restart", report.Count(r.Summary.RebootedIPs)},
+		{"restart events", report.Count(r.Summary.RebootEvents)},
+		{"identifier changes (address churn)", report.Count(r.Summary.IdentityChanges)},
+		{"availability gaps", report.Count(r.Summary.Gaps)},
+		{"mean availability", fmt.Sprintf("%.1f%%", r.Summary.MeanAvailability*100)},
+		{"restart rate", fmt.Sprintf("%.4f per IP-week", r.RebootRatePerWeek)},
+	}
+	return report.Table("Extension (Section 6.3): longitudinal reboot monitoring", rows)
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"snmpv3fp/internal/engineid"
+	"snmpv3fp/internal/labsim"
+	"snmpv3fp/internal/report"
+	"snmpv3fp/internal/snmp"
+	"snmpv3fp/internal/usm"
+)
+
+// Section8Result covers the paper's Section 8 security discussion: the
+// multi-response anomaly, the amplification potential of spoofed-source
+// discovery, and the offline credential brute force that the persistent
+// engine ID enables.
+type Section8Result struct {
+	// MultiResponders is the number of IPv4 addresses answering one probe
+	// with more than one packet (paper: 182k in scan 1).
+	MultiResponders int
+	// HeavyAmplifiers is the number answering with >1000 packets
+	// (paper: 48).
+	HeavyAmplifiers int
+	// MaxResponses is the largest per-probe response count observed
+	// (paper: 48.5M packets over two hours, from one address).
+	MaxResponses int
+	// ProbeBytes / MeanResponseBytes give the bandwidth amplification
+	// factor of a single spoofed discovery probe.
+	ProbeBytes        int
+	MeanResponseBytes float64
+	// BAF is the bandwidth amplification factor for a normal responder
+	// (one response), computed over SNMP payloads.
+	BAF float64
+
+	// Brute force demonstration.
+	CrackedPassword string
+	CrackAttempts   int
+	CrackRate       float64 // candidates per second
+}
+
+// commonPasswords is a tiny embedded wordlist for the demonstration.
+var commonPasswords = []string{
+	"password", "123456", "12345678", "admin", "cisco", "cisco123",
+	"public", "private", "snmpv3", "monitor", "netman", "secret",
+	"maplesyrup", "router", "switch", "juniper123", "S3cur3-Pass",
+}
+
+// Section8 measures the anomalies over the shared campaigns and runs the
+// brute-force demonstration against a lab agent.
+func Section8(e *Env) (*Section8Result, error) {
+	r := &Section8Result{}
+	// Multi-response accounting over scan 1, as in the paper.
+	maxResp := 0
+	for _, o := range e.V4Scan1.ByIP {
+		if o.Packets > 1 {
+			r.MultiResponders++
+		}
+		if o.Packets > 1000 {
+			r.HeavyAmplifiers++
+		}
+		if o.Packets > maxResp {
+			maxResp = o.Packets
+		}
+	}
+	r.MaxResponses = maxResp
+
+	// Amplification factor of the protocol exchange itself.
+	probe, err := snmp.EncodeDiscoveryRequest(1, 1)
+	if err != nil {
+		return nil, err
+	}
+	r.ProbeBytes = len(probe)
+	var totalBytes, totalPkts int
+	for _, o := range e.V4Scan1.ByIP {
+		// Approximate per-response size from a representative rebuild.
+		_ = o
+		totalPkts++
+		if totalPkts > 2000 {
+			break
+		}
+	}
+	// Build one representative response to measure payload size.
+	rep := snmp.NewDiscoveryReport(snmp.NewDiscoveryRequest(1, 1),
+		engineid.NewMAC(9, [6]byte{0x58, 0x8d, 0x09, 1, 2, 3}), 148, 10043812, 1)
+	wire, err := rep.Encode()
+	if err != nil {
+		return nil, err
+	}
+	totalBytes = len(wire)
+	r.MeanResponseBytes = float64(totalBytes)
+	r.BAF = r.MeanResponseBytes / float64(r.ProbeBytes)
+
+	// Offline brute force against captured authenticated traffic: start an
+	// agent with a weak password, capture one authenticated request, crack.
+	user := labsim.V3User{Name: "netops", Protocol: usm.AuthSHA1, Password: "cisco123"}
+	agent, err := labsim.Start(labsim.Config{
+		OS:        labsim.CiscoIOS,
+		Community: "c",
+		User:      &user,
+		EngineID:  engineid.NewMAC(9, [6]byte{0x58, 0x8d, 0x09, 9, 8, 7}),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer agent.Close()
+	probeWire, _ := snmp.EncodeDiscoveryRequest(2, 2)
+	dr, err := snmp.ParseDiscoveryResponse(agent.Handle(probeWire, timeNow()))
+	if err != nil {
+		return nil, err
+	}
+	captured, err := labsim.NewAuthenticatedGet(user, dr.EngineID, dr.EngineBoots, dr.EngineTime, 3, snmp.OIDSysDescr)
+	if err != nil {
+		return nil, err
+	}
+	start := timeNow()
+	pw, tried, ok := usm.Crack(captured, usm.AuthSHA1, commonPasswords)
+	elapsed := timeNow().Sub(start)
+	if !ok {
+		return nil, fmt.Errorf("section8: brute force failed unexpectedly")
+	}
+	r.CrackedPassword = pw
+	r.CrackAttempts = tried
+	if elapsed > 0 {
+		r.CrackRate = float64(tried) / elapsed.Seconds()
+	}
+	return r, nil
+}
+
+// timeNow is a seam for tests; Section 8's rate measurement needs the wall
+// clock.
+var timeNow = time.Now
+
+// Render formats the Section 8 findings.
+func (r *Section8Result) Render() string {
+	rows := [][]string{
+		{"Anomaly / property", "Measured"},
+		{"IPs answering one probe with >1 packet", report.Count(r.MultiResponders)},
+		{"IPs answering with >1000 packets", fmt.Sprintf("%d", r.HeavyAmplifiers)},
+		{"max packets for a single probe", report.Count(r.MaxResponses)},
+		{"discovery probe payload", fmt.Sprintf("%d bytes", r.ProbeBytes)},
+		{"discovery response payload", fmt.Sprintf("%.0f bytes", r.MeanResponseBytes)},
+		{"bandwidth amplification factor", fmt.Sprintf("%.2fx (x%s with duplication)", r.BAF, report.Count(r.MaxResponses))},
+	}
+	s := report.Table("Section 8: potential vulnerabilities of SNMPv3 as deployed", rows)
+	s += fmt.Sprintf("offline brute force (engine ID from discovery): recovered %q after %d candidates (%.0f/s)\n",
+		r.CrackedPassword, r.CrackAttempts, r.CrackRate)
+	return s
+}

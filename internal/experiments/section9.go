@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"snmpv3fp/internal/natinfer"
+	"snmpv3fp/internal/report"
+	"snmpv3fp/internal/scanner"
+)
+
+// Section9Result implements the inference the paper's conclusion proposes
+// as future work: separating load-balanced VIPs from churned addresses
+// among the IPs whose engine identity changed between campaigns.
+type Section9Result struct {
+	Survey *natinfer.Survey
+	// TruePositives / FalseNegatives score the load-balancer calls against
+	// the simulator's ground truth.
+	TruePositives  int
+	FalsePositives int
+	GroundTruthLBs int
+}
+
+// Section9 collects the inter-campaign identity changers and re-probes
+// each with a burst of distinct-ID discovery packets.
+func Section9(e *Env) *Section9Result {
+	var candidates []netip.Addr
+	for ip, o1 := range e.V4Scan1.ByIP {
+		o2, ok := e.V4Scan2.ByIP[ip]
+		if !ok || len(o1.EngineID) == 0 || len(o2.EngineID) == 0 {
+			continue
+		}
+		if string(o1.EngineID) != string(o2.EngineID) {
+			candidates = append(candidates, ip)
+		}
+	}
+	e.World.Clock.Set(e.World.Cfg.StartTime.Add(30 * 24 * time.Hour))
+	survey := natinfer.Run(func() scanner.Transport { return e.World.NewTransport() },
+		candidates, 6, 50*time.Millisecond)
+
+	r := &Section9Result{Survey: survey}
+	// Score against ground truth.
+	lbAddrs := map[netip.Addr]bool{}
+	for _, d := range e.World.Devices {
+		if d.Quirk == 0 {
+			continue
+		}
+		if len(d.Pool) > 0 {
+			for _, a := range d.V4 {
+				lbAddrs[a] = true
+			}
+			r.GroundTruthLBs++
+		}
+	}
+	for _, res := range survey.Results {
+		if res.Verdict == natinfer.LoadBalanced {
+			if lbAddrs[res.IP] {
+				r.TruePositives++
+			} else {
+				r.FalsePositives++
+			}
+		}
+	}
+	return r
+}
+
+// Render formats the inference outcome.
+func (r *Section9Result) Render() string {
+	s := r.Survey
+	rows := [][]string{
+		{"Quantity", "Value"},
+		{"identity-changing IPs (candidates)", report.Count(s.Candidates)},
+		{"re-probed as stable (churned address)", report.Count(s.Stable)},
+		{"re-probed as load-balanced (identity cycling)", report.Count(s.LoadBalanced)},
+		{"unresponsive on re-probe", report.Count(s.Unresponsive)},
+		{"ground-truth load balancers in world", report.Count(r.GroundTruthLBs)},
+		{"load-balancer calls correct / wrong", fmt.Sprintf("%d / %d", r.TruePositives, r.FalsePositives)},
+	}
+	out := report.Table("Section 9 (future work): NAT / load-balancer inference", rows)
+	if n := len(s.PoolSizes); n > 0 {
+		out += fmt.Sprintf("detected pool sizes: min %d, median %d, max %d\n",
+			s.PoolSizes[0], s.PoolSizes[n/2], s.PoolSizes[n-1])
+	}
+	return out
+}

@@ -1,0 +1,315 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"strings"
+	"time"
+
+	"snmpv3fp/internal/baseline/nmapfp"
+	"snmpv3fp/internal/baseline/ttlfp"
+	"snmpv3fp/internal/dissect"
+	"snmpv3fp/internal/engineid"
+	"snmpv3fp/internal/labsim"
+	"snmpv3fp/internal/report"
+	"snmpv3fp/internal/scanner"
+	"snmpv3fp/internal/snmp"
+)
+
+// Section621Result: the lab experiment (Section 6.2.1), run over real
+// loopback UDP sockets.
+type Section621Result struct {
+	Rows []Section621Row
+}
+
+// Section621Row is one (OS, configuration) probe outcome.
+type Section621Row struct {
+	OS            string
+	Configuration string
+	V2Answered    bool
+	V3Answered    bool
+	V3ReportOID   string
+	EngineIDMAC   string
+}
+
+// Section621 starts Cisco IOS, IOS XR and Junos agent models in the three
+// lab configurations and probes each with SNMPv2c (correct community) and
+// an unauthenticated SNMPv3 discovery.
+func Section621() (*Section621Result, error) {
+	res := &Section621Result{}
+	ciscoEngineID := engineid.NewMAC(9, [6]byte{0x58, 0x8d, 0x09, 0x12, 0x34, 0x56})
+	juniperEngineID := engineid.NewMAC(2636, [6]byte{0x2c, 0x6b, 0xf5, 0xab, 0xcd, 0xef})
+
+	type scenario struct {
+		os     labsim.OSBehavior
+		label  string
+		cfg    labsim.Config
+		expect string
+	}
+	scenarios := []scenario{
+		{labsim.CiscoIOS, "no snmp config", labsim.Config{OS: labsim.CiscoIOS, EngineID: ciscoEngineID}, ""},
+		{labsim.CiscoIOS, "snmp-server community pass123 RO", labsim.Config{OS: labsim.CiscoIOS, Community: "pass123", EngineID: ciscoEngineID}, ""},
+		{labsim.CiscoIOSXR, "snmp-server community pass123 RO", labsim.Config{OS: labsim.CiscoIOSXR, Community: "pass123", EngineID: ciscoEngineID}, ""},
+		{labsim.JuniperJunos, "community only (no interface enable)", labsim.Config{OS: labsim.JuniperJunos, Community: "pass123", EngineID: juniperEngineID}, ""},
+		{labsim.JuniperJunos, "community + interface enable", labsim.Config{OS: labsim.JuniperJunos, Community: "pass123", InterfaceEnabled: true, EngineID: juniperEngineID}, ""},
+	}
+	for _, sc := range scenarios {
+		agent, err := labsim.Start(sc.cfg)
+		if err != nil {
+			return nil, err
+		}
+		row, err := probeLabAgent(agent, sc.os.Name, sc.label, "pass123")
+		agent.Close()
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func probeLabAgent(agent *labsim.Agent, osName, label, community string) (Section621Row, error) {
+	row := Section621Row{OS: osName, Configuration: label}
+	addr := agent.Addr()
+
+	conn, err := netDialUDP(addr)
+	if err != nil {
+		return row, err
+	}
+	defer conn.Close()
+
+	// SNMPv2c Get sysDescr with the configured community.
+	v2req, err := snmp.NewGetRequest(snmp.V2c, community, 1001, snmp.OIDSysDescr).Encode()
+	if err != nil {
+		return row, err
+	}
+	if resp, ok := exchange(conn, v2req); ok {
+		if m, err := snmp.DecodeCommunity(resp); err == nil && m.PDU.Type == snmp.PDUGetResponse {
+			row.V2Answered = true
+		}
+	}
+
+	// Unauthenticated SNMPv3 query (noAuthUser / noAuthNoPriv).
+	v3msg := snmp.NewDiscoveryRequest(1002, 1002)
+	v3msg.USM.UserName = []byte("noAuthUser")
+	v3msg.ScopedPDU.PDU.VarBinds = []snmp.VarBind{{Name: snmp.OIDSysDescr, Value: snmp.NullValue()}}
+	v3req, err := v3msg.Encode()
+	if err != nil {
+		return row, err
+	}
+	if resp, ok := exchange(conn, v3req); ok {
+		dr, err := snmp.ParseDiscoveryResponse(resp)
+		if err == nil {
+			row.V3Answered = true
+			row.V3ReportOID = snmp.OIDString(dr.ReportOID)
+			p := engineid.Classify(dr.EngineID)
+			if mac, ok := p.MAC(); ok {
+				vendor, _ := p.Vendor()
+				row.EngineIDMAC = fmt.Sprintf("%02x:%02x:%02x (%s OUI)", mac[0], mac[1], mac[2], vendor)
+			}
+		}
+	}
+	return row, nil
+}
+
+func netDialUDP(addr netip.AddrPort) (*udpConn, error) {
+	tr, err := scanner.NewUDPTransport(addr.Port())
+	if err != nil {
+		return nil, err
+	}
+	return &udpConn{tr: tr, dst: addr.Addr()}, nil
+}
+
+// udpConn is a small request/response helper over the scanner transport.
+type udpConn struct {
+	tr  *scanner.UDPTransport
+	dst netip.Addr
+}
+
+func (c *udpConn) Close() error { return c.tr.Close() }
+
+func exchange(c *udpConn, req []byte) ([]byte, bool) {
+	obs := make(chan []byte, 1)
+	go func() {
+		for {
+			src, payload, _, err := c.tr.Recv()
+			if err != nil {
+				close(obs)
+				return
+			}
+			if src == c.dst {
+				obs <- payload
+				return
+			}
+		}
+	}()
+	if err := c.tr.Send(c.dst, req); err != nil {
+		return nil, false
+	}
+	select {
+	case p, ok := <-obs:
+		return p, ok
+	case <-time.After(500 * time.Millisecond):
+		return nil, false
+	}
+}
+
+// Render formats the lab experiment.
+func (r *Section621Result) Render() string {
+	rows := [][]string{{"Device OS", "Configuration", "v2c (community)", "v3 unauthenticated", "report / engine ID"}}
+	for _, row := range r.Rows {
+		detail := "-"
+		if row.V3Answered {
+			detail = row.V3ReportOID
+			if row.EngineIDMAC != "" {
+				detail += " " + row.EngineIDMAC
+			}
+		}
+		rows = append(rows, []string{
+			row.OS, row.Configuration, yesNo(row.V2Answered), yesNo(row.V3Answered), detail,
+		})
+	}
+	return report.Table("Section 6.2.1: lab validation (loopback UDP)", rows)
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "answers"
+	}
+	return "silent"
+}
+
+// Section623Result: comparison with Nmap (Section 6.2.3).
+type Section623Result struct {
+	Sampled  int
+	NoResult int
+	Match    int
+	Mismatch int
+	// TTL fingerprints of the same sample (Section 7.1 context):
+	TTLAmbiguous int
+	TTLMatches   int
+	TTLTotal     int
+}
+
+// Section623 samples one IPv4 address per SNMPv3 router and fingerprints
+// it with the Nmap and iTTL baselines, comparing against the SNMPv3 vendor.
+func Section623(e *Env) *Section623Result {
+	r := &Section623Result{}
+	rng := rand.New(rand.NewSource(e.World.Cfg.Seed ^ 0x623))
+	for _, s := range e.RouterSets {
+		var v4 []netip.Addr
+		for _, m := range s.Members {
+			if m.IP.Is4() {
+				v4 = append(v4, m.IP)
+			}
+		}
+		if len(v4) == 0 {
+			continue
+		}
+		addr := v4[rng.Intn(len(v4))]
+		snmpVendor := SetVendor(s).VendorLabel()
+		r.Sampled++
+		res := nmapfp.Fingerprint(e.World, addr)
+		switch res.Outcome {
+		case nmapfp.NoResult:
+			r.NoResult++
+		case nmapfp.ExactMatch, nmapfp.BestGuess:
+			if res.Vendor == snmpVendor {
+				r.Match++
+			} else {
+				r.Mismatch++
+			}
+		}
+		if sig, ok := ttlfp.Fingerprint(e.World, addr, 1+rng.Intn(20)); ok {
+			r.TTLTotal++
+			if sig.Ambiguous() {
+				r.TTLAmbiguous++
+			}
+			if sig.Matches(snmpVendor) {
+				r.TTLMatches++
+			}
+		}
+	}
+	return r
+}
+
+// Render formats the Nmap comparison.
+func (r *Section623Result) Render() string {
+	rows := [][]string{
+		{"Outcome", "Routers", "Share"},
+		{"no result (no usable TCP service)", report.Count(r.NoResult), pct(r.NoResult, r.Sampled)},
+		{"fingerprint agrees with SNMPv3", report.Count(r.Match), pct(r.Match, r.Sampled)},
+		{"fingerprint disagrees (best guess)", report.Count(r.Mismatch), pct(r.Mismatch, r.Sampled)},
+	}
+	s := report.Table(fmt.Sprintf("Section 6.2.3: Nmap comparison over %s sampled router IPs", report.Count(r.Sampled)), rows)
+	s += fmt.Sprintf("iTTL baseline: %d/%d consistent with SNMPv3 vendor, %.0f%% ambiguous signatures\n",
+		r.TTLMatches, r.TTLTotal, 100*float64(r.TTLAmbiguous)/float64(maxInt(r.TTLTotal, 1)))
+	return s
+}
+
+func pct(n, total int) string {
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(n)/float64(total))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Figures23Result: the packet dissections of Figures 2 and 3.
+type Figures23Result struct {
+	Request  string
+	Response string
+	// Sizes in bytes, to compare with the paper's 88-byte probe and
+	// ~130-byte response (which include lower-layer headers).
+	RequestBytes, ResponseBytes int
+}
+
+// Figures23 builds a discovery probe and the Brocade response of Figure 3
+// and dissects both.
+func Figures23(e *Env) (*Figures23Result, error) {
+	reqWire, err := snmp.EncodeDiscoveryRequest(821490644, 1565454380)
+	if err != nil {
+		return nil, err
+	}
+	reqTree, err := dissect.Message(reqWire)
+	if err != nil {
+		return nil, err
+	}
+	// Figure 3's response: Brocade, engine ID 800007c703748ef831db80,
+	// boots 148, time 10043812.
+	req := snmp.NewDiscoveryRequest(821490644, 1565454380)
+	rep := snmp.NewDiscoveryReport(req,
+		[]byte{0x80, 0x00, 0x07, 0xc7, 0x03, 0x74, 0x8e, 0xf8, 0x31, 0xdb, 0x80},
+		148, 10043812, 1)
+	repWire, err := rep.Encode()
+	if err != nil {
+		return nil, err
+	}
+	repTree, err := dissect.Message(repWire)
+	if err != nil {
+		return nil, err
+	}
+	return &Figures23Result{
+		Request:       reqTree,
+		Response:      repTree,
+		RequestBytes:  len(reqWire) + 42, // + Ethernet/IP/UDP headers
+		ResponseBytes: len(repWire) + 42,
+	}, nil
+}
+
+// Render formats the two dissections.
+func (r *Figures23Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: SNMPv3 unsolicited synchronization request (%d bytes on the wire)\n", r.RequestBytes)
+	b.WriteString(r.Request)
+	fmt.Fprintf(&b, "\nFigure 3: SNMPv3 synchronization response (%d bytes on the wire)\n", r.ResponseBytes)
+	b.WriteString(r.Response)
+	return b.String()
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"snmpv3fp/internal/alias"
+	"snmpv3fp/internal/filter"
+	"snmpv3fp/internal/report"
+)
+
+// Table1Result reproduces Table 1: the campaign overview.
+type Table1Result struct {
+	// Rows: IPv4 scan 1, IPv4 scan 2, IPv6 scan 1, IPv6 scan 2.
+	IPs       [4]int
+	EngineIDs [4]int
+	// ValidEngineID / ValidEngineIDTime are per family (merged scans).
+	ValidEngineID     [2]int
+	ValidEngineIDTime [2]int
+	// FilterSteps carries the Section 4.4 per-step accounting per family.
+	FilterSteps [2][]filter.Step
+}
+
+// Table1 computes the campaign overview.
+func Table1(e *Env) *Table1Result {
+	r := &Table1Result{}
+	r.IPs = [4]int{len(e.V4Scan1.ByIP), len(e.V4Scan2.ByIP), len(e.V6Scan1.ByIP), len(e.V6Scan2.ByIP)}
+	r.EngineIDs = [4]int{e.V4Filter.Scan1EngineIDs, e.V4Filter.Scan2EngineIDs, e.V6Filter.Scan1EngineIDs, e.V6Filter.Scan2EngineIDs}
+	r.ValidEngineID = [2]int{e.V4Filter.ValidEngineID, e.V6Filter.ValidEngineID}
+	r.ValidEngineIDTime = [2]int{len(e.V4Filter.Valid), len(e.V6Filter.Valid)}
+	r.FilterSteps[0] = e.V4Filter.Steps
+	r.FilterSteps[1] = e.V6Filter.Steps
+	return r
+}
+
+// Render formats the result as the paper's Table 1 plus the Section 4.4
+// step accounting.
+func (r *Table1Result) Render() string {
+	rows := [][]string{
+		{"Measurement", "#IPs", "#Engine IDs", "#IPs valid engine ID", "#IPs valid engine ID & time"},
+		{"IPv4 scan 1", report.Count(r.IPs[0]), report.Count(r.EngineIDs[0]),
+			report.Count(r.ValidEngineID[0]), report.Count(r.ValidEngineIDTime[0])},
+		{"IPv4 scan 2", report.Count(r.IPs[1]), report.Count(r.EngineIDs[1]), "\"", "\""},
+		{"IPv6 scan 1", report.Count(r.IPs[2]), report.Count(r.EngineIDs[2]),
+			report.Count(r.ValidEngineID[1]), report.Count(r.ValidEngineIDTime[1])},
+		{"IPv6 scan 2", report.Count(r.IPs[3]), report.Count(r.EngineIDs[3]), "\"", "\""},
+	}
+	var b strings.Builder
+	b.WriteString(report.Table("Table 1: SNMPv3 measurement campaign overview", rows))
+	for fam, name := range []string{"IPv4", "IPv6"} {
+		srows := [][]string{{"Filter step (" + name + ")", "Removed"}}
+		for _, s := range r.FilterSteps[fam] {
+			srows = append(srows, []string{s.Name, report.Count(s.Removed)})
+		}
+		b.WriteByte('\n')
+		b.WriteString(report.Table("Section 4.4 filtering pipeline ("+name+")", srows))
+	}
+	return b.String()
+}
+
+// Table2Result reproduces Table 2: router datasets and SNMPv3 coverage.
+type Table2Result struct {
+	// Per dataset: total addresses, SNMPv3-responsive addresses.
+	ITDK4, ITDK4Resp     int
+	ITDK6, ITDK6Resp     int
+	Atlas4, Atlas4Resp   int
+	Atlas6, Atlas6Resp   int
+	Hitlist, HitlistResp int
+	Union4, Union4Resp   int
+	Union6, Union6Resp   int
+}
+
+// Table2 computes the router-dataset overview against the raw responsive
+// IP sets (dataset tagging happens before filtering, as in the paper).
+func Table2(e *Env) *Table2Result {
+	resp4 := make(map[netip.Addr]bool, len(e.V4Scan1.ByIP))
+	for ip := range e.V4Scan1.ByIP {
+		resp4[ip] = true
+	}
+	for ip := range e.V4Scan2.ByIP {
+		resp4[ip] = true
+	}
+	resp6 := make(map[netip.Addr]bool, len(e.V6Scan1.ByIP))
+	for ip := range e.V6Scan1.ByIP {
+		resp6[ip] = true
+	}
+	for ip := range e.V6Scan2.ByIP {
+		resp6[ip] = true
+	}
+	count := func(set map[netip.Addr]bool, addrs map[netip.Addr]bool) (int, int) {
+		total, hit := 0, 0
+		for a := range addrs {
+			total++
+			if set[a] {
+				hit++
+			}
+		}
+		return total, hit
+	}
+	r := &Table2Result{}
+	ds := e.Datasets
+	r.ITDK4, r.ITDK4Resp = count(resp4, ds.ITDK4)
+	r.ITDK6, r.ITDK6Resp = count(resp6, ds.ITDK6)
+	r.Atlas4, r.Atlas4Resp = count(resp4, ds.Atlas4)
+	r.Atlas6, r.Atlas6Resp = count(resp6, ds.Atlas6)
+	r.Hitlist, r.HitlistResp = count(resp6, ds.Hitlist6)
+	r.Union4, r.Union4Resp = count(resp4, e.RouterAddrs4)
+	r.Union6, r.Union6Resp = count(resp6, e.RouterAddrs6)
+	return r
+}
+
+// Render formats Table 2.
+func (r *Table2Result) Render() string {
+	f := func(total, resp int) string {
+		return fmt.Sprintf("%s (%s)", report.Count(total), report.Count(resp))
+	}
+	rows := [][]string{
+		{"Router dataset", "IPv4 addrs (SNMPv3)", "IPv6 addrs (SNMPv3)"},
+		{"ITDK", f(r.ITDK4, r.ITDK4Resp), f(r.ITDK6, r.ITDK6Resp)},
+		{"RIPE Atlas", f(r.Atlas4, r.Atlas4Resp), f(r.Atlas6, r.Atlas6Resp)},
+		{"IPv6 Hitlist", "n/a", f(r.Hitlist, r.HitlistResp)},
+		{"Union", f(r.Union4, r.Union4Resp), f(r.Union6, r.Union6Resp)},
+	}
+	return report.Table("Table 2: router datasets and SNMPv3 coverage", rows)
+}
+
+// Table3Result reproduces Appendix A's Table 3: alias-resolution variants.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// Table3Row is one variant's outcome.
+type Table3Row struct {
+	Variant string
+	Stats   alias.Stats
+}
+
+// Table3 runs all eight matching variants over the validated IPv4
+// observations.
+func Table3(e *Env) *Table3Result {
+	r := &Table3Result{}
+	for _, v := range alias.Variants {
+		sets := alias.Resolve(e.V4Filter.Valid, v)
+		r.Rows = append(r.Rows, Table3Row{Variant: v.Name(), Stats: alias.Summarize(sets)})
+	}
+	return r
+}
+
+// Render formats Table 3.
+func (r *Table3Result) Render() string {
+	rows := [][]string{{"Variant", "Alias sets", "Non-singleton", "IPs in non-singleton", "IPs per non-singleton"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Variant,
+			report.Count(row.Stats.Sets),
+			report.Count(row.Stats.NonSingleton),
+			report.Count(row.Stats.IPsNonSingleton),
+			fmt.Sprintf("%.1f", row.Stats.IPsPerNonSingleton()),
+		})
+	}
+	return report.Table("Table 3: comparison of alias resolution approaches (IPv4)", rows)
+}

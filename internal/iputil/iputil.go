@@ -1,0 +1,112 @@
+// Package iputil provides IPv4/IPv6 address helpers shared by the scanner,
+// the simulator, and the filtering pipeline: routability checks per the
+// IANA special-purpose registries, and compact conversions between
+// netip.Addr and integer forms used by the permutation generator.
+package iputil
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// v4Special lists the IPv4 special-purpose prefixes (RFC 6890 and the IANA
+// special-purpose address registry) that the paper's "unroutable IPv4 engine
+// IDs" filter treats as non-unique.
+var v4Special = []netip.Prefix{
+	netip.MustParsePrefix("0.0.0.0/8"),       // "this network"
+	netip.MustParsePrefix("10.0.0.0/8"),      // private
+	netip.MustParsePrefix("100.64.0.0/10"),   // CGN shared space
+	netip.MustParsePrefix("127.0.0.0/8"),     // loopback
+	netip.MustParsePrefix("169.254.0.0/16"),  // link-local
+	netip.MustParsePrefix("172.16.0.0/12"),   // private
+	netip.MustParsePrefix("192.0.0.0/24"),    // IETF protocol assignments
+	netip.MustParsePrefix("192.0.2.0/24"),    // TEST-NET-1
+	netip.MustParsePrefix("192.88.99.0/24"),  // 6to4 relay anycast
+	netip.MustParsePrefix("192.168.0.0/16"),  // private
+	netip.MustParsePrefix("198.18.0.0/15"),   // benchmarking
+	netip.MustParsePrefix("198.51.100.0/24"), // TEST-NET-2
+	netip.MustParsePrefix("203.0.113.0/24"),  // TEST-NET-3
+	netip.MustParsePrefix("224.0.0.0/4"),     // multicast
+	netip.MustParsePrefix("240.0.0.0/4"),     // reserved (incl. broadcast)
+}
+
+// v6Special lists IPv6 prefixes excluded from routable space.
+var v6Special = []netip.Prefix{
+	netip.MustParsePrefix("::/128"),        // unspecified
+	netip.MustParsePrefix("::1/128"),       // loopback
+	netip.MustParsePrefix("::ffff:0:0/96"), // IPv4-mapped
+	netip.MustParsePrefix("100::/64"),      // discard-only
+	netip.MustParsePrefix("2001:db8::/32"), // documentation
+	netip.MustParsePrefix("fc00::/7"),      // unique local
+	netip.MustParsePrefix("fe80::/10"),     // link-local
+	netip.MustParsePrefix("ff00::/8"),      // multicast
+}
+
+// IsRoutable reports whether addr is globally routable (not in a
+// special-purpose registry block). IPv4-mapped IPv6 addresses are unwrapped
+// first.
+func IsRoutable(addr netip.Addr) bool {
+	if !addr.IsValid() {
+		return false
+	}
+	addr = addr.Unmap()
+	if addr.Is4() {
+		for _, p := range v4Special {
+			if p.Contains(addr) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, p := range v6Special {
+		if p.Contains(addr) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsRoutableV4Bytes reports whether the 4 raw octets form a routable IPv4
+// address; it is the check applied to IPv4-format engine ID bodies.
+func IsRoutableV4Bytes(b []byte) bool {
+	if len(b) != 4 {
+		return false
+	}
+	return IsRoutable(netip.AddrFrom4([4]byte{b[0], b[1], b[2], b[3]}))
+}
+
+// V4ToUint converts an IPv4 address to its 32-bit integer form.
+func V4ToUint(addr netip.Addr) uint32 {
+	b := addr.Unmap().As4()
+	return binary.BigEndian.Uint32(b[:])
+}
+
+// UintToV4 converts a 32-bit integer to an IPv4 netip.Addr.
+func UintToV4(v uint32) netip.Addr {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	return netip.AddrFrom4(b)
+}
+
+// PrefixSize returns the number of addresses in the prefix (capped at 2^62
+// to avoid overflow for very short IPv6 prefixes).
+func PrefixSize(p netip.Prefix) uint64 {
+	hostBits := p.Addr().BitLen() - p.Bits()
+	if hostBits >= 62 {
+		return 1 << 62
+	}
+	return 1 << uint(hostBits)
+}
+
+// NthAddr returns the i-th address inside prefix p (0 = network address).
+// It supports IPv4 prefixes and IPv6 prefixes whose host part fits 64 bits.
+func NthAddr(p netip.Prefix, i uint64) netip.Addr {
+	if p.Addr().Is4() {
+		base := V4ToUint(p.Addr())
+		return UintToV4(base + uint32(i))
+	}
+	b := p.Addr().As16()
+	low := binary.BigEndian.Uint64(b[8:])
+	binary.BigEndian.PutUint64(b[8:], low+i)
+	return netip.AddrFrom16(b)
+}

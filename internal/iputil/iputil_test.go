@@ -1,0 +1,114 @@
+package iputil
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsRoutableV4(t *testing.T) {
+	routable := []string{"8.8.8.8", "1.1.1.1", "193.0.14.129", "223.255.255.1"}
+	for _, s := range routable {
+		if !IsRoutable(netip.MustParseAddr(s)) {
+			t.Errorf("%s should be routable", s)
+		}
+	}
+	unroutable := []string{
+		"0.1.2.3", "10.0.0.1", "100.64.1.1", "127.0.0.1", "169.254.1.1",
+		"172.16.0.1", "172.31.255.255", "192.0.0.1", "192.0.2.1",
+		"192.88.99.1", "192.168.1.1", "198.18.0.1", "198.51.100.1",
+		"203.0.113.1", "224.0.0.1", "239.255.255.255", "240.0.0.1",
+		"255.255.255.255",
+	}
+	for _, s := range unroutable {
+		if IsRoutable(netip.MustParseAddr(s)) {
+			t.Errorf("%s should be unroutable", s)
+		}
+	}
+}
+
+func TestIsRoutableV6(t *testing.T) {
+	routable := []string{"2001:4860:4860::8888", "2a00:1450::1", "2607:f8b0::1"}
+	for _, s := range routable {
+		if !IsRoutable(netip.MustParseAddr(s)) {
+			t.Errorf("%s should be routable", s)
+		}
+	}
+	unroutable := []string{"::", "::1", "::ffff:10.0.0.1", "100::1",
+		"2001:db8::1", "fc00::1", "fd12::1", "fe80::1", "ff02::1"}
+	for _, s := range unroutable {
+		if IsRoutable(netip.MustParseAddr(s)) {
+			t.Errorf("%s should be unroutable", s)
+		}
+	}
+}
+
+func TestIsRoutableInvalid(t *testing.T) {
+	if IsRoutable(netip.Addr{}) {
+		t.Error("zero Addr should be unroutable")
+	}
+}
+
+func TestIsRoutableV4Bytes(t *testing.T) {
+	if !IsRoutableV4Bytes([]byte{8, 8, 8, 8}) {
+		t.Error("8.8.8.8 bytes should be routable")
+	}
+	if IsRoutableV4Bytes([]byte{192, 168, 0, 1}) {
+		t.Error("192.168.0.1 bytes should be unroutable")
+	}
+	if IsRoutableV4Bytes([]byte{8, 8, 8}) || IsRoutableV4Bytes(nil) {
+		t.Error("wrong-length byte slices should be unroutable")
+	}
+}
+
+func TestV4UintRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		return V4ToUint(UintToV4(v)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if V4ToUint(netip.MustParseAddr("1.2.3.4")) != 0x01020304 {
+		t.Error("V4ToUint endianness wrong")
+	}
+	if UintToV4(0xC0000201) != netip.MustParseAddr("192.0.2.1") {
+		t.Error("UintToV4 wrong")
+	}
+}
+
+func TestPrefixSize(t *testing.T) {
+	cases := []struct {
+		p    string
+		want uint64
+	}{
+		{"10.0.0.0/8", 1 << 24},
+		{"192.0.2.0/24", 256},
+		{"192.0.2.1/32", 1},
+		{"2001:db8::/120", 256},
+	}
+	for _, c := range cases {
+		if got := PrefixSize(netip.MustParsePrefix(c.p)); got != c.want {
+			t.Errorf("PrefixSize(%s) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	if got := PrefixSize(netip.MustParsePrefix("2001::/16")); got != 1<<62 {
+		t.Errorf("huge prefix should cap at 2^62, got %d", got)
+	}
+}
+
+func TestNthAddr(t *testing.T) {
+	p := netip.MustParsePrefix("192.0.2.0/24")
+	if NthAddr(p, 0) != netip.MustParseAddr("192.0.2.0") {
+		t.Error("NthAddr 0")
+	}
+	if NthAddr(p, 255) != netip.MustParseAddr("192.0.2.255") {
+		t.Error("NthAddr 255")
+	}
+	p6 := netip.MustParsePrefix("2001:db8::/64")
+	if NthAddr(p6, 1) != netip.MustParseAddr("2001:db8::1") {
+		t.Error("NthAddr v6")
+	}
+	if NthAddr(p6, 0x10000) != netip.MustParseAddr("2001:db8::1:0") {
+		t.Error("NthAddr v6 carry")
+	}
+}

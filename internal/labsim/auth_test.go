@@ -1,0 +1,192 @@
+package labsim
+
+import (
+	"testing"
+	"time"
+
+	"snmpv3fp/internal/snmp"
+	"snmpv3fp/internal/usm"
+)
+
+func authedAgent(t *testing.T) (*Agent, V3User) {
+	t.Helper()
+	user := V3User{Name: "monitor", Protocol: usm.AuthSHA1, Password: "s3cretpass"}
+	a := testAgent(t, Config{
+		OS:        CiscoIOS,
+		Community: "c",
+		User:      &user,
+	})
+	return a, user
+}
+
+func TestAuthenticatedGet(t *testing.T) {
+	a, user := authedAgent(t)
+	now := time.Now()
+
+	// Discovery first, as a real manager would.
+	probe, _ := snmp.EncodeDiscoveryRequest(1, 1)
+	dr, err := snmp.ParseDiscoveryResponse(a.Handle(probe, now))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req, err := NewAuthenticatedGet(user, dr.EngineID, dr.EngineBoots, dr.EngineTime, 55, snmp.OIDSysDescr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := a.Handle(req, now)
+	if resp == nil {
+		t.Fatal("authenticated request not answered")
+	}
+	msg, err := snmp.DecodeV3(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.ScopedPDU.PDU.Type != snmp.PDUGetResponse {
+		t.Fatalf("response type = %v", msg.ScopedPDU.PDU.Type)
+	}
+	if got := string(msg.ScopedPDU.PDU.VarBinds[0].Value.Bytes); got != CiscoIOS.Name {
+		t.Errorf("sysDescr = %q", got)
+	}
+	// The response itself is authenticated and verifiable with our key.
+	key := usm.LocalizedPasswordKey(user.Protocol, user.Password, dr.EngineID)
+	if !usm.Verify(resp, user.Protocol, key) {
+		t.Error("response HMAC does not verify")
+	}
+}
+
+func TestAuthenticatedGetWrongPassword(t *testing.T) {
+	a, user := authedAgent(t)
+	now := time.Now()
+	probe, _ := snmp.EncodeDiscoveryRequest(1, 1)
+	dr, _ := snmp.ParseDiscoveryResponse(a.Handle(probe, now))
+
+	bad := user
+	bad.Password = "wrong"
+	req, err := NewAuthenticatedGet(bad, dr.EngineID, dr.EngineBoots, dr.EngineTime, 56, snmp.OIDSysDescr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := a.Handle(req, now)
+	if resp == nil {
+		t.Fatal("expected a report, got silence")
+	}
+	got, err := snmp.ParseDiscoveryResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snmp.OIDEqual(got.ReportOID, snmp.OIDUsmStatsUnknownUserNames) {
+		t.Errorf("report = %v", got.ReportOID)
+	}
+	// Critically: even the rejection discloses the engine ID.
+	if len(got.EngineID) == 0 {
+		t.Error("rejection withheld the engine ID")
+	}
+}
+
+func TestAuthenticatedGetUnknownUser(t *testing.T) {
+	a, _ := authedAgent(t)
+	now := time.Now()
+	probe, _ := snmp.EncodeDiscoveryRequest(1, 1)
+	dr, _ := snmp.ParseDiscoveryResponse(a.Handle(probe, now))
+
+	stranger := V3User{Name: "nobody", Protocol: usm.AuthSHA1, Password: "x"}
+	req, err := NewAuthenticatedGet(stranger, dr.EngineID, dr.EngineBoots, dr.EngineTime, 57, snmp.OIDSysDescr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := a.Handle(req, now)
+	got, err := snmp.ParseDiscoveryResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snmp.OIDEqual(got.ReportOID, snmp.OIDUsmStatsUnknownUserNames) {
+		t.Errorf("report = %v", got.ReportOID)
+	}
+}
+
+// TestCapturedTrafficCrack demonstrates the Section 8 attack end to end:
+// capture one authenticated request, recover the password offline.
+func TestCapturedTrafficCrack(t *testing.T) {
+	a, user := authedAgent(t)
+	now := time.Now()
+	probe, _ := snmp.EncodeDiscoveryRequest(1, 1)
+	dr, _ := snmp.ParseDiscoveryResponse(a.Handle(probe, now))
+
+	captured, err := NewAuthenticatedGet(user, dr.EngineID, dr.EngineBoots, dr.EngineTime, 58, snmp.OIDSysUpTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wordlist := []string{"admin", "cisco123", "s3cretpass", "public"}
+	pw, tried, ok := usm.Crack(captured, user.Protocol, wordlist)
+	if !ok || pw != "s3cretpass" {
+		t.Fatalf("crack failed: %q %v", pw, ok)
+	}
+	if tried != 3 {
+		t.Errorf("tried = %d", tried)
+	}
+}
+
+func TestAuthPrivGet(t *testing.T) {
+	user := V3User{
+		Name: "secops", Protocol: usm.AuthSHA1, Password: "authpass",
+		PrivProtocol: usm.PrivAES128, PrivPassword: "privpass",
+	}
+	a := testAgent(t, Config{OS: CiscoIOS, Community: "c", User: &user})
+	now := time.Now()
+	probe, _ := snmp.EncodeDiscoveryRequest(1, 1)
+	dr, _ := snmp.ParseDiscoveryResponse(a.Handle(probe, now))
+
+	creds := usm.Credentials{
+		User: user.Name, AuthProto: user.Protocol, AuthPass: user.Password,
+		PrivProto: user.PrivProtocol, PrivPass: user.PrivPassword,
+	}
+	req, err := usm.SealGet(creds, dr.EngineID, dr.EngineBoots, dr.EngineTime, 99, 0x1234, snmp.OIDSysDescr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := a.Handle(req, now)
+	if resp == nil {
+		t.Fatal("authPriv request not answered")
+	}
+	// The response is encrypted on the wire…
+	if msg, err := snmp.DecodeV3(resp); err != snmp.ErrEncrypted || !msg.PrivFlag() {
+		t.Fatalf("response not encrypted: %v", err)
+	}
+	// …and opens with the right credentials.
+	scoped, err := usm.OpenResponse(creds, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scoped.PDU.Type != snmp.PDUGetResponse {
+		t.Fatalf("PDU type = %v", scoped.PDU.Type)
+	}
+	if got := string(scoped.PDU.VarBinds[0].Value.Bytes); got != CiscoIOS.Name {
+		t.Errorf("sysDescr = %q", got)
+	}
+}
+
+func TestAuthPrivRejectsAuthOnlyUserPriv(t *testing.T) {
+	// A user without privacy configured must reject encrypted requests.
+	user := V3User{Name: "plain", Protocol: usm.AuthSHA1, Password: "pw"}
+	a := testAgent(t, Config{OS: CiscoIOS, Community: "c", User: &user})
+	now := time.Now()
+	probe, _ := snmp.EncodeDiscoveryRequest(1, 1)
+	dr, _ := snmp.ParseDiscoveryResponse(a.Handle(probe, now))
+	creds := usm.Credentials{
+		User: "plain", AuthProto: usm.AuthSHA1, AuthPass: "pw",
+		PrivProto: usm.PrivDES, PrivPass: "whatever",
+	}
+	req, err := usm.SealGet(creds, dr.EngineID, dr.EngineBoots, dr.EngineTime, 5, 1, snmp.OIDSysDescr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := a.Handle(req, now)
+	got, err := snmp.ParseDiscoveryResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snmp.OIDEqual(got.ReportOID, snmp.OIDUsmStatsUnknownUserNames) {
+		t.Errorf("report = %v", got.ReportOID)
+	}
+}

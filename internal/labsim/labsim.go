@@ -1,0 +1,313 @@
+// Package labsim reproduces the paper's controlled lab experiment
+// (Section 6.2.1): vendor-faithful SNMP agents served over real UDP
+// sockets, used to demonstrate that configuring an SNMPv2c community
+// string implicitly enables unauthenticated SNMPv3 discovery responses on
+// Cisco IOS / IOS XR and Juniper Junos.
+//
+// The same Agent type backs cmd/snmpagent and the loopback examples.
+package labsim
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"snmpv3fp/internal/ber"
+	"snmpv3fp/internal/engineid"
+	"snmpv3fp/internal/snmp"
+)
+
+// OSBehavior captures the SNMP enablement semantics of a device OS.
+type OSBehavior struct {
+	// Name as reported in sysDescr.
+	Name string
+	// ImplicitV3 reproduces the lab finding: a v2c community alone makes
+	// the agent answer unauthenticated SNMPv3 discovery.
+	ImplicitV3 bool
+	// RequireInterfaceEnable models Junos, where services must be enabled
+	// per interface before any SNMP response is emitted.
+	RequireInterfaceEnable bool
+}
+
+// Behaviours observed in the paper's lab.
+var (
+	CiscoIOS     = OSBehavior{Name: "Cisco IOS Software, Version 15.2(4)S7", ImplicitV3: true}
+	CiscoIOSXR   = OSBehavior{Name: "Cisco IOS XR Software, Version 6.0.1", ImplicitV3: true}
+	JuniperJunos = OSBehavior{
+		Name: "Juniper Networks, Inc. JUNOS 17.3", ImplicitV3: true, RequireInterfaceEnable: true,
+	}
+	// NetSNMP models the software agent, which requires explicit v3 users
+	// but is usually configured with them.
+	NetSNMP = OSBehavior{Name: "Linux net-snmp 5.9", ImplicitV3: true}
+)
+
+// Config describes one lab device.
+type Config struct {
+	OS OSBehavior
+	// Community, when non-empty, is the configured read-only community —
+	// the single `snmp-server community <c> RO` line of the lab setup.
+	Community string
+	// InterfaceEnabled mirrors Junos' per-interface service enablement.
+	InterfaceEnabled bool
+	// EngineID is the agent's engine ID (for hardware OSes, MAC-based from
+	// the "first" interface, as the lab observed).
+	EngineID []byte
+	// Boots and BootTime seed the timeliness values.
+	Boots    int64
+	BootTime time.Time
+	// SysDescr overrides the OS name in sysDescr responses.
+	SysDescr string
+	// User, when set, enables an authenticated SNMPv3 user (USM,
+	// authNoPriv) on the agent.
+	User *V3User
+	// TrapSink, when set, receives an SNMPv1 coldStart trap when the agent
+	// starts (and any traps sent via SendTrap).
+	TrapSink netip.AddrPort
+}
+
+// Agent is a running SNMP agent bound to a loopback UDP socket.
+type Agent struct {
+	cfg  Config
+	conn *net.UDPConn
+	mib  []mibEntry
+	wg   sync.WaitGroup
+
+	mu      sync.Mutex
+	queries int
+}
+
+// Start binds the agent to 127.0.0.1 on an ephemeral port and serves until
+// Close.
+func Start(cfg Config) (*Agent, error) {
+	if cfg.SysDescr == "" {
+		cfg.SysDescr = cfg.OS.Name
+	}
+	if cfg.BootTime.IsZero() {
+		cfg.BootTime = time.Now().Add(-time.Hour)
+	}
+	if cfg.Boots == 0 {
+		cfg.Boots = 1
+	}
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	a := &Agent{cfg: cfg, conn: conn}
+	a.buildMIB()
+	a.wg.Add(1)
+	go a.serve()
+	if cfg.TrapSink.IsValid() {
+		// Announce the (re)start, as real agents do on boot.
+		_ = a.SendTrap(&snmp.TrapV1{
+			Enterprise:  enterpriseOID(cfg.EngineID),
+			AgentAddr:   [4]byte{127, 0, 0, 1},
+			GenericTrap: snmp.TrapColdStart,
+			Timestamp:   0,
+		})
+	}
+	return a, nil
+}
+
+// enterpriseOID derives the agent's enterprise subtree from its engine ID.
+func enterpriseOID(engineID []byte) []uint32 {
+	p := engineid.Classify(engineID)
+	ent := p.Enterprise
+	if ent == 0 {
+		ent = 9
+	}
+	return []uint32{1, 3, 6, 1, 4, 1, ent}
+}
+
+// SendTrap emits an SNMPv1 trap to the configured sink using the agent's
+// community.
+func (a *Agent) SendTrap(trap *snmp.TrapV1) error {
+	if !a.cfg.TrapSink.IsValid() {
+		return fmt.Errorf("labsim: no trap sink configured")
+	}
+	wire, err := snmp.EncodeTrapV1(a.cfg.Community, trap)
+	if err != nil {
+		return err
+	}
+	_, err = a.conn.WriteToUDPAddrPort(wire, a.cfg.TrapSink)
+	return err
+}
+
+// Addr returns the agent's bound address.
+func (a *Agent) Addr() netip.AddrPort {
+	return a.conn.LocalAddr().(*net.UDPAddr).AddrPort()
+}
+
+// Queries reports how many datagrams the agent processed.
+func (a *Agent) Queries() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queries
+}
+
+// Close stops the agent.
+func (a *Agent) Close() error {
+	err := a.conn.Close()
+	a.wg.Wait()
+	return err
+}
+
+func (a *Agent) serve() {
+	defer a.wg.Done()
+	buf := make([]byte, 2048)
+	for {
+		n, from, err := a.conn.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		a.mu.Lock()
+		a.queries++
+		a.mu.Unlock()
+		if resp := a.Handle(buf[:n], time.Now()); resp != nil {
+			_, _ = a.conn.WriteToUDPAddrPort(resp, from)
+		}
+	}
+}
+
+// Handle processes one datagram and returns the response payload, nil for
+// silence. It is exported so tests can drive the agent without sockets.
+func (a *Agent) Handle(payload []byte, now time.Time) []byte {
+	// No SNMP configuration at all: the device does not run SNMP.
+	if a.cfg.Community == "" {
+		return nil
+	}
+	// Junos: services must additionally be enabled on the ingress
+	// interface.
+	if a.cfg.OS.RequireInterfaceEnable && !a.cfg.InterfaceEnabled {
+		return nil
+	}
+	version, err := snmp.PeekVersion(payload)
+	if err != nil {
+		return nil
+	}
+	switch version {
+	case snmp.V1, snmp.V2c:
+		return a.handleCommunity(payload, now)
+	case snmp.V3:
+		if !a.cfg.OS.ImplicitV3 {
+			return nil
+		}
+		return a.handleV3(payload, now)
+	}
+	return nil
+}
+
+func (a *Agent) handleCommunity(payload []byte, now time.Time) []byte {
+	msg, err := snmp.DecodeCommunity(payload)
+	if err != nil || string(msg.Community) != a.cfg.Community {
+		return nil // wrong community: drop, as real agents do
+	}
+	var vbs []snmp.VarBind
+	switch msg.PDU.Type {
+	case snmp.PDUGetRequest:
+		for _, vb := range msg.PDU.VarBinds {
+			vbs = append(vbs, snmp.VarBind{Name: vb.Name, Value: a.lookup(vb.Name, now)})
+		}
+	case snmp.PDUGetNextRequest:
+		for _, vb := range msg.PDU.VarBinds {
+			next, val := a.getNext(vb.Name, now)
+			vbs = append(vbs, snmp.VarBind{Name: next, Value: val})
+		}
+	case snmp.PDUGetBulkRequest:
+		if msg.Version == snmp.V1 {
+			return nil // GetBulk is v2c-only
+		}
+		vbs = a.getBulk(msg.PDU, now)
+	default:
+		return nil
+	}
+	resp, err := snmp.NewGetResponse(msg, vbs).Encode()
+	if err != nil {
+		return nil
+	}
+	return resp
+}
+
+// lookup resolves an exact OID against the agent's MIB.
+func (a *Agent) lookup(oid []uint32, now time.Time) snmp.Value {
+	return a.getExact(oid, now)
+}
+
+// getBulk implements the GetBulk semantics of RFC 3416 §4.2.3: the first
+// non-repeaters varbinds behave as GetNext; the remaining varbinds are
+// iterated max-repetitions times.
+func (a *Agent) getBulk(pdu *snmp.PDU, now time.Time) []snmp.VarBind {
+	nonRepeaters := int(pdu.ErrorStatus)
+	maxReps := int(pdu.ErrorIndex)
+	if nonRepeaters < 0 {
+		nonRepeaters = 0
+	}
+	if nonRepeaters > len(pdu.VarBinds) {
+		nonRepeaters = len(pdu.VarBinds)
+	}
+	if maxReps < 0 {
+		maxReps = 0
+	}
+	if maxReps > 100 {
+		maxReps = 100 // bound response size, as real agents do
+	}
+	var vbs []snmp.VarBind
+	for _, vb := range pdu.VarBinds[:nonRepeaters] {
+		next, val := a.getNext(vb.Name, now)
+		vbs = append(vbs, snmp.VarBind{Name: next, Value: val})
+	}
+	for _, vb := range pdu.VarBinds[nonRepeaters:] {
+		cur := vb.Name
+		for rep := 0; rep < maxReps; rep++ {
+			next, val := a.getNext(cur, now)
+			vbs = append(vbs, snmp.VarBind{Name: next, Value: val})
+			if val.Tag == ber.TagEndOfMibView {
+				break
+			}
+			cur = next
+		}
+	}
+	return vbs
+}
+
+// handleV3 answers unauthenticated SNMPv3 queries with the USM reports of
+// RFC 3414 §3.2 — disclosing the engine ID, boots and time exactly as the
+// lab observed.
+func (a *Agent) handleV3(payload []byte, now time.Time) []byte {
+	msg, err := snmp.DecodeV3(payload)
+	if err != nil && err != snmp.ErrEncrypted {
+		return nil
+	}
+	if msg.AuthFlag() {
+		return a.handleAuthenticatedV3(payload, msg, now)
+	}
+	engineTime := int64(now.Sub(a.cfg.BootTime) / time.Second)
+	var rep *snmp.V3Message
+	if len(msg.USM.AuthoritativeEngineID) == 0 {
+		// Discovery: usmStatsUnknownEngineIDs.
+		rep = snmp.NewDiscoveryReport(msg, a.cfg.EngineID, a.cfg.Boots, engineTime, 1)
+	} else {
+		// Engine ID known but no such user: "unknown user name" — and the
+		// report still carries the engine ID in its USM parameters.
+		rep = snmp.NewDiscoveryReport(msg, a.cfg.EngineID, a.cfg.Boots, engineTime, 0)
+		rep.ScopedPDU.PDU.VarBinds = []snmp.VarBind{{
+			Name:  snmp.OIDUsmStatsUnknownUserNames,
+			Value: snmp.Counter32Value(1),
+		}}
+	}
+	wire, err := rep.Encode()
+	if err != nil {
+		return nil
+	}
+	return wire
+}
+
+// String describes the agent configuration.
+func (a *Agent) String() string {
+	return fmt.Sprintf("labsim agent %s on %v (community %q)", a.cfg.OS.Name, a.Addr(), a.cfg.Community)
+}

@@ -1,0 +1,216 @@
+package labsim
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"snmpv3fp/internal/engineid"
+	"snmpv3fp/internal/snmp"
+)
+
+var testEngineID = engineid.NewMAC(9, [6]byte{0x58, 0x8d, 0x09, 0xaa, 0xbb, 0xcc})
+
+func testAgent(t *testing.T, cfg Config) *Agent {
+	t.Helper()
+	if cfg.EngineID == nil {
+		cfg.EngineID = testEngineID
+	}
+	a, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	return a
+}
+
+// Handle-level tests (no sockets).
+
+func TestNoSNMPConfigIsSilent(t *testing.T) {
+	a := testAgent(t, Config{OS: CiscoIOS})
+	v2, _ := snmp.NewGetRequest(snmp.V2c, "public", 1, snmp.OIDSysDescr).Encode()
+	v3, _ := snmp.EncodeDiscoveryRequest(1, 1)
+	if a.Handle(v2, time.Now()) != nil || a.Handle(v3, time.Now()) != nil {
+		t.Error("unconfigured device answered")
+	}
+}
+
+func TestCommunityEnablesV2AndImplicitV3(t *testing.T) {
+	a := testAgent(t, Config{OS: CiscoIOS, Community: "pass123"})
+	now := time.Now()
+
+	v2good, _ := snmp.NewGetRequest(snmp.V2c, "pass123", 1, snmp.OIDSysDescr).Encode()
+	resp := a.Handle(v2good, now)
+	if resp == nil {
+		t.Fatal("correct community not answered")
+	}
+	m, err := snmp.DecodeCommunity(resp)
+	if err != nil || m.PDU.Type != snmp.PDUGetResponse {
+		t.Fatalf("bad v2 response: %v", err)
+	}
+	if got := string(m.PDU.VarBinds[0].Value.Bytes); got != CiscoIOS.Name {
+		t.Errorf("sysDescr = %q", got)
+	}
+
+	v2bad, _ := snmp.NewGetRequest(snmp.V2c, "wrong", 2, snmp.OIDSysDescr).Encode()
+	if a.Handle(v2bad, now) != nil {
+		t.Error("wrong community answered")
+	}
+
+	// The paper's central lab finding: v3 discovery now works without any
+	// v3 configuration.
+	v3, _ := snmp.EncodeDiscoveryRequest(3, 3)
+	resp = a.Handle(v3, now)
+	if resp == nil {
+		t.Fatal("implicit v3 did not answer")
+	}
+	dr, err := snmp.ParseDiscoveryResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(dr.EngineID) != string(testEngineID) {
+		t.Errorf("engine ID = %x", dr.EngineID)
+	}
+	if !snmp.OIDEqual(dr.ReportOID, snmp.OIDUsmStatsUnknownEngineIDs) {
+		t.Errorf("report OID = %v", dr.ReportOID)
+	}
+}
+
+func TestUnknownUserNameReport(t *testing.T) {
+	a := testAgent(t, Config{OS: CiscoIOS, Community: "pass123"})
+	// Query with the agent's engine ID but an unknown user: the lab
+	// observed an "unknown user name" error that still carries the MAC.
+	req := snmp.NewDiscoveryRequest(9, 9)
+	req.USM.AuthoritativeEngineID = testEngineID
+	req.USM.UserName = []byte("noAuthUser")
+	wire, _ := req.Encode()
+	resp := a.Handle(wire, time.Now())
+	if resp == nil {
+		t.Fatal("no answer")
+	}
+	dr, err := snmp.ParseDiscoveryResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snmp.OIDEqual(dr.ReportOID, snmp.OIDUsmStatsUnknownUserNames) {
+		t.Errorf("report OID = %v, want usmStatsUnknownUserNames", dr.ReportOID)
+	}
+	if string(dr.EngineID) != string(testEngineID) {
+		t.Error("engine ID missing from unknown-user report")
+	}
+}
+
+func TestJunosInterfaceEnableSemantics(t *testing.T) {
+	silent := testAgent(t, Config{OS: JuniperJunos, Community: "c"})
+	v3, _ := snmp.EncodeDiscoveryRequest(1, 1)
+	if silent.Handle(v3, time.Now()) != nil {
+		t.Error("Junos without interface enable answered")
+	}
+	open := testAgent(t, Config{OS: JuniperJunos, Community: "c", InterfaceEnabled: true})
+	if open.Handle(v3, time.Now()) == nil {
+		t.Error("Junos with interface enable silent")
+	}
+}
+
+func TestGarbageIgnored(t *testing.T) {
+	a := testAgent(t, Config{OS: CiscoIOS, Community: "c"})
+	if a.Handle([]byte("garbage"), time.Now()) != nil {
+		t.Error("garbage answered")
+	}
+	if a.Handle(nil, time.Now()) != nil {
+		t.Error("empty answered")
+	}
+}
+
+func TestSysUpTime(t *testing.T) {
+	boot := time.Now().Add(-2 * time.Hour)
+	a := testAgent(t, Config{OS: NetSNMP, Community: "c", BootTime: boot})
+	req, _ := snmp.NewGetRequest(snmp.V2c, "c", 5, snmp.OIDSysUpTime).Encode()
+	resp := a.Handle(req, boot.Add(2*time.Hour))
+	m, err := snmp.DecodeCommunity(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks := m.PDU.VarBinds[0].Value.Uint
+	// Two hours in TimeTicks (1/100 s).
+	if want := uint64(2 * 3600 * 100); ticks < want-100 || ticks > want+100 {
+		t.Errorf("sysUpTime = %d ticks, want ~%d", ticks, want)
+	}
+}
+
+// Socket-level test: full UDP round trip.
+
+func TestAgentOverUDP(t *testing.T) {
+	a := testAgent(t, Config{OS: CiscoIOS, Community: "pass123", Boots: 148})
+	conn, err := net.DialUDP("udp4", nil, net.UDPAddrFromAddrPort(a.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	probe, _ := snmp.EncodeDiscoveryRequest(7, 7)
+	if _, err := conn.Write(probe); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 2048)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := snmp.ParseDiscoveryResponse(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.EngineBoots != 148 {
+		t.Errorf("boots = %d", dr.EngineBoots)
+	}
+	if a.Queries() < 1 {
+		t.Error("query counter not incremented")
+	}
+}
+
+func TestAddrIsLoopback(t *testing.T) {
+	a := testAgent(t, Config{OS: CiscoIOS, Community: "c"})
+	if a.Addr().Addr() != netip.MustParseAddr("127.0.0.1") {
+		t.Errorf("agent bound to %v", a.Addr())
+	}
+	if a.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestColdStartTrap(t *testing.T) {
+	// A UDP listener plays the trap sink.
+	sink, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	sinkAddr := sink.LocalAddr().(*net.UDPAddr).AddrPort()
+
+	a := testAgent(t, Config{OS: CiscoIOS, Community: "traps", TrapSink: sinkAddr})
+	_ = a
+
+	sink.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 2048)
+	n, err := sink.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	community, trap, err := snmp.DecodeTrapV1(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if community != "traps" {
+		t.Errorf("community = %q", community)
+	}
+	if trap.GenericTrap != snmp.TrapColdStart {
+		t.Errorf("generic trap = %d", trap.GenericTrap)
+	}
+	// Enterprise derived from the Cisco engine ID.
+	if !snmp.OIDEqual(trap.Enterprise, []uint32{1, 3, 6, 1, 4, 1, 9}) {
+		t.Errorf("enterprise = %v", trap.Enterprise)
+	}
+}

@@ -1,0 +1,109 @@
+package labsim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"snmpv3fp/internal/ber"
+	"snmpv3fp/internal/engineid"
+	"snmpv3fp/internal/snmp"
+)
+
+// mibEntry is one managed object instance.
+type mibEntry struct {
+	oid   []uint32
+	value func(a *Agent, now time.Time) snmp.Value
+}
+
+// Additional system-group OIDs beyond the ones snmp exports.
+var (
+	oidSysObjectID = []uint32{1, 3, 6, 1, 2, 1, 1, 2, 0}
+	oidSysContact  = []uint32{1, 3, 6, 1, 2, 1, 1, 4, 0}
+	oidSysLocation = []uint32{1, 3, 6, 1, 2, 1, 1, 6, 0}
+	oidSysServices = []uint32{1, 3, 6, 1, 2, 1, 1, 7, 0}
+	oidIfNumber    = []uint32{1, 3, 6, 1, 2, 1, 2, 1, 0}
+	oidIfDescr     = []uint32{1, 3, 6, 1, 2, 1, 2, 2, 1, 2}
+	oidIfPhys      = []uint32{1, 3, 6, 1, 2, 1, 2, 2, 1, 6}
+)
+
+// interfaces modelled on every lab device.
+const mibInterfaces = 3
+
+// buildMIB assembles the agent's object tree: the system group and a small
+// ifTable, enough for realistic GetNext walks.
+func (a *Agent) buildMIB() {
+	static := func(v snmp.Value) func(*Agent, time.Time) snmp.Value {
+		return func(*Agent, time.Time) snmp.Value { return v }
+	}
+	entries := []mibEntry{
+		{snmp.OIDSysDescr, func(a *Agent, _ time.Time) snmp.Value {
+			return snmp.StringValue(a.cfg.SysDescr)
+		}},
+		{oidSysObjectID, func(a *Agent, _ time.Time) snmp.Value {
+			p := engineid.Classify(a.cfg.EngineID)
+			return snmp.Value{Tag: ber.TagOID, OID: []uint32{1, 3, 6, 1, 4, 1, p.Enterprise, 1, 1}}
+		}},
+		{snmp.OIDSysUpTime, func(a *Agent, now time.Time) snmp.Value {
+			return snmp.TimeTicksValue(uint64(now.Sub(a.cfg.BootTime) / (10 * time.Millisecond)))
+		}},
+		{oidSysContact, static(snmp.StringValue("noc@example.net"))},
+		{snmp.OIDSysName, static(snmp.StringValue("lab-device"))},
+		{oidSysLocation, static(snmp.StringValue("lab rack 1"))},
+		{oidSysServices, static(snmp.IntegerValue(78))},
+		{oidIfNumber, static(snmp.IntegerValue(mibInterfaces))},
+	}
+	for i := 1; i <= mibInterfaces; i++ {
+		idx := uint32(i)
+		entries = append(entries, mibEntry{
+			oid:   append(append([]uint32{}, oidIfDescr...), idx),
+			value: static(snmp.StringValue(fmt.Sprintf("GigabitEthernet0/%d", i-1))),
+		})
+	}
+	for i := 1; i <= mibInterfaces; i++ {
+		idx := uint32(i)
+		iface := i
+		entries = append(entries, mibEntry{
+			oid: append(append([]uint32{}, oidIfPhys...), idx),
+			value: func(a *Agent, _ time.Time) snmp.Value {
+				mac := make([]byte, 6)
+				if p := engineid.Classify(a.cfg.EngineID); p.Format == engineid.FormatMAC {
+					copy(mac, p.Data)
+					mac[5] += byte(iface - 1)
+				}
+				return snmp.Value{Tag: ber.TagOctetString, Bytes: mac}
+			},
+		})
+	}
+	sort.Slice(entries, func(i, j int) bool { return oidLess(entries[i].oid, entries[j].oid) })
+	a.mib = entries
+}
+
+// oidLess orders OIDs lexicographically.
+func oidLess(a, b []uint32) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// getExact returns the value bound to oid, or noSuchObject.
+func (a *Agent) getExact(oid []uint32, now time.Time) snmp.Value {
+	i := sort.Search(len(a.mib), func(i int) bool { return !oidLess(a.mib[i].oid, oid) })
+	if i < len(a.mib) && snmp.OIDEqual(a.mib[i].oid, oid) {
+		return a.mib[i].value(a, now)
+	}
+	return snmp.Value{Tag: ber.TagNoSuchObject}
+}
+
+// getNext returns the lexicographically next bound object after oid, or
+// endOfMibView.
+func (a *Agent) getNext(oid []uint32, now time.Time) ([]uint32, snmp.Value) {
+	i := sort.Search(len(a.mib), func(i int) bool { return oidLess(oid, a.mib[i].oid) })
+	if i >= len(a.mib) {
+		return oid, snmp.Value{Tag: ber.TagEndOfMibView}
+	}
+	return a.mib[i].oid, a.mib[i].value(a, now)
+}

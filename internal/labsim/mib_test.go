@@ -1,0 +1,162 @@
+package labsim
+
+import (
+	"testing"
+	"time"
+
+	"snmpv3fp/internal/ber"
+	"snmpv3fp/internal/snmp"
+)
+
+func TestMIBGetExact(t *testing.T) {
+	a := testAgent(t, Config{OS: CiscoIOS, Community: "c"})
+	now := time.Now()
+	if v := a.getExact(snmp.OIDSysDescr, now); string(v.Bytes) != CiscoIOS.Name {
+		t.Errorf("sysDescr = %q", v.Bytes)
+	}
+	if v := a.getExact(oidSysContact, now); string(v.Bytes) != "noc@example.net" {
+		t.Errorf("sysContact = %q", v.Bytes)
+	}
+	if v := a.getExact([]uint32{1, 3, 6, 1, 99}, now); v.Tag != ber.TagNoSuchObject {
+		t.Errorf("unknown OID tag = 0x%02x", v.Tag)
+	}
+	// sysObjectID embeds the enterprise from the engine ID.
+	v := a.getExact(oidSysObjectID, now)
+	if v.Tag != ber.TagOID || v.OID[6] != 9 {
+		t.Errorf("sysObjectID = %v", v)
+	}
+}
+
+func TestMIBWalk(t *testing.T) {
+	a := testAgent(t, Config{OS: CiscoIOS, Community: "c"})
+	now := time.Now()
+	// Walk from the root: must visit every entry in OID order and end with
+	// endOfMibView.
+	cur := []uint32{1, 3}
+	visited := 0
+	var prev []uint32
+	for {
+		next, val := a.getNext(cur, now)
+		if val.Tag == ber.TagEndOfMibView {
+			break
+		}
+		if prev != nil && !oidLess(prev, next) {
+			t.Fatalf("walk not ordered: %v then %v", prev, next)
+		}
+		prev = next
+		cur = next
+		visited++
+		if visited > 100 {
+			t.Fatal("walk does not terminate")
+		}
+	}
+	want := 8 + 2*mibInterfaces
+	if visited != want {
+		t.Errorf("walk visited %d entries, want %d", visited, want)
+	}
+}
+
+func TestGetNextOverUDPMessage(t *testing.T) {
+	a := testAgent(t, Config{OS: CiscoIOS, Community: "c"})
+	req := &snmp.CommunityMessage{
+		Version: snmp.V2c, Community: []byte("c"),
+		PDU: &snmp.PDU{Type: snmp.PDUGetNextRequest, RequestID: 7,
+			VarBinds: []snmp.VarBind{{Name: []uint32{1, 3, 6, 1, 2, 1, 1}, Value: snmp.NullValue()}}},
+	}
+	wire, err := req.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := a.Handle(wire, time.Now())
+	if resp == nil {
+		t.Fatal("no response")
+	}
+	msg, err := snmp.DecodeCommunity(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb := msg.PDU.VarBinds[0]
+	if !snmp.OIDEqual(vb.Name, snmp.OIDSysDescr) {
+		t.Errorf("next OID = %v, want sysDescr", vb.Name)
+	}
+}
+
+func TestIfPhysAddressDerivedFromEngineID(t *testing.T) {
+	a := testAgent(t, Config{OS: CiscoIOS, Community: "c"})
+	now := time.Now()
+	oid := append(append([]uint32{}, oidIfPhys...), 1)
+	v := a.getExact(oid, now)
+	if len(v.Bytes) != 6 {
+		t.Fatalf("ifPhysAddress = %x", v.Bytes)
+	}
+	// First interface MAC matches the engine ID's MAC (the lab
+	// observation: the engine ID uses the first interface's MAC).
+	want := testEngineID[5:]
+	if string(v.Bytes) != string(want) {
+		t.Errorf("ifPhysAddress.1 = %x, want %x", v.Bytes, want)
+	}
+}
+
+func TestGetBulk(t *testing.T) {
+	a := testAgent(t, Config{OS: CiscoIOS, Community: "c"})
+	req := &snmp.CommunityMessage{
+		Version: snmp.V2c, Community: []byte("c"),
+		PDU: &snmp.PDU{
+			Type: snmp.PDUGetBulkRequest, RequestID: 9,
+			ErrorStatus: 1, // non-repeaters
+			ErrorIndex:  4, // max-repetitions
+			VarBinds: []snmp.VarBind{
+				{Name: []uint32{1, 3, 6, 1, 2, 1, 1}, Value: snmp.NullValue()},    // non-repeater
+				{Name: []uint32{1, 3, 6, 1, 2, 1, 2, 2}, Value: snmp.NullValue()}, // repeated
+			},
+		},
+	}
+	wire, err := req.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := a.Handle(wire, time.Now())
+	if resp == nil {
+		t.Fatal("no response")
+	}
+	msg, err := snmp.DecodeCommunity(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 non-repeater + up to 4 repetitions.
+	if got := len(msg.PDU.VarBinds); got != 5 {
+		t.Fatalf("varbinds = %d, want 5", got)
+	}
+	if !snmp.OIDEqual(msg.PDU.VarBinds[0].Name, snmp.OIDSysDescr) {
+		t.Errorf("non-repeater = %v", msg.PDU.VarBinds[0].Name)
+	}
+	// Repeated varbinds walk ifTable in order.
+	for i := 2; i < 5; i++ {
+		if !oidLess(msg.PDU.VarBinds[i-1].Name, msg.PDU.VarBinds[i].Name) {
+			t.Error("bulk repetitions not ordered")
+		}
+	}
+}
+
+func TestGetBulkEndsAtMibEnd(t *testing.T) {
+	a := testAgent(t, Config{OS: CiscoIOS, Community: "c"})
+	// Start the repeated walk at the last entry: the walk must stop at
+	// endOfMibView instead of looping.
+	last := a.mib[len(a.mib)-1].oid
+	req := &snmp.CommunityMessage{
+		Version: snmp.V2c, Community: []byte("c"),
+		PDU: &snmp.PDU{
+			Type: snmp.PDUGetBulkRequest, RequestID: 10,
+			ErrorIndex: 50,
+			VarBinds:   []snmp.VarBind{{Name: last, Value: snmp.NullValue()}},
+		},
+	}
+	wire, _ := req.Encode()
+	msg, err := snmp.DecodeCommunity(a.Handle(wire, time.Now()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msg.PDU.VarBinds) != 1 || msg.PDU.VarBinds[0].Value.Tag != ber.TagEndOfMibView {
+		t.Errorf("varbinds = %+v", msg.PDU.VarBinds)
+	}
+}

@@ -1,0 +1,110 @@
+package natinfer
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"snmpv3fp/internal/netsim"
+	"snmpv3fp/internal/scanner"
+)
+
+func world(t *testing.T) *netsim.World {
+	t.Helper()
+	w := netsim.Generate(netsim.TinyConfig(13))
+	w.Clock.Set(w.Cfg.StartTime.Add(20 * 24 * time.Hour))
+	return w
+}
+
+func TestClassifyLoadBalancer(t *testing.T) {
+	w := world(t)
+	found := 0
+	for _, d := range w.Devices {
+		if len(d.Pool) == 0 || len(d.V4) == 0 {
+			continue
+		}
+		tr := w.NewTransport()
+		res := Classify(tr, d.V4[0], 8, 50*time.Millisecond)
+		tr.Close()
+		if res.Verdict != LoadBalanced {
+			// Per-scan loss can silence a VIP entirely; skip those.
+			if res.Verdict == Unresponsive {
+				continue
+			}
+			t.Fatalf("VIP %v classified %v (IDs %d)", d.V4[0], res.Verdict, res.DistinctIDs())
+		}
+		if res.DistinctIDs() < 2 || res.DistinctIDs() > len(d.Pool) {
+			t.Errorf("VIP %v: %d identities, pool %d", d.V4[0], res.DistinctIDs(), len(d.Pool))
+		}
+		found++
+	}
+	if found == 0 {
+		t.Fatal("no VIPs classified")
+	}
+}
+
+func TestClassifyStableDevice(t *testing.T) {
+	w := world(t)
+	for _, d := range w.Devices {
+		if d.Quirk != netsim.QuirkNone || !d.Responds || len(d.V4) == 0 || !w.RespondsAt(d.V4[0]) {
+			continue
+		}
+		tr := w.NewTransport()
+		res := Classify(tr, d.V4[0], 6, 50*time.Millisecond)
+		tr.Close()
+		if res.Verdict == Unresponsive {
+			continue // loss coin
+		}
+		if res.Verdict != Stable {
+			t.Fatalf("clean device %v classified %v", d.V4[0], res.Verdict)
+		}
+		return
+	}
+	t.Fatal("no clean device found")
+}
+
+func TestClassifyUnresponsive(t *testing.T) {
+	w := world(t)
+	tr := w.NewTransport()
+	defer tr.Close()
+	res := Classify(tr, netip.MustParseAddr("203.0.113.200"), 3, 20*time.Millisecond)
+	if res.Verdict != Unresponsive || res.Responses != 0 {
+		t.Errorf("silent address: %v (%d responses)", res.Verdict, res.Responses)
+	}
+}
+
+func TestRunAggregation(t *testing.T) {
+	w := world(t)
+	var candidates []netip.Addr
+	for _, d := range w.Devices {
+		if len(d.Pool) > 0 && len(d.V4) > 0 {
+			candidates = append(candidates, d.V4[0])
+		}
+		if len(candidates) == 4 {
+			break
+		}
+	}
+	candidates = append(candidates, netip.MustParseAddr("203.0.113.201"))
+	s := Run(func() scanner.Transport { return w.NewTransport() }, candidates, 6, 20*time.Millisecond)
+	if s.Candidates != len(candidates) {
+		t.Errorf("candidates = %d", s.Candidates)
+	}
+	if s.LoadBalanced+s.Stable+s.Unresponsive != s.Candidates {
+		t.Error("verdicts do not add up")
+	}
+	if s.Unresponsive == 0 {
+		t.Error("silent candidate not counted")
+	}
+	if len(s.Results) != s.Candidates {
+		t.Error("per-candidate results missing")
+	}
+	if len(s.PoolSizes) != s.LoadBalanced {
+		t.Error("pool sizes out of sync")
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	if Unresponsive.String() == "" || Stable.String() == "" || LoadBalanced.String() == "" {
+		t.Error("empty verdict names")
+	}
+}

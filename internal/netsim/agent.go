@@ -1,0 +1,101 @@
+package netsim
+
+import (
+	"net/netip"
+	"time"
+
+	"snmpv3fp/internal/snmp"
+)
+
+// lossProb is the probability that a responsive address stays silent in any
+// one campaign, reproducing the paper's per-scan response instability
+// (31.8M and 31.5M responders with a 30.2M overlap: ~2.5% one-sided).
+const lossProb = 0.025
+
+// HandleSNMP is the agent side of the simulation: it processes one UDP
+// payload addressed to dst at the given instant and returns the datagrams
+// the device emits in reply (usually one; duplicates for the multi-response
+// and amplification quirks; nil when the address is silent).
+//
+// The implementation round-trips real wire bytes through internal/snmp, so
+// a simulated campaign and a live campaign exercise the same codec.
+func (w *World) HandleSNMP(dst netip.Addr, payload []byte, now time.Time) [][]byte {
+	if !w.RespondsAt(dst) {
+		return nil
+	}
+	d := w.byAddr[dst]
+	// Per-campaign deterministic loss.
+	if w.coin(dst, uint64(0xA110+w.scanEpoch), lossProb) {
+		return nil
+	}
+	version, err := snmp.PeekVersion(payload)
+	if err != nil {
+		return nil
+	}
+	switch version {
+	case snmp.V3:
+		return w.handleV3(d, payload, now)
+	case snmp.V1, snmp.V2c:
+		// Internet-facing community access is modelled as closed: the
+		// paper's premise is that v1/v2c scanning cannot elicit responses
+		// without guessing the community. (The lab simulator in
+		// internal/labsim exercises the open-community path.)
+		return nil
+	}
+	return nil
+}
+
+func (w *World) handleV3(d *Device, payload []byte, now time.Time) [][]byte {
+	req, err := snmp.DecodeV3(payload)
+	if err != nil && err != snmp.ErrEncrypted {
+		return nil
+	}
+	engineID, boots, bootTime := d.activeIdentity(now)
+	if d.Quirk == QuirkLoadBalancer && len(d.Pool) > 0 {
+		// The VIP hands the flow to a backend; which one depends on the
+		// connection (modelled on the request's msgID), so repeated probes
+		// cycle through the pool.
+		var msgID int64
+		if req != nil {
+			msgID = req.MsgID
+		}
+		id := d.Pool[uint64(msgID)%uint64(len(d.Pool))]
+		engineID, boots, bootTime = id.EngineID, id.Boots, id.BootTime
+	}
+	et := d.engineTime(now, bootTime, w.Cfg.StartTime)
+	if d.Quirk == QuirkZeroBootsTime {
+		boots = 0
+	}
+	if d.Quirk == QuirkMissingEngineID {
+		engineID = nil
+	}
+	rep := snmp.NewDiscoveryReport(req, engineID, boots, et, uint64(w.hash64(d.V4Addr(), 0xC0)&0xFFFF))
+	wire, err := rep.Encode()
+	if err != nil {
+		return nil
+	}
+	n := 1
+	switch d.Quirk {
+	case QuirkMultiResponse, QuirkAmplify:
+		if d.DupCount > 0 {
+			n = d.DupCount
+		}
+	}
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = wire
+	}
+	return out
+}
+
+// V4Addr returns the device's first IPv4 address, or its first IPv6 address
+// when it has none, as a stable per-device value for hashing.
+func (d *Device) V4Addr() netip.Addr {
+	if len(d.V4) > 0 {
+		return d.V4[0]
+	}
+	if len(d.V6) > 0 {
+		return d.V6[0]
+	}
+	return netip.Addr{}
+}

@@ -1,0 +1,157 @@
+package netsim
+
+import "time"
+
+// Config sizes and seeds a simulated world. Counts are calibrated against
+// the paper's published population (Section 4) divided by the scale factors
+// below; DESIGN.md and EXPERIMENTS.md document the mapping.
+type Config struct {
+	// Seed makes world generation and all in-world randomness
+	// deterministic.
+	Seed int64
+	// StartTime anchors the virtual clock; the paper's campaigns ran in
+	// April 2021.
+	StartTime time.Time
+
+	// TransitASes / EyeballASes / HostingASes set the AS population
+	// (paper: 22,787 ASes with routers; router-level figures use a 1:25
+	// scale).
+	TransitASes int
+	EyeballASes int
+	HostingASes int
+
+	// MaxRoutersPerAS is the size of the largest AS's responsive router
+	// population (paper top AS: 9.4k; 1:25 scale → 376). Router counts per
+	// AS follow a power law below this ceiling.
+	MaxRoutersPerAS int
+	// RouterZipfExponent shapes the per-AS router count distribution.
+	RouterZipfExponent float64
+
+	// DeviceRespondProb is the probability that a device's management
+	// plane is reachable from the vantage point at all; RouterIfaceProb is
+	// the per-interface probability an ACL lets the probe through for
+	// routers (CPE and servers answer on all their addresses).
+	DeviceRespondProb float64
+	RouterIfaceProb   float64
+
+	// CPEDevices / Servers size the edge and hosting populations
+	// (paper: ~12.5M valid IPs dominated by edge devices; 1:250 scale).
+	CPEDevices int
+	Servers    int
+	// IoTDevices sizes the exposed IoT population (cameras, DVRs, NAS):
+	// single-IP devices the paper's Section 3.4 expects to capture and
+	// plans to investigate.
+	IoTDevices int
+
+	// DualStackRouterProb / V6OnlyRouterProb split routers by address
+	// family (paper: 14.9k dual-stack and 24.6k IPv6-only of 347k).
+	DualStackRouterProb float64
+	V6OnlyRouterProb    float64
+	// V6CPE is the number of IPv6 CPE devices reachable via the hitlist.
+	V6CPE int
+	// HitlistFiller is the number of unresponsive IPv6 hitlist entries.
+	HitlistFiller int
+
+	// LoadBalancers is the number of load-balanced VIPs (one IP fronting
+	// a pool of devices) — the Section 9 future-work population.
+	LoadBalancers int
+	// BugDevices share the constant Cisco CSCts87275 engine ID
+	// 0x800000090300000000000000 (paper: 181k IPs; 1:250 scale).
+	BugDevices int
+	// PromiscuousGroups is the number of engine ID values reused across
+	// devices of different vendors; PromiscuousPerGroup devices share each.
+	PromiscuousGroups   int
+	PromiscuousPerGroup int
+	// SharedIDGroups is the number of single-vendor cloned-image engine ID
+	// values; SharedIDPerGroup devices share each. These survive the
+	// filtering pipeline, and only the (last reboot, boots) tuple keeps
+	// alias resolution from merging them.
+	SharedIDGroups   int
+	SharedIDPerGroup int
+
+	// ScanGapDays separates the two campaigns (paper: scans started
+	// April 16 and April 22).
+	ScanGapDays int
+
+	// PrefixSlack multiplies allocated address space relative to the
+	// number of assigned addresses, so most probed addresses are silent.
+	PrefixSlack int
+}
+
+// DefaultConfig returns the calibrated world used by the experiment
+// harness: routers and AS structure at 1:25 of the paper's population, edge
+// devices at 1:250, IPv6 at 1:50.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:                seed,
+		StartTime:           time.Date(2021, 4, 1, 0, 0, 0, 0, time.UTC),
+		TransitASes:         900,
+		EyeballASes:         250,
+		HostingASes:         120,
+		MaxRoutersPerAS:     376,
+		RouterZipfExponent:  0.62,
+		DeviceRespondProb:   0.45,
+		RouterIfaceProb:     0.45,
+		CPEDevices:          36000,
+		Servers:             6500,
+		IoTDevices:          4000,
+		DualStackRouterProb: 0.12,
+		V6OnlyRouterProb:    0.07,
+		V6CPE:               2600,
+		HitlistFiller:       40000,
+		LoadBalancers:       60,
+		BugDevices:          700,
+		PromiscuousGroups:   12,
+		PromiscuousPerGroup: 30,
+		SharedIDGroups:      3,
+		SharedIDPerGroup:    320,
+		ScanGapDays:         6,
+		PrefixSlack:         11,
+	}
+}
+
+// TinyConfig returns a miniature world for unit and integration tests:
+// every population and mechanism is present, but the whole pipeline runs in
+// well under a second.
+func TinyConfig(seed int64) Config {
+	return Config{
+		Seed:                seed,
+		StartTime:           time.Date(2021, 4, 1, 0, 0, 0, 0, time.UTC),
+		TransitASes:         40,
+		EyeballASes:         12,
+		HostingASes:         8,
+		MaxRoutersPerAS:     60,
+		RouterZipfExponent:  0.62,
+		DeviceRespondProb:   0.45,
+		RouterIfaceProb:     0.40,
+		CPEDevices:          2500,
+		Servers:             300,
+		IoTDevices:          200,
+		DualStackRouterProb: 0.12,
+		V6OnlyRouterProb:    0.07,
+		V6CPE:               250,
+		HitlistFiller:       1500,
+		LoadBalancers:       8,
+		BugDevices:          40,
+		PromiscuousGroups:   3,
+		PromiscuousPerGroup: 8,
+		SharedIDGroups:      2,
+		SharedIDPerGroup:    160,
+		ScanGapDays:         6,
+		PrefixSlack:         10,
+	}
+}
+
+// regionWeights drives AS region assignment (approximating the paper's
+// Figure 18 AS counts: EU 870, NA 663, AS 530, SA 92, AF 99, OC 74).
+var regionWeights = []struct {
+	Region Region
+	Weight float64
+}{
+	{RegionEU, 0.36},
+	{RegionNA, 0.28},
+	{RegionAS, 0.22},
+	{RegionSA, 0.05},
+	{RegionAF, 0.05},
+	{RegionOC, 0.04},
+}

@@ -1,0 +1,87 @@
+package netsim
+
+import (
+	"io"
+	"net/netip"
+	"sort"
+	"time"
+)
+
+type simPacket struct {
+	src     netip.Addr
+	payload []byte
+	at      time.Time
+}
+
+// Transport is the in-memory scanner transport: probes sent through it are
+// answered by the world's simulated agents, with deterministic per-path
+// RTTs stamped on the virtual clock. It satisfies the scanner package's
+// Transport interface.
+type Transport struct {
+	w  *World
+	ch chan simPacket
+}
+
+// NewTransport opens a transport onto the world. Each campaign should use a
+// fresh transport and call World.BeginScan first.
+func (w *World) NewTransport() *Transport {
+	return &Transport{w: w, ch: make(chan simPacket, 4096)}
+}
+
+// Send implements scanner.Transport: the datagram is delivered to the agent
+// at dst, and any responses are queued for Recv with a simulated RTT.
+func (t *Transport) Send(dst netip.Addr, payload []byte) error {
+	now := t.w.Clock.Now()
+	responses := t.w.HandleSNMP(dst, payload, now)
+	if len(responses) == 0 {
+		return nil
+	}
+	rtt := time.Duration(10+t.w.hash64(dst, 0x277)%190) * time.Millisecond
+	for _, resp := range responses {
+		t.ch <- simPacket{src: dst, payload: resp, at: now.Add(rtt)}
+	}
+	return nil
+}
+
+// Recv implements scanner.Transport.
+func (t *Transport) Recv() (netip.Addr, []byte, time.Time, error) {
+	p, ok := <-t.ch
+	if !ok {
+		return netip.Addr{}, nil, time.Time{}, io.EOF
+	}
+	return p.src, p.payload, p.at, nil
+}
+
+// Close implements scanner.Transport. It must not be called concurrently
+// with Send.
+func (t *Transport) Close() error {
+	close(t.ch)
+	return nil
+}
+
+// ScanPrefixes4 returns every allocated IPv4 prefix: the simulated
+// equivalent of the paper's "all ~2.9B routable IPv4 addresses" target
+// space (unallocated space would never respond and is elided for speed).
+func (w *World) ScanPrefixes4() []netip.Prefix {
+	var out []netip.Prefix
+	for _, a := range w.ASes {
+		out = append(out, a.V4Prefixes...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr().Less(out[j].Addr()) })
+	return out
+}
+
+// HitlistV6 returns the simulated IPv6 Hitlist Service target list:
+// hitlist-flagged device addresses (routers learned from traceroutes, CPE
+// from previous hitlist runs) plus unresponsive filler entries.
+func (w *World) HitlistV6() []netip.Addr {
+	var out []netip.Addr
+	for _, d := range w.Devices {
+		if d.InHitlist {
+			out = append(out, d.V6...)
+		}
+	}
+	out = append(out, w.hitlistFiller...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

@@ -1,0 +1,136 @@
+package netsim
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"snmpv3fp/internal/snmp"
+)
+
+func TestTransportRoundTrip(t *testing.T) {
+	w := tinyWorld(t)
+	w.Clock.Set(w.Cfg.StartTime.Add(15 * 24 * time.Hour))
+	tr := w.NewTransport()
+	probe, _ := snmp.EncodeDiscoveryRequest(1, 1)
+
+	// Find a responding address.
+	var target *Device
+	for _, d := range w.Devices {
+		if d.Responds && d.Quirk == QuirkNone && len(d.V4) > 0 && w.RespondsAt(d.V4[0]) &&
+			!w.coin(d.V4[0], uint64(0xA110+w.scanEpoch), lossProb) {
+			target = d
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("no target")
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var src any
+	var payload []byte
+	var at time.Time
+	go func() {
+		defer wg.Done()
+		s, p, a, err := tr.Recv()
+		if err != nil {
+			t.Errorf("recv: %v", err)
+			return
+		}
+		src, payload, at = s, p, a
+	}()
+	if err := tr.Send(target.V4[0], probe); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if src != target.V4[0] {
+		t.Errorf("src = %v", src)
+	}
+	if _, err := snmp.ParseDiscoveryResponse(payload); err != nil {
+		t.Errorf("payload: %v", err)
+	}
+	// Receive timestamp is the virtual send time plus a bounded RTT.
+	now := w.Clock.Now()
+	if at.Before(now) || at.After(now.Add(250*time.Millisecond)) {
+		t.Errorf("receive time %v vs now %v", at, now)
+	}
+
+	// Close drains to EOF.
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := tr.Recv(); err != io.EOF {
+		t.Errorf("after close: %v", err)
+	}
+}
+
+func TestTransportSilentTargets(t *testing.T) {
+	w := tinyWorld(t)
+	tr := w.NewTransport()
+	probe, _ := snmp.EncodeDiscoveryRequest(1, 1)
+	// Unallocated address: Send succeeds, nothing is queued.
+	if err := tr.Send(w.ScanPrefixes4()[0].Addr(), probe); err != nil {
+		t.Fatal(err)
+	}
+	tr.Close()
+	if _, _, _, err := tr.Recv(); err != io.EOF {
+		t.Error("silent target produced a response")
+	}
+}
+
+func TestTransportAmplifier(t *testing.T) {
+	w := tinyWorld(t)
+	w.Clock.Set(w.Cfg.StartTime.Add(15 * 24 * time.Hour))
+	var amp *Device
+	for _, d := range w.Devices {
+		if d.Quirk == QuirkAmplify && !w.coin(d.V4[0], uint64(0xA110+w.scanEpoch), lossProb) {
+			amp = d
+			break
+		}
+	}
+	if amp == nil {
+		t.Skip("no amplifier escaped the loss coin in this seed")
+	}
+	tr := w.NewTransport()
+	probe, _ := snmp.EncodeDiscoveryRequest(1, 1)
+
+	got := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			_, _, _, err := tr.Recv()
+			if err != nil {
+				return
+			}
+			got++
+		}
+	}()
+	if err := tr.Send(amp.V4[0], probe); err != nil {
+		t.Fatal(err)
+	}
+	tr.Close()
+	<-done
+	if got != amp.DupCount {
+		t.Errorf("amplifier delivered %d packets, want %d", got, amp.DupCount)
+	}
+	if got < 1000 {
+		t.Errorf("amplifier too small: %d", got)
+	}
+}
+
+func TestScanPrefixesSortedAndDisjoint(t *testing.T) {
+	w := tinyWorld(t)
+	ps := w.ScanPrefixes4()
+	for i := 1; i < len(ps); i++ {
+		if !ps[i-1].Addr().Less(ps[i].Addr()) {
+			t.Fatal("prefixes not sorted")
+		}
+		if ps[i-1].Contains(ps[i].Addr()) || ps[i].Contains(ps[i-1].Addr()) {
+			t.Fatalf("prefixes overlap: %v %v", ps[i-1], ps[i])
+		}
+	}
+}

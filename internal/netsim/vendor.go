@@ -1,0 +1,263 @@
+// Package netsim simulates the Internet-visible SNMP device population the
+// paper scans: autonomous systems across six regions, core routers with many
+// interfaces, Net-SNMP servers, and edge CPE — each with vendor-faithful
+// SNMPv3 agent behaviour, engine ID generation, boot history, clock quality,
+// IP-ID counters, rDNS naming, and TCP posture.
+//
+// The simulator answers real SNMPv3 wire messages built and parsed by
+// internal/snmp, so a scan against it exercises exactly the code paths a
+// scan against the real Internet would, minus the sockets (a Transport
+// implementation swaps the sockets back in for loopback tests).
+package netsim
+
+import (
+	"snmpv3fp/internal/oui"
+	"snmpv3fp/internal/pen"
+)
+
+// DeviceClass is the coarse role of a simulated device.
+type DeviceClass int
+
+// Device classes.
+const (
+	ClassRouter DeviceClass = iota
+	ClassServer
+	ClassCPE
+	ClassIoT
+)
+
+// String names the class.
+func (c DeviceClass) String() string {
+	switch c {
+	case ClassRouter:
+		return "router"
+	case ClassServer:
+		return "server"
+	case ClassCPE:
+		return "cpe"
+	case ClassIoT:
+		return "iot"
+	default:
+		return "unknown"
+	}
+}
+
+// EngineIDScheme selects how a device constructs its engine ID.
+type EngineIDScheme int
+
+// Engine ID generation schemes, mirroring the format mix of the paper's
+// Figure 5.
+const (
+	SchemeMAC EngineIDScheme = iota
+	SchemeIPv4
+	SchemeIPv6
+	SchemeText
+	SchemeOctets
+	SchemeNetSNMP
+	SchemeNonConforming
+)
+
+// IPIDScheme models how a device assigns the IPv4 identification field,
+// the signal MIDAR-style alias resolution depends on.
+type IPIDScheme int
+
+// IP-ID counter behaviours (Section 7.2 of the paper).
+const (
+	// IPIDShared: one sequential counter shared by all interfaces — the
+	// alias-resolvable case.
+	IPIDShared IPIDScheme = iota
+	// IPIDPerInterface: sequential but per interface — not resolvable.
+	IPIDPerInterface
+	// IPIDRandom: random per packet.
+	IPIDRandom
+	// IPIDZero: always zero (DF set).
+	IPIDZero
+)
+
+// WeightedScheme pairs an engine ID scheme with a selection weight.
+type WeightedScheme struct {
+	Scheme EngineIDScheme
+	Weight float64
+}
+
+// Profile describes the observable behaviour of one vendor's SNMP
+// implementation and TCP/IP stack.
+type Profile struct {
+	// Vendor is the label used in the paper's figures.
+	Vendor string
+	// Enterprise is the vendor's IANA enterprise number.
+	Enterprise uint32
+	// OUIs are the vendor's IEEE MAC blocks; empty for software agents.
+	OUIs []oui.OUI
+	// Schemes is the engine ID scheme mix for this vendor's devices.
+	Schemes []WeightedScheme
+	// IPID is the identification-field behaviour.
+	IPID IPIDScheme
+	// InitTTL is the initial TTL of emitted packets (iTTL fingerprint).
+	InitTTL int
+	// Banner is returned on open TCP ports; empty for closed-up devices.
+	Banner string
+	// OpenTCPProb is the probability a device of this vendor exposes a TCP
+	// service to the scanning vantage point.
+	OpenTCPProb float64
+	// ImplicitV3 models the Section 6.2.1 lab finding: configuring an
+	// SNMPv2c community implicitly enables unauthenticated SNMPv3 replies.
+	ImplicitV3 bool
+}
+
+func mustEnterprise(vendor string) uint32 {
+	n, ok := pen.NumberOf(vendor)
+	if !ok {
+		panic("netsim: vendor missing from PEN registry: " + vendor)
+	}
+	return n
+}
+
+func profile(vendor string, schemes []WeightedScheme, ipid IPIDScheme, ittl int, banner string, openTCP float64, implicitV3 bool) *Profile {
+	return &Profile{
+		Vendor:      vendor,
+		Enterprise:  mustEnterprise(vendor),
+		OUIs:        oui.OUIsOf(vendor),
+		Schemes:     schemes,
+		IPID:        ipid,
+		InitTTL:     ittl,
+		Banner:      banner,
+		OpenTCPProb: openTCP,
+		ImplicitV3:  implicitV3,
+	}
+}
+
+// Profiles indexes every vendor profile the generator draws from.
+var Profiles = map[string]*Profile{
+	"Cisco": profile("Cisco",
+		[]WeightedScheme{{SchemeMAC, 0.92}, {SchemeText, 0.04}, {SchemeIPv4, 0.04}},
+		IPIDShared, 255, "SSH-2.0-Cisco-1.25", 0.10, true),
+	"Huawei": profile("Huawei",
+		[]WeightedScheme{{SchemeMAC, 0.85}, {SchemeIPv4, 0.10}, {SchemeOctets, 0.05}},
+		IPIDShared, 255, "SSH-2.0-HUAWEI-1.5", 0.08, true),
+	"Juniper": profile("Juniper",
+		[]WeightedScheme{{SchemeMAC, 0.80}, {SchemeIPv4, 0.15}, {SchemeText, 0.05}},
+		IPIDShared, 64, "SSH-2.0-OpenSSH_7.5", 0.12, true),
+	"H3C": profile("H3C",
+		[]WeightedScheme{{SchemeOctets, 0.70}, {SchemeMAC, 0.30}},
+		IPIDPerInterface, 255, "", 0.05, true),
+	"Net-SNMP": profile("Net-SNMP",
+		[]WeightedScheme{{SchemeNetSNMP, 0.95}, {SchemeText, 0.05}},
+		IPIDPerInterface, 64, "SSH-2.0-OpenSSH_8.2p1", 0.65, false),
+	"Brocade": profile("Brocade",
+		[]WeightedScheme{{SchemeMAC, 1.0}},
+		IPIDShared, 64, "", 0.06, true),
+	"OneAccess": profile("OneAccess",
+		[]WeightedScheme{{SchemeMAC, 0.90}, {SchemeIPv4, 0.10}},
+		IPIDShared, 128, "", 0.05, true),
+	"Ruijie": profile("Ruijie",
+		[]WeightedScheme{{SchemeMAC, 0.85}, {SchemeOctets, 0.15}},
+		IPIDPerInterface, 64, "", 0.05, true),
+	"Adtran": profile("Adtran",
+		[]WeightedScheme{{SchemeMAC, 1.0}},
+		IPIDShared, 64, "", 0.05, true),
+	"Ambit": profile("Ambit",
+		[]WeightedScheme{{SchemeMAC, 0.9}, {SchemeNonConforming, 0.1}},
+		IPIDRandom, 64, "", 0.02, false),
+	"Thomson": profile("Thomson",
+		[]WeightedScheme{{SchemeMAC, 0.88}, {SchemeNonConforming, 0.12}},
+		IPIDRandom, 64, "", 0.02, false),
+	"Netgear": profile("Netgear",
+		[]WeightedScheme{{SchemeMAC, 0.85}, {SchemeNonConforming, 0.15}},
+		IPIDRandom, 64, "", 0.03, false),
+	"Broadcom": profile("Broadcom",
+		[]WeightedScheme{{SchemeMAC, 0.55}, {SchemeNonConforming, 0.35}, {SchemeOctets, 0.10}},
+		IPIDRandom, 64, "", 0.02, false),
+	"MikroTik": profile("MikroTik",
+		[]WeightedScheme{{SchemeMAC, 0.6}, {SchemeText, 0.4}},
+		IPIDPerInterface, 64, "SSH-2.0-ROSSSH", 0.30, false),
+	"ZTE": profile("ZTE",
+		[]WeightedScheme{{SchemeMAC, 0.8}, {SchemeOctets, 0.2}},
+		IPIDShared, 64, "", 0.04, true),
+	"TP-Link": profile("TP-Link",
+		[]WeightedScheme{{SchemeMAC, 0.8}, {SchemeNonConforming, 0.2}},
+		IPIDRandom, 64, "", 0.02, false),
+	"D-Link": profile("D-Link",
+		[]WeightedScheme{{SchemeMAC, 0.85}, {SchemeNonConforming, 0.15}},
+		IPIDRandom, 64, "", 0.02, false),
+	"ZyXEL": profile("ZyXEL",
+		[]WeightedScheme{{SchemeMAC, 0.9}, {SchemeOctets, 0.1}},
+		IPIDRandom, 64, "", 0.02, false),
+	"Ubiquiti": profile("Ubiquiti",
+		[]WeightedScheme{{SchemeMAC, 0.7}, {SchemeText, 0.3}},
+		IPIDPerInterface, 64, "SSH-2.0-OpenSSH_7.9", 0.25, false),
+	"Ericsson": profile("Ericsson",
+		[]WeightedScheme{{SchemeMAC, 0.9}, {SchemeOctets, 0.1}},
+		IPIDShared, 255, "", 0.03, true),
+	"Nokia SROS": profile("Nokia SROS",
+		[]WeightedScheme{{SchemeMAC, 0.9}, {SchemeIPv4, 0.1}},
+		IPIDShared, 64, "", 0.05, true),
+	"Fortinet": profile("Fortinet",
+		[]WeightedScheme{{SchemeMAC, 0.8}, {SchemeOctets, 0.2}},
+		IPIDRandom, 255, "", 0.04, false),
+	"Extreme Networks": profile("Extreme Networks",
+		[]WeightedScheme{{SchemeMAC, 1.0}},
+		IPIDShared, 64, "", 0.04, true),
+	"Arista": profile("Arista",
+		[]WeightedScheme{{SchemeMAC, 0.85}, {SchemeText, 0.15}},
+		IPIDPerInterface, 64, "SSH-2.0-OpenSSH_7.8", 0.10, false),
+	"Alcatel-Lucent": profile("Alcatel-Lucent",
+		[]WeightedScheme{{SchemeMAC, 0.9}, {SchemeOctets, 0.1}},
+		IPIDShared, 64, "", 0.04, true),
+}
+
+// RouterVendorMix is the market-share distribution used to pick router
+// vendors; weights approximate the paper's Figure 12 (Cisco ~69%, Huawei
+// ~15%, Juniper ~7%, H3C ~4%, top-4 ≥ 95%). The effective per-AS draw
+// additionally applies region mixes and per-AS dominance; see genASRouters.
+var RouterVendorMix = []struct {
+	Vendor string
+	Weight float64
+}{
+	{"Cisco", 0.690},
+	{"Huawei", 0.150},
+	{"Juniper", 0.072},
+	{"H3C", 0.040},
+	{"Net-SNMP", 0.016},
+	{"OneAccess", 0.009},
+	{"Ruijie", 0.007},
+	{"Brocade", 0.005},
+	{"Adtran", 0.004},
+	{"Ambit", 0.003},
+	{"Nokia SROS", 0.002},
+	{"Ericsson", 0.002},
+}
+
+// CPEVendorMix approximates the edge-device vendor mix behind the paper's
+// Figure 11 once routers and servers are excluded.
+var CPEVendorMix = []struct {
+	Vendor string
+	Weight float64
+}{
+	{"Thomson", 0.215},
+	{"Broadcom", 0.215},
+	{"Netgear", 0.155},
+	{"Cisco", 0.130}, // small-business gear
+	{"Huawei", 0.075},
+	{"Ambit", 0.055},
+	{"MikroTik", 0.045},
+	{"TP-Link", 0.030},
+	{"D-Link", 0.025},
+	{"ZyXEL", 0.020},
+	{"Ubiquiti", 0.015},
+	{"ZTE", 0.010},
+	{"Fortinet", 0.005},
+	{"Ruijie", 0.005},
+}
+
+// RegionHuaweiShare scales Huawei's router share per region, reproducing the
+// paper's Figure 15: ~27% in Asia, ~22% in Europe, ~14% in South America and
+// Africa, absent in North America, <1% in Oceania.
+var RegionHuaweiShare = map[Region]float64{
+	RegionAS: 1.80,
+	RegionEU: 1.45,
+	RegionSA: 0.95,
+	RegionAF: 0.95,
+	RegionNA: 0.0,
+	RegionOC: 0.05,
+}

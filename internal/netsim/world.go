@@ -1,0 +1,375 @@
+package netsim
+
+import (
+	"hash/fnv"
+	"net/netip"
+	"time"
+
+	"snmpv3fp/internal/vclock"
+)
+
+// Region is a continent code as used in the paper's regional analyses.
+type Region string
+
+// Regions.
+const (
+	RegionEU Region = "EU"
+	RegionNA Region = "NA"
+	RegionAS Region = "AS"
+	RegionSA Region = "SA"
+	RegionAF Region = "AF"
+	RegionOC Region = "OC"
+)
+
+// AllRegions lists the regions in the paper's display order.
+var AllRegions = []Region{RegionEU, RegionNA, RegionAS, RegionSA, RegionAF, RegionOC}
+
+// ASKind is the coarse business of an autonomous system.
+type ASKind int
+
+// AS kinds.
+const (
+	ASTransit ASKind = iota // operates core routers
+	ASEyeball               // residential access: CPE population
+	ASHosting               // data centers: Net-SNMP servers
+)
+
+// AS is one simulated autonomous system.
+type AS struct {
+	Number     uint32
+	Region     Region
+	Kind       ASKind
+	Name       string
+	V4Prefixes []netip.Prefix
+	V6Prefixes []netip.Prefix
+	// DominantVendor is the AS's primary router vendor (ground truth for
+	// the vendor-dominance experiments).
+	DominantVendor string
+	// RDNSDomain is the suffix of the AS's PTR records, "" when the AS
+	// publishes none.
+	RDNSDomain string
+}
+
+// Quirk flags behavioural anomalies that the paper's filtering pipeline must
+// catch. A device carries at most one quirk.
+type Quirk int
+
+// Device quirks.
+const (
+	QuirkNone Quirk = iota
+	// QuirkMissingEngineID: responds with an empty engine ID.
+	QuirkMissingEngineID
+	// QuirkShortEngineID: engine ID shorter than four bytes.
+	QuirkShortEngineID
+	// QuirkZeroBootsTime: reports engineBoots == engineTime == 0.
+	QuirkZeroBootsTime
+	// QuirkFutureTime: reports an engine time ahead of wall time.
+	QuirkFutureTime
+	// QuirkDrift: unstable engine time (bad clock); the derived last-reboot
+	// time moves by more than the paper's 10 s threshold between scans.
+	QuirkDrift
+	// QuirkReboot: the device reboots between the two campaigns.
+	QuirkReboot
+	// QuirkChurn: the IP is reassigned between campaigns, so the second
+	// scan sees a different device (different engine ID) at the same IP.
+	QuirkChurn
+	// QuirkMultiResponse: answers each probe with a handful of duplicates.
+	QuirkMultiResponse
+	// QuirkAmplify: answers a single probe with a storm of duplicates
+	// (Section 8's 48.5M-response device, scaled down).
+	QuirkAmplify
+	// QuirkLoadBalancer: one IP fronts a pool of distinct devices; probes
+	// reach pool members in turn, so the engine ID varies per request —
+	// the signal the paper's conclusion proposes exploiting to infer load
+	// balancers (Section 9).
+	QuirkLoadBalancer
+)
+
+// Device is one simulated SNMP entity.
+type Device struct {
+	ID      int
+	Class   DeviceClass
+	Profile *Profile
+	ASN     uint32
+
+	V4 []netip.Addr
+	V6 []netip.Addr
+
+	EngineID []byte
+	// Boots is engineBoots at world start.
+	Boots int64
+	// BootTime is the instant of the last SNMP engine restart.
+	BootTime time.Time
+
+	// Responds is the device's ACL posture towards the scan vantage point.
+	Responds bool
+
+	Quirk Quirk
+	// RebootPeriod, when positive, schedules recurring restarts: the
+	// device reboots every period after BootTime, incrementing engine
+	// boots. This drives the longitudinal monitoring extension.
+	RebootPeriod time.Duration
+	// DriftRate is seconds of engine-time drift per wall-clock second for
+	// QuirkDrift devices.
+	DriftRate float64
+	// AltEngineID etc. describe the replacement device for QuirkChurn.
+	AltEngineID []byte
+	AltBoots    int64
+	AltBootTime time.Time
+	// Pool holds the backend identities of a QuirkLoadBalancer device.
+	Pool []PoolIdentity
+	// FlipAt is when churn or a mid-measurement reboot takes effect; it is
+	// scheduled between the two campaigns that probe this device's family.
+	FlipAt time.Time
+	// DupCount is the duplicate-response count for QuirkMultiResponse /
+	// QuirkAmplify.
+	DupCount int
+
+	// ipidBase seeds the device's IP-ID counter.
+	ipidBase uint16
+	// ipidRate is counter increments per second from background traffic.
+	ipidRate float64
+	// tsSkewPPM is the device clock's skew in parts per million and
+	// tsOffset its TCP timestamp origin: the signals clock-skew-based
+	// sibling detection (Scheitle et al.) reads.
+	tsSkewPPM float64
+	tsOffset  uint32
+
+	// InITDK / InAtlas / InHitlist mark membership in the synthetic
+	// third-party router datasets.
+	InITDK    bool
+	InAtlas   bool
+	InHitlist bool
+}
+
+// Router reports whether the device is a core router.
+func (d *Device) Router() bool { return d.Class == ClassRouter }
+
+// AllAddrs returns every interface address, IPv4 first.
+func (d *Device) AllAddrs() []netip.Addr {
+	out := make([]netip.Addr, 0, len(d.V4)+len(d.V6))
+	out = append(out, d.V4...)
+	out = append(out, d.V6...)
+	return out
+}
+
+// World is the simulated Internet.
+type World struct {
+	Cfg     Config
+	Clock   *vclock.Virtual
+	ASes    []*AS
+	Devices []*Device
+
+	asByNumber map[uint32]*AS
+	byAddr     map[netip.Addr]*Device
+	// churnFlip is the instant at which QuirkChurn devices hand their IPs
+	// to the replacement device and QuirkReboot devices restart.
+	churnFlip time.Time
+	// scanEpoch increments per campaign; used for deterministic per-scan
+	// response loss.
+	scanEpoch int
+
+	ptr map[netip.Addr]string
+	// hitlistFiller holds unresponsive IPv6 hitlist entries.
+	hitlistFiller []netip.Addr
+}
+
+// ASByNumber resolves an AS number.
+func (w *World) ASByNumber(n uint32) *AS { return w.asByNumber[n] }
+
+// DeviceAt returns the device holding addr, nil when the address is
+// unallocated.
+func (w *World) DeviceAt(addr netip.Addr) *Device { return w.byAddr[addr] }
+
+// PTR returns the reverse-DNS name of addr, "" when none exists.
+func (w *World) PTR(addr netip.Addr) string { return w.ptr[addr] }
+
+// RespondsAt reports whether the SNMP agent at addr answers probes from the
+// vantage point: the address must be allocated, the device's management
+// plane reachable, and — for routers — the per-interface ACL open
+// (Section 6.2.2's operators confirmed some interfaces drop management
+// traffic while others on the same router answer).
+func (w *World) RespondsAt(addr netip.Addr) bool {
+	d := w.byAddr[addr]
+	if d == nil || !d.Responds {
+		return false
+	}
+	if d.Class == ClassRouter && !w.coin(addr, 0xAC1, w.Cfg.RouterIfaceProb) {
+		return false
+	}
+	return true
+}
+
+// BeginScan marks the start of a new campaign, refreshing the per-scan
+// response-loss pattern.
+func (w *World) BeginScan() { w.scanEpoch++ }
+
+// ScanEpoch returns the current campaign index (0 before the first
+// BeginScan).
+func (w *World) ScanEpoch() int { return w.scanEpoch }
+
+// hash64 produces a stable per-world hash for deterministic coin flips.
+func (w *World) hash64(addr netip.Addr, salt uint64) uint64 {
+	h := fnv.New64a()
+	b := addr.As16()
+	h.Write(b[:])
+	var s [16]byte
+	for i := 0; i < 8; i++ {
+		s[i] = byte(salt >> (8 * i))
+		s[8+i] = byte(uint64(w.Cfg.Seed) >> (8 * i))
+	}
+	h.Write(s[:])
+	return h.Sum64()
+}
+
+// coin returns a deterministic pseudo-random coin flip for addr with the
+// given probability and salt.
+func (w *World) coin(addr netip.Addr, salt uint64, prob float64) bool {
+	return float64(w.hash64(addr, salt))/float64(^uint64(0)) < prob
+}
+
+// PoolIdentity is one backend behind a load-balanced VIP.
+type PoolIdentity struct {
+	EngineID []byte
+	Boots    int64
+	BootTime time.Time
+}
+
+// scheduledBoot applies the recurring-reboot schedule: the device restarts
+// every RebootPeriod after BootTime.
+func (d *Device) scheduledBoot(now time.Time) (int64, time.Time) {
+	if d.RebootPeriod <= 0 || !now.After(d.BootTime) {
+		return d.Boots, d.BootTime
+	}
+	n := int64(now.Sub(d.BootTime) / d.RebootPeriod)
+	if n <= 0 {
+		return d.Boots, d.BootTime
+	}
+	return d.Boots + n, d.BootTime.Add(time.Duration(n) * d.RebootPeriod)
+}
+
+// activeIdentity resolves which engine identity answers at the given
+// instant, accounting for churn, mid-measurement reboots, and recurring
+// reboot schedules.
+func (d *Device) activeIdentity(now time.Time) (engineID []byte, boots int64, bootTime time.Time) {
+	switch d.Quirk {
+	case QuirkChurn:
+		if now.After(d.FlipAt) {
+			return d.AltEngineID, d.AltBoots, d.AltBootTime
+		}
+	case QuirkReboot:
+		if now.After(d.FlipAt) {
+			return d.EngineID, d.Boots + 1, d.FlipAt
+		}
+	}
+	boots, bootTime = d.scheduledBoot(now)
+	return d.EngineID, boots, bootTime
+}
+
+// engineTime computes the engineTime value (seconds since last SNMP engine
+// restart) the device reports at the given instant, including clock-quality
+// quirks.
+func (d *Device) engineTime(now, bootTime time.Time, worldStart time.Time) int64 {
+	et := int64(now.Sub(bootTime) / time.Second)
+	switch d.Quirk {
+	case QuirkDrift:
+		// Engine time ticks too fast or too slow; by the second campaign
+		// the derived last-reboot time has moved well past the paper's
+		// 10-second consistency threshold.
+		drift := d.DriftRate * now.Sub(worldStart).Seconds()
+		et += int64(drift)
+		if et < 0 {
+			et = 0
+		}
+	case QuirkFutureTime:
+		// A broken encoder reports a negative engine time, so the derived
+		// last-reboot time lands in the future — the paper's "engine time
+		// in the future" filter case.
+		return -int64(30 * 24 * time.Hour / time.Second)
+	case QuirkZeroBootsTime:
+		return 0
+	}
+	if et < 0 {
+		et = 0
+	}
+	return et
+}
+
+// IPIDSample returns the value of the identification field the device would
+// use for a packet emitted from addr at the given instant — the primitive
+// MIDAR-style alias resolution builds on. ok is false when the address is
+// unallocated or the device does not answer ICMP from the vantage point.
+func (w *World) IPIDSample(addr netip.Addr, now time.Time, probeSeq int) (uint16, bool) {
+	d := w.byAddr[addr]
+	if d == nil || !d.Responds {
+		return 0, false
+	}
+	// Not every interface answers direct ICMP/UDP probes from the alias
+	// resolver's vantage point.
+	if !w.coin(addr, 0x1C3, 0.55) {
+		return 0, false
+	}
+	elapsed := now.Sub(w.Cfg.StartTime).Seconds()
+	switch d.Profile.IPID {
+	case IPIDShared:
+		// One counter for the whole box: base + traffic + our own probes.
+		v := float64(d.ipidBase) + d.ipidRate*elapsed + float64(probeSeq)
+		return uint16(uint64(v) & 0xFFFF), true
+	case IPIDPerInterface:
+		// Independent counter per interface: offset by an address hash so
+		// different interfaces never share a sequence.
+		off := w.hash64(addr, 0x1D0)
+		v := float64(uint16(off)) + d.ipidRate*elapsed + float64(probeSeq)
+		return uint16(uint64(v) & 0xFFFF), true
+	case IPIDRandom:
+		return uint16(w.hash64(addr, uint64(now.UnixNano())^uint64(probeSeq))), true
+	default: // IPIDZero
+		return 0, true
+	}
+}
+
+// TTLSample returns the initial TTL a reply from addr carries, the signal
+// of iTTL fingerprinting. ok is false for unallocated or silent addresses.
+func (w *World) TTLSample(addr netip.Addr) (int, bool) {
+	d := w.byAddr[addr]
+	if d == nil || !d.Responds {
+		return 0, false
+	}
+	return d.Profile.InitTTL, true
+}
+
+// tsHz is the TCP timestamp clock frequency the simulation uses.
+const tsHz = 1000.0
+
+// TCPTimestamp models reading the TCP timestamp option from a connection
+// to addr at the given instant. All interfaces of a device share one clock
+// (same skew, same origin) — the invariant sibling detection exploits. It
+// requires an open TCP service, exactly like banner grabbing; routers
+// without one yield ok == false, which is why the technique "largely
+// centers on servers" (paper Section 7.3).
+func (w *World) TCPTimestamp(addr netip.Addr, now time.Time) (uint32, bool) {
+	if _, open := w.TCPBanner(addr); !open {
+		return 0, false
+	}
+	d := w.byAddr[addr]
+	elapsed := now.Sub(w.Cfg.StartTime).Seconds()
+	v := elapsed * tsHz * (1 + d.tsSkewPPM*1e-6)
+	return d.tsOffset + uint32(int64(v)), true
+}
+
+// TCPBanner models a banner-grab connection to addr: it returns the banner
+// when the device exposes an open TCP service to the vantage point, and
+// open=false otherwise (closed or filtered — the common case for routers).
+func (w *World) TCPBanner(addr netip.Addr) (banner string, open bool) {
+	d := w.byAddr[addr]
+	if d == nil {
+		return "", false
+	}
+	if d.Profile.Banner == "" {
+		return "", false
+	}
+	if !w.coin(addr, 0x7C9, d.Profile.OpenTCPProb) {
+		return "", false
+	}
+	return d.Profile.Banner, true
+}

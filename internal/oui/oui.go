@@ -1,0 +1,188 @@
+// Package oui provides a curated subset of the IEEE MA-L (OUI) registry
+// (http://standards-oui.ieee.org/oui/oui.txt).
+//
+// The upper three bytes of a MAC address identify the organization that
+// registered the block. MAC-format engine IDs therefore fingerprint the
+// device vendor directly; the paper's "Unregistered MAC engine IDs" filter
+// additionally drops MACs whose OUI has no registration. The subset embeds
+// several real assignments per vendor the paper names (e.g. 74:8E:F8 is the
+// Brocade OUI shown in the paper's Figure 3) plus assorted other vendors.
+package oui
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OUI is a 24-bit organizationally unique identifier.
+type OUI [3]byte
+
+// String formats the OUI as colon-separated hex.
+func (o OUI) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x", o[0], o[1], o[2])
+}
+
+// ParseOUI parses "aa:bb:cc", "aa-bb-cc" or "aabbcc".
+func ParseOUI(s string) (OUI, error) {
+	s = strings.NewReplacer(":", "", "-", "").Replace(strings.TrimSpace(s))
+	if len(s) != 6 {
+		return OUI{}, fmt.Errorf("oui: %q is not 3 octets", s)
+	}
+	var o OUI
+	for i := 0; i < 3; i++ {
+		var b byte
+		if _, err := fmt.Sscanf(s[2*i:2*i+2], "%02x", &b); err != nil {
+			return OUI{}, fmt.Errorf("oui: bad hex in %q", s)
+		}
+		o[i] = b
+	}
+	return o, nil
+}
+
+// registry maps OUI to vendor. Vendor labels match the paper's figures so
+// fingerprints aggregate naturally.
+var registry = map[OUI]string{
+	// Cisco (the largest OUI holder; a representative sample).
+	{0x00, 0x00, 0x0C}: "Cisco",
+	{0x00, 0x01, 0x42}: "Cisco",
+	{0x00, 0x1B, 0x54}: "Cisco",
+	{0x00, 0x23, 0x5E}: "Cisco",
+	{0x58, 0x8D, 0x09}: "Cisco",
+	{0x70, 0xDB, 0x98}: "Cisco",
+	{0xB0, 0xAA, 0x77}: "Cisco",
+	{0xF8, 0x66, 0xF2}: "Cisco",
+	// Huawei.
+	{0x00, 0x1E, 0x10}: "Huawei",
+	{0x00, 0x25, 0x9E}: "Huawei",
+	{0x48, 0x46, 0xFB}: "Huawei",
+	{0x94, 0x04, 0x9C}: "Huawei",
+	{0xF4, 0xC7, 0x14}: "Huawei",
+	// Juniper.
+	{0x00, 0x05, 0x85}: "Juniper",
+	{0x2C, 0x6B, 0xF5}: "Juniper",
+	{0x5C, 0x5E, 0xAB}: "Juniper",
+	{0xF8, 0xC0, 0x01}: "Juniper",
+	// H3C.
+	{0x00, 0x0F, 0xE2}: "H3C",
+	{0x58, 0x66, 0xBA}: "H3C",
+	{0x3C, 0xE5, 0xA6}: "H3C",
+	// Brocade / Foundry.
+	{0x74, 0x8E, 0xF8}: "Brocade",
+	{0x00, 0x05, 0x1E}: "Brocade",
+	{0x00, 0x24, 0x38}: "Brocade",
+	// Thomson.
+	{0x00, 0x0E, 0x50}: "Thomson",
+	{0x00, 0x18, 0x9B}: "Thomson",
+	{0x00, 0x26, 0x44}: "Thomson",
+	// Netgear.
+	{0x00, 0x09, 0x5B}: "Netgear",
+	{0x20, 0x4E, 0x7F}: "Netgear",
+	{0xA0, 0x40, 0xA0}: "Netgear",
+	// Ambit.
+	{0x00, 0xD0, 0x59}: "Ambit",
+	{0x00, 0x13, 0xD4}: "Ambit",
+	// Ruijie.
+	{0x00, 0xD0, 0xF8}: "Ruijie",
+	{0x58, 0x69, 0x6C}: "Ruijie",
+	// OneAccess.
+	{0x00, 0x12, 0xEF}: "OneAccess",
+	{0x70, 0xFC, 0x8C}: "OneAccess",
+	// Adtran.
+	{0x00, 0xA0, 0xC8}: "Adtran",
+	{0xE0, 0x22, 0xF0}: "Adtran",
+	// Others seen in scan data.
+	{0x00, 0x05, 0x5D}: "D-Link",
+	{0x00, 0x19, 0xC6}: "ZTE",
+	{0x4C, 0x5E, 0x0C}: "MikroTik",
+	{0x64, 0xD1, 0x54}: "MikroTik",
+	{0x50, 0xC7, 0xBF}: "TP-Link",
+	{0x24, 0xA4, 0x3C}: "Ubiquiti",
+	{0x00, 0x04, 0x96}: "Extreme Networks",
+	{0x00, 0x14, 0x22}: "Dell",
+	{0x00, 0x1B, 0x21}: "Intel",
+	{0x00, 0x50, 0x56}: "VMware",
+	{0x00, 0x0C, 0x29}: "VMware",
+	{0x52, 0x54, 0x00}: "QEMU",
+	{0x00, 0x90, 0x0B}: "Lanner",
+	{0x00, 0x08, 0xA1}: "CNet",
+	{0x28, 0x99, 0x3A}: "Arista",
+	{0x00, 0x1C, 0x73}: "Arista",
+	{0x00, 0x09, 0x0F}: "Fortinet",
+	{0x00, 0x15, 0x65}: "Xiamen Yealink",
+	{0x00, 0x03, 0xFA}: "Nokia SROS", // TiMetra
+	{0x00, 0x21, 0x05}: "Alcatel-Lucent",
+	{0xDC, 0x08, 0x56}: "Alcatel-Lucent",
+	{0x00, 0x30, 0x88}: "Ericsson",
+	{0x00, 0x01, 0xEC}: "Ericsson",
+	{0x00, 0xA0, 0xC5}: "ZyXEL",
+	{0x00, 0x23, 0xF8}: "ZyXEL",
+	{0x00, 0x0F, 0xB5}: "Netgear",
+	{0x14, 0x4D, 0x67}: "Draytek",
+	{0x00, 0x1D, 0xAA}: "Draytek",
+	{0xE0, 0x46, 0x9A}: "Netgear",
+	{0x74, 0xDA, 0x88}: "TP-Link",
+	{0x00, 0x17, 0x7C}: "Smart Link",
+	{0x88, 0xF0, 0x31}: "Cisco",
+	{0x00, 0x24, 0x14}: "Cisco",
+	{0xC8, 0x9C, 0x1D}: "Cisco",
+	{0x84, 0xB5, 0x17}: "Cisco",
+	{0x00, 0xE0, 0xFC}: "Huawei",
+	{0x88, 0x25, 0x93}: "TP-Link",
+	{0x00, 0x0A, 0xF7}: "Broadcom",
+	{0x00, 0x10, 0x18}: "Broadcom",
+	{0xD4, 0x01, 0xC3}: "Broadcom",
+	{0x18, 0xC0, 0x86}: "Broadcom",
+}
+
+// Lookup maps an OUI to its registered vendor.
+func Lookup(o OUI) (vendor string, ok bool) {
+	vendor, ok = registry[o]
+	return vendor, ok
+}
+
+// LookupMAC maps a full 6-byte MAC address to its vendor.
+func LookupMAC(mac []byte) (vendor string, ok bool) {
+	if len(mac) < 3 {
+		return "", false
+	}
+	return Lookup(OUI{mac[0], mac[1], mac[2]})
+}
+
+// OUIsOf returns every OUI registered to the vendor, sorted, for the
+// simulator to draw device MACs from.
+func OUIsOf(vendor string) []OUI {
+	var out []OUI
+	for o, v := range registry {
+		if v == vendor {
+			out = append(out, o)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := 0; k < 3; k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Vendors returns the distinct vendor names in the subset, sorted.
+func Vendors() []string {
+	seen := map[string]bool{}
+	for _, v := range registry {
+		seen[v] = true
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size reports the number of OUI assignments in the subset.
+func Size() int { return len(registry) }

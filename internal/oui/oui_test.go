@@ -1,0 +1,103 @@
+package oui
+
+import "testing"
+
+func TestParseOUI(t *testing.T) {
+	for _, s := range []string{"74:8e:f8", "74-8E-F8", "748ef8", " 74:8E:f8 "} {
+		o, err := ParseOUI(s)
+		if err != nil {
+			t.Fatalf("ParseOUI(%q): %v", s, err)
+		}
+		if o != (OUI{0x74, 0x8e, 0xf8}) {
+			t.Errorf("ParseOUI(%q) = %v", s, o)
+		}
+	}
+	for _, s := range []string{"", "74:8e", "74:8e:f8:31", "zz:zz:zz"} {
+		if _, err := ParseOUI(s); err == nil {
+			t.Errorf("ParseOUI(%q) should fail", s)
+		}
+	}
+}
+
+func TestOUIString(t *testing.T) {
+	if (OUI{0x74, 0x8e, 0xf8}).String() != "74:8e:f8" {
+		t.Error("String format wrong")
+	}
+}
+
+func TestLookupPaperVendors(t *testing.T) {
+	// The Brocade OUI from the paper's Figure 3.
+	v, ok := Lookup(OUI{0x74, 0x8e, 0xf8})
+	if !ok || v != "Brocade" {
+		t.Errorf("74:8e:f8 = %q, %v", v, ok)
+	}
+	cases := map[OUI]string{
+		{0x00, 0x00, 0x0C}: "Cisco",
+		{0x00, 0x1E, 0x10}: "Huawei",
+		{0x00, 0x05, 0x85}: "Juniper",
+		{0x00, 0x0F, 0xE2}: "H3C",
+		{0x00, 0x0E, 0x50}: "Thomson",
+		{0x00, 0x09, 0x5B}: "Netgear",
+		{0x00, 0xD0, 0x59}: "Ambit",
+		{0x00, 0xD0, 0xF8}: "Ruijie",
+		{0x70, 0xFC, 0x8C}: "OneAccess",
+		{0x00, 0xA0, 0xC8}: "Adtran",
+		{0x00, 0x10, 0x18}: "Broadcom",
+	}
+	for o, want := range cases {
+		if v, ok := Lookup(o); !ok || v != want {
+			t.Errorf("Lookup(%v) = %q, %v; want %q", o, v, ok, want)
+		}
+	}
+}
+
+func TestLookupUnregistered(t *testing.T) {
+	if _, ok := Lookup(OUI{0x00, 0x00, 0x00}); ok {
+		t.Error("zero OUI should be unregistered")
+	}
+	if _, ok := Lookup(OUI{0xDE, 0xAD, 0xBE}); ok {
+		t.Error("DE:AD:BE should be unregistered")
+	}
+}
+
+func TestLookupMAC(t *testing.T) {
+	v, ok := LookupMAC([]byte{0x74, 0x8e, 0xf8, 0x31, 0xdb, 0x80})
+	if !ok || v != "Brocade" {
+		t.Errorf("LookupMAC = %q, %v", v, ok)
+	}
+	if _, ok := LookupMAC([]byte{0x74}); ok {
+		t.Error("short MAC should fail")
+	}
+}
+
+func TestOUIsOf(t *testing.T) {
+	cisco := OUIsOf("Cisco")
+	if len(cisco) < 5 {
+		t.Errorf("Cisco OUIs = %d, want >= 5", len(cisco))
+	}
+	for i := 1; i < len(cisco); i++ {
+		a, b := cisco[i-1], cisco[i]
+		if !(a[0] < b[0] || (a[0] == b[0] && (a[1] < b[1] || (a[1] == b[1] && a[2] < b[2])))) {
+			t.Fatal("OUIsOf not sorted")
+		}
+	}
+	if len(OUIsOf("No Such Vendor")) != 0 {
+		t.Error("unknown vendor should have no OUIs")
+	}
+}
+
+func TestVendorsCoverPaperSet(t *testing.T) {
+	vendors := map[string]bool{}
+	for _, v := range Vendors() {
+		vendors[v] = true
+	}
+	for _, want := range []string{"Cisco", "Huawei", "Juniper", "H3C", "Brocade",
+		"Thomson", "Netgear", "Ambit", "Ruijie", "OneAccess", "Adtran", "Broadcom"} {
+		if !vendors[want] {
+			t.Errorf("vendor %q missing from registry", want)
+		}
+	}
+	if Size() < 60 {
+		t.Errorf("OUI subset suspiciously small: %d", Size())
+	}
+}

@@ -1,0 +1,67 @@
+package pen
+
+import "testing"
+
+func TestPaperVendorsPresent(t *testing.T) {
+	// Every vendor named in the paper's figures must resolve.
+	want := map[uint32]string{
+		9:     "Cisco",
+		2011:  "Huawei",
+		2636:  "Juniper",
+		25506: "H3C",
+		8072:  "Net-SNMP",
+		1588:  "Brocade",
+		4413:  "Broadcom",
+		2863:  "Thomson",
+		4526:  "Netgear",
+		4684:  "Ambit",
+		4881:  "Ruijie",
+		13191: "OneAccess",
+		664:   "Adtran",
+	}
+	for num, name := range want {
+		got, ok := Lookup(num)
+		if !ok || got != name {
+			t.Errorf("Lookup(%d) = %q, %v; want %q", num, got, ok, name)
+		}
+	}
+}
+
+func TestNameFallback(t *testing.T) {
+	if Name(9) != "Cisco" {
+		t.Error("Name(9)")
+	}
+	if Name(999999999) != "unknown" {
+		t.Error("Name of unregistered number should be unknown")
+	}
+}
+
+func TestNumberOf(t *testing.T) {
+	n, ok := NumberOf("Cisco")
+	if !ok || n != 9 {
+		t.Errorf("NumberOf(Cisco) = %d, %v", n, ok)
+	}
+	if _, ok := NumberOf("No Such Vendor"); ok {
+		t.Error("unknown vendor resolved")
+	}
+}
+
+func TestAllSortedAndConsistent(t *testing.T) {
+	all := All()
+	if len(all) != Size() {
+		t.Fatalf("All() length %d != Size() %d", len(all), Size())
+	}
+	if len(all) < 50 {
+		t.Errorf("registry subset suspiciously small: %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Number >= all[i].Number {
+			t.Fatalf("All() not sorted at %d", i)
+		}
+	}
+	for _, e := range all {
+		if got := Name(e.Number); got != e.Name {
+			t.Errorf("entry %d: %q != %q", e.Number, got, e.Name)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package records persists scan campaigns as NDJSON — one observation per
+// line — so campaigns can be captured once (cmd/snmpscan -json) and
+// analyzed offline (cmd/snmpalias), mirroring how the paper's pipeline
+// separates scanning from analysis.
+package records
+
+import (
+	"bufio"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"time"
+
+	"snmpv3fp/internal/core"
+)
+
+// Record is the NDJSON form of one observation.
+type Record struct {
+	IP          string `json:"ip"`
+	EngineID    string `json:"engine_id,omitempty"` // lowercase hex
+	EngineBoots int64  `json:"engine_boots"`
+	EngineTime  int64  `json:"engine_time"`
+	ReceivedAt  string `json:"received_at"` // RFC 3339 with nanoseconds
+	Packets     int    `json:"packets"`
+	// Inconsistent marks engine ID flapping within the campaign.
+	Inconsistent bool `json:"inconsistent,omitempty"`
+}
+
+// FromObservation converts an observation.
+func FromObservation(o *core.Observation) Record {
+	return Record{
+		IP:           o.IP.String(),
+		EngineID:     hex.EncodeToString(o.EngineID),
+		EngineBoots:  o.EngineBoots,
+		EngineTime:   o.EngineTime,
+		ReceivedAt:   o.ReceivedAt.UTC().Format(time.RFC3339Nano),
+		Packets:      o.Packets,
+		Inconsistent: o.Inconsistent,
+	}
+}
+
+// ToObservation converts back.
+func (r Record) ToObservation() (*core.Observation, error) {
+	ip, err := netip.ParseAddr(r.IP)
+	if err != nil {
+		return nil, fmt.Errorf("records: bad ip %q: %w", r.IP, err)
+	}
+	var engineID []byte
+	if r.EngineID != "" {
+		engineID, err = hex.DecodeString(r.EngineID)
+		if err != nil {
+			return nil, fmt.Errorf("records: bad engine id %q: %w", r.EngineID, err)
+		}
+	}
+	at, err := time.Parse(time.RFC3339Nano, r.ReceivedAt)
+	if err != nil {
+		return nil, fmt.Errorf("records: bad timestamp %q: %w", r.ReceivedAt, err)
+	}
+	packets := r.Packets
+	if packets == 0 {
+		packets = 1
+	}
+	return &core.Observation{
+		IP:           ip,
+		EngineID:     engineID,
+		EngineBoots:  r.EngineBoots,
+		EngineTime:   r.EngineTime,
+		ReceivedAt:   at,
+		Packets:      packets,
+		Inconsistent: r.Inconsistent,
+	}, nil
+}
+
+// WriteCampaign streams a campaign as NDJSON, ordered by IP for
+// reproducible output.
+func WriteCampaign(w io.Writer, c *core.Campaign) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	ips := make([]netip.Addr, 0, len(c.ByIP))
+	for ip := range c.ByIP {
+		ips = append(ips, ip)
+	}
+	sortAddrs(ips)
+	for _, ip := range ips {
+		if err := enc.Encode(FromObservation(c.ByIP[ip])); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCampaign loads a campaign from NDJSON. Blank lines are skipped;
+// malformed lines abort with an error naming the line number.
+func ReadCampaign(r io.Reader) (*core.Campaign, error) {
+	c := &core.Campaign{ByIP: map[netip.Addr]*core.Observation{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("records: line %d: %w", line, err)
+		}
+		obs, err := rec.ToObservation()
+		if err != nil {
+			return nil, fmt.Errorf("records: line %d: %w", line, err)
+		}
+		c.ByIP[obs.IP] = obs
+		c.TotalPackets += obs.Packets
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func sortAddrs(a []netip.Addr) {
+	sort.Slice(a, func(i, j int) bool { return a[i].Less(a[j]) })
+}

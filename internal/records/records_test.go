@@ -1,0 +1,137 @@
+package records
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"snmpv3fp/internal/core"
+	"snmpv3fp/internal/engineid"
+)
+
+func sampleCampaign() *core.Campaign {
+	t0 := time.Date(2021, 4, 16, 12, 0, 0, 0, time.UTC)
+	c := &core.Campaign{ByIP: map[netip.Addr]*core.Observation{}}
+	add := func(ip string, id []byte, boots, et int64, pkts int) {
+		a := netip.MustParseAddr(ip)
+		c.ByIP[a] = &core.Observation{
+			IP: a, EngineID: id, EngineBoots: boots, EngineTime: et,
+			ReceivedAt: t0, Packets: pkts,
+		}
+		c.TotalPackets += pkts
+	}
+	add("192.0.2.1", engineid.NewMAC(9, [6]byte{0x58, 0x8d, 0x09, 1, 2, 3}), 5, 3600, 1)
+	add("192.0.2.9", nil, 0, 0, 3)
+	add("2001:db8::7", engineid.NewNetSNMP([8]byte{1, 2, 3, 4, 5, 6, 7, 8}), 2, 99, 1)
+	return c
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := sampleCampaign()
+	var buf bytes.Buffer
+	if err := WriteCampaign(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCampaign(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.ByIP) != len(c.ByIP) {
+		t.Fatalf("IPs = %d", len(got.ByIP))
+	}
+	for ip, want := range c.ByIP {
+		o := got.ByIP[ip]
+		if o == nil {
+			t.Fatalf("missing %v", ip)
+		}
+		if string(o.EngineID) != string(want.EngineID) ||
+			o.EngineBoots != want.EngineBoots ||
+			o.EngineTime != want.EngineTime ||
+			!o.ReceivedAt.Equal(want.ReceivedAt) ||
+			o.Packets != want.Packets {
+			t.Errorf("%v: %+v != %+v", ip, o, want)
+		}
+	}
+	if got.TotalPackets != c.TotalPackets {
+		t.Errorf("total packets = %d", got.TotalPackets)
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	c := sampleCampaign()
+	var a, b bytes.Buffer
+	WriteCampaign(&a, c)
+	WriteCampaign(&b, c)
+	if a.String() != b.String() {
+		t.Error("output not deterministic")
+	}
+	// Sorted by IP: 192.0.2.1 first, v6 last.
+	lines := strings.Split(strings.TrimSpace(a.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], `"192.0.2.1"`) || !strings.Contains(lines[2], "2001:db8::7") {
+		t.Errorf("ordering wrong:\n%s", a.String())
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	in := `{"ip":"192.0.2.1","engine_boots":1,"engine_time":2,"received_at":"2021-04-16T00:00:00Z"}
+
+{"ip":"192.0.2.2","engine_boots":3,"engine_time":4,"received_at":"2021-04-16T00:00:01Z"}
+`
+	c, err := ReadCampaign(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.ByIP) != 2 {
+		t.Errorf("IPs = %d", len(c.ByIP))
+	}
+	// Packets defaults to 1 when omitted.
+	if c.ByIP[netip.MustParseAddr("192.0.2.1")].Packets != 1 {
+		t.Error("default packets wrong")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"ip":"not-an-ip","received_at":"2021-04-16T00:00:00Z"}`,
+		`{"ip":"192.0.2.1","engine_id":"zz","received_at":"2021-04-16T00:00:00Z"}`,
+		`{"ip":"192.0.2.1","received_at":"yesterday"}`,
+	}
+	for _, in := range cases {
+		if _, err := ReadCampaign(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestRecordQuickRoundTrip(t *testing.T) {
+	f := func(ipv4 [4]byte, id []byte, boots, et int32, pkts uint8) bool {
+		o := &core.Observation{
+			IP:          netip.AddrFrom4(ipv4),
+			EngineID:    id,
+			EngineBoots: int64(boots),
+			EngineTime:  int64(et),
+			ReceivedAt:  time.Date(2021, 4, 16, 0, 0, 0, 0, time.UTC).Add(time.Duration(et) * time.Millisecond),
+			Packets:     int(pkts) + 1,
+		}
+		got, err := FromObservation(o).ToObservation()
+		if err != nil {
+			return false
+		}
+		return got.IP == o.IP &&
+			string(got.EngineID) == string(o.EngineID) &&
+			got.EngineBoots == o.EngineBoots &&
+			got.EngineTime == o.EngineTime &&
+			got.ReceivedAt.Equal(o.ReceivedAt) &&
+			got.Packets == o.Packets
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

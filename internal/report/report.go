@@ -1,0 +1,137 @@
+// Package report renders experiment results as paper-style text artifacts:
+// aligned tables, ECDF point series, bar charts, and heatmaps.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"snmpv3fp/internal/analysis"
+)
+
+// Table renders rows of cells with aligned columns. The first row is the
+// header, separated by a rule.
+func Table(title string, rows [][]string) string {
+	if len(rows) == 0 {
+		return title + "\n(empty)\n"
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	writeRow := func(row []string) {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(rows[0])
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range rows[1:] {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// ECDFSeries renders one or more named ECDFs as a table of values at fixed
+// probabilities, the text analogue of the paper's CDF figures.
+func ECDFSeries(title string, names []string, curves []*analysis.ECDF, format string) string {
+	probs := []float64{0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.00}
+	rows := [][]string{append([]string{"quantile"}, names...)}
+	for _, p := range probs {
+		row := []string{fmt.Sprintf("p%02.0f", p*100)}
+		for _, c := range curves {
+			if c == nil || c.N() == 0 {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf(format, c.Quantile(p)))
+		}
+		rows = append(rows, row)
+	}
+	row := []string{"N"}
+	for _, c := range curves {
+		if c == nil {
+			row = append(row, "-")
+			continue
+		}
+		row = append(row, fmt.Sprintf("%d", c.N()))
+	}
+	rows = append(rows, row)
+	return Table(title, rows)
+}
+
+// Bar renders a horizontal bar chart of labeled counts, largest first
+// (ordering is the caller's responsibility).
+func Bar(title string, labels []string, counts []int) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	maxCount := 1
+	maxLabel := 0
+	for i, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	const width = 40
+	for i, c := range counts {
+		n := c * width / maxCount
+		fmt.Fprintf(&b, "%-*s %7d %s\n", maxLabel, labels[i], c, strings.Repeat("#", n))
+	}
+	return b.String()
+}
+
+// Heatmap renders a row-label × column-label percentage matrix (the
+// paper's Figures 15 and 16).
+func Heatmap(title string, rowLabels, colLabels []string, cells [][]float64) string {
+	rows := [][]string{append([]string{""}, colLabels...)}
+	for i, rl := range rowLabels {
+		row := []string{rl}
+		for j := range colLabels {
+			row = append(row, fmt.Sprintf("%5.1f", cells[i][j]))
+		}
+		rows = append(rows, row)
+	}
+	return Table(title, rows)
+}
+
+// Count formats large counts with an SI-ish suffix, as the paper's prose
+// does (12.5M, 140k).
+func Count(n int) string {
+	switch {
+	case n >= 10_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.2fM", float64(n)/1e6)
+	case n >= 10_000:
+		return fmt.Sprintf("%.0fk", float64(n)/1e3)
+	case n >= 1_000:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

@@ -1,0 +1,91 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"snmpv3fp/internal/analysis"
+)
+
+func TestTable(t *testing.T) {
+	out := Table("Title", [][]string{
+		{"col1", "column2"},
+		{"a", "b"},
+		{"longer-cell", "x"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "col1") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("rule = %q", lines[2])
+	}
+	// Columns align: "b" starts where "column2" starts.
+	if strings.Index(lines[1], "column2") != strings.Index(lines[3], "b") {
+		t.Error("columns misaligned")
+	}
+	if Table("t", nil) == "" {
+		t.Error("empty table should render something")
+	}
+}
+
+func TestECDFSeries(t *testing.T) {
+	e := analysis.NewECDF([]float64{1, 2, 3, 4, 5})
+	out := ECDFSeries("ecdf", []string{"a", "b"}, []*analysis.ECDF{e, nil}, "%.1f")
+	if !strings.Contains(out, "p50") || !strings.Contains(out, "3.0") {
+		t.Errorf("series missing median:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Error("nil curve should render dashes")
+	}
+	if !strings.Contains(out, "N") {
+		t.Error("missing sample count row")
+	}
+}
+
+func TestBar(t *testing.T) {
+	out := Bar("bars", []string{"cisco", "juniper"}, []int{100, 25})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	ciscoHashes := strings.Count(lines[1], "#")
+	juniperHashes := strings.Count(lines[2], "#")
+	if ciscoHashes != 40 || juniperHashes != 10 {
+		t.Errorf("bar lengths = %d, %d", ciscoHashes, juniperHashes)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	out := Heatmap("hm", []string{"EU", "NA"}, []string{"Cisco", "Huawei"},
+		[][]float64{{60.5, 20.25}, {90, 0}})
+	if !strings.Contains(out, "60.5") || !strings.Contains(out, "90.0") {
+		t.Errorf("heatmap cells missing:\n%s", out)
+	}
+	if !strings.Contains(out, "EU") || !strings.Contains(out, "Huawei") {
+		t.Error("labels missing")
+	}
+}
+
+func TestCount(t *testing.T) {
+	cases := []struct {
+		n    int
+		want string
+	}{
+		{0, "0"},
+		{999, "999"},
+		{1500, "1.5k"},
+		{12500, "12k"},
+		{999999, "1000k"},
+		{1500000, "1.50M"},
+		{12500000, "12.5M"},
+	}
+	for _, c := range cases {
+		if got := Count(c.n); got != c.want {
+			t.Errorf("Count(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package route implements a longest-prefix-match IP-to-origin-AS table —
+// the substrate the paper uses (via BGP route collectors and CAIDA's AS
+// Rank) to attribute scanned addresses to autonomous systems and regions.
+//
+// The table is a binary trie over address bits, supporting IPv4 and IPv6
+// prefixes side by side. Lookups return the origin AS of the most specific
+// covering prefix, exactly like a RIB lookup.
+package route
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// node is one binary-trie node.
+type node struct {
+	children [2]*node
+	// hasEntry marks a node that terminates an inserted prefix.
+	hasEntry bool
+	asn      uint32
+}
+
+// Table is an IP-to-AS longest-prefix-match table. The zero value is an
+// empty table ready for use.
+type Table struct {
+	v4, v6  node
+	entries int
+}
+
+// Len reports the number of inserted prefixes.
+func (t *Table) Len() int { return t.entries }
+
+// Insert adds a prefix with its origin AS. Inserting the same prefix twice
+// overwrites the origin (last announcement wins, as in a RIB).
+func (t *Table) Insert(p netip.Prefix, asn uint32) error {
+	if !p.IsValid() {
+		return fmt.Errorf("route: invalid prefix")
+	}
+	p = p.Masked()
+	root := &t.v6
+	if p.Addr().Is4() {
+		root = &t.v4
+	}
+	bits := p.Addr().AsSlice()
+	cur := root
+	for i := 0; i < p.Bits(); i++ {
+		b := (bits[i/8] >> (7 - i%8)) & 1
+		if cur.children[b] == nil {
+			cur.children[b] = &node{}
+		}
+		cur = cur.children[b]
+	}
+	if !cur.hasEntry {
+		t.entries++
+	}
+	cur.hasEntry = true
+	cur.asn = asn
+	return nil
+}
+
+// Lookup returns the origin AS of the longest matching prefix.
+func (t *Table) Lookup(addr netip.Addr) (asn uint32, ok bool) {
+	if !addr.IsValid() {
+		return 0, false
+	}
+	addr = addr.Unmap()
+	root := &t.v6
+	maxBits := 128
+	if addr.Is4() {
+		root = &t.v4
+		maxBits = 32
+	}
+	bits := addr.AsSlice()
+	cur := root
+	for i := 0; ; i++ {
+		if cur.hasEntry {
+			asn, ok = cur.asn, true
+		}
+		if i >= maxBits {
+			break
+		}
+		b := (bits[i/8] >> (7 - i%8)) & 1
+		if cur.children[b] == nil {
+			break
+		}
+		cur = cur.children[b]
+	}
+	return asn, ok
+}
+
+// LookupPrefix returns the origin AS and the length of the matched prefix,
+// for diagnostics.
+func (t *Table) LookupPrefix(addr netip.Addr) (asn uint32, bits int, ok bool) {
+	if !addr.IsValid() {
+		return 0, 0, false
+	}
+	addr = addr.Unmap()
+	root := &t.v6
+	maxBits := 128
+	if addr.Is4() {
+		root = &t.v4
+		maxBits = 32
+	}
+	raw := addr.AsSlice()
+	cur := root
+	for i := 0; ; i++ {
+		if cur.hasEntry {
+			asn, bits, ok = cur.asn, i, true
+		}
+		if i >= maxBits {
+			break
+		}
+		b := (raw[i/8] >> (7 - i%8)) & 1
+		if cur.children[b] == nil {
+			break
+		}
+		cur = cur.children[b]
+	}
+	return asn, bits, ok
+}

@@ -1,0 +1,181 @@
+package route
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"snmpv3fp/internal/iputil"
+)
+
+func mustPrefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+func TestLookupBasics(t *testing.T) {
+	var tbl Table
+	tbl.Insert(mustPrefix("10.0.0.0/8"), 100)
+	tbl.Insert(mustPrefix("10.1.0.0/16"), 200)
+	tbl.Insert(mustPrefix("2001:db8::/32"), 300)
+
+	cases := []struct {
+		addr string
+		asn  uint32
+		ok   bool
+	}{
+		{"10.2.3.4", 100, true},
+		{"10.1.3.4", 200, true}, // longest match wins
+		{"11.0.0.1", 0, false},
+		{"2001:db8::1", 300, true},
+		{"2001:db9::1", 0, false},
+	}
+	for _, c := range cases {
+		asn, ok := tbl.Lookup(netip.MustParseAddr(c.addr))
+		if ok != c.ok || asn != c.asn {
+			t.Errorf("Lookup(%s) = %d, %v; want %d, %v", c.addr, asn, ok, c.asn, c.ok)
+		}
+	}
+	if tbl.Len() != 3 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+}
+
+func TestLongestMatchDepth(t *testing.T) {
+	var tbl Table
+	tbl.Insert(mustPrefix("192.0.2.0/24"), 1)
+	tbl.Insert(mustPrefix("192.0.2.128/25"), 2)
+	tbl.Insert(mustPrefix("192.0.2.128/31"), 3)
+
+	asn, bits, ok := tbl.LookupPrefix(netip.MustParseAddr("192.0.2.129"))
+	if !ok || asn != 3 || bits != 31 {
+		t.Errorf("got %d/%d/%v", asn, bits, ok)
+	}
+	asn, bits, ok = tbl.LookupPrefix(netip.MustParseAddr("192.0.2.200"))
+	if !ok || asn != 2 || bits != 25 {
+		t.Errorf("got %d/%d/%v", asn, bits, ok)
+	}
+	asn, bits, ok = tbl.LookupPrefix(netip.MustParseAddr("192.0.2.5"))
+	if !ok || asn != 1 || bits != 24 {
+		t.Errorf("got %d/%d/%v", asn, bits, ok)
+	}
+}
+
+func TestInsertOverwrite(t *testing.T) {
+	var tbl Table
+	tbl.Insert(mustPrefix("10.0.0.0/8"), 1)
+	tbl.Insert(mustPrefix("10.0.0.0/8"), 2)
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+	if asn, _ := tbl.Lookup(netip.MustParseAddr("10.1.1.1")); asn != 2 {
+		t.Errorf("asn = %d, want the overwrite", asn)
+	}
+}
+
+func TestDefaultRoute(t *testing.T) {
+	var tbl Table
+	tbl.Insert(mustPrefix("0.0.0.0/0"), 64512)
+	if asn, ok := tbl.Lookup(netip.MustParseAddr("203.0.113.9")); !ok || asn != 64512 {
+		t.Errorf("default route: %d, %v", asn, ok)
+	}
+	// But not for IPv6 — families are separate.
+	if _, ok := tbl.Lookup(netip.MustParseAddr("2001:db8::1")); ok {
+		t.Error("IPv4 default matched an IPv6 address")
+	}
+}
+
+func TestHostRoutes(t *testing.T) {
+	var tbl Table
+	tbl.Insert(mustPrefix("192.0.2.1/32"), 7)
+	tbl.Insert(mustPrefix("2001:db8::7/128"), 8)
+	if asn, ok := tbl.Lookup(netip.MustParseAddr("192.0.2.1")); !ok || asn != 7 {
+		t.Errorf("/32: %d, %v", asn, ok)
+	}
+	if _, ok := tbl.Lookup(netip.MustParseAddr("192.0.2.2")); ok {
+		t.Error("/32 leaked to neighbour")
+	}
+	if asn, ok := tbl.Lookup(netip.MustParseAddr("2001:db8::7")); !ok || asn != 8 {
+		t.Errorf("/128: %d, %v", asn, ok)
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	var tbl Table
+	if err := tbl.Insert(netip.Prefix{}, 1); err == nil {
+		t.Error("invalid prefix accepted")
+	}
+	if _, ok := tbl.Lookup(netip.Addr{}); ok {
+		t.Error("invalid addr matched")
+	}
+}
+
+// TestAgainstBruteForce cross-checks trie lookups against a linear scan
+// over randomly generated tables.
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var tbl Table
+		type entry struct {
+			p   netip.Prefix
+			asn uint32
+		}
+		var entries []entry
+		for i := 0; i < 50; i++ {
+			addr := iputil.UintToV4(r.Uint32())
+			bits := 8 + r.Intn(25)
+			p, err := addr.Prefix(bits)
+			if err != nil {
+				return false
+			}
+			asn := uint32(r.Intn(1000)) + 1
+			// Skip duplicate prefixes so the linear model stays simple.
+			dup := false
+			for _, e := range entries {
+				if e.p == p {
+					dup = true
+				}
+			}
+			if dup {
+				continue
+			}
+			entries = append(entries, entry{p, asn})
+			tbl.Insert(p, asn)
+		}
+		for i := 0; i < 200; i++ {
+			addr := iputil.UintToV4(rng.Uint32())
+			wantASN, wantBits, wantOK := uint32(0), -1, false
+			for _, e := range entries {
+				if e.p.Contains(addr) && e.p.Bits() > wantBits {
+					wantASN, wantBits, wantOK = e.asn, e.p.Bits(), true
+				}
+			}
+			gotASN, gotOK := tbl.Lookup(addr)
+			if gotOK != wantOK || (wantOK && gotASN != wantASN) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	var tbl Table
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		addr := iputil.UintToV4(r.Uint32())
+		p, _ := addr.Prefix(8 + r.Intn(17))
+		tbl.Insert(p, uint32(i))
+	}
+	addrs := make([]netip.Addr, 1024)
+	for i := range addrs {
+		addrs[i] = iputil.UintToV4(r.Uint32())
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup(addrs[i%len(addrs)])
+	}
+}

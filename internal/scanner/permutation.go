@@ -1,0 +1,75 @@
+// Package scanner implements a ZMap-style single-packet UDP scan engine:
+// stateless probing of a randomly permuted target space under a token-bucket
+// rate limit, with asynchronous response capture.
+//
+// Targets are visited in a pseudo-random order produced by a full-cycle
+// affine permutation. ZMap itself iterates the multiplicative group of
+// integers modulo a prime just above the address space; we use an affine
+// LCG over the next power of two (full-period by the Hull–Dobell theorem),
+// which has the same measurement property — every target visited exactly
+// once, in an order uncorrelated with address locality, so per-prefix load
+// is spread out — while being verifiable without factoring.
+package scanner
+
+import "fmt"
+
+// Permutation enumerates 0..N-1 exactly once in a seeded pseudo-random
+// order.
+type Permutation struct {
+	n     uint64 // target count
+	m     uint64 // power-of-two modulus >= n
+	mask  uint64
+	a, c  uint64 // LCG multiplier and increment
+	state uint64
+	// cycleLeft counts the remaining cycle positions to visit; positions
+	// holding values >= n are skipped silently.
+	cycleLeft uint64
+}
+
+// NewPermutation builds a permutation of [0, n) from the seed.
+func NewPermutation(n uint64, seed int64) (*Permutation, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("scanner: empty target space")
+	}
+	m := uint64(1)
+	for m < n {
+		m <<= 1
+	}
+	s := uint64(seed)
+	// Hull–Dobell conditions for a full-period LCG with power-of-two
+	// modulus: c odd, a ≡ 1 (mod 4).
+	a := (splitmix(&s)&(m-1))&^3 | 1
+	if m >= 8 {
+		a |= 4 // avoid the identity multiplier for tiny seeds (keeps a ≡ 1 mod 4)
+	}
+	c := splitmix(&s)&(m-1) | 1
+	start := splitmix(&s) & (m - 1)
+	return &Permutation{n: n, m: m, mask: m - 1, a: a, c: c, state: start, cycleLeft: m}, nil
+}
+
+// splitmix is a splitmix64 step used to derive permutation parameters.
+func splitmix(s *uint64) uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Next returns the next index, and false once the permutation (or this
+// shard of it) is exhausted.
+func (p *Permutation) Next() (uint64, bool) {
+	for p.cycleLeft > 0 {
+		v := p.state
+		p.state = (p.a*p.state + p.c) & p.mask
+		p.cycleLeft--
+		if v < p.n {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Remaining reports how many cycle positions are still to be visited (an
+// upper bound on the indices still to come).
+func (p *Permutation) Remaining() uint64 { return p.cycleLeft }

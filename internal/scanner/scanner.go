@@ -1,0 +1,136 @@
+package scanner
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"sync"
+	"time"
+
+	"snmpv3fp/internal/snmp"
+	"snmpv3fp/internal/vclock"
+)
+
+// Transport carries probe datagrams to targets and responses back. The UDP
+// implementation in this package talks to real sockets; netsim provides an
+// in-memory implementation for Internet-scale simulated campaigns.
+type Transport interface {
+	// Send transmits one probe payload to dst.
+	Send(dst netip.Addr, payload []byte) error
+	// Recv blocks for the next response datagram. It returns io.EOF after
+	// Close once all pending responses are delivered.
+	Recv() (src netip.Addr, payload []byte, at time.Time, err error)
+	// Close releases the transport; subsequent Recv calls drain and then
+	// report io.EOF.
+	Close() error
+}
+
+// Response is one captured datagram.
+type Response struct {
+	Src     netip.Addr
+	Payload []byte
+	At      time.Time
+}
+
+// Config tunes a campaign.
+type Config struct {
+	// Rate is the probe rate in packets per second (the paper probes IPv4
+	// at 5 kpps and IPv6 at 20 kpps).
+	Rate int
+	// Batch is how many probes are sent between pacing sleeps.
+	Batch int
+	// Timeout is the drain period after the last probe.
+	Timeout time.Duration
+	// Clock paces the campaign; defaults to the wall clock.
+	Clock vclock.Clock
+	// Seed randomizes probe IDs.
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.Rate <= 0 {
+		c.Rate = 5000
+	}
+	if c.Batch <= 0 {
+		c.Batch = 64
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 8 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.Real{}
+	}
+}
+
+// Result summarizes a campaign.
+type Result struct {
+	Sent      uint64
+	Responses []Response
+	Started   time.Time
+	Finished  time.Time
+}
+
+// Scan runs one campaign: it walks the target space in permuted order at the
+// configured rate, sending one SNMPv3 discovery probe per target, while a
+// capture goroutine collects every response until the post-send timeout.
+func Scan(tr Transport, targets TargetSpace, cfg Config) (*Result, error) {
+	cfg.fill()
+	res := &Result{Started: cfg.Clock.Now()}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var recvErr error
+	go func() {
+		defer wg.Done()
+		for {
+			src, payload, at, err := tr.Recv()
+			if err != nil {
+				if !errors.Is(err, io.EOF) {
+					recvErr = err
+				}
+				return
+			}
+			res.Responses = append(res.Responses, Response{Src: src, Payload: payload, At: at})
+		}
+	}()
+
+	interval := time.Second / time.Duration(cfg.Rate)
+	// One stateless probe serves the whole campaign (as in ZMap, per-target
+	// state would defeat the point); responses are matched by source
+	// address.
+	probe, err := snmp.EncodeDiscoveryRequest(cfg.Seed&0x7FFFFFFF, (cfg.Seed*2654435761)&0x7FFFFFFF)
+	if err != nil {
+		return nil, fmt.Errorf("scanner: building probe: %w", err)
+	}
+	batch := 0
+	for {
+		target, ok := targets.Next()
+		if !ok {
+			break
+		}
+		if err := tr.Send(target, probe); err != nil {
+			return nil, fmt.Errorf("scanner: sending to %v: %w", target, err)
+		}
+		res.Sent++
+		batch++
+		if batch >= cfg.Batch {
+			cfg.Clock.Sleep(interval * time.Duration(batch))
+			batch = 0
+		}
+	}
+	if batch > 0 {
+		cfg.Clock.Sleep(interval * time.Duration(batch))
+	}
+	// Drain period, then stop the capture.
+	cfg.Clock.Sleep(cfg.Timeout)
+	if err := tr.Close(); err != nil {
+		return nil, err
+	}
+	wg.Wait()
+	if recvErr != nil {
+		return nil, recvErr
+	}
+	res.Finished = cfg.Clock.Now()
+	return res, nil
+}

@@ -1,0 +1,45 @@
+package scanner
+
+import "fmt"
+
+// NewPermutationShard builds shard `shard` of `totalShards` over [0, n):
+// the full-cycle permutation is partitioned by position, so the shards are
+// pairwise disjoint and their union is exactly the full target space. This
+// is ZMap's sharding mechanism, used to split one Internet-wide campaign
+// across probing machines without coordination.
+func NewPermutationShard(n uint64, seed int64, shard, totalShards int) (*Permutation, error) {
+	if totalShards <= 0 || shard < 0 || shard >= totalShards {
+		return nil, fmt.Errorf("scanner: shard %d of %d invalid", shard, totalShards)
+	}
+	p, err := NewPermutation(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	if totalShards == 1 {
+		return p, nil
+	}
+	// Advance the start to this shard's first position.
+	for i := 0; i < shard; i++ {
+		p.state = (p.a*p.state + p.c) & p.mask
+	}
+	// Compose the LCG with itself totalShards times: applying
+	// x -> a·x + c k times equals x -> a^k·x + c·(a^(k-1) + … + a + 1),
+	// all modulo the power-of-two m. The shard then steps through every
+	// k-th position of the full cycle.
+	p.a, p.c = composeLCG(p.a, p.c, p.mask, totalShards)
+	// This shard owns ceil((m - shard) / k) positions of the cycle.
+	p.cycleLeft = (p.m - uint64(shard) + uint64(totalShards) - 1) / uint64(totalShards)
+	return p, nil
+}
+
+// composeLCG returns the multiplier and increment of the k-fold composition
+// of x -> a·x + c modulo mask+1.
+func composeLCG(a, c, mask uint64, k int) (aK, cK uint64) {
+	aK, cK = 1, 0
+	for i := 0; i < k; i++ {
+		// Compose once more: x -> a·(aK·x + cK) + c = (a·aK)x + (a·cK + c).
+		cK = (a*cK + c) & mask
+		aK = (a * aK) & mask
+	}
+	return aK, cK
+}

@@ -1,0 +1,95 @@
+package scanner
+
+import (
+	"net/netip"
+
+	"snmpv3fp/internal/iputil"
+)
+
+// TargetSpace enumerates scan targets in permuted order. Implementations
+// are single-use; build a fresh space per campaign.
+type TargetSpace interface {
+	// Next returns the next target, and false when the space is exhausted.
+	Next() (netip.Addr, bool)
+	// Size returns the total number of targets.
+	Size() uint64
+}
+
+// prefixSpace scans the union of a set of prefixes in permuted order.
+type prefixSpace struct {
+	prefixes []netip.Prefix
+	// starts[i] is the index of the first address of prefixes[i] in the
+	// flattened space.
+	starts []uint64
+	perm   *Permutation
+	total  uint64
+}
+
+// NewPrefixSpace builds a permuted target space over the union of the given
+// prefixes (assumed disjoint).
+func NewPrefixSpace(prefixes []netip.Prefix, seed int64) (TargetSpace, error) {
+	return NewPrefixSpaceShard(prefixes, seed, 0, 1)
+}
+
+// NewPrefixSpaceShard builds shard `shard` of `totalShards` over the prefix
+// union: disjoint slices of one campaign for multi-vantage scanning, as
+// ZMap shards.
+func NewPrefixSpaceShard(prefixes []netip.Prefix, seed int64, shard, totalShards int) (TargetSpace, error) {
+	s := &prefixSpace{prefixes: prefixes}
+	for _, p := range prefixes {
+		s.starts = append(s.starts, s.total)
+		s.total += iputil.PrefixSize(p)
+	}
+	perm, err := NewPermutationShard(s.total, seed, shard, totalShards)
+	if err != nil {
+		return nil, err
+	}
+	s.perm = perm
+	return s, nil
+}
+
+func (s *prefixSpace) Size() uint64 { return s.total }
+
+func (s *prefixSpace) Next() (netip.Addr, bool) {
+	idx, ok := s.perm.Next()
+	if !ok {
+		return netip.Addr{}, false
+	}
+	// Binary search for the containing prefix.
+	lo, hi := 0, len(s.starts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if s.starts[mid] <= idx {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return iputil.NthAddr(s.prefixes[lo], idx-s.starts[lo]), true
+}
+
+// listSpace scans an explicit address list (the IPv6 hitlist case) in
+// permuted order.
+type listSpace struct {
+	addrs []netip.Addr
+	perm  *Permutation
+}
+
+// NewListSpace builds a permuted target space over an explicit list.
+func NewListSpace(addrs []netip.Addr, seed int64) (TargetSpace, error) {
+	perm, err := NewPermutation(uint64(len(addrs)), seed)
+	if err != nil {
+		return nil, err
+	}
+	return &listSpace{addrs: addrs, perm: perm}, nil
+}
+
+func (s *listSpace) Size() uint64 { return uint64(len(s.addrs)) }
+
+func (s *listSpace) Next() (netip.Addr, bool) {
+	idx, ok := s.perm.Next()
+	if !ok {
+		return netip.Addr{}, false
+	}
+	return s.addrs[idx], true
+}

@@ -1,0 +1,56 @@
+package scanner
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/netip"
+	"time"
+)
+
+// UDPTransport sends probes over a real UDP socket — the transport a live
+// campaign (and the loopback integration tests and examples) uses.
+type UDPTransport struct {
+	conn *net.UDPConn
+	// Port is the destination port, 161 for SNMP.
+	port uint16
+}
+
+// NewUDPTransport opens a wildcard UDP socket probing the given destination
+// port.
+func NewUDPTransport(port uint16) (*UDPTransport, error) {
+	conn, err := net.ListenUDP("udp", nil)
+	if err != nil {
+		return nil, err
+	}
+	return &UDPTransport{conn: conn, port: port}, nil
+}
+
+// LocalAddr returns the bound source address.
+func (t *UDPTransport) LocalAddr() netip.AddrPort {
+	return t.conn.LocalAddr().(*net.UDPAddr).AddrPort()
+}
+
+// Send implements Transport.
+func (t *UDPTransport) Send(dst netip.Addr, payload []byte) error {
+	_, err := t.conn.WriteToUDPAddrPort(payload, netip.AddrPortFrom(dst, t.port))
+	return err
+}
+
+// Recv implements Transport. The receive timestamp is taken as the datagram
+// is read, matching how the paper derives last-reboot times from packet
+// receive times.
+func (t *UDPTransport) Recv() (netip.Addr, []byte, time.Time, error) {
+	buf := make([]byte, 2048)
+	n, from, err := t.conn.ReadFromUDPAddrPort(buf)
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			err = io.EOF
+		}
+		return netip.Addr{}, nil, time.Time{}, err
+	}
+	return from.Addr().Unmap(), buf[:n], time.Now(), nil
+}
+
+// Close implements Transport.
+func (t *UDPTransport) Close() error { return t.conn.Close() }

@@ -1,0 +1,101 @@
+package snmp
+
+import (
+	"fmt"
+
+	"snmpv3fp/internal/ber"
+)
+
+// CommunityMessage is an SNMPv1 or SNMPv2c message: version, community
+// string, PDU (RFC 1157 §4, RFC 1901 §3). It exists here for the lab
+// experiments of Section 6.2.1, which first enable SNMPv2c on a device and
+// then show that unauthenticated SNMPv3 discovery works implicitly.
+type CommunityMessage struct {
+	Version   Version
+	Community []byte
+	PDU       *PDU
+}
+
+// Encode serializes the message.
+func (m *CommunityMessage) Encode() ([]byte, error) {
+	if m.Version != V1 && m.Version != V2c {
+		return nil, fmt.Errorf("snmp: version %v is not community-based", m.Version)
+	}
+	if m.PDU == nil {
+		return nil, fmt.Errorf("snmp: community message without PDU")
+	}
+	b := ber.NewBuilder()
+	b.Begin(ber.TagSequence)
+	b.Int(int64(m.Version))
+	b.OctetString(m.Community)
+	encodePDU(b, m.PDU)
+	b.End()
+	return b.Bytes()
+}
+
+// DecodeCommunity parses an SNMPv1/v2c message.
+func DecodeCommunity(buf []byte) (*CommunityMessage, error) {
+	p := ber.NewParser(buf)
+	msg := p.Enter(ber.TagSequence)
+	version := msg.Int()
+	if err := msg.Err(); err != nil {
+		return nil, ErrNotSNMP
+	}
+	if Version(version) != V1 && Version(version) != V2c {
+		return nil, fmt.Errorf("%w: %d", ErrWrongVersion, version)
+	}
+	out := &CommunityMessage{Version: Version(version)}
+	out.Community = cloneBytes(msg.OctetString())
+	if err := msg.Err(); err != nil {
+		return nil, err
+	}
+	pdu, err := parsePDU(msg)
+	if err != nil {
+		return nil, err
+	}
+	out.PDU = pdu
+	return out, nil
+}
+
+// PeekVersion inspects only the version field of an SNMP message, letting a
+// demultiplexer route v1/v2c and v3 messages without a full parse.
+func PeekVersion(buf []byte) (Version, error) {
+	p := ber.NewParser(buf)
+	msg := p.Enter(ber.TagSequence)
+	v := msg.Int()
+	if err := msg.Err(); err != nil {
+		return 0, ErrNotSNMP
+	}
+	switch Version(v) {
+	case V1, V2c, V3:
+		return Version(v), nil
+	default:
+		return 0, fmt.Errorf("%w: %d", ErrWrongVersion, v)
+	}
+}
+
+// NewGetRequest builds a community-string Get for one OID.
+func NewGetRequest(version Version, community string, requestID int64, oid []uint32) *CommunityMessage {
+	return &CommunityMessage{
+		Version:   version,
+		Community: []byte(community),
+		PDU: &PDU{
+			Type:      PDUGetRequest,
+			RequestID: requestID,
+			VarBinds:  []VarBind{{Name: oid, Value: NullValue()}},
+		},
+	}
+}
+
+// NewGetResponse builds the matching response carrying the given varbinds.
+func NewGetResponse(req *CommunityMessage, vbs []VarBind) *CommunityMessage {
+	return &CommunityMessage{
+		Version:   req.Version,
+		Community: req.Community,
+		PDU: &PDU{
+			Type:      PDUGetResponse,
+			RequestID: req.PDU.RequestID,
+			VarBinds:  vbs,
+		},
+	}
+}

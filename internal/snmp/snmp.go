@@ -1,0 +1,345 @@
+// Package snmp implements the SNMP message layer: community-based SNMPv1 and
+// SNMPv2c messages (RFC 1157, RFC 1901) and SNMPv3 messages with the
+// User-based Security Model (RFC 3412, RFC 3414).
+//
+// The package's central use case is the paper's measurement primitive: the
+// unauthenticated, unsolicited SNMPv3 "discovery" exchange. A manager that
+// does not yet know an agent's engine ID sends a Get request whose USM
+// security parameters carry an empty msgAuthoritativeEngineID; the agent
+// answers with a Report PDU for usmStatsUnknownEngineIDs whose security
+// parameters disclose the authoritative engine ID, engine boots, and engine
+// time (RFC 3414 §4). NewDiscoveryRequest builds that probe and
+// ParseDiscoveryResponse extracts the three identifiers.
+package snmp
+
+import (
+	"errors"
+	"fmt"
+
+	"snmpv3fp/internal/ber"
+)
+
+// Version identifies the SNMP protocol version on the wire.
+type Version int64
+
+// Wire values for msgVersion / version.
+const (
+	V1  Version = 0
+	V2c Version = 1
+	V3  Version = 3
+)
+
+// String returns the conventional name of the version.
+func (v Version) String() string {
+	switch v {
+	case V1:
+		return "snmpv1"
+	case V2c:
+		return "snmpv2c"
+	case V3:
+		return "snmpv3"
+	default:
+		return fmt.Sprintf("snmp(version=%d)", int64(v))
+	}
+}
+
+// PDUType is the context-class tag of an SNMP PDU.
+type PDUType byte
+
+// PDU tags (context class, constructed).
+const (
+	PDUGetRequest     PDUType = 0xA0
+	PDUGetNextRequest PDUType = 0xA1
+	PDUGetResponse    PDUType = 0xA2
+	PDUSetRequest     PDUType = 0xA3
+	PDUTrapV1         PDUType = 0xA4
+	PDUGetBulkRequest PDUType = 0xA5
+	PDUInformRequest  PDUType = 0xA6
+	PDUTrapV2         PDUType = 0xA7
+	PDUReport         PDUType = 0xA8
+)
+
+// String names the PDU type as in RFC 3416.
+func (t PDUType) String() string {
+	switch t {
+	case PDUGetRequest:
+		return "get-request"
+	case PDUGetNextRequest:
+		return "get-next-request"
+	case PDUGetResponse:
+		return "get-response"
+	case PDUSetRequest:
+		return "set-request"
+	case PDUTrapV1:
+		return "trap"
+	case PDUGetBulkRequest:
+		return "get-bulk-request"
+	case PDUInformRequest:
+		return "inform-request"
+	case PDUTrapV2:
+		return "snmpV2-trap"
+	case PDUReport:
+		return "report"
+	default:
+		return fmt.Sprintf("pdu(0x%02x)", byte(t))
+	}
+}
+
+// Error-status codes (RFC 3416 §3).
+const (
+	ErrStatusNoError    = 0
+	ErrStatusTooBig     = 1
+	ErrStatusNoSuchName = 2
+	ErrStatusGenErr     = 5
+)
+
+// Well-known OIDs used by the discovery exchange and the lab experiments.
+var (
+	// OIDUsmStatsUnknownEngineIDs is reported by agents answering discovery
+	// probes (RFC 3414 §3.2 step 3(b)).
+	OIDUsmStatsUnknownEngineIDs = []uint32{1, 3, 6, 1, 6, 3, 15, 1, 1, 4, 0}
+	// OIDUsmStatsUnknownUserNames is reported when the engine ID matches but
+	// the user is unknown ("unknown user name" in the paper's lab test).
+	OIDUsmStatsUnknownUserNames = []uint32{1, 3, 6, 1, 6, 3, 15, 1, 1, 3, 0}
+	// OIDSysDescr is sysDescr.0, queried in the paper's lab validation.
+	OIDSysDescr = []uint32{1, 3, 6, 1, 2, 1, 1, 1, 0}
+	// OIDSysUpTime is sysUpTime.0.
+	OIDSysUpTime = []uint32{1, 3, 6, 1, 2, 1, 1, 3, 0}
+	// OIDSysName is sysName.0.
+	OIDSysName = []uint32{1, 3, 6, 1, 2, 1, 1, 5, 0}
+)
+
+// Message flag bits (RFC 3412 §6.4).
+const (
+	FlagAuth       = 0x01
+	FlagPriv       = 0x02
+	FlagReportable = 0x04
+)
+
+// USM security model number (RFC 3411 §5).
+const SecurityModelUSM = 3
+
+// Decoding errors.
+var (
+	ErrNotSNMP        = errors.New("snmp: not an SNMP message")
+	ErrWrongVersion   = errors.New("snmp: unexpected version")
+	ErrEncrypted      = errors.New("snmp: scoped PDU is encrypted")
+	ErrNotReport      = errors.New("snmp: response is not a report PDU")
+	ErrMissingVarBind = errors.New("snmp: report carries no variable bindings")
+)
+
+// Value is a typed SNMP variable-binding value.
+type Value struct {
+	// Tag is the BER tag of the value (ber.TagInteger, ber.TagOctetString,
+	// ber.TagNull, ber.TagOID, ber.TagCounter32, ...).
+	Tag byte
+	// Int holds INTEGER values.
+	Int int64
+	// Uint holds Counter32/Gauge32/TimeTicks/Counter64 values.
+	Uint uint64
+	// Bytes holds OCTET STRING / IpAddress / Opaque bodies.
+	Bytes []byte
+	// OID holds OBJECT IDENTIFIER values.
+	OID []uint32
+}
+
+// IntegerValue returns an INTEGER Value.
+func IntegerValue(v int64) Value { return Value{Tag: ber.TagInteger, Int: v} }
+
+// StringValue returns an OCTET STRING Value.
+func StringValue(s string) Value { return Value{Tag: ber.TagOctetString, Bytes: []byte(s)} }
+
+// NullValue returns a NULL Value.
+func NullValue() Value { return Value{Tag: ber.TagNull} }
+
+// TimeTicksValue returns a TimeTicks Value (hundredths of a second).
+func TimeTicksValue(v uint64) Value { return Value{Tag: ber.TagTimeTicks, Uint: v} }
+
+// Counter32Value returns a Counter32 Value.
+func Counter32Value(v uint64) Value { return Value{Tag: ber.TagCounter32, Uint: v} }
+
+// String renders the value for dissector output.
+func (v Value) String() string {
+	switch v.Tag {
+	case ber.TagInteger:
+		return fmt.Sprintf("%d", v.Int)
+	case ber.TagOctetString:
+		for _, b := range v.Bytes {
+			if b < 0x20 || b > 0x7e {
+				return fmt.Sprintf("0x%x", v.Bytes)
+			}
+		}
+		return fmt.Sprintf("%q", v.Bytes)
+	case ber.TagNull:
+		return "null"
+	case ber.TagOID:
+		return OIDString(v.OID)
+	case ber.TagCounter32:
+		return fmt.Sprintf("Counter32(%d)", v.Uint)
+	case ber.TagGauge32:
+		return fmt.Sprintf("Gauge32(%d)", v.Uint)
+	case ber.TagTimeTicks:
+		return fmt.Sprintf("TimeTicks(%d)", v.Uint)
+	case ber.TagCounter64:
+		return fmt.Sprintf("Counter64(%d)", v.Uint)
+	case ber.TagIPAddress:
+		if len(v.Bytes) == 4 {
+			return fmt.Sprintf("%d.%d.%d.%d", v.Bytes[0], v.Bytes[1], v.Bytes[2], v.Bytes[3])
+		}
+		return fmt.Sprintf("IpAddress(%x)", v.Bytes)
+	case ber.TagNoSuchObject:
+		return "noSuchObject"
+	case ber.TagNoSuchInstance:
+		return "noSuchInstance"
+	case ber.TagEndOfMibView:
+		return "endOfMibView"
+	default:
+		return fmt.Sprintf("value(tag=0x%02x)", v.Tag)
+	}
+}
+
+// VarBind is one name/value pair in a PDU's variable-bindings list.
+type VarBind struct {
+	Name  []uint32
+	Value Value
+}
+
+// PDU is the common SNMP protocol data unit (RFC 3416). GetBulk reuses
+// ErrorStatus/ErrorIndex as non-repeaters/max-repetitions; this codec keeps
+// the generic field names.
+type PDU struct {
+	Type        PDUType
+	RequestID   int64
+	ErrorStatus int64
+	ErrorIndex  int64
+	VarBinds    []VarBind
+}
+
+// OIDString formats an OID in dotted notation.
+func OIDString(oid []uint32) string {
+	if len(oid) == 0 {
+		return ""
+	}
+	s := make([]byte, 0, len(oid)*4)
+	for i, arc := range oid {
+		if i > 0 {
+			s = append(s, '.')
+		}
+		s = fmt.Appendf(s, "%d", arc)
+	}
+	return string(s)
+}
+
+// OIDEqual reports whether two OIDs are identical.
+func OIDEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func encodePDU(b *ber.Builder, pdu *PDU) {
+	b.Begin(byte(pdu.Type))
+	b.Int(pdu.RequestID)
+	b.Int(pdu.ErrorStatus)
+	b.Int(pdu.ErrorIndex)
+	b.Begin(ber.TagSequence)
+	for _, vb := range pdu.VarBinds {
+		b.Begin(ber.TagSequence)
+		b.OID(vb.Name)
+		encodeValue(b, vb.Value)
+		b.End()
+	}
+	b.End()
+	b.End()
+}
+
+func encodeValue(b *ber.Builder, v Value) {
+	switch v.Tag {
+	case ber.TagInteger:
+		b.Int(v.Int)
+	case ber.TagOctetString, ber.TagOpaque:
+		b.Raw(ber.EncodeTLV(nil, v.Tag, v.Bytes))
+	case ber.TagNull, ber.TagNoSuchObject, ber.TagNoSuchInstance, ber.TagEndOfMibView:
+		b.Raw([]byte{v.Tag, 0x00})
+	case ber.TagOID:
+		b.OID(v.OID)
+	case ber.TagCounter32, ber.TagGauge32, ber.TagTimeTicks, ber.TagCounter64:
+		b.Uint(v.Tag, v.Uint)
+	case ber.TagIPAddress:
+		b.Raw(ber.EncodeTLV(nil, ber.TagIPAddress, v.Bytes))
+	default:
+		b.Raw(ber.EncodeTLV(nil, v.Tag, v.Bytes))
+	}
+}
+
+func parseValue(tlv ber.TLV) (Value, error) {
+	v := Value{Tag: tlv.Tag}
+	switch tlv.Tag {
+	case ber.TagInteger:
+		i, err := ber.ParseInt(tlv.Value)
+		if err != nil {
+			return v, err
+		}
+		v.Int = i
+	case ber.TagOctetString, ber.TagOpaque, ber.TagIPAddress:
+		v.Bytes = tlv.Value
+	case ber.TagNull, ber.TagNoSuchObject, ber.TagNoSuchInstance, ber.TagEndOfMibView:
+	case ber.TagOID:
+		oid, err := ber.ParseOID(tlv.Value)
+		if err != nil {
+			return v, err
+		}
+		v.OID = oid
+	case ber.TagCounter32, ber.TagGauge32, ber.TagTimeTicks, ber.TagCounter64:
+		u, err := ber.ParseUint(tlv.Value)
+		if err != nil {
+			return v, err
+		}
+		v.Uint = u
+	default:
+		v.Bytes = tlv.Value
+	}
+	return v, nil
+}
+
+func parsePDU(p *ber.Parser) (*PDU, error) {
+	tag := p.Peek()
+	switch PDUType(tag) {
+	case PDUGetRequest, PDUGetNextRequest, PDUGetResponse, PDUSetRequest,
+		PDUGetBulkRequest, PDUInformRequest, PDUTrapV2, PDUReport:
+	default:
+		return nil, fmt.Errorf("snmp: unsupported PDU tag 0x%02x", tag)
+	}
+	body := p.Enter(tag)
+	pdu := &PDU{Type: PDUType(tag)}
+	pdu.RequestID = body.Int()
+	pdu.ErrorStatus = body.Int()
+	pdu.ErrorIndex = body.Int()
+	vbl := body.Enter(ber.TagSequence)
+	for vbl.Err() == nil && !vbl.Empty() {
+		vb := vbl.Enter(ber.TagSequence)
+		name := vb.OID()
+		val := vb.Any()
+		if vb.Err() != nil {
+			return nil, vb.Err()
+		}
+		value, err := parseValue(val)
+		if err != nil {
+			return nil, err
+		}
+		pdu.VarBinds = append(pdu.VarBinds, VarBind{Name: name, Value: value})
+	}
+	if err := vbl.Err(); err != nil {
+		return nil, err
+	}
+	if err := body.Err(); err != nil {
+		return nil, err
+	}
+	return pdu, nil
+}

@@ -1,0 +1,363 @@
+package snmp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"snmpv3fp/internal/ber"
+)
+
+func TestVersionString(t *testing.T) {
+	if V1.String() != "snmpv1" || V2c.String() != "snmpv2c" || V3.String() != "snmpv3" {
+		t.Error("version names wrong")
+	}
+	if Version(7).String() != "snmp(version=7)" {
+		t.Error("unknown version name wrong")
+	}
+}
+
+func TestPDUTypeString(t *testing.T) {
+	cases := map[PDUType]string{
+		PDUGetRequest:  "get-request",
+		PDUGetResponse: "get-response",
+		PDUReport:      "report",
+		PDUTrapV2:      "snmpV2-trap",
+		PDUType(0xAF):  "pdu(0xaf)",
+	}
+	for typ, want := range cases {
+		if typ.String() != want {
+			t.Errorf("%v != %s", typ, want)
+		}
+	}
+}
+
+func TestOIDString(t *testing.T) {
+	if got := OIDString(OIDUsmStatsUnknownEngineIDs); got != "1.3.6.1.6.3.15.1.1.4.0" {
+		t.Errorf("OIDString = %s", got)
+	}
+	if OIDString(nil) != "" {
+		t.Error("empty OID should format empty")
+	}
+}
+
+func TestOIDEqual(t *testing.T) {
+	if !OIDEqual(OIDSysDescr, []uint32{1, 3, 6, 1, 2, 1, 1, 1, 0}) {
+		t.Error("equal OIDs compare unequal")
+	}
+	if OIDEqual(OIDSysDescr, OIDSysName) {
+		t.Error("different OIDs compare equal")
+	}
+	if OIDEqual(OIDSysDescr, OIDSysDescr[:5]) {
+		t.Error("prefix OIDs compare equal")
+	}
+}
+
+func TestDiscoveryRequestShape(t *testing.T) {
+	req := NewDiscoveryRequest(100, 200)
+	if !req.Reportable() {
+		t.Error("discovery request must be reportable")
+	}
+	if req.AuthFlag() || req.PrivFlag() {
+		t.Error("discovery request must be noAuthNoPriv")
+	}
+	if len(req.USM.AuthoritativeEngineID) != 0 {
+		t.Error("discovery request must have empty engine ID")
+	}
+	if req.USM.AuthoritativeEngineBoots != 0 || req.USM.AuthoritativeEngineTime != 0 {
+		t.Error("discovery request must have zero boots/time")
+	}
+	if len(req.USM.UserName) != 0 {
+		t.Error("discovery request must have empty user name")
+	}
+	if len(req.ScopedPDU.PDU.VarBinds) != 0 {
+		t.Error("discovery request must have empty varbinds")
+	}
+}
+
+func TestDiscoveryRoundTrip(t *testing.T) {
+	wire, err := EncodeDiscoveryRequest(42, 4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports an 88-byte IPv4 probe (frame size incl. 42 bytes of
+	// Ethernet+IP+UDP headers => ~46-byte SNMP payload). Ours should be in
+	// the same region.
+	if len(wire) < 40 || len(wire) > 80 {
+		t.Errorf("probe payload %d bytes, expected 40..80", len(wire))
+	}
+	msg, err := DecodeV3(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.MsgID != 42 || msg.ScopedPDU.PDU.RequestID != 4242 {
+		t.Errorf("IDs: %d %d", msg.MsgID, msg.ScopedPDU.PDU.RequestID)
+	}
+	if msg.MsgFlags != FlagReportable || msg.MsgSecurityModel != SecurityModelUSM {
+		t.Errorf("flags %02x model %d", msg.MsgFlags, msg.MsgSecurityModel)
+	}
+}
+
+func TestDiscoveryReportRoundTrip(t *testing.T) {
+	req := NewDiscoveryRequest(7, 77)
+	engineID := []byte{0x80, 0x00, 0x07, 0xc7, 0x03, 0x74, 0x8e, 0xf8, 0x31, 0xdb, 0x80}
+	rep := NewDiscoveryReport(req, engineID, 148, 10043812, 5)
+	wire, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ParseDiscoveryResponse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp.EngineID, engineID) {
+		t.Errorf("engine ID %x", resp.EngineID)
+	}
+	if resp.EngineBoots != 148 || resp.EngineTime != 10043812 {
+		t.Errorf("boots/time %d/%d", resp.EngineBoots, resp.EngineTime)
+	}
+	if !OIDEqual(resp.ReportOID, OIDUsmStatsUnknownEngineIDs) {
+		t.Errorf("report OID %v", resp.ReportOID)
+	}
+	if resp.ReportCount != 5 {
+		t.Errorf("report count %d", resp.ReportCount)
+	}
+}
+
+func TestParseDiscoveryResponseRejectsGarbage(t *testing.T) {
+	if _, err := ParseDiscoveryResponse([]byte("not snmp at all")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ParseDiscoveryResponse(nil); err == nil {
+		t.Error("empty accepted")
+	}
+	// A v2c message must be rejected by the v3 parser.
+	v2, _ := NewGetRequest(V2c, "public", 1, OIDSysDescr).Encode()
+	if _, err := ParseDiscoveryResponse(v2); err == nil {
+		t.Error("v2c message accepted as v3")
+	}
+}
+
+func TestParseDiscoveryResponseEncrypted(t *testing.T) {
+	// Build a v3 message with the priv flag: parsing should still yield the
+	// USM identifiers (header is always plaintext).
+	msg := &V3Message{
+		MsgID: 1, MsgMaxSize: DefaultMaxSize, MsgFlags: FlagAuth | FlagPriv,
+		MsgSecurityModel: SecurityModelUSM,
+		USM: USMSecurityParameters{
+			AuthoritativeEngineID:    []byte{0x80, 0, 0, 9, 3, 1, 2, 3, 4, 5, 6},
+			AuthoritativeEngineBoots: 3,
+			AuthoritativeEngineTime:  1000,
+		},
+		ScopedPDU: ScopedPDU{PDU: &PDU{Type: PDUGetResponse}},
+	}
+	wire, err := msg.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ParseDiscoveryResponse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.EngineBoots != 3 || resp.EngineTime != 1000 {
+		t.Errorf("boots/time %d/%d", resp.EngineBoots, resp.EngineTime)
+	}
+}
+
+func TestV3RoundTripQuick(t *testing.T) {
+	f := func(msgID, reqID int64, engID []byte, boots, etime int32, user []byte) bool {
+		if msgID < 0 {
+			msgID = -msgID
+		}
+		msg := &V3Message{
+			MsgID: msgID & 0x7FFFFFFF, MsgMaxSize: DefaultMaxSize,
+			MsgFlags: FlagReportable, MsgSecurityModel: SecurityModelUSM,
+			USM: USMSecurityParameters{
+				AuthoritativeEngineID:    engID,
+				AuthoritativeEngineBoots: int64(boots),
+				AuthoritativeEngineTime:  int64(etime),
+				UserName:                 user,
+			},
+			ScopedPDU: ScopedPDU{
+				ContextEngineID: engID,
+				PDU: &PDU{Type: PDUReport, RequestID: reqID & 0x7FFFFFFF,
+					VarBinds: []VarBind{{Name: OIDUsmStatsUnknownEngineIDs, Value: Counter32Value(1)}}},
+			},
+		}
+		wire, err := msg.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := DecodeV3(wire)
+		if err != nil {
+			return false
+		}
+		return got.MsgID == msg.MsgID &&
+			bytes.Equal(got.USM.AuthoritativeEngineID, engID) &&
+			got.USM.AuthoritativeEngineBoots == int64(boots) &&
+			got.USM.AuthoritativeEngineTime == int64(etime) &&
+			bytes.Equal(got.USM.UserName, user) &&
+			got.ScopedPDU.PDU.Type == PDUReport
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommunityRoundTrip(t *testing.T) {
+	req := NewGetRequest(V2c, "pass123", 99, OIDSysDescr)
+	wire, err := req.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCommunity(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != V2c || string(got.Community) != "pass123" {
+		t.Errorf("version %v community %q", got.Version, got.Community)
+	}
+	if got.PDU.Type != PDUGetRequest || got.PDU.RequestID != 99 {
+		t.Errorf("PDU %v id %d", got.PDU.Type, got.PDU.RequestID)
+	}
+	if len(got.PDU.VarBinds) != 1 || !OIDEqual(got.PDU.VarBinds[0].Name, OIDSysDescr) {
+		t.Errorf("varbinds %v", got.PDU.VarBinds)
+	}
+
+	resp := NewGetResponse(got, []VarBind{{Name: OIDSysDescr, Value: StringValue("Cisco IOS 15.2")}})
+	wire2, err := resp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := DecodeCommunity(wire2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.PDU.Type != PDUGetResponse || string(got2.PDU.VarBinds[0].Value.Bytes) != "Cisco IOS 15.2" {
+		t.Errorf("response decode: %+v", got2.PDU)
+	}
+}
+
+func TestPeekVersion(t *testing.T) {
+	v3, _ := EncodeDiscoveryRequest(1, 1)
+	v2, _ := NewGetRequest(V2c, "public", 1, OIDSysDescr).Encode()
+	v1, _ := NewGetRequest(V1, "public", 1, OIDSysDescr).Encode()
+	for _, c := range []struct {
+		wire []byte
+		want Version
+	}{{v3, V3}, {v2, V2c}, {v1, V1}} {
+		got, err := PeekVersion(c.wire)
+		if err != nil || got != c.want {
+			t.Errorf("PeekVersion = %v, %v; want %v", got, err, c.want)
+		}
+	}
+	if _, err := PeekVersion([]byte{0x30, 0x03, 0x02, 0x01, 0x09}); err == nil {
+		t.Error("version 9 accepted")
+	}
+	if _, err := PeekVersion([]byte("junk")); err == nil {
+		t.Error("junk accepted")
+	}
+}
+
+func TestEncodeCommunityErrors(t *testing.T) {
+	if _, err := (&CommunityMessage{Version: V3, PDU: &PDU{}}).Encode(); err == nil {
+		t.Error("v3 as community message accepted")
+	}
+	if _, err := (&CommunityMessage{Version: V2c}).Encode(); err == nil {
+		t.Error("missing PDU accepted")
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{IntegerValue(5), "5"},
+		{StringValue("x"), `"x"`},
+		{NullValue(), "null"},
+		{TimeTicksValue(99), "TimeTicks(99)"},
+		{Counter32Value(7), "Counter32(7)"},
+		{Value{Tag: ber.TagOID, OID: []uint32{1, 3, 6}}, "1.3.6"},
+		{Value{Tag: ber.TagIPAddress, Bytes: []byte{192, 0, 2, 9}}, "192.0.2.9"},
+		{Value{Tag: ber.TagCounter64, Uint: 1}, "Counter64(1)"},
+		{Value{Tag: ber.TagGauge32, Uint: 2}, "Gauge32(2)"},
+		{Value{Tag: ber.TagNoSuchObject}, "noSuchObject"},
+		{Value{Tag: ber.TagEndOfMibView}, "endOfMibView"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("Value.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestAllValueTypesRoundTrip(t *testing.T) {
+	vbs := []VarBind{
+		{Name: []uint32{1, 3, 1}, Value: IntegerValue(-42)},
+		{Name: []uint32{1, 3, 2}, Value: StringValue("text")},
+		{Name: []uint32{1, 3, 3}, Value: NullValue()},
+		{Name: []uint32{1, 3, 4}, Value: Value{Tag: ber.TagOID, OID: []uint32{1, 3, 6, 1}}},
+		{Name: []uint32{1, 3, 5}, Value: Value{Tag: ber.TagCounter32, Uint: 123}},
+		{Name: []uint32{1, 3, 6}, Value: Value{Tag: ber.TagGauge32, Uint: 456}},
+		{Name: []uint32{1, 3, 7}, Value: Value{Tag: ber.TagTimeTicks, Uint: 789}},
+		{Name: []uint32{1, 3, 8}, Value: Value{Tag: ber.TagCounter64, Uint: 1 << 40}},
+		{Name: []uint32{1, 3, 9}, Value: Value{Tag: ber.TagIPAddress, Bytes: []byte{10, 0, 0, 1}}},
+		{Name: []uint32{1, 3, 10}, Value: Value{Tag: ber.TagOpaque, Bytes: []byte{1, 2}}},
+		{Name: []uint32{1, 3, 11}, Value: Value{Tag: ber.TagNoSuchObject}},
+	}
+	msg := &CommunityMessage{Version: V2c, Community: []byte("c"),
+		PDU: &PDU{Type: PDUGetResponse, RequestID: 5, VarBinds: vbs}}
+	wire, err := msg.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCommunity(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.PDU.VarBinds) != len(vbs) {
+		t.Fatalf("varbind count %d", len(got.PDU.VarBinds))
+	}
+	for i, vb := range got.PDU.VarBinds {
+		want := vbs[i]
+		if vb.Value.Tag != want.Value.Tag {
+			t.Errorf("vb %d tag 0x%02x want 0x%02x", i, vb.Value.Tag, want.Value.Tag)
+		}
+		if vb.Value.Int != want.Value.Int || vb.Value.Uint != want.Value.Uint {
+			t.Errorf("vb %d numeric mismatch", i)
+		}
+	}
+}
+
+func TestDecodeV3Malformed(t *testing.T) {
+	good, _ := EncodeDiscoveryRequest(1, 1)
+	// Every truncation of a valid message must be rejected, never panic.
+	for i := 0; i < len(good); i++ {
+		if _, err := DecodeV3(good[:i]); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+	// Flipped tags in strategic spots.
+	for _, i := range []int{0, 2, 4} {
+		mut := append([]byte(nil), good...)
+		mut[i] ^= 0xFF
+		if _, err := DecodeV3(mut); err == nil {
+			t.Errorf("corrupted byte %d accepted", i)
+		}
+	}
+}
+
+func TestDecodeV3FuzzNoPanic(t *testing.T) {
+	// Deterministic pseudo-fuzz: decoding arbitrary bytes must never panic.
+	f := func(data []byte) bool {
+		_, _ = DecodeV3(data)
+		_, _ = DecodeCommunity(data)
+		_, _ = ParseDiscoveryResponse(data)
+		_, _ = PeekVersion(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

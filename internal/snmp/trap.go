@@ -1,0 +1,107 @@
+package snmp
+
+import (
+	"fmt"
+
+	"snmpv3fp/internal/ber"
+)
+
+// TrapV1 is the SNMPv1 Trap-PDU (RFC 1157 §4.1.6), which has its own layout
+// instead of the common PDU structure. SNMPv2c/v3 traps reuse the ordinary
+// PDU shape and need no special handling.
+type TrapV1 struct {
+	// Enterprise identifies the object generating the trap.
+	Enterprise []uint32
+	// AgentAddr is the generating agent's IPv4 address.
+	AgentAddr [4]byte
+	// GenericTrap is the generic trap code (0 coldStart … 6
+	// enterpriseSpecific).
+	GenericTrap int64
+	// SpecificTrap is the enterprise-specific code.
+	SpecificTrap int64
+	// Timestamp is sysUpTime at trap generation, in TimeTicks.
+	Timestamp uint64
+	VarBinds  []VarBind
+}
+
+// Generic trap codes (RFC 1157).
+const (
+	TrapColdStart          = 0
+	TrapWarmStart          = 1
+	TrapLinkDown           = 2
+	TrapLinkUp             = 3
+	TrapAuthFailure        = 4
+	TrapEGPNeighborLoss    = 5
+	TrapEnterpriseSpecific = 6
+)
+
+// EncodeTrapV1 serializes an SNMPv1 trap message with the given community.
+func EncodeTrapV1(community string, trap *TrapV1) ([]byte, error) {
+	b := ber.NewBuilder()
+	b.Begin(ber.TagSequence)
+	b.Int(int64(V1))
+	b.OctetString([]byte(community))
+	b.Begin(byte(PDUTrapV1))
+	b.OID(trap.Enterprise)
+	b.IPAddress(trap.AgentAddr)
+	b.Int(trap.GenericTrap)
+	b.Int(trap.SpecificTrap)
+	b.Uint(ber.TagTimeTicks, trap.Timestamp)
+	b.Begin(ber.TagSequence)
+	for _, vb := range trap.VarBinds {
+		b.Begin(ber.TagSequence)
+		b.OID(vb.Name)
+		encodeValue(b, vb.Value)
+		b.End()
+	}
+	b.End()
+	b.End()
+	b.End()
+	return b.Bytes()
+}
+
+// DecodeTrapV1 parses an SNMPv1 trap message, returning the community and
+// the trap body.
+func DecodeTrapV1(buf []byte) (community string, trap *TrapV1, err error) {
+	p := ber.NewParser(buf)
+	msg := p.Enter(ber.TagSequence)
+	version := msg.Int()
+	if err := msg.Err(); err != nil {
+		return "", nil, ErrNotSNMP
+	}
+	if Version(version) != V1 {
+		return "", nil, fmt.Errorf("%w: trap-PDU requires SNMPv1, got %d", ErrWrongVersion, version)
+	}
+	community = string(msg.OctetString())
+	body := msg.Enter(byte(PDUTrapV1))
+	t := &TrapV1{}
+	t.Enterprise = body.OID()
+	addr := body.Expect(ber.TagIPAddress)
+	if len(addr.Value) == 4 {
+		copy(t.AgentAddr[:], addr.Value)
+	}
+	t.GenericTrap = body.Int()
+	t.SpecificTrap = body.Int()
+	t.Timestamp = body.Uint(ber.TagTimeTicks)
+	vbl := body.Enter(ber.TagSequence)
+	for vbl.Err() == nil && !vbl.Empty() {
+		vb := vbl.Enter(ber.TagSequence)
+		name := vb.OID()
+		raw := vb.Any()
+		if vb.Err() != nil {
+			return "", nil, vb.Err()
+		}
+		value, err := parseValue(raw)
+		if err != nil {
+			return "", nil, err
+		}
+		t.VarBinds = append(t.VarBinds, VarBind{Name: name, Value: value})
+	}
+	if err := vbl.Err(); err != nil {
+		return "", nil, err
+	}
+	if err := body.Err(); err != nil {
+		return "", nil, err
+	}
+	return community, t, nil
+}

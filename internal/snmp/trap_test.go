@@ -1,0 +1,113 @@
+package snmp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTrapV1RoundTrip(t *testing.T) {
+	trap := &TrapV1{
+		Enterprise:   []uint32{1, 3, 6, 1, 4, 1, 9},
+		AgentAddr:    [4]byte{192, 0, 2, 7},
+		GenericTrap:  TrapLinkDown,
+		SpecificTrap: 0,
+		Timestamp:    123456,
+		VarBinds: []VarBind{
+			{Name: []uint32{1, 3, 6, 1, 2, 1, 2, 2, 1, 1, 3}, Value: IntegerValue(3)},
+			{Name: OIDSysName, Value: StringValue("core1")},
+		},
+	}
+	wire, err := EncodeTrapV1("traps", trap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	community, got, err := DecodeTrapV1(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if community != "traps" {
+		t.Errorf("community = %q", community)
+	}
+	if !OIDEqual(got.Enterprise, trap.Enterprise) {
+		t.Errorf("enterprise = %v", got.Enterprise)
+	}
+	if got.AgentAddr != trap.AgentAddr {
+		t.Errorf("agent addr = %v", got.AgentAddr)
+	}
+	if got.GenericTrap != TrapLinkDown || got.SpecificTrap != 0 || got.Timestamp != 123456 {
+		t.Errorf("trap fields = %+v", got)
+	}
+	if len(got.VarBinds) != 2 || got.VarBinds[0].Value.Int != 3 ||
+		string(got.VarBinds[1].Value.Bytes) != "core1" {
+		t.Errorf("varbinds = %+v", got.VarBinds)
+	}
+	// PeekVersion still routes it as v1.
+	if v, err := PeekVersion(wire); err != nil || v != V1 {
+		t.Errorf("PeekVersion = %v, %v", v, err)
+	}
+}
+
+func TestTrapV1RejectsWrongVersion(t *testing.T) {
+	// A v2c get is not a v1 trap.
+	wire, _ := NewGetRequest(V2c, "c", 1, OIDSysDescr).Encode()
+	if _, _, err := DecodeTrapV1(wire); err == nil {
+		t.Error("v2c message decoded as v1 trap")
+	}
+	if _, _, err := DecodeTrapV1([]byte("junk")); err == nil {
+		t.Error("junk decoded as trap")
+	}
+	// A v1 get is the right version but the wrong PDU.
+	v1get, _ := NewGetRequest(V1, "c", 1, OIDSysDescr).Encode()
+	if _, _, err := DecodeTrapV1(v1get); err == nil {
+		t.Error("v1 get decoded as trap")
+	}
+}
+
+func TestTrapV1Quick(t *testing.T) {
+	f := func(ent uint32, addr [4]byte, gen, spec int32, ts uint32) bool {
+		trap := &TrapV1{
+			Enterprise:   []uint32{1, 3, 6, 1, 4, 1, ent},
+			AgentAddr:    addr,
+			GenericTrap:  int64(gen),
+			SpecificTrap: int64(spec),
+			Timestamp:    uint64(ts),
+		}
+		wire, err := EncodeTrapV1("c", trap)
+		if err != nil {
+			return false
+		}
+		_, got, err := DecodeTrapV1(wire)
+		if err != nil {
+			return false
+		}
+		return got.AgentAddr == addr && got.GenericTrap == int64(gen) &&
+			got.SpecificTrap == int64(spec) && got.Timestamp == uint64(ts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrapV1GenericCodes(t *testing.T) {
+	if TrapColdStart != 0 || TrapEnterpriseSpecific != 6 {
+		t.Error("generic trap codes wrong")
+	}
+}
+
+func TestTrapV1FuzzNoPanic(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _, _ = DecodeTrapV1(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+	// Truncations of a valid trap never panic and always error.
+	trap := &TrapV1{Enterprise: []uint32{1, 3, 6, 1, 4, 1, 9}, Timestamp: 1}
+	wire, _ := EncodeTrapV1("c", trap)
+	for i := 0; i < len(wire); i++ {
+		if _, _, err := DecodeTrapV1(wire[:i]); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package snmp
+
+import (
+	"fmt"
+
+	"snmpv3fp/internal/ber"
+)
+
+// USMSecurityParameters is the UsmSecurityParameters SEQUENCE carried as an
+// OCTET STRING inside msgSecurityParameters (RFC 3414 §2.4).
+type USMSecurityParameters struct {
+	AuthoritativeEngineID    []byte
+	AuthoritativeEngineBoots int64
+	AuthoritativeEngineTime  int64
+	UserName                 []byte
+	AuthenticationParameters []byte
+	PrivacyParameters        []byte
+}
+
+// ScopedPDU is the plaintext scoped PDU of an SNMPv3 message (RFC 3412 §6).
+type ScopedPDU struct {
+	ContextEngineID []byte
+	ContextName     []byte
+	PDU             *PDU
+}
+
+// V3Message is a complete SNMPv3 message (RFC 3412 §6).
+type V3Message struct {
+	MsgID            int64
+	MsgMaxSize       int64
+	MsgFlags         byte
+	MsgSecurityModel int64
+	USM              USMSecurityParameters
+	// ScopedPDU is the plaintext payload (priv flag clear).
+	ScopedPDU ScopedPDU
+	// EncryptedPDU is the encrypted ScopedPDU ciphertext (priv flag set);
+	// internal/usm encrypts and decrypts it.
+	EncryptedPDU []byte
+}
+
+// Reportable reports whether the reportable flag is set.
+func (m *V3Message) Reportable() bool { return m.MsgFlags&FlagReportable != 0 }
+
+// AuthFlag reports whether the auth flag is set.
+func (m *V3Message) AuthFlag() bool { return m.MsgFlags&FlagAuth != 0 }
+
+// PrivFlag reports whether the priv flag is set.
+func (m *V3Message) PrivFlag() bool { return m.MsgFlags&FlagPriv != 0 }
+
+// Encode serializes the message. With the priv flag set, EncryptedPDU is
+// written as the msgData OCTET STRING; otherwise the plaintext ScopedPDU is
+// emitted.
+func (m *V3Message) Encode() ([]byte, error) {
+	b := ber.NewBuilder()
+	b.Begin(ber.TagSequence)
+	b.Int(int64(V3))
+	// msgGlobalData
+	b.Begin(ber.TagSequence)
+	b.Int(m.MsgID)
+	b.Int(m.MsgMaxSize)
+	b.OctetString([]byte{m.MsgFlags})
+	b.Int(m.MsgSecurityModel)
+	b.End()
+	// msgSecurityParameters: OCTET STRING wrapping the USM SEQUENCE.
+	usm := ber.NewBuilder()
+	usm.Begin(ber.TagSequence)
+	usm.OctetString(m.USM.AuthoritativeEngineID)
+	usm.Int(m.USM.AuthoritativeEngineBoots)
+	usm.Int(m.USM.AuthoritativeEngineTime)
+	usm.OctetString(m.USM.UserName)
+	usm.OctetString(m.USM.AuthenticationParameters)
+	usm.OctetString(m.USM.PrivacyParameters)
+	usm.End()
+	usmBytes, err := usm.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	b.OctetString(usmBytes)
+	if m.MsgFlags&FlagPriv != 0 {
+		// msgData: encryptedPDU OCTET STRING.
+		b.OctetString(m.EncryptedPDU)
+		b.End()
+		return b.Bytes()
+	}
+	// msgData: plaintext ScopedPDU.
+	b.Begin(ber.TagSequence)
+	b.OctetString(m.ScopedPDU.ContextEngineID)
+	b.OctetString(m.ScopedPDU.ContextName)
+	if m.ScopedPDU.PDU == nil {
+		return nil, fmt.Errorf("snmp: v3 message without PDU")
+	}
+	encodePDU(b, m.ScopedPDU.PDU)
+	b.End()
+	b.End()
+	return b.Bytes()
+}
+
+// EncodeScopedPDU serializes a standalone ScopedPDU SEQUENCE — the
+// plaintext that USM privacy encrypts.
+func EncodeScopedPDU(s *ScopedPDU) ([]byte, error) {
+	if s.PDU == nil {
+		return nil, fmt.Errorf("snmp: scoped PDU without PDU")
+	}
+	b := ber.NewBuilder()
+	b.Begin(ber.TagSequence)
+	b.OctetString(s.ContextEngineID)
+	b.OctetString(s.ContextName)
+	encodePDU(b, s.PDU)
+	b.End()
+	return b.Bytes()
+}
+
+// DecodeScopedPDU parses a standalone ScopedPDU SEQUENCE.
+func DecodeScopedPDU(buf []byte) (*ScopedPDU, error) {
+	p := ber.NewParser(buf)
+	spdu := p.Enter(ber.TagSequence)
+	out := &ScopedPDU{}
+	out.ContextEngineID = cloneBytes(spdu.OctetString())
+	out.ContextName = cloneBytes(spdu.OctetString())
+	if err := spdu.Err(); err != nil {
+		return nil, err
+	}
+	pdu, err := parsePDU(spdu)
+	if err != nil {
+		return nil, err
+	}
+	out.PDU = pdu
+	return out, nil
+}
+
+// DecodeV3 parses an SNMPv3 message. Encrypted scoped PDUs (priv flag set)
+// yield ErrEncrypted after the header and USM parameters have been decoded;
+// the returned message still carries the security parameters, which is all
+// the measurement needs.
+func DecodeV3(buf []byte) (*V3Message, error) {
+	p := ber.NewParser(buf)
+	msg := p.Enter(ber.TagSequence)
+	version := msg.Int()
+	if err := msg.Err(); err != nil {
+		return nil, ErrNotSNMP
+	}
+	if Version(version) != V3 {
+		return nil, fmt.Errorf("%w: %d", ErrWrongVersion, version)
+	}
+	out := &V3Message{}
+	gd := msg.Enter(ber.TagSequence)
+	out.MsgID = gd.Int()
+	out.MsgMaxSize = gd.Int()
+	flags := gd.OctetString()
+	out.MsgSecurityModel = gd.Int()
+	if err := gd.Err(); err != nil {
+		return nil, err
+	}
+	if len(flags) != 1 {
+		return nil, fmt.Errorf("snmp: msgFlags length %d", len(flags))
+	}
+	out.MsgFlags = flags[0]
+
+	secParams := msg.OctetString()
+	if err := msg.Err(); err != nil {
+		return nil, err
+	}
+	sp := ber.NewParser(secParams).Enter(ber.TagSequence)
+	out.USM.AuthoritativeEngineID = cloneBytes(sp.OctetString())
+	out.USM.AuthoritativeEngineBoots = sp.Int()
+	out.USM.AuthoritativeEngineTime = sp.Int()
+	out.USM.UserName = cloneBytes(sp.OctetString())
+	out.USM.AuthenticationParameters = cloneBytes(sp.OctetString())
+	out.USM.PrivacyParameters = cloneBytes(sp.OctetString())
+	if err := sp.Err(); err != nil {
+		return nil, fmt.Errorf("snmp: bad USM parameters: %w", err)
+	}
+
+	if out.MsgFlags&FlagPriv != 0 {
+		// The payload is an encrypted OCTET STRING; expose the ciphertext
+		// so internal/usm can decrypt it.
+		out.EncryptedPDU = cloneBytes(msg.OctetString())
+		if msg.Err() != nil {
+			out.EncryptedPDU = nil
+		}
+		return out, ErrEncrypted
+	}
+	spdu := msg.Enter(ber.TagSequence)
+	out.ScopedPDU.ContextEngineID = cloneBytes(spdu.OctetString())
+	out.ScopedPDU.ContextName = cloneBytes(spdu.OctetString())
+	if err := spdu.Err(); err != nil {
+		return nil, err
+	}
+	pdu, err := parsePDU(spdu)
+	if err != nil {
+		return nil, err
+	}
+	out.ScopedPDU.PDU = pdu
+	return out, nil
+}
+
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// DefaultMaxSize is the msgMaxSize our manager advertises; 65507 is the
+// largest UDP payload over IPv4 and what Net-SNMP sends.
+const DefaultMaxSize = 65507
+
+// NewDiscoveryRequest builds the unauthenticated, unsolicited SNMPv3
+// synchronization probe of the paper (Figure 2): empty engine ID, zero
+// boots/time, empty user name, reportable flag set, noAuthNoPriv, and a Get
+// PDU with an empty variable-bindings list.
+func NewDiscoveryRequest(msgID, requestID int64) *V3Message {
+	return &V3Message{
+		MsgID:            msgID,
+		MsgMaxSize:       DefaultMaxSize,
+		MsgFlags:         FlagReportable,
+		MsgSecurityModel: SecurityModelUSM,
+		USM:              USMSecurityParameters{},
+		ScopedPDU: ScopedPDU{
+			PDU: &PDU{Type: PDUGetRequest, RequestID: requestID},
+		},
+	}
+}
+
+// EncodeDiscoveryRequest is a convenience wrapper returning the wire bytes of
+// a discovery probe.
+func EncodeDiscoveryRequest(msgID, requestID int64) ([]byte, error) {
+	return NewDiscoveryRequest(msgID, requestID).Encode()
+}
+
+// DiscoveryResponse is the identifying metadata an agent reveals in its
+// report to a discovery probe: the triple the whole paper is built on.
+type DiscoveryResponse struct {
+	MsgID       int64
+	EngineID    []byte
+	EngineBoots int64
+	EngineTime  int64
+	// ReportOID is the usmStats counter named in the report's first
+	// variable binding (usually usmStatsUnknownEngineIDs).
+	ReportOID []uint32
+	// ReportCount is the counter value, when present.
+	ReportCount uint64
+}
+
+// ParseDiscoveryResponse decodes buf as an SNMPv3 message and extracts the
+// discovery metadata. It accepts both strict RFC 3414 reports and the
+// slightly malformed replies common in the wild (missing varbinds, response
+// instead of report), as the paper's scans must tolerate; it rejects
+// messages without an SNMPv3 header.
+func ParseDiscoveryResponse(buf []byte) (*DiscoveryResponse, error) {
+	msg, err := DecodeV3(buf)
+	if err != nil && err != ErrEncrypted {
+		return nil, err
+	}
+	resp := &DiscoveryResponse{
+		MsgID:       msg.MsgID,
+		EngineID:    msg.USM.AuthoritativeEngineID,
+		EngineBoots: msg.USM.AuthoritativeEngineBoots,
+		EngineTime:  msg.USM.AuthoritativeEngineTime,
+	}
+	if err == ErrEncrypted || msg.ScopedPDU.PDU == nil {
+		return resp, nil
+	}
+	pdu := msg.ScopedPDU.PDU
+	if pdu.Type != PDUReport && pdu.Type != PDUGetResponse {
+		return resp, ErrNotReport
+	}
+	if len(pdu.VarBinds) > 0 {
+		resp.ReportOID = pdu.VarBinds[0].Name
+		resp.ReportCount = pdu.VarBinds[0].Value.Uint
+	}
+	return resp, nil
+}
+
+// NewDiscoveryReport builds the agent-side answer to a discovery probe
+// (Figure 3): a Report PDU for usmStatsUnknownEngineIDs carrying the agent's
+// engine ID, boots and time in the USM security parameters.
+func NewDiscoveryReport(req *V3Message, engineID []byte, boots, engineTime int64, unknownEngineIDs uint64) *V3Message {
+	reqID := int64(0)
+	if req.ScopedPDU.PDU != nil {
+		reqID = req.ScopedPDU.PDU.RequestID
+	}
+	return &V3Message{
+		MsgID:            req.MsgID,
+		MsgMaxSize:       DefaultMaxSize,
+		MsgFlags:         0, // reports to discovery are noAuthNoPriv, not reportable
+		MsgSecurityModel: SecurityModelUSM,
+		USM: USMSecurityParameters{
+			AuthoritativeEngineID:    engineID,
+			AuthoritativeEngineBoots: boots,
+			AuthoritativeEngineTime:  engineTime,
+		},
+		ScopedPDU: ScopedPDU{
+			ContextEngineID: engineID,
+			PDU: &PDU{
+				Type:      PDUReport,
+				RequestID: reqID,
+				VarBinds: []VarBind{{
+					Name:  OIDUsmStatsUnknownEngineIDs,
+					Value: Value{Tag: ber.TagCounter32, Uint: unknownEngineIDs},
+				}},
+			},
+		},
+	}
+}

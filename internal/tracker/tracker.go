@@ -1,0 +1,232 @@
+// Package tracker implements longitudinal device monitoring on top of
+// repeated SNMPv3 campaigns — the follow-up measurement the paper's
+// Section 6.3 announces ("we are currently launching more campaigns and we
+// will continue monitoring the last reboot time").
+//
+// Given a sequence of campaigns over the same target population, the
+// tracker builds a per-IP timeline of (engine boots, last reboot,
+// responsiveness) samples and derives reboot events (engine boots
+// increments confirmed by a moved last-reboot time), identifier changes
+// (the IP now belongs to a different device), and availability gaps — the
+// inputs to outage analyses in the style of Luckie and Beverly's "The
+// Impact of Router Outages on the AS-level Internet", which the paper
+// cites.
+package tracker
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"snmpv3fp/internal/core"
+)
+
+// Sample is one campaign's view of an IP.
+type Sample struct {
+	// At is the campaign's (virtual) receive time; zero for campaigns in
+	// which the IP stayed silent.
+	At time.Time
+	// Responsive reports whether the IP answered.
+	Responsive bool
+	EngineID   []byte
+	Boots      int64
+	LastReboot time.Time
+}
+
+// Event classifies a transition between consecutive responsive samples.
+type Event int
+
+// Transition events.
+const (
+	// EventStable: same identity, same boot generation.
+	EventStable Event = iota
+	// EventReboot: same engine ID, boots incremented and the last-reboot
+	// time moved forward — the device restarted.
+	EventReboot
+	// EventIdentityChange: a different engine ID answered — the address
+	// was reassigned or the device replaced.
+	EventIdentityChange
+	// EventGap: the IP fell silent for at least one campaign in between.
+	EventGap
+)
+
+// String names the event.
+func (e Event) String() string {
+	switch e {
+	case EventStable:
+		return "stable"
+	case EventReboot:
+		return "reboot"
+	case EventIdentityChange:
+		return "identity-change"
+	case EventGap:
+		return "gap"
+	default:
+		return "unknown"
+	}
+}
+
+// Timeline is the longitudinal record of one IP.
+type Timeline struct {
+	IP      netip.Addr
+	Samples []Sample
+}
+
+// rebootTolerance absorbs the scan-time jitter of last-reboot derivation
+// when deciding whether a boots increment is a genuine restart.
+const rebootTolerance = 10 * time.Second
+
+// Transitions derives the event between each pair of consecutive
+// *responsive* samples (silent campaigns in between turn the transition
+// into an EventGap followed by re-evaluation).
+func (tl *Timeline) Transitions() []Event {
+	var events []Event
+	var prev *Sample
+	gapped := false
+	for i := range tl.Samples {
+		s := &tl.Samples[i]
+		if !s.Responsive {
+			if prev != nil {
+				gapped = true
+			}
+			continue
+		}
+		if prev == nil {
+			prev = s
+			continue
+		}
+		switch {
+		case string(prev.EngineID) != string(s.EngineID):
+			events = append(events, EventIdentityChange)
+		case s.Boots > prev.Boots && s.LastReboot.Sub(prev.LastReboot) > rebootTolerance:
+			events = append(events, EventReboot)
+		case gapped:
+			events = append(events, EventGap)
+		default:
+			events = append(events, EventStable)
+		}
+		gapped = false
+		prev = s
+	}
+	return events
+}
+
+// Reboots counts restart events across the timeline.
+func (tl *Timeline) Reboots() int {
+	n := 0
+	for _, e := range tl.Transitions() {
+		if e == EventReboot {
+			n++
+		}
+	}
+	return n
+}
+
+// Availability is the fraction of campaigns in which the IP answered.
+func (tl *Timeline) Availability() float64 {
+	if len(tl.Samples) == 0 {
+		return 0
+	}
+	up := 0
+	for _, s := range tl.Samples {
+		if s.Responsive {
+			up++
+		}
+	}
+	return float64(up) / float64(len(tl.Samples))
+}
+
+// Build assembles timelines from an ordered campaign sequence. Only IPs
+// responsive in at least one campaign appear.
+func Build(campaigns []*core.Campaign) map[netip.Addr]*Timeline {
+	out := map[netip.Addr]*Timeline{}
+	for _, c := range campaigns {
+		for ip := range c.ByIP {
+			if out[ip] == nil {
+				out[ip] = &Timeline{IP: ip}
+			}
+		}
+	}
+	for ip, tl := range out {
+		for _, c := range campaigns {
+			o, ok := c.ByIP[ip]
+			if !ok {
+				tl.Samples = append(tl.Samples, Sample{})
+				continue
+			}
+			tl.Samples = append(tl.Samples, Sample{
+				At:         o.ReceivedAt,
+				Responsive: true,
+				EngineID:   o.EngineID,
+				Boots:      o.EngineBoots,
+				LastReboot: o.LastReboot(),
+			})
+		}
+	}
+	return out
+}
+
+// Summary aggregates a timeline set.
+type Summary struct {
+	// Tracked is the number of IPs with at least two responsive samples.
+	Tracked int
+	// RebootedIPs is how many tracked IPs restarted at least once.
+	RebootedIPs int
+	// RebootEvents is the total count of restart events.
+	RebootEvents int
+	// IdentityChanges counts IPs whose engine ID changed.
+	IdentityChanges int
+	// Gaps counts silent-then-back transitions.
+	Gaps int
+	// MeanAvailability averages per-IP availability over tracked IPs.
+	MeanAvailability float64
+}
+
+// Summarize computes the aggregate over all timelines.
+func Summarize(timelines map[netip.Addr]*Timeline) Summary {
+	var sum Summary
+	var avail float64
+	for _, tl := range timelines {
+		responsive := 0
+		for _, s := range tl.Samples {
+			if s.Responsive {
+				responsive++
+			}
+		}
+		if responsive < 2 {
+			continue
+		}
+		sum.Tracked++
+		avail += tl.Availability()
+		reboots := 0
+		for _, e := range tl.Transitions() {
+			switch e {
+			case EventReboot:
+				reboots++
+			case EventIdentityChange:
+				sum.IdentityChanges++
+			case EventGap:
+				sum.Gaps++
+			}
+		}
+		sum.RebootEvents += reboots
+		if reboots > 0 {
+			sum.RebootedIPs++
+		}
+	}
+	if sum.Tracked > 0 {
+		sum.MeanAvailability = avail / float64(sum.Tracked)
+	}
+	return sum
+}
+
+// SortedIPs returns the timeline keys in address order, for deterministic
+// iteration in reports.
+func SortedIPs(timelines map[netip.Addr]*Timeline) []netip.Addr {
+	out := make([]netip.Addr, 0, len(timelines))
+	for ip := range timelines {
+		out = append(out, ip)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

@@ -1,0 +1,158 @@
+package tracker
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"snmpv3fp/internal/core"
+)
+
+var (
+	ip1 = netip.MustParseAddr("192.0.2.1")
+	ip2 = netip.MustParseAddr("192.0.2.2")
+	t0  = time.Date(2021, 4, 16, 0, 0, 0, 0, time.UTC)
+)
+
+func campaignOf(obs ...*core.Observation) *core.Campaign {
+	c := &core.Campaign{ByIP: map[netip.Addr]*core.Observation{}}
+	for _, o := range obs {
+		c.ByIP[o.IP] = o
+	}
+	return c
+}
+
+func observation(ip netip.Addr, id string, boots int64, reboot, at time.Time) *core.Observation {
+	return &core.Observation{
+		IP: ip, EngineID: []byte(id), EngineBoots: boots,
+		EngineTime: int64(at.Sub(reboot) / time.Second), ReceivedAt: at,
+	}
+}
+
+func TestStableTimeline(t *testing.T) {
+	reboot := t0.Add(-100 * 24 * time.Hour)
+	c1 := campaignOf(observation(ip1, "dev", 5, reboot, t0))
+	c2 := campaignOf(observation(ip1, "dev", 5, reboot, t0.Add(6*24*time.Hour)))
+	c3 := campaignOf(observation(ip1, "dev", 5, reboot, t0.Add(12*24*time.Hour)))
+	tls := Build([]*core.Campaign{c1, c2, c3})
+	tl := tls[ip1]
+	if tl == nil {
+		t.Fatal("no timeline")
+	}
+	events := tl.Transitions()
+	if len(events) != 2 || events[0] != EventStable || events[1] != EventStable {
+		t.Errorf("events = %v", events)
+	}
+	if tl.Reboots() != 0 {
+		t.Error("phantom reboot")
+	}
+	if tl.Availability() != 1.0 {
+		t.Errorf("availability = %v", tl.Availability())
+	}
+}
+
+func TestRebootDetection(t *testing.T) {
+	reboot1 := t0.Add(-100 * 24 * time.Hour)
+	reboot2 := t0.Add(3 * 24 * time.Hour) // restarted between campaigns
+	c1 := campaignOf(observation(ip1, "dev", 5, reboot1, t0))
+	c2 := campaignOf(observation(ip1, "dev", 6, reboot2, t0.Add(6*24*time.Hour)))
+	tls := Build([]*core.Campaign{c1, c2})
+	events := tls[ip1].Transitions()
+	if len(events) != 1 || events[0] != EventReboot {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestBootsJitterIsNotReboot(t *testing.T) {
+	// Boots increments but the last reboot barely moved (< tolerance):
+	// treat as stable (derivation jitter, not a restart).
+	reboot := t0.Add(-100 * 24 * time.Hour)
+	c1 := campaignOf(observation(ip1, "dev", 5, reboot, t0))
+	c2 := campaignOf(observation(ip1, "dev", 6, reboot.Add(2*time.Second), t0.Add(24*time.Hour)))
+	events := Build([]*core.Campaign{c1, c2})[ip1].Transitions()
+	if events[0] == EventReboot {
+		t.Error("jitter classified as reboot")
+	}
+}
+
+func TestIdentityChange(t *testing.T) {
+	reboot := t0.Add(-10 * 24 * time.Hour)
+	c1 := campaignOf(observation(ip1, "devA", 5, reboot, t0))
+	c2 := campaignOf(observation(ip1, "devB", 2, reboot, t0.Add(24*time.Hour)))
+	events := Build([]*core.Campaign{c1, c2})[ip1].Transitions()
+	if len(events) != 1 || events[0] != EventIdentityChange {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestGapDetection(t *testing.T) {
+	reboot := t0.Add(-10 * 24 * time.Hour)
+	c1 := campaignOf(observation(ip1, "dev", 5, reboot, t0))
+	c2 := campaignOf() // silent
+	c3 := campaignOf(observation(ip1, "dev", 5, reboot, t0.Add(12*24*time.Hour)))
+	tl := Build([]*core.Campaign{c1, c2, c3})[ip1]
+	events := tl.Transitions()
+	if len(events) != 1 || events[0] != EventGap {
+		t.Fatalf("events = %v", events)
+	}
+	if av := tl.Availability(); av < 0.66 || av > 0.67 {
+		t.Errorf("availability = %v", av)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	rebootA := t0.Add(-100 * 24 * time.Hour)
+	rebootA2 := t0.Add(2 * 24 * time.Hour)
+	c1 := campaignOf(
+		observation(ip1, "devA", 5, rebootA, t0),
+		observation(ip2, "devB", 1, rebootA, t0),
+	)
+	c2 := campaignOf(
+		observation(ip1, "devA", 6, rebootA2, t0.Add(6*24*time.Hour)),
+		observation(ip2, "devC", 9, rebootA, t0.Add(6*24*time.Hour)),
+	)
+	sum := Summarize(Build([]*core.Campaign{c1, c2}))
+	if sum.Tracked != 2 {
+		t.Fatalf("tracked = %d", sum.Tracked)
+	}
+	if sum.RebootedIPs != 1 || sum.RebootEvents != 1 {
+		t.Errorf("reboots = %d/%d", sum.RebootedIPs, sum.RebootEvents)
+	}
+	if sum.IdentityChanges != 1 {
+		t.Errorf("identity changes = %d", sum.IdentityChanges)
+	}
+	if sum.MeanAvailability != 1.0 {
+		t.Errorf("availability = %v", sum.MeanAvailability)
+	}
+}
+
+func TestSummarizeSkipsSingleSample(t *testing.T) {
+	c1 := campaignOf(observation(ip1, "dev", 5, t0.Add(-time.Hour), t0))
+	c2 := campaignOf() // silent second campaign
+	sum := Summarize(Build([]*core.Campaign{c1, c2}))
+	if sum.Tracked != 0 {
+		t.Errorf("tracked = %d", sum.Tracked)
+	}
+}
+
+func TestSortedIPs(t *testing.T) {
+	c := campaignOf(
+		observation(ip2, "b", 1, t0.Add(-time.Hour), t0),
+		observation(ip1, "a", 1, t0.Add(-time.Hour), t0),
+	)
+	ips := SortedIPs(Build([]*core.Campaign{c}))
+	if len(ips) != 2 || ips[0] != ip1 || ips[1] != ip2 {
+		t.Errorf("ips = %v", ips)
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	for e, want := range map[Event]string{
+		EventStable: "stable", EventReboot: "reboot",
+		EventIdentityChange: "identity-change", EventGap: "gap",
+	} {
+		if e.String() != want {
+			t.Errorf("%d = %q", int(e), e.String())
+		}
+	}
+}

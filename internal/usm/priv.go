@@ -1,0 +1,268 @@
+package usm
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/des"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"snmpv3fp/internal/snmp"
+)
+
+// PrivProtocol selects the USM privacy protocol.
+type PrivProtocol int
+
+// Privacy protocols.
+const (
+	// PrivDES is CBC-DES (RFC 3414 §8).
+	PrivDES PrivProtocol = iota
+	// PrivAES128 is CFB128-AES-128 (RFC 3826).
+	PrivAES128
+)
+
+// String names the protocol.
+func (p PrivProtocol) String() string {
+	switch p {
+	case PrivDES:
+		return "CBC-DES"
+	case PrivAES128:
+		return "CFB128-AES-128"
+	default:
+		return fmt.Sprintf("priv(%d)", int(p))
+	}
+}
+
+// Privacy errors.
+var (
+	ErrPrivParams = errors.New("usm: bad privacy parameters")
+	ErrPadding    = errors.New("usm: bad DES padding")
+	ErrShortKey   = errors.New("usm: localized key too short for privacy protocol")
+)
+
+// privKey derives the privacy key from a localized authentication key: the
+// first 16 octets (RFC 3414 §8.2.1 uses the localized key directly; MD5
+// yields exactly 16, SHA-1 is truncated).
+func privKey(localizedKey []byte) ([]byte, error) {
+	if len(localizedKey) < 16 {
+		return nil, ErrShortKey
+	}
+	return localizedKey[:16], nil
+}
+
+// EncryptScopedPDU encrypts a BER-encoded ScopedPDU, returning the
+// ciphertext (the msgData OCTET STRING body) and the privacy parameters to
+// place in msgPrivacyParameters. boots/engineTime and salt feed the IV
+// derivation exactly as the RFCs prescribe.
+func EncryptScopedPDU(proto PrivProtocol, localizedKey []byte, boots, engineTime int64, salt uint64, scopedPDU []byte) (ciphertext, privParams []byte, err error) {
+	key, err := privKey(localizedKey)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch proto {
+	case PrivDES:
+		return encryptDES(key, boots, salt, scopedPDU)
+	case PrivAES128:
+		return encryptAES(key, boots, engineTime, salt, scopedPDU)
+	default:
+		return nil, nil, fmt.Errorf("usm: unknown privacy protocol %d", int(proto))
+	}
+}
+
+// DecryptScopedPDU reverses EncryptScopedPDU.
+func DecryptScopedPDU(proto PrivProtocol, localizedKey []byte, boots, engineTime int64, privParams, ciphertext []byte) ([]byte, error) {
+	key, err := privKey(localizedKey)
+	if err != nil {
+		return nil, err
+	}
+	switch proto {
+	case PrivDES:
+		return decryptDES(key, privParams, ciphertext)
+	case PrivAES128:
+		return decryptAES(key, boots, engineTime, privParams, ciphertext)
+	default:
+		return nil, fmt.Errorf("usm: unknown privacy protocol %d", int(proto))
+	}
+}
+
+// --- CBC-DES (RFC 3414 §8.1) ---
+
+func encryptDES(key16 []byte, boots int64, salt uint64, plain []byte) (ciphertext, privParams []byte, err error) {
+	desKey := key16[:8]
+	preIV := key16[8:16]
+	// Salt: engine boots || local integer (RFC 3414 §8.1.1.1).
+	var saltBytes [8]byte
+	binary.BigEndian.PutUint32(saltBytes[:4], uint32(boots))
+	binary.BigEndian.PutUint32(saltBytes[4:], uint32(salt))
+	iv := make([]byte, 8)
+	for i := range iv {
+		iv[i] = saltBytes[i] ^ preIV[i]
+	}
+	block, err := des.NewCipher(desKey)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Pad to the block size (RFC 3414 §8.1.1.2 allows arbitrary pad bytes;
+	// we use the pad length so decryption can strip it deterministically).
+	padLen := 8 - len(plain)%8
+	padded := make([]byte, len(plain)+padLen)
+	copy(padded, plain)
+	for i := len(plain); i < len(padded); i++ {
+		padded[i] = byte(padLen)
+	}
+	out := make([]byte, len(padded))
+	cipher.NewCBCEncrypter(block, iv).CryptBlocks(out, padded)
+	return out, saltBytes[:], nil
+}
+
+func decryptDES(key16, privParams, ciphertext []byte) ([]byte, error) {
+	if len(privParams) != 8 {
+		return nil, ErrPrivParams
+	}
+	if len(ciphertext) == 0 || len(ciphertext)%8 != 0 {
+		return nil, ErrPadding
+	}
+	desKey := key16[:8]
+	preIV := key16[8:16]
+	iv := make([]byte, 8)
+	for i := range iv {
+		iv[i] = privParams[i] ^ preIV[i]
+	}
+	block, err := des.NewCipher(desKey)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(ciphertext))
+	cipher.NewCBCDecrypter(block, iv).CryptBlocks(out, ciphertext)
+	padLen := int(out[len(out)-1])
+	if padLen < 1 || padLen > 8 || padLen > len(out) {
+		return nil, ErrPadding
+	}
+	return out[:len(out)-padLen], nil
+}
+
+// --- CFB128-AES-128 (RFC 3826) ---
+
+func encryptAES(key16 []byte, boots, engineTime int64, salt uint64, plain []byte) (ciphertext, privParams []byte, err error) {
+	var saltBytes [8]byte
+	binary.BigEndian.PutUint64(saltBytes[:], salt)
+	iv := make([]byte, 16)
+	binary.BigEndian.PutUint32(iv[0:4], uint32(boots))
+	binary.BigEndian.PutUint32(iv[4:8], uint32(engineTime))
+	copy(iv[8:], saltBytes[:])
+	block, err := aes.NewCipher(key16)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]byte, len(plain))
+	cipher.NewCFBEncrypter(block, iv).XORKeyStream(out, plain)
+	return out, saltBytes[:], nil
+}
+
+func decryptAES(key16 []byte, boots, engineTime int64, privParams, ciphertext []byte) ([]byte, error) {
+	if len(privParams) != 8 {
+		return nil, ErrPrivParams
+	}
+	iv := make([]byte, 16)
+	binary.BigEndian.PutUint32(iv[0:4], uint32(boots))
+	binary.BigEndian.PutUint32(iv[4:8], uint32(engineTime))
+	copy(iv[8:], privParams)
+	block, err := aes.NewCipher(key16)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(ciphertext))
+	cipher.NewCFBDecrypter(block, iv).XORKeyStream(out, ciphertext)
+	return out, nil
+}
+
+// --- authPriv message assembly ---
+
+// Credentials bundles a user's authentication and privacy secrets.
+type Credentials struct {
+	User      string
+	AuthProto AuthProtocol
+	AuthPass  string
+	PrivProto PrivProtocol
+	PrivPass  string
+}
+
+// keys derives the localized authentication and privacy keys for an engine.
+func (c Credentials) keys(engineID []byte) (authKey, privKeyLocalized []byte) {
+	authKey = LocalizedPasswordKey(c.AuthProto, c.AuthPass, engineID)
+	privKeyLocalized = LocalizedPasswordKey(c.AuthProto, c.PrivPass, engineID)
+	return authKey, privKeyLocalized
+}
+
+// SealGet builds a fully protected (authPriv) Get request: the scoped PDU
+// is encrypted, the message signed.
+func SealGet(c Credentials, engineID []byte, boots, engineTime, msgID int64, salt uint64, oid []uint32) ([]byte, error) {
+	scoped := &snmp.V3Message{ // temporary carrier to reuse the PDU encoder
+		ScopedPDU: snmp.ScopedPDU{
+			ContextEngineID: engineID,
+			PDU: &snmp.PDU{Type: snmp.PDUGetRequest, RequestID: msgID,
+				VarBinds: []snmp.VarBind{{Name: oid, Value: snmp.NullValue()}}},
+		},
+	}
+	scopedWire, err := encodeScopedPDU(&scoped.ScopedPDU)
+	if err != nil {
+		return nil, err
+	}
+	authKey, pk := c.keys(engineID)
+	ciphertext, privParams, err := EncryptScopedPDU(c.PrivProto, pk, boots, engineTime, salt, scopedWire)
+	if err != nil {
+		return nil, err
+	}
+	msg := &snmp.V3Message{
+		MsgID:            msgID,
+		MsgMaxSize:       snmp.DefaultMaxSize,
+		MsgFlags:         snmp.FlagReportable | snmp.FlagPriv,
+		MsgSecurityModel: snmp.SecurityModelUSM,
+		USM: snmp.USMSecurityParameters{
+			AuthoritativeEngineID:    engineID,
+			AuthoritativeEngineBoots: boots,
+			AuthoritativeEngineTime:  engineTime,
+			UserName:                 []byte(c.User),
+			PrivacyParameters:        privParams,
+		},
+		EncryptedPDU: ciphertext,
+	}
+	return Sign(msg, c.AuthProto, authKey)
+}
+
+// OpenResponse verifies and decrypts an authPriv response, returning the
+// inner scoped PDU.
+func OpenResponse(c Credentials, wire []byte) (*snmp.ScopedPDU, error) {
+	msg, err := snmp.DecodeV3(wire)
+	if err != nil && err != snmp.ErrEncrypted {
+		return nil, err
+	}
+	engineID := msg.USM.AuthoritativeEngineID
+	authKey, pk := c.keys(engineID)
+	if !Verify(wire, c.AuthProto, authKey) {
+		return nil, fmt.Errorf("usm: response authentication failed")
+	}
+	if !msg.PrivFlag() {
+		if msg.ScopedPDU.PDU != nil {
+			return &msg.ScopedPDU, nil
+		}
+		return nil, fmt.Errorf("usm: response has no PDU")
+	}
+	plain, err := DecryptScopedPDU(c.PrivProto, pk, msg.USM.AuthoritativeEngineBoots,
+		msg.USM.AuthoritativeEngineTime, msg.USM.PrivacyParameters, msg.EncryptedPDU)
+	if err != nil {
+		return nil, err
+	}
+	return decodeScopedPDU(plain)
+}
+
+// encodeScopedPDU serializes a ScopedPDU SEQUENCE on its own.
+func encodeScopedPDU(s *snmp.ScopedPDU) ([]byte, error) {
+	return snmp.EncodeScopedPDU(s)
+}
+
+// decodeScopedPDU parses a standalone ScopedPDU.
+func decodeScopedPDU(buf []byte) (*snmp.ScopedPDU, error) {
+	return snmp.DecodeScopedPDU(buf)
+}

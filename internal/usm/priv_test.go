@@ -1,0 +1,160 @@
+package usm
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"snmpv3fp/internal/snmp"
+)
+
+var privEngineID = []byte{0x80, 0x00, 0x00, 0x09, 0x03, 9, 8, 7, 6, 5, 4}
+
+func TestPrivProtocolStrings(t *testing.T) {
+	if PrivDES.String() != "CBC-DES" || PrivAES128.String() != "CFB128-AES-128" {
+		t.Error("protocol names wrong")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	plain := []byte("the scoped pdu payload, length not a multiple of eight!")
+	for _, proto := range []PrivProtocol{PrivDES, PrivAES128} {
+		key := LocalizedPasswordKey(AuthSHA1, "privpass", privEngineID)
+		ct, params, err := EncryptScopedPDU(proto, key, 7, 100000, 0xDEADBEEF, plain)
+		if err != nil {
+			t.Fatalf("%v: %v", proto, err)
+		}
+		if bytes.Contains(ct, []byte("scoped pdu")) {
+			t.Fatalf("%v: ciphertext leaks plaintext", proto)
+		}
+		got, err := DecryptScopedPDU(proto, key, 7, 100000, params, ct)
+		if err != nil {
+			t.Fatalf("%v: decrypt: %v", proto, err)
+		}
+		if !bytes.Equal(got, plain) {
+			t.Fatalf("%v: round trip mismatch", proto)
+		}
+		// Wrong key fails to produce the plaintext.
+		wrong := LocalizedPasswordKey(AuthSHA1, "other", privEngineID)
+		bad, err := DecryptScopedPDU(proto, wrong, 7, 100000, params, ct)
+		if err == nil && bytes.Equal(bad, plain) {
+			t.Fatalf("%v: wrong key decrypted successfully", proto)
+		}
+	}
+}
+
+func TestEncryptDistinctSalts(t *testing.T) {
+	key := LocalizedPasswordKey(AuthMD5, "p", privEngineID)
+	plain := []byte("same plaintext")
+	ct1, _, _ := EncryptScopedPDU(PrivAES128, key, 1, 1, 1, plain)
+	ct2, _, _ := EncryptScopedPDU(PrivAES128, key, 1, 1, 2, plain)
+	if bytes.Equal(ct1, ct2) {
+		t.Error("different salts produced identical ciphertext")
+	}
+}
+
+func TestDecryptErrors(t *testing.T) {
+	key := LocalizedPasswordKey(AuthSHA1, "p", privEngineID)
+	if _, err := DecryptScopedPDU(PrivDES, key, 1, 1, []byte{1, 2}, make([]byte, 16)); err != ErrPrivParams {
+		t.Errorf("short priv params: %v", err)
+	}
+	if _, err := DecryptScopedPDU(PrivDES, key, 1, 1, make([]byte, 8), make([]byte, 13)); err != ErrPadding {
+		t.Errorf("non-block ciphertext: %v", err)
+	}
+	if _, err := DecryptScopedPDU(PrivAES128, key, 1, 1, []byte{1}, make([]byte, 16)); err != ErrPrivParams {
+		t.Errorf("aes short params: %v", err)
+	}
+	if _, _, err := EncryptScopedPDU(PrivDES, []byte{1, 2, 3}, 1, 1, 1, []byte("x")); err != ErrShortKey {
+		t.Errorf("short key: %v", err)
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	creds := Credentials{
+		User: "ops", AuthProto: AuthSHA1, AuthPass: "authpass",
+		PrivProto: PrivAES128, PrivPass: "privpass",
+	}
+	wire, err := SealGet(creds, privEngineID, 3, 5000, 42, 0xABCDEF, snmp.OIDSysDescr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On the wire: auth+priv flags, no readable PDU.
+	msg, err := snmp.DecodeV3(wire)
+	if err != snmp.ErrEncrypted {
+		t.Fatalf("expected ErrEncrypted, got %v", err)
+	}
+	if !msg.AuthFlag() || !msg.PrivFlag() {
+		t.Error("flags not set")
+	}
+	if len(msg.EncryptedPDU) == 0 {
+		t.Fatal("no ciphertext on the wire")
+	}
+	// The ciphertext must not contain the OID bytes.
+	var oidPattern = []byte{0x2b, 0x06, 0x01, 0x02, 0x01, 0x01, 0x01, 0x00}
+	if bytes.Contains(msg.EncryptedPDU, oidPattern) {
+		t.Error("ciphertext leaks the queried OID")
+	}
+	// The legitimate peer can open it.
+	scoped, err := OpenResponse(creds, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scoped.PDU.Type != snmp.PDUGetRequest || !snmp.OIDEqual(scoped.PDU.VarBinds[0].Name, snmp.OIDSysDescr) {
+		t.Errorf("opened PDU = %+v", scoped.PDU)
+	}
+	// Wrong privacy password cannot.
+	bad := creds
+	bad.PrivPass = "nope"
+	if _, err := OpenResponse(bad, wire); err == nil {
+		t.Error("wrong privacy password opened the message")
+	}
+	// Wrong auth password fails verification.
+	bad = creds
+	bad.AuthPass = "nope"
+	if _, err := OpenResponse(bad, wire); err == nil {
+		t.Error("wrong auth password verified")
+	}
+}
+
+func TestScopedPDUCodecRoundTrip(t *testing.T) {
+	s := &snmp.ScopedPDU{
+		ContextEngineID: privEngineID,
+		ContextName:     []byte("ctx"),
+		PDU: &snmp.PDU{Type: snmp.PDUGetResponse, RequestID: 5,
+			VarBinds: []snmp.VarBind{{Name: snmp.OIDSysName, Value: snmp.StringValue("r1")}}},
+	}
+	wire, err := snmp.EncodeScopedPDU(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := snmp.DecodeScopedPDU(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.ContextName) != "ctx" || got.PDU.RequestID != 5 {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+func TestPrivQuickRoundTrip(t *testing.T) {
+	key := LocalizedPasswordKey(AuthSHA1, "quick", privEngineID)
+	f := func(plain []byte, boots int32, etime int32, salt uint64, useAES bool) bool {
+		proto := PrivDES
+		if useAES {
+			proto = PrivAES128
+		}
+		b, e := int64(boots&0x7FFFFFFF), int64(etime&0x7FFFFFFF)
+		ct, params, err := EncryptScopedPDU(proto, key, b, e, salt, plain)
+		if err != nil {
+			return false
+		}
+		got, err := DecryptScopedPDU(proto, key, b, e, params, ct)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, plain)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

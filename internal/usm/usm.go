@@ -1,0 +1,235 @@
+// Package usm implements the User-based Security Model authentication of
+// RFC 3414: password-to-key derivation, key localization against an engine
+// ID, and HMAC-MD5-96 / HMAC-SHA-96 message authentication.
+//
+// The paper's Section 8 points out that because the discovery exchange
+// hands out the *persistent* engine ID, an attacker can precompute
+// localized keys and brute-force SNMPv3 credentials offline from a single
+// captured authenticated message (citing Thomas, "Brute forcing SNMPv3
+// authentication"). This package implements both sides: the legitimate
+// authentication used by internal/labsim agents, and the offline Crack
+// primitive that demonstrates the weakness.
+package usm
+
+import (
+	"crypto/hmac"
+	"crypto/md5"
+	"crypto/sha1"
+	"errors"
+	"fmt"
+	"hash"
+
+	"snmpv3fp/internal/ber"
+	"snmpv3fp/internal/snmp"
+)
+
+// AuthProtocol selects the USM authentication protocol.
+type AuthProtocol int
+
+// Authentication protocols (RFC 3414 §6 and §7).
+const (
+	AuthMD5  AuthProtocol = iota // HMAC-MD5-96
+	AuthSHA1                     // HMAC-SHA-96
+)
+
+// String names the protocol.
+func (p AuthProtocol) String() string {
+	switch p {
+	case AuthMD5:
+		return "HMAC-MD5-96"
+	case AuthSHA1:
+		return "HMAC-SHA-96"
+	default:
+		return fmt.Sprintf("auth(%d)", int(p))
+	}
+}
+
+func (p AuthProtocol) newHash() func() hash.Hash {
+	if p == AuthSHA1 {
+		return sha1.New
+	}
+	return md5.New
+}
+
+// TruncatedLen is the length of msgAuthenticationParameters: both HMACs are
+// truncated to 96 bits (RFC 3414 §6.3.1, §7.3.1).
+const TruncatedLen = 12
+
+// PasswordToKey implements the password-to-key algorithm of RFC 3414
+// §A.2: the password is repeated to one megabyte and hashed.
+func PasswordToKey(proto AuthProtocol, password string) []byte {
+	h := proto.newHash()()
+	if len(password) == 0 {
+		password = "\x00"
+	}
+	const expand = 1 << 20
+	pw := []byte(password)
+	written := 0
+	for written < expand {
+		n := len(pw)
+		if written+n > expand {
+			n = expand - written
+		}
+		h.Write(pw[:n])
+		written += n
+	}
+	return h.Sum(nil)
+}
+
+// LocalizeKey converts a user key into the key localized to one engine
+// (RFC 3414 §2.6): H(Ku || engineID || Ku). Localization is why the engine
+// ID must be known before authentication — and why discovery hands it out.
+func LocalizeKey(proto AuthProtocol, ku, engineID []byte) []byte {
+	h := proto.newHash()()
+	h.Write(ku)
+	h.Write(engineID)
+	h.Write(ku)
+	return h.Sum(nil)
+}
+
+// LocalizedPasswordKey combines both steps.
+func LocalizedPasswordKey(proto AuthProtocol, password string, engineID []byte) []byte {
+	return LocalizeKey(proto, PasswordToKey(proto, password), engineID)
+}
+
+// digest computes the truncated HMAC over wholeMsg with the authentication
+// parameters field zeroed.
+func digest(proto AuthProtocol, localizedKey, wholeMsg []byte) []byte {
+	mac := hmac.New(proto.newHash(), localizedKey)
+	mac.Write(wholeMsg)
+	return mac.Sum(nil)[:TruncatedLen]
+}
+
+// Errors.
+var (
+	ErrNoAuthParams  = errors.New("usm: message carries no authentication parameters field")
+	ErrBadAuthParams = errors.New("usm: authentication parameters have unexpected length")
+)
+
+// findAuthParams walks the BER structure of an SNMPv3 message and returns
+// the byte offset and length of the msgAuthenticationParameters value
+// within wire.
+func findAuthParams(wire []byte) (off, length int, err error) {
+	// SNMPv3Message ::= SEQUENCE { version, HeaderData, secParams OCTET
+	// STRING { UsmSecurityParameters }, data }
+	outer, _, err := ber.DecodeTLV(wire)
+	if err != nil {
+		return 0, 0, err
+	}
+	body := outer.Value
+	bodyOff := offsetOf(wire, body)
+
+	// version INTEGER
+	tlv, rest, err := ber.DecodeTLV(body)
+	if err != nil {
+		return 0, 0, err
+	}
+	_ = tlv
+	// msgGlobalData SEQUENCE
+	_, rest, err = ber.DecodeTLV(rest)
+	if err != nil {
+		return 0, 0, err
+	}
+	// msgSecurityParameters OCTET STRING
+	sec, _, err := ber.DecodeTLV(rest)
+	if err != nil {
+		return 0, 0, err
+	}
+	if sec.Tag != ber.TagOctetString {
+		return 0, 0, fmt.Errorf("usm: security parameters tag 0x%02x", sec.Tag)
+	}
+	// Inside: UsmSecurityParameters SEQUENCE of six fields; the fifth is
+	// msgAuthenticationParameters.
+	inner, _, err := ber.DecodeTLV(sec.Value)
+	if err != nil {
+		return 0, 0, err
+	}
+	fields := inner.Value
+	for i := 0; i < 4; i++ { // engineID, boots, time, userName
+		_, fields, err = ber.DecodeTLV(fields)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	authTLV, _, err := ber.DecodeTLV(fields)
+	if err != nil {
+		return 0, 0, err
+	}
+	if authTLV.Tag != ber.TagOctetString {
+		return 0, 0, ErrNoAuthParams
+	}
+	return bodyOff + offsetOf(body, authTLV.Value), len(authTLV.Value), nil
+}
+
+// offsetOf returns the offset of sub (a sub-slice) within buf.
+func offsetOf(buf, sub []byte) int {
+	if len(sub) == 0 {
+		return 0
+	}
+	// Both slices share backing storage; compute via capacity arithmetic.
+	return cap(buf) - cap(sub)
+}
+
+// Sign encodes msg with authentication: the auth flag is set, a 12-octet
+// placeholder is emitted, and the truncated HMAC over the whole message is
+// written into it (RFC 3414 §6.3.1).
+func Sign(msg *snmp.V3Message, proto AuthProtocol, localizedKey []byte) ([]byte, error) {
+	msg.MsgFlags |= snmp.FlagAuth
+	msg.USM.AuthenticationParameters = make([]byte, TruncatedLen)
+	wire, err := msg.Encode()
+	if err != nil {
+		return nil, err
+	}
+	off, n, err := findAuthParams(wire)
+	if err != nil {
+		return nil, err
+	}
+	if n != TruncatedLen {
+		return nil, ErrBadAuthParams
+	}
+	mac := digest(proto, localizedKey, wire)
+	copy(wire[off:off+n], mac)
+	return wire, nil
+}
+
+// Verify checks the truncated HMAC of an authenticated message against the
+// localized key. It does not mutate wire.
+func Verify(wire []byte, proto AuthProtocol, localizedKey []byte) bool {
+	off, n, err := findAuthParams(wire)
+	if err != nil || n != TruncatedLen {
+		return false
+	}
+	received := make([]byte, TruncatedLen)
+	copy(received, wire[off:off+n])
+	zeroed := make([]byte, len(wire))
+	copy(zeroed, wire)
+	for i := 0; i < n; i++ {
+		zeroed[off+i] = 0
+	}
+	expected := digest(proto, localizedKey, zeroed)
+	return hmac.Equal(received, expected)
+}
+
+// Crack mounts the offline dictionary attack of the paper's Section 8
+// against a captured authenticated message: the engine ID is read from the
+// message itself (it was disclosed by discovery anyway), each candidate
+// password is localized and the HMAC recomputed. It returns the recovered
+// password, the number of candidates tried, and whether it succeeded.
+func Crack(wire []byte, proto AuthProtocol, wordlist []string) (password string, tried int, ok bool) {
+	msg, err := snmp.DecodeV3(wire)
+	if err != nil && err != snmp.ErrEncrypted {
+		return "", 0, false
+	}
+	engineID := msg.USM.AuthoritativeEngineID
+	if len(engineID) == 0 {
+		return "", 0, false
+	}
+	for _, candidate := range wordlist {
+		tried++
+		key := LocalizedPasswordKey(proto, candidate, engineID)
+		if Verify(wire, proto, key) {
+			return candidate, tried, true
+		}
+	}
+	return "", tried, false
+}

@@ -1,0 +1,233 @@
+package usm
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+
+	"snmpv3fp/internal/snmp"
+)
+
+// rfc3414EngineID is the engine ID of the RFC 3414 A.3 examples.
+var rfc3414EngineID = []byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2}
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestPasswordToKeyRFC3414MD5 checks the MD5 vector of RFC 3414 A.3.1.
+func TestPasswordToKeyRFC3414MD5(t *testing.T) {
+	ku := PasswordToKey(AuthMD5, "maplesyrup")
+	want := mustHex(t, "9faf3283884e92834ebc9847d8edd963")
+	if !bytes.Equal(ku, want) {
+		t.Errorf("Ku = %x, want %x", ku, want)
+	}
+	kul := LocalizeKey(AuthMD5, ku, rfc3414EngineID)
+	wantLocal := mustHex(t, "526f5eed9fcce26f8964c2930787d82b")
+	if !bytes.Equal(kul, wantLocal) {
+		t.Errorf("localized = %x, want %x", kul, wantLocal)
+	}
+}
+
+// TestPasswordToKeyRFC3414SHA checks the SHA-1 vector of RFC 3414 A.3.2.
+func TestPasswordToKeyRFC3414SHA(t *testing.T) {
+	ku := PasswordToKey(AuthSHA1, "maplesyrup")
+	want := mustHex(t, "9fb5cc0381497b3793528939ff788d5d79145211")
+	if !bytes.Equal(ku, want) {
+		t.Errorf("Ku = %x, want %x", ku, want)
+	}
+	kul := LocalizeKey(AuthSHA1, ku, rfc3414EngineID)
+	wantLocal := mustHex(t, "6695febc9288e36282235fc7151f128497b38f3f")
+	if !bytes.Equal(kul, wantLocal) {
+		t.Errorf("localized = %x, want %x", kul, wantLocal)
+	}
+}
+
+func TestLocalizedPasswordKey(t *testing.T) {
+	direct := LocalizeKey(AuthMD5, PasswordToKey(AuthMD5, "pw"), rfc3414EngineID)
+	combined := LocalizedPasswordKey(AuthMD5, "pw", rfc3414EngineID)
+	if !bytes.Equal(direct, combined) {
+		t.Error("combined helper disagrees")
+	}
+}
+
+func TestProtocolStrings(t *testing.T) {
+	if AuthMD5.String() != "HMAC-MD5-96" || AuthSHA1.String() != "HMAC-SHA-96" {
+		t.Error("protocol names wrong")
+	}
+}
+
+func authenticatedMessage(t *testing.T, proto AuthProtocol, password string) ([]byte, []byte) {
+	t.Helper()
+	engineID := []byte{0x80, 0x00, 0x00, 0x09, 0x03, 1, 2, 3, 4, 5, 6}
+	msg := &snmp.V3Message{
+		MsgID: 77, MsgMaxSize: snmp.DefaultMaxSize,
+		MsgFlags:         snmp.FlagReportable,
+		MsgSecurityModel: snmp.SecurityModelUSM,
+		USM: snmp.USMSecurityParameters{
+			AuthoritativeEngineID:    engineID,
+			AuthoritativeEngineBoots: 3,
+			AuthoritativeEngineTime:  1000,
+			UserName:                 []byte("monitor"),
+		},
+		ScopedPDU: snmp.ScopedPDU{
+			ContextEngineID: engineID,
+			PDU: &snmp.PDU{Type: snmp.PDUGetRequest, RequestID: 9,
+				VarBinds: []snmp.VarBind{{Name: snmp.OIDSysDescr, Value: snmp.NullValue()}}},
+		},
+	}
+	key := LocalizedPasswordKey(proto, password, engineID)
+	wire, err := Sign(msg, proto, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire, key
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	for _, proto := range []AuthProtocol{AuthMD5, AuthSHA1} {
+		wire, key := authenticatedMessage(t, proto, "correct horse")
+		if !Verify(wire, proto, key) {
+			t.Fatalf("%v: signed message does not verify", proto)
+		}
+		// The message is still a decodable SNMPv3 message with auth set.
+		msg, err := snmp.DecodeV3(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !msg.AuthFlag() {
+			t.Error("auth flag not set")
+		}
+		if len(msg.USM.AuthenticationParameters) != TruncatedLen {
+			t.Errorf("auth params length %d", len(msg.USM.AuthenticationParameters))
+		}
+		// Wrong key fails.
+		badKey := LocalizedPasswordKey(proto, "wrong", msg.USM.AuthoritativeEngineID)
+		if Verify(wire, proto, badKey) {
+			t.Error("wrong key verified")
+		}
+		// Wrong protocol fails.
+		other := AuthSHA1
+		if proto == AuthSHA1 {
+			other = AuthMD5
+		}
+		if Verify(wire, other, key) {
+			t.Error("wrong protocol verified")
+		}
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	wire, key := authenticatedMessage(t, AuthSHA1, "pw")
+	for i := 0; i < len(wire); i++ {
+		mut := append([]byte(nil), wire...)
+		mut[i] ^= 0x01
+		if Verify(mut, AuthSHA1, key) {
+			// Flipping a bit inside the 12-byte MAC itself also
+			// invalidates; flipping anywhere else changes the digest.
+			t.Fatalf("tampered byte %d still verifies", i)
+		}
+	}
+}
+
+func TestVerifyGarbage(t *testing.T) {
+	if Verify([]byte("garbage"), AuthMD5, []byte("key")) {
+		t.Error("garbage verified")
+	}
+	if Verify(nil, AuthMD5, nil) {
+		t.Error("nil verified")
+	}
+	// Unauthenticated discovery messages (empty auth params) never verify.
+	plain, _ := snmp.EncodeDiscoveryRequest(1, 1)
+	if Verify(plain, AuthMD5, []byte("key")) {
+		t.Error("unauthenticated message verified")
+	}
+}
+
+func TestCrackRecoversPassword(t *testing.T) {
+	wire, _ := authenticatedMessage(t, AuthSHA1, "maplesyrup")
+	wordlist := []string{"password", "123456", "cisco", "maplesyrup", "admin"}
+	pw, tried, ok := Crack(wire, AuthSHA1, wordlist)
+	if !ok || pw != "maplesyrup" {
+		t.Fatalf("crack: %q, %v", pw, ok)
+	}
+	if tried != 4 {
+		t.Errorf("tried = %d, want 4", tried)
+	}
+}
+
+func TestCrackFailsOnAbsentPassword(t *testing.T) {
+	wire, _ := authenticatedMessage(t, AuthMD5, "not-in-list")
+	_, tried, ok := Crack(wire, AuthMD5, []string{"a", "b"})
+	if ok || tried != 2 {
+		t.Errorf("crack: ok=%v tried=%d", ok, tried)
+	}
+}
+
+func TestCrackNeedsEngineID(t *testing.T) {
+	plain, _ := snmp.EncodeDiscoveryRequest(1, 1)
+	if _, _, ok := Crack(plain, AuthMD5, []string{"x"}); ok {
+		t.Error("cracked a message without engine ID")
+	}
+	if _, _, ok := Crack([]byte("junk"), AuthMD5, []string{"x"}); ok {
+		t.Error("cracked junk")
+	}
+}
+
+func TestSignVerifyQuick(t *testing.T) {
+	f := func(password string, boots int32, user []byte) bool {
+		engineID := []byte{0x80, 0x00, 0x1f, 0x88, 0x80, 1, 2, 3, 4, 5, 6, 7, 8}
+		msg := &snmp.V3Message{
+			MsgID: 1, MsgMaxSize: snmp.DefaultMaxSize,
+			MsgSecurityModel: snmp.SecurityModelUSM,
+			USM: snmp.USMSecurityParameters{
+				AuthoritativeEngineID:    engineID,
+				AuthoritativeEngineBoots: int64(boots & 0x7FFFFFFF),
+				UserName:                 user,
+			},
+			ScopedPDU: snmp.ScopedPDU{PDU: &snmp.PDU{Type: snmp.PDUGetRequest}},
+		}
+		key := LocalizedPasswordKey(AuthMD5, password, engineID)
+		wire, err := Sign(msg, AuthMD5, key)
+		if err != nil {
+			return false
+		}
+		return Verify(wire, AuthMD5, key)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPasswordToKeyMD5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		PasswordToKey(AuthMD5, "maplesyrup")
+	}
+}
+
+func BenchmarkCrackPerCandidate(b *testing.B) {
+	engineID := []byte{0x80, 0x00, 0x00, 0x09, 0x03, 1, 2, 3, 4, 5, 6}
+	msg := &snmp.V3Message{
+		MsgID: 1, MsgMaxSize: snmp.DefaultMaxSize,
+		MsgSecurityModel: snmp.SecurityModelUSM,
+		USM:              snmp.USMSecurityParameters{AuthoritativeEngineID: engineID, UserName: []byte("u")},
+		ScopedPDU:        snmp.ScopedPDU{PDU: &snmp.PDU{Type: snmp.PDUGetRequest}},
+	}
+	key := LocalizedPasswordKey(AuthSHA1, "never-found", engineID)
+	wire, err := Sign(msg, AuthSHA1, key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	words := make([]string, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		words[0] = "candidate"
+		Crack(wire, AuthSHA1, words)
+	}
+}

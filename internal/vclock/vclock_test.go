@@ -1,0 +1,73 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualAdvances(t *testing.T) {
+	start := time.Date(2021, 4, 1, 0, 0, 0, 0, time.UTC)
+	v := NewVirtual(start)
+	if !v.Now().Equal(start) {
+		t.Fatal("start time wrong")
+	}
+	v.Sleep(5 * time.Second)
+	if got := v.Now(); !got.Equal(start.Add(5 * time.Second)) {
+		t.Errorf("after sleep: %v", got)
+	}
+	v.Advance(24 * time.Hour)
+	if got := v.Now(); !got.Equal(start.Add(24*time.Hour + 5*time.Second)) {
+		t.Errorf("after advance: %v", got)
+	}
+}
+
+func TestVirtualNegativeSleepIgnored(t *testing.T) {
+	v := NewVirtual(time.Unix(100, 0))
+	v.Sleep(-time.Hour)
+	if !v.Now().Equal(time.Unix(100, 0)) {
+		t.Error("negative sleep moved the clock")
+	}
+}
+
+func TestVirtualSet(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	target := time.Unix(1_000_000, 0)
+	v.Set(target)
+	if !v.Now().Equal(target) {
+		t.Error("Set did not jump")
+	}
+}
+
+func TestVirtualConcurrent(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				v.Sleep(time.Millisecond)
+				_ = v.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.Now(); !got.Equal(time.Unix(8, 0)) {
+		t.Errorf("after 8000 ms of sleeps: %v", got)
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	var c Clock = Real{}
+	before := time.Now()
+	got := c.Now()
+	if got.Before(before.Add(-time.Second)) || got.After(before.Add(time.Second)) {
+		t.Error("Real.Now far from wall clock")
+	}
+	start := time.Now()
+	c.Sleep(10 * time.Millisecond)
+	if time.Since(start) < 10*time.Millisecond {
+		t.Error("Real.Sleep returned early")
+	}
+}

@@ -1,0 +1,174 @@
+// Package snmpv3fp is a library for SNMPv3-based device fingerprinting and
+// alias resolution, reproducing Albakour, Gasser, Beverly and Smaragdakis,
+// "Third Time's Not a Charm: Exploiting SNMPv3 for Router Fingerprinting"
+// (ACM IMC 2021).
+//
+// A single unauthenticated SNMPv3 discovery packet makes any reachable
+// SNMPv3 agent disclose its engine ID (a persistent, usually MAC-derived
+// device identifier), its engine boots counter, and its engine time. This
+// package exposes that measurement primitive and the analyses built on it:
+//
+//   - Probe / Scan: single-target and campaign-scale discovery probing,
+//   - Validate: the ten-step response filtering pipeline (paper §4.4),
+//   - ResolveAliases: grouping IPs into devices via (engine ID, boots,
+//     binned last-reboot time) (paper §5), including dual-stack joins,
+//   - Fingerprint: vendor inference from OUI / enterprise numbers (§6).
+//
+// The heavy lifting lives in internal packages; this façade re-exports the
+// stable surface. See examples/ for runnable end-to-end programs and
+// cmd/reproduce for the full paper evaluation against a simulated Internet.
+package snmpv3fp
+
+import (
+	"net/netip"
+	"time"
+
+	"snmpv3fp/internal/alias"
+	"snmpv3fp/internal/core"
+	"snmpv3fp/internal/engineid"
+	"snmpv3fp/internal/filter"
+	"snmpv3fp/internal/scanner"
+	"snmpv3fp/internal/snmp"
+	"snmpv3fp/internal/tracker"
+	"snmpv3fp/internal/usm"
+	"snmpv3fp/internal/vclock"
+)
+
+// Re-exported core types.
+type (
+	// Observation is one IP's discovery response metadata.
+	Observation = core.Observation
+	// Campaign is the per-IP view of one scan.
+	Campaign = core.Campaign
+	// Fingerprint is a vendor inference.
+	Fingerprint = core.Fingerprint
+	// Merged is one IP observed consistently across both campaigns.
+	Merged = filter.Merged
+	// FilterReport carries the per-step accounting of the validation
+	// pipeline.
+	FilterReport = filter.Report
+	// AliasSet groups IPs belonging to one device.
+	AliasSet = alias.Set
+	// AliasVariant selects the matching rule.
+	AliasVariant = alias.Variant
+	// Transport carries probes and responses; implemented by UDPTransport
+	// and by the netsim package's in-memory transport.
+	Transport = scanner.Transport
+	// TargetSpace enumerates scan targets in permuted order.
+	TargetSpace = scanner.TargetSpace
+	// ScanConfig tunes a campaign.
+	ScanConfig = scanner.Config
+	// ScanResult is a campaign's raw outcome.
+	ScanResult = scanner.Result
+	// Clock abstracts time for pacing (vclock.Real or vclock.Virtual).
+	Clock = vclock.Clock
+	// EngineID is a classified RFC 3411 engine ID.
+	EngineID = engineid.Parsed
+	// Timeline is one IP's longitudinal monitoring record.
+	Timeline = tracker.Timeline
+	// MonitorSummary aggregates a monitored population.
+	MonitorSummary = tracker.Summary
+	// AuthProtocol selects HMAC-MD5-96 or HMAC-SHA-96 (USM).
+	AuthProtocol = usm.AuthProtocol
+)
+
+// USM authentication protocols.
+const (
+	AuthMD5  = usm.AuthMD5
+	AuthSHA1 = usm.AuthSHA1
+)
+
+// SNMPPort is the standard SNMP UDP port.
+const SNMPPort = 161
+
+// NewUDPTransport opens a UDP socket transport probing the given port
+// (use SNMPPort for real scans).
+func NewUDPTransport(port uint16) (*scanner.UDPTransport, error) {
+	return scanner.NewUDPTransport(port)
+}
+
+// NewPrefixTargets builds a permuted target space over prefixes.
+func NewPrefixTargets(prefixes []netip.Prefix, seed int64) (TargetSpace, error) {
+	return scanner.NewPrefixSpace(prefixes, seed)
+}
+
+// NewListTargets builds a permuted target space over an explicit address
+// list (e.g. an IPv6 hitlist).
+func NewListTargets(addrs []netip.Addr, seed int64) (TargetSpace, error) {
+	return scanner.NewListSpace(addrs, seed)
+}
+
+// Probe sends one unauthenticated SNMPv3 discovery packet to addr and
+// returns the disclosed identifiers.
+func Probe(tr Transport, addr netip.Addr, timeout time.Duration) (*Observation, error) {
+	return core.Probe(tr, addr, timeout)
+}
+
+// Scan runs one campaign over the target space and folds the raw responses
+// into per-IP observations.
+func Scan(tr Transport, targets TargetSpace, cfg ScanConfig) (*Campaign, error) {
+	res, err := scanner.Scan(tr, targets, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return core.Collect(res), nil
+}
+
+// Validate applies the paper's ten-step filtering pipeline to two
+// campaigns of the same address family, yielding the IPs with valid engine
+// ID and engine time.
+func Validate(scan1, scan2 *Campaign) *FilterReport {
+	return filter.Run(scan1, scan2)
+}
+
+// DefaultAliasVariant is the matching rule the paper adopts (20-second
+// last-reboot bins over both campaigns).
+var DefaultAliasVariant = alias.Default
+
+// ResolveAliases groups validated observations into alias sets. Passing
+// the union of IPv4 and IPv6 observations performs the dual-stack join.
+func ResolveAliases(valid []*Merged, v AliasVariant) []*AliasSet {
+	return alias.Resolve(valid, v)
+}
+
+// FingerprintEngineID infers a device vendor from its engine ID.
+func FingerprintEngineID(id []byte) Fingerprint {
+	return core.FingerprintEngineID(id)
+}
+
+// ClassifyEngineID parses an engine ID into its RFC 3411 components.
+func ClassifyEngineID(id []byte) EngineID {
+	return engineid.Classify(id)
+}
+
+// DiscoveryProbe returns the wire bytes of one unauthenticated discovery
+// request, for callers driving their own sockets.
+func DiscoveryProbe(msgID, requestID int64) ([]byte, error) {
+	return snmp.EncodeDiscoveryRequest(msgID, requestID)
+}
+
+// ParseDiscoveryResponse extracts the engine identifiers from a response
+// datagram.
+func ParseDiscoveryResponse(payload []byte) (*snmp.DiscoveryResponse, error) {
+	return snmp.ParseDiscoveryResponse(payload)
+}
+
+// Track builds longitudinal per-IP timelines from an ordered sequence of
+// campaigns (the Section 6.3 monitoring workflow).
+func Track(campaigns []*Campaign) map[netip.Addr]*Timeline {
+	return tracker.Build(campaigns)
+}
+
+// SummarizeTimelines aggregates monitored timelines into restart, churn and
+// availability statistics.
+func SummarizeTimelines(timelines map[netip.Addr]*Timeline) MonitorSummary {
+	return tracker.Summarize(timelines)
+}
+
+// CrackUSMPassword mounts the paper's Section 8 offline dictionary attack
+// against a captured authenticated SNMPv3 message: because USM keys are
+// localized with the engine ID — which the message itself (and any
+// discovery probe) discloses — a single capture suffices.
+func CrackUSMPassword(captured []byte, proto AuthProtocol, wordlist []string) (password string, tried int, ok bool) {
+	return usm.Crack(captured, proto, wordlist)
+}
