@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench reproduce examples clean
+.PHONY: all build vet test test-short race bench reproduce examples ci clean
 
 all: build vet test
 
@@ -21,6 +21,12 @@ test-short:
 	$(GO) test -short ./...
 
 race:
+	$(GO) test -race ./...
+
+# What CI runs (see .github/workflows/ci.yml).
+ci:
+	$(GO) vet ./...
+	$(GO) build ./...
 	$(GO) test -race ./...
 
 # Every paper table/figure as benchmarks, plus the ablations.

@@ -25,6 +25,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	outDir := flag.String("out", "", "also write each artifact to <dir>/<id>.txt")
+	workers := flag.Int("workers", 0, "scan engine workers per campaign (0 = one per CPU; results are identical for any count)")
 	flag.Parse()
 
 	if *list {
@@ -40,7 +41,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "generating world and running campaigns (seed %d)...\n", *seed)
 	t0 := time.Now()
-	env, err := experiments.NewEnv(cfg)
+	env, err := experiments.NewEnvOpts(cfg, experiments.Options{Workers: *workers})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
 		os.Exit(1)

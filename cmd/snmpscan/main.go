@@ -36,14 +36,18 @@ func main() {
 	seed := flag.Int64("seed", 1, "permutation seed")
 	shard := flag.Int("shard", 0, "this prober's shard index (ZMap-style multi-vantage split)")
 	shards := flag.Int("shards", 1, "total number of probing shards")
+	workers := flag.Int("workers", 1, "concurrent send workers (each paces its own shard at rate/workers)")
+	retries := flag.Int("retries", 0, "extra passes re-probing non-responders after the drain window")
+	progress := flag.Bool("progress", false, "report live campaign throughput on stderr")
 	jsonOut := flag.Bool("json", false, "emit NDJSON records (for snmpalias) instead of text")
 	sim := flag.Bool("sim", false, "scan the simulated Internet instead of real targets")
 	simSeed := flag.Int64("sim-seed", 1, "simulated world seed")
 	simScan := flag.Int("sim-scan", 1, "simulated campaign number: 1 (day 15) or 2 (day 21)")
 	flag.Parse()
 
+	eng := engineConfig{workers: *workers, retries: *retries, progress: *progress}
 	if *sim {
-		scanSim(*simSeed, *simScan, *rate, *seed, *jsonOut)
+		scanSim(*simSeed, *simScan, *rate, *seed, *jsonOut, eng)
 		return
 	}
 
@@ -82,16 +86,36 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	campaign, err := snmpv3fp.Scan(tr, targets, snmpv3fp.ScanConfig{
-		Rate: *rate, Timeout: *timeout, Seed: *seed,
-	})
+	cfg := snmpv3fp.ScanConfig{Rate: *rate, Timeout: *timeout, Seed: *seed}
+	eng.apply(&cfg)
+	campaign, err := snmpv3fp.Scan(tr, targets, cfg)
 	if err != nil {
 		fatal(err)
 	}
 	emit(campaign, *jsonOut)
 }
 
-func scanSim(simSeed int64, simScan, rate int, seed int64, jsonOut bool) {
+// engineConfig carries the sharded-engine flags into a ScanConfig.
+type engineConfig struct {
+	workers, retries int
+	progress         bool
+}
+
+func (e engineConfig) apply(cfg *snmpv3fp.ScanConfig) {
+	cfg.Workers = e.workers
+	cfg.Retries = e.retries
+	if e.progress {
+		cfg.Progress = printProgress
+	}
+}
+
+func printProgress(s snmpv3fp.ScanSnapshot) {
+	fmt.Fprintf(os.Stderr,
+		"pass %d: sent %d/%d (retried %d), received %d, %.0f probes/s across %d shards\n",
+		s.Pass+1, s.Sent, s.Targets, s.Retried, s.Received, s.AchievedRate, len(s.Shards))
+}
+
+func scanSim(simSeed int64, simScan, rate int, seed int64, jsonOut bool, eng engineConfig) {
 	w := netsim.Generate(netsim.TinyConfig(simSeed))
 	day := 15
 	if simScan == 2 {
@@ -106,9 +130,9 @@ func scanSim(simSeed int64, simScan, rate int, seed int64, jsonOut bool) {
 	if err != nil {
 		fatal(err)
 	}
-	campaign, err := snmpv3fp.Scan(w.NewTransport(), targets, snmpv3fp.ScanConfig{
-		Rate: rate, Clock: w.Clock, Seed: seed,
-	})
+	cfg := snmpv3fp.ScanConfig{Rate: rate, Clock: w.Clock, Seed: seed}
+	eng.apply(&cfg)
+	campaign, err := snmpv3fp.Scan(w.NewTransport(), targets, cfg)
 	if err != nil {
 		fatal(err)
 	}

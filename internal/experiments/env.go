@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 	"net/netip"
+	"runtime"
 	"sync"
 	"time"
 
@@ -59,8 +60,34 @@ const (
 	v6Rate = 20000
 )
 
-// NewEnv generates the world and runs the full measurement pipeline.
+// Options tunes how the campaigns are executed. The measurement *results*
+// are independent of these knobs — the sharded engine is deterministic
+// under the virtual clock for any worker count — only wall-clock cost
+// changes.
+type Options struct {
+	// Workers is the scan engine worker count per campaign; 0 selects one
+	// worker per available CPU (capped at 8).
+	Workers int
+}
+
+func (o *Options) fill() {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+		if o.Workers > 8 {
+			o.Workers = 8
+		}
+	}
+}
+
+// NewEnv generates the world and runs the full measurement pipeline with
+// default execution options.
 func NewEnv(cfg netsim.Config) (*Env, error) {
+	return NewEnvOpts(cfg, Options{})
+}
+
+// NewEnvOpts is NewEnv with explicit execution options.
+func NewEnvOpts(cfg netsim.Config, opts Options) (*Env, error) {
+	opts.fill()
 	w := netsim.Generate(cfg)
 	e := &Env{World: w, Datasets: datasets.Build(w)}
 	e.Routes = buildRoutes(w)
@@ -73,20 +100,20 @@ func NewEnv(cfg netsim.Config) (*Env, error) {
 	var err error
 	// IPv6 scan 1 and 2 (April 13 / 14).
 	w.Clock.Set(start.Add(12 * day))
-	if e.V6Scan1, err = runList(w, hitlist, v6Rate, cfg.Seed+101); err != nil {
+	if e.V6Scan1, err = runList(w, hitlist, v6Rate, cfg.Seed+101, opts); err != nil {
 		return nil, err
 	}
 	w.Clock.Set(start.Add(13 * day))
-	if e.V6Scan2, err = runList(w, hitlist, v6Rate, cfg.Seed+102); err != nil {
+	if e.V6Scan2, err = runList(w, hitlist, v6Rate, cfg.Seed+102, opts); err != nil {
 		return nil, err
 	}
 	// IPv4 scan 1 and 2 (April 16 / 22).
 	w.Clock.Set(start.Add(15 * day))
-	if e.V4Scan1, err = runPrefixes(w, prefixes, v4Rate, cfg.Seed+103); err != nil {
+	if e.V4Scan1, err = runPrefixes(w, prefixes, v4Rate, cfg.Seed+103, opts); err != nil {
 		return nil, err
 	}
 	w.Clock.Set(start.Add(21 * day))
-	if e.V4Scan2, err = runPrefixes(w, prefixes, v4Rate, cfg.Seed+104); err != nil {
+	if e.V4Scan2, err = runPrefixes(w, prefixes, v4Rate, cfg.Seed+104, opts); err != nil {
 		return nil, err
 	}
 
@@ -113,23 +140,23 @@ func NewEnv(cfg netsim.Config) (*Env, error) {
 	return e, nil
 }
 
-func runPrefixes(w *netsim.World, prefixes []netip.Prefix, rate int, seed int64) (*core.Campaign, error) {
+func runPrefixes(w *netsim.World, prefixes []netip.Prefix, rate int, seed int64, opts Options) (*core.Campaign, error) {
 	targets, err := scanner.NewPrefixSpace(prefixes, seed)
 	if err != nil {
 		return nil, err
 	}
-	return runScan(w, targets, rate, seed)
+	return runScan(w, targets, rate, seed, opts)
 }
 
-func runList(w *netsim.World, addrs []netip.Addr, rate int, seed int64) (*core.Campaign, error) {
+func runList(w *netsim.World, addrs []netip.Addr, rate int, seed int64, opts Options) (*core.Campaign, error) {
 	targets, err := scanner.NewListSpace(addrs, seed)
 	if err != nil {
 		return nil, err
 	}
-	return runScan(w, targets, rate, seed)
+	return runScan(w, targets, rate, seed, opts)
 }
 
-func runScan(w *netsim.World, targets scanner.TargetSpace, rate int, seed int64) (*core.Campaign, error) {
+func runScan(w *netsim.World, targets scanner.TargetSpace, rate int, seed int64, opts Options) (*core.Campaign, error) {
 	w.BeginScan()
 	tr := w.NewTransport()
 	res, err := scanner.Scan(tr, targets, scanner.Config{
@@ -138,6 +165,7 @@ func runScan(w *netsim.World, targets scanner.TargetSpace, rate int, seed int64)
 		Timeout: 8 * time.Second,
 		Clock:   w.Clock,
 		Seed:    seed,
+		Workers: opts.Workers,
 	})
 	if err != nil {
 		return nil, err

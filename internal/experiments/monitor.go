@@ -31,10 +31,12 @@ func Monitor(e *Env) (*MonitorResult, error) {
 	day := 24 * time.Hour
 	prefixes := w.ScanPrefixes4()
 
+	opts := Options{}
+	opts.fill()
 	extra := make([]*core.Campaign, 0, 2)
 	for i, at := range []time.Duration{35 * day, 49 * day} {
 		w.Clock.Set(w.Cfg.StartTime.Add(at))
-		c, err := runPrefixes(w, prefixes, v4Rate, w.Cfg.Seed+200+int64(i))
+		c, err := runPrefixes(w, prefixes, v4Rate, w.Cfg.Seed+200+int64(i), opts)
 		if err != nil {
 			return nil, err
 		}

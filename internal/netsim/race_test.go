@@ -1,0 +1,88 @@
+package netsim
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"snmpv3fp/internal/snmp"
+)
+
+// TestTransportConcurrentSendClose is the -race regression for the old
+// contract "Close must not be called concurrently with Send": many senders
+// race one Close, and every Send either delivers normally or observes
+// net.ErrClosed — never a panic on the closed channel.
+func TestTransportConcurrentSendClose(t *testing.T) {
+	w := tinyWorld(t)
+	w.Clock.Set(w.Cfg.StartTime.Add(15 * 24 * time.Hour))
+	probe, _ := snmp.EncodeDiscoveryRequest(1, 1)
+
+	var addrs []netip.Addr
+	for _, d := range w.Devices {
+		if len(d.V4) > 0 {
+			addrs = append(addrs, d.V4[0])
+		}
+		if len(addrs) >= 64 {
+			break
+		}
+	}
+	if len(addrs) == 0 {
+		t.Fatal("no device addresses")
+	}
+
+	for round := 0; round < 25; round++ {
+		tr := w.NewTransport()
+		drained := make(chan struct{})
+		go func() {
+			defer close(drained)
+			for {
+				if _, _, _, err := tr.Recv(); err != nil {
+					return
+				}
+			}
+		}()
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for _, a := range addrs {
+					if err := tr.Send(a, probe); err != nil {
+						if !errors.Is(err, net.ErrClosed) {
+							t.Errorf("send: %v", err)
+						}
+						return
+					}
+				}
+			}()
+		}
+		if err := tr.Close(); err != nil { // races with the senders above
+			t.Fatalf("close: %v", err)
+		}
+		wg.Wait()
+		<-drained
+		if _, _, _, err := tr.Recv(); err != io.EOF {
+			t.Fatalf("after close: %v", err)
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatalf("second close: %v", err)
+		}
+	}
+}
+
+func TestTransportSendAfterClose(t *testing.T) {
+	w := tinyWorld(t)
+	probe, _ := snmp.EncodeDiscoveryRequest(1, 1)
+	tr := w.NewTransport()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err := tr.Send(w.ScanPrefixes4()[0].Addr(), probe)
+	if !errors.Is(err, net.ErrClosed) {
+		t.Errorf("Send after Close = %v, want net.ErrClosed", err)
+	}
+}

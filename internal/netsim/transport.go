@@ -2,8 +2,11 @@ package netsim
 
 import (
 	"io"
+	"net"
 	"net/netip"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -16,10 +19,18 @@ type simPacket struct {
 // Transport is the in-memory scanner transport: probes sent through it are
 // answered by the world's simulated agents, with deterministic per-path
 // RTTs stamped on the virtual clock. It satisfies the scanner package's
-// Transport interface.
+// Transport, TimedTransport and ResponseCounter interfaces, and is safe for
+// concurrent use by the sharded scan engine: any number of senders may race
+// each other and Close, and a Send that loses the race to Close is a no-op
+// returning net.ErrClosed instead of panicking on the closed channel.
 type Transport struct {
 	w  *World
 	ch chan simPacket
+
+	mu      sync.Mutex
+	closed  bool
+	sending sync.WaitGroup
+	queued  atomic.Uint64
 }
 
 // NewTransport opens a transport onto the world. Each campaign should use a
@@ -31,17 +42,36 @@ func (w *World) NewTransport() *Transport {
 // Send implements scanner.Transport: the datagram is delivered to the agent
 // at dst, and any responses are queued for Recv with a simulated RTT.
 func (t *Transport) Send(dst netip.Addr, payload []byte) error {
-	now := t.w.Clock.Now()
-	responses := t.w.HandleSNMP(dst, payload, now)
+	return t.SendAt(dst, payload, t.w.Clock.Now())
+}
+
+// SendAt implements scanner.TimedTransport: the probe reaches the agent at
+// the given virtual instant, independent of the shared clock's current
+// reading, so the engine can schedule deterministic multi-worker campaigns.
+func (t *Transport) SendAt(dst netip.Addr, payload []byte, at time.Time) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return net.ErrClosed
+	}
+	t.sending.Add(1)
+	t.mu.Unlock()
+	defer t.sending.Done()
+
+	responses := t.w.HandleSNMP(dst, payload, at)
 	if len(responses) == 0 {
 		return nil
 	}
 	rtt := time.Duration(10+t.w.hash64(dst, 0x277)%190) * time.Millisecond
 	for _, resp := range responses {
-		t.ch <- simPacket{src: dst, payload: resp, at: now.Add(rtt)}
+		t.ch <- simPacket{src: dst, payload: resp, at: at.Add(rtt)}
+		t.queued.Add(1)
 	}
 	return nil
 }
+
+// QueuedResponses implements scanner.ResponseCounter.
+func (t *Transport) QueuedResponses() uint64 { return t.queued.Load() }
 
 // Recv implements scanner.Transport.
 func (t *Transport) Recv() (netip.Addr, []byte, time.Time, error) {
@@ -52,9 +82,22 @@ func (t *Transport) Recv() (netip.Addr, []byte, time.Time, error) {
 	return p.src, p.payload, p.at, nil
 }
 
-// Close implements scanner.Transport. It must not be called concurrently
-// with Send.
+// Close implements scanner.Transport. It is safe to call concurrently with
+// Send and is idempotent: the response channel is only closed after every
+// in-flight Send has finished enqueuing.
 func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	// In-flight senders were admitted before the closed flag flipped; wait
+	// for them rather than closing the channel under their feet. They can
+	// be blocked on a full channel, so Recv must keep draining — the scan
+	// engine guarantees this by closing only while its capture runs.
+	t.sending.Wait()
 	close(t.ch)
 	return nil
 }

@@ -1,0 +1,336 @@
+package scanner
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"snmpv3fp/internal/vclock"
+)
+
+// engine drives one campaign: sharded concurrent sending, asynchronous
+// capture, deterministic virtual-time scheduling, and retry passes.
+type engine struct {
+	cfg     Config
+	tr      Transport
+	targets TargetSpace
+	probe   []byte
+
+	// timed / vclk / shardable / positioned cache the optional capability
+	// checks that select the pacing mode.
+	timed      TimedTransport
+	vclk       *vclock.Virtual
+	shardable  ShardableSpace
+	positioned bool
+	// logical is true when probe send times are computed from permutation
+	// slots instead of pacing sleeps: virtual clock + timed transport +
+	// positioned space. In this mode workers run at full host speed and
+	// the campaign is deterministic for any worker count.
+	logical bool
+	workers int
+
+	// capture state.
+	captureWG sync.WaitGroup
+	mu        sync.Mutex
+	drained   *sync.Cond
+	responses []Response
+	// responders is every source address seen so far; retry passes skip
+	// these.
+	responders  map[netip.Addr]struct{}
+	consumed    uint64
+	captureDone bool
+	recvErr     error
+
+	// campaign statistics (see stats.go for the snapshot view).
+	sent       atomic.Uint64
+	received   atomic.Uint64
+	retried    atomic.Uint64
+	sendErrs   atomic.Uint64
+	pass       atomic.Int64
+	shardSent  []atomic.Uint64
+	shardDone  []atomic.Bool
+	startWall  time.Time
+	startClock time.Time
+	progressMu sync.Mutex
+
+	// cancellation on first send failure.
+	cancel     chan struct{}
+	cancelOnce sync.Once
+	errMu      sync.Mutex
+	firstErr   error
+}
+
+func newEngine(tr Transport, targets TargetSpace, cfg Config, probe []byte) *engine {
+	e := &engine{
+		cfg:        cfg,
+		tr:         tr,
+		targets:    targets,
+		probe:      probe,
+		responders: make(map[netip.Addr]struct{}),
+		cancel:     make(chan struct{}),
+		startWall:  time.Now(),
+		startClock: cfg.Clock.Now(),
+	}
+	e.drained = sync.NewCond(&e.mu)
+	e.timed, _ = tr.(TimedTransport)
+	e.vclk, _ = cfg.Clock.(*vclock.Virtual)
+	e.shardable, _ = targets.(ShardableSpace)
+	_, e.positioned = targets.(PositionedSpace)
+	e.logical = e.vclk != nil && e.timed != nil && e.positioned
+
+	e.workers = cfg.Workers
+	if e.shardable == nil {
+		// A plain TargetSpace cannot be split across workers, nor walked a
+		// second time for a retry pass.
+		e.workers = 1
+		e.cfg.Retries = 0
+	}
+	e.shardSent = make([]atomic.Uint64, e.workers)
+	e.shardDone = make([]atomic.Bool, e.workers)
+	return e
+}
+
+// run executes every pass of the campaign. The caller closes the transport
+// and joins the capture goroutine afterwards, on success and failure alike.
+func (e *engine) run(res *Result) error {
+	e.captureWG.Add(1)
+	go e.capture()
+
+	passStart := res.Started
+	for pass := 0; pass <= e.cfg.Retries; pass++ {
+		e.pass.Store(int64(pass))
+		var skip map[netip.Addr]struct{}
+		if pass > 0 {
+			// The quiesce barrier after the previous pass made this
+			// snapshot complete, so the retry set is exact (and, under the
+			// virtual clock, deterministic).
+			skip = e.snapshotResponders()
+		}
+		shards, err := e.passShards()
+		if err != nil {
+			return err
+		}
+		e.runPass(pass, shards, skip, passStart)
+		if err := e.sendError(); err != nil {
+			return err
+		}
+		var slots uint64
+		if ps, ok := e.targets.(PositionedSpace); ok {
+			// Slots is invariant under consumption and sharding, so the
+			// caller's space reports the full pass timeline.
+			slots = ps.Slots()
+		}
+		passStart = e.endPass(passStart, slots)
+		e.quiesce()
+	}
+	return nil
+}
+
+// passShards builds one fresh walk per worker. Shards are cut from the
+// caller's (unconsumed) space, so each pass re-walks the same permutation.
+func (e *engine) passShards() ([]TargetSpace, error) {
+	if e.shardable == nil {
+		return []TargetSpace{e.targets}, nil
+	}
+	shards := make([]TargetSpace, e.workers)
+	for i := range shards {
+		s, err := e.shardable.Shard(i, e.workers)
+		if err != nil {
+			return nil, fmt.Errorf("scanner: sharding targets: %w", err)
+		}
+		shards[i] = s
+	}
+	return shards, nil
+}
+
+// runPass fans the shards out to workers and waits for them.
+func (e *engine) runPass(pass int, shards []TargetSpace, skip map[netip.Addr]struct{}, passStart time.Time) {
+	var wg sync.WaitGroup
+	coordinate := !e.logical && e.vclk != nil && e.workers > 1
+	for i, shard := range shards {
+		e.shardDone[i].Store(false)
+		wg.Add(1)
+		if coordinate {
+			// Register pacing sleepers up front so the virtual clock only
+			// advances when the whole group is blocked: N workers advance
+			// the timeline like N parallel machines, not N times as fast.
+			e.vclk.Join()
+		}
+		go func(i int, shard TargetSpace) {
+			defer wg.Done()
+			if coordinate {
+				defer e.vclk.Leave()
+			}
+			e.worker(pass, i, shard, skip, passStart)
+		}(i, shard)
+	}
+	wg.Wait()
+}
+
+// worker walks one shard, sending a probe per target. In logical mode the
+// probe timestamp is computed from the target's permutation slot; otherwise
+// the worker paces itself with token-bucket sleeps on the campaign clock.
+func (e *engine) worker(pass, shard int, space TargetSpace, skip map[netip.Addr]struct{}, passStart time.Time) {
+	defer e.shardDone[shard].Store(true)
+	ps, _ := space.(PositionedSpace)
+	batch := 0
+	for {
+		select {
+		case <-e.cancel:
+			return
+		default:
+		}
+		var (
+			addr netip.Addr
+			pos  uint64
+			ok   bool
+		)
+		if ps != nil {
+			addr, pos, ok = ps.NextPos()
+		} else {
+			addr, ok = space.Next()
+		}
+		if !ok {
+			break
+		}
+		if skip != nil {
+			if _, responded := skip[addr]; responded {
+				// A skipped target still owns its slot in the logical
+				// timeline, which keeps retry timestamps deterministic.
+				continue
+			}
+		}
+		var err error
+		if e.logical {
+			err = e.timed.SendAt(addr, e.probe, passStart.Add(e.slotOffset(pos)))
+		} else {
+			err = e.tr.Send(addr, e.probe)
+		}
+		if err != nil {
+			e.sendErrs.Add(1)
+			e.fail(fmt.Errorf("scanner: sending to %v: %w", addr, err))
+			return
+		}
+		e.noteSent(shard, pass)
+		if !e.logical {
+			batch++
+			if batch >= e.cfg.Batch {
+				e.cfg.Clock.Sleep(e.paceDuration(batch))
+				batch = 0
+			}
+		}
+	}
+	if !e.logical && batch > 0 {
+		e.cfg.Clock.Sleep(e.paceDuration(batch))
+	}
+}
+
+// endPass advances the campaign clock past the pass's send window plus the
+// drain timeout, and returns the start of the next pass's timeline.
+func (e *engine) endPass(passStart time.Time, slots uint64) time.Time {
+	if e.logical {
+		// Workers never slept: reconcile the shared clock with the logical
+		// timeline in one deterministic step.
+		sendEnd := passStart.Add(e.slotOffset(slots))
+		e.vclk.Set(sendEnd)
+		e.cfg.Clock.Sleep(e.cfg.Timeout)
+		return sendEnd.Add(e.cfg.Timeout)
+	}
+	// Paced mode: workers already slept through the send window.
+	e.cfg.Clock.Sleep(e.cfg.Timeout)
+	return e.cfg.Clock.Now()
+}
+
+// slotOffset maps a permutation slot to its offset in the pass timeline:
+// slot p is probed p/Rate seconds in. Computed without the truncation that
+// made per-probe intervals collapse to zero at extreme rates.
+func (e *engine) slotOffset(pos uint64) time.Duration {
+	rate := uint64(e.cfg.Rate)
+	sec := pos / rate
+	rem := pos % rate
+	return time.Duration(sec)*time.Second + time.Duration(rem*uint64(time.Second)/rate)
+}
+
+// paceDuration is how long one worker sleeps after sending n probes so the
+// aggregate across Workers matches Config.Rate. Derived from Rate directly
+// (n * Workers / Rate seconds); the clamps in fill() keep the arithmetic in
+// range.
+func (e *engine) paceDuration(n int) time.Duration {
+	probes := uint64(n) * uint64(e.workers)
+	rate := uint64(e.cfg.Rate)
+	sec := probes / rate
+	rem := probes % rate
+	return time.Duration(sec)*time.Second + time.Duration(rem*uint64(time.Second)/rate)
+}
+
+// capture drains the transport until Close delivers io.EOF, recording every
+// response and maintaining the responder set for retry passes.
+func (e *engine) capture() {
+	defer e.captureWG.Done()
+	for {
+		src, payload, at, err := e.tr.Recv()
+		e.mu.Lock()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				e.recvErr = err
+			}
+			e.captureDone = true
+			e.drained.Broadcast()
+			e.mu.Unlock()
+			return
+		}
+		e.responses = append(e.responses, Response{Src: src, Payload: payload, At: at})
+		e.responders[src] = struct{}{}
+		e.consumed++
+		e.drained.Broadcast()
+		e.mu.Unlock()
+		e.received.Add(1)
+	}
+}
+
+// quiesce blocks until the capture goroutine has consumed every response
+// the transport has queued so far. Without a ResponseCounter transport the
+// drain timeout is the only barrier, and the responder snapshot is best
+// effort (fine for real networks, where in-flight loss is inherent).
+func (e *engine) quiesce() {
+	rc, ok := e.tr.(ResponseCounter)
+	if !ok {
+		return
+	}
+	want := rc.QueuedResponses()
+	e.mu.Lock()
+	for e.consumed < want && !e.captureDone {
+		e.drained.Wait()
+	}
+	e.mu.Unlock()
+}
+
+func (e *engine) snapshotResponders() map[netip.Addr]struct{} {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	snap := make(map[netip.Addr]struct{}, len(e.responders))
+	for a := range e.responders {
+		snap[a] = struct{}{}
+	}
+	return snap
+}
+
+// fail records the first send error and cancels the remaining workers.
+func (e *engine) fail(err error) {
+	e.errMu.Lock()
+	if e.firstErr == nil {
+		e.firstErr = err
+	}
+	e.errMu.Unlock()
+	e.cancelOnce.Do(func() { close(e.cancel) })
+}
+
+func (e *engine) sendError() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.firstErr
+}

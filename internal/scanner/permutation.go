@@ -24,6 +24,15 @@ type Permutation struct {
 	// cycleLeft counts the remaining cycle positions to visit; positions
 	// holding values >= n are skipped silently.
 	cycleLeft uint64
+	// posOffset/posStride map this (possibly sharded) walk's steps back to
+	// slot positions of the sequence it was sharded from: step k visits
+	// slot posOffset + k*posStride. The engine schedules probe send times
+	// from these slots, so a target's virtual timestamp is a pure function
+	// of the seed — independent of how many shards walk the space.
+	posOffset uint64
+	posStride uint64
+	// steps counts cycle steps taken, including skipped positions.
+	steps uint64
 }
 
 // NewPermutation builds a permutation of [0, n) from the seed.
@@ -44,7 +53,7 @@ func NewPermutation(n uint64, seed int64) (*Permutation, error) {
 	}
 	c := splitmix(&s)&(m-1) | 1
 	start := splitmix(&s) & (m - 1)
-	return &Permutation{n: n, m: m, mask: m - 1, a: a, c: c, state: start, cycleLeft: m}, nil
+	return &Permutation{n: n, m: m, mask: m - 1, a: a, c: c, state: start, cycleLeft: m, posStride: 1}, nil
 }
 
 // splitmix is a splitmix64 step used to derive permutation parameters.
@@ -59,17 +68,75 @@ func splitmix(s *uint64) uint64 {
 // Next returns the next index, and false once the permutation (or this
 // shard of it) is exhausted.
 func (p *Permutation) Next() (uint64, bool) {
+	v, _, ok := p.NextPos()
+	return v, ok
+}
+
+// NextPos returns the next index together with the slot position it
+// occupies in the sequence this walk was sharded from (the walk itself,
+// when unsharded). Skipped cycle positions consume slots, so the slot of a
+// given index is identical no matter how the space is sharded.
+func (p *Permutation) NextPos() (idx, pos uint64, ok bool) {
 	for p.cycleLeft > 0 {
 		v := p.state
+		pos = p.posOffset + p.steps*p.posStride
 		p.state = (p.a*p.state + p.c) & p.mask
 		p.cycleLeft--
+		p.steps++
 		if v < p.n {
-			return v, true
+			return v, pos, true
 		}
 	}
-	return 0, false
+	return 0, 0, false
 }
 
 // Remaining reports how many cycle positions are still to be visited (an
 // upper bound on the indices still to come).
 func (p *Permutation) Remaining() uint64 { return p.cycleLeft }
+
+// Slots reports the total number of cycle slots this walk visits, counting
+// the silently skipped positions. It is the campaign scheduler's timeline
+// length: probing one slot per 1/rate seconds covers the walk in
+// Slots()/rate seconds.
+func (p *Permutation) Slots() uint64 { return p.cycleLeft + p.steps }
+
+// Shard splits an unconsumed walk into shard `shard` of `totalShards`,
+// following ZMap's mechanism: the shard steps through every totalShards-th
+// position of the parent sequence, starting at position `shard`, so shards
+// are pairwise disjoint and their union is exactly the parent walk. Shards
+// of shards compose: sharding a shard partitions that shard's sequence.
+func (p *Permutation) Shard(shard, totalShards int) (*Permutation, error) {
+	if totalShards <= 0 || shard < 0 || shard >= totalShards {
+		return nil, fmt.Errorf("scanner: shard %d of %d invalid", shard, totalShards)
+	}
+	if p.steps != 0 {
+		return nil, fmt.Errorf("scanner: cannot shard a partially consumed permutation")
+	}
+	s := &Permutation{
+		n: p.n, m: p.m, mask: p.mask,
+		a: p.a, c: p.c, state: p.state,
+		posOffset: p.posOffset + uint64(shard)*p.posStride,
+		posStride: p.posStride * uint64(totalShards),
+	}
+	if totalShards == 1 {
+		s.cycleLeft = p.cycleLeft
+		return s, nil
+	}
+	// Advance the start to this shard's first position.
+	for i := 0; i < shard; i++ {
+		s.state = (s.a*s.state + s.c) & s.mask
+	}
+	// Compose the LCG with itself totalShards times: applying
+	// x -> a·x + c k times equals x -> a^k·x + c·(a^(k-1) + … + a + 1),
+	// all modulo the power-of-two m. The shard then steps through every
+	// k-th position of the parent sequence.
+	s.a, s.c = composeLCG(p.a, p.c, p.mask, totalShards)
+	// This shard owns ceil((parentSlots - shard) / k) positions (zero when
+	// there are more shards than slots left).
+	if uint64(shard) >= p.cycleLeft {
+		s.cycleLeft = 0
+	} else {
+		s.cycleLeft = (p.cycleLeft - uint64(shard) + uint64(totalShards) - 1) / uint64(totalShards)
+	}
+	return s, nil
+}

@@ -1,11 +1,11 @@
 package scanner
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
-	"io"
 	"net/netip"
-	"sync"
+	"sort"
 	"time"
 
 	"snmpv3fp/internal/snmp"
@@ -26,6 +26,27 @@ type Transport interface {
 	Close() error
 }
 
+// TimedTransport is a Transport that can emit a probe at a caller-chosen
+// logical instant. Simulated transports implement it so the engine can
+// schedule every probe's virtual send time from its permutation slot: the
+// timestamp becomes a pure function of the seed, which is what keeps
+// multi-worker virtual campaigns bit-identical to single-worker ones.
+type TimedTransport interface {
+	Transport
+	// SendAt transmits one probe payload to dst at logical time at.
+	SendAt(dst netip.Addr, payload []byte, at time.Time) error
+}
+
+// ResponseCounter is implemented by transports that can report how many
+// response datagrams they have queued for delivery so far. The engine uses
+// it between passes to wait until the capture goroutine has consumed every
+// queued response, so the retry pass sees an exact non-responder set.
+type ResponseCounter interface {
+	// QueuedResponses returns the total number of response datagrams queued
+	// for Recv since the transport was opened.
+	QueuedResponses() uint64
+}
+
 // Response is one captured datagram.
 type Response struct {
 	Src     netip.Addr
@@ -35,25 +56,61 @@ type Response struct {
 
 // Config tunes a campaign.
 type Config struct {
-	// Rate is the probe rate in packets per second (the paper probes IPv4
-	// at 5 kpps and IPv6 at 20 kpps).
+	// Rate is the aggregate probe rate in packets per second (the paper
+	// probes IPv4 at 5 kpps and IPv6 at 20 kpps), split evenly across the
+	// workers. Clamped to [1, 1e9].
 	Rate int
-	// Batch is how many probes are sent between pacing sleeps.
+	// Batch is how many probes each worker sends between pacing sleeps.
 	Batch int
-	// Timeout is the drain period after the last probe.
+	// Timeout is the drain period after the last probe of each pass.
 	Timeout time.Duration
 	// Clock paces the campaign; defaults to the wall clock.
 	Clock vclock.Clock
 	// Seed randomizes probe IDs.
 	Seed int64
+	// Workers is the number of concurrent send goroutines; each walks its
+	// own ZMap-style shard of the target space with its own token-bucket
+	// pacing at Rate/Workers. Defaults to 1. Clamped to 1 when the target
+	// space does not implement ShardableSpace. Under the virtual clock,
+	// results are identical for any worker count.
+	Workers int
+	// Retries is how many extra passes re-probe the targets that have not
+	// responded by the end of the previous pass's drain window (the
+	// paper's §4.2 loss handling). Requires a ShardableSpace; clamped to 0
+	// otherwise.
+	Retries int
+	// Progress, when non-nil, receives campaign statistics snapshots
+	// roughly every ProgressEvery probes and once at completion. It is
+	// never called concurrently with itself.
+	Progress func(Snapshot)
+	// ProgressEvery is the number of probes between Progress callbacks
+	// (default 65536).
+	ProgressEvery int
 }
+
+const (
+	// maxRate caps Rate at one probe per nanosecond: beyond that pacing
+	// arithmetic degenerates (the pre-clamp code silently disabled pacing
+	// because the per-probe interval truncated to zero).
+	maxRate = int(time.Second) // 1e9 pps
+	// maxBatch and maxWorkers bound the pacing arithmetic so duration
+	// computations cannot overflow int64 nanoseconds.
+	maxBatch   = 1 << 20
+	maxWorkers = 4096
+)
 
 func (c *Config) fill() {
 	if c.Rate <= 0 {
 		c.Rate = 5000
 	}
+	if c.Rate > maxRate {
+		c.Rate = maxRate
+	}
 	if c.Batch <= 0 {
 		c.Batch = 64
+	}
+	if c.Batch > maxBatch {
+		c.Batch = maxBatch
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 8 * time.Second
@@ -61,41 +118,44 @@ func (c *Config) fill() {
 	if c.Clock == nil {
 		c.Clock = vclock.Real{}
 	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Workers > maxWorkers {
+		c.Workers = maxWorkers
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.ProgressEvery <= 0 {
+		c.ProgressEvery = 65536
+	}
 }
 
 // Result summarizes a campaign.
 type Result struct {
-	Sent      uint64
+	// Sent counts every probe transmitted, retries included.
+	Sent uint64
+	// Retried counts the probes re-sent by retry passes.
+	Retried uint64
+	// Responses holds every captured datagram in canonical order (receive
+	// time, then source, then payload) so a campaign's result is
+	// reproducible regardless of worker scheduling.
 	Responses []Response
 	Started   time.Time
 	Finished  time.Time
 }
 
-// Scan runs one campaign: it walks the target space in permuted order at the
-// configured rate, sending one SNMPv3 discovery probe per target, while a
+// Scan runs one campaign: N worker goroutines walk disjoint shards of the
+// target space in permuted order, collectively pacing to the configured
+// aggregate rate and sending one SNMPv3 discovery probe per target, while a
 // capture goroutine collects every response until the post-send timeout.
+// Optional retry passes re-probe the remaining non-responders.
+//
+// The transport is closed on every exit path, including mid-campaign send
+// failures, so the capture goroutine never leaks.
 func Scan(tr Transport, targets TargetSpace, cfg Config) (*Result, error) {
 	cfg.fill()
-	res := &Result{Started: cfg.Clock.Now()}
-
-	var wg sync.WaitGroup
-	wg.Add(1)
-	var recvErr error
-	go func() {
-		defer wg.Done()
-		for {
-			src, payload, at, err := tr.Recv()
-			if err != nil {
-				if !errors.Is(err, io.EOF) {
-					recvErr = err
-				}
-				return
-			}
-			res.Responses = append(res.Responses, Response{Src: src, Payload: payload, At: at})
-		}
-	}()
-
-	interval := time.Second / time.Duration(cfg.Rate)
 	// One stateless probe serves the whole campaign (as in ZMap, per-target
 	// state would defeat the point); responses are matched by source
 	// address.
@@ -103,34 +163,38 @@ func Scan(tr Transport, targets TargetSpace, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scanner: building probe: %w", err)
 	}
-	batch := 0
-	for {
-		target, ok := targets.Next()
-		if !ok {
-			break
-		}
-		if err := tr.Send(target, probe); err != nil {
-			return nil, fmt.Errorf("scanner: sending to %v: %w", target, err)
-		}
-		res.Sent++
-		batch++
-		if batch >= cfg.Batch {
-			cfg.Clock.Sleep(interval * time.Duration(batch))
-			batch = 0
-		}
-	}
-	if batch > 0 {
-		cfg.Clock.Sleep(interval * time.Duration(batch))
-	}
-	// Drain period, then stop the capture.
-	cfg.Clock.Sleep(cfg.Timeout)
-	if err := tr.Close(); err != nil {
+
+	e := newEngine(tr, targets, cfg, probe)
+	res := &Result{Started: cfg.Clock.Now()}
+	runErr := e.run(res)
+	// Every exit path releases the transport and joins the capture
+	// goroutine; the capture unblocks on the io.EOF that Close guarantees.
+	closeErr := e.tr.Close()
+	e.captureWG.Wait()
+	if err := errors.Join(runErr, closeErr, e.recvErr); err != nil {
 		return nil, err
 	}
-	wg.Wait()
-	if recvErr != nil {
-		return nil, recvErr
-	}
+	res.Responses = e.responses
+	sortResponses(res.Responses)
+	res.Sent = e.sent.Load()
+	res.Retried = e.retried.Load()
 	res.Finished = cfg.Clock.Now()
+	e.fireProgress(true)
 	return res, nil
+}
+
+// sortResponses orders captured datagrams canonically: by receive time,
+// then source address, then payload bytes. Arrival order through the shared
+// capture channel depends on worker interleaving; the canonical order does
+// not, so equal campaigns produce equal Results.
+func sortResponses(rs []Response) {
+	sort.SliceStable(rs, func(i, j int) bool {
+		if !rs[i].At.Equal(rs[j].At) {
+			return rs[i].At.Before(rs[j].At)
+		}
+		if rs[i].Src != rs[j].Src {
+			return rs[i].Src.Less(rs[j].Src)
+		}
+		return bytes.Compare(rs[i].Payload, rs[j].Payload) < 0
+	})
 }

@@ -1,35 +1,18 @@
 package scanner
 
-import "fmt"
-
 // NewPermutationShard builds shard `shard` of `totalShards` over [0, n):
 // the full-cycle permutation is partitioned by position, so the shards are
 // pairwise disjoint and their union is exactly the full target space. This
 // is ZMap's sharding mechanism, used to split one Internet-wide campaign
-// across probing machines without coordination.
+// across probing machines without coordination. The same mechanism splits
+// one machine's campaign across the engine's worker goroutines — see
+// Permutation.Shard, which this wraps.
 func NewPermutationShard(n uint64, seed int64, shard, totalShards int) (*Permutation, error) {
-	if totalShards <= 0 || shard < 0 || shard >= totalShards {
-		return nil, fmt.Errorf("scanner: shard %d of %d invalid", shard, totalShards)
-	}
 	p, err := NewPermutation(n, seed)
 	if err != nil {
 		return nil, err
 	}
-	if totalShards == 1 {
-		return p, nil
-	}
-	// Advance the start to this shard's first position.
-	for i := 0; i < shard; i++ {
-		p.state = (p.a*p.state + p.c) & p.mask
-	}
-	// Compose the LCG with itself totalShards times: applying
-	// x -> a·x + c k times equals x -> a^k·x + c·(a^(k-1) + … + a + 1),
-	// all modulo the power-of-two m. The shard then steps through every
-	// k-th position of the full cycle.
-	p.a, p.c = composeLCG(p.a, p.c, p.mask, totalShards)
-	// This shard owns ceil((m - shard) / k) positions of the cycle.
-	p.cycleLeft = (p.m - uint64(shard) + uint64(totalShards) - 1) / uint64(totalShards)
-	return p, nil
+	return p.Shard(shard, totalShards)
 }
 
 // composeLCG returns the multiplier and increment of the k-fold composition

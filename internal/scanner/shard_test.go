@@ -1,0 +1,124 @@
+package scanner
+
+import "testing"
+
+func TestShardOfShardComposes(t *testing.T) {
+	// Sharding a shard must partition that shard's slots: 3 outer × 2 inner
+	// sub-shards together cover the full walk exactly once, and every value
+	// keeps the slot position it has in the unsharded sequence.
+	const n = 1000
+	full, err := NewPermutation(n, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	posToIdx := map[uint64]uint64{}
+	for {
+		idx, pos, ok := full.NextPos()
+		if !ok {
+			break
+		}
+		posToIdx[pos] = idx
+	}
+
+	parent, _ := NewPermutation(n, 11)
+	seen := map[uint64]int{}
+	for outer := 0; outer < 3; outer++ {
+		mid, err := parent.Shard(outer, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for inner := 0; inner < 2; inner++ {
+			sub, err := mid.Shard(inner, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for {
+				idx, pos, ok := sub.NextPos()
+				if !ok {
+					break
+				}
+				want, known := posToIdx[pos]
+				if !known {
+					t.Fatalf("shard %d.%d emitted unknown slot %d", outer, inner, pos)
+				}
+				if want != idx {
+					t.Fatalf("shard %d.%d slot %d = %d, full walk has %d", outer, inner, pos, idx, want)
+				}
+				seen[idx]++
+			}
+		}
+	}
+	if uint64(len(seen)) != n {
+		t.Fatalf("sub-shards covered %d of %d values", len(seen), n)
+	}
+	for v, count := range seen {
+		if count != 1 {
+			t.Fatalf("value %d emitted %d times across sub-shards", v, count)
+		}
+	}
+}
+
+func TestSlotsInvariant(t *testing.T) {
+	// Slots is the pass timeline length: the power-of-two cycle size,
+	// unchanged by walking or sharding — that invariance is what makes the
+	// engine's slot-indexed probe timestamps worker-count independent.
+	p, _ := NewPermutation(1000, 5)
+	total := p.Slots()
+	if total != 1024 {
+		t.Fatalf("Slots = %d, want 1024", total)
+	}
+	p.Next()
+	p.Next()
+	if p.Slots() != total {
+		t.Errorf("Slots changed to %d after consumption", p.Slots())
+	}
+
+	parent, _ := NewPermutation(1000, 5)
+	var sum uint64
+	for i := 0; i < 4; i++ {
+		s, err := parent.Shard(i, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += s.Slots()
+	}
+	if sum != total {
+		t.Errorf("shard slots sum to %d, want %d", sum, total)
+	}
+}
+
+func TestShardConsumedWalkRejected(t *testing.T) {
+	p, _ := NewPermutation(100, 1)
+	p.Next()
+	if _, err := p.Shard(0, 2); err == nil {
+		t.Error("sharding a partially consumed walk must error")
+	}
+}
+
+func TestShardMoreShardsThanSlots(t *testing.T) {
+	// More shards than cycle slots: the excess shards are empty, the rest
+	// still partition the space.
+	const n = 3 // cycle size 4
+	seen := map[uint64]int{}
+	for i := 0; i < 8; i++ {
+		p, err := NewPermutationShard(n, 2, i, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			v, ok := p.Next()
+			if !ok {
+				break
+			}
+			seen[v]++
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("covered %d of %d", len(seen), n)
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("value %d seen %d times", v, c)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package scanner
+
+import "time"
+
+// Snapshot is a point-in-time view of a running (or finished) campaign,
+// delivered through Config.Progress so callers can report live throughput.
+type Snapshot struct {
+	// Targets is the size of the target space.
+	Targets uint64
+	// Sent counts probes transmitted so far, retries included.
+	Sent uint64
+	// Received counts response datagrams captured so far.
+	Received uint64
+	// Retried counts probes re-sent by retry passes.
+	Retried uint64
+	// SendErrors counts failed Send calls.
+	SendErrors uint64
+	// Pass is the current pass index (0 = initial sweep, >0 = retries).
+	Pass int
+	// Done is true for the final snapshot of the campaign.
+	Done bool
+	// Elapsed is time spent on the campaign clock (virtual time for
+	// simulated campaigns).
+	Elapsed time.Duration
+	// WallElapsed is real time spent since the campaign started.
+	WallElapsed time.Duration
+	// AchievedRate is Sent divided by WallElapsed, in probes per second of
+	// real time — the hardware-speed figure of merit for simulated runs.
+	AchievedRate float64
+	// Shards reports per-worker progress.
+	Shards []ShardProgress
+}
+
+// ShardProgress is one worker's slice of the campaign.
+type ShardProgress struct {
+	// Shard is the worker's shard index.
+	Shard int
+	// Sent counts probes this shard transmitted, across all passes.
+	Sent uint64
+	// Done is true once the worker finished its current pass.
+	Done bool
+}
+
+// noteSent records one transmitted probe and fires the Progress callback on
+// interval boundaries.
+func (e *engine) noteSent(shard, pass int) {
+	e.shardSent[shard].Add(1)
+	if pass > 0 {
+		e.retried.Add(1)
+	}
+	n := e.sent.Add(1)
+	if e.cfg.Progress != nil && n%uint64(e.cfg.ProgressEvery) == 0 {
+		e.fireProgress(false)
+	}
+}
+
+// fireProgress builds and delivers a Snapshot. progressMu serializes
+// callbacks, so Config.Progress never races with itself.
+func (e *engine) fireProgress(done bool) {
+	if e.cfg.Progress == nil {
+		return
+	}
+	e.progressMu.Lock()
+	defer e.progressMu.Unlock()
+	e.cfg.Progress(e.snapshot(done))
+}
+
+func (e *engine) snapshot(done bool) Snapshot {
+	s := Snapshot{
+		Targets:     e.targets.Size(),
+		Sent:        e.sent.Load(),
+		Received:    e.received.Load(),
+		Retried:     e.retried.Load(),
+		SendErrors:  e.sendErrs.Load(),
+		Pass:        int(e.pass.Load()),
+		Done:        done,
+		Elapsed:     e.cfg.Clock.Now().Sub(e.startClock),
+		WallElapsed: time.Since(e.startWall),
+		Shards:      make([]ShardProgress, len(e.shardSent)),
+	}
+	if s.WallElapsed > 0 {
+		s.AchievedRate = float64(s.Sent) / s.WallElapsed.Seconds()
+	}
+	for i := range e.shardSent {
+		s.Shards[i] = ShardProgress{Shard: i, Sent: e.shardSent[i].Load(), Done: e.shardDone[i].Load()}
+	}
+	return s
+}

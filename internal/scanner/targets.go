@@ -15,6 +15,30 @@ type TargetSpace interface {
 	Size() uint64
 }
 
+// ShardableSpace is a TargetSpace that can split itself into pairwise
+// disjoint sub-walks whose union is the whole space. The engine uses it to
+// hand each worker goroutine its own shard; implementations must support
+// sharding only while the space is unconsumed.
+type ShardableSpace interface {
+	TargetSpace
+	// Shard returns sub-walk `shard` of `totalShards`.
+	Shard(shard, totalShards int) (TargetSpace, error)
+}
+
+// PositionedSpace is a TargetSpace that reports, for every target, the slot
+// it occupies in the unsharded permutation cycle. Slot positions are a pure
+// function of the space and seed — identical no matter how the walk is
+// sharded — so the engine can schedule probe send times from them and keep
+// virtual campaigns deterministic across worker counts.
+type PositionedSpace interface {
+	TargetSpace
+	// NextPos is Next plus the target's permutation-cycle slot.
+	NextPos() (addr netip.Addr, pos uint64, ok bool)
+	// Slots is the cycle length in slots (>= Size: slots holding no target
+	// are silently skipped but still consume scheduler time).
+	Slots() uint64
+}
+
 // prefixSpace scans the union of a set of prefixes in permuted order.
 type prefixSpace struct {
 	prefixes []netip.Prefix
@@ -48,12 +72,27 @@ func NewPrefixSpaceShard(prefixes []netip.Prefix, seed int64, shard, totalShards
 	return s, nil
 }
 
-func (s *prefixSpace) Size() uint64 { return s.total }
+func (s *prefixSpace) Size() uint64  { return s.total }
+func (s *prefixSpace) Slots() uint64 { return s.perm.Slots() }
+
+// Shard implements ShardableSpace (vantage shards sub-shard onto workers).
+func (s *prefixSpace) Shard(shard, totalShards int) (TargetSpace, error) {
+	perm, err := s.perm.Shard(shard, totalShards)
+	if err != nil {
+		return nil, err
+	}
+	return &prefixSpace{prefixes: s.prefixes, starts: s.starts, perm: perm, total: s.total}, nil
+}
 
 func (s *prefixSpace) Next() (netip.Addr, bool) {
-	idx, ok := s.perm.Next()
+	a, _, ok := s.NextPos()
+	return a, ok
+}
+
+func (s *prefixSpace) NextPos() (netip.Addr, uint64, bool) {
+	idx, pos, ok := s.perm.NextPos()
 	if !ok {
-		return netip.Addr{}, false
+		return netip.Addr{}, 0, false
 	}
 	// Binary search for the containing prefix.
 	lo, hi := 0, len(s.starts)-1
@@ -65,7 +104,7 @@ func (s *prefixSpace) Next() (netip.Addr, bool) {
 			hi = mid - 1
 		}
 	}
-	return iputil.NthAddr(s.prefixes[lo], idx-s.starts[lo]), true
+	return iputil.NthAddr(s.prefixes[lo], idx-s.starts[lo]), pos, true
 }
 
 // listSpace scans an explicit address list (the IPv6 hitlist case) in
@@ -77,19 +116,39 @@ type listSpace struct {
 
 // NewListSpace builds a permuted target space over an explicit list.
 func NewListSpace(addrs []netip.Addr, seed int64) (TargetSpace, error) {
-	perm, err := NewPermutation(uint64(len(addrs)), seed)
+	return NewListSpaceShard(addrs, seed, 0, 1)
+}
+
+// NewListSpaceShard builds shard `shard` of `totalShards` over the list.
+func NewListSpaceShard(addrs []netip.Addr, seed int64, shard, totalShards int) (TargetSpace, error) {
+	perm, err := NewPermutationShard(uint64(len(addrs)), seed, shard, totalShards)
 	if err != nil {
 		return nil, err
 	}
 	return &listSpace{addrs: addrs, perm: perm}, nil
 }
 
-func (s *listSpace) Size() uint64 { return uint64(len(s.addrs)) }
+func (s *listSpace) Size() uint64  { return uint64(len(s.addrs)) }
+func (s *listSpace) Slots() uint64 { return s.perm.Slots() }
+
+// Shard implements ShardableSpace.
+func (s *listSpace) Shard(shard, totalShards int) (TargetSpace, error) {
+	perm, err := s.perm.Shard(shard, totalShards)
+	if err != nil {
+		return nil, err
+	}
+	return &listSpace{addrs: s.addrs, perm: perm}, nil
+}
 
 func (s *listSpace) Next() (netip.Addr, bool) {
-	idx, ok := s.perm.Next()
+	a, _, ok := s.NextPos()
+	return a, ok
+}
+
+func (s *listSpace) NextPos() (netip.Addr, uint64, bool) {
+	idx, pos, ok := s.perm.NextPos()
 	if !ok {
-		return netip.Addr{}, false
+		return netip.Addr{}, 0, false
 	}
-	return s.addrs[idx], true
+	return s.addrs[idx], pos, true
 }

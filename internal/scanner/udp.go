@@ -14,7 +14,18 @@ type UDPTransport struct {
 	conn *net.UDPConn
 	// Port is the destination port, 161 for SNMP.
 	port uint16
+	// buf is the receive buffer, sized for the largest possible UDP
+	// payload so no datagram is ever silently truncated into corrupt BER.
+	// Recv is called from a single capture goroutine, so one reusable
+	// buffer (with responses copied out) replaces a per-packet allocation.
+	buf [maxUDPPayload]byte
 }
+
+// maxUDPPayload is the largest payload an IPv4/IPv6 UDP datagram can carry.
+// The previous fixed 2048-byte buffer silently truncated anything larger —
+// ReadFromUDPAddrPort discards the excess — handing the parser corrupt BER
+// with no signal.
+const maxUDPPayload = 65535
 
 // NewUDPTransport opens a wildcard UDP socket probing the given destination
 // port.
@@ -41,15 +52,16 @@ func (t *UDPTransport) Send(dst netip.Addr, payload []byte) error {
 // is read, matching how the paper derives last-reboot times from packet
 // receive times.
 func (t *UDPTransport) Recv() (netip.Addr, []byte, time.Time, error) {
-	buf := make([]byte, 2048)
-	n, from, err := t.conn.ReadFromUDPAddrPort(buf)
+	n, from, err := t.conn.ReadFromUDPAddrPort(t.buf[:])
 	if err != nil {
 		if errors.Is(err, net.ErrClosed) {
 			err = io.EOF
 		}
 		return netip.Addr{}, nil, time.Time{}, err
 	}
-	return from.Addr().Unmap(), buf[:n], time.Now(), nil
+	payload := make([]byte, n)
+	copy(payload, t.buf[:n])
+	return from.Addr().Unmap(), payload, time.Now(), nil
 }
 
 // Close implements Transport.

@@ -1,0 +1,74 @@
+package scanner
+
+import (
+	"bytes"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func TestUDPTransportLargeDatagram(t *testing.T) {
+	// Regression for the fixed 2048-byte receive buffer: a response larger
+	// than that was silently truncated into corrupt BER. The transport now
+	// receives up to the UDP maximum intact.
+	peer, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	defer peer.Close()
+	port := uint16(peer.LocalAddr().(*net.UDPAddr).Port)
+
+	tr, err := NewUDPTransport(port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	for _, size := range []int{3000, 60000} {
+		want := make([]byte, size)
+		for i := range want {
+			want[i] = byte(i * 7)
+		}
+		reflected := make(chan error, 1)
+		go func() {
+			buf := make([]byte, maxUDPPayload)
+			if _, from, err := peer.ReadFromUDPAddrPort(buf); err != nil {
+				reflected <- err
+			} else {
+				_, err = peer.WriteToUDPAddrPort(want, from)
+				reflected <- err
+			}
+		}()
+		if err := tr.Send(netip.MustParseAddr("127.0.0.1"), []byte("probe")); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-reflected:
+			if err != nil {
+				if size > 9000 {
+					// Jumbo datagrams can exceed loopback limits on some
+					// kernels; the 3000-byte case is the mandatory one.
+					t.Logf("skipping %d-byte reflection: %v", size, err)
+					continue
+				}
+				t.Fatal(err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("reflector timed out")
+		}
+		src, payload, _, err := tr.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if src != netip.MustParseAddr("127.0.0.1") {
+			t.Errorf("src = %v", src)
+		}
+		if len(payload) != size {
+			t.Fatalf("received %d of %d bytes — datagram truncated", len(payload), size)
+		}
+		if !bytes.Equal(payload, want) {
+			t.Fatalf("%d-byte payload corrupted in transit", size)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualJoinedSleepersOverlap(t *testing.T) {
+	// Joined participants share one timeline: their sleeps overlap the way
+	// real time would, so the clock advances by the longest participant's
+	// schedule, not the sum of everyone's (310 ms here).
+	v := NewVirtual(time.Unix(0, 0))
+	start := v.Now()
+	plans := [][]time.Duration{
+		repeat(10, 10*time.Millisecond), // 100 ms
+		repeat(5, 30*time.Millisecond),  // 150 ms — the longest
+		{60 * time.Millisecond},         // 60 ms
+	}
+	var wg sync.WaitGroup
+	for _, plan := range plans {
+		v.Join()
+		wg.Add(1)
+		go func(plan []time.Duration) {
+			defer wg.Done()
+			defer v.Leave()
+			for _, d := range plan {
+				v.Sleep(d)
+			}
+		}(plan)
+	}
+	wg.Wait()
+	if got := v.Now().Sub(start); got != 150*time.Millisecond {
+		t.Errorf("coordinated timeline advanced %v, want 150ms", got)
+	}
+}
+
+func TestVirtualJoinedUniformWorkers(t *testing.T) {
+	// N identical pacing loops — the scan engine's worker shape — advance
+	// the clock once per round, not N times.
+	v := NewVirtual(time.Unix(0, 0))
+	const workers, rounds = 4, 50
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		v.Join()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer v.Leave()
+			for j := 0; j < rounds; j++ {
+				v.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.Now(); !got.Equal(time.Unix(0, 0).Add(rounds * time.Millisecond)) {
+		t.Errorf("after %d coordinated rounds: %v (uncoordinated would reach %v)",
+			rounds, got, time.Unix(0, 0).Add(workers*rounds*time.Millisecond))
+	}
+}
+
+func TestVirtualUnjoinedSleepersStillSum(t *testing.T) {
+	// Without Join, Sleep keeps the historical semantics: each sleeper
+	// advances the clock independently (additively).
+	v := NewVirtual(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				v.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.Now(); !got.Equal(time.Unix(0, 0).Add(400 * time.Millisecond)) {
+		t.Errorf("unjoined sleeps should sum: %v", got)
+	}
+}
+
+func repeat(n int, d time.Duration) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = d
+	}
+	return out
+}

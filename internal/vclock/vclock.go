@@ -32,14 +32,31 @@ func (Real) Sleep(d time.Duration) { time.Sleep(d) }
 
 // Virtual is a deterministic clock that advances only when slept on. It is
 // safe for concurrent use.
+//
+// By default every Sleep advances the clock immediately, so concurrent
+// sleepers each push time forward independently — correct for a single
+// pacing loop, but a group of N workers pacing one campaign would advance
+// the timeline N times too fast. Workers that share a timeline register
+// with Join; while participants are registered, Sleep coordinates them the
+// way real time would: the clock only advances once every participant is
+// blocked, and it advances to the earliest pending deadline, waking exactly
+// the sleepers that are due.
 type Virtual struct {
-	mu  sync.Mutex
-	now time.Time
+	mu   sync.Mutex
+	cond *sync.Cond
+	now  time.Time
+	// participants is the number of Joined workers sharing the timeline.
+	participants int
+	// pending holds the absolute wake deadlines of currently blocked
+	// participant sleeps.
+	pending []time.Time
 }
 
 // NewVirtual returns a virtual clock starting at the given instant.
 func NewVirtual(start time.Time) *Virtual {
-	return &Virtual{now: start}
+	v := &Virtual{now: start}
+	v.cond = sync.NewCond(&v.mu)
+	return v
 }
 
 // Now implements Clock.
@@ -49,23 +66,81 @@ func (v *Virtual) Now() time.Time {
 	return v.now
 }
 
-// Sleep implements Clock by advancing the virtual time without blocking.
+// Join registers the caller as a coordinated participant: its Sleeps (and
+// those of the other participants) will advance the clock like real time —
+// overlapping, not additive. Every Join must be paired with a Leave.
+func (v *Virtual) Join() {
+	v.mu.Lock()
+	v.participants++
+	v.mu.Unlock()
+}
+
+// Leave deregisters a participant. A departing worker may be the last one
+// the rest of the group was waiting on, so the clock is re-evaluated.
+func (v *Virtual) Leave() {
+	v.mu.Lock()
+	v.participants--
+	v.advanceIfQuorumLocked()
+	v.mu.Unlock()
+}
+
+// Sleep implements Clock by advancing the virtual time. With no registered
+// participants it advances immediately and never blocks (the historical
+// behavior). With participants, it blocks the caller until the group's
+// coordinated time reaches the caller's deadline.
 func (v *Virtual) Sleep(d time.Duration) {
 	if d <= 0 {
 		return
 	}
 	v.mu.Lock()
-	v.now = v.now.Add(d)
-	v.mu.Unlock()
+	defer v.mu.Unlock()
+	if v.participants <= 1 {
+		v.now = v.now.Add(d)
+		v.cond.Broadcast()
+		return
+	}
+	deadline := v.now.Add(d)
+	v.pending = append(v.pending, deadline)
+	v.advanceIfQuorumLocked()
+	for v.now.Before(deadline) {
+		v.cond.Wait()
+	}
+	// Remove one instance of our deadline from the pending set.
+	for i, t := range v.pending {
+		if t.Equal(deadline) {
+			v.pending = append(v.pending[:i], v.pending[i+1:]...)
+			break
+		}
+	}
+}
+
+// advanceIfQuorumLocked advances the clock to the earliest pending deadline
+// when every registered participant is blocked in Sleep. Callers hold mu.
+func (v *Virtual) advanceIfQuorumLocked() {
+	if v.participants <= 0 || len(v.pending) < v.participants {
+		return
+	}
+	earliest := v.pending[0]
+	for _, t := range v.pending[1:] {
+		if t.Before(earliest) {
+			earliest = t
+		}
+	}
+	if earliest.After(v.now) {
+		v.now = earliest
+	}
+	v.cond.Broadcast()
 }
 
 // Advance moves the clock forward by d (an alias of Sleep that reads better
 // at call sites driving the simulation between campaigns).
 func (v *Virtual) Advance(d time.Duration) { v.Sleep(d) }
 
-// Set jumps the clock to t.
+// Set jumps the clock to t, waking any coordinated sleeper whose deadline
+// the jump reaches.
 func (v *Virtual) Set(t time.Time) {
 	v.mu.Lock()
 	v.now = t
+	v.cond.Broadcast()
 	v.mu.Unlock()
 }

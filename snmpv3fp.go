@@ -60,6 +60,9 @@ type (
 	ScanConfig = scanner.Config
 	// ScanResult is a campaign's raw outcome.
 	ScanResult = scanner.Result
+	// ScanSnapshot is a live progress report from the sharded scan engine,
+	// delivered through ScanConfig.Progress.
+	ScanSnapshot = scanner.Snapshot
 	// Clock abstracts time for pacing (vclock.Real or vclock.Virtual).
 	Clock = vclock.Clock
 	// EngineID is a classified RFC 3411 engine ID.
