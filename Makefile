@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench reproduce examples ci clean
+.PHONY: all build vet test test-short race bench reproduce examples ci fuzz-smoke clean
 
 all: build vet test
 
@@ -27,7 +27,18 @@ race:
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
+	$(MAKE) fuzz-smoke
+
+# 10 seconds of native fuzzing per target. go test accepts one -fuzz target
+# per invocation, so loop over every FuzzXxx the fuzzing packages list.
+fuzz-smoke:
+	@for pkg in ./internal/ber ./internal/snmp; do \
+		for t in $$($(GO) test $$pkg -list '^Fuzz' | grep '^Fuzz'); do \
+			echo "fuzz $$pkg $$t"; \
+			$(GO) test $$pkg -run '^$$' -fuzz "^$$t$$" -fuzztime 10s || exit 1; \
+		done; \
+	done
 
 # Every paper table/figure as benchmarks, plus the ablations.
 bench:

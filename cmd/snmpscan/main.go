@@ -10,6 +10,7 @@
 // Against the simulated Internet:
 //
 //	snmpscan -sim -sim-seed 7
+//	snmpscan -sim -sim-hostile -progress
 package main
 
 import (
@@ -43,11 +44,12 @@ func main() {
 	sim := flag.Bool("sim", false, "scan the simulated Internet instead of real targets")
 	simSeed := flag.Int64("sim-seed", 1, "simulated world seed")
 	simScan := flag.Int("sim-scan", 1, "simulated campaign number: 1 (day 15) or 2 (day 21)")
+	simHostile := flag.Bool("sim-hostile", false, "run the simulated scan through the hostile path-fault layer")
 	flag.Parse()
 
 	eng := engineConfig{workers: *workers, retries: *retries, progress: *progress}
 	if *sim {
-		scanSim(*simSeed, *simScan, *rate, *seed, *jsonOut, eng)
+		scanSim(*simSeed, *simScan, *rate, *seed, *jsonOut, *simHostile, eng)
 		return
 	}
 
@@ -111,12 +113,15 @@ func (e engineConfig) apply(cfg *snmpv3fp.ScanConfig) {
 
 func printProgress(s snmpv3fp.ScanSnapshot) {
 	fmt.Fprintf(os.Stderr,
-		"pass %d: sent %d/%d (retried %d), received %d, %.0f probes/s across %d shards\n",
-		s.Pass+1, s.Sent, s.Targets, s.Retried, s.Received, s.AchievedRate, len(s.Shards))
+		"pass %d: sent %d/%d (retried %d), received %d (off-path %d), %.0f probes/s across %d shards\n",
+		s.Pass+1, s.Sent, s.Targets, s.Retried, s.Received, s.OffPath, s.AchievedRate, len(s.Shards))
 }
 
-func scanSim(simSeed int64, simScan, rate int, seed int64, jsonOut bool, eng engineConfig) {
+func scanSim(simSeed int64, simScan, rate int, seed int64, jsonOut, hostile bool, eng engineConfig) {
 	w := netsim.Generate(netsim.TinyConfig(simSeed))
+	if hostile {
+		w.Cfg.Faults = netsim.HostileProfile()
+	}
 	day := 15
 	if simScan == 2 {
 		day = 21
@@ -144,11 +149,17 @@ func emit(c *snmpv3fp.Campaign, jsonOut bool) {
 		if err := records.WriteCampaign(os.Stdout, c); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "%d responsive IPs, %d response packets (%d malformed)\n",
-			len(c.ByIP), c.TotalPackets, c.Malformed)
+		summary(c)
 		return
 	}
 	printCampaign(c)
+}
+
+// summary prints the campaign totals, including the hostile-path rejection
+// counters, on stderr.
+func summary(c *snmpv3fp.Campaign) {
+	fmt.Fprintf(os.Stderr, "%d responsive IPs, %d response packets (%d malformed, %d truncated, %d mismatched msgID, %d duplicates, %d off-path rejected)\n",
+		len(c.ByIP), c.TotalPackets, c.Malformed, c.Truncated, c.Mismatched, c.Duplicates, c.OffPath)
 }
 
 func printCampaign(c *snmpv3fp.Campaign) {
@@ -158,8 +169,7 @@ func printCampaign(c *snmpv3fp.Campaign) {
 			o.IP, o.EngineID, o.EngineBoots, o.EngineTime,
 			o.LastReboot().UTC().Format(time.RFC3339), fp.VendorLabel())
 	}
-	fmt.Fprintf(os.Stderr, "%d responsive IPs, %d response packets (%d malformed)\n",
-		len(c.ByIP), c.TotalPackets, c.Malformed)
+	summary(c)
 }
 
 func sorted(c *snmpv3fp.Campaign) []*snmpv3fp.Observation {

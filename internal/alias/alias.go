@@ -51,14 +51,27 @@ func (b Binning) apply(t time.Time) int64 {
 	s := t.Unix()
 	switch b {
 	case BinRound:
-		return (s + 5) / 10 * 10
+		return floorDiv(s+5, 10) * 10
 	case BinDiv20:
-		return s / 20
+		return floorDiv(s, 20)
 	case BinDiv20Round:
-		return (s + 10) / 20
+		return floorDiv(s+10, 20)
 	default:
 		return s
 	}
+}
+
+// floorDiv is integer division rounding toward negative infinity. Go's /
+// truncates toward zero, which would make the bins around the Unix epoch
+// twice as wide and round pre-1970 timestamps the wrong way: two reboots one
+// second apart on either side of a bin edge must land in adjacent bins
+// whatever their sign.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
 }
 
 // Variant is one alias-resolution rule.

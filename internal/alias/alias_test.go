@@ -211,3 +211,70 @@ func TestResolveDeterministicOrder(t *testing.T) {
 		}
 	}
 }
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 20, 0}, {19, 20, 0}, {20, 20, 1}, {39, 20, 1},
+		{-1, 20, -1}, {-20, 20, -1}, {-21, 20, -2}, {-40, 20, -2},
+		{7, 10, 0}, {-7, 10, -1},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.want {
+			t.Errorf("floorDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// bin applies a binning rule to a raw Unix-seconds value.
+func bin(b Binning, s int64) int64 { return b.apply(time.Unix(s, 0)) }
+
+func TestBinningNegativeSeconds(t *testing.T) {
+	// Truncating division would fold seconds -19..19 into one double-width
+	// bin around the epoch; floor division keeps every bin 20 s wide, so
+	// two timestamps one second apart across a bin edge always land in
+	// adjacent bins — on both sides of zero.
+	if got := bin(BinDiv20, -1); got != -1 {
+		t.Errorf("BinDiv20(-1) = %d, want -1", got)
+	}
+	if got := bin(BinDiv20, -20); got != -1 {
+		t.Errorf("BinDiv20(-20) = %d, want -1", got)
+	}
+	if got := bin(BinDiv20, -21); got != -2 {
+		t.Errorf("BinDiv20(-21) = %d, want -2", got)
+	}
+	if a, b := bin(BinDiv20, -21), bin(BinDiv20, -20); a+1 != b {
+		t.Errorf("bins across the -20 edge not adjacent: %d, %d", a, b)
+	}
+
+	// Round rules round half up everywhere, negatives included.
+	if got := bin(BinRound, -5); got != 0 {
+		t.Errorf("BinRound(-5) = %d, want 0", got)
+	}
+	if got := bin(BinRound, -6); got != -10 {
+		t.Errorf("BinRound(-6) = %d, want -10", got)
+	}
+	if got := bin(BinDiv20Round, -10); got != 0 {
+		t.Errorf("BinDiv20Round(-10) = %d, want 0", got)
+	}
+	if got := bin(BinDiv20Round, -11); got != -1 {
+		t.Errorf("BinDiv20Round(-11) = %d, want -1", got)
+	}
+}
+
+func TestBinningPositiveEdges(t *testing.T) {
+	if got := bin(BinDiv20, 19); got != 0 {
+		t.Errorf("BinDiv20(19) = %d, want 0", got)
+	}
+	if got := bin(BinDiv20, 20); got != 1 {
+		t.Errorf("BinDiv20(20) = %d, want 1", got)
+	}
+	if got := bin(BinRound, 5); got != 10 {
+		t.Errorf("BinRound(5) = %d, want 10", got)
+	}
+	if got := bin(BinRound, 4); got != 0 {
+		t.Errorf("BinRound(4) = %d, want 0", got)
+	}
+	if got := bin(BinDiv20Round, 10); got != 1 {
+		t.Errorf("BinDiv20Round(10) = %d, want 1", got)
+	}
+}

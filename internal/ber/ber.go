@@ -222,14 +222,20 @@ func AppendUint(dst []byte, v uint64) []byte {
 }
 
 // ParseUint decodes an unsigned INTEGER body (Counter32, Gauge32, TimeTicks,
-// Counter64). Leading 0x00 pads are accepted.
+// Counter64). Leading 0x00 pads are accepted — all of them, not just the
+// single pad a minimal encoder emits: lenient agents in the wild pad freely,
+// and the body length is already bounded by the TLV length cap, so the strip
+// loop cannot run away.
 func ParseUint(body []byte) (uint64, error) {
 	if len(body) == 0 {
 		return 0, ErrTruncated
 	}
-	if body[0] == 0x00 {
+	padded := false
+	for len(body) > 1 && body[0] == 0x00 {
 		body = body[1:]
-	} else if body[0]&0x80 != 0 {
+		padded = true
+	}
+	if !padded && body[0]&0x80 != 0 {
 		return 0, ErrIntegerRange
 	}
 	if len(body) > 8 {

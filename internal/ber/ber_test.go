@@ -145,6 +145,40 @@ func TestUintHighBitPadding(t *testing.T) {
 	}
 }
 
+func TestUintMultiPad(t *testing.T) {
+	// Lenient encoders pad with more than the one 0x00 octet a minimal
+	// encoding needs; every pad must be stripped, and the value bytes after
+	// the pads may legitimately lead with a set top bit.
+	cases := []struct {
+		body []byte
+		want uint64
+	}{
+		{[]byte{0x00}, 0},
+		{[]byte{0x00, 0x00}, 0},
+		{[]byte{0x00, 0x00, 0x00, 0x00}, 0},
+		{[]byte{0x00, 0x00, 0x85}, 0x85},
+		{[]byte{0x00, 0x00, 0x00, 0x2A}, 0x2A},
+		{[]byte{0x00, 0x00, 0xFF, 0xFF, 0xFF, 0xFF}, math.MaxUint32},
+		{append(bytes.Repeat([]byte{0x00}, 5), 0xDE, 0xAD, 0xBE, 0xEF), 0xDEADBEEF},
+		{append(bytes.Repeat([]byte{0x00}, 3),
+			0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF), math.MaxUint64},
+	}
+	for _, c := range cases {
+		got, err := ParseUint(c.body)
+		if err != nil {
+			t.Errorf("ParseUint(%x): %v", c.body, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseUint(%x) = %d, want %d", c.body, got, c.want)
+		}
+	}
+	// More than 8 value bytes stays out of range even behind pads.
+	if _, err := ParseUint(append([]byte{0x00, 0x00}, bytes.Repeat([]byte{0x01}, 9)...)); err == nil {
+		t.Error("ParseUint of 9 value bytes behind pads should fail")
+	}
+}
+
 func TestOIDRoundTrip(t *testing.T) {
 	oids := [][]uint32{
 		{1, 3},

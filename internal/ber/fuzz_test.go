@@ -1,0 +1,55 @@
+package ber
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseUint exercises the unsigned INTEGER body decoder with arbitrary
+// bodies, seeded with the multi-pad encodings lenient agents emit. The
+// invariants: no panic, and every accepted body round-trips through the
+// minimal encoder back to an equivalent (pad-stripped) value.
+func FuzzParseUint(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x2A})
+	f.Add([]byte{0x80})
+	f.Add([]byte{0x00, 0x80})
+	f.Add([]byte{0x00, 0x00, 0x85})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00})
+	f.Add([]byte{0x00, 0x00, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(append(bytes.Repeat([]byte{0x00}, 5), 0xDE, 0xAD, 0xBE, 0xEF))
+	f.Add(append(bytes.Repeat([]byte{0x00}, 3),
+		0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF))
+	f.Add(bytes.Repeat([]byte{0x01}, 9))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		v, err := ParseUint(body)
+		if err != nil {
+			return
+		}
+		again, err := ParseUint(AppendUint(nil, v))
+		if err != nil || again != v {
+			t.Fatalf("ParseUint(%x) = %d, re-decode gave (%d, %v)", body, v, again, err)
+		}
+	})
+}
+
+// FuzzDecodeTLV checks the TLV framing layer never panics and never returns
+// a value slice extending past the input.
+func FuzzDecodeTLV(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x30, 0x00})
+	f.Add([]byte{0x04, 0x05, 'h', 'e', 'l', 'l', 'o'})
+	f.Add([]byte{0x04, 0x82, 0x01, 0x2C})
+	f.Add([]byte{0x02, 0x01, 0x07, 0x02, 0x01})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		tlv, rest, err := DecodeTLV(buf)
+		if err != nil {
+			return
+		}
+		if len(tlv.Value)+len(rest) > len(buf) {
+			t.Fatalf("DecodeTLV(%x): value %d + rest %d exceed input %d",
+				buf, len(tlv.Value), len(rest), len(buf))
+		}
+	})
+}

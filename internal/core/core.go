@@ -10,10 +10,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"net/netip"
 	"time"
 
+	"snmpv3fp/internal/ber"
 	"snmpv3fp/internal/engineid"
 	"snmpv3fp/internal/scanner"
 	"snmpv3fp/internal/snmp"
@@ -44,11 +46,33 @@ func (o *Observation) LastReboot() time.Time {
 	return o.ReceivedAt.Add(-time.Duration(o.EngineTime) * time.Second)
 }
 
+// FloodCap bounds how many datagrams per source Collect parses for engine
+// ID consistency. Sources exceeding it (the paper's Section 8 amplifiers
+// answer a single probe with tens of thousands of duplicates) keep their
+// packet counts but stop costing a parse per duplicate.
+const FloodCap = 64
+
 // Campaign is the per-IP view of one scan.
 type Campaign struct {
 	ByIP map[netip.Addr]*Observation
-	// Malformed counts response datagrams that did not parse as SNMPv3.
+	// Malformed counts response datagrams that did not parse as SNMPv3,
+	// duplicates from already-seen sources included.
 	Malformed int
+	// Truncated is the subset of Malformed that failed with a truncation
+	// error: the datagram was cut short in transit.
+	Truncated int
+	// Mismatched counts datagrams that parsed but echoed a msgID other
+	// than the campaign's probe msgID: corrupted or forged responses that
+	// cannot belong to any probe slot. They never enter ByIP.
+	Mismatched int
+	// OffPath counts datagrams the scan engine rejected because their
+	// source was never probed (copied from the scanner Result).
+	OffPath int
+	// Duplicates counts datagrams beyond the first from each source.
+	Duplicates int
+	// FloodCapped counts duplicate datagrams past the per-source FloodCap
+	// that were tallied but not parsed.
+	FloodCapped int
 	// TotalPackets counts all response datagrams, duplicates included.
 	TotalPackets int
 	Started      time.Time
@@ -66,12 +90,26 @@ func (c *Campaign) MultiResponders() int {
 	return n
 }
 
-// Collect folds raw scan responses into per-IP observations. Responses that
-// fail to parse as SNMPv3 are counted and dropped; IPs whose responses
-// disagree on the engine ID within the campaign are flagged Inconsistent.
+// Collect folds raw scan responses into per-IP observations, validating
+// each datagram on the way in (the collection half of the paper's hostile
+// network defenses):
+//
+//   - datagrams that fail to parse as SNMPv3 are counted in Malformed
+//     (Truncated when cut short), first packets and duplicates alike;
+//   - datagrams whose echoed msgID does not match the campaign's probe
+//     msgID (when the Result carries one) are counted in Mismatched and
+//     dropped — a response that answers no probe we sent proves nothing;
+//   - per-source floods are tallied in full but parsed only up to FloodCap
+//     datagrams per source;
+//   - IPs whose responses disagree on the engine ID within the campaign are
+//     flagged Inconsistent.
+//
+// Off-path datagrams were already rejected by the scan engine; their count
+// is carried over from the Result.
 func Collect(res *scanner.Result) *Campaign {
 	c := &Campaign{
 		ByIP:     make(map[netip.Addr]*Observation, len(res.Responses)),
+		OffPath:  int(res.OffPath),
 		Started:  res.Started,
 		Finished: res.Finished,
 	}
@@ -80,17 +118,31 @@ func Collect(res *scanner.Result) *Campaign {
 		c.TotalPackets++
 		obs, seen := c.ByIP[r.Src]
 		if seen {
-			// Only parse duplicates far enough to check consistency.
+			c.Duplicates++
 			obs.Packets++
+			if obs.Packets > FloodCap {
+				c.FloodCapped++
+				continue
+			}
+			// Only parse duplicates far enough to check consistency.
 			dr, err := snmp.ParseDiscoveryResponse(r.Payload)
-			if err == nil && string(dr.EngineID) != string(obs.EngineID) {
+			switch {
+			case err != nil:
+				c.noteMalformed(err)
+			case res.ProbeMsgID != 0 && dr.MsgID != res.ProbeMsgID:
+				c.Mismatched++
+			case string(dr.EngineID) != string(obs.EngineID):
 				obs.Inconsistent = true
 			}
 			continue
 		}
 		dr, err := snmp.ParseDiscoveryResponse(r.Payload)
 		if err != nil {
-			c.Malformed++
+			c.noteMalformed(err)
+			continue
+		}
+		if res.ProbeMsgID != 0 && dr.MsgID != res.ProbeMsgID {
+			c.Mismatched++
 			continue
 		}
 		c.ByIP[r.Src] = &Observation{
@@ -103,6 +155,15 @@ func Collect(res *scanner.Result) *Campaign {
 		}
 	}
 	return c
+}
+
+// noteMalformed records one unparseable datagram, distinguishing transit
+// truncation from other damage.
+func (c *Campaign) noteMalformed(err error) {
+	c.Malformed++
+	if errors.Is(err, ber.ErrTruncated) {
+		c.Truncated++
+	}
 }
 
 // Fingerprint is a vendor inference for one device.

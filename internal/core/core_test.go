@@ -168,3 +168,106 @@ func TestProbeIgnoresOtherSources(t *testing.T) {
 		t.Errorf("obs = %+v", obs)
 	}
 }
+
+func TestCollectMalformedDuplicate(t *testing.T) {
+	t0 := time.Date(2021, 4, 16, 12, 0, 0, 0, time.UTC)
+	id := engineid.NewMAC(9, [6]byte{0x58, 0x8d, 0x09, 1, 2, 3})
+	src := netip.MustParseAddr("192.0.2.1")
+	res := &scanner.Result{
+		Responses: []scanner.Response{
+			{Src: src, Payload: report(id, 5, 3600), At: t0},
+			{Src: src, Payload: []byte("garbage"), At: t0.Add(time.Second)},
+		},
+	}
+	c := Collect(res)
+	if c.Malformed != 1 {
+		t.Errorf("malformed = %d, want 1 (duplicates count too)", c.Malformed)
+	}
+	if c.Duplicates != 1 {
+		t.Errorf("duplicates = %d, want 1", c.Duplicates)
+	}
+	o := c.ByIP[src]
+	if o == nil || o.Packets != 2 {
+		t.Fatalf("obs = %+v, want 2 packets", o)
+	}
+	if o.Inconsistent {
+		t.Error("a malformed duplicate is not evidence of engine ID inconsistency")
+	}
+}
+
+func TestCollectMalformedFirstThenValid(t *testing.T) {
+	// A garbage datagram arriving before the real response must not mask
+	// the source: the later valid response still yields an observation.
+	t0 := time.Date(2021, 4, 16, 12, 0, 0, 0, time.UTC)
+	id := engineid.NewMAC(9, [6]byte{0x58, 0x8d, 0x09, 1, 2, 3})
+	src := netip.MustParseAddr("192.0.2.1")
+	res := &scanner.Result{
+		Responses: []scanner.Response{
+			{Src: src, Payload: []byte("garbage"), At: t0},
+			{Src: src, Payload: report(id, 5, 3600), At: t0.Add(time.Second)},
+		},
+	}
+	c := Collect(res)
+	if c.Malformed != 1 {
+		t.Errorf("malformed = %d, want 1", c.Malformed)
+	}
+	o := c.ByIP[src]
+	if o == nil {
+		t.Fatal("valid response after garbage produced no observation")
+	}
+	if o.EngineBoots != 5 || o.EngineTime != 3600 {
+		t.Errorf("obs = %+v", o)
+	}
+	if c.TotalPackets != 2 {
+		t.Errorf("total packets = %d", c.TotalPackets)
+	}
+}
+
+func TestCollectMismatchedMsgID(t *testing.T) {
+	// The test report helper echoes msgID 1; a campaign that probed with a
+	// different msgID must reject the response as answering no probe slot.
+	t0 := time.Date(2021, 4, 16, 12, 0, 0, 0, time.UTC)
+	id := engineid.NewMAC(9, [6]byte{0x58, 0x8d, 0x09, 1, 2, 3})
+	src := netip.MustParseAddr("192.0.2.1")
+	mk := func(probeID int64) *Campaign {
+		return Collect(&scanner.Result{
+			ProbeMsgID: probeID,
+			Responses: []scanner.Response{
+				{Src: src, Payload: report(id, 5, 3600), At: t0},
+			},
+		})
+	}
+	if c := mk(2); len(c.ByIP) != 0 || c.Mismatched != 1 {
+		t.Errorf("probeID 2: byIP=%d mismatched=%d, want 0/1", len(c.ByIP), c.Mismatched)
+	}
+	if c := mk(1); len(c.ByIP) != 1 || c.Mismatched != 0 {
+		t.Errorf("probeID 1: byIP=%d mismatched=%d, want 1/0", len(c.ByIP), c.Mismatched)
+	}
+	if c := mk(0); len(c.ByIP) != 1 || c.Mismatched != 0 {
+		t.Errorf("probeID 0 (check disabled): byIP=%d mismatched=%d, want 1/0", len(c.ByIP), c.Mismatched)
+	}
+}
+
+func TestCollectFloodCap(t *testing.T) {
+	t0 := time.Date(2021, 4, 16, 12, 0, 0, 0, time.UTC)
+	id := engineid.NewMAC(9, [6]byte{0x58, 0x8d, 0x09, 1, 2, 3})
+	src := netip.MustParseAddr("192.0.2.1")
+	res := &scanner.Result{}
+	const total = FloodCap + 7
+	for i := 0; i < total; i++ {
+		res.Responses = append(res.Responses, scanner.Response{
+			Src: src, Payload: report(id, 5, 3600), At: t0.Add(time.Duration(i) * time.Millisecond),
+		})
+	}
+	c := Collect(res)
+	o := c.ByIP[src]
+	if o == nil || o.Packets != total {
+		t.Fatalf("packet count must keep accumulating past the cap: %+v", o)
+	}
+	if c.FloodCapped != total-FloodCap {
+		t.Errorf("floodCapped = %d, want %d", c.FloodCapped, total-FloodCap)
+	}
+	if c.Duplicates != total-1 {
+		t.Errorf("duplicates = %d, want %d", c.Duplicates, total-1)
+	}
+}

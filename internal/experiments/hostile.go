@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"snmpv3fp/internal/core"
+	"snmpv3fp/internal/filter"
+	"snmpv3fp/internal/netsim"
+	"snmpv3fp/internal/report"
+)
+
+// HostileResult is the hostile-network scenario: the same world scanned
+// twice, once over a clean path and once through the netsim fault layer's
+// additive hostile profile (duplication, truncation, corruption, off-path
+// spoofing, delay jitter). The additive profile never suppresses a
+// legitimate response, so the responder sets and the Section 4.4 filter
+// output must match the clean run exactly while the hostile-path counters
+// account for every injected datagram — the end-to-end claim behind the
+// paper's filtering pipeline.
+type HostileResult struct {
+	// CleanScan1/2 and HostileScan1/2 are the two IPv4 campaigns (days 15
+	// and 21) of each run.
+	CleanScan1, CleanScan2     *core.Campaign
+	HostileScan1, HostileScan2 *core.Campaign
+	// CleanFilter and HostileFilter are the Section 4.4 reports.
+	CleanFilter, HostileFilter *filter.Report
+	// Faults1/2 tally what the fault layer injected during each hostile
+	// campaign.
+	Faults1, Faults2 netsim.FaultTally
+}
+
+// Hostile runs the scenario over a fresh pair of identically seeded worlds
+// so both runs start from the same epoch state.
+func Hostile(e *Env) (*HostileResult, error) {
+	opts := Options{}
+	opts.fill()
+	day := 24 * time.Hour
+
+	run := func(f *netsim.FaultProfile) (c1, c2 *core.Campaign, t1, t2 netsim.FaultTally, err error) {
+		w := netsim.Generate(e.World.Cfg)
+		w.Cfg.Faults = f
+		prefixes := w.ScanPrefixes4()
+		w.Clock.Set(w.Cfg.StartTime.Add(15 * day))
+		if c1, err = runPrefixes(w, prefixes, v4Rate, w.Cfg.Seed+103, opts); err != nil {
+			return
+		}
+		t1 = w.FaultStats()
+		w.Clock.Set(w.Cfg.StartTime.Add(21 * day))
+		if c2, err = runPrefixes(w, prefixes, v4Rate, w.Cfg.Seed+104, opts); err != nil {
+			return
+		}
+		t2 = w.FaultStats()
+		return
+	}
+
+	r := &HostileResult{}
+	var err error
+	if r.CleanScan1, r.CleanScan2, _, _, err = run(nil); err != nil {
+		return nil, err
+	}
+	if r.HostileScan1, r.HostileScan2, r.Faults1, r.Faults2, err = run(netsim.HostileProfile()); err != nil {
+		return nil, err
+	}
+	r.CleanFilter = filter.Run(r.CleanScan1, r.CleanScan2)
+	r.HostileFilter = filter.Run(r.HostileScan1, r.HostileScan2)
+	return r, nil
+}
+
+// SameResponders reports whether both campaigns of the hostile run saw
+// exactly the clean run's responder sets.
+func (r *HostileResult) SameResponders() bool {
+	return sameIPSet(r.CleanScan1.ByIP, r.HostileScan1.ByIP) &&
+		sameIPSet(r.CleanScan2.ByIP, r.HostileScan2.ByIP)
+}
+
+func sameIPSet(a, b map[netip.Addr]*core.Observation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for ip := range a {
+		if _, ok := b[ip]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Render formats the clean/hostile comparison.
+func (r *HostileResult) Render() string {
+	both := func(c, h int) string { return fmt.Sprintf("%s / %s", report.Count(c), report.Count(h)) }
+	injected := func(t netsim.FaultTally) string {
+		return fmt.Sprintf("dup %d, trunc %d, corrupt %d, off-path %d",
+			t.Duplicated, t.Truncated, t.Corrupted, t.OffPath)
+	}
+	rows := [][]string{
+		{"Quantity (clean / hostile)", "Scan 1", "Scan 2"},
+		{"responsive IPs", both(len(r.CleanScan1.ByIP), len(r.HostileScan1.ByIP)),
+			both(len(r.CleanScan2.ByIP), len(r.HostileScan2.ByIP))},
+		{"response packets", both(r.CleanScan1.TotalPackets, r.HostileScan1.TotalPackets),
+			both(r.CleanScan2.TotalPackets, r.HostileScan2.TotalPackets)},
+		{"malformed", both(r.CleanScan1.Malformed, r.HostileScan1.Malformed),
+			both(r.CleanScan2.Malformed, r.HostileScan2.Malformed)},
+		{"  of which truncated", both(r.CleanScan1.Truncated, r.HostileScan1.Truncated),
+			both(r.CleanScan2.Truncated, r.HostileScan2.Truncated)},
+		{"msgID mismatches", both(r.CleanScan1.Mismatched, r.HostileScan1.Mismatched),
+			both(r.CleanScan2.Mismatched, r.HostileScan2.Mismatched)},
+		{"off-path rejected", both(r.CleanScan1.OffPath, r.HostileScan1.OffPath),
+			both(r.CleanScan2.OffPath, r.HostileScan2.OffPath)},
+		{"duplicate datagrams", both(r.CleanScan1.Duplicates, r.HostileScan1.Duplicates),
+			both(r.CleanScan2.Duplicates, r.HostileScan2.Duplicates)},
+		{"injected faults", injected(r.Faults1), injected(r.Faults2)},
+		{"filter: overlap", both(r.CleanFilter.Overlap, r.HostileFilter.Overlap), ""},
+		{"filter: valid engine ID", both(r.CleanFilter.ValidEngineID, r.HostileFilter.ValidEngineID), ""},
+		{"filter: final valid", both(len(r.CleanFilter.Valid), len(r.HostileFilter.Valid)), ""},
+		{"responder sets identical", fmt.Sprintf("%v", r.SameResponders()), ""},
+	}
+	return report.Table("Hostile network: additive path faults vs the Section 4.4 filter", rows)
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"snmpv3fp/internal/core"
+	"snmpv3fp/internal/netsim"
+)
+
+// TestHostileEndToEnd is the end-to-end acceptance check for the fault
+// layer: every datagram the hostile path injects is accounted for by the
+// new campaign counters, and the additive profile leaves the responder sets
+// and the Section 4.4 filter output exactly as in the clean run.
+func TestHostileEndToEnd(t *testing.T) {
+	e := env(t)
+	r, err := Hostile(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The fault layer must actually have fired in every additive category.
+	for i, f := range []netsim.FaultTally{r.Faults1, r.Faults2} {
+		if f.Duplicated == 0 || f.Truncated == 0 || f.Corrupted == 0 || f.OffPath == 0 {
+			t.Fatalf("campaign %d injected too little: %+v", i+1, f)
+		}
+		if f.Lost != 0 || f.RateLimited != 0 || f.Mismatched != 0 {
+			t.Fatalf("campaign %d: additive profile ran destructive faults: %+v", i+1, f)
+		}
+	}
+
+	// Datagram-level accounting, exact: every injected duplicate, truncated
+	// and corrupted copy lands in TotalPackets; every spoofed datagram is
+	// rejected by the engine and lands in OffPath; nothing else changes.
+	check := func(name string, clean, hostile *core.Campaign, f netsim.FaultTally) {
+		t.Helper()
+		injected := int(f.Duplicated + f.Truncated + f.Corrupted)
+		if hostile.TotalPackets != clean.TotalPackets+injected {
+			t.Errorf("%s: total packets %d, want clean %d + injected %d",
+				name, hostile.TotalPackets, clean.TotalPackets, injected)
+		}
+		if hostile.OffPath != int(f.OffPath) {
+			t.Errorf("%s: off-path %d, want %d (every spoof rejected)", name, hostile.OffPath, f.OffPath)
+		}
+		if clean.OffPath != 0 {
+			t.Errorf("%s: clean campaign rejected %d off-path datagrams", name, clean.OffPath)
+		}
+		// Junk copies interleave with originals and per-source floods stop
+		// being parsed past the cap, so the parse-level counters are
+		// bounded, not equal, by the injection tallies.
+		if hostile.Malformed <= clean.Malformed {
+			t.Errorf("%s: malformed %d did not grow from clean %d", name, hostile.Malformed, clean.Malformed)
+		}
+		if hostile.Malformed > clean.Malformed+int(f.Truncated+f.Corrupted) {
+			t.Errorf("%s: malformed %d exceeds clean %d + injected junk %d",
+				name, hostile.Malformed, clean.Malformed, f.Truncated+f.Corrupted)
+		}
+		if hostile.Truncated <= clean.Truncated || hostile.Truncated > int(f.Truncated) {
+			t.Errorf("%s: truncated %d (clean %d, injected %d)",
+				name, hostile.Truncated, clean.Truncated, f.Truncated)
+		}
+		if hostile.Duplicates <= clean.Duplicates {
+			t.Errorf("%s: duplicates %d did not grow from clean %d", name, hostile.Duplicates, clean.Duplicates)
+		}
+	}
+	check("scan1", r.CleanScan1, r.HostileScan1, r.Faults1)
+	check("scan2", r.CleanScan2, r.HostileScan2, r.Faults2)
+
+	// The additive profile delivers every legitimate response, so the
+	// hostile campaigns see exactly the clean responder sets...
+	if !r.SameResponders() {
+		t.Fatalf("responder sets differ: clean %d/%d, hostile %d/%d IPs",
+			len(r.CleanScan1.ByIP), len(r.CleanScan2.ByIP),
+			len(r.HostileScan1.ByIP), len(r.HostileScan2.ByIP))
+	}
+	// ...and the filter reproduces the clean-run numbers to the digit.
+	cf, hf := r.CleanFilter, r.HostileFilter
+	if cf.Scan1IPs != hf.Scan1IPs || cf.Scan2IPs != hf.Scan2IPs {
+		t.Errorf("raw IP counts differ: clean %d/%d, hostile %d/%d",
+			cf.Scan1IPs, cf.Scan2IPs, hf.Scan1IPs, hf.Scan2IPs)
+	}
+	if cf.Overlap != hf.Overlap {
+		t.Errorf("overlap differs: clean %d, hostile %d", cf.Overlap, hf.Overlap)
+	}
+	if cf.ValidEngineID != hf.ValidEngineID {
+		t.Errorf("valid engine IDs differ: clean %d, hostile %d", cf.ValidEngineID, hf.ValidEngineID)
+	}
+	if len(cf.Valid) != len(hf.Valid) {
+		t.Fatalf("final valid sets differ: clean %d, hostile %d", len(cf.Valid), len(hf.Valid))
+	}
+	valid := make(map[string]bool, len(cf.Valid))
+	for _, m := range cf.Valid {
+		valid[m.IP.String()] = true
+	}
+	for _, m := range hf.Valid {
+		if !valid[m.IP.String()] {
+			t.Errorf("hostile-run valid IP %v absent from clean run", m.IP)
+		}
+	}
+}
+
+func TestHostileRender(t *testing.T) {
+	e := env(t)
+	r, err := Hostile(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	for _, want := range []string{"Hostile network", "off-path", "responder sets identical", "true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

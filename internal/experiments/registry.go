@@ -68,6 +68,13 @@ var All = []Experiment{
 		}
 		return r.Render(), nil
 	}},
+	{"hostile", "Extension: hostile network vs the Section 4.4 filter", func(e *Env) (string, error) {
+		r, err := Hostile(e)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
 }
 
 type renderer interface{ Render() string }

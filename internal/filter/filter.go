@@ -113,21 +113,19 @@ func Run(scan1, scan2 *core.Campaign) *Report {
 	step(StepNames[0], missing)
 
 	// Step 2: merge the campaigns; keep the overlap with matching engine
-	// IDs.
+	// IDs. Overlap counts every IP responsive in both campaigns, engine ID
+	// or not — only the merge itself requires an engine ID on both sides.
 	var merged []*Merged
 	inconsistent := 0
 	for ip, o1 := range scan1.ByIP {
-		if len(o1.EngineID) == 0 {
-			continue
-		}
 		o2, ok := scan2.ByIP[ip]
 		if !ok {
 			continue
 		}
-		if len(o2.EngineID) == 0 {
+		rep.Overlap++
+		if len(o1.EngineID) == 0 || len(o2.EngineID) == 0 {
 			continue
 		}
-		rep.Overlap++
 		if string(o1.EngineID) != string(o2.EngineID) || o1.Inconsistent || o2.Inconsistent {
 			inconsistent++
 			continue
@@ -143,9 +141,6 @@ func Run(scan1, scan2 *core.Campaign) *Report {
 		m.LastReboot = [2]time.Time{o1.LastReboot(), o2.LastReboot()}
 		merged = append(merged, m)
 	}
-	// Count overlap properly: IPs present in both scans regardless of
-	// engine ID presence were handled above; adjust overlap to include
-	// missing-engine-ID overlaps for reporting fidelity.
 	step(StepNames[1], inconsistent)
 
 	// Step 3: too short.

@@ -104,6 +104,30 @@ func TestInconsistentEngineID(t *testing.T) {
 	}
 }
 
+func TestOverlapCountsMissingEngineIDs(t *testing.T) {
+	// Overlap is "IPs responsive in both campaigns": an IP that answered
+	// both scans belongs in it even when either answer lacked an engine ID.
+	c1, c2 := campaigns(
+		[]*core.Observation{
+			obs("192.0.2.1", goodID, 5, reboot, t1),
+			obs("192.0.2.2", nil, 5, reboot, t1),
+			obs("192.0.2.3", goodID2, 5, reboot, t1),
+		},
+		[]*core.Observation{
+			obs("192.0.2.1", goodID, 5, reboot, t2),
+			obs("192.0.2.2", goodID2, 5, reboot, t2),
+			obs("192.0.2.3", nil, 5, reboot, t2),
+		},
+	)
+	rep := Run(c1, c2)
+	if rep.Overlap != 3 {
+		t.Errorf("overlap = %d, want 3", rep.Overlap)
+	}
+	if len(rep.Valid) != 1 {
+		t.Errorf("valid = %d, want 1", len(rep.Valid))
+	}
+}
+
 func TestNonOverlappingIPDropped(t *testing.T) {
 	c1, c2 := campaigns(
 		[]*core.Observation{obs("192.0.2.1", goodID, 5, reboot, t1)},

@@ -76,6 +76,12 @@ type Config struct {
 	// PrefixSlack multiplies allocated address space relative to the
 	// number of assigned addresses, so most probed addresses are silent.
 	PrefixSlack int
+
+	// Faults, when non-nil, enables the deterministic path-fault layer
+	// (faults.go): seeded loss, duplication, delay jitter, truncation and
+	// corruption, off-path spoofed responses, and silent rate limiting on
+	// the probe→response path. Nil reproduces the clean network.
+	Faults *FaultProfile
 }
 
 // DefaultConfig returns the calibrated world used by the experiment

@@ -1,0 +1,324 @@
+package netsim
+
+import (
+	"net/netip"
+	"sync/atomic"
+	"time"
+
+	"snmpv3fp/internal/snmp"
+)
+
+// FaultProfile configures the deterministic path-fault layer: the hostile,
+// lossy Internet between the vantage point and the agents that the paper's
+// Section 4.4 pipeline must filter out. Every fault decision is a pure
+// function of (world seed, address, scan epoch), so a faulted campaign is
+// byte-identical across worker counts and repeat runs.
+//
+// Faults come in two flavours. Destructive faults suppress or damage the
+// legitimate response (Loss, RateLimit, Mismatch). Additive faults leave the
+// legitimate response intact and inject extra hostile datagrams alongside it
+// (Duplicate, Truncate, Corrupt, OffPath), so a profile restricted to them
+// perturbs the wire without changing which sources the measurement can see —
+// the property the hostile-network experiment exploits to show the filter
+// reproducing clean-run numbers.
+type FaultProfile struct {
+	// Loss is the probability a source's responses vanish in transit for
+	// the whole campaign (on top of the agent-side lossProb).
+	Loss float64
+	// RateLimit is the probability a source sits behind a silent rate
+	// limiter that drops responses to probes sent in odd-numbered virtual
+	// seconds (a deterministic, order-free stand-in for token buckets).
+	RateLimit float64
+	// Mismatch is the probability a middlebox rewrites the probe's msgID on
+	// the forward path, so the agent's echo no longer matches the probe
+	// slot and the scanner must reject it.
+	Mismatch float64
+
+	// Duplicate is the probability the path duplicates a source's response
+	// datagrams; DupCopies extra copies arrive per original (default 2).
+	Duplicate float64
+	DupCopies int
+	// Truncate is the probability the path delivers, alongside the intact
+	// response, a copy cut short at a hash-chosen offset.
+	Truncate float64
+	// Corrupt is the probability the path delivers, alongside the intact
+	// response, a copy with a damaged leading octet.
+	Corrupt float64
+	// OffPath is the probability that probing an address triggers a reply
+	// from a spoofed source that was never probed (fires even for silent
+	// targets, as real off-path junk does).
+	OffPath float64
+
+	// Jitter is the maximum extra one-way delay added to each delivered
+	// datagram; distinct per copy, so duplicated responses reorder against
+	// their originals and against other sources.
+	Jitter time.Duration
+}
+
+// HostileProfile returns the fault mix used by the hostile-network
+// experiment: additive faults only (duplication, truncation, corruption,
+// off-path spoofing, delay jitter), aggressive enough that a campaign sees
+// every counter move, while the set of observable sources stays identical to
+// a clean run.
+func HostileProfile() *FaultProfile {
+	return &FaultProfile{
+		Duplicate: 0.08,
+		DupCopies: 2,
+		Truncate:  0.06,
+		Corrupt:   0.06,
+		OffPath:   0.03,
+		Jitter:    500 * time.Millisecond,
+	}
+}
+
+// FullHostileProfile adds the destructive faults (path loss, silent rate
+// limiting, middlebox msgID rewriting) on top of HostileProfile: the
+// worst-case path used by the fault-accounting tests.
+func FullHostileProfile() *FaultProfile {
+	p := HostileProfile()
+	p.Loss = 0.03
+	p.RateLimit = 0.04
+	p.Mismatch = 0.03
+	return p
+}
+
+// FaultTally counts the faults the layer injected during one campaign
+// (reset by BeginScan). Counts are per datagram: a duplicated burst of three
+// adds three to Duplicated.
+type FaultTally struct {
+	// Lost counts response datagrams dropped by path loss.
+	Lost uint64
+	// RateLimited counts response datagrams dropped by per-source silent
+	// rate limiting.
+	RateLimited uint64
+	// Mismatched counts response datagrams elicited by probes whose msgID a
+	// middlebox rewrote in flight.
+	Mismatched uint64
+	// Duplicated counts extra duplicate copies injected.
+	Duplicated uint64
+	// Truncated counts truncated copies injected.
+	Truncated uint64
+	// Corrupted counts corrupted copies injected.
+	Corrupted uint64
+	// OffPath counts spoofed datagrams injected from never-probed sources.
+	OffPath uint64
+	// Delayed counts datagrams that picked up nonzero jitter.
+	Delayed uint64
+}
+
+// faultCounters is the internal atomic view of FaultTally; senders on any
+// number of workers may race on it.
+type faultCounters struct {
+	lost, rateLimited, mismatched    atomic.Uint64
+	duplicated, truncated, corrupted atomic.Uint64
+	offPath, delayed                 atomic.Uint64
+}
+
+func (c *faultCounters) reset() {
+	c.lost.Store(0)
+	c.rateLimited.Store(0)
+	c.mismatched.Store(0)
+	c.duplicated.Store(0)
+	c.truncated.Store(0)
+	c.corrupted.Store(0)
+	c.offPath.Store(0)
+	c.delayed.Store(0)
+}
+
+// FaultStats snapshots the faults injected since the last BeginScan.
+func (w *World) FaultStats() FaultTally {
+	return FaultTally{
+		Lost:        w.faults.lost.Load(),
+		RateLimited: w.faults.rateLimited.Load(),
+		Mismatched:  w.faults.mismatched.Load(),
+		Duplicated:  w.faults.duplicated.Load(),
+		Truncated:   w.faults.truncated.Load(),
+		Corrupted:   w.faults.corrupted.Load(),
+		OffPath:     w.faults.offPath.Load(),
+		Delayed:     w.faults.delayed.Load(),
+	}
+}
+
+// Salts for the fault layer's hash-derived decisions. Each decision keys on
+// (salt, scan epoch, address, world seed) through World.hash64, so no two
+// fault kinds share randomness and every campaign redraws.
+const (
+	saltLoss      = 0xF1000
+	saltRateLimit = 0xF2000
+	saltMismatch  = 0xF3000
+	saltDuplicate = 0xF4000
+	saltTruncate  = 0xF5000
+	saltCorrupt   = 0xF6000
+	saltOffPath   = 0xF7000
+	saltJitter    = 0xF8000
+	saltSpoof     = 0xF9000
+)
+
+// epochCoin is a deterministic per-campaign coin flip for addr.
+func (w *World) epochCoin(addr netip.Addr, salt uint64, prob float64) bool {
+	return w.coin(addr, salt+uint64(w.scanEpoch), prob)
+}
+
+// TruncatePayload returns payload cut short at a deterministic offset in
+// [1, len-1] derived from h. Any strict prefix of a definite-length BER
+// message leaves the outer SEQUENCE length pointing past the buffer, so the
+// decoder reliably reports ber.ErrTruncated. Exported so fuzz corpora can be
+// seeded with exactly the truncations the fault layer produces.
+func TruncatePayload(h uint64, payload []byte) []byte {
+	if len(payload) < 2 {
+		return payload
+	}
+	cut := 1 + int(h%uint64(len(payload)-1))
+	out := make([]byte, cut)
+	copy(out, payload[:cut])
+	return out
+}
+
+// CorruptPayload returns a copy of payload with the leading identifier octet
+// damaged — the smallest corruption that reliably breaks BER framing, as a
+// bit-flipped UDP datagram that slipped past its checksum would. Exported
+// for fuzz-corpus seeding alongside TruncatePayload.
+func CorruptPayload(payload []byte) []byte {
+	if len(payload) == 0 {
+		return payload
+	}
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	out[0] ^= 0xFF
+	return out
+}
+
+// mangleProbe applies the Mismatch fault: a middlebox rewrites the probe's
+// msgID in flight, so the agent's report echoes an ID the scanner never
+// used. Payloads that do not decode pass through untouched.
+func mangleProbe(payload []byte) []byte {
+	msg, err := snmp.DecodeV3(payload)
+	if err != nil && err != snmp.ErrEncrypted {
+		return payload
+	}
+	msg.MsgID = (msg.MsgID ^ 0x2A5A5A) & 0x7FFFFFFF
+	wire, err := msg.Encode()
+	if err != nil {
+		return payload
+	}
+	return wire
+}
+
+// spoofedSource derives the off-path spoofed source address for a probe to
+// dst: IPv4 spoofs come from class-E space (240.0.0.0/4) and IPv6 spoofs
+// from the documentation prefix (2001:db8::/32), both of which the world
+// generator never allocates, so a spoofed source is never a probed target.
+func (w *World) spoofedSource(dst netip.Addr) netip.Addr {
+	h := w.hash64(dst, saltSpoof+uint64(w.scanEpoch))
+	if dst.Is4() {
+		return netip.AddrFrom4([4]byte{
+			0xF0 | byte(h>>24)&0x0F, byte(h >> 16), byte(h >> 8), byte(h),
+		})
+	}
+	var b [16]byte
+	b[0], b[1], b[2], b[3] = 0x20, 0x01, 0x0d, 0xb8
+	for i := 0; i < 8; i++ {
+		b[8+i] = byte(h >> (8 * i))
+	}
+	return netip.AddrFrom16(b)
+}
+
+// spoofedPayload builds the datagram an off-path spoofer sends: a
+// plausible-looking discovery report from a fictitious engine, with a msgID
+// unrelated to any probe. The scanner must reject it by source, not by
+// shape.
+func (w *World) spoofedPayload(dst netip.Addr) []byte {
+	h := w.hash64(dst, saltOffPath+uint64(w.scanEpoch)+1)
+	engineID := []byte{0x80, 0x00, 0x1F, 0x88, 0x04,
+		byte(h >> 32), byte(h >> 24), byte(h >> 16), byte(h >> 8), byte(h)}
+	req := snmp.NewDiscoveryRequest(int64(h&0x7FFFFFFF), int64(h>>33&0x7FFFFFFF))
+	wire, err := snmp.NewDiscoveryReport(req, engineID, int64(h%97+1), int64(h%100000+1), 1).Encode()
+	if err != nil {
+		return []byte{0x30, 0x00}
+	}
+	return wire
+}
+
+// jitterFor returns the extra one-way delay for copy i of the responses to a
+// probe of addr in the current campaign.
+func (w *World) jitterFor(f *FaultProfile, addr netip.Addr, i int) time.Duration {
+	if f.Jitter <= 0 {
+		return 0
+	}
+	h := w.hash64(addr, saltJitter+uint64(w.scanEpoch)+uint64(i)<<20)
+	return time.Duration(h % uint64(f.Jitter))
+}
+
+// deliverFaulted runs the response datagrams for one probe through the fault
+// layer and enqueues what survives. The probe reached the agent at `at`; rtt
+// is the path's base round-trip time. It is called from Transport.SendAt
+// with the send admission already held.
+func (t *Transport) deliverFaulted(f *FaultProfile, dst netip.Addr, payload []byte, at time.Time, rtt time.Duration) {
+	w := t.w
+	c := &w.faults
+
+	// Forward-path middlebox rewrite happens before the agent sees the
+	// probe, so its reports echo the rewritten msgID.
+	mismatched := f.Mismatch > 0 && w.epochCoin(dst, saltMismatch, f.Mismatch)
+	if mismatched {
+		payload = mangleProbe(payload)
+	}
+
+	responses := w.HandleSNMP(dst, payload, at)
+
+	// Destructive faults: the legitimate responses never arrive.
+	switch {
+	case len(responses) == 0:
+		// Silent target; only off-path injection below applies.
+	case f.Loss > 0 && w.epochCoin(dst, saltLoss, f.Loss):
+		c.lost.Add(uint64(len(responses)))
+		responses = nil
+	case f.RateLimit > 0 && w.epochCoin(dst, saltRateLimit, f.RateLimit) &&
+		(at.Unix()+int64(w.hash64(dst, saltRateLimit)&1))%2 != 0:
+		c.rateLimited.Add(uint64(len(responses)))
+		responses = nil
+	}
+
+	copyIdx := 0
+	enqueue := func(src netip.Addr, pkt []byte) {
+		d := w.jitterFor(f, dst, copyIdx)
+		copyIdx++
+		if d > 0 {
+			c.delayed.Add(1)
+		}
+		t.enqueue(src, pkt, at.Add(rtt+d))
+	}
+
+	for _, resp := range responses {
+		if mismatched {
+			c.mismatched.Add(1)
+		}
+		enqueue(dst, resp)
+		if f.Duplicate > 0 && w.epochCoin(dst, saltDuplicate, f.Duplicate) {
+			copies := f.DupCopies
+			if copies <= 0 {
+				copies = 2
+			}
+			for i := 0; i < copies; i++ {
+				c.duplicated.Add(1)
+				enqueue(dst, resp)
+			}
+		}
+		if f.Truncate > 0 && w.epochCoin(dst, saltTruncate, f.Truncate) {
+			c.truncated.Add(1)
+			enqueue(dst, TruncatePayload(w.hash64(dst, saltTruncate+uint64(w.scanEpoch)+1), resp))
+		}
+		if f.Corrupt > 0 && w.epochCoin(dst, saltCorrupt, f.Corrupt) {
+			c.corrupted.Add(1)
+			enqueue(dst, CorruptPayload(resp))
+		}
+	}
+
+	// Off-path spoofing keys on the probed address (silent or not): probing
+	// dst tickles some on-path box into emitting junk from a source the
+	// campaign never probed.
+	if f.OffPath > 0 && w.epochCoin(dst, saltOffPath, f.OffPath) {
+		c.offPath.Add(1)
+		enqueue(w.spoofedSource(dst), w.spoofedPayload(dst))
+	}
+}

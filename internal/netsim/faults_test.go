@@ -1,0 +1,270 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"testing"
+	"time"
+
+	"snmpv3fp/internal/ber"
+	"snmpv3fp/internal/snmp"
+)
+
+// sampleReport builds one real discovery-report wire image to mutate.
+func sampleReport(t *testing.T) []byte {
+	t.Helper()
+	req := snmp.NewDiscoveryRequest(7, 7)
+	wire, err := snmp.NewDiscoveryReport(req, []byte{0x80, 0, 0, 0x09, 4, 1, 2, 3, 4, 5}, 3, 12345, 1).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+func TestTruncatePayloadAlwaysTruncated(t *testing.T) {
+	rep := sampleReport(t)
+	for h := uint64(0); h < 64; h++ {
+		cut := TruncatePayload(h, rep)
+		if len(cut) >= len(rep) || len(cut) < 1 {
+			t.Fatalf("h=%d: cut length %d of %d", h, len(cut), len(rep))
+		}
+		_, err := snmp.ParseDiscoveryResponse(cut)
+		if err == nil {
+			t.Fatalf("h=%d: truncated payload parsed", h)
+		}
+		if !errors.Is(err, ber.ErrTruncated) {
+			t.Fatalf("h=%d: error %v does not carry ber.ErrTruncated", h, err)
+		}
+	}
+}
+
+func TestCorruptPayloadMalformed(t *testing.T) {
+	rep := sampleReport(t)
+	orig := append([]byte(nil), rep...)
+	bad := CorruptPayload(rep)
+	if _, err := snmp.ParseDiscoveryResponse(bad); err == nil {
+		t.Fatal("corrupted payload parsed")
+	}
+	if string(rep) != string(orig) {
+		t.Fatal("CorruptPayload mutated its input")
+	}
+	if string(TruncatePayload(5, rep)) != string(orig[:1+5%(len(orig)-1)]) {
+		t.Fatal("TruncatePayload cut at unexpected offset")
+	}
+	if string(rep) != string(orig) {
+		t.Fatal("TruncatePayload mutated its input")
+	}
+}
+
+func TestMangleProbeChangesMsgID(t *testing.T) {
+	probe, err := snmp.EncodeDiscoveryRequest(42, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := mangleProbe(probe)
+	msg, err := snmp.DecodeV3(mangled)
+	if err != nil {
+		t.Fatalf("mangled probe must still decode: %v", err)
+	}
+	if msg.MsgID == 42 {
+		t.Fatal("mangleProbe left the msgID unchanged")
+	}
+	if msg.MsgID < 0 {
+		t.Fatalf("mangled msgID %d is negative", msg.MsgID)
+	}
+	// Garbage passes through untouched instead of panicking.
+	if got := mangleProbe([]byte("junk")); string(got) != "junk" {
+		t.Fatalf("garbage probe rewritten to %x", got)
+	}
+}
+
+func TestSpoofedSourcesNeverProbed(t *testing.T) {
+	w := Generate(TinyConfig(3))
+	prefixes := w.ScanPrefixes4()
+	v4Spoof := netip.MustParsePrefix("240.0.0.0/4")
+	v6Spoof := netip.MustParsePrefix("2001:db8::/32")
+	for i, d := range w.Devices {
+		if i >= 64 {
+			break
+		}
+		for _, a := range d.V4 {
+			s := w.spoofedSource(a)
+			if !v4Spoof.Contains(s) {
+				t.Fatalf("v4 spoof %v outside class E", s)
+			}
+			for _, p := range prefixes {
+				if p.Contains(s) {
+					t.Fatalf("spoofed source %v inside scanned prefix %v", s, p)
+				}
+			}
+		}
+		for _, a := range d.V6 {
+			if s := w.spoofedSource(a); !v6Spoof.Contains(s) {
+				t.Fatalf("v6 spoof %v outside 2001:db8::/32", s)
+			}
+		}
+	}
+}
+
+func TestSpoofedPayloadLooksLegitimate(t *testing.T) {
+	w := Generate(TinyConfig(3))
+	addr := w.Devices[0].V4[0]
+	dr, err := snmp.ParseDiscoveryResponse(w.spoofedPayload(addr))
+	if err != nil {
+		t.Fatalf("spoofed payload must parse (the scanner rejects it by source): %v", err)
+	}
+	if len(dr.EngineID) == 0 {
+		t.Fatal("spoofed payload carries no engine ID")
+	}
+}
+
+// drainFaulted probes every v4 address of the first n devices at fixed
+// virtual instants and returns the canonically sorted deliveries.
+func drainFaulted(t *testing.T, seed int64, f *FaultProfile, n int) ([]simPacket, FaultTally) {
+	t.Helper()
+	w := Generate(TinyConfig(seed))
+	w.Cfg.Faults = f
+	w.Clock.Set(w.Cfg.StartTime.Add(15 * 24 * time.Hour))
+	w.BeginScan()
+	tr := w.NewTransport()
+	probe, err := snmp.EncodeDiscoveryRequest(9, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkts []simPacket
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			src, payload, at, err := tr.Recv()
+			if err == io.EOF {
+				return
+			}
+			pkts = append(pkts, simPacket{src: src, payload: payload, at: at})
+		}
+	}()
+	base := w.Clock.Now()
+	i := 0
+	for _, d := range w.Devices {
+		if i >= n {
+			break
+		}
+		for _, a := range d.V4 {
+			if err := tr.SendAt(a, probe, base.Add(time.Duration(i)*time.Millisecond)); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		}
+	}
+	tr.Close()
+	<-done
+	sort.Slice(pkts, func(i, j int) bool {
+		if !pkts[i].at.Equal(pkts[j].at) {
+			return pkts[i].at.Before(pkts[j].at)
+		}
+		if pkts[i].src != pkts[j].src {
+			return pkts[i].src.Less(pkts[j].src)
+		}
+		return string(pkts[i].payload) < string(pkts[j].payload)
+	})
+	return pkts, w.FaultStats()
+}
+
+func packetDigest(pkts []simPacket) string {
+	s := ""
+	for _, p := range pkts {
+		s += fmt.Sprintf("%v %d %x\n", p.src, p.at.UnixNano(), p.payload)
+	}
+	return s
+}
+
+func TestFaultedDeliveryDeterministic(t *testing.T) {
+	a, statsA := drainFaulted(t, 5, FullHostileProfile(), 200)
+	b, statsB := drainFaulted(t, 5, FullHostileProfile(), 200)
+	if packetDigest(a) != packetDigest(b) {
+		t.Fatal("identical seeds produced different faulted deliveries")
+	}
+	if statsA != statsB {
+		t.Fatalf("fault tallies differ: %+v vs %+v", statsA, statsB)
+	}
+	if statsA == (FaultTally{}) {
+		t.Fatal("full hostile profile injected no faults at all")
+	}
+}
+
+func TestAdditiveProfilePreservesOriginals(t *testing.T) {
+	clean, _ := drainFaulted(t, 5, nil, 200)
+	faulted, stats := drainFaulted(t, 5, HostileProfile(), 200)
+	if stats.Lost != 0 || stats.RateLimited != 0 || stats.Mismatched != 0 {
+		t.Fatalf("additive profile ran destructive faults: %+v", stats)
+	}
+	if stats.Duplicated == 0 || stats.Truncated == 0 || stats.Corrupted == 0 || stats.OffPath == 0 {
+		t.Fatalf("additive profile too quiet over 200 probes: %+v", stats)
+	}
+	// Every clean delivery survives in the faulted run (possibly delayed),
+	// so per-(src, payload) counts can only grow.
+	count := func(pkts []simPacket) map[string]int {
+		m := map[string]int{}
+		for _, p := range pkts {
+			m[p.src.String()+"|"+string(p.payload)]++
+		}
+		return m
+	}
+	cc, fc := count(clean), count(faulted)
+	for k, n := range cc {
+		if fc[k] < n {
+			t.Fatalf("clean delivery lost under additive faults: %q %d -> %d", k[:16], n, fc[k])
+		}
+	}
+	if len(faulted) != len(clean)+int(stats.Duplicated+stats.Truncated+stats.Corrupted+stats.OffPath) {
+		t.Fatalf("delivery count %d does not reconcile with clean %d + injected %+v",
+			len(faulted), len(clean), stats)
+	}
+}
+
+func TestFaultStatsResetOnBeginScan(t *testing.T) {
+	_, stats := drainFaulted(t, 5, HostileProfile(), 100)
+	if stats == (FaultTally{}) {
+		t.Fatal("no faults injected")
+	}
+	w := Generate(TinyConfig(5))
+	w.Cfg.Faults = HostileProfile()
+	w.faults.offPath.Add(3)
+	w.BeginScan()
+	if got := w.FaultStats(); got != (FaultTally{}) {
+		t.Fatalf("BeginScan did not reset fault tallies: %+v", got)
+	}
+}
+
+func TestFaultEpochsRedraw(t *testing.T) {
+	// The same address redraws its fault coins every campaign: across many
+	// addresses and two epochs, at least one decision must flip.
+	w := Generate(TinyConfig(5))
+	w.Cfg.Faults = HostileProfile()
+	w.BeginScan()
+	first := map[netip.Addr]bool{}
+	n := 0
+	for _, d := range w.Devices {
+		if n >= 500 {
+			break
+		}
+		for _, a := range d.V4 {
+			first[a] = w.epochCoin(a, saltDuplicate, 0.08)
+			n++
+		}
+	}
+	w.BeginScan()
+	flipped := false
+	for a, v := range first {
+		if w.epochCoin(a, saltDuplicate, 0.08) != v {
+			flipped = true
+			break
+		}
+	}
+	if !flipped {
+		t.Fatal("fault decisions identical across scan epochs")
+	}
+}

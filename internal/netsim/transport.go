@@ -58,16 +58,22 @@ func (t *Transport) SendAt(dst netip.Addr, payload []byte, at time.Time) error {
 	t.mu.Unlock()
 	defer t.sending.Done()
 
-	responses := t.w.HandleSNMP(dst, payload, at)
-	if len(responses) == 0 {
+	rtt := time.Duration(10+t.w.hash64(dst, 0x277)%190) * time.Millisecond
+	if f := t.w.Cfg.Faults; f != nil {
+		t.deliverFaulted(f, dst, payload, at, rtt)
 		return nil
 	}
-	rtt := time.Duration(10+t.w.hash64(dst, 0x277)%190) * time.Millisecond
+	responses := t.w.HandleSNMP(dst, payload, at)
 	for _, resp := range responses {
-		t.ch <- simPacket{src: dst, payload: resp, at: at.Add(rtt)}
-		t.queued.Add(1)
+		t.enqueue(dst, resp, at.Add(rtt))
 	}
 	return nil
+}
+
+// enqueue queues one response datagram for Recv.
+func (t *Transport) enqueue(src netip.Addr, payload []byte, at time.Time) {
+	t.ch <- simPacket{src: src, payload: payload, at: at}
+	t.queued.Add(1)
 }
 
 // QueuedResponses implements scanner.ResponseCounter.

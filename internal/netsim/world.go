@@ -172,6 +172,10 @@ type World struct {
 	ptr map[netip.Addr]string
 	// hitlistFiller holds unresponsive IPv6 hitlist entries.
 	hitlistFiller []netip.Addr
+
+	// faults tallies the datagrams the path-fault layer injected or dropped
+	// during the current campaign (see faults.go).
+	faults faultCounters
 }
 
 // ASByNumber resolves an AS number.
@@ -201,8 +205,11 @@ func (w *World) RespondsAt(addr netip.Addr) bool {
 }
 
 // BeginScan marks the start of a new campaign, refreshing the per-scan
-// response-loss pattern.
-func (w *World) BeginScan() { w.scanEpoch++ }
+// response-loss pattern and resetting the fault-injection tally.
+func (w *World) BeginScan() {
+	w.scanEpoch++
+	w.faults.reset()
+}
 
 // ScanEpoch returns the current campaign index (0 before the first
 // BeginScan).

@@ -20,11 +20,13 @@ type engine struct {
 	targets TargetSpace
 	probe   []byte
 
-	// timed / vclk / shardable / positioned cache the optional capability
-	// checks that select the pacing mode.
+	// timed / vclk / shardable / positioned / member cache the optional
+	// capability checks that select the pacing mode and response
+	// validation.
 	timed      TimedTransport
 	vclk       *vclock.Virtual
 	shardable  ShardableSpace
+	member     MembershipSpace
 	positioned bool
 	// logical is true when probe send times are computed from permutation
 	// slots instead of pacing sleeps: virtual clock + timed transport +
@@ -49,6 +51,7 @@ type engine struct {
 	sent       atomic.Uint64
 	received   atomic.Uint64
 	retried    atomic.Uint64
+	offPath    atomic.Uint64
 	sendErrs   atomic.Uint64
 	pass       atomic.Int64
 	shardSent  []atomic.Uint64
@@ -79,6 +82,7 @@ func newEngine(tr Transport, targets TargetSpace, cfg Config, probe []byte) *eng
 	e.timed, _ = tr.(TimedTransport)
 	e.vclk, _ = cfg.Clock.(*vclock.Virtual)
 	e.shardable, _ = targets.(ShardableSpace)
+	e.member, _ = targets.(MembershipSpace)
 	_, e.positioned = targets.(PositionedSpace)
 	e.logical = e.vclk != nil && e.timed != nil && e.positioned
 
@@ -268,7 +272,11 @@ func (e *engine) paceDuration(n int) time.Duration {
 }
 
 // capture drains the transport until Close delivers io.EOF, recording every
-// response and maintaining the responder set for retry passes.
+// response and maintaining the responder set for retry passes. When the
+// target space supports membership checks, datagrams from sources the
+// campaign never probed — spoofed or misrouted off-path junk — are counted
+// and discarded here, before they can pollute the result set or the retry
+// bookkeeping.
 func (e *engine) capture() {
 	defer e.captureWG.Done()
 	for {
@@ -282,6 +290,15 @@ func (e *engine) capture() {
 			e.drained.Broadcast()
 			e.mu.Unlock()
 			return
+		}
+		if e.member != nil && !e.member.Contains(src) {
+			// Still consumed for the quiesce barrier: the transport queued
+			// it, so the drain accounting must see it.
+			e.consumed++
+			e.drained.Broadcast()
+			e.mu.Unlock()
+			e.offPath.Add(1)
+			continue
 		}
 		e.responses = append(e.responses, Response{Src: src, Payload: payload, At: at})
 		e.responders[src] = struct{}{}

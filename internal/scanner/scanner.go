@@ -138,6 +138,15 @@ type Result struct {
 	Sent uint64
 	// Retried counts the probes re-sent by retry passes.
 	Retried uint64
+	// OffPath counts response datagrams rejected because their source was
+	// never probed (requires a MembershipSpace target space; 0 otherwise).
+	// Rejected datagrams do not appear in Responses.
+	OffPath uint64
+	// ProbeMsgID is the msgID carried by every probe of the campaign.
+	// Well-behaved agents echo it in their reports, so collectors can
+	// reject responses whose echoed ID does not match the probe slot
+	// (corrupted or forged datagrams). 0 disables that check.
+	ProbeMsgID int64
 	// Responses holds every captured datagram in canonical order (receive
 	// time, then source, then payload) so a campaign's result is
 	// reproducible regardless of worker scheduling.
@@ -158,8 +167,9 @@ func Scan(tr Transport, targets TargetSpace, cfg Config) (*Result, error) {
 	cfg.fill()
 	// One stateless probe serves the whole campaign (as in ZMap, per-target
 	// state would defeat the point); responses are matched by source
-	// address.
-	probe, err := snmp.EncodeDiscoveryRequest(cfg.Seed&0x7FFFFFFF, (cfg.Seed*2654435761)&0x7FFFFFFF)
+	// address, and the echoed msgID lets collectors reject forgeries.
+	probeMsgID := cfg.Seed & 0x7FFFFFFF
+	probe, err := snmp.EncodeDiscoveryRequest(probeMsgID, (cfg.Seed*2654435761)&0x7FFFFFFF)
 	if err != nil {
 		return nil, fmt.Errorf("scanner: building probe: %w", err)
 	}
@@ -178,6 +188,8 @@ func Scan(tr Transport, targets TargetSpace, cfg Config) (*Result, error) {
 	sortResponses(res.Responses)
 	res.Sent = e.sent.Load()
 	res.Retried = e.retried.Load()
+	res.OffPath = e.offPath.Load()
+	res.ProbeMsgID = probeMsgID
 	res.Finished = cfg.Clock.Now()
 	e.fireProgress(true)
 	return res, nil

@@ -13,6 +13,9 @@ type Snapshot struct {
 	Received uint64
 	// Retried counts probes re-sent by retry passes.
 	Retried uint64
+	// OffPath counts response datagrams rejected because their source was
+	// never probed.
+	OffPath uint64
 	// SendErrors counts failed Send calls.
 	SendErrors uint64
 	// Pass is the current pass index (0 = initial sweep, >0 = retries).
@@ -71,6 +74,7 @@ func (e *engine) snapshot(done bool) Snapshot {
 		Sent:        e.sent.Load(),
 		Received:    e.received.Load(),
 		Retried:     e.retried.Load(),
+		OffPath:     e.offPath.Load(),
 		SendErrors:  e.sendErrs.Load(),
 		Pass:        int(e.pass.Load()),
 		Done:        done,

@@ -2,6 +2,7 @@ package scanner
 
 import (
 	"net/netip"
+	"sort"
 
 	"snmpv3fp/internal/iputil"
 )
@@ -39,12 +40,27 @@ type PositionedSpace interface {
 	Slots() uint64
 }
 
+// MembershipSpace is a TargetSpace that can answer whether an address is a
+// member of the space at all. The engine uses it to validate response
+// sources: a datagram from an address the campaign never probed is off-path
+// junk (a spoofed or misrouted reply) and must not enter the result set.
+// Membership is a property of the full space, independent of sharding or
+// consumption.
+type MembershipSpace interface {
+	TargetSpace
+	// Contains reports whether addr is one of the space's targets.
+	Contains(addr netip.Addr) bool
+}
+
 // prefixSpace scans the union of a set of prefixes in permuted order.
 type prefixSpace struct {
 	prefixes []netip.Prefix
 	// starts[i] is the index of the first address of prefixes[i] in the
 	// flattened space.
 	starts []uint64
+	// sorted holds the prefixes ordered by base address for O(log n)
+	// membership checks; shards share it.
+	sorted []netip.Prefix
 	perm   *Permutation
 	total  uint64
 }
@@ -69,7 +85,22 @@ func NewPrefixSpaceShard(prefixes []netip.Prefix, seed int64, shard, totalShards
 		return nil, err
 	}
 	s.perm = perm
+	s.sorted = append([]netip.Prefix(nil), prefixes...)
+	sort.Slice(s.sorted, func(i, j int) bool { return s.sorted[i].Addr().Less(s.sorted[j].Addr()) })
 	return s, nil
+}
+
+// Contains implements MembershipSpace by binary search over the prefixes
+// (assumed disjoint), so validating a response source is O(log n) regardless
+// of how many addresses the space spans.
+func (s *prefixSpace) Contains(addr netip.Addr) bool {
+	// First prefix whose base address is strictly greater than addr; the
+	// candidate container is the one before it.
+	i := sort.Search(len(s.sorted), func(i int) bool { return addr.Less(s.sorted[i].Addr()) })
+	if i == 0 {
+		return false
+	}
+	return s.sorted[i-1].Contains(addr)
 }
 
 func (s *prefixSpace) Size() uint64  { return s.total }
@@ -81,7 +112,7 @@ func (s *prefixSpace) Shard(shard, totalShards int) (TargetSpace, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &prefixSpace{prefixes: s.prefixes, starts: s.starts, perm: perm, total: s.total}, nil
+	return &prefixSpace{prefixes: s.prefixes, starts: s.starts, sorted: s.sorted, perm: perm, total: s.total}, nil
 }
 
 func (s *prefixSpace) Next() (netip.Addr, bool) {
@@ -111,7 +142,9 @@ func (s *prefixSpace) NextPos() (netip.Addr, uint64, bool) {
 // permuted order.
 type listSpace struct {
 	addrs []netip.Addr
-	perm  *Permutation
+	// set indexes the list for membership checks; shards share it.
+	set  map[netip.Addr]struct{}
+	perm *Permutation
 }
 
 // NewListSpace builds a permuted target space over an explicit list.
@@ -125,7 +158,17 @@ func NewListSpaceShard(addrs []netip.Addr, seed int64, shard, totalShards int) (
 	if err != nil {
 		return nil, err
 	}
-	return &listSpace{addrs: addrs, perm: perm}, nil
+	set := make(map[netip.Addr]struct{}, len(addrs))
+	for _, a := range addrs {
+		set[a] = struct{}{}
+	}
+	return &listSpace{addrs: addrs, set: set, perm: perm}, nil
+}
+
+// Contains implements MembershipSpace.
+func (s *listSpace) Contains(addr netip.Addr) bool {
+	_, ok := s.set[addr]
+	return ok
 }
 
 func (s *listSpace) Size() uint64  { return uint64(len(s.addrs)) }
@@ -137,7 +180,7 @@ func (s *listSpace) Shard(shard, totalShards int) (TargetSpace, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &listSpace{addrs: s.addrs, perm: perm}, nil
+	return &listSpace{addrs: s.addrs, set: s.set, perm: perm}, nil
 }
 
 func (s *listSpace) Next() (netip.Addr, bool) {

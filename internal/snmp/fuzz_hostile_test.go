@@ -1,0 +1,48 @@
+package snmp_test
+
+import (
+	"errors"
+	"testing"
+
+	"snmpv3fp/internal/ber"
+	"snmpv3fp/internal/netsim"
+	"snmpv3fp/internal/snmp"
+)
+
+// FuzzParseDiscoveryResponseHostile seeds the discovery-response parser with
+// exactly the damaged datagrams the netsim fault layer injects — truncations
+// at many offsets and leading-octet corruption of a real report — then lets
+// the fuzzer mutate from there. Invariants: no panic, any truncation of a
+// well-formed report is reported as ber.ErrTruncated, and whatever parses
+// yields a bounded engine ID.
+func FuzzParseDiscoveryResponseHostile(f *testing.F) {
+	req := snmp.NewDiscoveryRequest(7, 7)
+	rep, err := snmp.NewDiscoveryReport(req,
+		[]byte{0x80, 0x00, 0x1F, 0x88, 0x04, 1, 2, 3, 4, 5}, 3, 123456, 9).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(rep)
+	for h := uint64(0); h < 16; h++ {
+		f.Add(netsim.TruncatePayload(h*h*2654435761, rep))
+	}
+	f.Add(netsim.CorruptPayload(rep))
+	f.Add(netsim.CorruptPayload(netsim.TruncatePayload(5, rep)))
+	// Every strict prefix of the report must fail with a truncation error,
+	// never a panic or a bogus success — this is what lets core.Collect
+	// attribute transit damage to Campaign.Truncated.
+	for cut := 1; cut < len(rep); cut++ {
+		if _, err := snmp.ParseDiscoveryResponse(rep[:cut]); !errors.Is(err, ber.ErrTruncated) {
+			f.Fatalf("prefix of %d/%d bytes: err = %v, want ber.ErrTruncated", cut, len(rep), err)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dr, err := snmp.ParseDiscoveryResponse(data)
+		if err != nil {
+			return
+		}
+		if len(dr.EngineID) > len(data) {
+			t.Fatalf("engine ID longer than the datagram: %d > %d", len(dr.EngineID), len(data))
+		}
+	})
+}

@@ -137,7 +137,9 @@ func DecodeV3(buf []byte) (*V3Message, error) {
 	msg := p.Enter(ber.TagSequence)
 	version := msg.Int()
 	if err := msg.Err(); err != nil {
-		return nil, ErrNotSNMP
+		// Keep the BER-level cause in the chain so collectors can tell
+		// transit truncation (ber.ErrTruncated) from other damage.
+		return nil, fmt.Errorf("%w: %w", ErrNotSNMP, err)
 	}
 	if Version(version) != V3 {
 		return nil, fmt.Errorf("%w: %d", ErrWrongVersion, version)
