@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench reproduce examples ci fuzz-smoke clean
+.PHONY: all build vet test test-short race bench bench-json smoke-serve reproduce examples ci fuzz-smoke clean
 
 all: build vet test
 
@@ -29,6 +29,8 @@ ci:
 	$(GO) build ./...
 	$(GO) test -race -shuffle=on ./...
 	$(MAKE) fuzz-smoke
+	$(MAKE) smoke-serve
+	$(MAKE) bench-json
 
 # 10 seconds of native fuzzing per target. go test accepts one -fuzz target
 # per invocation, so loop over every FuzzXxx the fuzzing packages list.
@@ -43,6 +45,17 @@ fuzz-smoke:
 # Every paper table/figure as benchmarks, plus the ablations.
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Store+serve benchmark: ingest throughput and per-endpoint query latency
+# (p50/p99) as machine-readable JSON.
+bench-json:
+	$(GO) run ./cmd/snmpfpd -bench-json BENCH_store.json
+	@cat BENCH_store.json
+
+# End-to-end daemon smoke: ingest a simulated world, self-query /v1/stats
+# and /v1/vendors over HTTP.
+smoke-serve:
+	$(GO) run ./cmd/snmpfpd -sim -smoke
 
 # The complete evaluation, paper order, full scale.
 reproduce:

@@ -1,0 +1,224 @@
+// Command snmpfpd is the fingerprint store daemon: it ingests scan
+// campaigns — recorded NDJSON files or live scans of the simulated
+// Internet — into an append-only observation store and serves fingerprint
+// queries over an HTTP JSON API while ingest continues.
+//
+// Replay recorded campaigns and serve:
+//
+//	snmpfpd -ingest scan1.ndjson,scan2.ndjson -listen :8161
+//
+// Run live campaigns against the simulated Internet while serving:
+//
+//	snmpfpd -sim -sim-seed 7 -sim-campaigns 4 -listen :8161
+//
+// Self-contained smoke test (ingest a simulated world, query /v1/stats and
+// /v1/vendors over HTTP, print both, exit):
+//
+//	snmpfpd -sim -smoke
+//
+// Store+serve benchmark (used by `make bench-json`):
+//
+//	snmpfpd -bench-json BENCH_store.json
+//
+// Endpoints: /v1/ip/{addr}, /v1/device/{engineID}, /v1/vendors,
+// /v1/reboots/{addr}, /v1/stats.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"snmpv3fp/internal/core"
+	"snmpv3fp/internal/netsim"
+	"snmpv3fp/internal/records"
+	"snmpv3fp/internal/scanner"
+	"snmpv3fp/internal/serve"
+	"snmpv3fp/internal/store"
+)
+
+func main() {
+	listen := flag.String("listen", ":8161", "HTTP listen address")
+	ingest := flag.String("ingest", "", "comma-separated NDJSON campaign files, ingested in order")
+	sim := flag.Bool("sim", false, "ingest live scan campaigns of the simulated Internet")
+	simSeed := flag.Int64("sim-seed", 7, "simulated world seed")
+	simCampaigns := flag.Int("sim-campaigns", 2, "number of simulated campaigns to run")
+	rate := flag.Int("rate", 50000, "simulated scan probe rate (packets per second)")
+	workers := flag.Int("workers", 4, "simulated scan send workers")
+	flushThreshold := flag.Int("flush", 4096, "memtable samples per segment flush")
+	smoke := flag.Bool("smoke", false, "ingest, self-query /v1/stats and /v1/vendors, print, exit")
+	benchJSON := flag.String("bench-json", "", "run the store+serve benchmark, write JSON to this file, exit")
+	flag.Parse()
+
+	if *benchJSON != "" {
+		runBenchJSON(*benchJSON)
+		return
+	}
+	if *ingest == "" && !*sim {
+		fmt.Fprintln(os.Stderr, "snmpfpd: need -ingest, -sim or -bench-json")
+		os.Exit(2)
+	}
+
+	st := store.Open(store.Options{FlushThreshold: *flushThreshold})
+	defer st.Close()
+	srv := serve.New(st)
+
+	addr := *listen
+	if *smoke {
+		addr = "127.0.0.1:0" // ephemeral; the daemon queries itself
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "snmpfpd: serving on http://%s\n", ln.Addr())
+
+	// Ingest runs concurrently with serving; queries observe campaigns as
+	// they land.
+	ingestDone := make(chan error, 1)
+	go func() { ingestDone <- runIngest(st, *ingest, *sim, *simSeed, *simCampaigns, *rate, *workers) }()
+
+	if *smoke {
+		if err := <-ingestDone; err != nil {
+			fatal(err)
+		}
+		base := "http://" + ln.Addr().String()
+		for _, path := range []string{"/v1/stats", "/v1/vendors"} {
+			body, err := httpGet(base + path)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("GET %s\n%s", path, body)
+		}
+		shutdown(hs)
+		return
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-ingestDone:
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "snmpfpd: ingest complete; serving until interrupted")
+		<-sig
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "snmpfpd: %v; shutting down\n", s)
+	case err := <-serveErr:
+		fatal(err)
+	}
+	shutdown(hs)
+}
+
+// runIngest feeds the store: NDJSON files first, then simulated campaigns.
+func runIngest(st *store.Store, ingest string, sim bool, simSeed int64, simCampaigns, rate, workers int) error {
+	if ingest != "" {
+		for _, name := range strings.Split(ingest, ",") {
+			name = strings.TrimSpace(name)
+			c, err := readCampaignFile(name)
+			if err != nil {
+				return err
+			}
+			n := st.AddCampaign(c)
+			fmt.Fprintf(os.Stderr, "snmpfpd: campaign %d: %d IPs from %s\n", n, len(c.ByIP), name)
+		}
+	}
+	if sim {
+		if err := runSim(st, simSeed, simCampaigns, rate, workers); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readCampaignFile(name string) (*core.Campaign, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return records.ReadCampaign(f)
+}
+
+// runSim scans the simulated Internet repeatedly — campaign i on day
+// 15 + 6·(i-1), matching the paper's scan cadence — ingesting each campaign
+// as it completes.
+func runSim(st *store.Store, simSeed int64, campaigns, rate, workers int) error {
+	w := netsim.Generate(netsim.TinyConfig(simSeed))
+	for i := 1; i <= campaigns; i++ {
+		day := 15 + 6*(i-1)
+		w.Clock.Set(w.Cfg.StartTime.Add(time.Duration(day) * 24 * time.Hour))
+		w.BeginScan()
+		targets, err := scanner.NewPrefixSpace(w.ScanPrefixes4(), simSeed+int64(i))
+		if err != nil {
+			return err
+		}
+		res, err := scanner.Scan(w.NewTransport(), targets, scanner.Config{
+			Rate: rate, Batch: 256, Clock: w.Clock, Seed: simSeed + int64(i), Workers: workers,
+		})
+		if err != nil {
+			return err
+		}
+		c := core.Collect(res)
+		n := st.AddCampaign(c)
+		fmt.Fprintf(os.Stderr, "snmpfpd: campaign %d: %d IPs from sim day %d\n", n, len(c.ByIP), day)
+	}
+	return nil
+}
+
+func runBenchJSON(path string) {
+	res, err := serve.RunBench(serve.BenchConfig{})
+	if err != nil {
+		fatal(err)
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "snmpfpd: wrote %s (ingest %.0f samples/s, ip p99 %.0fµs)\n",
+		path, res.Ingest.SamplesPerSec, res.Query["ip"].P99Us)
+}
+
+func httpGet(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	return body, nil
+}
+
+func shutdown(hs *http.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = hs.Shutdown(ctx)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "snmpfpd: %v\n", err)
+	os.Exit(1)
+}

@@ -157,29 +157,38 @@ func (s *Set) Family() Family {
 	}
 }
 
-type key struct {
-	engineID string
-	boots1   int64
-	reboot1  int64
-	boots2   int64
-	reboot2  int64
+// Key identifies one alias set under a variant: all IPs mapping to the same
+// Key belong to the same inferred device. It is exported so incremental
+// resolvers (internal/store) group by exactly the rule Resolve applies.
+type Key struct {
+	EngineID string
+	Boots1   int64
+	Reboot1  int64
+	Boots2   int64
+	Reboot2  int64
+}
+
+// Key computes the grouping key for one merged observation.
+func (v Variant) Key(m *filter.Merged) Key {
+	k := Key{
+		EngineID: string(m.EngineID),
+		Boots1:   m.Boots[0],
+		Reboot1:  v.Bin.apply(m.LastReboot[0]),
+	}
+	if v.BothScans {
+		k.Boots2 = m.Boots[1]
+		k.Reboot2 = v.Bin.apply(m.LastReboot[1])
+	}
+	return k
 }
 
 // Resolve groups the validated observations into alias sets under the given
 // variant. The result is ordered by decreasing size, ties broken by the
 // first member's IP for determinism.
 func Resolve(valid []*filter.Merged, v Variant) []*Set {
-	groups := make(map[key]*Set, len(valid))
+	groups := make(map[Key]*Set, len(valid))
 	for _, m := range valid {
-		k := key{
-			engineID: string(m.EngineID),
-			boots1:   m.Boots[0],
-			reboot1:  v.Bin.apply(m.LastReboot[0]),
-		}
-		if v.BothScans {
-			k.boots2 = m.Boots[1]
-			k.reboot2 = v.Bin.apply(m.LastReboot[1])
-		}
+		k := v.Key(m)
 		g := groups[k]
 		if g == nil {
 			g = &Set{}

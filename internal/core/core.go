@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"sort"
 	"time"
 
 	"snmpv3fp/internal/ber"
@@ -77,6 +78,17 @@ type Campaign struct {
 	TotalPackets int
 	Started      time.Time
 	Finished     time.Time
+}
+
+// SortedIPs returns the campaign's responsive addresses in address order,
+// for deterministic iteration in writers, ingesters and reports.
+func (c *Campaign) SortedIPs() []netip.Addr {
+	out := make([]netip.Addr, 0, len(c.ByIP))
+	for ip := range c.ByIP {
+		out = append(out, ip)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
 }
 
 // MultiResponders returns how many IPs answered with more than one packet.

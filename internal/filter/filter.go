@@ -74,6 +74,95 @@ type Report struct {
 	Valid []*Merged
 }
 
+// Merge performs the per-IP half of step 2: it merges one IP's two
+// observations into a Merged when both campaigns answered with the same
+// non-empty engine ID and neither flagged it inconsistent. Incremental
+// consumers (internal/store) use it to validate IPs one at a time with
+// exactly the batch pipeline's semantics.
+func Merge(ip netip.Addr, o1, o2 *core.Observation) (*Merged, bool) {
+	if o1 == nil || o2 == nil || len(o1.EngineID) == 0 || len(o2.EngineID) == 0 {
+		return nil, false
+	}
+	if string(o1.EngineID) != string(o2.EngineID) || o1.Inconsistent || o2.Inconsistent {
+		return nil, false
+	}
+	m := &Merged{
+		IP:         ip,
+		EngineID:   o1.EngineID,
+		Parsed:     engineid.Classify(o1.EngineID),
+		Boots:      [2]int64{o1.EngineBoots, o2.EngineBoots},
+		EngineTime: [2]int64{o1.EngineTime, o2.EngineTime},
+		RecvAt:     [2]time.Time{o1.ReceivedAt, o2.ReceivedAt},
+	}
+	m.LastReboot = [2]time.Time{o1.LastReboot(), o2.LastReboot()}
+	return m, true
+}
+
+// LongEnough is step 3: the engine ID meets the minimum length.
+func (m *Merged) LongEnough() bool { return len(m.EngineID) >= MinEngineIDLen }
+
+// PromiscuityBody returns the engine-ID body that step 4 checks for
+// promiscuity (the same body claimed under multiple enterprise numbers),
+// or ok=false for bodies too short to participate in the check.
+func (m *Merged) PromiscuityBody() (string, bool) {
+	body := m.Parsed.Data
+	if len(body) < MinEngineIDLen {
+		return "", false
+	}
+	return string(body), true
+}
+
+// RoutableIPv4 is step 5: IPv4-format engine IDs must embed routable
+// addresses.
+func (m *Merged) RoutableIPv4() bool {
+	if m.Parsed.Format != engineid.FormatIPv4 {
+		return true
+	}
+	return iputil.IsRoutableV4Bytes(m.Parsed.Data)
+}
+
+// RegisteredMAC is step 6: MAC-format engine IDs must carry a registered
+// OUI.
+func (m *Merged) RegisteredMAC() bool {
+	mac, ok := m.Parsed.MAC()
+	if !ok {
+		return true
+	}
+	_, registered := oui.LookupMAC(mac)
+	return registered
+}
+
+// NonZeroTimeliness is step 7: engine boots and engine time are non-zero in
+// both campaigns.
+func (m *Merged) NonZeroTimeliness() bool {
+	return m.Boots[0] != 0 && m.Boots[1] != 0 &&
+		m.EngineTime[0] != 0 && m.EngineTime[1] != 0
+}
+
+// NoFutureTime is step 8: the derived last reboot precedes the packet
+// receive time in both campaigns.
+func (m *Merged) NoFutureTime() bool {
+	return !m.LastReboot[0].After(m.RecvAt[0]) && !m.LastReboot[1].After(m.RecvAt[1])
+}
+
+// ConsistentBoots is step 9: engine boots agree across campaigns.
+func (m *Merged) ConsistentBoots() bool { return m.Boots[0] == m.Boots[1] }
+
+// ConsistentReboot is step 10: last reboot agrees within RebootThreshold.
+func (m *Merged) ConsistentReboot() bool { return m.RebootDelta() <= RebootThreshold }
+
+// ValidIdentity bundles the per-IP engine ID steps (3, 5, 6). Step 4
+// (promiscuity) is population-global and handled separately.
+func (m *Merged) ValidIdentity() bool {
+	return m.LongEnough() && m.RoutableIPv4() && m.RegisteredMAC()
+}
+
+// ValidTimeliness bundles the engine time steps (7–10).
+func (m *Merged) ValidTimeliness() bool {
+	return m.NonZeroTimeliness() && m.NoFutureTime() &&
+		m.ConsistentBoots() && m.ConsistentReboot()
+}
+
 func countEngineIDs(c *core.Campaign) int {
 	set := make(map[string]struct{}, len(c.ByIP))
 	for _, o := range c.ByIP {
@@ -126,27 +215,17 @@ func Run(scan1, scan2 *core.Campaign) *Report {
 		if len(o1.EngineID) == 0 || len(o2.EngineID) == 0 {
 			continue
 		}
-		if string(o1.EngineID) != string(o2.EngineID) || o1.Inconsistent || o2.Inconsistent {
+		m, ok := Merge(ip, o1, o2)
+		if !ok {
 			inconsistent++
 			continue
 		}
-		m := &Merged{
-			IP:         ip,
-			EngineID:   o1.EngineID,
-			Parsed:     engineid.Classify(o1.EngineID),
-			Boots:      [2]int64{o1.EngineBoots, o2.EngineBoots},
-			EngineTime: [2]int64{o1.EngineTime, o2.EngineTime},
-			RecvAt:     [2]time.Time{o1.ReceivedAt, o2.ReceivedAt},
-		}
-		m.LastReboot = [2]time.Time{o1.LastReboot(), o2.LastReboot()}
 		merged = append(merged, m)
 	}
 	step(StepNames[1], inconsistent)
 
 	// Step 3: too short.
-	merged, removed := partition(merged, func(m *Merged) bool {
-		return len(m.EngineID) >= MinEngineIDLen
-	})
+	merged, removed := partition(merged, (*Merged).LongEnough)
 	step(StepNames[2], removed)
 
 	// Step 4: promiscuous engine IDs — the same engine ID body under
@@ -154,12 +233,11 @@ func Run(scan1, scan2 *core.Campaign) *Report {
 	bodyVendors := make(map[string]uint32, len(merged))
 	promiscuous := make(map[string]bool)
 	for _, m := range merged {
-		body := m.Parsed.Data
-		if len(body) < MinEngineIDLen {
+		key, ok := m.PromiscuityBody()
+		if !ok {
 			continue
 		}
-		key := string(body)
-		if ent, ok := bodyVendors[key]; ok {
+		if ent, seen := bodyVendors[key]; seen {
 			if ent != m.Parsed.Enterprise {
 				promiscuous[key] = true
 			}
@@ -173,54 +251,29 @@ func Run(scan1, scan2 *core.Campaign) *Report {
 	step(StepNames[3], removed)
 
 	// Step 5: IPv4-format engine IDs must embed routable addresses.
-	merged, removed = partition(merged, func(m *Merged) bool {
-		if m.Parsed.Format != engineid.FormatIPv4 {
-			return true
-		}
-		return iputil.IsRoutableV4Bytes(m.Parsed.Data)
-	})
+	merged, removed = partition(merged, (*Merged).RoutableIPv4)
 	step(StepNames[4], removed)
 
 	// Step 6: MAC-format engine IDs must carry a registered OUI.
-	merged, removed = partition(merged, func(m *Merged) bool {
-		mac, ok := m.Parsed.MAC()
-		if !ok {
-			return true
-		}
-		_, registered := oui.LookupMAC(mac)
-		return registered
-	})
+	merged, removed = partition(merged, (*Merged).RegisteredMAC)
 	step(StepNames[5], removed)
 	rep.ValidEngineID = len(merged)
 
 	// Step 7: zero engine time or boots in either campaign.
-	merged, removed = partition(merged, func(m *Merged) bool {
-		return m.Boots[0] != 0 && m.Boots[1] != 0 &&
-			m.EngineTime[0] != 0 && m.EngineTime[1] != 0
-	})
+	merged, removed = partition(merged, (*Merged).NonZeroTimeliness)
 	step(StepNames[6], removed)
 
 	// Step 8: engine time in the future — a derived last reboot after the
 	// packet receive time.
-	merged, removed = partition(merged, func(m *Merged) bool {
-		return !m.LastReboot[0].After(m.RecvAt[0]) && !m.LastReboot[1].After(m.RecvAt[1])
-	})
+	merged, removed = partition(merged, (*Merged).NoFutureTime)
 	step(StepNames[7], removed)
 
 	// Step 9: engine boots must agree across campaigns.
-	merged, removed = partition(merged, func(m *Merged) bool {
-		return m.Boots[0] == m.Boots[1]
-	})
+	merged, removed = partition(merged, (*Merged).ConsistentBoots)
 	step(StepNames[8], removed)
 
 	// Step 10: last reboot must agree within the threshold.
-	merged, removed = partition(merged, func(m *Merged) bool {
-		d := m.LastReboot[0].Sub(m.LastReboot[1])
-		if d < 0 {
-			d = -d
-		}
-		return d <= RebootThreshold
-	})
+	merged, removed = partition(merged, (*Merged).ConsistentReboot)
 	step(StepNames[9], removed)
 
 	rep.Valid = merged

@@ -11,7 +11,6 @@ import (
 	"fmt"
 	"io"
 	"net/netip"
-	"sort"
 	"time"
 
 	"snmpv3fp/internal/core"
@@ -79,12 +78,7 @@ func (r Record) ToObservation() (*core.Observation, error) {
 func WriteCampaign(w io.Writer, c *core.Campaign) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	ips := make([]netip.Addr, 0, len(c.ByIP))
-	for ip := range c.ByIP {
-		ips = append(ips, ip)
-	}
-	sortAddrs(ips)
-	for _, ip := range ips {
+	for _, ip := range c.SortedIPs() {
 		if err := enc.Encode(FromObservation(c.ByIP[ip])); err != nil {
 			return err
 		}
@@ -92,12 +86,20 @@ func WriteCampaign(w io.Writer, c *core.Campaign) error {
 	return bw.Flush()
 }
 
+// MaxLine bounds one NDJSON line. Engine IDs are tiny, but campaigns
+// captured through hostile paths can carry records amplified far past
+// bufio.Scanner's 64 KiB default; lines beyond this limit abort the read
+// with a line-numbered error rather than a bare bufio.ErrTooLong.
+var MaxLine = 16 << 20
+
 // ReadCampaign loads a campaign from NDJSON. Blank lines are skipped;
-// malformed lines abort with an error naming the line number.
+// malformed or oversized lines abort with an error naming the line number.
 func ReadCampaign(r io.Reader) (*core.Campaign, error) {
 	c := &core.Campaign{ByIP: map[netip.Addr]*core.Observation{}}
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	// The scanner's cap is max(cap(buf), limit), so the initial buffer must
+	// not exceed MaxLine or a smaller limit would be ignored.
+	sc.Buffer(make([]byte, 0, min(64*1024, MaxLine)), MaxLine)
 	line := 0
 	for sc.Scan() {
 		line++
@@ -117,11 +119,8 @@ func ReadCampaign(r io.Reader) (*core.Campaign, error) {
 		c.TotalPackets += obs.Packets
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		// The scanner dies on the line after the last one it delivered.
+		return nil, fmt.Errorf("records: line %d: %w", line+1, err)
 	}
 	return c, nil
-}
-
-func sortAddrs(a []netip.Addr) {
-	sort.Slice(a, func(i, j int) bool { return a[i].Less(a[j]) })
 }

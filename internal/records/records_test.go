@@ -110,6 +110,50 @@ func TestReadErrors(t *testing.T) {
 	}
 }
 
+// TestReadLongLines exercises lines past bufio.Scanner's 64 KiB default: a
+// record with a pathologically large engine ID must still round-trip.
+func TestReadLongLines(t *testing.T) {
+	big := bytes.Repeat([]byte{0xAB}, 80*1024) // 160 KiB of hex on the wire
+	c := &core.Campaign{ByIP: map[netip.Addr]*core.Observation{}}
+	a := netip.MustParseAddr("192.0.2.1")
+	c.ByIP[a] = &core.Observation{
+		IP: a, EngineID: big, EngineBoots: 1, EngineTime: 2,
+		ReceivedAt: time.Date(2021, 4, 16, 0, 0, 0, 0, time.UTC), Packets: 1,
+	}
+	c.TotalPackets = 1
+	var buf bytes.Buffer
+	if err := WriteCampaign(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 128*1024 {
+		t.Fatalf("line too short to exercise the limit: %d bytes", buf.Len())
+	}
+	got, err := ReadCampaign(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.ByIP[a].EngineID, big) {
+		t.Fatal("big engine ID did not round-trip")
+	}
+}
+
+// TestReadOversizedLine shrinks MaxLine and checks the failure names the
+// offending line instead of surfacing a bare bufio.ErrTooLong.
+func TestReadOversizedLine(t *testing.T) {
+	defer func(old int) { MaxLine = old }(MaxLine)
+	MaxLine = 256
+	in := `{"ip":"192.0.2.1","engine_boots":1,"engine_time":2,"received_at":"2021-04-16T00:00:00Z"}
+{"ip":"192.0.2.2","engine_id":"` + strings.Repeat("ab", 200) + `","engine_boots":1,"engine_time":2,"received_at":"2021-04-16T00:00:00Z"}
+`
+	_, err := ReadCampaign(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("oversized line accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error lacks line number: %v", err)
+	}
+}
+
 func TestRecordQuickRoundTrip(t *testing.T) {
 	f := func(ipv4 [4]byte, id []byte, boots, et int32, pkts uint8) bool {
 		o := &core.Observation{

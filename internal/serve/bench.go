@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/netip"
+	"net/url"
+	"sort"
+	"time"
+
+	"snmpv3fp/internal/core"
+	"snmpv3fp/internal/store"
+)
+
+// BenchConfig sizes a store+serve benchmark run.
+type BenchConfig struct {
+	Campaigns int // campaigns to ingest (default 8)
+	IPs       int // responsive IPs per campaign (default 5000)
+	Queries   int // requests per endpoint (default 2000)
+}
+
+func (c *BenchConfig) fill() {
+	if c.Campaigns <= 0 {
+		c.Campaigns = 8
+	}
+	if c.IPs <= 0 {
+		c.IPs = 5000
+	}
+	if c.Queries <= 0 {
+		c.Queries = 2000
+	}
+}
+
+// BenchIngest summarizes the ingest phase.
+type BenchIngest struct {
+	Campaigns     int     `json:"campaigns"`
+	Samples       int     `json:"samples"`
+	Seconds       float64 `json:"seconds"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+}
+
+// BenchLatency summarizes one endpoint's query latencies.
+type BenchLatency struct {
+	Requests int     `json:"requests"`
+	P50Us    float64 `json:"p50_us"`
+	P99Us    float64 `json:"p99_us"`
+}
+
+// BenchResult is the JSON payload behind `make bench-json`.
+type BenchResult struct {
+	Config BenchConfig             `json:"config"`
+	Ingest BenchIngest             `json:"ingest"`
+	Query  map[string]BenchLatency `json:"query"`
+	Stats  store.Stats             `json:"stats"`
+}
+
+// benchWriter is a minimal http.ResponseWriter that discards bodies, so
+// query latencies measure the store+serve stack rather than socket I/O.
+type benchWriter struct {
+	h    http.Header
+	code int
+	n    int
+}
+
+func (w *benchWriter) Header() http.Header { return w.h }
+
+func (w *benchWriter) Write(p []byte) (int, error) { w.n += len(p); return len(p), nil }
+
+func (w *benchWriter) WriteHeader(code int) { w.code = code }
+
+// RunBench ingests synthetic campaigns into a fresh store and measures
+// ingest throughput plus per-endpoint query latency against the in-process
+// handler.
+func RunBench(cfg BenchConfig) (*BenchResult, error) {
+	cfg.fill()
+	st := store.Open(store.Options{})
+	defer st.Close()
+
+	benchIP := func(i int) netip.Addr {
+		return netip.AddrFrom4([4]byte{10, 2, byte(i >> 8), byte(i)})
+	}
+	benchEngID := func(device int) []byte {
+		return []byte{0x80, 0, 0, 9, 5, byte(device >> 16), byte(device >> 8), byte(device), 0xFE}
+	}
+
+	start := time.Now()
+	for n := 1; n <= cfg.Campaigns; n++ {
+		st.BeginCampaign()
+		at := time.Date(2021, 4, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(n) * 24 * time.Hour)
+		for i := 0; i < cfg.IPs; i++ {
+			device := i / 2
+			o := &core.Observation{
+				IP:          benchIP(i),
+				EngineID:    benchEngID(device),
+				EngineBoots: 3,
+				EngineTime:  int64(n) * 86400,
+				ReceivedAt:  at,
+				Packets:     1,
+			}
+			if err := st.Add(o); err != nil {
+				return nil, err
+			}
+		}
+	}
+	st.Flush()
+	st.Compact()
+	ingestSecs := time.Since(start).Seconds()
+
+	srv := New(st)
+	paths := map[string]func(i int) string{
+		"ip":      func(i int) string { return "/v1/ip/" + benchIP(i%cfg.IPs).String() },
+		"device":  func(i int) string { return fmt.Sprintf("/v1/device/%x", benchEngID(i%cfg.IPs/2)) },
+		"vendors": func(i int) string { return "/v1/vendors" },
+		"reboots": func(i int) string { return "/v1/reboots/" + benchIP(i%cfg.IPs).String() },
+		"stats":   func(i int) string { return "/v1/stats" },
+	}
+	res := &BenchResult{
+		Config: cfg,
+		Ingest: BenchIngest{
+			Campaigns:     cfg.Campaigns,
+			Samples:       cfg.Campaigns * cfg.IPs,
+			Seconds:       ingestSecs,
+			SamplesPerSec: float64(cfg.Campaigns*cfg.IPs) / ingestSecs,
+		},
+		Query: map[string]BenchLatency{},
+	}
+	for name, path := range paths {
+		lat, err := benchEndpoint(srv, path, cfg.Queries)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", name, err)
+		}
+		res.Query[name] = lat
+	}
+	res.Stats = st.Snapshot().Stats()
+	return res, nil
+}
+
+func benchEndpoint(srv *Server, path func(i int) string, n int) (BenchLatency, error) {
+	durs := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		u, err := url.Parse(path(i))
+		if err != nil {
+			return BenchLatency{}, err
+		}
+		req := &http.Request{Method: http.MethodGet, URL: u, Proto: "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1, Host: "bench"}
+		w := &benchWriter{h: http.Header{}}
+		t0 := time.Now()
+		srv.ServeHTTP(w, req)
+		durs = append(durs, time.Since(t0))
+		if w.code != 0 && w.code != http.StatusOK {
+			return BenchLatency{}, fmt.Errorf("%s: status %d", path(i), w.code)
+		}
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(durs)-1))
+		return float64(durs[i].Nanoseconds()) / 1e3
+	}
+	return BenchLatency{Requests: n, P50Us: pct(0.50), P99Us: pct(0.99)}, nil
+}

@@ -1,0 +1,299 @@
+// Package serve exposes a fingerprint store over an HTTP JSON API — the
+// query side of cmd/snmpfpd. Every handler works on one store.View
+// snapshot, so each response is internally consistent (its alias sets,
+// tallies and stats all describe the same instant) no matter how much
+// ingest happens concurrently.
+//
+// Endpoints:
+//
+//	GET /v1/ip/{addr}          current identity + full observation history
+//	GET /v1/device/{engineID}  alias sets + every IP ever seen for the device
+//	GET /v1/vendors            devices per vendor over the latest pair
+//	GET /v1/reboots/{addr}     longitudinal reboot timeline and events
+//	GET /v1/stats              store and server counters
+package serve
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"net/netip"
+	"sync/atomic"
+	"time"
+
+	"snmpv3fp/internal/core"
+	"snmpv3fp/internal/store"
+)
+
+// timeLayout renders timestamps as the records package does.
+const timeLayout = time.RFC3339Nano
+
+// Server routes API requests to a store.
+type Server struct {
+	st  *store.Store
+	mux *http.ServeMux
+
+	reqIP, reqDevice, reqVendors, reqReboots, reqStats atomic.Uint64
+	errors                                             atomic.Uint64
+}
+
+// New builds a server over the store.
+func New(st *store.Store) *Server {
+	s := &Server{st: st, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/ip/{addr}", s.handleIP)
+	s.mux.HandleFunc("GET /v1/device/{engineID}", s.handleDevice)
+	s.mux.HandleFunc("GET /v1/vendors", s.handleVendors)
+	s.mux.HandleFunc("GET /v1/reboots/{addr}", s.handleReboots)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the API handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler directly.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// WireVendorInfo is the vendor inference block attached to identities.
+type WireVendorInfo struct {
+	Vendor string `json:"vendor"`
+	// Source is "oui", "enterprise" or "" (unknown).
+	Source string `json:"source,omitempty"`
+	Format string `json:"format"`
+}
+
+func vendorInfo(engineID []byte) WireVendorInfo {
+	fp := core.FingerprintEngineID(engineID)
+	return WireVendorInfo{Vendor: fp.VendorLabel(), Source: fp.Source, Format: fp.Format.String()}
+}
+
+// WireSample is one stored observation on the wire.
+type WireSample struct {
+	Campaign     uint64 `json:"campaign"`
+	EngineID     string `json:"engine_id"`
+	Boots        int64  `json:"boots"`
+	EngineTime   int64  `json:"engine_time"`
+	ReceivedAt   string `json:"received_at"`
+	LastReboot   string `json:"last_reboot"`
+	Packets      int    `json:"packets"`
+	Inconsistent bool   `json:"inconsistent,omitempty"`
+}
+
+func wireSample(sm store.Sample) WireSample {
+	return WireSample{
+		Campaign:     sm.Campaign,
+		EngineID:     hex.EncodeToString(sm.EngineID),
+		Boots:        sm.Boots,
+		EngineTime:   sm.EngineTime,
+		ReceivedAt:   sm.ReceivedAt.UTC().Format(timeLayout),
+		LastReboot:   sm.LastReboot().UTC().Format(timeLayout),
+		Packets:      sm.Packets,
+		Inconsistent: sm.Inconsistent,
+	}
+}
+
+// WireIP is the /v1/ip response.
+type WireIP struct {
+	IP      string         `json:"ip"`
+	Latest  WireSample     `json:"latest"`
+	Vendor  WireVendorInfo `json:"vendor"`
+	History []WireSample   `json:"history"`
+}
+
+// WireDevice is the /v1/device response.
+type WireDevice struct {
+	EngineID string         `json:"engine_id"`
+	Vendor   WireVendorInfo `json:"vendor"`
+	// AliasSets are the validated alias sets of the latest campaign pair
+	// carrying this engine ID (one per boots/reboot tuple).
+	AliasSets []store.AliasSet `json:"alias_sets"`
+	// EverIPs is the all-time per-engine-ID index: every IP that ever
+	// reported the engine ID, validated or not.
+	EverIPs []netip.Addr `json:"ever_ips"`
+}
+
+// WireVendors is the /v1/vendors response. The Vendors slice is
+// byte-identical to the batch pipeline's tally on the same campaigns.
+type WireVendors struct {
+	Campaigns uint64              `json:"campaigns"`
+	Sets      int                 `json:"sets"`
+	Vendors   []store.VendorCount `json:"vendors"`
+}
+
+// WireTimelineSample is one campaign in a reboot timeline.
+type WireTimelineSample struct {
+	Campaign   uint64 `json:"campaign"`
+	Responsive bool   `json:"responsive"`
+	At         string `json:"at,omitempty"`
+	EngineID   string `json:"engine_id,omitempty"`
+	Boots      int64  `json:"boots,omitempty"`
+	LastReboot string `json:"last_reboot,omitempty"`
+}
+
+// WireReboots is the /v1/reboots response.
+type WireReboots struct {
+	IP           string               `json:"ip"`
+	Campaigns    uint64               `json:"campaigns"`
+	Samples      []WireTimelineSample `json:"samples"`
+	Events       []string             `json:"events"`
+	Reboots      int                  `json:"reboots"`
+	Availability float64              `json:"availability"`
+}
+
+// WireStats is the /v1/stats response.
+type WireStats struct {
+	Store store.Stats       `json:"store"`
+	Serve map[string]uint64 `json:"serve"`
+}
+
+func (s *Server) handleIP(w http.ResponseWriter, r *http.Request) {
+	s.reqIP.Add(1)
+	addr, ok := s.parseAddr(w, r)
+	if !ok {
+		return
+	}
+	v := s.st.Snapshot()
+	latest, ok := v.Latest(addr)
+	if !ok {
+		s.notFound(w, "ip never observed")
+		return
+	}
+	h := v.History(addr)
+	out := WireIP{
+		IP:      addr.String(),
+		Latest:  wireSample(latest),
+		Vendor:  vendorInfo(latest.EngineID),
+		History: make([]WireSample, 0, len(h)),
+	}
+	for _, sm := range h {
+		out.History = append(out.History, wireSample(sm))
+	}
+	s.writeJSON(w, out)
+}
+
+func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {
+	s.reqDevice.Add(1)
+	hexID := r.PathValue("engineID")
+	id, err := hex.DecodeString(hexID)
+	if err != nil || len(id) == 0 {
+		s.badRequest(w, "engine ID must be non-empty hex")
+		return
+	}
+	v := s.st.Snapshot()
+	ever := v.DeviceIPs(id)
+	sets := v.SetsForEngine(hexID)
+	if len(ever) == 0 && len(sets) == 0 {
+		s.notFound(w, "engine ID never observed")
+		return
+	}
+	if sets == nil {
+		sets = []store.AliasSet{}
+	}
+	s.writeJSON(w, WireDevice{
+		EngineID:  hexID,
+		Vendor:    vendorInfo(id),
+		AliasSets: sets,
+		EverIPs:   ever,
+	})
+}
+
+func (s *Server) handleVendors(w http.ResponseWriter, r *http.Request) {
+	s.reqVendors.Add(1)
+	v := s.st.Snapshot()
+	vendors := v.Vendors()
+	if vendors == nil {
+		vendors = []store.VendorCount{}
+	}
+	s.writeJSON(w, WireVendors{
+		Campaigns: v.Campaigns(),
+		Sets:      len(v.AliasSets()),
+		Vendors:   vendors,
+	})
+}
+
+func (s *Server) handleReboots(w http.ResponseWriter, r *http.Request) {
+	s.reqReboots.Add(1)
+	addr, ok := s.parseAddr(w, r)
+	if !ok {
+		return
+	}
+	v := s.st.Snapshot()
+	tl := v.Timeline(addr)
+	if tl == nil {
+		s.notFound(w, "ip never observed")
+		return
+	}
+	out := WireReboots{
+		IP:           addr.String(),
+		Campaigns:    v.Campaigns(),
+		Samples:      make([]WireTimelineSample, 0, len(tl.Samples)),
+		Reboots:      tl.Reboots(),
+		Availability: tl.Availability(),
+	}
+	for i, sm := range tl.Samples {
+		ws := WireTimelineSample{Campaign: uint64(i + 1), Responsive: sm.Responsive}
+		if sm.Responsive {
+			ws.At = sm.At.UTC().Format(timeLayout)
+			ws.EngineID = hex.EncodeToString(sm.EngineID)
+			ws.Boots = sm.Boots
+			ws.LastReboot = sm.LastReboot.UTC().Format(timeLayout)
+		}
+		out.Samples = append(out.Samples, ws)
+	}
+	for _, e := range tl.Transitions() {
+		out.Events = append(out.Events, e.String())
+	}
+	if out.Events == nil {
+		out.Events = []string{}
+	}
+	s.writeJSON(w, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.reqStats.Add(1)
+	s.writeJSON(w, WireStats{
+		Store: s.st.Snapshot().Stats(),
+		Serve: map[string]uint64{
+			"ip":      s.reqIP.Load(),
+			"device":  s.reqDevice.Load(),
+			"vendors": s.reqVendors.Load(),
+			"reboots": s.reqReboots.Load(),
+			"stats":   s.reqStats.Load(),
+			"errors":  s.errors.Load(),
+		},
+	})
+}
+
+func (s *Server) parseAddr(w http.ResponseWriter, r *http.Request) (netip.Addr, bool) {
+	addr, err := netip.ParseAddr(r.PathValue("addr"))
+	if err != nil {
+		s.badRequest(w, "bad address: "+err.Error())
+		return netip.Addr{}, false
+	}
+	return addr, true
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.errors.Add(1)
+	}
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, msg string) {
+	s.errors.Add(1)
+	writeError(w, http.StatusBadRequest, msg)
+}
+
+func (s *Server) notFound(w http.ResponseWriter, msg string) {
+	s.errors.Add(1)
+	writeError(w, http.StatusNotFound, msg)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"snmpv3fp/internal/core"
+	"snmpv3fp/internal/store"
+)
+
+// TestSoakIngestVsQueries races continuous campaign ingest against clients
+// hammering every endpoint. Each response must be well-formed and internally
+// consistent — a reader must never observe a half-applied ingest step. Run
+// under -race (the CI "race" target) this doubles as the data-race soak for
+// the whole store+serve stack.
+func TestSoakIngestVsQueries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short")
+	}
+	const (
+		campaigns = 10
+		ips       = 120
+		clients   = 4
+	)
+	st := store.Open(store.Options{FlushThreshold: 64, MaxSegments: 3})
+	defer st.Close()
+	ts := httptest.NewServer(New(st))
+	defer ts.Close()
+
+	// Seed one campaign so early readers have data.
+	ingestCampaign(t, st, 1, ips)
+
+	var (
+		done     atomic.Bool
+		queries  atomic.Uint64
+		statuses [clients]error
+		wg       sync.WaitGroup
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := ts.Client()
+			for i := 0; !done.Load(); i++ {
+				var err error
+				switch i % 5 {
+				case 0:
+					err = checkIP(cl, ts.URL, fmt.Sprintf("10.1.%d.%d", i%ips/256, i%ips%256+1))
+				case 1:
+					err = checkVendors(cl, ts.URL)
+				case 2:
+					err = checkStats(cl, ts.URL)
+				case 3:
+					err = checkReboots(cl, ts.URL, fmt.Sprintf("10.1.0.%d", i%ips%250+1))
+				case 4:
+					err = checkDeviceSweep(cl, ts.URL)
+				}
+				if err != nil {
+					statuses[c] = fmt.Errorf("client %d query %d: %w", c, i, err)
+					return
+				}
+				queries.Add(1)
+			}
+		}(c)
+	}
+
+	for n := uint64(2); n <= campaigns; n++ {
+		ingestCampaign(t, st, n, ips)
+	}
+	// Ingest may outrun the clients; keep serving until every client has
+	// exercised each endpoint at least a few times.
+	deadline := time.Now().Add(10 * time.Second)
+	for queries.Load() < clients*25 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	done.Store(true)
+	wg.Wait()
+	for _, err := range statuses {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if queries.Load() < clients*25 {
+		t.Fatalf("only %d queries completed", queries.Load())
+	}
+	t.Logf("soak: %d queries against %d campaigns", queries.Load(), campaigns)
+
+	// Final state sanity once ingest is quiescent.
+	v := st.Snapshot()
+	if got := v.Stats().Ingested; got != campaigns*ips {
+		t.Fatalf("ingested %d, want %d", got, campaigns*ips)
+	}
+}
+
+// ingestCampaign writes campaign n: every IP responsive with a stable
+// engine ID and coherent uptime, so alias sets are non-trivial throughout.
+func ingestCampaign(t *testing.T, st *store.Store, n uint64, ips int) {
+	t.Helper()
+	st.BeginCampaign()
+	at := t0.Add(time.Duration(n) * 24 * time.Hour)
+	for i := 0; i < ips; i++ {
+		device := i / 2 // two IPs per device
+		id := engID(9, byte(device>>8), byte(device), 0x01, 0x02)
+		o := &core.Observation{
+			IP:          netip.MustParseAddr(fmt.Sprintf("10.1.%d.%d", i/256, i%256+1)),
+			EngineID:    id,
+			EngineBoots: 3,
+			EngineTime:  int64(n) * 86400,
+			ReceivedAt:  at,
+			Packets:     1,
+		}
+		if err := st.Add(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func soakGet(cl *http.Client, url string, out any) (int, error) {
+	resp, err := cl.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			return 0, fmt.Errorf("bad JSON: %w (%s)", err, body)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func checkIP(cl *http.Client, base, addr string) error {
+	var out WireIP
+	code, err := soakGet(cl, base+"/v1/ip/"+addr, &out)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("/v1/ip/%s: code %d", addr, code)
+	}
+	if len(out.History) == 0 {
+		return fmt.Errorf("/v1/ip/%s: empty history", addr)
+	}
+	last := out.History[len(out.History)-1]
+	if last != out.Latest {
+		return fmt.Errorf("/v1/ip/%s: latest %+v != history tail %+v", addr, out.Latest, last)
+	}
+	for i := 1; i < len(out.History); i++ {
+		if out.History[i].Campaign <= out.History[i-1].Campaign {
+			return fmt.Errorf("/v1/ip/%s: history out of order", addr)
+		}
+	}
+	return nil
+}
+
+func checkVendors(cl *http.Client, base string) error {
+	var out WireVendors
+	code, err := soakGet(cl, base+"/v1/vendors", &out)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("/v1/vendors: code %d", code)
+	}
+	sum := 0
+	for _, vc := range out.Vendors {
+		sum += vc.Devices
+	}
+	if sum != out.Sets {
+		return fmt.Errorf("/v1/vendors: device sum %d != sets %d", sum, out.Sets)
+	}
+	return nil
+}
+
+func checkStats(cl *http.Client, base string) error {
+	var out WireStats
+	code, err := soakGet(cl, base+"/v1/stats", &out)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("/v1/stats: code %d", code)
+	}
+	if out.Store.Ingested < uint64(out.Store.MemSamples+out.Store.SegmentSamples)-out.Store.Superseded {
+		return fmt.Errorf("/v1/stats: ingested %d < live samples", out.Store.Ingested)
+	}
+	return nil
+}
+
+func checkReboots(cl *http.Client, base, addr string) error {
+	var out WireReboots
+	code, err := soakGet(cl, base+"/v1/reboots/"+addr, &out)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("/v1/reboots/%s: code %d", addr, code)
+	}
+	if uint64(len(out.Samples)) != out.Campaigns {
+		return fmt.Errorf("/v1/reboots/%s: %d samples over %d campaigns", addr, len(out.Samples), out.Campaigns)
+	}
+	return nil
+}
+
+// checkDeviceSweep picks a device out of the vendors snapshot via an alias
+// set lookup and confirms every member IP resolves in the same world.
+func checkDeviceSweep(cl *http.Client, base string) error {
+	var vendors WireVendors
+	code, err := soakGet(cl, base+"/v1/vendors", &vendors)
+	if err != nil || code != http.StatusOK {
+		return err
+	}
+	id := engID(9, 0, 0, 0x01, 0x02) // device 0, always present after seed
+	var dev WireDevice
+	code, err = soakGet(cl, base+"/v1/device/"+fmt.Sprintf("%x", id), &dev)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("/v1/device: code %d", code)
+	}
+	if len(dev.EverIPs) == 0 {
+		return fmt.Errorf("/v1/device: no ever_ips for seeded device")
+	}
+	for _, s := range dev.AliasSets {
+		if s.Size() == 0 {
+			return fmt.Errorf("/v1/device: empty alias set")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package store
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"snmpv3fp/internal/core"
+)
+
+// Sample is one stored observation: what a single campaign saw at one IP.
+// Samples are immutable once ingested; a later sample for the same
+// (IP, campaign) supersedes the earlier one (re-ingesting a corrected
+// campaign file), with compaction discarding the loser.
+type Sample struct {
+	IP       netip.Addr
+	Campaign uint64
+	// Seq is the store-global ingest sequence number; among samples with
+	// equal (IP, Campaign) the highest Seq wins.
+	Seq          uint64
+	EngineID     []byte
+	Boots        int64
+	EngineTime   int64
+	ReceivedAt   time.Time
+	Packets      int
+	Inconsistent bool
+}
+
+// LastReboot derives the restart instant exactly as core.Observation does.
+func (s *Sample) LastReboot() time.Time {
+	return s.ReceivedAt.Add(-time.Duration(s.EngineTime) * time.Second)
+}
+
+// Observation converts the sample back to the pipeline's native type.
+func (s *Sample) Observation() *core.Observation {
+	return &core.Observation{
+		IP:           s.IP,
+		EngineID:     s.EngineID,
+		EngineBoots:  s.Boots,
+		EngineTime:   s.EngineTime,
+		ReceivedAt:   s.ReceivedAt,
+		Packets:      s.Packets,
+		Inconsistent: s.Inconsistent,
+	}
+}
+
+func sampleFrom(o *core.Observation, campaign, seq uint64) Sample {
+	return Sample{
+		IP:           o.IP,
+		Campaign:     campaign,
+		Seq:          seq,
+		EngineID:     o.EngineID,
+		Boots:        o.EngineBoots,
+		EngineTime:   o.EngineTime,
+		ReceivedAt:   o.ReceivedAt,
+		Packets:      o.Packets,
+		Inconsistent: o.Inconsistent,
+	}
+}
+
+// sampleLess is the canonical segment order: (IP, Campaign, Seq).
+func sampleLess(a, b *Sample) bool {
+	if a.IP != b.IP {
+		return a.IP.Less(b.IP)
+	}
+	if a.Campaign != b.Campaign {
+		return a.Campaign < b.Campaign
+	}
+	return a.Seq < b.Seq
+}
+
+// span is a half-open index range into a segment's sample slice.
+type span struct{ lo, hi int }
+
+// segment is one immutable sorted run of samples with its per-IP and
+// per-engine-ID indexes. Segments are never mutated after construction, so
+// readers touch them without synchronization.
+type segment struct {
+	samples []Sample
+	byIP    map[netip.Addr]span
+	// engines maps an engine ID (raw bytes as string) to the sorted,
+	// deduplicated IPs that reported it in this segment.
+	engines map[string][]netip.Addr
+}
+
+// buildSegment sorts the samples into canonical order and indexes them. It
+// takes ownership of the slice.
+func buildSegment(samples []Sample) *segment {
+	sort.Slice(samples, func(i, j int) bool { return sampleLess(&samples[i], &samples[j]) })
+	g := &segment{
+		samples: samples,
+		byIP:    make(map[netip.Addr]span),
+		engines: make(map[string][]netip.Addr),
+	}
+	for i := 0; i < len(samples); {
+		j := i
+		for j < len(samples) && samples[j].IP == samples[i].IP {
+			j++
+		}
+		g.byIP[samples[i].IP] = span{i, j}
+		seen := map[string]bool{}
+		for k := i; k < j; k++ {
+			if id := string(samples[k].EngineID); id != "" && !seen[id] {
+				seen[id] = true
+				g.engines[id] = append(g.engines[id], samples[i].IP)
+			}
+		}
+		i = j
+	}
+	return g
+}
+
+// mergeSegments folds several segments (oldest first) into one, dropping
+// superseded samples: for each (IP, campaign) only the highest-Seq sample
+// survives. Returns the merged segment and how many samples were dropped.
+func mergeSegments(segs []*segment) (*segment, int) {
+	total := 0
+	for _, g := range segs {
+		total += len(g.samples)
+	}
+	all := make([]Sample, 0, total)
+	for _, g := range segs {
+		all = append(all, g.samples...)
+	}
+	sort.Slice(all, func(i, j int) bool { return sampleLess(&all[i], &all[j]) })
+	kept := all[:0]
+	for i := range all {
+		if len(kept) > 0 {
+			last := &kept[len(kept)-1]
+			if last.IP == all[i].IP && last.Campaign == all[i].Campaign {
+				// Same key: the later (higher-Seq) sample supersedes.
+				kept[len(kept)-1] = all[i]
+				continue
+			}
+		}
+		kept = append(kept, all[i])
+	}
+	dropped := total - len(kept)
+	out := make([]Sample, len(kept))
+	copy(out, kept)
+	return buildSegment(out), dropped
+}
+
+// memtable is the mutable ingest buffer: an append-only sample log with
+// incrementally maintained indexes, frozen into a segment on flush.
+type memtable struct {
+	samples []Sample
+	byIP    map[netip.Addr][]int
+	engines map[string]map[netip.Addr]struct{}
+}
+
+func newMemtable() *memtable {
+	return &memtable{
+		byIP:    make(map[netip.Addr][]int),
+		engines: make(map[string]map[netip.Addr]struct{}),
+	}
+}
+
+func (m *memtable) add(sm Sample) {
+	m.byIP[sm.IP] = append(m.byIP[sm.IP], len(m.samples))
+	m.samples = append(m.samples, sm)
+	if id := string(sm.EngineID); id != "" {
+		set := m.engines[id]
+		if set == nil {
+			set = make(map[netip.Addr]struct{})
+			m.engines[id] = set
+		}
+		set[sm.IP] = struct{}{}
+	}
+}
+
+func (m *memtable) len() int { return len(m.samples) }
+
+// freeze copies the memtable into an immutable segment; the memtable keeps
+// accepting writes afterwards (snapshots freeze without resetting).
+func (m *memtable) freeze() *segment {
+	cp := make([]Sample, len(m.samples))
+	copy(cp, m.samples)
+	return buildSegment(cp)
+}

@@ -1,0 +1,343 @@
+// Package store is the fingerprint observation store behind cmd/snmpfpd: a
+// log-structured, append-only home for SNMPv3 scan campaigns that turns the
+// batch pipeline (scan → NDJSON → re-read everything) into an incrementally
+// updated, query-serving system.
+//
+// Writes land in an in-memory memtable that is frozen into immutable sorted
+// segments at campaign boundaries (and when it outgrows its threshold); a
+// background compactor merges segments and discards superseded samples.
+// Each segment carries a per-IP and a per-engine-ID index. Readers obtain a
+// View — an immutable snapshot of segments, alias sets and tallies — so
+// queries never block ingest and never observe a half-applied campaign
+// ingest step.
+//
+// Alias sets (Section 5) and vendor tallies (Section 6) over the two most
+// recent campaigns are maintained incrementally on ingest; their results
+// are byte-identical to the batch filter.Run + alias.Resolve pipeline.
+package store
+
+import (
+	"errors"
+	"net/netip"
+	"sync"
+
+	"snmpv3fp/internal/alias"
+	"snmpv3fp/internal/core"
+)
+
+// Options tunes a store.
+type Options struct {
+	// FlushThreshold is how many memtable samples trigger a flush to an
+	// immutable segment (default 4096). Campaign boundaries always flush.
+	FlushThreshold int
+	// MaxSegments is the segment count at which the background compactor
+	// merges (default 6).
+	MaxSegments int
+	// Variant is the alias-resolution rule (default alias.Default, the
+	// paper's "Divide by 20 both").
+	Variant alias.Variant
+	// DisableCompaction turns the background compactor off; Compact can
+	// still be called explicitly. Used by tests that assert segment
+	// layouts.
+	DisableCompaction bool
+}
+
+func (o *Options) fill() {
+	if o.FlushThreshold <= 0 {
+		o.FlushThreshold = 4096
+	}
+	if o.MaxSegments < 2 {
+		o.MaxSegments = 6
+	}
+	zero := alias.Variant{}
+	if o.Variant == zero {
+		o.Variant = alias.Default
+	}
+}
+
+// Stats is a point-in-time summary of the store.
+type Stats struct {
+	// Version increments on every mutation; snapshots taken later never
+	// carry a smaller version.
+	Version uint64 `json:"version"`
+	// Campaigns is how many campaigns have been begun.
+	Campaigns uint64 `json:"campaigns"`
+	// Ingested counts samples ever accepted.
+	Ingested uint64 `json:"ingested"`
+	// MemSamples is the current memtable population.
+	MemSamples int `json:"mem_samples"`
+	// Segments and SegmentSamples describe the immutable layer.
+	Segments       int `json:"segments"`
+	SegmentSamples int `json:"segment_samples"`
+	// Flushes and Compactions count memtable freezes and segment merges.
+	Flushes     uint64 `json:"flushes"`
+	Compactions uint64 `json:"compactions"`
+	// Superseded counts samples discarded by compaction because a later
+	// sample for the same (IP, campaign) replaced them.
+	Superseded uint64 `json:"superseded"`
+	// TrackedIPs is how many distinct IPs have ever been observed;
+	// CurrentResponsive how many answered the current campaign so far.
+	TrackedIPs        int `json:"tracked_ips"`
+	CurrentResponsive int `json:"current_responsive"`
+	// Devices is how many distinct engine IDs have ever been observed.
+	Devices int `json:"devices"`
+	// AliasSets and Vendors describe the live incremental resolution over
+	// the latest campaign pair.
+	AliasSets int `json:"alias_sets"`
+	Vendors   int `json:"vendors"`
+}
+
+// Store is the fingerprint observation store. All methods are safe for
+// concurrent use.
+type Store struct {
+	opt Options
+
+	mu       sync.Mutex
+	mem      *memtable
+	segs     []*segment // immutable elements; slice rebuilt on change
+	seq      uint64
+	campaign uint64
+	// prev and cur map IPs to their observation in the previous and
+	// current campaign — the pair the alias index resolves over.
+	prev, cur map[netip.Addr]*core.Observation
+	aidx      *aliasIndex
+	known     map[netip.Addr]struct{}
+	engines   map[string]struct{}
+
+	version     uint64
+	ingested    uint64
+	flushes     uint64
+	compactions uint64
+	superseded  uint64
+
+	view      *View
+	viewValid bool
+
+	compactCh chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// ErrNoCampaign is returned by Add before any BeginCampaign call.
+var ErrNoCampaign = errors.New("store: no campaign begun")
+
+// Open creates a store and starts its background compactor.
+func Open(opt Options) *Store {
+	opt.fill()
+	s := &Store{
+		opt:       opt,
+		mem:       newMemtable(),
+		prev:      map[netip.Addr]*core.Observation{},
+		cur:       map[netip.Addr]*core.Observation{},
+		aidx:      newAliasIndex(opt.Variant),
+		known:     map[netip.Addr]struct{}{},
+		engines:   map[string]struct{}{},
+		compactCh: make(chan struct{}, 1),
+		done:      make(chan struct{}),
+	}
+	if !opt.DisableCompaction {
+		s.wg.Add(1)
+		go s.compactor()
+	}
+	return s
+}
+
+// Close stops the background compactor. The store stays queryable.
+func (s *Store) Close() {
+	s.closeOnce.Do(func() { close(s.done) })
+	s.wg.Wait()
+}
+
+// BeginCampaign seals the current campaign (flushing its samples to a
+// segment) and starts the next one, advancing the alias pair to (previous,
+// new). Returns the new campaign's 1-based sequence number.
+func (s *Store) BeginCampaign() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+	s.campaign++
+	s.prev = s.cur
+	s.cur = map[netip.Addr]*core.Observation{}
+	s.aidx.reset([2]uint64{s.campaign - 1, s.campaign})
+	s.mutateLocked()
+	return s.campaign
+}
+
+// Add ingests one observation into the current campaign: it lands in the
+// memtable, updates the per-campaign pair state and the incremental alias
+// index, and flushes if the memtable is full. Re-adding an IP within the
+// same campaign supersedes the earlier sample.
+func (s *Store) Add(o *core.Observation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.campaign == 0 {
+		return ErrNoCampaign
+	}
+	s.seq++
+	s.mem.add(sampleFrom(o, s.campaign, s.seq))
+	s.ingested++
+	s.known[o.IP] = struct{}{}
+	if len(o.EngineID) > 0 {
+		s.engines[string(o.EngineID)] = struct{}{}
+	}
+	s.cur[o.IP] = o
+	s.aidx.update(o.IP, s.prev[o.IP], o)
+	s.mutateLocked()
+	if s.mem.len() >= s.opt.FlushThreshold {
+		s.flushLocked()
+	}
+	return nil
+}
+
+// AddCampaign begins a new campaign and ingests every observation of c in
+// address order (deterministic segment contents). Returns the campaign
+// sequence number.
+func (s *Store) AddCampaign(c *core.Campaign) uint64 {
+	n := s.BeginCampaign()
+	for _, ip := range c.SortedIPs() {
+		// Add only fails before the first BeginCampaign.
+		_ = s.Add(c.ByIP[ip])
+	}
+	return n
+}
+
+// Flush seals the memtable into an immutable segment immediately.
+func (s *Store) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+}
+
+// mutateLocked marks store state changed: bumps the version and drops the
+// cached view.
+func (s *Store) mutateLocked() {
+	s.version++
+	s.viewValid = false
+	s.view = nil
+}
+
+func (s *Store) flushLocked() {
+	if s.mem.len() == 0 {
+		return
+	}
+	seg := s.mem.freeze()
+	s.segs = append(s.segs, seg)
+	s.mem = newMemtable()
+	s.flushes++
+	s.mutateLocked()
+	select {
+	case s.compactCh <- struct{}{}:
+	default:
+	}
+}
+
+func (s *Store) compactor() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.compactCh:
+			s.compactIfNeeded(s.opt.MaxSegments)
+		}
+	}
+}
+
+// Compact merges all current segments into one, discarding superseded
+// samples, regardless of the MaxSegments trigger.
+func (s *Store) Compact() {
+	s.compactIfNeeded(2)
+}
+
+// compactIfNeeded merges when at least minSegs segments exist. The merge
+// itself runs without the store lock: flushes may append new segments
+// meanwhile, and only the prefix that was merged is replaced. A single
+// compactor mutates the prefix at a time (the background goroutine, or an
+// explicit Compact call), so the prefix snapshot stays valid; concurrent
+// explicit calls are serialized by the store lock around the swap and at
+// worst re-merge an already-compacted prefix.
+func (s *Store) compactIfNeeded(minSegs int) {
+	s.mu.Lock()
+	if len(s.segs) < minSegs {
+		s.mu.Unlock()
+		return
+	}
+	prefix := s.segs[:len(s.segs):len(s.segs)]
+	s.mu.Unlock()
+
+	merged, dropped := mergeSegments(prefix)
+
+	s.mu.Lock()
+	same := len(s.segs) >= len(prefix)
+	if same {
+		for i := range prefix {
+			if s.segs[i] != prefix[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if !same {
+		// Someone else replaced the prefix; drop this merge.
+		s.mu.Unlock()
+		return
+	}
+	rest := s.segs[len(prefix):]
+	next := make([]*segment, 0, 1+len(rest))
+	next = append(next, merged)
+	next = append(next, rest...)
+	s.segs = next
+	s.compactions++
+	s.superseded += uint64(dropped)
+	s.mutateLocked()
+	s.mu.Unlock()
+}
+
+// Snapshot returns an immutable view of the store. Views are cached: until
+// the next mutation, every caller shares one view, and building it costs
+// one memtable freeze plus one alias-set materialization. View methods
+// never take the store lock, so queries never block ingest.
+func (s *Store) Snapshot() *View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.viewValid {
+		return s.view
+	}
+	segs := make([]*segment, 0, len(s.segs)+1)
+	segs = append(segs, s.segs...)
+	segSamples := 0
+	for _, g := range s.segs {
+		segSamples += len(g.samples)
+	}
+	if s.mem.len() > 0 {
+		segs = append(segs, s.mem.freeze())
+	}
+	sets, vendors, byEngine := s.aidx.materialize()
+	v := &View{
+		segs:      segs,
+		campaigns: s.campaign,
+		sets:      sets,
+		vendors:   vendors,
+		byEngine:  byEngine,
+		stats: Stats{
+			Version:           s.version,
+			Campaigns:         s.campaign,
+			Ingested:          s.ingested,
+			MemSamples:        s.mem.len(),
+			Segments:          len(s.segs),
+			SegmentSamples:    segSamples,
+			Flushes:           s.flushes,
+			Compactions:       s.compactions,
+			Superseded:        s.superseded,
+			TrackedIPs:        len(s.known),
+			CurrentResponsive: len(s.cur),
+			Devices:           len(s.engines),
+			AliasSets:         len(sets),
+			Vendors:           len(vendors),
+		},
+	}
+	s.view = v
+	s.viewValid = true
+	return v
+}

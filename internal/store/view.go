@@ -1,0 +1,134 @@
+package store
+
+import (
+	"net/netip"
+	"sort"
+
+	"snmpv3fp/internal/tracker"
+)
+
+// View is an immutable snapshot of the store: a fixed segment list (the
+// memtable frozen in), the materialized alias sets and vendor tallies, and
+// the stats at snapshot time. All methods are lock-free and safe for
+// concurrent use; a view never changes after Snapshot returns it.
+type View struct {
+	segs      []*segment
+	campaigns uint64
+	sets      []AliasSet
+	vendors   []VendorCount
+	byEngine  map[string][]int
+	stats     Stats
+}
+
+// Stats returns the snapshot-time counters.
+func (v *View) Stats() Stats { return v.stats }
+
+// Campaigns returns how many campaigns the snapshot covers.
+func (v *View) Campaigns() uint64 { return v.campaigns }
+
+// History returns every surviving sample for the IP in campaign order,
+// superseded samples (same campaign, lower sequence) removed. The slice is
+// freshly allocated; callers may keep it.
+func (v *View) History(addr netip.Addr) []Sample {
+	var out []Sample
+	for _, g := range v.segs {
+		sp, ok := g.byIP[addr]
+		if !ok {
+			continue
+		}
+		out = append(out, g.samples[sp.lo:sp.hi]...)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Campaign != out[j].Campaign {
+			return out[i].Campaign < out[j].Campaign
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	kept := out[:0]
+	for i := range out {
+		if len(kept) > 0 && kept[len(kept)-1].Campaign == out[i].Campaign {
+			kept[len(kept)-1] = out[i] // higher Seq supersedes
+			continue
+		}
+		kept = append(kept, out[i])
+	}
+	return kept
+}
+
+// Latest returns the IP's most recent sample.
+func (v *View) Latest(addr netip.Addr) (Sample, bool) {
+	h := v.History(addr)
+	if len(h) == 0 {
+		return Sample{}, false
+	}
+	return h[len(h)-1], true
+}
+
+// DeviceIPs returns every IP that ever reported the engine ID (raw bytes),
+// in address order — the all-time per-engine-ID index, as opposed to the
+// validated alias set of the latest pair.
+func (v *View) DeviceIPs(engineID []byte) []netip.Addr {
+	seen := map[netip.Addr]struct{}{}
+	for _, g := range v.segs {
+		for _, ip := range g.engines[string(engineID)] {
+			seen[ip] = struct{}{}
+		}
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]netip.Addr, 0, len(seen))
+	for ip := range seen {
+		out = append(out, ip)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// AliasSets returns the alias sets of the latest campaign pair, in the
+// batch pipeline's canonical order. The slice is shared; do not mutate.
+func (v *View) AliasSets() []AliasSet { return v.sets }
+
+// SetsForEngine returns the alias sets whose engine ID (hex) matches — one
+// per distinct (boots, binned reboot) tuple behind the engine ID.
+func (v *View) SetsForEngine(engineIDHex string) []AliasSet {
+	idx := v.byEngine[engineIDHex]
+	if len(idx) == 0 {
+		return nil
+	}
+	out := make([]AliasSet, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, v.sets[i])
+	}
+	return out
+}
+
+// Vendors returns the device-per-vendor tally of the latest campaign pair,
+// ordered by decreasing device count then vendor name. Shared; do not
+// mutate.
+func (v *View) Vendors() []VendorCount { return v.vendors }
+
+// Timeline reconstructs the IP's longitudinal record across every campaign
+// in the snapshot, silent campaigns included — identical to what
+// tracker.Build produces over the same campaign sequence. Returns nil for
+// IPs never observed.
+func (v *View) Timeline(addr netip.Addr) *tracker.Timeline {
+	h := v.History(addr)
+	if len(h) == 0 {
+		return nil
+	}
+	tl := &tracker.Timeline{IP: addr}
+	i := 0
+	for c := uint64(1); c <= v.campaigns; c++ {
+		if i < len(h) && h[i].Campaign == c {
+			tl.Extend(h[i].Observation())
+			i++
+			continue
+		}
+		tl.ExtendSilent()
+	}
+	return tl
+}

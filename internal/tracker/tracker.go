@@ -166,6 +166,55 @@ func Build(campaigns []*core.Campaign) map[netip.Addr]*Timeline {
 	return out
 }
 
+// Extend appends one campaign's responsive view of the IP to the timeline,
+// in the same form Build records: incremental monitors append campaigns as
+// they complete instead of rebuilding every timeline from all campaigns.
+func (tl *Timeline) Extend(o *core.Observation) {
+	tl.Samples = append(tl.Samples, Sample{
+		At:         o.ReceivedAt,
+		Responsive: true,
+		EngineID:   o.EngineID,
+		Boots:      o.EngineBoots,
+		LastReboot: o.LastReboot(),
+	})
+}
+
+// ExtendSilent appends one campaign in which the IP did not answer.
+func (tl *Timeline) ExtendSilent() {
+	tl.Samples = append(tl.Samples, Sample{})
+}
+
+// Extend folds one more campaign into an existing timeline set in place:
+// IPs new to the population get leading silent samples for the campaigns
+// they missed, responsive IPs gain a responsive sample, and every other
+// timeline gains a silent one. Folding campaigns one at a time through
+// Extend yields exactly what Build computes over the full sequence, so a
+// long-running monitor never has to retain past campaigns.
+func Extend(timelines map[netip.Addr]*Timeline, c *core.Campaign) {
+	prior := 0
+	for _, tl := range timelines {
+		if len(tl.Samples) > prior {
+			prior = len(tl.Samples)
+		}
+	}
+	for ip, o := range c.ByIP {
+		tl := timelines[ip]
+		if tl == nil {
+			tl = &Timeline{IP: ip}
+			for i := 0; i < prior; i++ {
+				tl.ExtendSilent()
+			}
+			timelines[ip] = tl
+		}
+		tl.Extend(o)
+	}
+	for _, tl := range timelines {
+		if len(tl.Samples) == prior {
+			tl.ExtendSilent()
+		}
+	}
+}
+
 // Summary aggregates a timeline set.
 type Summary struct {
 	// Tracked is the number of IPs with at least two responsive samples.

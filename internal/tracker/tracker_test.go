@@ -2,6 +2,7 @@ package tracker
 
 import (
 	"net/netip"
+	"reflect"
 	"testing"
 	"time"
 
@@ -154,5 +155,78 @@ func TestEventStrings(t *testing.T) {
 		if e.String() != want {
 			t.Errorf("%d = %q", int(e), e.String())
 		}
+	}
+}
+
+// TestExtendFoldMatchesBuild is the merge-path contract: folding campaigns
+// one at a time through Extend must produce exactly what Build produces over
+// the whole slice, including IPs that appear late (padded with leading
+// silent samples) and IPs that go silent mid-sequence.
+func TestExtendFoldMatchesBuild(t *testing.T) {
+	reboot := t0.Add(-100 * 24 * time.Hour)
+	day := 24 * time.Hour
+	ip3 := netip.MustParseAddr("192.0.2.3")
+	campaigns := []*core.Campaign{
+		campaignOf(
+			observation(ip1, "dev1", 5, reboot, t0),
+			observation(ip2, "dev2", 2, reboot, t0),
+		),
+		campaignOf( // ip2 silent, ip3 appears
+			observation(ip1, "dev1", 5, reboot, t0.Add(6*day)),
+			observation(ip3, "dev3", 1, t0.Add(3*day), t0.Add(6*day)),
+		),
+		campaignOf( // ip1 rebooted, ip2 back, ip3 silent
+			observation(ip1, "dev1", 6, t0.Add(9*day), t0.Add(12*day)),
+			observation(ip2, "dev2", 2, reboot, t0.Add(12*day)),
+		),
+	}
+
+	want := Build(campaigns)
+	got := map[netip.Addr]*Timeline{}
+	for _, c := range campaigns {
+		Extend(got, c)
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("timelines: got %d want %d", len(got), len(want))
+	}
+	for ip, w := range want {
+		g := got[ip]
+		if g == nil {
+			t.Fatalf("missing %v", ip)
+		}
+		if !reflect.DeepEqual(g, w) {
+			t.Errorf("%v diverges:\n got %+v\nwant %+v", ip, g, w)
+		}
+		if g.Reboots() != w.Reboots() || g.Availability() != w.Availability() {
+			t.Errorf("%v summary diverges", ip)
+		}
+	}
+}
+
+// TestExtendIncremental checks appending a campaign to an existing fold
+// equals rebuilding from scratch — the "append without rebuilding" use.
+func TestExtendIncremental(t *testing.T) {
+	reboot := t0.Add(-100 * 24 * time.Hour)
+	day := 24 * time.Hour
+	c1 := campaignOf(observation(ip1, "dev", 5, reboot, t0))
+	c2 := campaignOf(observation(ip1, "dev", 5, reboot, t0.Add(6*day)))
+	c3 := campaignOf(
+		observation(ip1, "dev", 5, reboot, t0.Add(12*day)),
+		observation(ip2, "new", 1, t0.Add(10*day), t0.Add(12*day)),
+	)
+
+	fold := Build([]*core.Campaign{c1, c2})
+	Extend(fold, c3)
+	want := Build([]*core.Campaign{c1, c2, c3})
+	if !reflect.DeepEqual(fold, want) {
+		t.Fatalf("incremental fold diverges:\n got %+v\nwant %+v", fold, want)
+	}
+	// The late joiner is padded to full length with silent samples.
+	if n := len(fold[ip2].Samples); n != 3 {
+		t.Fatalf("padded samples = %d, want 3", n)
+	}
+	if fold[ip2].Samples[0].Responsive || fold[ip2].Samples[1].Responsive {
+		t.Fatal("leading pad samples must be silent")
 	}
 }
