@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-json smoke-serve reproduce examples ci fuzz-smoke clean
+.PHONY: all build vet test test-short race bench bench-json smoke-serve metrics-smoke reproduce examples ci fuzz-smoke clean
 
 all: build vet test
 
@@ -30,6 +30,7 @@ ci:
 	$(GO) test -race -shuffle=on ./...
 	$(MAKE) fuzz-smoke
 	$(MAKE) smoke-serve
+	$(MAKE) metrics-smoke
 	$(MAKE) bench-json
 
 # 10 seconds of native fuzzing per target. go test accepts one -fuzz target
@@ -52,10 +53,28 @@ bench-json:
 	$(GO) run ./cmd/snmpfpd -bench-json BENCH_store.json
 	@cat BENCH_store.json
 
-# End-to-end daemon smoke: ingest a simulated world, self-query /v1/stats
-# and /v1/vendors over HTTP.
+# End-to-end daemon smoke: ingest a simulated world, self-query /v1/stats,
+# /v1/vendors and /v1/metrics over HTTP.
 smoke-serve:
 	$(GO) run ./cmd/snmpfpd -sim -smoke
+
+# Observability smoke: run the daemon's self-test and assert the key metric
+# families from every layer (scanner, store, HTTP) are present and non-zero
+# in the /v1/metrics exposition.
+metrics-smoke:
+	@$(GO) run ./cmd/snmpfpd -sim -smoke 2>/dev/null | awk ' \
+		/^snmpfp_scan_probes_sent_total / && $$2+0 > 0 { seen["scan"]=1 } \
+		/^snmpfp_store_ingested_total / && $$2+0 > 0 { seen["store"]=1 } \
+		/^snmpfp_http_requests_total\{/ && $$2+0 > 0 { seen["http"]=1 } \
+		END { \
+			ok = 1; \
+			split("scan store http", want, " "); \
+			for (i in want) if (!(want[i] in seen)) { \
+				printf "metrics-smoke: family %s missing or zero\n", want[i]; ok = 0; \
+			} \
+			if (!ok) exit 1; \
+			print "metrics-smoke: scanner, store and HTTP families present and non-zero"; \
+		}'
 
 # The complete evaluation, paper order, full scale.
 reproduce:

@@ -11,8 +11,8 @@
 //
 //	snmpfpd -sim -sim-seed 7 -sim-campaigns 4 -listen :8161
 //
-// Self-contained smoke test (ingest a simulated world, query /v1/stats and
-// /v1/vendors over HTTP, print both, exit):
+// Self-contained smoke test (ingest a simulated world, query /v1/stats,
+// /v1/vendors and /v1/metrics over HTTP, print all three, exit):
 //
 //	snmpfpd -sim -smoke
 //
@@ -21,7 +21,12 @@
 //	snmpfpd -bench-json BENCH_store.json
 //
 // Endpoints: /v1/ip/{addr}, /v1/device/{engineID}, /v1/vendors,
-// /v1/reboots/{addr}, /v1/stats.
+// /v1/reboots/{addr}, /v1/stats, /v1/metrics; plus /debug/pprof/ with
+// -pprof.
+//
+// One obs.Registry spans the whole daemon — scanner, netsim faults, store
+// and HTTP server all publish into it — so /v1/metrics is the single pane
+// of glass over a live ingest.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -40,6 +46,7 @@ import (
 
 	"snmpv3fp/internal/core"
 	"snmpv3fp/internal/netsim"
+	"snmpv3fp/internal/obs"
 	"snmpv3fp/internal/records"
 	"snmpv3fp/internal/scanner"
 	"snmpv3fp/internal/serve"
@@ -55,7 +62,8 @@ func main() {
 	rate := flag.Int("rate", 50000, "simulated scan probe rate (packets per second)")
 	workers := flag.Int("workers", 4, "simulated scan send workers")
 	flushThreshold := flag.Int("flush", 4096, "memtable samples per segment flush")
-	smoke := flag.Bool("smoke", false, "ingest, self-query /v1/stats and /v1/vendors, print, exit")
+	smoke := flag.Bool("smoke", false, "ingest, self-query /v1/stats, /v1/vendors and /v1/metrics, print, exit")
+	pprofFlag := flag.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/")
 	benchJSON := flag.String("bench-json", "", "run the store+serve benchmark, write JSON to this file, exit")
 	flag.Parse()
 
@@ -68,9 +76,28 @@ func main() {
 		os.Exit(2)
 	}
 
-	st := store.Open(store.Options{FlushThreshold: *flushThreshold})
+	// One registry for the whole daemon: the store, the HTTP server and
+	// every simulated campaign publish into it.
+	reg := obs.NewRegistry()
+	st := store.Open(store.Options{FlushThreshold: *flushThreshold, Obs: reg})
 	defer st.Close()
-	srv := serve.New(st)
+	srv := serve.New(st, serve.WithObs(reg))
+	var handler http.Handler = srv
+	if *pprofFlag {
+		root := http.NewServeMux()
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		root.Handle("/", srv)
+		handler = root
+	}
+
+	// Cancelling this context (SIGINT/SIGTERM) drains scan workers and
+	// aborts ingest before the HTTP server shuts down.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	addr := *listen
 	if *smoke {
@@ -80,7 +107,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	hs := &http.Server{Handler: srv}
+	hs := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "snmpfpd: serving on http://%s\n", ln.Addr())
@@ -88,14 +115,16 @@ func main() {
 	// Ingest runs concurrently with serving; queries observe campaigns as
 	// they land.
 	ingestDone := make(chan error, 1)
-	go func() { ingestDone <- runIngest(st, *ingest, *sim, *simSeed, *simCampaigns, *rate, *workers) }()
+	go func() {
+		ingestDone <- runIngest(ctx, st, reg, *ingest, *sim, *simSeed, *simCampaigns, *rate, *workers)
+	}()
 
 	if *smoke {
 		if err := <-ingestDone; err != nil {
 			fatal(err)
 		}
 		base := "http://" + ln.Addr().String()
-		for _, path := range []string{"/v1/stats", "/v1/vendors"} {
+		for _, path := range []string{"/v1/stats", "/v1/vendors", "/v1/metrics"} {
 			body, err := httpGet(base + path)
 			if err != nil {
 				fatal(err)
@@ -106,17 +135,15 @@ func main() {
 		return
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-ingestDone:
-		if err != nil {
+		if err != nil && ctx.Err() == nil {
 			fatal(err)
 		}
 		fmt.Fprintln(os.Stderr, "snmpfpd: ingest complete; serving until interrupted")
-		<-sig
-	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "snmpfpd: %v; shutting down\n", s)
+		<-ctx.Done()
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "snmpfpd: interrupted; shutting down")
 	case err := <-serveErr:
 		fatal(err)
 	}
@@ -124,7 +151,7 @@ func main() {
 }
 
 // runIngest feeds the store: NDJSON files first, then simulated campaigns.
-func runIngest(st *store.Store, ingest string, sim bool, simSeed int64, simCampaigns, rate, workers int) error {
+func runIngest(ctx context.Context, st *store.Store, reg *obs.Registry, ingest string, sim bool, simSeed int64, simCampaigns, rate, workers int) error {
 	if ingest != "" {
 		for _, name := range strings.Split(ingest, ",") {
 			name = strings.TrimSpace(name)
@@ -132,12 +159,15 @@ func runIngest(st *store.Store, ingest string, sim bool, simSeed int64, simCampa
 			if err != nil {
 				return err
 			}
-			n := st.AddCampaign(c)
+			n, err := st.Ingest(ctx, c)
+			if err != nil {
+				return err
+			}
 			fmt.Fprintf(os.Stderr, "snmpfpd: campaign %d: %d IPs from %s\n", n, len(c.ByIP), name)
 		}
 	}
 	if sim {
-		if err := runSim(st, simSeed, simCampaigns, rate, workers); err != nil {
+		if err := runSim(ctx, st, reg, simSeed, simCampaigns, rate, workers); err != nil {
 			return err
 		}
 	}
@@ -156,8 +186,9 @@ func readCampaignFile(name string) (*core.Campaign, error) {
 // runSim scans the simulated Internet repeatedly — campaign i on day
 // 15 + 6·(i-1), matching the paper's scan cadence — ingesting each campaign
 // as it completes.
-func runSim(st *store.Store, simSeed int64, campaigns, rate, workers int) error {
+func runSim(ctx context.Context, st *store.Store, reg *obs.Registry, simSeed int64, campaigns, rate, workers int) error {
 	w := netsim.Generate(netsim.TinyConfig(simSeed))
+	w.RegisterMetrics(reg)
 	for i := 1; i <= campaigns; i++ {
 		day := 15 + 6*(i-1)
 		w.Clock.Set(w.Cfg.StartTime.Add(time.Duration(day) * 24 * time.Hour))
@@ -166,14 +197,18 @@ func runSim(st *store.Store, simSeed int64, campaigns, rate, workers int) error 
 		if err != nil {
 			return err
 		}
-		res, err := scanner.Scan(w.NewTransport(), targets, scanner.Config{
+		res, err := scanner.ScanContext(ctx, w.NewTransport(), targets, scanner.Config{
 			Rate: rate, Batch: 256, Clock: w.Clock, Seed: simSeed + int64(i), Workers: workers,
+			Obs: reg,
 		})
 		if err != nil {
 			return err
 		}
 		c := core.Collect(res)
-		n := st.AddCampaign(c)
+		n, err := st.Ingest(ctx, c)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(os.Stderr, "snmpfpd: campaign %d: %d IPs from sim day %d\n", n, len(c.ByIP), day)
 	}
 	return nil

@@ -14,12 +14,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/netip"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"snmpv3fp"
@@ -47,9 +50,14 @@ func main() {
 	simHostile := flag.Bool("sim-hostile", false, "run the simulated scan through the hostile path-fault layer")
 	flag.Parse()
 
+	// Ctrl-C drains the scan workers mid-campaign instead of killing the
+	// process with responses unhandled.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	eng := engineConfig{workers: *workers, retries: *retries, progress: *progress}
 	if *sim {
-		scanSim(*simSeed, *simScan, *rate, *seed, *jsonOut, *simHostile, eng)
+		scanSim(ctx, *simSeed, *simScan, *rate, *seed, *jsonOut, *simHostile, eng)
 		return
 	}
 
@@ -90,7 +98,7 @@ func main() {
 	}
 	cfg := snmpv3fp.ScanConfig{Rate: *rate, Timeout: *timeout, Seed: *seed}
 	eng.apply(&cfg)
-	campaign, err := snmpv3fp.Scan(tr, targets, cfg)
+	campaign, err := snmpv3fp.ScanContext(ctx, tr, targets, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -117,7 +125,7 @@ func printProgress(s snmpv3fp.ScanSnapshot) {
 		s.Pass+1, s.Sent, s.Targets, s.Retried, s.Received, s.OffPath, s.AchievedRate, len(s.Shards))
 }
 
-func scanSim(simSeed int64, simScan, rate int, seed int64, jsonOut, hostile bool, eng engineConfig) {
+func scanSim(ctx context.Context, simSeed int64, simScan, rate int, seed int64, jsonOut, hostile bool, eng engineConfig) {
 	w := netsim.Generate(netsim.TinyConfig(simSeed))
 	if hostile {
 		w.Cfg.Faults = netsim.HostileProfile()
@@ -137,7 +145,7 @@ func scanSim(simSeed int64, simScan, rate int, seed int64, jsonOut, hostile bool
 	}
 	cfg := snmpv3fp.ScanConfig{Rate: rate, Clock: w.Clock, Seed: seed}
 	eng.apply(&cfg)
-	campaign, err := snmpv3fp.Scan(w.NewTransport(), targets, cfg)
+	campaign, err := snmpv3fp.ScanContext(ctx, w.NewTransport(), targets, cfg)
 	if err != nil {
 		fatal(err)
 	}

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/netip"
@@ -205,18 +206,32 @@ func (f Fingerprint) VendorLabel() string {
 	return f.Vendor
 }
 
-// Probe sends a single discovery request to addr over tr and waits for the
-// matching report: the one-packet-per-target primitive of the paper, exposed
-// for interactive use (see examples/quickstart).
+// Probe sends a single discovery request with a background context.
+//
+// Deprecated: use ProbeContext, which supports cancellation.
 func Probe(tr scanner.Transport, addr netip.Addr, timeout time.Duration) (*Observation, error) {
-	return ProbeWithID(tr, addr, 1, timeout)
+	return ProbeContext(context.Background(), tr, addr, 1, timeout)
 }
 
-// ProbeWithID is Probe with a caller-chosen message ID. Load-balanced VIPs
-// hand different connections to different backends, so varying the message
-// ID across repeated probes exposes identity cycling (the NAT/load-balancer
-// inference of the paper's conclusion).
+// ProbeWithID is Probe with a caller-chosen message ID and a background
+// context.
+//
+// Deprecated: use ProbeContext, which supports cancellation.
 func ProbeWithID(tr scanner.Transport, addr netip.Addr, msgID int64, timeout time.Duration) (*Observation, error) {
+	return ProbeContext(context.Background(), tr, addr, msgID, timeout)
+}
+
+// ProbeContext sends a single discovery request to addr over tr and waits
+// for the matching report: the one-packet-per-target primitive of the paper,
+// exposed for interactive use (see examples/quickstart). Load-balanced VIPs
+// hand different connections to different backends, so varying msgID across
+// repeated probes exposes identity cycling (the NAT/load-balancer inference
+// of the paper's conclusion).
+//
+// Cancelling ctx abandons the wait and returns ctx's error. The receive
+// goroutine then lingers only until the transport delivers its next datagram
+// or is closed by the caller.
+func ProbeContext(ctx context.Context, tr scanner.Transport, addr netip.Addr, msgID int64, timeout time.Duration) (*Observation, error) {
 	probe, err := snmp.EncodeDiscoveryRequest(msgID, msgID)
 	if err != nil {
 		return nil, err
@@ -259,6 +274,8 @@ func ProbeWithID(tr scanner.Transport, addr netip.Addr, msgID int64, timeout tim
 	select {
 	case r := <-done:
 		return r.obs, r.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("core: probe of %v: %w", addr, ctx.Err())
 	case <-timer.C:
 		return nil, fmt.Errorf("core: no response from %v within %v", addr, timeout)
 	}

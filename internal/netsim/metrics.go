@@ -1,0 +1,36 @@
+package netsim
+
+import "snmpv3fp/internal/obs"
+
+// RegisterMetrics republishes the world's fault tallies into reg as
+// read-time counter callbacks in the `snmpfp_netsim_faults_total` family,
+// one series per fault kind. The callbacks read the same atomics FaultStats
+// snapshots, so the metric values reconcile exactly with FaultStats at any
+// instant — no double accounting, no extra work on the fault hot path.
+//
+// Like FaultStats, the tallies reset at BeginScan, so these series describe
+// the current campaign (Prometheus treats the reset as a counter restart).
+func (w *World) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	kinds := []struct {
+		kind string
+		fn   func() uint64
+	}{
+		{"lost", w.faults.lost.Load},
+		{"rate_limited", w.faults.rateLimited.Load},
+		{"mismatched", w.faults.mismatched.Load},
+		{"duplicated", w.faults.duplicated.Load},
+		{"truncated", w.faults.truncated.Load},
+		{"corrupted", w.faults.corrupted.Load},
+		{"off_path", w.faults.offPath.Load},
+		{"delayed", w.faults.delayed.Load},
+	}
+	for _, k := range kinds {
+		reg.CounterFunc("snmpfp_netsim_faults_total", k.fn, obs.L("kind", k.kind))
+	}
+	reg.Help("snmpfp_netsim_faults_total", "path faults injected since BeginScan, by kind")
+	reg.GaugeFunc("snmpfp_netsim_scan_epoch", func() float64 { return float64(w.ScanEpoch()) })
+	reg.Help("snmpfp_netsim_scan_epoch", "campaigns begun against the simulated world")
+}

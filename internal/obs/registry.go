@@ -1,0 +1,527 @@
+// Package obs is the observability layer: a dependency-free metrics
+// registry (counters, gauges, histograms with fixed log-scale buckets) and
+// lightweight span tracing (span.go) shared by the scanner, the simulator,
+// the store and the serving layer.
+//
+// The hot paths are lock-free: counters and gauges are single atomics,
+// histograms are an atomic per bucket, and the metric handles returned by
+// the registry are cached by callers so the registry map is only consulted
+// at setup time. Reads are snapshot-on-read: WritePrometheus and Snapshot
+// observe each atomic once, so an exposition scrape never blocks a sender.
+//
+// Every method is safe on a nil *Registry and on the nil metric handles a
+// nil registry returns, so instrumented code never branches on "is
+// observability enabled" — disabled instrumentation costs one predictable
+// nil check per event.
+//
+// Metric naming follows the Prometheus conventions documented in DESIGN.md
+// §10: every family is prefixed `snmpfp_`, counters end in `_total`,
+// durations are histograms in seconds ending in `_seconds`.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name=value metric dimension.
+type Label struct {
+	Key, Value string
+}
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// MetricType distinguishes the exposition families.
+type MetricType int
+
+// Family types, matching the Prometheus text exposition TYPE keywords.
+const (
+	TypeCounter MetricType = iota
+	TypeGauge
+	TypeHistogram
+)
+
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing metric. The zero value is usable;
+// a nil *Counter is a no-op.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by delta.
+func (c *Counter) Add(delta uint64) {
+	if c == nil {
+		return
+	}
+	c.n.Add(delta)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Gauge is a metric that can go up and down. A nil *Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64 // math.Float64bits
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increases the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current reading (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Bounds are inclusive
+// upper limits (Prometheus `le` semantics); an implicit +Inf bucket catches
+// the overflow. A nil *Histogram is a no-op.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64   // math.Float64bits of the running sum
+	count  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bucket whose inclusive upper bound admits v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Observe(d.Seconds())
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// snapshotBuckets returns cumulative per-bound counts plus the total.
+func (h *Histogram) snapshotBuckets() (cum []uint64, total uint64) {
+	cum = make([]uint64, len(h.bounds))
+	for i := range h.bounds {
+		total += h.counts[i].Load()
+		cum[i] = total
+	}
+	total += h.counts[len(h.bounds)].Load()
+	return cum, total
+}
+
+// ExpBuckets returns n log-scale bucket bounds: start, start*factor,
+// start*factor², … — the fixed-geometry histograms the registry uses for
+// durations.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DefDurationBuckets spans 100µs to ~3.7h in ×2 steps: wide enough that a
+// virtual multi-day campaign's pass spans land in real buckets, fine enough
+// that sub-millisecond serve latencies resolve.
+var DefDurationBuckets = ExpBuckets(100e-6, 2, 27)
+
+// series is one exported time series: a concrete metric or a read-time
+// callback republishing a counter maintained elsewhere.
+type series struct {
+	labels  string // canonical rendered label set, "" when unlabelled
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	cfn     func() uint64
+	gfn     func() float64
+}
+
+type family struct {
+	name   string
+	typ    MetricType
+	help   string
+	bounds []float64 // histograms only
+	series map[string]*series
+}
+
+// Registry holds metric families and serves snapshots of them. All methods
+// are safe for concurrent use, and safe on a nil receiver (returning nil
+// metric handles, which are themselves no-ops).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// family returns (creating if needed) the named family, panicking on a type
+// clash: two call sites disagreeing about a metric's type is a programming
+// error no fallback can hide.
+func (r *Registry) getFamily(name string, typ MetricType, bounds []float64) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, typ: typ, bounds: bounds, series: map[string]*series{}}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %v and %v", name, f.typ, typ))
+	}
+	return f
+}
+
+// Help attaches (or replaces) a family's HELP text. Creates nothing.
+func (r *Registry) Help(name, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		f.help = text
+	}
+}
+
+// Counter returns the counter for name+labels, creating it on first use.
+// Repeated calls with the same name and labels return the same counter.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, TypeCounter, nil)
+	key := renderLabels(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key, counter: &Counter{}}
+		f.series[key] = s
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, TypeGauge, nil)
+	key := renderLabels(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key, gauge: &Gauge{}}
+		f.series[key] = s
+	}
+	return s.gauge
+}
+
+// Histogram returns the histogram for name+labels, creating it with the
+// given bucket bounds on first use (nil bounds select DefDurationBuckets).
+// The family's bounds are fixed by the first creation.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefDurationBuckets
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, TypeHistogram, bounds)
+	key := renderLabels(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key, hist: &Histogram{
+			bounds: f.bounds,
+			counts: make([]atomic.Uint64, len(f.bounds)+1),
+		}}
+		f.series[key] = s
+	}
+	return s.hist
+}
+
+// CounterFunc registers a read-time counter callback: the series' value is
+// f() at each scrape. Used to republish counters that already exist as
+// atomics elsewhere (netsim fault tallies, store totals) without double
+// accounting. Re-registering the same series replaces the callback.
+func (r *Registry) CounterFunc(name string, fn func() uint64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, TypeCounter, nil)
+	key := renderLabels(labels)
+	f.series[key] = &series{labels: key, cfn: fn}
+}
+
+// GaugeFunc registers a read-time gauge callback, with the same replacement
+// semantics as CounterFunc.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, TypeGauge, nil)
+	key := renderLabels(labels)
+	f.series[key] = &series{labels: key, gfn: fn}
+}
+
+// Point is one exported sample in a Snapshot.
+type Point struct {
+	// Name is the family name; histogram points use the family name with
+	// the _sum/_count/_bucket suffix conventions flattened into Value,
+	// Count, Sum and Buckets instead.
+	Name   string
+	Labels string // canonical rendered label set, "" when unlabelled
+	Type   MetricType
+	// Value carries counter and gauge readings.
+	Value float64
+	// Count, Sum and Buckets carry histogram readings; Buckets is
+	// cumulative, parallel to Bounds.
+	Count   uint64
+	Sum     float64
+	Bounds  []float64
+	Buckets []uint64
+}
+
+// Snapshot returns every series' current reading, sorted by name then
+// label set. Callback series are evaluated during the call; the registry
+// lock is NOT held while user callbacks run, so a callback may itself take
+// locks that instrumented code holds while updating metrics.
+func (r *Registry) Snapshot() []Point {
+	if r == nil {
+		return nil
+	}
+	type pending struct {
+		p   Point
+		s   *series
+		typ MetricType
+	}
+	r.mu.Lock()
+	var work []pending
+	for _, f := range r.families {
+		for _, s := range f.series {
+			work = append(work, pending{
+				p:   Point{Name: f.name, Labels: s.labels, Type: f.typ, Bounds: f.bounds},
+				s:   s,
+				typ: f.typ,
+			})
+		}
+	}
+	r.mu.Unlock()
+
+	out := make([]Point, 0, len(work))
+	for _, w := range work {
+		p := w.p
+		switch {
+		case w.s.counter != nil:
+			p.Value = float64(w.s.counter.Value())
+		case w.s.gauge != nil:
+			p.Value = w.s.gauge.Value()
+		case w.s.cfn != nil:
+			p.Value = float64(w.s.cfn())
+		case w.s.gfn != nil:
+			p.Value = w.s.gfn()
+		case w.s.hist != nil:
+			p.Buckets, p.Count = w.s.hist.snapshotBuckets()
+			p.Sum = w.s.hist.Sum()
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Labels < out[j].Labels
+	})
+	return out
+}
+
+// Value returns the current reading of the series name+labels, summing
+// counters and gauges as float64 (histograms report their count). Missing
+// series read 0. Intended for tests and reconciliation checks.
+func (r *Registry) Value(name string, labels ...Label) float64 {
+	key := renderLabels(labels)
+	for _, p := range r.Snapshot() {
+		if p.Name == name && p.Labels == key {
+			if p.Type == TypeHistogram {
+				return float64(p.Count)
+			}
+			return p.Value
+		}
+	}
+	return 0
+}
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4), families sorted by name, series sorted by label
+// set.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	points := r.Snapshot()
+	r.mu.Lock()
+	helps := make(map[string]string, len(r.families))
+	for name, f := range r.families {
+		helps[name] = f.help
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	lastFamily := ""
+	for _, p := range points {
+		if p.Name != lastFamily {
+			if help := helps[p.Name]; help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", p.Name, help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", p.Name, p.Type)
+			lastFamily = p.Name
+		}
+		switch p.Type {
+		case TypeHistogram:
+			for i, bound := range p.Bounds {
+				fmt.Fprintf(&b, "%s_bucket%s %d\n",
+					p.Name, withLE(p.Labels, formatFloat(bound)), p.Buckets[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", p.Name, withLE(p.Labels, "+Inf"), p.Count)
+			fmt.Fprintf(&b, "%s_sum%s %s\n", p.Name, bracket(p.Labels), formatFloat(p.Sum))
+			fmt.Fprintf(&b, "%s_count%s %d\n", p.Name, bracket(p.Labels), p.Count)
+		default:
+			fmt.Fprintf(&b, "%s%s %s\n", p.Name, bracket(p.Labels), formatFloat(p.Value))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// renderLabels canonicalizes a label set: sorted by key, escaped, rendered
+// as `k="v",k2="v2"` without the surrounding braces.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+func bracket(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// withLE appends the histogram bucket's le label to a rendered label set.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return "{" + labels + `,le="` + le + `"}`
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

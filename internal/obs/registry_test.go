@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("snmpfp_test_events_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter: %d", got)
+	}
+	if again := r.Counter("snmpfp_test_events_total"); again != c {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	if other := r.Counter("snmpfp_test_events_total", L("k", "v")); other == c {
+		t.Fatal("distinct label sets must be distinct series")
+	}
+
+	g := r.Gauge("snmpfp_test_depth")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge: %v", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the inclusive-upper-bound (`le`)
+// bucketing rule on exact boundary values.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := []float64{1, 2, 4, 8}
+	cases := []struct {
+		v    float64
+		want int // bucket index; len(bounds) = +Inf
+	}{
+		{0, 0},
+		{0.5, 0},
+		{1, 0}, // boundary lands in its own bucket (le is inclusive)
+		{1.0000001, 1},
+		{2, 1},
+		{3, 2},
+		{4, 2},
+		{7.999, 3},
+		{8, 3},
+		{8.001, 4},
+		{math.Inf(1), 4},
+	}
+	for _, tc := range cases {
+		r := NewRegistry()
+		h := r.Histogram("snmpfp_test_hist", bounds)
+		h.Observe(tc.v)
+		for i := range h.counts {
+			want := uint64(0)
+			if i == tc.want {
+				want = 1
+			}
+			if got := h.counts[i].Load(); got != want {
+				t.Errorf("Observe(%v): bucket[%d]=%d, want %d", tc.v, i, got, want)
+			}
+		}
+	}
+}
+
+func TestHistogramCumulativeExport(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("snmpfp_test_hist", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 0.7, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	cum, total := h.snapshotBuckets()
+	if want := []uint64{2, 3, 4}; !equalU64(cum, want) {
+		t.Fatalf("cumulative buckets: %v want %v", cum, want)
+	}
+	if total != 6 || h.Count() != 6 {
+		t.Fatalf("count: %d / %d", total, h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-5556.2) > 1e-9 {
+		t.Fatalf("sum: %v", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(100e-6, 2, 4)
+	want := []float64{100e-6, 200e-6, 400e-6, 800e-6}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Fatalf("bucket %d: %v want %v", i, b[i], want[i])
+		}
+	}
+	if !sortedAscending(DefDurationBuckets) {
+		t.Fatal("DefDurationBuckets must be ascending")
+	}
+}
+
+// TestRegistryConcurrency races parallel increments against snapshot reads
+// (run under -race by `make ci`): the final readings must be exact, and no
+// intermediate snapshot may exceed them.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const writers, perWriter = 8, 5000
+	c := r.Counter("snmpfp_test_events_total")
+	h := r.Histogram("snmpfp_test_lat_seconds", []float64{0.001, 0.01, 0.1})
+	g := r.Gauge("snmpfp_test_inflight")
+
+	var readers, writersWG sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := r.Snapshot()
+				for _, p := range snap {
+					if p.Name == "snmpfp_test_events_total" && p.Value > writers*perWriter {
+						t.Errorf("snapshot overshoot: %v", p.Value)
+						return
+					}
+				}
+				var sb strings.Builder
+				if err := r.WritePrometheus(&sb); err != nil {
+					t.Errorf("WritePrometheus: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < writers; i++ {
+		writersWG.Add(2)
+		go func() {
+			defer writersWG.Done()
+			for j := 0; j < perWriter; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.005)
+				g.Add(-1)
+			}
+		}()
+		// Writers may also race series creation.
+		go func(i int) {
+			defer writersWG.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("snmpfp_test_churn_total", L("w", string(rune('a'+i)))).Inc()
+			}
+		}(i)
+	}
+	writersWG.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got := c.Value(); got != writers*perWriter {
+		t.Fatalf("final counter: %d want %d", got, writers*perWriter)
+	}
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("final histogram count: %d", got)
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("final gauge: %v", got)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("snmpfp_b_total", L("shard", "0")).Add(3)
+	r.Counter("snmpfp_b_total", L("shard", "1")).Add(4)
+	r.Help("snmpfp_b_total", "probes sent")
+	r.Gauge("snmpfp_a_depth").Set(1.5)
+	h := r.Histogram("snmpfp_c_seconds", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(2)
+	r.CounterFunc("snmpfp_d_total", func() uint64 { return 42 })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# TYPE snmpfp_a_depth gauge",
+		"snmpfp_a_depth 1.5",
+		"# HELP snmpfp_b_total probes sent",
+		"# TYPE snmpfp_b_total counter",
+		`snmpfp_b_total{shard="0"} 3`,
+		`snmpfp_b_total{shard="1"} 4`,
+		"# TYPE snmpfp_c_seconds histogram",
+		`snmpfp_c_seconds_bucket{le="0.5"} 1`,
+		`snmpfp_c_seconds_bucket{le="1"} 1`,
+		`snmpfp_c_seconds_bucket{le="+Inf"} 2`,
+		"snmpfp_c_seconds_sum 2.25",
+		"snmpfp_c_seconds_count 2",
+		"# TYPE snmpfp_d_total counter",
+		"snmpfp_d_total 42",
+		"",
+	}, "\n")
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("snmpfp_e_total", L("path", `a"b\c`+"\n")).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `{path="a\"b\\c\n"}`) {
+		t.Fatalf("unescaped labels:\n%s", sb.String())
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", nil)
+	c.Inc()
+	c.Add(7)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	r.CounterFunc("f", func() uint64 { return 1 })
+	r.GaugeFunc("g", func() float64 { return 1 })
+	r.Help("x", "help")
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics must read zero")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Value("x") != 0 {
+		t.Fatal("nil registry Value must be 0")
+	}
+}
+
+func TestTypeClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("snmpfp_clash")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on type clash")
+		}
+	}()
+	r.Gauge("snmpfp_clash")
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedAscending(b []float64) bool {
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			return false
+		}
+	}
+	return true
+}

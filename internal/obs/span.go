@@ -1,0 +1,84 @@
+package obs
+
+import "time"
+
+// Clock supplies span timestamps. It is satisfied by vclock.Clock (both the
+// wall clock and the simulator's virtual clock), declared locally so obs
+// stays dependency-free. Spans timed on the virtual clock are deterministic:
+// a simulated campaign exports identical span histograms on every run and
+// for every worker count.
+type Clock interface {
+	Now() time.Time
+}
+
+// wallClock is the default span clock.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+// Tracer times named spans and exports their durations as histograms in
+// the `snmpfp_span_duration_seconds` family, one series per span name. A
+// nil *Tracer is a no-op.
+type Tracer struct {
+	reg   *Registry
+	clock Clock
+}
+
+// SpanFamily is the histogram family spans export into.
+const SpanFamily = "snmpfp_span_duration_seconds"
+
+// NewTracer builds a tracer over the registry. A nil clock selects the wall
+// clock; simulated pipelines pass their vclock.Virtual so span durations
+// stay deterministic.
+func NewTracer(reg *Registry, clock Clock) *Tracer {
+	if clock == nil {
+		clock = wallClock{}
+	}
+	return &Tracer{reg: reg, clock: clock}
+}
+
+// Clock returns the tracer's clock (wall clock for a nil tracer), so
+// instrumented code can stamp ad-hoc durations consistently with its spans.
+func (t *Tracer) Clock() Clock {
+	if t == nil {
+		return wallClock{}
+	}
+	return t.clock
+}
+
+// Span is one in-flight timed region. The zero Span (and any Span from a
+// nil tracer) ends harmlessly.
+type Span struct {
+	hist  *Histogram
+	clock Clock
+	start time.Time
+}
+
+// Start opens a span. name becomes the `span` label on the duration
+// histogram; extra labels are appended.
+func (t *Tracer) Start(name string, labels ...Label) Span {
+	if t == nil {
+		return Span{}
+	}
+	all := append([]Label{L("span", name)}, labels...)
+	return Span{
+		hist:  t.reg.Histogram(SpanFamily, nil, all...),
+		clock: t.clock,
+		start: t.clock.Now(),
+	}
+}
+
+// End closes the span, records its duration and returns it. Negative
+// durations (a virtual clock stepped backwards between campaigns) are
+// clamped to zero rather than polluting the histogram.
+func (s Span) End() time.Duration {
+	if s.clock == nil {
+		return 0
+	}
+	d := s.clock.Now().Sub(s.start)
+	if d < 0 {
+		d = 0
+	}
+	s.hist.ObserveDuration(d)
+	return d
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// stepClock is a deterministic test clock: every Now() reading advances it
+// by a fixed step, so span durations are exact.
+type stepClock struct {
+	now  time.Time
+	step time.Duration
+}
+
+func (c *stepClock) Now() time.Time {
+	t := c.now
+	c.now = c.now.Add(c.step)
+	return t
+}
+
+func TestTracerDeterministicDurations(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r, &stepClock{now: time.Unix(0, 0), step: 250 * time.Millisecond})
+	for i := 0; i < 3; i++ {
+		sp := tr.Start("scan.pass", L("pass", "0"))
+		if d := sp.End(); d != 250*time.Millisecond {
+			t.Fatalf("span %d: %v", i, d)
+		}
+	}
+	h := r.Histogram(SpanFamily, nil, L("span", "scan.pass"), L("pass", "0"))
+	if h.Count() != 3 {
+		t.Fatalf("span histogram count: %d", h.Count())
+	}
+	if got, want := h.Sum(), 0.75; got != want {
+		t.Fatalf("span histogram sum: %v want %v", got, want)
+	}
+}
+
+func TestTracerLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r, nil)
+	tr.Start("x", L("b", "2"), L("a", "1")).End()
+	// Same series regardless of caller label order (canonicalized by key).
+	h := r.Histogram(SpanFamily, nil, L("a", "1"), L("b", "2"), L("span", "x"))
+	if h.Count() != 1 {
+		t.Fatalf("label canonicalization broken: count %d", h.Count())
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("anything", L("k", "v"))
+	if d := sp.End(); d != 0 {
+		t.Fatalf("nil tracer span duration: %v", d)
+	}
+	if tr.Clock() == nil {
+		t.Fatal("nil tracer must still expose a clock")
+	}
+}
+
+func TestSpanClampsNegativeDurations(t *testing.T) {
+	r := NewRegistry()
+	c := &stepClock{now: time.Unix(100, 0), step: -time.Second}
+	tr := NewTracer(r, c)
+	if d := tr.Start("back").End(); d != 0 {
+		t.Fatalf("negative span must clamp to 0, got %v", d)
+	}
+}

@@ -1,14 +1,17 @@
 package scanner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net/netip"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"snmpv3fp/internal/obs"
 	"snmpv3fp/internal/vclock"
 )
 
@@ -60,11 +63,18 @@ type engine struct {
 	startClock time.Time
 	progressMu sync.Mutex
 
-	// cancellation on first send failure.
+	// cancellation on first send failure or context cancellation.
 	cancel     chan struct{}
 	cancelOnce sync.Once
 	errMu      sync.Mutex
 	firstErr   error
+
+	// observability. metrics is never nil; its handles are nil (no-op)
+	// when Config.Obs is unset. sendLog/rttMark drive pass-end RTT
+	// accounting and are only allocated when a registry is attached.
+	metrics *scanMetrics
+	sendLog [][]sendRec
+	rttMark int
 }
 
 func newEngine(tr Transport, targets TargetSpace, cfg Config, probe []byte) *engine {
@@ -95,12 +105,29 @@ func newEngine(tr Transport, targets TargetSpace, cfg Config, probe []byte) *eng
 	}
 	e.shardSent = make([]atomic.Uint64, e.workers)
 	e.shardDone = make([]atomic.Bool, e.workers)
+	e.metrics = newScanMetrics(cfg.Obs, e.cfg.Clock, e.workers)
+	if cfg.Obs != nil {
+		e.sendLog = make([][]sendRec, e.workers)
+	}
 	return e
 }
 
 // run executes every pass of the campaign. The caller closes the transport
 // and joins the capture goroutine afterwards, on success and failure alike.
-func (e *engine) run(res *Result) error {
+// Cancelling ctx stops every worker at its next loop iteration and makes
+// run return ctx's error.
+func (e *engine) run(ctx context.Context, res *Result) error {
+	if ctx.Done() != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-ctx.Done():
+				e.fail(ctx.Err())
+			case <-stop:
+			}
+		}()
+	}
 	e.captureWG.Add(1)
 	go e.capture()
 
@@ -118,6 +145,7 @@ func (e *engine) run(res *Result) error {
 		if err != nil {
 			return err
 		}
+		passSpan := e.metrics.tracer.Start("scan.pass", obs.L("pass", strconv.Itoa(pass)))
 		e.runPass(pass, shards, skip, passStart)
 		if err := e.sendError(); err != nil {
 			return err
@@ -130,6 +158,10 @@ func (e *engine) run(res *Result) error {
 		}
 		passStart = e.endPass(passStart, slots)
 		e.quiesce()
+		passSpan.End()
+		e.metrics.passes.Inc()
+		e.observePassRTTs()
+		e.observeDrift()
 	}
 	return nil
 }
@@ -180,6 +212,8 @@ func (e *engine) runPass(pass int, shards []TargetSpace, skip map[netip.Addr]str
 // the worker paces itself with token-bucket sleeps on the campaign clock.
 func (e *engine) worker(pass, shard int, space TargetSpace, skip map[netip.Addr]struct{}, passStart time.Time) {
 	defer e.shardDone[shard].Store(true)
+	e.metrics.inflight.Add(1)
+	defer e.metrics.inflight.Add(-1)
 	ps, _ := space.(PositionedSpace)
 	batch := 0
 	for {
@@ -209,16 +243,23 @@ func (e *engine) worker(pass, shard int, space TargetSpace, skip map[netip.Addr]
 			}
 		}
 		var err error
+		var sentAt time.Time
 		if e.logical {
-			err = e.timed.SendAt(addr, e.probe, passStart.Add(e.slotOffset(pos)))
+			sentAt = passStart.Add(e.slotOffset(pos))
+			err = e.timed.SendAt(addr, e.probe, sentAt)
 		} else {
+			if e.sendLog != nil {
+				sentAt = e.cfg.Clock.Now()
+			}
 			err = e.tr.Send(addr, e.probe)
 		}
 		if err != nil {
 			e.sendErrs.Add(1)
+			e.metrics.sendErrs.Inc()
 			e.fail(fmt.Errorf("scanner: sending to %v: %w", addr, err))
 			return
 		}
+		e.noteRTTSend(shard, addr, sentAt)
 		e.noteSent(shard, pass)
 		if !e.logical {
 			batch++
@@ -298,6 +339,7 @@ func (e *engine) capture() {
 			e.drained.Broadcast()
 			e.mu.Unlock()
 			e.offPath.Add(1)
+			e.metrics.offPath.Inc()
 			continue
 		}
 		e.responses = append(e.responses, Response{Src: src, Payload: payload, At: at})
@@ -306,6 +348,7 @@ func (e *engine) capture() {
 		e.drained.Broadcast()
 		e.mu.Unlock()
 		e.received.Add(1)
+		e.metrics.received.Inc()
 	}
 }
 

@@ -2,12 +2,14 @@ package scanner
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"net/netip"
 	"sort"
 	"time"
 
+	"snmpv3fp/internal/obs"
 	"snmpv3fp/internal/snmp"
 	"snmpv3fp/internal/vclock"
 )
@@ -86,6 +88,15 @@ type Config struct {
 	// ProgressEvery is the number of probes between Progress callbacks
 	// (default 65536).
 	ProgressEvery int
+	// Obs, when non-nil, receives the campaign's metrics: probe/retry/
+	// response counters (total and per shard), an in-flight worker gauge,
+	// a probe RTT histogram, virtual-clock drift, and scan.campaign /
+	// scan.pass spans timed on the campaign clock (see DESIGN.md §10).
+	// Metrics never perturb results: simulated campaigns stay
+	// byte-identical across worker counts with a registry attached. RTT
+	// accounting keeps a per-pass send log (one small record per probe),
+	// so leave Obs nil for Internet-scale real scans on tight memory.
+	Obs *obs.Registry
 }
 
 const (
@@ -155,15 +166,28 @@ type Result struct {
 	Finished  time.Time
 }
 
-// Scan runs one campaign: N worker goroutines walk disjoint shards of the
-// target space in permuted order, collectively pacing to the configured
-// aggregate rate and sending one SNMPv3 discovery probe per target, while a
-// capture goroutine collects every response until the post-send timeout.
-// Optional retry passes re-probe the remaining non-responders.
+// Scan runs one campaign with a background context.
+//
+// Deprecated: use ScanContext, which supports mid-campaign cancellation.
+func Scan(tr Transport, targets TargetSpace, cfg Config) (*Result, error) {
+	return ScanContext(context.Background(), tr, targets, cfg)
+}
+
+// ScanContext runs one campaign: N worker goroutines walk disjoint shards
+// of the target space in permuted order, collectively pacing to the
+// configured aggregate rate and sending one SNMPv3 discovery probe per
+// target, while a capture goroutine collects every response until the
+// post-send timeout. Optional retry passes re-probe the remaining
+// non-responders.
+//
+// Cancelling ctx drains every worker at its next loop iteration. The
+// returned error then wraps ctx's error, and — unlike other failures — the
+// Result still carries the partial campaign's accounting (probes sent,
+// responses captured so far), so a cancelled campaign remains auditable.
 //
 // The transport is closed on every exit path, including mid-campaign send
-// failures, so the capture goroutine never leaks.
-func Scan(tr Transport, targets TargetSpace, cfg Config) (*Result, error) {
+// failures and cancellation, so the capture goroutine never leaks.
+func ScanContext(ctx context.Context, tr Transport, targets TargetSpace, cfg Config) (*Result, error) {
 	cfg.fill()
 	// One stateless probe serves the whole campaign (as in ZMap, per-target
 	// state would defeat the point); responses are matched by source
@@ -175,24 +199,41 @@ func Scan(tr Transport, targets TargetSpace, cfg Config) (*Result, error) {
 	}
 
 	e := newEngine(tr, targets, cfg, probe)
+	campaignSpan := e.metrics.tracer.Start("scan.campaign")
 	res := &Result{Started: cfg.Clock.Now()}
-	runErr := e.run(res)
+	runErr := e.run(ctx, res)
 	// Every exit path releases the transport and joins the capture
 	// goroutine; the capture unblocks on the io.EOF that Close guarantees.
 	closeErr := e.tr.Close()
 	e.captureWG.Wait()
+	campaignSpan.End()
+	e.observeDrift()
 	if err := errors.Join(runErr, closeErr, e.recvErr); err != nil {
+		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			// Partial-campaign accounting survives cancellation.
+			e.fillResult(res, probeMsgID)
+			return res, err
+		}
 		return nil, err
 	}
+	e.fillResult(res, probeMsgID)
+	if size := e.targets.Size(); size > uint64(len(e.responders)) {
+		e.metrics.timeouts.Add(size - uint64(len(e.responders)))
+	}
+	e.fireProgress(true)
+	return res, nil
+}
+
+// fillResult copies the engine's accounting into res. Only called after
+// the capture goroutine has been joined, so the fields are quiescent.
+func (e *engine) fillResult(res *Result, probeMsgID int64) {
 	res.Responses = e.responses
 	sortResponses(res.Responses)
 	res.Sent = e.sent.Load()
 	res.Retried = e.retried.Load()
 	res.OffPath = e.offPath.Load()
 	res.ProbeMsgID = probeMsgID
-	res.Finished = cfg.Clock.Now()
-	e.fireProgress(true)
-	return res, nil
+	res.Finished = e.cfg.Clock.Now()
 }
 
 // sortResponses orders captured datagrams canonically: by receive time,

@@ -48,8 +48,11 @@ type ShardProgress struct {
 // interval boundaries.
 func (e *engine) noteSent(shard, pass int) {
 	e.shardSent[shard].Add(1)
+	e.metrics.shardSent[shard].Inc()
+	e.metrics.sent.Inc()
 	if pass > 0 {
 		e.retried.Add(1)
+		e.metrics.retried.Inc()
 	}
 	n := e.sent.Add(1)
 	if e.cfg.Progress != nil && n%uint64(e.cfg.ProgressEvery) == 0 {

@@ -11,9 +11,18 @@
 //	GET /v1/vendors            devices per vendor over the latest pair
 //	GET /v1/reboots/{addr}     longitudinal reboot timeline and events
 //	GET /v1/stats              store and server counters
+//	GET /v1/metrics            Prometheus text exposition of the obs registry
+//
+// Errors share one versioned JSON envelope, {"error":{"code","message"}},
+// with stable machine-readable codes (ErrCodeBadRequest and friends).
+//
+// Every handler accepts the request context and runs on one store.View
+// snapshot; per-endpoint request counters and latency histograms land in
+// the configured obs.Registry (WithObs), which /v1/metrics re-serves.
 package serve
 
 import (
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"net/http"
@@ -22,6 +31,7 @@ import (
 	"time"
 
 	"snmpv3fp/internal/core"
+	"snmpv3fp/internal/obs"
 	"snmpv3fp/internal/store"
 )
 
@@ -32,29 +42,105 @@ const timeLayout = time.RFC3339Nano
 type Server struct {
 	st  *store.Store
 	mux *http.ServeMux
+	reg *obs.Registry
 
-	reqIP, reqDevice, reqVendors, reqReboots, reqStats atomic.Uint64
-	errors                                             atomic.Uint64
+	reqIP, reqDevice, reqVendors, reqReboots, reqStats, reqMetrics atomic.Uint64
+	errors                                                         atomic.Uint64
 }
 
+// Option configures a Server.
+type Option func(*Server)
+
+// WithObs attaches a metrics registry: per-endpoint request counters and
+// latency histograms are recorded into it, and /v1/metrics serves its full
+// exposition (including any scanner/store/netsim families other layers
+// registered on the same registry). Without this option the server keeps a
+// private registry, so /v1/metrics always works.
+func WithObs(reg *obs.Registry) Option {
+	return func(s *Server) {
+		if reg != nil {
+			s.reg = reg
+		}
+	}
+}
+
+// handlerFunc is an API handler: the request context is passed explicitly
+// so cancellation propagates without each handler re-deriving it.
+type handlerFunc func(ctx context.Context, w http.ResponseWriter, r *http.Request)
+
 // New builds a server over the store.
-func New(st *store.Store) *Server {
-	s := &Server{st: st, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /v1/ip/{addr}", s.handleIP)
-	s.mux.HandleFunc("GET /v1/device/{engineID}", s.handleDevice)
-	s.mux.HandleFunc("GET /v1/vendors", s.handleVendors)
-	s.mux.HandleFunc("GET /v1/reboots/{addr}", s.handleReboots)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+func New(st *store.Store, opts ...Option) *Server {
+	s := &Server{st: st, mux: http.NewServeMux(), reg: obs.NewRegistry()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.reg.Help("snmpfp_http_requests_total", "API requests by endpoint")
+	s.reg.Help("snmpfp_http_request_duration_seconds", "API request latency by endpoint")
+	s.route("GET /v1/ip/{addr}", "ip", &s.reqIP, s.handleIP)
+	s.route("GET /v1/device/{engineID}", "device", &s.reqDevice, s.handleDevice)
+	s.route("GET /v1/vendors", "vendors", &s.reqVendors, s.handleVendors)
+	s.route("GET /v1/reboots/{addr}", "reboots", &s.reqReboots, s.handleReboots)
+	s.route("GET /v1/stats", "stats", &s.reqStats, s.handleStats)
+	s.route("GET /v1/metrics", "metrics", &s.reqMetrics, s.handleMetrics)
 	return s
 }
 
-// Handler returns the API handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// route registers one instrumented endpoint: it counts the request (both
+// the legacy per-endpoint atomic and the metrics registry), rejects
+// already-cancelled requests, times the handler and records the latency.
+func (s *Server) route(pattern, endpoint string, legacy *atomic.Uint64, h handlerFunc) {
+	reqs := s.reg.Counter("snmpfp_http_requests_total", obs.L("endpoint", endpoint))
+	lat := s.reg.Histogram("snmpfp_http_request_duration_seconds", nil, obs.L("endpoint", endpoint))
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		legacy.Add(1)
+		reqs.Inc()
+		ctx := r.Context()
+		if ctx.Err() != nil {
+			s.errors.Add(1)
+			writeError(w, http.StatusServiceUnavailable, ErrCodeCanceled, "request context cancelled")
+			return
+		}
+		start := time.Now()
+		h(ctx, w, r)
+		lat.ObserveDuration(time.Since(start))
+	})
+}
 
-// ServeHTTP implements http.Handler directly.
+// Handler returns the API handler.
+func (s *Server) Handler() http.Handler { return s }
+
+// ServeHTTP implements http.Handler directly. Requests no route matches get
+// the JSON error envelope rather than the mux's plain-text page, while
+// preserving the mux's 404-vs-405 decision (a known path hit with the wrong
+// method still reports method_not_allowed with its Allow header).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if _, pattern := s.mux.Handler(r); pattern == "" {
+		sink := discardWriter{header: make(http.Header)}
+		s.mux.ServeHTTP(&sink, r)
+		s.errors.Add(1)
+		if sink.status == http.StatusMethodNotAllowed {
+			if allow := sink.header.Get("Allow"); allow != "" {
+				w.Header().Set("Allow", allow)
+			}
+			writeError(w, http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed, "method not allowed")
+			return
+		}
+		writeError(w, http.StatusNotFound, ErrCodeNotFound, "unknown endpoint")
+		return
+	}
 	s.mux.ServeHTTP(w, r)
 }
+
+// discardWriter captures the status and headers the mux's built-in
+// not-found / method-not-allowed handlers would send, dropping the body.
+type discardWriter struct {
+	header http.Header
+	status int
+}
+
+func (d *discardWriter) Header() http.Header         { return d.header }
+func (d *discardWriter) WriteHeader(status int)      { d.status = status }
+func (d *discardWriter) Write(p []byte) (int, error) { return len(p), nil }
 
 // WireVendorInfo is the vendor inference block attached to identities.
 type WireVendorInfo struct {
@@ -148,8 +234,7 @@ type WireStats struct {
 	Serve map[string]uint64 `json:"serve"`
 }
 
-func (s *Server) handleIP(w http.ResponseWriter, r *http.Request) {
-	s.reqIP.Add(1)
+func (s *Server) handleIP(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 	addr, ok := s.parseAddr(w, r)
 	if !ok {
 		return
@@ -173,8 +258,7 @@ func (s *Server) handleIP(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, out)
 }
 
-func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {
-	s.reqDevice.Add(1)
+func (s *Server) handleDevice(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 	hexID := r.PathValue("engineID")
 	id, err := hex.DecodeString(hexID)
 	if err != nil || len(id) == 0 {
@@ -199,8 +283,7 @@ func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleVendors(w http.ResponseWriter, r *http.Request) {
-	s.reqVendors.Add(1)
+func (s *Server) handleVendors(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 	v := s.st.Snapshot()
 	vendors := v.Vendors()
 	if vendors == nil {
@@ -213,8 +296,7 @@ func (s *Server) handleVendors(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleReboots(w http.ResponseWriter, r *http.Request) {
-	s.reqReboots.Add(1)
+func (s *Server) handleReboots(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 	addr, ok := s.parseAddr(w, r)
 	if !ok {
 		return
@@ -251,8 +333,7 @@ func (s *Server) handleReboots(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, out)
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.reqStats.Add(1)
+func (s *Server) handleStats(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, WireStats{
 		Store: s.st.Snapshot().Stats(),
 		Serve: map[string]uint64{
@@ -261,9 +342,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"vendors": s.reqVendors.Load(),
 			"reboots": s.reqReboots.Load(),
 			"stats":   s.reqStats.Load(),
+			"metrics": s.reqMetrics.Load(),
 			"errors":  s.errors.Load(),
 		},
 	})
+}
+
+// metricsContentType is the Prometheus text exposition format version the
+// registry writes.
+const metricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+func (s *Server) handleMetrics(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", metricsContentType)
+	if err := s.reg.WritePrometheus(w); err != nil {
+		s.errors.Add(1)
+	}
 }
 
 func (s *Server) parseAddr(w http.ResponseWriter, r *http.Request) (netip.Addr, bool) {
@@ -282,18 +375,39 @@ func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
+// Stable machine-readable error codes carried in the error envelope.
+// Clients should switch on the code, not the HTTP status or message text.
+const (
+	ErrCodeBadRequest       = "bad_request"
+	ErrCodeNotFound         = "not_found"
+	ErrCodeMethodNotAllowed = "method_not_allowed"
+	ErrCodeCanceled         = "canceled"
+)
+
+// WireError is the versioned error envelope every failing endpoint returns:
+// {"error":{"code":"...","message":"..."}}.
+type WireError struct {
+	Error WireErrorBody `json:"error"`
+}
+
+// WireErrorBody is the inner error object.
+type WireErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
 func (s *Server) badRequest(w http.ResponseWriter, msg string) {
 	s.errors.Add(1)
-	writeError(w, http.StatusBadRequest, msg)
+	writeError(w, http.StatusBadRequest, ErrCodeBadRequest, msg)
 }
 
 func (s *Server) notFound(w http.ResponseWriter, msg string) {
 	s.errors.Add(1)
-	writeError(w, http.StatusNotFound, msg)
+	writeError(w, http.StatusNotFound, ErrCodeNotFound, msg)
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
+func writeError(w http.ResponseWriter, status int, code, msg string) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(WireError{Error: WireErrorBody{Code: code, Message: msg}})
 }

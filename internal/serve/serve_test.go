@@ -8,12 +8,15 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/netip"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
 	"snmpv3fp/internal/alias"
 	"snmpv3fp/internal/core"
 	"snmpv3fp/internal/filter"
+	"snmpv3fp/internal/obs"
 	"snmpv3fp/internal/store"
 )
 
@@ -155,6 +158,141 @@ func TestEndpoints(t *testing.T) {
 	get(t, ts, "/v1/reboots/198.51.100.99", http.StatusNotFound, nil)
 }
 
+// TestErrorEnvelope asserts every failing endpoint speaks the versioned
+// envelope {"error":{"code","message"}} with a stable machine-readable code.
+func TestErrorEnvelope(t *testing.T) {
+	st, _, _ := seedStore(t)
+	ts := httptest.NewServer(New(st))
+	defer ts.Close()
+	cases := []struct {
+		path   string
+		status int
+		code   string
+	}{
+		{"/v1/ip/not-an-ip", http.StatusBadRequest, ErrCodeBadRequest},
+		{"/v1/ip/198.51.100.99", http.StatusNotFound, ErrCodeNotFound},
+		{"/v1/device/zz", http.StatusBadRequest, ErrCodeBadRequest},
+		{"/v1/device/deadbeef", http.StatusNotFound, ErrCodeNotFound},
+		{"/v1/reboots/not-an-ip", http.StatusBadRequest, ErrCodeBadRequest},
+		{"/no/such/endpoint", http.StatusNotFound, ErrCodeNotFound},
+	}
+	for _, tc := range cases {
+		var env WireError
+		get(t, ts, tc.path, tc.status, &env)
+		if env.Error.Code != tc.code {
+			t.Errorf("%s: code %q, want %q", tc.path, env.Error.Code, tc.code)
+		}
+		if env.Error.Message == "" {
+			t.Errorf("%s: empty error message", tc.path)
+		}
+	}
+}
+
+// parseExposition maps each sample line of a Prometheus text exposition to
+// its value, and collects the `# TYPE` declarations.
+func parseExposition(t *testing.T, body string) (samples map[string]float64, types map[string]string) {
+	t.Helper()
+	samples = map[string]float64{}
+	types = map[string]string{}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if f := strings.Fields(line); len(f) == 4 && f[1] == "TYPE" {
+				types[f[2]] = f[3]
+			}
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable exposition line: %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		samples[line[:i]] = v
+	}
+	return samples, types
+}
+
+// TestMetricsEndpoint drives traffic through the API and checks that
+// /v1/metrics serves a parseable exposition whose per-endpoint counters and
+// latency histograms reconcile with the requests actually made.
+func TestMetricsEndpoint(t *testing.T) {
+	st, _, _ := seedStore(t)
+	reg := obs.NewRegistry()
+	ts := httptest.NewServer(New(st, WithObs(reg)))
+	defer ts.Close()
+
+	get(t, ts, "/v1/vendors", http.StatusOK, nil)
+	get(t, ts, "/v1/vendors", http.StatusOK, nil)
+	get(t, ts, "/v1/ip/not-an-ip", http.StatusBadRequest, nil)
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: code %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != metricsContentType {
+		t.Fatalf("metrics content type %q, want %q", ct, metricsContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	samples, types := parseExposition(t, string(body))
+	if types["snmpfp_http_requests_total"] != "counter" {
+		t.Fatalf("requests family type %q", types["snmpfp_http_requests_total"])
+	}
+	if types["snmpfp_http_request_duration_seconds"] != "histogram" {
+		t.Fatalf("duration family type %q", types["snmpfp_http_request_duration_seconds"])
+	}
+	if got := samples[`snmpfp_http_requests_total{endpoint="vendors"}`]; got != 2 {
+		t.Fatalf("vendors requests %v, want 2", got)
+	}
+	if got := samples[`snmpfp_http_requests_total{endpoint="ip"}`]; got != 1 {
+		t.Fatalf("ip requests %v, want 1", got)
+	}
+	if got := samples[`snmpfp_http_request_duration_seconds_count{endpoint="vendors"}`]; got != 2 {
+		t.Fatalf("vendors latency count %v, want 2", got)
+	}
+	// The scrape itself was counted before the handler wrote the body.
+	if got := samples[`snmpfp_http_requests_total{endpoint="metrics"}`]; got != 1 {
+		t.Fatalf("metrics requests %v, want 1", got)
+	}
+	// The served registry is the one passed via WithObs.
+	if got := reg.Value("snmpfp_http_requests_total", obs.L("endpoint", "vendors")); got != 2 {
+		t.Fatalf("registry vendors requests %v, want 2", got)
+	}
+}
+
+// TestMetricsDefaultRegistry: /v1/metrics works without WithObs.
+func TestMetricsDefaultRegistry(t *testing.T) {
+	st, _, _ := seedStore(t)
+	ts := httptest.NewServer(New(st))
+	defer ts.Close()
+	get(t, ts, "/v1/stats", http.StatusOK, nil)
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: code %d", resp.StatusCode)
+	}
+	samples, _ := parseExposition(t, string(body))
+	if got := samples[`snmpfp_http_requests_total{endpoint="stats"}`]; got != 1 {
+		t.Fatalf("stats requests %v, want 1", got)
+	}
+}
+
 // TestVendorsAndAliasesMatchBatchOverHTTP asserts the acceptance criterion
 // at the wire level: the served alias-set and vendor JSON is byte-identical
 // to the batch pipeline's output serialized the same way.
@@ -229,8 +367,18 @@ func TestMethodNotAllowed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("POST: code %d", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "GET") {
+		t.Fatalf("Allow header %q, want GET", allow)
+	}
+	var env WireError
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("405 body is not the error envelope: %v", err)
+	}
+	if env.Error.Code != ErrCodeMethodNotAllowed {
+		t.Fatalf("405 code %q", env.Error.Code)
 	}
 }

@@ -17,12 +17,14 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"net/netip"
 	"sync"
 
 	"snmpv3fp/internal/alias"
 	"snmpv3fp/internal/core"
+	"snmpv3fp/internal/obs"
 )
 
 // Options tunes a store.
@@ -40,6 +42,12 @@ type Options struct {
 	// still be called explicitly. Used by tests that assert segment
 	// layouts.
 	DisableCompaction bool
+	// Obs, when non-nil, receives the store's metrics: ingest/flush/
+	// compaction counters, memtable and segment gauges (read-time
+	// callbacks over the live state, so they reconcile exactly with
+	// Stats), a compaction-duration histogram, and store.ingest /
+	// store.flush / store.compact spans (see DESIGN.md §10).
+	Obs *obs.Registry
 }
 
 func (o *Options) fill() {
@@ -117,6 +125,10 @@ type Store struct {
 	done      chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
+
+	// tracer times ingest/flush/compact spans on the wall clock; it is a
+	// no-op when Options.Obs is unset.
+	tracer *obs.Tracer
 }
 
 // ErrNoCampaign is returned by Add before any BeginCampaign call.
@@ -135,12 +147,65 @@ func Open(opt Options) *Store {
 		engines:   map[string]struct{}{},
 		compactCh: make(chan struct{}, 1),
 		done:      make(chan struct{}),
+		tracer:    obs.NewTracer(opt.Obs, nil),
 	}
+	s.registerMetrics(opt.Obs)
 	if !opt.DisableCompaction {
 		s.wg.Add(1)
 		go s.compactor()
 	}
 	return s
+}
+
+// registerMetrics republishes the store's counters and layout gauges as
+// read-time callbacks, so scrapes reconcile exactly with Stats() without
+// adding a single write to the ingest path.
+func (s *Store) registerMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	locked := func(read func() float64) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return read()
+		}
+	}
+	counters := []struct {
+		name string
+		read func() float64
+	}{
+		{"snmpfp_store_ingested_total", func() float64 { return float64(s.ingested) }},
+		{"snmpfp_store_flushes_total", func() float64 { return float64(s.flushes) }},
+		{"snmpfp_store_compactions_total", func() float64 { return float64(s.compactions) }},
+		{"snmpfp_store_superseded_total", func() float64 { return float64(s.superseded) }},
+	}
+	for _, c := range counters {
+		read := locked(c.read)
+		reg.CounterFunc(c.name, func() uint64 { return uint64(read()) })
+	}
+	gauges := []struct {
+		name string
+		read func() float64
+	}{
+		{"snmpfp_store_mem_samples", func() float64 { return float64(s.mem.len()) }},
+		{"snmpfp_store_segments", func() float64 { return float64(len(s.segs)) }},
+		{"snmpfp_store_campaigns", func() float64 { return float64(s.campaign) }},
+		{"snmpfp_store_tracked_ips", func() float64 { return float64(len(s.known)) }},
+		{"snmpfp_store_devices", func() float64 { return float64(len(s.engines)) }},
+	}
+	for _, g := range gauges {
+		reg.GaugeFunc(g.name, locked(g.read))
+	}
+	reg.Help("snmpfp_store_ingested_total", "samples ever accepted")
+	reg.Help("snmpfp_store_flushes_total", "memtable freezes into immutable segments")
+	reg.Help("snmpfp_store_compactions_total", "segment merges completed")
+	reg.Help("snmpfp_store_superseded_total", "samples discarded by compaction as superseded")
+	reg.Help("snmpfp_store_mem_samples", "current memtable population")
+	reg.Help("snmpfp_store_segments", "immutable segment count")
+	reg.Help("snmpfp_store_campaigns", "campaigns begun")
+	reg.Help("snmpfp_store_tracked_ips", "distinct IPs ever observed")
+	reg.Help("snmpfp_store_devices", "distinct engine IDs ever observed")
 }
 
 // Close stops the background compactor. The store stays queryable.
@@ -193,13 +258,36 @@ func (s *Store) Add(o *core.Observation) error {
 // AddCampaign begins a new campaign and ingests every observation of c in
 // address order (deterministic segment contents). Returns the campaign
 // sequence number.
+//
+// Deprecated: use Ingest, which supports cancellation mid-campaign.
 func (s *Store) AddCampaign(c *core.Campaign) uint64 {
+	n, _ := s.Ingest(context.Background(), c)
+	return n
+}
+
+// ingestCheckEvery is how many samples Ingest adds between context checks.
+const ingestCheckEvery = 256
+
+// Ingest begins a new campaign and adds every observation of c in address
+// order (deterministic segment contents), checking ctx between batches.
+// On cancellation it stops early and returns ctx's error; the samples
+// already added remain in the store as a partial campaign (queries observe
+// them, and the next campaign ingest supersedes the pair state as usual).
+// Returns the campaign sequence number.
+func (s *Store) Ingest(ctx context.Context, c *core.Campaign) (uint64, error) {
+	span := s.tracer.Start("store.ingest")
+	defer span.End()
 	n := s.BeginCampaign()
-	for _, ip := range c.SortedIPs() {
+	for i, ip := range c.SortedIPs() {
+		if i%ingestCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return n, err
+			}
+		}
 		// Add only fails before the first BeginCampaign.
 		_ = s.Add(c.ByIP[ip])
 	}
-	return n
+	return n, nil
 }
 
 // Flush seals the memtable into an immutable segment immediately.
@@ -221,6 +309,7 @@ func (s *Store) flushLocked() {
 	if s.mem.len() == 0 {
 		return
 	}
+	defer s.tracer.Start("store.flush").End()
 	seg := s.mem.freeze()
 	s.segs = append(s.segs, seg)
 	s.mem = newMemtable()
@@ -266,7 +355,9 @@ func (s *Store) compactIfNeeded(minSegs int) {
 	prefix := s.segs[:len(s.segs):len(s.segs)]
 	s.mu.Unlock()
 
+	span := s.tracer.Start("store.compact")
 	merged, dropped := mergeSegments(prefix)
+	span.End()
 
 	s.mu.Lock()
 	same := len(s.segs) >= len(prefix)

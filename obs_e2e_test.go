@@ -1,0 +1,165 @@
+package snmpv3fp_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"testing"
+	"time"
+
+	"snmpv3fp"
+	"snmpv3fp/internal/core"
+	"snmpv3fp/internal/netsim"
+	"snmpv3fp/internal/obs"
+	"snmpv3fp/internal/scanner"
+)
+
+// TestObservabilityReconciles is the acceptance test for the observability
+// layer: one registry spans netsim, scanner, store and HTTP server across a
+// full simulated pipeline (two hostile campaigns, concurrent-free ingest,
+// live queries), and every metric family must agree exactly with the
+// authoritative counters the subsystems already expose (scanner.Result,
+// netsim.FaultStats, store.Stats, request tallies).
+func TestObservabilityReconciles(t *testing.T) {
+	reg := snmpv3fp.NewRegistry()
+	w := netsim.Generate(netsim.TinyConfig(11))
+	w.Cfg.Faults = netsim.FullHostileProfile()
+	w.RegisterMetrics(reg)
+
+	st := snmpv3fp.OpenStore(snmpv3fp.StoreOptions{FlushThreshold: 2048, Obs: reg})
+	defer st.Close()
+
+	var wantSent, wantRetried, wantOffPath, wantResponses, wantUnanswered, wantIngested uint64
+	for i := 1; i <= 2; i++ {
+		day := 15 + 6*(i-1)
+		w.Clock.Set(w.Cfg.StartTime.Add(time.Duration(day) * 24 * time.Hour))
+		w.BeginScan()
+		targets, err := scanner.NewPrefixSpace(w.ScanPrefixes4(), int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := scanner.ScanContext(context.Background(), w.NewTransport(), targets, scanner.Config{
+			Rate: 50000, Batch: 256, Clock: w.Clock, Seed: int64(i),
+			Workers: 4, Retries: 1, Obs: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSent += res.Sent
+		wantRetried += res.Retried
+		wantOffPath += res.OffPath
+		wantResponses += uint64(len(res.Responses))
+		responders := map[netip.Addr]struct{}{}
+		for _, r := range res.Responses {
+			responders[r.Src] = struct{}{}
+		}
+		wantUnanswered += targets.Size() - uint64(len(responders))
+
+		c := core.Collect(res)
+		n, err := st.Ingest(context.Background(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != uint64(i) {
+			t.Fatalf("campaign number %d, want %d", n, i)
+		}
+		wantIngested += uint64(len(c.ByIP))
+	}
+
+	// Scanner counters reconcile with the campaign Results.
+	scanChecks := []struct {
+		family string
+		want   uint64
+	}{
+		{"snmpfp_scan_probes_sent_total", wantSent},
+		{"snmpfp_scan_retries_total", wantRetried},
+		{"snmpfp_scan_offpath_rejected_total", wantOffPath},
+		{"snmpfp_scan_responses_total", wantResponses},
+		{"snmpfp_scan_unanswered_total", wantUnanswered},
+	}
+	for _, c := range scanChecks {
+		if got := uint64(reg.Value(c.family)); got != c.want {
+			t.Errorf("%s = %d, want %d", c.family, got, c.want)
+		}
+	}
+	if got := reg.Value("snmpfp_scan_inflight_workers"); got != 0 {
+		t.Errorf("in-flight workers %v after campaigns finished", got)
+	}
+
+	// Fault series reconcile with FaultStats (both reset at BeginScan, so
+	// they describe the second campaign).
+	ft := w.FaultStats()
+	faultChecks := []struct {
+		kind string
+		want uint64
+	}{
+		{"lost", ft.Lost}, {"rate_limited", ft.RateLimited},
+		{"mismatched", ft.Mismatched}, {"duplicated", ft.Duplicated},
+		{"truncated", ft.Truncated}, {"corrupted", ft.Corrupted},
+		{"off_path", ft.OffPath}, {"delayed", ft.Delayed},
+	}
+	var anyFault uint64
+	for _, c := range faultChecks {
+		got := uint64(reg.Value("snmpfp_netsim_faults_total", obs.L("kind", c.kind)))
+		if got != c.want {
+			t.Errorf("snmpfp_netsim_faults_total{kind=%q} = %d, want %d", c.kind, got, c.want)
+		}
+		anyFault += got
+	}
+	if anyFault == 0 {
+		t.Error("hostile profile injected no faults; reconciliation vacuous")
+	}
+
+	// Store metrics reconcile with the store's own stats.
+	stats := st.Snapshot().Stats()
+	if wantIngested != stats.Ingested {
+		t.Fatalf("test bug: ingest accounting diverged (%d vs %d)", wantIngested, stats.Ingested)
+	}
+	storeChecks := []struct {
+		family string
+		want   float64
+	}{
+		{"snmpfp_store_ingested_total", float64(stats.Ingested)},
+		{"snmpfp_store_flushes_total", float64(stats.Flushes)},
+		{"snmpfp_store_compactions_total", float64(stats.Compactions)},
+		{"snmpfp_store_superseded_total", float64(stats.Superseded)},
+		{"snmpfp_store_campaigns", float64(stats.Campaigns)},
+		{"snmpfp_store_mem_samples", float64(stats.MemSamples)},
+		{"snmpfp_store_segments", float64(stats.Segments)},
+		{"snmpfp_store_tracked_ips", float64(stats.TrackedIPs)},
+		{"snmpfp_store_devices", float64(stats.Devices)},
+	}
+	for _, c := range storeChecks {
+		if got := reg.Value(c.family); got != c.want {
+			t.Errorf("%s = %v, want %v", c.family, got, c.want)
+		}
+	}
+
+	// HTTP counters reconcile with the requests actually served.
+	srv := snmpv3fp.NewServer(st, snmpv3fp.WithObs(reg))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	paths := []string{"/v1/stats", "/v1/vendors", "/v1/vendors", "/v1/metrics"}
+	for _, p := range paths {
+		resp, err := http.Get(ts.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d", p, resp.StatusCode)
+		}
+	}
+	httpChecks := []struct {
+		endpoint string
+		want     float64
+	}{
+		{"stats", 1}, {"vendors", 2}, {"metrics", 1},
+	}
+	for _, c := range httpChecks {
+		if got := reg.Value("snmpfp_http_requests_total", obs.L("endpoint", c.endpoint)); got != c.want {
+			t.Errorf("requests{endpoint=%q} = %v, want %v", c.endpoint, got, c.want)
+		}
+	}
+}

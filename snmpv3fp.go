@@ -15,11 +15,28 @@
 //   - Fingerprint: vendor inference from OUI / enterprise numbers (§6).
 //
 // The heavy lifting lives in internal packages; this façade re-exports the
-// stable surface. See examples/ for runnable end-to-end programs and
-// cmd/reproduce for the full paper evaluation against a simulated Internet.
+// stable surface. The map from façade to internal package:
+//
+//	ProbeContext / ScanContext      internal/core, internal/scanner
+//	Validate                        internal/filter
+//	ResolveAliases                  internal/alias
+//	FingerprintEngineID             internal/core, internal/engineid
+//	OpenStore / Store / View        internal/store
+//	NewServer / Server              internal/serve
+//	NewRegistry / Registry          internal/obs
+//	Track / SummarizeTimelines      internal/tracker
+//	CrackUSMPassword                internal/usm
+//
+// Long-running entry points take a context.Context; cancelling it drains
+// scan workers and aborts store ingest cleanly. The context-free variants
+// (Probe, Scan) remain as deprecated wrappers over a background context.
+//
+// See examples/ for runnable end-to-end programs and cmd/reproduce for the
+// full paper evaluation against a simulated Internet.
 package snmpv3fp
 
 import (
+	"context"
 	"net/netip"
 	"time"
 
@@ -27,8 +44,11 @@ import (
 	"snmpv3fp/internal/core"
 	"snmpv3fp/internal/engineid"
 	"snmpv3fp/internal/filter"
+	"snmpv3fp/internal/obs"
 	"snmpv3fp/internal/scanner"
+	"snmpv3fp/internal/serve"
 	"snmpv3fp/internal/snmp"
+	"snmpv3fp/internal/store"
 	"snmpv3fp/internal/tracker"
 	"snmpv3fp/internal/usm"
 	"snmpv3fp/internal/vclock"
@@ -73,6 +93,19 @@ type (
 	MonitorSummary = tracker.Summary
 	// AuthProtocol selects HMAC-MD5-96 or HMAC-SHA-96 (USM).
 	AuthProtocol = usm.AuthProtocol
+	// Store is the longitudinal fingerprint store (memtable + segments).
+	Store = store.Store
+	// StoreOptions tunes a store (flush threshold, compaction, metrics).
+	StoreOptions = store.Options
+	// View is an immutable store snapshot; all reads are served from one.
+	View = store.View
+	// Server exposes a store over the versioned HTTP JSON API.
+	Server = serve.Server
+	// ServerOption configures a Server (e.g. WithObs).
+	ServerOption = serve.Option
+	// Registry collects counters, gauges and histograms; /v1/metrics serves
+	// its Prometheus text exposition.
+	Registry = obs.Registry
 )
 
 // USM authentication protocols.
@@ -101,20 +134,60 @@ func NewListTargets(addrs []netip.Addr, seed int64) (TargetSpace, error) {
 	return scanner.NewListSpace(addrs, seed)
 }
 
-// Probe sends one unauthenticated SNMPv3 discovery packet to addr and
-// returns the disclosed identifiers.
+// Probe sends one discovery packet with a background context.
+//
+// Deprecated: use ProbeContext, which supports cancellation.
 func Probe(tr Transport, addr netip.Addr, timeout time.Duration) (*Observation, error) {
-	return core.Probe(tr, addr, timeout)
+	return ProbeContext(context.Background(), tr, addr, 1, timeout)
 }
 
-// Scan runs one campaign over the target space and folds the raw responses
-// into per-IP observations.
+// ProbeContext sends one unauthenticated SNMPv3 discovery packet to addr
+// and returns the disclosed identifiers. Cancelling ctx abandons the wait.
+func ProbeContext(ctx context.Context, tr Transport, addr netip.Addr, msgID int64, timeout time.Duration) (*Observation, error) {
+	return core.ProbeContext(ctx, tr, addr, msgID, timeout)
+}
+
+// Scan runs one campaign with a background context.
+//
+// Deprecated: use ScanContext, which supports mid-campaign cancellation.
 func Scan(tr Transport, targets TargetSpace, cfg ScanConfig) (*Campaign, error) {
-	res, err := scanner.Scan(tr, targets, cfg)
+	return ScanContext(context.Background(), tr, targets, cfg)
+}
+
+// ScanContext runs one campaign over the target space and folds the raw
+// responses into per-IP observations. Cancelling ctx drains every scan
+// worker at its next loop iteration and returns ctx's error.
+func ScanContext(ctx context.Context, tr Transport, targets TargetSpace, cfg ScanConfig) (*Campaign, error) {
+	res, err := scanner.ScanContext(ctx, tr, targets, cfg)
 	if err != nil {
 		return nil, err
 	}
 	return core.Collect(res), nil
+}
+
+// OpenStore opens a longitudinal fingerprint store. Ingest campaigns with
+// Store.Ingest and query through Store.Snapshot or NewServer.
+func OpenStore(opt StoreOptions) *Store {
+	return store.Open(opt)
+}
+
+// NewServer builds the HTTP query API over a store; mount it on any
+// http.Server. Pass WithObs to serve a shared metrics registry at
+// /v1/metrics.
+func NewServer(st *Store, opts ...ServerOption) *Server {
+	return serve.New(st, opts...)
+}
+
+// WithObs attaches a metrics registry to a Server (see serve.WithObs).
+func WithObs(reg *Registry) ServerOption {
+	return serve.WithObs(reg)
+}
+
+// NewRegistry builds an empty metrics registry. Hand the same registry to
+// ScanConfig.Obs, StoreOptions.Obs and NewServer(..., WithObs(reg)) to get
+// one unified /v1/metrics exposition.
+func NewRegistry() *Registry {
+	return obs.NewRegistry()
 }
 
 // Validate applies the paper's ten-step filtering pipeline to two
