@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-json smoke-serve metrics-smoke reproduce examples ci fuzz-smoke clean
+.PHONY: all build vet test test-short race bench bench-smoke bench-json bench-serve-json smoke-serve metrics-smoke reproduce examples ci fuzz-smoke clean
 
 all: build vet test
 
@@ -31,7 +31,7 @@ ci:
 	$(MAKE) fuzz-smoke
 	$(MAKE) smoke-serve
 	$(MAKE) metrics-smoke
-	$(MAKE) bench-json
+	$(MAKE) bench-smoke
 
 # 10 seconds of native fuzzing per target. go test accepts one -fuzz target
 # per invocation, so loop over every FuzzXxx the fuzzing packages list.
@@ -47,11 +47,24 @@ fuzz-smoke:
 bench:
 	$(GO) test -bench=. -benchmem
 
-# Store+serve benchmark: ingest throughput and per-endpoint query latency
-# (p50/p99) as machine-readable JSON.
+# One cheap iteration of every continuous benchmark plus the allocation
+# regression tests — the CI tripwire that the hot paths stayed hot. Full
+# numbers come from bench-json.
+bench-smoke:
+	$(GO) test ./bench -run 'Alloc' -bench=. -benchtime=1x -benchmem
+
+# Refresh the committed benchmark baselines: runs the continuous suite at
+# full benchtime and rewrites BENCH_scan.json / BENCH_store.json /
+# BENCH_serve.json at the repo root. Manual-only (numbers from loaded CI
+# runners are not baselines); run on a quiet machine before committing.
 bench-json:
-	$(GO) run ./cmd/snmpfpd -bench-json BENCH_store.json
-	@cat BENCH_store.json
+	$(GO) run ./cmd/benchjson
+
+# Store+serve latency benchmark (p50/p99 per endpoint) as one-off JSON;
+# complements the allocation-centric bench-json suite.
+bench-serve-json:
+	$(GO) run ./cmd/snmpfpd -bench-json BENCH_serve_latency.json
+	@cat BENCH_serve_latency.json
 
 # End-to-end daemon smoke: ingest a simulated world, self-query /v1/stats,
 # /v1/vendors and /v1/metrics over HTTP.

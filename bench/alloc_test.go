@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"testing"
+
+	"snmpv3fp/internal/snmp"
+)
+
+// TestCodecZeroAllocs is the bench-smoke tripwire pinning the campaign codec
+// hot paths at zero allocations per operation: probe encode, report encode,
+// response parse and ID extraction, each with reused buffers, exactly as the
+// scanner, prober and simulator run them. The per-package equivalents in
+// internal/ber and internal/snmp cover the primitives; this one guards the
+// composed paths the benchmarks measure.
+func TestCodecZeroAllocs(t *testing.T) {
+	engineID := []byte{0x80, 0x00, 0x1F, 0x88, 0x04, 1, 2, 3, 4, 5}
+	report := snmp.AppendDiscoveryReport(nil, 7, 7, engineID, 3, 123456, 9)
+	probeDst := make([]byte, 0, 128)
+	reportDst := make([]byte, 0, 256)
+	resp := &snmp.DiscoveryResponse{ReportOID: make([]uint32, 0, 16)}
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"AppendDiscoveryRequest", func() {
+			probeDst = snmp.AppendDiscoveryRequest(probeDst[:0], 123456, 654321)
+		}},
+		{"AppendDiscoveryReport", func() {
+			reportDst = snmp.AppendDiscoveryReport(reportDst[:0], 7, 7, engineID, 3, 123456, 9)
+		}},
+		{"ParseDiscoveryResponseInto", func() {
+			if err := snmp.ParseDiscoveryResponseInto(resp, report); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"ParseRequestIDs", func() {
+			if _, _, err := snmp.ParseRequestIDs(report); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(200, tc.fn); allocs != 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}

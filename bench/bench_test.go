@@ -1,0 +1,18 @@
+// Package bench runs the continuous benchmark suite (internal/benchsuite)
+// under `go test -bench` and pins the codec hot paths at zero allocations.
+// `make bench-smoke` runs a short pass of this package in CI; `make
+// bench-json` (cmd/benchjson) runs the same bodies and writes the root
+// BENCH_*.json baselines.
+package bench
+
+import "testing"
+
+func BenchmarkScanCampaign(b *testing.B)     { benchScanCampaign(b) }
+func BenchmarkCollectResponses(b *testing.B) { benchCollectResponses(b) }
+func BenchmarkEncodeProbe(b *testing.B)      { benchEncodeProbe(b) }
+func BenchmarkParseResponse(b *testing.B)    { benchParseResponse(b) }
+func BenchmarkStoreIngest(b *testing.B)      { benchStoreIngest(b) }
+func BenchmarkStoreCompact(b *testing.B)     { benchStoreCompact(b) }
+func BenchmarkServeIP(b *testing.B)          { benchServeIP(b) }
+func BenchmarkServeVendors(b *testing.B)     { benchServeVendors(b) }
+func BenchmarkServeStats(b *testing.B)       { benchServeStats(b) }

@@ -1,0 +1,137 @@
+// Command benchjson runs the continuous benchmark suite
+// (internal/benchsuite) through testing.Benchmark and writes the
+// machine-readable baselines BENCH_scan.json, BENCH_store.json and
+// BENCH_serve.json at the repository root (or under -dir).
+//
+// Each file records ns/op, B/op and allocs/op per benchmark next to the
+// pre-optimization baseline captured before the zero-allocation hot-path
+// work, with the byte- and allocation-reduction factors computed in place.
+// CI runs the cheap `make bench-smoke` pass instead; refresh these files
+// manually with `make bench-json` on a quiet machine.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"snmpv3fp/internal/benchsuite"
+)
+
+// Baseline is the pre-optimization measurement a current run is compared
+// against: the same benchmark body, run before the zero-allocation probe
+// encode / response parse paths, pooled receive buffers and batched store
+// ingest landed.
+type Baseline struct {
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// Entry is one benchmark's current numbers plus its baseline comparison.
+type Entry struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     int64              `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	// PrePR is the baseline block; reduction factors are baseline/current
+	// (2.0 means the run allocates half the bytes the baseline did).
+	PrePR           *Baseline `json:"baseline_pre_pr,omitempty"`
+	BytesReduction  float64   `json:"bytes_reduction,omitempty"`
+	AllocsReduction float64   `json:"allocs_reduction,omitempty"`
+}
+
+// File is the schema of each BENCH_*.json.
+type File struct {
+	Suite      string  `json:"suite"`
+	Go         string  `json:"go"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+type benchDef struct {
+	name string
+	fn   func(*testing.B)
+	pre  *Baseline
+}
+
+// Pre-PR baselines, measured on this suite with the allocating codec paths
+// (snmp.EncodeDiscoveryRequest / snmp.ParseDiscoveryResponse), per-datagram
+// receive copies and per-sample store locking.
+var suites = map[string][]benchDef{
+	"scan": {
+		{"ScanCampaign", benchsuite.ScanCampaign, &Baseline{27399152, 208874}},
+		{"CollectResponses", benchsuite.CollectResponses, &Baseline{13895504, 191260}},
+		{"EncodeProbe", benchsuite.EncodeProbe, &Baseline{576, 6}},
+		{"ParseResponse", benchsuite.ParseResponse, &Baseline{883, 14}},
+	},
+	"store": {
+		{"StoreIngest", benchsuite.StoreIngest, &Baseline{15002628, 76294}},
+		{"StoreCompact", benchsuite.StoreCompact, &Baseline{2763208, 9610}},
+	},
+	"serve": {
+		{"ServeIP", benchsuite.ServeIP, &Baseline{15504, 72}},
+		{"ServeVendors", benchsuite.ServeVendors, &Baseline{11681, 39}},
+		{"ServeStats", benchsuite.ServeStats, &Baseline{12764, 56}},
+	},
+}
+
+func ratio(base, cur int64) float64 {
+	if base <= 0 || cur <= 0 {
+		return 0
+	}
+	return float64(base) / float64(cur)
+}
+
+func runSuite(name string, defs []benchDef) File {
+	f := File{Suite: name, Go: runtime.Version()}
+	for _, d := range defs {
+		r := testing.Benchmark(d.fn)
+		e := Entry{
+			Name:        d.name,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			PrePR:       d.pre,
+		}
+		if len(r.Extra) > 0 {
+			e.Metrics = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				e.Metrics[k] = v
+			}
+		}
+		if d.pre != nil {
+			e.BytesReduction = ratio(d.pre.BytesPerOp, e.BytesPerOp)
+			e.AllocsReduction = ratio(d.pre.AllocsPerOp, e.AllocsPerOp)
+		}
+		fmt.Printf("  %-18s %12d ns/op %12d B/op %9d allocs/op\n",
+			d.name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+		f.Benchmarks = append(f.Benchmarks, e)
+	}
+	return f
+}
+
+func main() {
+	dir := flag.String("dir", ".", "directory to write the BENCH_*.json files into")
+	flag.Parse()
+	for _, suite := range []string{"scan", "store", "serve"} {
+		fmt.Printf("suite %s:\n", suite)
+		f := runSuite(suite, suites[suite])
+		out, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*dir, "BENCH_"+suite+".json")
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}

@@ -1,0 +1,256 @@
+// Package benchsuite defines the repo's continuous performance benchmarks
+// as plain functions over *testing.B, so the same bodies run both as
+// `go test -bench` benchmarks (bench/bench_test.go) and programmatically
+// through testing.Benchmark in cmd/benchjson, which writes the root
+// BENCH_scan.json / BENCH_store.json / BENCH_serve.json baselines.
+//
+// Every benchmark reports allocations; the codec benchmarks are the ones
+// the zero-allocation regression tests (internal/ber, internal/snmp,
+// internal/scanner, bench/) pin at 0 allocs/op.
+package benchsuite
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"snmpv3fp/internal/core"
+	"snmpv3fp/internal/netsim"
+	"snmpv3fp/internal/scanner"
+	"snmpv3fp/internal/serve"
+	"snmpv3fp/internal/snmp"
+	"snmpv3fp/internal/store"
+)
+
+// world caching: generation is expensive and identical across iterations,
+// so every benchmark shares one world per seed and re-arms it per campaign
+// with BeginScan (exactly how the experiment harness reuses its world).
+var (
+	worldOnce sync.Once
+	world     *netsim.World
+)
+
+func sharedWorld() *netsim.World {
+	worldOnce.Do(func() {
+		world = netsim.Generate(netsim.TinyConfig(7))
+	})
+	return world
+}
+
+// runCampaign runs one deterministic virtual-time campaign over the shared
+// world and returns its result.
+func runCampaign(w *netsim.World, workers int) (*scanner.Result, error) {
+	w.Clock.Set(w.Cfg.StartTime.Add(15 * 24 * time.Hour))
+	w.BeginScan()
+	targets, err := scanner.NewPrefixSpace(w.ScanPrefixes4(), 42)
+	if err != nil {
+		return nil, err
+	}
+	return scanner.Scan(w.NewTransport(), targets, scanner.Config{
+		Rate: 5000, Batch: 256, Timeout: 8 * time.Second,
+		Clock: w.Clock, Seed: 42, Workers: workers,
+	})
+}
+
+// ScanCampaign is the end-to-end scan benchmark: one full simulated
+// campaign (probe encode, transport, agent codec, capture, canonical sort)
+// per iteration. Its B/op is the headline number the zero-allocation work
+// is measured against.
+func ScanCampaign(b *testing.B) {
+	w := sharedWorld()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var probes, responses uint64
+	for i := 0; i < b.N; i++ {
+		res, err := runCampaign(w, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		probes = res.Sent
+		responses = uint64(len(res.Responses))
+	}
+	b.ReportMetric(float64(probes), "probes/op")
+	b.ReportMetric(float64(responses), "responses/op")
+}
+
+// CollectResponses benchmarks the response-parsing fold (core.Collect) over
+// one campaign's captured datagrams.
+func CollectResponses(b *testing.B) {
+	w := sharedWorld()
+	res, err := runCampaign(w, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ips int
+	for i := 0; i < b.N; i++ {
+		c := core.Collect(res)
+		ips = len(c.ByIP)
+	}
+	b.ReportMetric(float64(ips), "ips/op")
+	b.ReportMetric(float64(len(res.Responses)), "datagrams/op")
+}
+
+// EncodeProbe benchmarks the campaign probe encoder.
+func EncodeProbe(b *testing.B) {
+	b.ReportAllocs()
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		out, err := encodeProbe(buf, int64(i)&0x7FFFFFFF, int64(i*7)&0x7FFFFFFF)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out[:0]
+	}
+}
+
+// ParseResponse benchmarks the discovery-response parser over a
+// representative report datagram.
+func ParseResponse(b *testing.B) {
+	rep, err := snmp.NewDiscoveryReport(snmp.NewDiscoveryRequest(7, 7),
+		[]byte{0x80, 0x00, 0x1F, 0x88, 0x04, 1, 2, 3, 4, 5}, 3, 123456, 9).Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := parseResponse(rep); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchObservations builds n synthetic observations for store benchmarks.
+func benchObservations(n int) []*core.Observation {
+	at := time.Date(2021, 4, 16, 0, 0, 0, 0, time.UTC)
+	out := make([]*core.Observation, n)
+	for i := range out {
+		ip := netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)})
+		out[i] = &core.Observation{
+			IP:          ip,
+			EngineID:    []byte{0x80, 0x00, 0x00, 0x09, 0x03, 0x00, byte(i >> 16), byte(i >> 8), byte(i), 0xAB, 0xCD},
+			EngineBoots: int64(i%7 + 1),
+			EngineTime:  int64(i%100000 + 1),
+			ReceivedAt:  at.Add(time.Duration(i) * time.Millisecond),
+			Packets:     1,
+		}
+	}
+	return out
+}
+
+// StoreIngest benchmarks campaign ingest into the log-structured store:
+// one full campaign of synthetic observations per iteration.
+func StoreIngest(b *testing.B) {
+	const n = 5000
+	obs := benchObservations(n)
+	c := &core.Campaign{ByIP: make(map[netip.Addr]*core.Observation, n)}
+	for _, o := range obs {
+		c.ByIP[o.IP] = o
+	}
+	st := store.Open(store.Options{DisableCompaction: true})
+	defer st.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.AddCampaign(c)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(n), "samples/op")
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(n)*float64(b.N)/elapsed, "samples/s")
+	}
+}
+
+// StoreCompact benchmarks a full-merge compaction over a store holding
+// several flushed campaigns.
+func StoreCompact(b *testing.B) {
+	const n = 2000
+	obs := benchObservations(n)
+	c := &core.Campaign{ByIP: make(map[netip.Addr]*core.Observation, n)}
+	for _, o := range obs {
+		c.ByIP[o.IP] = o
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st := store.Open(store.Options{DisableCompaction: true, FlushThreshold: 512})
+		for j := 0; j < 4; j++ {
+			st.AddCampaign(c)
+		}
+		b.StartTimer()
+		st.Compact()
+		b.StopTimer()
+		st.Close()
+		b.StartTimer()
+	}
+}
+
+// newBenchServer builds a store+server pair preloaded with a few synthetic
+// campaigns, for the query-path benchmarks.
+func newBenchServer(b *testing.B) (*serve.Server, []*core.Observation) {
+	const n = 2000
+	obs := benchObservations(n)
+	c := &core.Campaign{ByIP: make(map[netip.Addr]*core.Observation, n)}
+	for _, o := range obs {
+		c.ByIP[o.IP] = o
+	}
+	st := store.Open(store.Options{DisableCompaction: true})
+	b.Cleanup(st.Close)
+	for i := 0; i < 3; i++ {
+		st.AddCampaign(c)
+	}
+	return serve.New(st), obs
+}
+
+// ServeIP benchmarks GET /v1/ip/{addr} straight through the handler (no
+// socket), measuring store snapshot + JSON encode cost.
+func ServeIP(b *testing.B) {
+	srv, obs := newBenchServer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := obs[i%len(obs)]
+		req := httptest.NewRequest("GET", "/v1/ip/"+o.IP.String(), nil)
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("GET /v1/ip: %d", w.Code)
+		}
+	}
+}
+
+// ServeVendors benchmarks GET /v1/vendors.
+func ServeVendors(b *testing.B) {
+	srv, _ := newBenchServer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("GET", "/v1/vendors", nil)
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("GET /v1/vendors: %d", w.Code)
+		}
+	}
+}
+
+// ServeStats benchmarks GET /v1/stats.
+func ServeStats(b *testing.B) {
+	srv, _ := newBenchServer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("GET", "/v1/stats", nil)
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("GET /v1/stats: %d", w.Code)
+		}
+	}
+}

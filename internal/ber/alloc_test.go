@@ -1,0 +1,142 @@
+package ber
+
+import "testing"
+
+// The BER token layer is the innermost ring of the probe/parse hot path:
+// these tests pin its decode primitives at zero allocations per operation,
+// so a regression shows up in `go test ./...` long before it shows up in a
+// campaign's B/op.
+
+// assertZeroAllocs runs f through testing.AllocsPerRun and fails on any
+// allocation.
+func assertZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if avg := testing.AllocsPerRun(200, f); avg != 0 {
+		t.Errorf("%s: %v allocs/op, want 0", name, avg)
+	}
+}
+
+func TestAllocFreeDecodeTLV(t *testing.T) {
+	msg := EncodeTLV(nil, TagSequence, EncodeTLV(nil, TagOctetString, []byte("engine-id")))
+	assertZeroAllocs(t, "DecodeTLV walk", func() {
+		tlv, rest, err := DecodeTLV(msg)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("DecodeTLV: %v rest=%d", err, len(rest))
+		}
+		inner, _, err := DecodeTLV(tlv.Value)
+		if err != nil || inner.Tag != TagOctetString {
+			t.Fatalf("inner DecodeTLV: %v tag=%#x", err, inner.Tag)
+		}
+	})
+}
+
+func TestAllocFreeParseInt(t *testing.T) {
+	bodies := [][]byte{
+		AppendInt(nil, 0),
+		AppendInt(nil, 127),
+		AppendInt(nil, 128),
+		AppendInt(nil, 32767),
+		AppendInt(nil, -32769),
+		AppendInt(nil, 1<<40),
+	}
+	assertZeroAllocs(t, "ParseInt", func() {
+		for _, b := range bodies {
+			if _, err := ParseInt(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}
+
+func TestAllocFreeParseUint(t *testing.T) {
+	bodies := [][]byte{
+		AppendUint(nil, 0),
+		AppendUint(nil, 255),
+		AppendUint(nil, 1<<31),
+		AppendUint(nil, 1<<63),
+	}
+	assertZeroAllocs(t, "ParseUint", func() {
+		for _, b := range bodies {
+			if _, err := ParseUint(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}
+
+func TestAllocFreeParseOIDInto(t *testing.T) {
+	oids := [][]uint32{
+		{1, 3, 6, 1, 6, 3, 15, 1, 1, 4, 0},
+		{1, 3, 6, 1, 2, 1, 1, 1, 0},
+		{2, 999, 1<<31 - 1},
+	}
+	bodies := make([][]byte, len(oids))
+	for i, oid := range oids {
+		body, err := AppendOID(nil, oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[i] = body
+	}
+	scratch := make([]uint32, 0, 32)
+	assertZeroAllocs(t, "ParseOIDInto", func() {
+		for i, b := range bodies {
+			got, err := ParseOIDInto(scratch, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(oids[i]) {
+				t.Fatalf("oid %d: %d arcs, want %d", i, len(got), len(oids[i]))
+			}
+		}
+	})
+}
+
+// TestParseOIDIntoMatchesParseOID pins the refactored shared implementation:
+// both entry points must agree arc-for-arc and error-for-error.
+func TestParseOIDIntoMatchesParseOID(t *testing.T) {
+	cases := [][]byte{
+		{0x2B, 0x06, 0x01},
+		{0x2B},
+		{},
+		{0x80},       // dangling continuation
+		{0xFF, 0xFF}, // dangling continuation
+		{0x2B, 0x86, 0x48, 0x01},
+	}
+	for _, body := range cases {
+		a, errA := ParseOID(body)
+		b, errB := ParseOIDInto(nil, body)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("%x: ParseOID err=%v, ParseOIDInto err=%v", body, errA, errB)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%x: arc counts differ: %v vs %v", body, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%x: arc %d differs: %v vs %v", body, i, a, b)
+			}
+		}
+	}
+}
+
+func TestSizeHelpers(t *testing.T) {
+	for _, v := range []int64{0, 1, 127, 128, 255, 256, 32767, 32768, -1, -128, -129, -32768, -32769, 1 << 50} {
+		if got, want := IntSize(v), len(AppendInt(nil, v)); got != want {
+			t.Errorf("IntSize(%d) = %d, want %d", v, got, want)
+		}
+	}
+	for _, v := range []uint64{0, 1, 127, 128, 255, 256, 1 << 31, 1 << 63} {
+		if got, want := UintSize(v), len(AppendUint(nil, v)); got != want {
+			t.Errorf("UintSize(%d) = %d, want %d", v, got, want)
+		}
+	}
+	for _, n := range []int{0, 1, 127, 128, 255, 256, 65535, 65536, 1 << 20} {
+		if got, want := LengthSize(n), len(AppendLength(nil, n)); got != want {
+			t.Errorf("LengthSize(%d) = %d, want %d", n, got, want)
+		}
+		if got, want := TLVSize(n), len(EncodeTLV(nil, TagOctetString, make([]byte, n))); got != want {
+			t.Errorf("TLVSize(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -145,6 +145,17 @@ func AppendLength(dst []byte, n int) []byte {
 	}
 }
 
+// LengthSize returns the number of octets AppendLength will emit for n.
+// Together with IntSize and UintSize it lets single-pass encoders (the
+// discovery-probe and report templates in internal/snmp) compute every
+// nested SEQUENCE length arithmetically instead of back-patching through a
+// Builder.
+func LengthSize(n int) int { return lengthSize(n) }
+
+// TLVSize returns the encoded size of a TLV with an n-octet body: one
+// identifier octet, the definite-length octets, and the body.
+func TLVSize(n int) int { return 1 + lengthSize(n) + n }
+
 // lengthSize returns the number of octets AppendLength will emit for n.
 func lengthSize(n int) int {
 	switch {
@@ -182,6 +193,22 @@ func intSize(v int64) int {
 	n := 1
 	for v > 0x7F || v < -0x80 {
 		v >>= 8
+		n++
+	}
+	return n
+}
+
+// IntSize returns the number of body octets AppendInt emits for v.
+func IntSize(v int64) int { return intSize(v) }
+
+// UintSize returns the number of body octets AppendUint emits for v,
+// including the 0x00 pad for values whose leading octet has the top bit set.
+func UintSize(v uint64) int {
+	n := 1
+	for x := v; x > 0xFF; x >>= 8 {
+		n++
+	}
+	if v>>(8*uint(n-1))&0x80 != 0 {
 		n++
 	}
 	return n
@@ -285,7 +312,18 @@ func ParseOID(body []byte) ([]uint32, error) {
 	if len(body) == 0 {
 		return nil, ErrTruncated
 	}
-	oid := make([]uint32, 0, len(body)+1)
+	return ParseOIDInto(make([]uint32, 0, len(body)+1), body)
+}
+
+// ParseOIDInto decodes an OBJECT IDENTIFIER body into dst, reusing its
+// capacity (dst is truncated first). It is the allocation-free variant of
+// ParseOID for hot parse paths that walk many OIDs with one scratch slice;
+// the returned slice is dst, possibly grown.
+func ParseOIDInto(dst []uint32, body []byte) ([]uint32, error) {
+	if len(body) == 0 {
+		return nil, ErrTruncated
+	}
+	oid := dst[:0]
 	var v uint64
 	first := true
 	for i, b := range body {

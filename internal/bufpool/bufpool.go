@@ -1,0 +1,72 @@
+// Package bufpool provides a fixed-capacity free list of byte buffers for
+// the datagram receive paths.
+//
+// The transports used to allocate a fresh []byte per received datagram; at
+// campaign rates that is hundreds of thousands of short-lived allocations
+// whose only purpose is to decouple the caller from the transport's reusable
+// read buffer. A Pool lets the transport hand out buffers it can reclaim once
+// the consumer is done with them.
+//
+// A channel-backed free list is used instead of sync.Pool deliberately:
+// sync.Pool's Put boxes the slice header into an interface, which itself
+// allocates — exactly the per-datagram garbage this package exists to remove.
+// A buffered channel moves slice headers without boxing, is safe for
+// concurrent producers/consumers, and degrades gracefully: when the free list
+// is empty Get allocates, and when it is full Put drops the buffer for the GC
+// to take. Nothing ever blocks.
+//
+// Ownership contract: a buffer obtained from Get (or a payload sliced from
+// it) belongs to the consumer until it is returned via Put. Callers that
+// never call Put simply fall back to the old allocate-per-datagram behavior.
+package bufpool
+
+// Pool is a non-blocking free list of byte buffers with a fixed per-buffer
+// capacity. The zero value is not usable; call New.
+type Pool struct {
+	free    chan []byte
+	bufSize int
+}
+
+// New returns a Pool holding at most size buffers of bufSize bytes each.
+func New(size, bufSize int) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	if bufSize < 1 {
+		bufSize = 1
+	}
+	return &Pool{free: make(chan []byte, size), bufSize: bufSize}
+}
+
+// BufSize returns the capacity of the buffers this pool hands out.
+func (p *Pool) BufSize() int { return p.bufSize }
+
+// Get returns a buffer of length p.BufSize(). It never blocks: when the free
+// list is empty a fresh buffer is allocated.
+func (p *Pool) Get() []byte {
+	select {
+	case buf := <-p.free:
+		return buf[:p.bufSize]
+	default:
+		return make([]byte, p.bufSize)
+	}
+}
+
+// Put returns a buffer to the free list. buf may be a subslice of a buffer
+// handed out by Get — Put recovers the full capacity — but it must not be
+// used by the caller afterwards. Buffers with insufficient capacity (not from
+// this pool) and overflow beyond the free list's size are dropped for the GC.
+// Put never blocks.
+func (p *Pool) Put(buf []byte) {
+	if cap(buf) < p.bufSize {
+		return
+	}
+	select {
+	case p.free <- buf[:p.bufSize]:
+	default:
+	}
+}
+
+// Idle reports how many buffers are currently parked in the free list; it is
+// a point-in-time observation for tests and metrics.
+func (p *Pool) Idle() int { return len(p.free) }

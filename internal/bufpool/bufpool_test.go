@@ -1,0 +1,86 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetPutRecycles(t *testing.T) {
+	p := New(4, 128)
+	buf := p.Get()
+	if len(buf) != 128 {
+		t.Fatalf("Get length %d, want 128", len(buf))
+	}
+	// Return a shortened payload slice; the pool must recover full capacity.
+	p.Put(buf[:7])
+	if p.Idle() != 1 {
+		t.Fatalf("Idle = %d, want 1", p.Idle())
+	}
+	again := p.Get()
+	if len(again) != 128 {
+		t.Fatalf("recycled Get length %d, want 128", len(again))
+	}
+	if &again[0] != &buf[0] {
+		t.Fatal("recycled buffer is not the returned one")
+	}
+}
+
+func TestPutForeignAndOverflow(t *testing.T) {
+	p := New(1, 64)
+	p.Put(make([]byte, 16)) // too small: dropped
+	if p.Idle() != 0 {
+		t.Fatalf("undersized buffer accepted")
+	}
+	p.Put(make([]byte, 64))
+	p.Put(make([]byte, 64)) // free list full: dropped, must not block
+	if p.Idle() != 1 {
+		t.Fatalf("Idle = %d, want 1", p.Idle())
+	}
+}
+
+func TestGetNeverBlocks(t *testing.T) {
+	p := New(1, 8)
+	for i := 0; i < 100; i++ {
+		if got := p.Get(); len(got) != 8 {
+			t.Fatalf("Get length %d", len(got))
+		}
+	}
+}
+
+func TestZeroAllocSteadyState(t *testing.T) {
+	p := New(8, 256)
+	if avg := testing.AllocsPerRun(200, func() {
+		buf := p.Get()
+		p.Put(buf[:10])
+	}); avg != 0 {
+		t.Errorf("Get/Put cycle: %v allocs/op, want 0", avg)
+	}
+}
+
+// TestConcurrentHammer shakes the pool under the race detector: many
+// goroutines get, scribble, and put concurrently. Ownership violations show
+// up as data races on the buffer contents.
+func TestConcurrentHammer(t *testing.T) {
+	p := New(16, 512)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				buf := p.Get()
+				for j := range buf[:32] {
+					buf[j] = byte(g)
+				}
+				for _, b := range buf[:32] {
+					if b != byte(g) {
+						t.Errorf("buffer shared while owned: got %d want %d", b, g)
+						return
+					}
+				}
+				p.Put(buf)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -126,6 +126,12 @@ func Collect(res *scanner.Result) *Campaign {
 		Started:  res.Started,
 		Finished: res.Finished,
 	}
+	// One response struct serves the whole fold: ParseDiscoveryResponseInto
+	// resets it per datagram, and its EngineID field aliases the datagram's
+	// payload (owned by the Result), so retaining it in an Observation is as
+	// safe as it was with the allocating parser.
+	var dr snmp.DiscoveryResponse
+	dr.ReportOID = make([]uint32, 0, 16)
 	for i := range res.Responses {
 		r := &res.Responses[i]
 		c.TotalPackets++
@@ -138,7 +144,7 @@ func Collect(res *scanner.Result) *Campaign {
 				continue
 			}
 			// Only parse duplicates far enough to check consistency.
-			dr, err := snmp.ParseDiscoveryResponse(r.Payload)
+			err := snmp.ParseDiscoveryResponseInto(&dr, r.Payload)
 			switch {
 			case err != nil:
 				c.noteMalformed(err)
@@ -149,8 +155,7 @@ func Collect(res *scanner.Result) *Campaign {
 			}
 			continue
 		}
-		dr, err := snmp.ParseDiscoveryResponse(r.Payload)
-		if err != nil {
+		if err := snmp.ParseDiscoveryResponseInto(&dr, r.Payload); err != nil {
 			c.noteMalformed(err)
 			continue
 		}
@@ -232,12 +237,18 @@ func ProbeWithID(tr scanner.Transport, addr netip.Addr, msgID int64, timeout tim
 // goroutine then lingers only until the transport delivers its next datagram
 // or is closed by the caller.
 func ProbeContext(ctx context.Context, tr scanner.Transport, addr netip.Addr, msgID int64, timeout time.Duration) (*Observation, error) {
-	probe, err := snmp.EncodeDiscoveryRequest(msgID, msgID)
-	if err != nil {
-		return nil, err
-	}
+	probe := snmp.AppendDiscoveryRequest(nil, msgID, msgID)
 	if err := tr.Send(addr, probe); err != nil {
 		return nil, err
+	}
+	// Transports with pooled receive buffers get every payload back: the
+	// parsed engine ID is cloned out of the buffer before release, and
+	// skipped datagrams are released unparsed.
+	releaser, _ := tr.(scanner.PayloadReleaser)
+	release := func(p []byte) {
+		if releaser != nil {
+			releaser.ReleasePayload(p)
+		}
 	}
 	type recvResult struct {
 		obs *Observation
@@ -245,6 +256,7 @@ func ProbeContext(ctx context.Context, tr scanner.Transport, addr netip.Addr, ms
 	}
 	done := make(chan recvResult, 1)
 	go func() {
+		var dr snmp.DiscoveryResponse
 		for {
 			src, payload, at, err := tr.Recv()
 			if err != nil {
@@ -252,15 +264,21 @@ func ProbeContext(ctx context.Context, tr scanner.Transport, addr netip.Addr, ms
 				return
 			}
 			if src != addr {
+				release(payload)
 				continue
 			}
-			dr, err := snmp.ParseDiscoveryResponse(payload)
-			if err != nil {
+			if err := snmp.ParseDiscoveryResponseInto(&dr, payload); err != nil {
+				release(payload)
 				continue
 			}
+			engineID := dr.EngineID
+			if engineID != nil {
+				engineID = append(make([]byte, 0, len(engineID)), engineID...)
+			}
+			release(payload)
 			done <- recvResult{&Observation{
 				IP:          src,
-				EngineID:    dr.EngineID,
+				EngineID:    engineID,
 				EngineBoots: dr.EngineBoots,
 				EngineTime:  dr.EngineTime,
 				ReceivedAt:  at,

@@ -88,6 +88,7 @@ func probeLabAgent(agent *labsim.Agent, osName, label, community string) (Sectio
 		if m, err := snmp.DecodeCommunity(resp); err == nil && m.PDU.Type == snmp.PDUGetResponse {
 			row.V2Answered = true
 		}
+		conn.tr.ReleasePayload(resp)
 	}
 
 	// Unauthenticated SNMPv3 query (noAuthUser / noAuthNoPriv).
@@ -109,6 +110,9 @@ func probeLabAgent(agent *labsim.Agent, osName, label, community string) (Sectio
 				row.EngineIDMAC = fmt.Sprintf("%02x:%02x:%02x (%s OUI)", mac[0], mac[1], mac[2], vendor)
 			}
 		}
+		// dr aliases resp; everything kept from it has been formatted into
+		// strings by now, so the receive buffer can go back to the pool.
+		conn.tr.ReleasePayload(resp)
 	}
 	return row, nil
 }
@@ -129,6 +133,10 @@ type udpConn struct {
 
 func (c *udpConn) Close() error { return c.tr.Close() }
 
+// exchange sends req and returns the first response from the peer. The
+// returned payload is a pooled receive buffer: the caller must pass it to
+// c.tr.ReleasePayload when done. Datagrams from other sources are released
+// here.
 func exchange(c *udpConn, req []byte) ([]byte, bool) {
 	obs := make(chan []byte, 1)
 	go func() {
@@ -142,6 +150,7 @@ func exchange(c *udpConn, req []byte) ([]byte, bool) {
 				obs <- payload
 				return
 			}
+			c.tr.ReleasePayload(payload)
 		}
 	}()
 	if err := c.tr.Send(c.dst, req); err != nil {

@@ -17,48 +17,67 @@ const lossProb = 0.025
 // the device emits in reply (usually one; duplicates for the multi-response
 // and amplification quirks; nil when the address is silent).
 //
-// The implementation round-trips real wire bytes through internal/snmp, so
-// a simulated campaign and a live campaign exercise the same codec.
+// It is a compatibility wrapper over respond: every datagram a device emits
+// for one probe carries identical bytes, so respond produces the wire once
+// with a repeat count, and HandleSNMP fans it out into a slice whose entries
+// share one backing array. The transport uses respond directly and copies
+// each enqueued datagram into its own pooled buffer instead.
 func (w *World) HandleSNMP(dst netip.Addr, payload []byte, now time.Time) [][]byte {
-	if !w.RespondsAt(dst) {
+	wire, n := w.respond(dst, payload, now, nil)
+	if n == 0 {
 		return nil
+	}
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = wire
+	}
+	return out
+}
+
+// respond processes one UDP payload addressed to dst and returns the reply
+// wire bytes plus how many copies the device emits (0 when silent). The wire
+// is appended to scratch, so a caller that recycles its scratch buffer gets
+// an allocation-free reply path; the returned slice aliases scratch's
+// backing array and must be copied before scratch is reused.
+//
+// The implementation round-trips real wire bytes through internal/snmp, so a
+// simulated campaign and a live campaign exercise the same codec.
+func (w *World) respond(dst netip.Addr, payload []byte, now time.Time, scratch []byte) ([]byte, int) {
+	if !w.RespondsAt(dst) {
+		return nil, 0
 	}
 	d := w.byAddr[dst]
 	// Per-campaign deterministic loss.
 	if w.coin(dst, uint64(0xA110+w.scanEpoch), lossProb) {
-		return nil
+		return nil, 0
 	}
 	version, err := snmp.PeekVersion(payload)
 	if err != nil {
-		return nil
+		return nil, 0
 	}
 	switch version {
 	case snmp.V3:
-		return w.handleV3(d, payload, now)
+		return w.respondV3(d, payload, now, scratch)
 	case snmp.V1, snmp.V2c:
 		// Internet-facing community access is modelled as closed: the
 		// paper's premise is that v1/v2c scanning cannot elicit responses
 		// without guessing the community. (The lab simulator in
 		// internal/labsim exercises the open-community path.)
-		return nil
+		return nil, 0
 	}
-	return nil
+	return nil, 0
 }
 
-func (w *World) handleV3(d *Device, payload []byte, now time.Time) [][]byte {
-	req, err := snmp.DecodeV3(payload)
+func (w *World) respondV3(d *Device, payload []byte, now time.Time, scratch []byte) ([]byte, int) {
+	msgID, reqID, err := snmp.ParseRequestIDs(payload)
 	if err != nil && err != snmp.ErrEncrypted {
-		return nil
+		return nil, 0
 	}
 	engineID, boots, bootTime := d.activeIdentity(now)
 	if d.Quirk == QuirkLoadBalancer && len(d.Pool) > 0 {
 		// The VIP hands the flow to a backend; which one depends on the
 		// connection (modelled on the request's msgID), so repeated probes
 		// cycle through the pool.
-		var msgID int64
-		if req != nil {
-			msgID = req.MsgID
-		}
 		id := d.Pool[uint64(msgID)%uint64(len(d.Pool))]
 		engineID, boots, bootTime = id.EngineID, id.Boots, id.BootTime
 	}
@@ -69,11 +88,8 @@ func (w *World) handleV3(d *Device, payload []byte, now time.Time) [][]byte {
 	if d.Quirk == QuirkMissingEngineID {
 		engineID = nil
 	}
-	rep := snmp.NewDiscoveryReport(req, engineID, boots, et, uint64(w.hash64(d.V4Addr(), 0xC0)&0xFFFF))
-	wire, err := rep.Encode()
-	if err != nil {
-		return nil
-	}
+	wire := snmp.AppendDiscoveryReport(scratch, msgID, reqID,
+		engineID, boots, et, uint64(w.hash64(d.V4Addr(), 0xC0)&0xFFFF))
 	n := 1
 	switch d.Quirk {
 	case QuirkMultiResponse, QuirkAmplify:
@@ -81,11 +97,7 @@ func (w *World) handleV3(d *Device, payload []byte, now time.Time) [][]byte {
 			n = d.DupCount
 		}
 	}
-	out := make([][]byte, n)
-	for i := range out {
-		out[i] = wire
-	}
-	return out
+	return wire, n
 }
 
 // V4Addr returns the device's first IPv4 address, or its first IPv6 address

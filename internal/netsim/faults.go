@@ -231,12 +231,8 @@ func (w *World) spoofedPayload(dst netip.Addr) []byte {
 	h := w.hash64(dst, saltOffPath+uint64(w.scanEpoch)+1)
 	engineID := []byte{0x80, 0x00, 0x1F, 0x88, 0x04,
 		byte(h >> 32), byte(h >> 24), byte(h >> 16), byte(h >> 8), byte(h)}
-	req := snmp.NewDiscoveryRequest(int64(h&0x7FFFFFFF), int64(h>>33&0x7FFFFFFF))
-	wire, err := snmp.NewDiscoveryReport(req, engineID, int64(h%97+1), int64(h%100000+1), 1).Encode()
-	if err != nil {
-		return []byte{0x30, 0x00}
-	}
-	return wire
+	return snmp.AppendDiscoveryReport(nil, int64(h&0x7FFFFFFF), int64(h>>33&0x7FFFFFFF),
+		engineID, int64(h%97+1), int64(h%100000+1), 1)
 }
 
 // jitterFor returns the extra one-way delay for copy i of the responses to a
@@ -264,19 +260,22 @@ func (t *Transport) deliverFaulted(f *FaultProfile, dst netip.Addr, payload []by
 		payload = mangleProbe(payload)
 	}
 
-	responses := w.HandleSNMP(dst, payload, at)
+	scratch := t.pool.Get()
+	wire, n := w.respond(dst, payload, at, scratch[:0])
 
-	// Destructive faults: the legitimate responses never arrive.
+	// Destructive faults: the legitimate responses never arrive. Every
+	// datagram a device emits for one probe carries identical bytes, so the
+	// agent hands back one wire image plus a repeat count.
 	switch {
-	case len(responses) == 0:
+	case n == 0:
 		// Silent target; only off-path injection below applies.
 	case f.Loss > 0 && w.epochCoin(dst, saltLoss, f.Loss):
-		c.lost.Add(uint64(len(responses)))
-		responses = nil
+		c.lost.Add(uint64(n))
+		n = 0
 	case f.RateLimit > 0 && w.epochCoin(dst, saltRateLimit, f.RateLimit) &&
 		(at.Unix()+int64(w.hash64(dst, saltRateLimit)&1))%2 != 0:
-		c.rateLimited.Add(uint64(len(responses)))
-		responses = nil
+		c.rateLimited.Add(uint64(n))
+		n = 0
 	}
 
 	copyIdx := 0
@@ -289,11 +288,11 @@ func (t *Transport) deliverFaulted(f *FaultProfile, dst netip.Addr, payload []by
 		t.enqueue(src, pkt, at.Add(rtt+d))
 	}
 
-	for _, resp := range responses {
+	for ri := 0; ri < n; ri++ {
 		if mismatched {
 			c.mismatched.Add(1)
 		}
-		enqueue(dst, resp)
+		enqueue(dst, wire)
 		if f.Duplicate > 0 && w.epochCoin(dst, saltDuplicate, f.Duplicate) {
 			copies := f.DupCopies
 			if copies <= 0 {
@@ -301,18 +300,19 @@ func (t *Transport) deliverFaulted(f *FaultProfile, dst netip.Addr, payload []by
 			}
 			for i := 0; i < copies; i++ {
 				c.duplicated.Add(1)
-				enqueue(dst, resp)
+				enqueue(dst, wire)
 			}
 		}
 		if f.Truncate > 0 && w.epochCoin(dst, saltTruncate, f.Truncate) {
 			c.truncated.Add(1)
-			enqueue(dst, TruncatePayload(w.hash64(dst, saltTruncate+uint64(w.scanEpoch)+1), resp))
+			enqueue(dst, TruncatePayload(w.hash64(dst, saltTruncate+uint64(w.scanEpoch)+1), wire))
 		}
 		if f.Corrupt > 0 && w.epochCoin(dst, saltCorrupt, f.Corrupt) {
 			c.corrupted.Add(1)
-			enqueue(dst, CorruptPayload(resp))
+			enqueue(dst, CorruptPayload(wire))
 		}
 	}
+	t.pool.Put(scratch)
 
 	// Off-path spoofing keys on the probed address (silent or not): probing
 	// dst tickles some on-path box into emitting junk from a source the

@@ -1,0 +1,95 @@
+package netsim
+
+import (
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"snmpv3fp/internal/snmp"
+)
+
+// TestTransportRecvReleaseHammer is the -race regression for the pooled
+// receive path: many senders race many consumers that parse, deliberately
+// scribble over, and then release every payload. Because each queued datagram
+// must be singly owned, the scribbling cannot damage any other datagram — if
+// the pool ever handed out a buffer still queued for (or held by) another
+// consumer, some well-formed report would arrive corrupted and fail to parse.
+func TestTransportRecvReleaseHammer(t *testing.T) {
+	w := tinyWorld(t)
+	w.Clock.Set(w.Cfg.StartTime.Add(15 * 24 * time.Hour))
+	probe := snmp.AppendDiscoveryRequest(nil, 42, 4242)
+
+	var addrs []netip.Addr
+	for _, d := range w.Devices {
+		if len(d.V4) > 0 {
+			addrs = append(addrs, d.V4[0])
+		}
+		if len(addrs) >= 64 {
+			break
+		}
+	}
+	if len(addrs) == 0 {
+		t.Fatal("no device addresses")
+	}
+
+	tr := w.NewTransport()
+	var parsed atomic.Uint64
+
+	var consumers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		consumers.Add(1)
+		go func() {
+			defer consumers.Done()
+			var resp snmp.DiscoveryResponse
+			resp.ReportOID = make([]uint32, 0, 16)
+			for {
+				_, payload, _, err := tr.Recv()
+				if err != nil {
+					return
+				}
+				if perr := snmp.ParseDiscoveryResponseInto(&resp, payload); perr != nil {
+					t.Errorf("parse: %v", perr)
+				} else if len(resp.EngineID) == 0 {
+					t.Error("parse: report without engine ID")
+				}
+				parsed.Add(1)
+				// The consumer owns the payload until release: wreck it to
+				// prove no other queued datagram shares the backing array.
+				for i := range payload {
+					payload[i] = 0xAA
+				}
+				tr.ReleasePayload(payload)
+			}
+		}()
+	}
+
+	var senders sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		senders.Add(1)
+		go func() {
+			defer senders.Done()
+			for round := 0; round < 30; round++ {
+				for _, a := range addrs {
+					if err := tr.Send(a, probe); err != nil {
+						t.Errorf("send: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	senders.Wait()
+	if err := tr.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	consumers.Wait()
+
+	if got, queued := parsed.Load(), tr.QueuedResponses(); got != queued {
+		t.Fatalf("consumed %d datagrams, transport queued %d", got, queued)
+	}
+	if parsed.Load() == 0 {
+		t.Fatal("hammer consumed no datagrams")
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"snmpv3fp/internal/bufpool"
 )
 
 type simPacket struct {
@@ -27,16 +29,37 @@ type Transport struct {
 	w  *World
 	ch chan simPacket
 
+	// pool recycles the response-datagram buffers flowing through ch. Every
+	// queued payload is copied into its own pooled buffer (even quirky
+	// devices that emit thousands of identical datagrams per probe), so each
+	// payload is singly owned: the consumer may pass it back through
+	// ReleasePayload the moment it is done, with no reference counting.
+	pool *bufpool.Pool
+
 	mu      sync.Mutex
 	closed  bool
 	sending sync.WaitGroup
 	queued  atomic.Uint64
 }
 
+// simBufSize comfortably covers a discovery report (engine IDs are at most a
+// few dozen octets, so reports stay under ~150 bytes); larger payloads fall
+// back to exact allocations that the pool simply declines to recycle.
+const simBufSize = 256
+
+// simPoolSize bounds the parked free list; the scanner's capture goroutine
+// releases buffers almost as fast as senders queue them, so the list stays
+// small relative to the channel capacity.
+const simPoolSize = 4096
+
 // NewTransport opens a transport onto the world. Each campaign should use a
 // fresh transport and call World.BeginScan first.
 func (w *World) NewTransport() *Transport {
-	return &Transport{w: w, ch: make(chan simPacket, 4096)}
+	return &Transport{
+		w:    w,
+		ch:   make(chan simPacket, 4096),
+		pool: bufpool.New(simPoolSize, simBufSize),
+	}
 }
 
 // Send implements scanner.Transport: the datagram is delivered to the agent
@@ -63,23 +86,41 @@ func (t *Transport) SendAt(dst netip.Addr, payload []byte, at time.Time) error {
 		t.deliverFaulted(f, dst, payload, at, rtt)
 		return nil
 	}
-	responses := t.w.HandleSNMP(dst, payload, at)
-	for _, resp := range responses {
-		t.enqueue(dst, resp, at.Add(rtt))
+	scratch := t.pool.Get()
+	wire, n := t.w.respond(dst, payload, at, scratch[:0])
+	for i := 0; i < n; i++ {
+		t.enqueue(dst, wire, at.Add(rtt))
 	}
+	t.pool.Put(scratch)
 	return nil
 }
 
-// enqueue queues one response datagram for Recv.
+// enqueue copies one response datagram into a pooled buffer and queues it
+// for Recv. The copy decouples the queued payload from the caller's scratch
+// and gives every datagram — including the identical copies quirky devices
+// emit — a single owner, so Recv consumers can release each payload
+// independently.
 func (t *Transport) enqueue(src netip.Addr, payload []byte, at time.Time) {
-	t.ch <- simPacket{src: src, payload: payload, at: at}
+	buf := t.pool.Get()
+	var pkt []byte
+	if len(payload) > len(buf) {
+		t.pool.Put(buf)
+		pkt = make([]byte, len(payload))
+	} else {
+		pkt = buf[:len(payload)]
+	}
+	copy(pkt, payload)
+	t.ch <- simPacket{src: src, payload: pkt, at: at}
 	t.queued.Add(1)
 }
 
 // QueuedResponses implements scanner.ResponseCounter.
 func (t *Transport) QueuedResponses() uint64 { return t.queued.Load() }
 
-// Recv implements scanner.Transport.
+// Recv implements scanner.Transport. The returned payload is backed by a
+// pooled buffer owned by the caller; pass it to ReleasePayload once parsed
+// or copied, and do not touch it afterwards. Skipping the release is safe —
+// the buffer is simply left to the GC.
 func (t *Transport) Recv() (netip.Addr, []byte, time.Time, error) {
 	p, ok := <-t.ch
 	if !ok {
@@ -87,6 +128,10 @@ func (t *Transport) Recv() (netip.Addr, []byte, time.Time, error) {
 	}
 	return p.src, p.payload, p.at, nil
 }
+
+// ReleasePayload implements scanner.PayloadReleaser: it returns a payload
+// obtained from Recv to the transport's buffer pool.
+func (t *Transport) ReleasePayload(p []byte) { t.pool.Put(p) }
 
 // Close implements scanner.Transport. It is safe to call concurrently with
 // Send and is idempotent: the response channel is only closed after every

@@ -1,0 +1,42 @@
+package scanner
+
+// byteArena amortizes the per-response payload copies the capture goroutine
+// makes when the transport recycles its receive buffers: instead of one heap
+// allocation per retained datagram, payloads are packed into fixed-size
+// chunks. Chunks are never reallocated — a chunk that cannot fit the next
+// payload is retired and a fresh one started — so previously returned
+// subslices stay valid for the lifetime of the arena (the campaign result
+// retains them).
+//
+// The arena is used by a single goroutine and needs no locking.
+type byteArena struct {
+	cur []byte
+}
+
+// arenaChunkSize is the allocation unit. Discovery responses are ~100 bytes,
+// so one chunk absorbs hundreds of payload copies.
+const arenaChunkSize = 64 * 1024
+
+// respChunkLen sizes the capture goroutine's response chunks (~290 KiB per
+// chunk at the current Response size).
+const respChunkLen = 4096
+
+// copyOf returns a stable copy of p owned by the arena. Payloads larger than
+// a chunk get a dedicated allocation; empty payloads return nil.
+func (a *byteArena) copyOf(p []byte) []byte {
+	n := len(p)
+	if n == 0 {
+		return nil
+	}
+	if n > arenaChunkSize {
+		out := make([]byte, n)
+		copy(out, p)
+		return out
+	}
+	if cap(a.cur)-len(a.cur) < n {
+		a.cur = make([]byte, 0, arenaChunkSize)
+	}
+	start := len(a.cur)
+	a.cur = append(a.cur, p...)
+	return a.cur[start : start+n : start+n]
+}

@@ -23,13 +23,14 @@ type engine struct {
 	targets TargetSpace
 	probe   []byte
 
-	// timed / vclk / shardable / positioned / member cache the optional
-	// capability checks that select the pacing mode and response
-	// validation.
+	// timed / vclk / shardable / positioned / member / releaser cache the
+	// optional capability checks that select the pacing mode, response
+	// validation, and receive-buffer recycling.
 	timed      TimedTransport
 	vclk       *vclock.Virtual
 	shardable  ShardableSpace
 	member     MembershipSpace
+	releaser   PayloadReleaser
 	positioned bool
 	// logical is true when probe send times are computed from permutation
 	// slots instead of pacing sleeps: virtual clock + timed transport +
@@ -38,17 +39,24 @@ type engine struct {
 	logical bool
 	workers int
 
-	// capture state.
-	captureWG sync.WaitGroup
-	mu        sync.Mutex
-	drained   *sync.Cond
-	responses []Response
+	// capture state. Responses accumulate in fixed-size chunks rather than
+	// one growing slice: appending N responses to a single slice churns
+	// several times N in copies as it regrows, while chunks allocate exactly
+	// once each and are concatenated once into the Result.
+	captureWG  sync.WaitGroup
+	mu         sync.Mutex
+	drained    *sync.Cond
+	respChunks [][]Response // filled chunks, in capture order
+	respCur    []Response   // chunk currently being filled
 	// responders is every source address seen so far; retry passes skip
 	// these.
 	responders  map[netip.Addr]struct{}
 	consumed    uint64
 	captureDone bool
 	recvErr     error
+	// arena packs retained payload copies when the transport recycles its
+	// receive buffers; only the capture goroutine touches it.
+	arena byteArena
 
 	// campaign statistics (see stats.go for the snapshot view).
 	sent       atomic.Uint64
@@ -90,6 +98,7 @@ func newEngine(tr Transport, targets TargetSpace, cfg Config, probe []byte) *eng
 	}
 	e.drained = sync.NewCond(&e.mu)
 	e.timed, _ = tr.(TimedTransport)
+	e.releaser, _ = tr.(PayloadReleaser)
 	e.vclk, _ = cfg.Clock.(*vclock.Virtual)
 	e.shardable, _ = targets.(ShardableSpace)
 	e.member, _ = targets.(MembershipSpace)
@@ -322,8 +331,8 @@ func (e *engine) capture() {
 	defer e.captureWG.Done()
 	for {
 		src, payload, at, err := e.tr.Recv()
-		e.mu.Lock()
 		if err != nil {
+			e.mu.Lock()
 			if !errors.Is(err, io.EOF) {
 				e.recvErr = err
 			}
@@ -333,8 +342,14 @@ func (e *engine) capture() {
 			return
 		}
 		if e.member != nil && !e.member.Contains(src) {
-			// Still consumed for the quiesce barrier: the transport queued
-			// it, so the drain accounting must see it.
+			// Off-path junk is dropped without copying: the transport buffer
+			// goes straight back to the pool. Still consumed for the quiesce
+			// barrier — the transport queued it, so the drain accounting
+			// must see it.
+			if e.releaser != nil {
+				e.releaser.ReleasePayload(payload)
+			}
+			e.mu.Lock()
 			e.consumed++
 			e.drained.Broadcast()
 			e.mu.Unlock()
@@ -342,7 +357,23 @@ func (e *engine) capture() {
 			e.metrics.offPath.Inc()
 			continue
 		}
-		e.responses = append(e.responses, Response{Src: src, Payload: payload, At: at})
+		if e.releaser != nil {
+			// The payload lives in a transport buffer about to be reused:
+			// pack a copy into the arena (outside the lock) and release the
+			// buffer. Without a releasing transport the payload is already
+			// ours and is retained as-is.
+			retained := e.arena.copyOf(payload)
+			e.releaser.ReleasePayload(payload)
+			payload = retained
+		}
+		e.mu.Lock()
+		if len(e.respCur) == cap(e.respCur) {
+			if e.respCur != nil {
+				e.respChunks = append(e.respChunks, e.respCur)
+			}
+			e.respCur = make([]Response, 0, respChunkLen)
+		}
+		e.respCur = append(e.respCur, Response{Src: src, Payload: payload, At: at})
 		e.responders[src] = struct{}{}
 		e.consumed++
 		e.drained.Broadcast()

@@ -97,16 +97,32 @@ func (e *engine) observePassRTTs() {
 		e.sendLog[i] = nil
 	}
 	e.mu.Lock()
-	pending := e.responses[e.rttMark:]
-	e.rttMark = len(e.responses)
-	rtts := make([]time.Duration, 0, len(pending))
-	for _, resp := range pending {
-		if at, ok := sentAt[resp.Src]; ok {
-			if d := resp.At.Sub(at); d > 0 {
-				rtts = append(rtts, d)
+	// Walk the response chunks from the high-water mark of the previous
+	// pass; only this pass's captures are matched against its send log.
+	var rtts []time.Duration
+	idx := 0
+	scan := func(chunk []Response) {
+		if idx+len(chunk) <= e.rttMark {
+			idx += len(chunk)
+			return
+		}
+		for i := range chunk {
+			if idx >= e.rttMark {
+				resp := &chunk[i]
+				if at, ok := sentAt[resp.Src]; ok {
+					if d := resp.At.Sub(at); d > 0 {
+						rtts = append(rtts, d)
+					}
+				}
 			}
+			idx++
 		}
 	}
+	for _, c := range e.respChunks {
+		scan(c)
+	}
+	scan(e.respCur)
+	e.rttMark = idx
 	e.mu.Unlock()
 	for _, d := range rtts {
 		e.metrics.rtt.ObserveDuration(d)

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"context"
 	"errors"
-	"fmt"
 	"net/netip"
 	"sort"
 	"time"
@@ -37,6 +36,17 @@ type TimedTransport interface {
 	Transport
 	// SendAt transmits one probe payload to dst at logical time at.
 	SendAt(dst netip.Addr, payload []byte, at time.Time) error
+}
+
+// PayloadReleaser is implemented by transports whose Recv hands out payloads
+// backed by reusable buffers. After a payload has been parsed or copied, the
+// consumer returns it with ReleasePayload and must not touch it again; the
+// transport is then free to reuse the backing buffer for a later datagram.
+// The engine copies retained responses out of transport buffers and releases
+// them; consumers that never release simply leave the buffers to the GC.
+type PayloadReleaser interface {
+	// ReleasePayload returns a payload obtained from Recv to the transport.
+	ReleasePayload(p []byte)
 }
 
 // ResponseCounter is implemented by transports that can report how many
@@ -193,10 +203,7 @@ func ScanContext(ctx context.Context, tr Transport, targets TargetSpace, cfg Con
 	// state would defeat the point); responses are matched by source
 	// address, and the echoed msgID lets collectors reject forgeries.
 	probeMsgID := cfg.Seed & 0x7FFFFFFF
-	probe, err := snmp.EncodeDiscoveryRequest(probeMsgID, (cfg.Seed*2654435761)&0x7FFFFFFF)
-	if err != nil {
-		return nil, fmt.Errorf("scanner: building probe: %w", err)
-	}
+	probe := snmp.AppendDiscoveryRequest(nil, probeMsgID, (cfg.Seed*2654435761)&0x7FFFFFFF)
 
 	e := newEngine(tr, targets, cfg, probe)
 	campaignSpan := e.metrics.tracer.Start("scan.campaign")
@@ -227,7 +234,16 @@ func ScanContext(ctx context.Context, tr Transport, targets TargetSpace, cfg Con
 // fillResult copies the engine's accounting into res. Only called after
 // the capture goroutine has been joined, so the fields are quiescent.
 func (e *engine) fillResult(res *Result, probeMsgID int64) {
-	res.Responses = e.responses
+	total := len(e.respCur)
+	for _, c := range e.respChunks {
+		total += len(c)
+	}
+	out := make([]Response, 0, total)
+	for _, c := range e.respChunks {
+		out = append(out, c...)
+	}
+	out = append(out, e.respCur...)
+	res.Responses = out
 	sortResponses(res.Responses)
 	res.Sent = e.sent.Load()
 	res.Retried = e.retried.Load()

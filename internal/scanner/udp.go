@@ -6,6 +6,8 @@ import (
 	"net"
 	"net/netip"
 	"time"
+
+	"snmpv3fp/internal/bufpool"
 )
 
 // UDPTransport sends probes over a real UDP socket — the transport a live
@@ -14,11 +16,12 @@ type UDPTransport struct {
 	conn *net.UDPConn
 	// Port is the destination port, 161 for SNMP.
 	port uint16
-	// buf is the receive buffer, sized for the largest possible UDP
-	// payload so no datagram is ever silently truncated into corrupt BER.
-	// Recv is called from a single capture goroutine, so one reusable
-	// buffer (with responses copied out) replaces a per-packet allocation.
-	buf [maxUDPPayload]byte
+	// pool recycles receive buffers. Recv reads each datagram into a pooled
+	// buffer sized for the largest possible UDP payload (so nothing is ever
+	// silently truncated into corrupt BER) and returns a payload slice of
+	// it; ReleasePayload returns the buffer for reuse. Callers that never
+	// release degrade to the old allocate-per-datagram behavior.
+	pool *bufpool.Pool
 }
 
 // maxUDPPayload is the largest payload an IPv4/IPv6 UDP datagram can carry.
@@ -27,6 +30,10 @@ type UDPTransport struct {
 // with no signal.
 const maxUDPPayload = 65535
 
+// recvPoolSize bounds how many receive buffers the transport keeps parked
+// for reuse; beyond it, released buffers fall back to the GC.
+const recvPoolSize = 64
+
 // NewUDPTransport opens a wildcard UDP socket probing the given destination
 // port.
 func NewUDPTransport(port uint16) (*UDPTransport, error) {
@@ -34,7 +41,7 @@ func NewUDPTransport(port uint16) (*UDPTransport, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &UDPTransport{conn: conn, port: port}, nil
+	return &UDPTransport{conn: conn, port: port, pool: bufpool.New(recvPoolSize, maxUDPPayload)}, nil
 }
 
 // LocalAddr returns the bound source address.
@@ -51,18 +58,26 @@ func (t *UDPTransport) Send(dst netip.Addr, payload []byte) error {
 // Recv implements Transport. The receive timestamp is taken as the datagram
 // is read, matching how the paper derives last-reboot times from packet
 // receive times.
+//
+// The returned payload is backed by a pooled buffer owned by the caller;
+// pass it to ReleasePayload once it is parsed or copied, and do not touch it
+// afterwards. Skipping the release is safe — the buffer is simply collected.
 func (t *UDPTransport) Recv() (netip.Addr, []byte, time.Time, error) {
-	n, from, err := t.conn.ReadFromUDPAddrPort(t.buf[:])
+	buf := t.pool.Get()
+	n, from, err := t.conn.ReadFromUDPAddrPort(buf)
 	if err != nil {
+		t.pool.Put(buf)
 		if errors.Is(err, net.ErrClosed) {
 			err = io.EOF
 		}
 		return netip.Addr{}, nil, time.Time{}, err
 	}
-	payload := make([]byte, n)
-	copy(payload, t.buf[:n])
-	return from.Addr().Unmap(), payload, time.Now(), nil
+	return from.Addr().Unmap(), buf[:n], time.Now(), nil
 }
+
+// ReleasePayload implements PayloadReleaser: it returns a payload obtained
+// from Recv to the receive-buffer pool.
+func (t *UDPTransport) ReleasePayload(p []byte) { t.pool.Put(p) }
 
 // Close implements Transport.
 func (t *UDPTransport) Close() error { return t.conn.Close() }

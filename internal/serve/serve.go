@@ -22,11 +22,14 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/hex"
 	"encoding/json"
 	"net/http"
 	"net/netip"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -368,9 +371,34 @@ func (s *Server) parseAddr(w http.ResponseWriter, r *http.Request) (netip.Addr, 
 	return addr, true
 }
 
-func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+// jsonBufPool recycles the encode buffers behind writeJSON and writeError,
+// so steady-state request handling reuses a few warm buffers instead of
+// growing a fresh one per response.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// encodeJSONPooled marshals v into a pooled buffer and writes it out in one
+// Write (with an exact Content-Length). Encoding before touching the
+// ResponseWriter also means an encode failure never emits a half-written
+// 200 body.
+func encodeJSONPooled(w http.ResponseWriter, status int, v any) error {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		jsonBufPool.Put(buf)
+		return err
+	}
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	if status != http.StatusOK {
+		w.WriteHeader(status)
+	}
+	_, err := w.Write(buf.Bytes())
+	jsonBufPool.Put(buf)
+	return err
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	if err := encodeJSONPooled(w, http.StatusOK, v); err != nil {
 		s.errors.Add(1)
 	}
 }
@@ -407,7 +435,5 @@ func (s *Server) notFound(w http.ResponseWriter, msg string) {
 }
 
 func writeError(w http.ResponseWriter, status int, code, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(WireError{Error: WireErrorBody{Code: code, Message: msg}})
+	_ = encodeJSONPooled(w, status, WireError{Error: WireErrorBody{Code: code, Message: msg}})
 }

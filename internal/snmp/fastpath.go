@@ -1,0 +1,454 @@
+package snmp
+
+import (
+	"fmt"
+	"math"
+
+	"snmpv3fp/internal/ber"
+)
+
+// This file is the allocation-free twin of the discovery codec in v3.go.
+//
+// The generic paths (V3Message.Encode, DecodeV3, ParseDiscoveryResponse) are
+// the reference implementations: a Builder back-patches nested lengths and a
+// Parser tree clones every byte slice it hands out. Both are exercised once
+// per message shape in tests and by off-path tooling, but a scan campaign
+// encodes one probe and parses hundreds of thousands of responses, so the
+// scanner, core collector, and netsim agents use the functions below instead:
+//
+//   - AppendDiscoveryRequest / AppendDiscoveryReport compute every nested
+//     SEQUENCE length arithmetically (ber.IntSize/UintSize/TLVSize) and emit
+//     the message in a single forward pass into a caller-owned buffer.
+//   - ParseDiscoveryResponseInto / ParseRequestIDs walk the wire bytes with
+//     ber.DecodeTLV value tokens, reusing the caller's DiscoveryResponse
+//     scratch instead of allocating a Parser tree and cloned slices.
+//
+// Byte-for-byte and error-for-error equivalence with the generic paths is
+// pinned by fastpath_test.go and the differential fuzz targets in
+// fuzz_fastpath_test.go; do not let the two implementations drift.
+
+// usmDiscoveryParams is the constant msgSecurityParameters OCTET STRING of a
+// discovery probe: a USM SEQUENCE with empty engine ID, zero boots/time, and
+// empty user/auth/priv strings (RFC 3414 §4).
+var usmDiscoveryParams = [18]byte{
+	ber.TagOctetString, 16,
+	ber.TagSequence, 14,
+	ber.TagOctetString, 0, // msgAuthoritativeEngineID: empty
+	ber.TagInteger, 1, 0, // msgAuthoritativeEngineBoots: 0
+	ber.TagInteger, 1, 0, // msgAuthoritativeEngineTime: 0
+	ber.TagOctetString, 0, // msgUserName: empty
+	ber.TagOctetString, 0, // msgAuthenticationParameters: empty
+	ber.TagOctetString, 0, // msgPrivacyParameters: empty
+}
+
+// oidUsmStatsUnknownEngineIDsBody is the encoded body of
+// OIDUsmStatsUnknownEngineIDs (1.3.6.1.6.3.15.1.1.4.0).
+var oidUsmStatsUnknownEngineIDsBody = [10]byte{
+	0x2B, 0x06, 0x01, 0x06, 0x03, 0x0F, 0x01, 0x01, 0x04, 0x00,
+}
+
+// AppendDiscoveryRequest appends the wire encoding of a discovery probe
+// (NewDiscoveryRequest) to dst and returns the extended slice. The output is
+// byte-identical to EncodeDiscoveryRequest(msgID, requestID); with dst
+// capacity reused across calls it performs zero allocations, which lets the
+// scanner patch fresh msgID/requestID values into a campaign's probe without
+// re-running the Builder.
+func AppendDiscoveryRequest(dst []byte, msgID, requestID int64) []byte {
+	mi := ber.IntSize(msgID)
+	ri := ber.IntSize(requestID)
+	msz := ber.IntSize(DefaultMaxSize)
+
+	// msgGlobalData: msgID, msgMaxSize, msgFlags (1 octet), msgSecurityModel.
+	gb := (2 + mi) + (2 + msz) + 3 + 3
+	// PDU body: request-id, error-status, error-index, empty varbind list.
+	pb := (2 + ri) + 3 + 3 + 2
+	// ScopedPDU: empty contextEngineID, empty contextName, GetRequest PDU.
+	sb := 2 + 2 + ber.TLVSize(pb)
+	// Message body: version, global data, USM params, scoped PDU.
+	mb := 3 + ber.TLVSize(gb) + len(usmDiscoveryParams) + ber.TLVSize(sb)
+
+	dst = append(dst, ber.TagSequence)
+	dst = ber.AppendLength(dst, mb)
+	dst = append(dst, ber.TagInteger, 1, byte(V3))
+	dst = append(dst, ber.TagSequence)
+	dst = ber.AppendLength(dst, gb)
+	dst = append(dst, ber.TagInteger, byte(mi))
+	dst = ber.AppendInt(dst, msgID)
+	dst = append(dst, ber.TagInteger, byte(msz))
+	dst = ber.AppendInt(dst, DefaultMaxSize)
+	dst = append(dst, ber.TagOctetString, 1, FlagReportable)
+	dst = append(dst, ber.TagInteger, 1, SecurityModelUSM)
+	dst = append(dst, usmDiscoveryParams[:]...)
+	dst = append(dst, ber.TagSequence)
+	dst = ber.AppendLength(dst, sb)
+	dst = append(dst, ber.TagOctetString, 0) // contextEngineID: empty
+	dst = append(dst, ber.TagOctetString, 0) // contextName: empty
+	dst = append(dst, byte(PDUGetRequest))
+	dst = ber.AppendLength(dst, pb)
+	dst = append(dst, ber.TagInteger, byte(ri))
+	dst = ber.AppendInt(dst, requestID)
+	dst = append(dst, ber.TagInteger, 1, 0) // error-status
+	dst = append(dst, ber.TagInteger, 1, 0) // error-index
+	dst = append(dst, ber.TagSequence, 0)   // empty variable-bindings
+	return dst
+}
+
+// AppendDiscoveryReport appends the wire encoding of an agent's answer to a
+// discovery probe to dst and returns the extended slice. The output is
+// byte-identical to NewDiscoveryReport(req, ...).Encode() for a request with
+// the given msgID and requestID. netsim agents call this once per simulated
+// response instead of building a V3Message tree.
+func AppendDiscoveryReport(dst []byte, msgID, requestID int64, engineID []byte, boots, engineTime int64, unknownEngineIDs uint64) []byte {
+	mi := ber.IntSize(msgID)
+	ri := ber.IntSize(requestID)
+	bi := ber.IntSize(boots)
+	ti := ber.IntSize(engineTime)
+	ci := ber.UintSize(unknownEngineIDs)
+	msz := ber.IntSize(DefaultMaxSize)
+	e := len(engineID)
+
+	gb := (2 + mi) + (2 + msz) + 3 + 3
+	// USM SEQUENCE: engine ID, boots, time, empty user/auth/priv.
+	ub := ber.TLVSize(e) + (2 + bi) + (2 + ti) + 2 + 2 + 2
+	usmOS := ber.TLVSize(ub) // the SEQUENCE, wrapped below as an OCTET STRING
+	// Single varbind: usmStatsUnknownEngineIDs OID + Counter32 value.
+	vbb := (2 + len(oidUsmStatsUnknownEngineIDsBody)) + (2 + ci)
+	vblb := ber.TLVSize(vbb)
+	pb := (2 + ri) + 3 + 3 + ber.TLVSize(vblb)
+	sb := ber.TLVSize(e) + 2 + ber.TLVSize(pb)
+	mb := 3 + ber.TLVSize(gb) + ber.TLVSize(usmOS) + ber.TLVSize(sb)
+
+	dst = append(dst, ber.TagSequence)
+	dst = ber.AppendLength(dst, mb)
+	dst = append(dst, ber.TagInteger, 1, byte(V3))
+	dst = append(dst, ber.TagSequence)
+	dst = ber.AppendLength(dst, gb)
+	dst = append(dst, ber.TagInteger, byte(mi))
+	dst = ber.AppendInt(dst, msgID)
+	dst = append(dst, ber.TagInteger, byte(msz))
+	dst = ber.AppendInt(dst, DefaultMaxSize)
+	dst = append(dst, ber.TagOctetString, 1, 0) // msgFlags: noAuthNoPriv, not reportable
+	dst = append(dst, ber.TagInteger, 1, SecurityModelUSM)
+	dst = append(dst, ber.TagOctetString)
+	dst = ber.AppendLength(dst, usmOS)
+	dst = append(dst, ber.TagSequence)
+	dst = ber.AppendLength(dst, ub)
+	dst = append(dst, ber.TagOctetString)
+	dst = ber.AppendLength(dst, e)
+	dst = append(dst, engineID...)
+	dst = append(dst, ber.TagInteger, byte(bi))
+	dst = ber.AppendInt(dst, boots)
+	dst = append(dst, ber.TagInteger, byte(ti))
+	dst = ber.AppendInt(dst, engineTime)
+	dst = append(dst, ber.TagOctetString, 0) // msgUserName
+	dst = append(dst, ber.TagOctetString, 0) // msgAuthenticationParameters
+	dst = append(dst, ber.TagOctetString, 0) // msgPrivacyParameters
+	dst = append(dst, ber.TagSequence)
+	dst = ber.AppendLength(dst, sb)
+	dst = append(dst, ber.TagOctetString)
+	dst = ber.AppendLength(dst, e)
+	dst = append(dst, engineID...) // contextEngineID mirrors the USM engine ID
+	dst = append(dst, ber.TagOctetString, 0)
+	dst = append(dst, byte(PDUReport))
+	dst = ber.AppendLength(dst, pb)
+	dst = append(dst, ber.TagInteger, byte(ri))
+	dst = ber.AppendInt(dst, requestID)
+	dst = append(dst, ber.TagInteger, 1, 0) // error-status
+	dst = append(dst, ber.TagInteger, 1, 0) // error-index
+	dst = append(dst, ber.TagSequence)
+	dst = ber.AppendLength(dst, vblb)
+	dst = append(dst, ber.TagSequence)
+	dst = ber.AppendLength(dst, vbb)
+	dst = append(dst, ber.TagOID, byte(len(oidUsmStatsUnknownEngineIDsBody)))
+	dst = append(dst, oidUsmStatsUnknownEngineIDsBody[:]...)
+	dst = append(dst, ber.TagCounter32, byte(ci))
+	dst = ber.AppendUint(dst, unknownEngineIDs)
+	return dst
+}
+
+// decodeExpect decodes one TLV from the front of buf and requires the given
+// tag, mirroring ber.Parser.next's error wrapping.
+func decodeExpect(buf []byte, tag byte) (val, rest []byte, err error) {
+	tlv, rest, err := ber.DecodeTLV(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if tlv.Tag != tag {
+		return nil, nil, fmt.Errorf("%w: want 0x%02x, got 0x%02x", ber.ErrBadTag, tag, tlv.Tag)
+	}
+	return tlv.Value, rest, nil
+}
+
+// readInt consumes an INTEGER TLV.
+func readInt(buf []byte) (int64, []byte, error) {
+	body, rest, err := decodeExpect(buf, ber.TagInteger)
+	if err != nil {
+		return 0, nil, err
+	}
+	v, err := ber.ParseInt(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return v, rest, nil
+}
+
+// checkOIDBody validates an OBJECT IDENTIFIER body without materializing its
+// arcs, reproducing ber.ParseOID's error behavior.
+func checkOIDBody(body []byte) error {
+	if len(body) == 0 {
+		return ber.ErrTruncated
+	}
+	var v uint64
+	for i, b := range body {
+		v = v<<7 | uint64(b&0x7F)
+		if v > math.MaxUint32 {
+			return fmt.Errorf("ber: OID arc overflow at octet %d", i)
+		}
+		if b&0x80 == 0 {
+			v = 0
+		}
+	}
+	if body[len(body)-1]&0x80 != 0 {
+		return ber.ErrTruncated
+	}
+	return nil
+}
+
+// checkValue validates a varbind value TLV as parseValue would, returning the
+// unsigned value for the application counter tags (and zero otherwise).
+func checkValue(tlv ber.TLV) (uint64, error) {
+	switch tlv.Tag {
+	case ber.TagInteger:
+		_, err := ber.ParseInt(tlv.Value)
+		return 0, err
+	case ber.TagOID:
+		return 0, checkOIDBody(tlv.Value)
+	case ber.TagCounter32, ber.TagGauge32, ber.TagTimeTicks, ber.TagCounter64:
+		return ber.ParseUint(tlv.Value)
+	default:
+		// OCTET STRING, NULL, IpAddress, Opaque, exceptions, and unknown
+		// tags carry their bodies opaquely; parseValue accepts them as-is.
+		return 0, nil
+	}
+}
+
+// walkV3 is the shared allocation-free walk over an SNMPv3 message. It
+// reproduces DecodeV3 + parsePDU validation exactly — same accepted set, same
+// sentinel wrapping — without building a V3Message. When resp is non-nil the
+// discovery fields are filled in as the walk passes them; pduType is zero
+// when the message is encrypted.
+func walkV3(buf []byte, resp *DiscoveryResponse) (msgID, requestID int64, pduType PDUType, err error) {
+	msg, _, err := decodeExpect(buf, ber.TagSequence)
+	var version int64
+	if err == nil {
+		version, msg, err = readInt(msg)
+	}
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("%w: %w", ErrNotSNMP, err)
+	}
+	if Version(version) != V3 {
+		return 0, 0, 0, fmt.Errorf("%w: %d", ErrWrongVersion, version)
+	}
+
+	// msgGlobalData
+	gd, msg, err := decodeExpect(msg, ber.TagSequence)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	msgID, gd, err = readInt(gd)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if _, gd, err = readInt(gd); err != nil { // msgMaxSize
+		return 0, 0, 0, err
+	}
+	flags, gd, err := decodeExpect(gd, ber.TagOctetString)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if _, _, err = readInt(gd); err != nil { // msgSecurityModel
+		return 0, 0, 0, err
+	}
+	if len(flags) != 1 {
+		return 0, 0, 0, fmt.Errorf("snmp: msgFlags length %d", len(flags))
+	}
+	if resp != nil {
+		resp.MsgID = msgID
+	}
+
+	// msgSecurityParameters: OCTET STRING wrapping the USM SEQUENCE.
+	secParams, msg, err := decodeExpect(msg, ber.TagOctetString)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	usm, _, err := decodeExpect(secParams, ber.TagSequence)
+	var engineID []byte
+	var boots, engineTime int64
+	if err == nil {
+		engineID, usm, err = decodeExpect(usm, ber.TagOctetString)
+	}
+	if err == nil {
+		boots, usm, err = readInt(usm)
+	}
+	if err == nil {
+		engineTime, usm, err = readInt(usm)
+	}
+	if err == nil {
+		_, usm, err = decodeExpect(usm, ber.TagOctetString) // msgUserName
+	}
+	if err == nil {
+		_, usm, err = decodeExpect(usm, ber.TagOctetString) // msgAuthenticationParameters
+	}
+	if err == nil {
+		_, _, err = decodeExpect(usm, ber.TagOctetString) // msgPrivacyParameters
+	}
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("snmp: bad USM parameters: %w", err)
+	}
+	if resp != nil {
+		// EngineID aliases buf; ParseDiscoveryResponseInto documents the
+		// copy-before-retain contract.
+		resp.EngineID = engineID
+		resp.EngineBoots = boots
+		resp.EngineTime = engineTime
+	}
+
+	if flags[0]&FlagPriv != 0 {
+		// Encrypted scoped PDU: DecodeV3 stops here with ErrEncrypted and
+		// tolerates any damage in the ciphertext OCTET STRING.
+		return msgID, 0, 0, ErrEncrypted
+	}
+
+	// Plaintext ScopedPDU.
+	spdu, _, err := decodeExpect(msg, ber.TagSequence)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if _, spdu, err = decodeExpect(spdu, ber.TagOctetString); err != nil { // contextEngineID
+		return 0, 0, 0, err
+	}
+	if _, spdu, err = decodeExpect(spdu, ber.TagOctetString); err != nil { // contextName
+		return 0, 0, 0, err
+	}
+
+	// PDU: context-tagged CHOICE, same accepted set as parsePDU.
+	var tag byte
+	if len(spdu) > 0 {
+		tag = spdu[0]
+	}
+	switch PDUType(tag) {
+	case PDUGetRequest, PDUGetNextRequest, PDUGetResponse, PDUSetRequest,
+		PDUGetBulkRequest, PDUInformRequest, PDUTrapV2, PDUReport:
+	default:
+		return 0, 0, 0, fmt.Errorf("snmp: unsupported PDU tag 0x%02x", tag)
+	}
+	body, _, err := decodeExpect(spdu, tag)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if requestID, body, err = readInt(body); err != nil {
+		return 0, 0, 0, err
+	}
+	if _, body, err = readInt(body); err != nil { // error-status
+		return 0, 0, 0, err
+	}
+	if _, body, err = readInt(body); err != nil { // error-index
+		return 0, 0, 0, err
+	}
+	vbl, _, err := decodeExpect(body, ber.TagSequence)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	reportLike := PDUType(tag) == PDUReport || PDUType(tag) == PDUGetResponse
+	for i := 0; len(vbl) > 0; i++ {
+		var vb []byte
+		if vb, vbl, err = decodeExpect(vbl, ber.TagSequence); err != nil {
+			return 0, 0, 0, err
+		}
+		name, vb, err := decodeExpect(vb, ber.TagOID)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		// The OID body is parsed before the value TLV is decoded, matching
+		// parsePDU's error precedence (vb.OID latches before vb.Any runs).
+		keep := resp != nil && reportLike && i == 0
+		if keep {
+			// First varbind of a report: materialize the OID into the
+			// caller's scratch.
+			oid, oidErr := ber.ParseOIDInto(resp.ReportOID, name)
+			if oidErr != nil {
+				return 0, 0, 0, oidErr
+			}
+			resp.ReportOID = oid
+		} else if err := checkOIDBody(name); err != nil {
+			// Remaining varbinds are validated — their damage must surface
+			// exactly as it does through parsePDU — but not materialized.
+			return 0, 0, 0, err
+		}
+		val, _, err := ber.DecodeTLV(vb)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		count, valErr := checkValue(val)
+		if valErr != nil {
+			return 0, 0, 0, valErr
+		}
+		if keep {
+			resp.ReportCount = count
+		}
+	}
+	return msgID, requestID, PDUType(tag), nil
+}
+
+// ParseDiscoveryResponseInto decodes buf as an SNMPv3 message and extracts
+// the discovery metadata into resp, reusing resp.ReportOID's capacity. It
+// accepts exactly the inputs ParseDiscoveryResponse accepts and fails with
+// equivalent errors (same sentinels via errors.Is) on the inputs it rejects;
+// the differential fuzz target FuzzParseDiscoveryResponseIntoDiff pins the
+// equivalence.
+//
+// Unlike ParseDiscoveryResponse, resp.EngineID aliases buf — callers that
+// retain it past the buffer's lifetime (or release buf to a pool) must copy
+// it first. On error resp is partially filled and must not be used, except
+// with ErrNotReport, where resp carries the header fields as the allocating
+// path does.
+func ParseDiscoveryResponseInto(resp *DiscoveryResponse, buf []byte) error {
+	resp.MsgID = 0
+	resp.EngineID = nil
+	resp.EngineBoots = 0
+	resp.EngineTime = 0
+	resp.ReportOID = resp.ReportOID[:0]
+	resp.ReportCount = 0
+	_, _, pduType, err := walkV3(buf, resp)
+	if err == ErrEncrypted {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if pduType != PDUReport && pduType != PDUGetResponse {
+		// Header fields stay filled, mirroring ParseDiscoveryResponse's
+		// (resp, ErrNotReport) return; the first varbind was not kept.
+		resp.ReportOID = resp.ReportOID[:0]
+		resp.ReportCount = 0
+		return ErrNotReport
+	}
+	return nil
+}
+
+// ParseRequestIDs extracts msgID and requestID from an SNMPv3 message without
+// allocating, validating the full message exactly as DecodeV3 does: it
+// returns an error if and only if DecodeV3 would, including ErrEncrypted for
+// priv-flagged messages (whose requestID reads as zero, as a nil scoped PDU
+// does through NewDiscoveryReport). netsim agents use it to answer probes
+// without decoding into a V3Message tree.
+func ParseRequestIDs(buf []byte) (msgID, requestID int64, err error) {
+	msgID, requestID, _, err = walkV3(buf, nil)
+	if err == ErrEncrypted {
+		return msgID, 0, ErrEncrypted
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	return msgID, requestID, nil
+}

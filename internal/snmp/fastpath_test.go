@@ -1,0 +1,242 @@
+package snmp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// intBoundaries are the INTEGER width transitions where a one-off in the
+// arithmetic length computation would first diverge from the Builder's
+// back-patched output: one-octet/two-octet (127/128), two/three (32767), and
+// the negative mirrors.
+var intBoundaries = []int64{
+	0, 1, 42, 126, 127, 128, 129, 255, 256,
+	32766, 32767, 32768, 65535, 65536,
+	1<<23 - 1, 1 << 23, 1<<31 - 1,
+	-1, -127, -128, -129, -32768, -32769, -(1 << 23), -(1<<23 + 1),
+}
+
+func TestAppendDiscoveryRequestMatchesEncode(t *testing.T) {
+	var dst []byte
+	for _, msgID := range intBoundaries {
+		for _, reqID := range intBoundaries {
+			want, err := EncodeDiscoveryRequest(msgID, reqID)
+			if err != nil {
+				t.Fatalf("EncodeDiscoveryRequest(%d, %d): %v", msgID, reqID, err)
+			}
+			dst = AppendDiscoveryRequest(dst[:0], msgID, reqID)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("AppendDiscoveryRequest(%d, %d):\n got %x\nwant %x", msgID, reqID, dst, want)
+			}
+		}
+	}
+}
+
+func TestAppendDiscoveryRequestAppends(t *testing.T) {
+	prefix := []byte("keep-me")
+	out := AppendDiscoveryRequest(append([]byte(nil), prefix...), 7, 9)
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatalf("prefix clobbered: %x", out[:len(prefix)])
+	}
+	want, _ := EncodeDiscoveryRequest(7, 9)
+	if !bytes.Equal(out[len(prefix):], want) {
+		t.Fatalf("appended bytes diverge from EncodeDiscoveryRequest")
+	}
+}
+
+func TestAppendDiscoveryReportMatchesEncode(t *testing.T) {
+	engineIDs := [][]byte{
+		nil,
+		{},
+		{0x80, 0x00, 0x1F, 0x88, 0x03, 0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF},
+		bytes.Repeat([]byte{0xAB}, 32),
+		// A 200-octet engine ID pushes the nested SEQUENCE lengths past 127,
+		// exercising the multi-octet length branch end to end.
+		bytes.Repeat([]byte{0xCD}, 200),
+	}
+	counts := []uint64{0, 1, 127, 128, 255, 256, 65535, 1 << 31, 1<<64 - 1}
+	var dst []byte
+	for _, msgID := range intBoundaries {
+		for _, engineID := range engineIDs {
+			for _, count := range counts {
+				reqID := msgID ^ 0x55
+				boots := msgID/2 + 1
+				engineTime := msgID + 12345
+				req := NewDiscoveryRequest(msgID, reqID)
+				want, err := NewDiscoveryReport(req, engineID, boots, engineTime, count).Encode()
+				if err != nil {
+					t.Fatalf("Encode report: %v", err)
+				}
+				dst = AppendDiscoveryReport(dst[:0], msgID, reqID, engineID, boots, engineTime, count)
+				if !bytes.Equal(dst, want) {
+					t.Fatalf("AppendDiscoveryReport(msgID=%d, engineID=%d octets, count=%d):\n got %x\nwant %x",
+						msgID, len(engineID), count, dst, want)
+				}
+			}
+		}
+	}
+}
+
+// respEqual compares a reused-struct parse against the allocating reference.
+func respEqual(a *DiscoveryResponse, b *DiscoveryResponse) bool {
+	if a.MsgID != b.MsgID || a.EngineBoots != b.EngineBoots || a.EngineTime != b.EngineTime {
+		return false
+	}
+	if !bytes.Equal(a.EngineID, b.EngineID) || a.ReportCount != b.ReportCount {
+		return false
+	}
+	if len(a.ReportOID) != len(b.ReportOID) {
+		return false
+	}
+	for i := range a.ReportOID {
+		if a.ReportOID[i] != b.ReportOID[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParseDiscoveryResponseIntoMatchesAllocating(t *testing.T) {
+	req := NewDiscoveryRequest(77, 88)
+	engineID := []byte{0x80, 0x00, 0x1F, 0x88, 0x03, 0x01, 0x02, 0x03}
+	wires := [][]byte{
+		AppendDiscoveryReport(nil, 77, 88, engineID, 3, 123456, 42),
+		AppendDiscoveryReport(nil, 1, 1, nil, 0, 0, 0),
+		AppendDiscoveryReport(nil, 32767, 32768, bytes.Repeat([]byte{9}, 200), 127, 128, 1<<64-1),
+	}
+	if w, err := EncodeDiscoveryRequest(5, 6); err == nil {
+		wires = append(wires, w) // GetRequest: ErrNotReport with header fields filled
+	}
+	if w, err := req.Encode(); err == nil {
+		wires = append(wires, w)
+	}
+	// An encrypted message: priv flag set, payload is an opaque OCTET STRING.
+	enc := &V3Message{
+		MsgID: 9, MsgMaxSize: DefaultMaxSize, MsgFlags: FlagPriv | FlagAuth,
+		MsgSecurityModel: SecurityModelUSM,
+		USM: USMSecurityParameters{
+			AuthoritativeEngineID:    engineID,
+			AuthoritativeEngineBoots: 2,
+			AuthoritativeEngineTime:  7,
+			UserName:                 []byte("ops"),
+		},
+		EncryptedPDU: []byte{0xDE, 0xAD, 0xBE, 0xEF},
+	}
+	if w, err := enc.Encode(); err == nil {
+		wires = append(wires, w)
+	}
+
+	reused := &DiscoveryResponse{}
+	for i, wire := range wires {
+		want, wantErr := ParseDiscoveryResponse(wire)
+		gotErr := ParseDiscoveryResponseInto(reused, wire)
+		if (wantErr == nil) != (gotErr == nil) || !errors.Is(gotErr, wantErr) && wantErr != nil {
+			t.Fatalf("wire %d: allocating err=%v, into err=%v", i, wantErr, gotErr)
+		}
+		if wantErr != nil && wantErr != ErrNotReport {
+			continue
+		}
+		if !respEqual(reused, want) {
+			t.Fatalf("wire %d: into=%+v allocating=%+v", i, reused, want)
+		}
+	}
+}
+
+func TestParseDiscoveryResponseIntoResetsStaleFields(t *testing.T) {
+	resp := &DiscoveryResponse{}
+	rich := AppendDiscoveryReport(nil, 1, 2, []byte{1, 2, 3, 4}, 5, 6, 7)
+	if err := ParseDiscoveryResponseInto(resp, rich); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.ReportOID) == 0 || resp.ReportCount != 7 {
+		t.Fatalf("rich parse incomplete: %+v", resp)
+	}
+	// An encrypted message fills only the header; report fields from the
+	// previous parse must not leak through.
+	enc := &V3Message{
+		MsgID: 3, MsgMaxSize: DefaultMaxSize, MsgFlags: FlagPriv,
+		MsgSecurityModel: SecurityModelUSM,
+		EncryptedPDU:     []byte{1},
+	}
+	wire, err := enc.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ParseDiscoveryResponseInto(resp, wire); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.ReportOID) != 0 || resp.ReportCount != 0 {
+		t.Fatalf("stale report fields survived: %+v", resp)
+	}
+	if resp.MsgID != 3 {
+		t.Fatalf("MsgID = %d, want 3", resp.MsgID)
+	}
+}
+
+func TestParseRequestIDs(t *testing.T) {
+	for _, msgID := range intBoundaries {
+		reqID := msgID ^ 0x2A
+		wire := AppendDiscoveryRequest(nil, msgID, reqID)
+		gotMsg, gotReq, err := ParseRequestIDs(wire)
+		if err != nil {
+			t.Fatalf("ParseRequestIDs(%d, %d): %v", msgID, reqID, err)
+		}
+		if gotMsg != msgID || gotReq != reqID {
+			t.Fatalf("ParseRequestIDs = (%d, %d), want (%d, %d)", gotMsg, gotReq, msgID, reqID)
+		}
+	}
+	// Garbage must fail exactly when DecodeV3 fails.
+	if _, _, err := ParseRequestIDs([]byte{0x30, 0x01, 0x02}); err == nil {
+		t.Fatal("truncated message accepted")
+	}
+	if _, _, err := ParseRequestIDs(nil); !errors.Is(err, ErrNotSNMP) {
+		t.Fatalf("empty input: %v, want ErrNotSNMP", err)
+	}
+}
+
+func TestFastPathZeroAllocs(t *testing.T) {
+	engineID := []byte{0x80, 0x00, 0x1F, 0x88, 0x03, 0x01, 0x02, 0x03, 0x04, 0x05}
+	report := AppendDiscoveryReport(nil, 123456, 654321, engineID, 12, 3456789, 99)
+	probe := AppendDiscoveryRequest(nil, 123456, 654321)
+
+	dst := make([]byte, 0, 256)
+	if avg := testing.AllocsPerRun(200, func() {
+		dst = AppendDiscoveryRequest(dst[:0], 123456, 654321)
+	}); avg != 0 {
+		t.Errorf("AppendDiscoveryRequest: %v allocs/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		dst = AppendDiscoveryReport(dst[:0], 123456, 654321, engineID, 12, 3456789, 99)
+	}); avg != 0 {
+		t.Errorf("AppendDiscoveryReport: %v allocs/op, want 0", avg)
+	}
+	resp := &DiscoveryResponse{ReportOID: make([]uint32, 0, 16)}
+	if avg := testing.AllocsPerRun(200, func() {
+		if err := ParseDiscoveryResponseInto(resp, report); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("ParseDiscoveryResponseInto: %v allocs/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, _, err := ParseRequestIDs(probe); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := ParseRequestIDs(report); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("ParseRequestIDs: %v allocs/op, want 0", avg)
+	}
+	// Sanity: the parsed report survived the alloc loop intact.
+	if resp.MsgID != 123456 || resp.ReportCount != 99 || resp.EngineBoots != 12 {
+		t.Fatalf("parse result mangled: %+v", resp)
+	}
+	if !bytes.Equal(resp.EngineID, engineID) {
+		t.Fatalf("EngineID = %x, want %x", resp.EngineID, engineID)
+	}
+	if !OIDEqual(resp.ReportOID, OIDUsmStatsUnknownEngineIDs) {
+		t.Fatalf("ReportOID = %v", resp.ReportOID)
+	}
+}

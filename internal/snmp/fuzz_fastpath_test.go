@@ -1,0 +1,89 @@
+package snmp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Differential fuzz targets: the zero-allocation fast path in fastpath.go
+// must agree with the allocating reference implementations on EVERY input —
+// same accept/reject decision, same extracted fields — with the target
+// struct reused across inputs so stale state from one parse cannot leak into
+// the next.
+
+func fastpathSeeds(f *testing.F) {
+	probe, _ := EncodeDiscoveryRequest(123456, 654321)
+	f.Add(probe)
+	rep, _ := NewDiscoveryReport(NewDiscoveryRequest(1, 1),
+		[]byte{0x80, 0x00, 0x07, 0xc7, 0x03, 0x74, 0x8e, 0xf8, 0x31, 0xdb, 0x80},
+		148, 10043812, 1).Encode()
+	f.Add(rep)
+	enc, _ := (&V3Message{
+		MsgID: 9, MsgMaxSize: DefaultMaxSize, MsgFlags: FlagPriv,
+		MsgSecurityModel: SecurityModelUSM,
+		EncryptedPDU:     []byte{0xDE, 0xAD},
+	}).Encode()
+	f.Add(enc)
+	f.Add([]byte{0x30, 0x03, 0x02, 0x01, 0x03})
+	f.Add([]byte{})
+}
+
+func FuzzParseDiscoveryResponseIntoDiff(f *testing.F) {
+	fastpathSeeds(f)
+	// The reused struct persists across fuzz iterations by design: that is
+	// exactly the aliasing/staleness hazard the differential check guards.
+	reused := &DiscoveryResponse{}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		want, wantErr := ParseDiscoveryResponse(data)
+		gotErr := ParseDiscoveryResponseInto(reused, data)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("allocating err=%v, into err=%v", wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if (wantErr == ErrNotReport) != (gotErr == ErrNotReport) {
+				t.Fatalf("ErrNotReport disagreement: allocating=%v into=%v", wantErr, gotErr)
+			}
+			if wantErr != ErrNotReport {
+				return
+			}
+		}
+		if reused.MsgID != want.MsgID ||
+			reused.EngineBoots != want.EngineBoots ||
+			reused.EngineTime != want.EngineTime ||
+			reused.ReportCount != want.ReportCount {
+			t.Fatalf("field mismatch:\ninto       %+v\nallocating %+v", reused, want)
+		}
+		if !bytes.Equal(reused.EngineID, want.EngineID) {
+			t.Fatalf("EngineID: into %x, allocating %x", reused.EngineID, want.EngineID)
+		}
+		if len(reused.ReportOID) != len(want.ReportOID) {
+			t.Fatalf("ReportOID: into %v, allocating %v", reused.ReportOID, want.ReportOID)
+		}
+		for i := range want.ReportOID {
+			if reused.ReportOID[i] != want.ReportOID[i] {
+				t.Fatalf("ReportOID: into %v, allocating %v", reused.ReportOID, want.ReportOID)
+			}
+		}
+	})
+}
+
+func FuzzParseRequestIDsDiff(f *testing.F) {
+	fastpathSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, wantErr := DecodeV3(data)
+		msgID, reqID, gotErr := ParseRequestIDs(data)
+		if (wantErr == nil) != (gotErr == nil) || (wantErr == ErrEncrypted) != (gotErr == ErrEncrypted) {
+			t.Fatalf("DecodeV3 err=%v, ParseRequestIDs err=%v", wantErr, gotErr)
+		}
+		if wantErr != nil && wantErr != ErrEncrypted {
+			return
+		}
+		wantReq := int64(0)
+		if msg.ScopedPDU.PDU != nil {
+			wantReq = msg.ScopedPDU.PDU.RequestID
+		}
+		if msgID != msg.MsgID || reqID != wantReq {
+			t.Fatalf("ParseRequestIDs = (%d, %d), DecodeV3 = (%d, %d)", msgID, reqID, msg.MsgID, wantReq)
+		}
+	})
+}

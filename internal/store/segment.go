@@ -3,6 +3,7 @@ package store
 import (
 	"net/netip"
 	"sort"
+	"sync"
 	"time"
 
 	"snmpv3fp/internal/core"
@@ -98,17 +99,29 @@ func buildSegment(samples []Sample) *segment {
 			j++
 		}
 		g.byIP[samples[i].IP] = span{i, j}
-		seen := map[string]bool{}
+		// Groups arrive in ascending IP order, so each engine's IP list is
+		// appended in sorted order and dedupes against its own tail: no
+		// per-group scratch set needed.
 		for k := i; k < j; k++ {
-			if id := string(samples[k].EngineID); id != "" && !seen[id] {
-				seen[id] = true
-				g.engines[id] = append(g.engines[id], samples[i].IP)
+			id := samples[k].EngineID
+			if len(id) == 0 {
+				continue
 			}
+			ips := g.engines[string(id)]
+			if len(ips) > 0 && ips[len(ips)-1] == samples[i].IP {
+				continue
+			}
+			g.engines[string(id)] = append(ips, samples[i].IP)
 		}
 		i = j
 	}
 	return g
 }
+
+// mergeScratch recycles the transient gather-and-sort buffer mergeSegments
+// needs. A pool rather than a bare field because explicit Compact calls may
+// race the background compactor; each merge checks out its own scratch.
+var mergeScratch = sync.Pool{New: func() any { return new([]Sample) }}
 
 // mergeSegments folds several segments (oldest first) into one, dropping
 // superseded samples: for each (IP, campaign) only the highest-Seq sample
@@ -118,7 +131,11 @@ func mergeSegments(segs []*segment) (*segment, int) {
 	for _, g := range segs {
 		total += len(g.samples)
 	}
-	all := make([]Sample, 0, total)
+	scratch := mergeScratch.Get().(*[]Sample)
+	if cap(*scratch) < total {
+		*scratch = make([]Sample, 0, total)
+	}
+	all := (*scratch)[:0]
 	for _, g := range segs {
 		all = append(all, g.samples...)
 	}
@@ -136,36 +153,39 @@ func mergeSegments(segs []*segment) (*segment, int) {
 		kept = append(kept, all[i])
 	}
 	dropped := total - len(kept)
+	// The survivors must be copied out: the scratch goes back to the pool,
+	// while the segment's sample slice lives as long as the segment.
 	out := make([]Sample, len(kept))
 	copy(out, kept)
+	*scratch = all[:0]
+	mergeScratch.Put(scratch)
 	return buildSegment(out), dropped
 }
 
-// memtable is the mutable ingest buffer: an append-only sample log with
-// incrementally maintained indexes, frozen into a segment on flush.
+// memtable is the mutable ingest buffer: an append-only sample log frozen
+// into an indexed segment on flush. No query ever reads the memtable
+// directly (snapshots freeze it first), so it keeps no indexes of its own —
+// buildSegment derives them at freeze time.
 type memtable struct {
 	samples []Sample
-	byIP    map[netip.Addr][]int
-	engines map[string]map[netip.Addr]struct{}
 }
 
 func newMemtable() *memtable {
-	return &memtable{
-		byIP:    make(map[netip.Addr][]int),
-		engines: make(map[string]map[netip.Addr]struct{}),
-	}
+	return &memtable{}
 }
 
 func (m *memtable) add(sm Sample) {
-	m.byIP[sm.IP] = append(m.byIP[sm.IP], len(m.samples))
 	m.samples = append(m.samples, sm)
-	if id := string(sm.EngineID); id != "" {
-		set := m.engines[id]
-		if set == nil {
-			set = make(map[netip.Addr]struct{})
-			m.engines[id] = set
-		}
-		set[sm.IP] = struct{}{}
+}
+
+// reserve grows the sample log to accept n more samples without
+// reallocating, so a batched campaign ingest pays one growth instead of a
+// doubling cascade.
+func (m *memtable) reserve(n int) {
+	if free := cap(m.samples) - len(m.samples); free < n {
+		grown := make([]Sample, len(m.samples), len(m.samples)+n)
+		copy(grown, m.samples)
+		m.samples = grown
 	}
 }
 

@@ -239,6 +239,14 @@ func (s *Store) Add(o *core.Observation) error {
 	if s.campaign == 0 {
 		return ErrNoCampaign
 	}
+	s.addLocked(o)
+	return nil
+}
+
+// addLocked is the ingest step proper; the caller holds s.mu and has
+// verified a campaign is open. Batched ingest amortizes the lock and the
+// memtable growth across many samples by calling this in a loop.
+func (s *Store) addLocked(o *core.Observation) {
 	s.seq++
 	s.mem.add(sampleFrom(o, s.campaign, s.seq))
 	s.ingested++
@@ -252,7 +260,6 @@ func (s *Store) Add(o *core.Observation) error {
 	if s.mem.len() >= s.opt.FlushThreshold {
 		s.flushLocked()
 	}
-	return nil
 }
 
 // AddCampaign begins a new campaign and ingests every observation of c in
@@ -278,14 +285,23 @@ func (s *Store) Ingest(ctx context.Context, c *core.Campaign) (uint64, error) {
 	span := s.tracer.Start("store.ingest")
 	defer span.End()
 	n := s.BeginCampaign()
-	for i, ip := range c.SortedIPs() {
-		if i%ingestCheckEvery == 0 {
-			if err := ctx.Err(); err != nil {
-				return n, err
-			}
+	ips := c.SortedIPs()
+	for start := 0; start < len(ips); start += ingestCheckEvery {
+		if err := ctx.Err(); err != nil {
+			return n, err
 		}
-		// Add only fails before the first BeginCampaign.
-		_ = s.Add(c.ByIP[ip])
+		end := start + ingestCheckEvery
+		if end > len(ips) {
+			end = len(ips)
+		}
+		// One lock acquisition and one memtable growth per batch; the flush
+		// threshold is still honored per sample inside addLocked.
+		s.mu.Lock()
+		s.mem.reserve(end - start)
+		for _, ip := range ips[start:end] {
+			s.addLocked(c.ByIP[ip])
+		}
+		s.mu.Unlock()
 	}
 	return n, nil
 }
