@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-smoke bench-json bench-serve-json smoke-serve metrics-smoke reproduce examples ci fuzz-smoke clean
+.PHONY: all build vet test test-short race bench bench-smoke bench-json bench-serve-json smoke-serve metrics-smoke durability-smoke reproduce examples ci fuzz-smoke clean
 
 all: build vet test
 
@@ -31,6 +31,7 @@ ci:
 	$(MAKE) fuzz-smoke
 	$(MAKE) smoke-serve
 	$(MAKE) metrics-smoke
+	$(MAKE) durability-smoke
 	$(MAKE) bench-smoke
 
 # 10 seconds of native fuzzing per target. go test accepts one -fuzz target
@@ -88,6 +89,12 @@ metrics-smoke:
 			if (!ok) exit 1; \
 			print "metrics-smoke: scanner, store and HTTP families present and non-zero"; \
 		}'
+
+# Durability smoke: SIGKILL a live ingesting store process mid-flight,
+# reopen its directory, and verify every acknowledged sample is recovered
+# exactly once (internal/store/kill_test.go), under the race detector.
+durability-smoke:
+	$(GO) test -race -run TestKillDuringIngest -count=1 -v ./internal/store
 
 # The complete evaluation, paper order, full scale.
 reproduce:

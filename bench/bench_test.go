@@ -7,12 +7,13 @@ package bench
 
 import "testing"
 
-func BenchmarkScanCampaign(b *testing.B)     { benchScanCampaign(b) }
-func BenchmarkCollectResponses(b *testing.B) { benchCollectResponses(b) }
-func BenchmarkEncodeProbe(b *testing.B)      { benchEncodeProbe(b) }
-func BenchmarkParseResponse(b *testing.B)    { benchParseResponse(b) }
-func BenchmarkStoreIngest(b *testing.B)      { benchStoreIngest(b) }
-func BenchmarkStoreCompact(b *testing.B)     { benchStoreCompact(b) }
-func BenchmarkServeIP(b *testing.B)          { benchServeIP(b) }
-func BenchmarkServeVendors(b *testing.B)     { benchServeVendors(b) }
-func BenchmarkServeStats(b *testing.B)       { benchServeStats(b) }
+func BenchmarkScanCampaign(b *testing.B)       { benchScanCampaign(b) }
+func BenchmarkCollectResponses(b *testing.B)   { benchCollectResponses(b) }
+func BenchmarkEncodeProbe(b *testing.B)        { benchEncodeProbe(b) }
+func BenchmarkParseResponse(b *testing.B)      { benchParseResponse(b) }
+func BenchmarkStoreIngest(b *testing.B)        { benchStoreIngest(b) }
+func BenchmarkStoreDurableIngest(b *testing.B) { benchStoreDurableIngest(b) }
+func BenchmarkStoreCompact(b *testing.B)       { benchStoreCompact(b) }
+func BenchmarkServeIP(b *testing.B)            { benchServeIP(b) }
+func BenchmarkServeVendors(b *testing.B)       { benchServeVendors(b) }
+func BenchmarkServeStats(b *testing.B)         { benchServeStats(b) }

@@ -8,15 +8,16 @@ import (
 
 // Thin aliases so bench_test.go reads as the benchmark index.
 var (
-	benchScanCampaign     = benchsuite.ScanCampaign
-	benchCollectResponses = benchsuite.CollectResponses
-	benchEncodeProbe      = benchsuite.EncodeProbe
-	benchParseResponse    = benchsuite.ParseResponse
-	benchStoreIngest      = benchsuite.StoreIngest
-	benchStoreCompact     = benchsuite.StoreCompact
-	benchServeIP          = benchsuite.ServeIP
-	benchServeVendors     = benchsuite.ServeVendors
-	benchServeStats       = benchsuite.ServeStats
+	benchScanCampaign       = benchsuite.ScanCampaign
+	benchCollectResponses   = benchsuite.CollectResponses
+	benchEncodeProbe        = benchsuite.EncodeProbe
+	benchParseResponse      = benchsuite.ParseResponse
+	benchStoreIngest        = benchsuite.StoreIngest
+	benchStoreDurableIngest = benchsuite.StoreDurableIngest
+	benchStoreCompact       = benchsuite.StoreCompact
+	benchServeIP            = benchsuite.ServeIP
+	benchServeVendors       = benchsuite.ServeVendors
+	benchServeStats         = benchsuite.ServeStats
 )
 
 var _ = testing.Verbose

@@ -71,6 +71,11 @@ var suites = map[string][]benchDef{
 	},
 	"store": {
 		{"StoreIngest", benchsuite.StoreIngest, &Baseline{15002628, 76294}},
+		// Durable arm: same campaign bodies with the WAL and on-disk
+		// segments enabled. No pre-PR baseline — durability did not exist
+		// before this suite entry; the interesting comparison is against
+		// StoreIngest in the same file.
+		{"StoreDurableIngest", benchsuite.StoreDurableIngest, nil},
 		{"StoreCompact", benchsuite.StoreCompact, &Baseline{2763208, 9610}},
 	},
 	"serve": {
@@ -118,8 +123,12 @@ func runSuite(name string, defs []benchDef) File {
 
 func main() {
 	dir := flag.String("dir", ".", "directory to write the BENCH_*.json files into")
+	only := flag.String("suite", "", "run a single suite (scan, store or serve) instead of all three")
 	flag.Parse()
 	for _, suite := range []string{"scan", "store", "serve"} {
+		if *only != "" && suite != *only {
+			continue
+		}
 		fmt.Printf("suite %s:\n", suite)
 		f := runSuite(suite, suites[suite])
 		out, err := json.MarshalIndent(f, "", "  ")

@@ -62,6 +62,7 @@ func main() {
 	rate := flag.Int("rate", 50000, "simulated scan probe rate (packets per second)")
 	workers := flag.Int("workers", 4, "simulated scan send workers")
 	flushThreshold := flag.Int("flush", 4096, "memtable samples per segment flush")
+	dataDir := flag.String("data-dir", "", "durable store directory (WAL + segments); empty keeps the store in memory")
 	smoke := flag.Bool("smoke", false, "ingest, self-query /v1/stats, /v1/vendors and /v1/metrics, print, exit")
 	pprofFlag := flag.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/")
 	benchJSON := flag.String("bench-json", "", "run the store+serve benchmark, write JSON to this file, exit")
@@ -79,8 +80,18 @@ func main() {
 	// One registry for the whole daemon: the store, the HTTP server and
 	// every simulated campaign publish into it.
 	reg := obs.NewRegistry()
-	st := store.Open(store.Options{FlushThreshold: *flushThreshold, Obs: reg})
-	defer st.Close()
+	st, err := store.Open(store.Options{Dir: *dataDir, FlushThreshold: *flushThreshold, Obs: reg})
+	if err != nil {
+		fatal(err)
+	}
+	if *dataDir != "" {
+		fmt.Fprintf(os.Stderr, "snmpfpd: durable store in %s (%d samples on open)\n",
+			*dataDir, st.Snapshot().Stats().Ingested)
+	}
+	// Close seals the memtable and fsyncs the final manifest; on the
+	// SIGINT/SIGTERM path below it runs before exit, so a clean shutdown
+	// never drops buffered samples.
+	defer closeStore(st)
 	srv := serve.New(st, serve.WithObs(reg))
 	var handler http.Handler = srv
 	if *pprofFlag {
@@ -245,6 +256,15 @@ func httpGet(url string) ([]byte, error) {
 		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, body)
 	}
 	return body, nil
+}
+
+// closeStore seals the store on shutdown; a failed seal means buffered
+// samples may not have reached a segment, which the operator must hear
+// about.
+func closeStore(st *store.Store) {
+	if err := st.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "snmpfpd: store close: %v\n", err)
+	}
 }
 
 func shutdown(hs *http.Server) {

@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/netip"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -151,7 +152,46 @@ func StoreIngest(b *testing.B) {
 	for _, o := range obs {
 		c.ByIP[o.IP] = o
 	}
-	st := store.Open(store.Options{DisableCompaction: true})
+	st, err := store.Open(store.Options{DisableCompaction: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.AddCampaign(c)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(n), "samples/op")
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(n)*float64(b.N)/elapsed, "samples/s")
+	}
+}
+
+// StoreDurableIngest is StoreIngest with the write-ahead log and on-disk
+// segments enabled: the same campaign per iteration, but every batch is
+// logged and fsynced before acknowledgment. The spread between the two is
+// the price of durability.
+func StoreDurableIngest(b *testing.B) {
+	const n = 5000
+	obs := benchObservations(n)
+	c := &core.Campaign{ByIP: make(map[netip.Addr]*core.Observation, n)}
+	for _, o := range obs {
+		c.ByIP[o.IP] = o
+	}
+	// os.MkdirTemp rather than b.TempDir: these bodies also run through
+	// testing.Benchmark in cmd/benchjson, where no test cleanup runs.
+	dir, err := os.MkdirTemp("", "snmpfp-bench-store")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(store.Options{Dir: dir, DisableCompaction: true})
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer st.Close()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -179,7 +219,10 @@ func StoreCompact(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		st := store.Open(store.Options{DisableCompaction: true, FlushThreshold: 512})
+		st, err := store.Open(store.Options{DisableCompaction: true, FlushThreshold: 512})
+		if err != nil {
+			b.Fatal(err)
+		}
 		for j := 0; j < 4; j++ {
 			st.AddCampaign(c)
 		}
@@ -200,8 +243,11 @@ func newBenchServer(b *testing.B) (*serve.Server, []*core.Observation) {
 	for _, o := range obs {
 		c.ByIP[o.IP] = o
 	}
-	st := store.Open(store.Options{DisableCompaction: true})
-	b.Cleanup(st.Close)
+	st, err := store.Open(store.Options{DisableCompaction: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { st.Close() })
 	for i := 0; i < 3; i++ {
 		st.AddCampaign(c)
 	}

@@ -73,7 +73,10 @@ func (w *benchWriter) WriteHeader(code int) { w.code = code }
 // handler.
 func RunBench(cfg BenchConfig) (*BenchResult, error) {
 	cfg.fill()
-	st := store.Open(store.Options{})
+	st, err := store.Open(store.Options{})
+	if err != nil {
+		return nil, err
+	}
 	defer st.Close()
 
 	benchIP := func(i int) netip.Addr {

@@ -63,8 +63,11 @@ func seedStore(t *testing.T) (*store.Store, *core.Campaign, *core.Campaign) {
 		mkObs("192.0.2.2", idA, 2, 1000+86400, t0.Add(day)),
 		mkObs("192.0.2.3", idB, 6, 100, t0.Add(day)), // rebooted: boots mismatch, filtered
 	)
-	st := store.Open(store.Options{})
-	t.Cleanup(st.Close)
+	st, err := store.Open(store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
 	st.AddCampaign(c1)
 	st.AddCampaign(c2)
 	return st, c1, c2

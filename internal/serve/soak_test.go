@@ -30,7 +30,10 @@ func TestSoakIngestVsQueries(t *testing.T) {
 		ips       = 120
 		clients   = 4
 	)
-	st := store.Open(store.Options{FlushThreshold: 64, MaxSegments: 3})
+	st, err := store.Open(store.Options{FlushThreshold: 64, MaxSegments: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer st.Close()
 	ts := httptest.NewServer(New(st))
 	defer ts.Close()

@@ -1,0 +1,207 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"snmpv3fp/internal/obs"
+)
+
+// disk owns a durable store's directory: file numbering, the crash-
+// injection hooks, and the WAL/fsync observability counters. All IO in the
+// package funnels through it so tests can kill the store at any durable
+// step and so metrics see every byte and fsync.
+type disk struct {
+	dir      string
+	hooks    *diskHooks
+	nextFile atomic.Uint64
+
+	walAppends      atomic.Uint64
+	walBytes        atomic.Uint64
+	walFsyncs       atomic.Uint64
+	recovered       atomic.Uint64 // samples replayed from the WAL at open
+	recoverySeconds atomic.Uint64 // microseconds, published as seconds
+	walTruncations  atomic.Uint64
+
+	fsyncMu   sync.Mutex
+	fsyncHist *obs.Histogram
+}
+
+// diskHooks intercepts every durable step. fail is consulted with a point
+// name before (or, for ".torn" points, mid-way through) the step; the first
+// non-nil return latches: the simulated process is dead, and every later
+// step fails too. Only tests set hooks.
+type diskHooks struct {
+	mu   sync.Mutex
+	dead error
+	fail func(point string) error
+}
+
+func (h *diskHooks) check(point string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.dead != nil {
+		return h.dead
+	}
+	if err := h.fail(point); err != nil {
+		h.dead = err
+		return err
+	}
+	return nil
+}
+
+func (d *disk) hook(point string) error {
+	if d.hooks == nil {
+		return nil
+	}
+	return d.hooks.check(point)
+}
+
+func (d *disk) observeFsync(dur time.Duration) {
+	d.fsyncMu.Lock()
+	h := d.fsyncHist
+	d.fsyncMu.Unlock()
+	if h != nil {
+		h.ObserveDuration(dur)
+	}
+}
+
+func (d *disk) setFsyncHist(h *obs.Histogram) {
+	d.fsyncMu.Lock()
+	d.fsyncHist = h
+	d.fsyncMu.Unlock()
+}
+
+// syncDir fsyncs the store directory so renames and creates are durable.
+func (d *disk) syncDir() error {
+	if err := d.hook("dir.sync"); err != nil {
+		return err
+	}
+	f, err := os.Open(d.dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir: %w", err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: sync dir: %w", err)
+	}
+	return nil
+}
+
+// fileName renders the numbered name for a segment or WAL file.
+func fileName(n uint64, ext string) string {
+	return fmt.Sprintf("%06d%s", n, ext)
+}
+
+// fileNumber parses a numbered file name; ok is false for foreign files.
+func fileNumber(name, ext string) (uint64, bool) {
+	base, found := strings.CutSuffix(name, ext)
+	if !found {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(base, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// createWAL opens a fresh WAL file for the next memtable generation. The
+// directory entry is made durable by the first commit's sync (walFile.sync
+// fsyncs the file; the create itself is covered by the explicit dir sync
+// here), so an acknowledged record can never sit in an unlinked file.
+func (d *disk) createWAL() (*walFile, error) {
+	if err := d.hook("wal.create"); err != nil {
+		return nil, err
+	}
+	name := fileName(d.nextFile.Add(1), ".wal")
+	f, err := os.OpenFile(filepath.Join(d.dir, name), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: create wal: %w", err)
+	}
+	if err := d.syncDir(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &walFile{name: name, f: f}, nil
+}
+
+// removeWAL deletes a retired generation's log file.
+func (d *disk) removeWAL(name string) error {
+	if err := d.hook("wal.delete"); err != nil {
+		return err
+	}
+	if err := os.Remove(filepath.Join(d.dir, name)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: remove wal: %w", err)
+	}
+	return nil
+}
+
+// removeSegment deletes a superseded segment file after compaction.
+func (d *disk) removeSegment(name string) error {
+	if err := d.hook("seg.delete"); err != nil {
+		return err
+	}
+	if err := os.Remove(filepath.Join(d.dir, name)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: remove segment: %w", err)
+	}
+	return nil
+}
+
+// scanDir inventories the store directory: live WAL files in generation
+// order, plus every orphan (tmp files and segments the manifest doesn't
+// list) left by a crash mid-flush or mid-compaction.
+func scanDir(dir string, m *manifest) (wals []string, orphans []string, maxFile uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("store: scan dir: %w", err)
+	}
+	live := make(map[string]bool, len(m.Segments))
+	for _, s := range m.Segments {
+		live[s] = true
+	}
+	type walEnt struct {
+		name string
+		n    uint64
+	}
+	var walEnts []walEnt
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || name == manifestName {
+			continue
+		}
+		if strings.HasSuffix(name, ".tmp") {
+			orphans = append(orphans, name)
+			continue
+		}
+		if n, ok := fileNumber(name, ".wal"); ok {
+			walEnts = append(walEnts, walEnt{name, n})
+			if n > maxFile {
+				maxFile = n
+			}
+			continue
+		}
+		if n, ok := fileNumber(name, ".seg"); ok {
+			if n > maxFile {
+				maxFile = n
+			}
+			if !live[name] {
+				orphans = append(orphans, name)
+			}
+			continue
+		}
+		// Foreign files are left alone.
+	}
+	sort.Slice(walEnts, func(i, j int) bool { return walEnts[i].n < walEnts[j].n })
+	for _, w := range walEnts {
+		wals = append(wals, w.name)
+	}
+	return wals, orphans, maxFile, nil
+}

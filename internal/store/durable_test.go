@@ -1,0 +1,323 @@
+package store
+
+import (
+	"context"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"snmpv3fp/internal/core"
+)
+
+// mustOpenDir opens a durable store in dir or fails the test.
+func mustOpenDir(t *testing.T, dir string, opt Options) *Store {
+	t.Helper()
+	opt.Dir = dir
+	s, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// allSamples collects every sample the store currently holds — installed
+// segments, frozen generations and the live memtable — in no particular
+// order.
+func allSamples(s *Store) []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Sample
+	for _, g := range s.segs {
+		out = append(out, g.samples...)
+	}
+	for _, f := range s.frozen {
+		out = append(out, f.samples...)
+	}
+	out = append(out, s.mem.samples...)
+	return out
+}
+
+// sampleKey identifies a sample for duplicate detection.
+type sampleKey struct {
+	ip       string
+	campaign uint64
+	seq      uint64
+}
+
+// checkNoDuplicates fails the test if two samples share (IP, campaign, seq).
+func checkNoDuplicates(t *testing.T, samples []Sample) map[sampleKey]struct{} {
+	t.Helper()
+	keys := make(map[sampleKey]struct{}, len(samples))
+	for i := range samples {
+		k := sampleKey{samples[i].IP.String(), samples[i].Campaign, samples[i].Seq}
+		if _, dup := keys[k]; dup {
+			t.Fatalf("duplicate sample %+v", k)
+		}
+		keys[k] = struct{}{}
+	}
+	return keys
+}
+
+func listExt(t *testing.T, dir, ext string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ext) {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+// TestDurableRoundTrip is the happy path: ingest campaigns into a durable
+// store, close it cleanly, reopen, and observe the identical query state —
+// histories, alias sets, vendors and the campaign counter all survive.
+func TestDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	idA := engID(9, 1, 2, 3, 4)
+	idB := engID(2636, 9, 9, 9, 9)
+	day := int64(86400)
+	c1 := mkCampaign(
+		mkObs("192.0.2.1", idA, 2, 1000, t0),
+		mkObs("192.0.2.2", idA, 2, 1000, t0),
+		mkObs("192.0.2.3", idB, 5, 500, t0),
+	)
+	c2 := mkCampaign(
+		mkObs("192.0.2.1", idA, 2, 1000+day, t0.AddDate(0, 0, 1)),
+		mkObs("192.0.2.2", idA, 2, 1000+day, t0.AddDate(0, 0, 1)),
+		mkObs("192.0.2.3", idB, 6, 100, t0.AddDate(0, 0, 1)),
+	)
+
+	s := mustOpenDir(t, dir, Options{FlushThreshold: 2})
+	if _, err := s.Ingest(context.Background(), c1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest(context.Background(), c2); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Snapshot()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A sealed store leaves no log behind: the manifest plus segments are
+	// the whole state.
+	if wals := listExt(t, dir, ".wal"); len(wals) != 0 {
+		t.Fatalf("wal files survive a clean close: %v", wals)
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatalf("no manifest after close: %v", err)
+	}
+
+	r := mustOpenDir(t, dir, Options{FlushThreshold: 2})
+	defer r.Close()
+	after := r.Snapshot()
+
+	if got, want := after.Campaigns(), before.Campaigns(); got != want {
+		t.Fatalf("campaigns after reopen = %d, want %d", got, want)
+	}
+	bs, as := before.Stats(), after.Stats()
+	if as.Ingested != bs.Ingested || as.TrackedIPs != bs.TrackedIPs || as.Devices != bs.Devices {
+		t.Fatalf("stats diverge after reopen: %+v vs %+v", as, bs)
+	}
+	if got, want := mustJSON(t, after.AliasSets()), mustJSON(t, before.AliasSets()); got != want {
+		t.Fatalf("alias sets after reopen = %s, want %s", got, want)
+	}
+	if got, want := mustJSON(t, after.Vendors()), mustJSON(t, before.Vendors()); got != want {
+		t.Fatalf("vendors after reopen = %s, want %s", got, want)
+	}
+	for _, ip := range []string{"192.0.2.1", "192.0.2.2", "192.0.2.3"} {
+		addr := mkObs(ip, idA, 0, 0, t0).IP
+		if got, want := mustJSON(t, after.History(addr)), mustJSON(t, before.History(addr)); got != want {
+			t.Fatalf("history(%s) after reopen = %s, want %s", ip, got, want)
+		}
+	}
+}
+
+// TestRecoverFromWALOnly covers the pure-log crash window: samples that
+// never reached a segment (the process died before any flush) come back
+// from the write-ahead log alone.
+func TestRecoverFromWALOnly(t *testing.T) {
+	dir := t.TempDir()
+	id := engID(9, 1, 2, 3, 4)
+	s := mustOpenDir(t, dir, Options{FlushThreshold: 1 << 20})
+	if _, err := s.BeginCampaign(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Add(mkObs("10.0.0."+itoa(i), id, 3, 100+int64(i), t0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Close: the process "dies" here. The store's open fds are
+	// irrelevant to what a fresh Open reads back.
+	if segs := listExt(t, dir, ".seg"); len(segs) != 0 {
+		t.Fatalf("premature segments: %v", segs)
+	}
+
+	r := mustOpenDir(t, dir, Options{})
+	defer r.Close()
+	got := allSamples(r)
+	checkNoDuplicates(t, got)
+	if len(got) != 10 {
+		t.Fatalf("recovered %d samples, want 10", len(got))
+	}
+	if c := r.Snapshot().Campaigns(); c != 1 {
+		t.Fatalf("campaigns = %d, want 1", c)
+	}
+	// The recovered store keeps working: the next campaign supersedes the
+	// pair state exactly as if no crash happened.
+	if _, err := r.BeginCampaign(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(mkObs("10.0.0.1", id, 3, 200, t0.AddDate(0, 0, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if c := r.Snapshot().Campaigns(); c != 2 {
+		t.Fatalf("campaigns after recovered BeginCampaign = %d, want 2", c)
+	}
+}
+
+// TestCloseSealsMemtable is the satellite-1 regression: Close must flush
+// buffered samples, not just stop the compactor. Pre-fix, everything below
+// the flush threshold evaporated on shutdown.
+func TestCloseSealsMemtable(t *testing.T) {
+	dir := t.TempDir()
+	id := engID(9, 1, 2, 3, 4)
+	s := mustOpenDir(t, dir, Options{FlushThreshold: 1 << 20})
+	if _, err := s.BeginCampaign(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(mkObs("192.0.2.7", id, 1, 10, t0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The store stays queryable after Close; mutations are refused.
+	if _, ok := s.Snapshot().Latest(mkObs("192.0.2.7", id, 0, 0, t0).IP); !ok {
+		t.Fatal("closed store lost its sample")
+	}
+	if err := s.Add(mkObs("192.0.2.8", id, 1, 10, t0)); err != ErrClosed {
+		t.Fatalf("Add after Close = %v, want ErrClosed", err)
+	}
+	if _, err := s.BeginCampaign(); err != ErrClosed {
+		t.Fatalf("BeginCampaign after Close = %v, want ErrClosed", err)
+	}
+
+	r := mustOpenDir(t, dir, Options{})
+	defer r.Close()
+	if _, ok := r.Snapshot().Latest(mkObs("192.0.2.7", id, 0, 0, t0).IP); !ok {
+		t.Fatal("buffered sample dropped across Close + reopen")
+	}
+	if n := r.Snapshot().Stats().Ingested; n != 1 {
+		t.Fatalf("ingested after reopen = %d, want 1", n)
+	}
+}
+
+// TestIngestSplitsAtFlushThreshold is the satellite-3 regression: a batch
+// larger than the flush threshold must not overshoot the memtable — every
+// flushed segment holds exactly FlushThreshold samples, the remainder stays
+// in the memtable.
+func TestIngestSplitsAtFlushThreshold(t *testing.T) {
+	const threshold = 100
+	const ips = 1050
+	c := &core.Campaign{ByIP: map[netip.Addr]*core.Observation{}}
+	id := engID(9, 1, 2, 3, 4)
+	for i := 0; i < ips; i++ {
+		o := mkObs("10.1."+itoa(i/250)+"."+itoa(i%250), id, 1, int64(i+1), t0)
+		c.ByIP[o.IP] = o
+	}
+	s := mustOpen(t, Options{FlushThreshold: threshold, DisableCompaction: true})
+	defer s.Close()
+	if _, err := s.Ingest(context.Background(), c); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	var sizes []int
+	for _, g := range s.segs {
+		sizes = append(sizes, len(g.samples))
+	}
+	memLen := s.mem.len()
+	s.mu.Unlock()
+	for _, n := range sizes {
+		if n != threshold {
+			t.Fatalf("segment sizes %v: every flushed segment must hold exactly %d samples", sizes, threshold)
+		}
+	}
+	if want := ips / threshold; len(sizes) != want {
+		t.Fatalf("got %d segments, want %d", len(sizes), want)
+	}
+	if want := ips % threshold; memLen != want {
+		t.Fatalf("memtable holds %d samples, want %d", memLen, want)
+	}
+}
+
+// TestDurableCompaction checks the durable segment swap: compaction must
+// commit the merged file through the manifest, delete the superseded files,
+// and the merged state must survive a reopen.
+func TestDurableCompaction(t *testing.T) {
+	dir := t.TempDir()
+	id := engID(9, 1, 2, 3, 4)
+	s := mustOpenDir(t, dir, Options{FlushThreshold: 4, DisableCompaction: true})
+	for n := 1; n <= 3; n++ {
+		if _, err := s.BeginCampaign(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			if err := s.Add(mkObs("10.2.0."+itoa(i), id, 1, int64(100*n+i), t0.AddDate(0, 0, n))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	segsBefore := len(listExt(t, dir, ".seg"))
+	if segsBefore < 2 {
+		t.Fatalf("want ≥ 2 segment files before compaction, got %d", segsBefore)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(listExt(t, dir, ".seg")); n != 1 {
+		t.Fatalf("segment files after compaction = %d, want 1", n)
+	}
+	before := mustJSON(t, s.Snapshot().Stats())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpenDir(t, dir, Options{DisableCompaction: true})
+	defer r.Close()
+	got := allSamples(r)
+	checkNoDuplicates(t, got)
+	// 3 campaigns × 4 IPs ingested, compaction kept one sample per
+	// (IP, campaign): all 12 survive (distinct campaigns are history, not
+	// supersedes).
+	if len(got) != 12 {
+		t.Fatalf("recovered %d samples, want 12", len(got))
+	}
+	_ = before // stats include flush/compaction counters that reset on reopen
+}
+
+// itoa is a minimal strconv.Itoa for test IP literals.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,155 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"net/netip"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The SIGKILL smoke test re-executes this test binary as a child ingester
+// (TestMain dispatches on the env var below), kills it with SIGKILL while
+// it ingests, reopens the directory and checks the durability contract
+// against the child's acknowledgment log: every sample the child saw
+// acknowledged before dying must be recovered, with no duplicates. Unlike
+// the hook-injected crashes, this one kills a real process mid-syscall.
+const (
+	killChildEnv = "SNMPFP_STORE_KILL_CHILD"
+	killDirEnv   = "SNMPFP_STORE_KILL_DIR"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv(killChildEnv) == "1" {
+		killChildMain(os.Getenv(killDirEnv))
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// killChildMain ingests into dir forever (until killed): tiny flush
+// threshold so segments, manifests and WAL rotations all happen constantly.
+// After each acknowledged Add it appends the sample's IP to ack.log — the
+// ack line is written strictly after the store acknowledged, so every
+// complete line names a sample the parent must find after recovery.
+func killChildMain(dir string) {
+	st, err := Open(Options{Dir: dir, FlushThreshold: 16})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kill child:", err)
+		os.Exit(1)
+	}
+	ack, err := os.OpenFile(dir+"/ack.log", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kill child:", err)
+		os.Exit(1)
+	}
+	id := engID(9, 1, 2, 3, 4)
+	for n := uint64(1); ; n++ {
+		if _, err := st.BeginCampaign(); err != nil {
+			fmt.Fprintln(os.Stderr, "kill child:", err)
+			os.Exit(1)
+		}
+		for i := 0; i < 500; i++ {
+			ip := netip.AddrFrom4([4]byte{10, 20, byte(i >> 8), byte(i)})
+			o := mkObs(ip.String(), id, 2, int64(n*1000)+int64(i), t0.AddDate(0, 0, int(n)))
+			if err := st.Add(o); err != nil {
+				fmt.Fprintln(os.Stderr, "kill child:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(ack, "%s %d\n", ip, n)
+		}
+	}
+}
+
+// TestKillDuringIngest is the end-to-end durability smoke test behind
+// `make durability-smoke`: SIGKILL a live ingesting process, reopen its
+// directory, and verify zero acknowledged-sample loss and zero duplicates.
+func TestKillDuringIngest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process-kill smoke test in -short mode")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=TestMain")
+	cmd.Env = append(os.Environ(), killChildEnv+"=1", killDirEnv+"="+dir)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Let the child make real progress — campaigns, flushes, WAL rotations
+	// — before killing it mid-flight.
+	ackPath := dir + "/ack.log"
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if fi, err := os.Stat(ackPath); err == nil && fi.Size() > 5_000 {
+			break
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			t.Fatal("child made no progress before deadline")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait() // reaps; exit status is the kill signal
+
+	st, err := Open(Options{Dir: dir, FlushThreshold: 16})
+	if err != nil {
+		t.Fatalf("recovery after SIGKILL failed: %v", err)
+	}
+	defer st.Close()
+	got := allSamples(st)
+	checkNoDuplicates(t, got)
+	recovered := make(map[sampleKey]int, len(got))
+	for i := range got {
+		recovered[sampleKey{ip: got[i].IP.String(), campaign: got[i].Campaign}]++
+	}
+
+	f, err := os.Open(ackPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ackedLines, lost := 0, 0
+	sc := bufio.NewScanner(f)
+	var lastLine string
+	for sc.Scan() {
+		line := sc.Text()
+		ip, campaignStr, ok := strings.Cut(line, " ")
+		if !ok {
+			// The final line may be torn by the kill; anything before it is
+			// a complete acknowledgment.
+			continue
+		}
+		var campaign uint64
+		if _, err := fmt.Sscanf(campaignStr, "%d", &campaign); err != nil {
+			continue
+		}
+		ackedLines++
+		lastLine = line
+		switch n := recovered[sampleKey{ip: ip, campaign: campaign}]; n {
+		case 1:
+		case 0:
+			lost++
+			t.Errorf("acknowledged sample %s campaign %d lost after SIGKILL", ip, campaign)
+		default:
+			t.Errorf("sample %s campaign %d recovered %d times", ip, campaign, n)
+		}
+		if lost > 5 {
+			t.Fatal("stopping after 5 lost samples")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if ackedLines < 100 {
+		t.Fatalf("only %d acknowledged samples before the kill; child barely ran", ackedLines)
+	}
+	t.Logf("SIGKILL after %d acks (last %q): recovered %d samples, 0 lost, 0 duplicated",
+		ackedLines, lastLine, len(got))
+}

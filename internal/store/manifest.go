@@ -1,0 +1,103 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The manifest is the single source of truth for the live segment set. It
+// is rewritten — never patched — through a tmp-file-and-rename, so a crash
+// anywhere leaves either the old manifest or the new one, with both states
+// recoverable: a segment the manifest doesn't know about is an orphan of an
+// unfinished flush (its samples still sit in the WAL), and a WAL record at
+// or below the manifest's seq horizon is already in a segment.
+//
+// File format: one canonical JSON line, then a crc32c hex line of it.
+
+const (
+	manifestName    = "MANIFEST"
+	manifestTmpName = "MANIFEST.tmp"
+)
+
+type manifest struct {
+	Version int `json:"version"`
+	// Campaigns is the campaign counter at write time; WAL boundary records
+	// extend it past the last flush.
+	Campaigns uint64 `json:"campaigns"`
+	// Seq is the durable-segment horizon: every sample with seq ≤ Seq lives
+	// in a listed segment, so WAL replay skips those as duplicates.
+	Seq uint64 `json:"seq"`
+	// NextFile seeds the segment/WAL file numbering.
+	NextFile uint64 `json:"next_file"`
+	// Segments is the live set, oldest first.
+	Segments []string `json:"segments"`
+}
+
+// writeManifest atomically replaces the manifest.
+func (d *disk) writeManifest(m *manifest) error {
+	if err := d.hook("manifest.write"); err != nil {
+		return err
+	}
+	line, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("store: manifest encode: %w", err)
+	}
+	data := fmt.Sprintf("%s\n%08x\n", line, crc32.Checksum(line, castagnoli))
+	tmp := filepath.Join(d.dir, manifestTmpName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: manifest write: %w", err)
+	}
+	if _, err := f.WriteString(data); err != nil {
+		f.Close()
+		return fmt.Errorf("store: manifest write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: manifest sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: manifest close: %w", err)
+	}
+	if err := d.hook("manifest.rename"); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(d.dir, manifestName)); err != nil {
+		return fmt.Errorf("store: manifest rename: %w", err)
+	}
+	return d.syncDir()
+}
+
+// readManifest loads the manifest; ok is false when none exists yet (a
+// fresh or never-flushed directory).
+func readManifest(dir string) (m manifest, ok bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return manifest{Version: 1}, false, nil
+	}
+	if err != nil {
+		return m, false, fmt.Errorf("store: manifest read: %w", err)
+	}
+	line, crcLine, found := strings.Cut(strings.TrimSuffix(string(data), "\n"), "\n")
+	if !found {
+		return m, false, fmt.Errorf("store: manifest corrupt: missing checksum line")
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(crcLine, "%08x", &want); err != nil {
+		return m, false, fmt.Errorf("store: manifest corrupt: bad checksum line %q", crcLine)
+	}
+	if got := crc32.Checksum([]byte(line), castagnoli); got != want {
+		return m, false, fmt.Errorf("store: manifest corrupt: checksum %08x, want %08x", got, want)
+	}
+	if err := json.Unmarshal([]byte(line), &m); err != nil {
+		return m, false, fmt.Errorf("store: manifest corrupt: %w", err)
+	}
+	if m.Version != 1 {
+		return m, false, fmt.Errorf("store: manifest version %d unsupported", m.Version)
+	}
+	return m, true, nil
+}

@@ -1,0 +1,284 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// On-disk segment format. A segment file is three length-delimited blocks
+// followed by a fixed-size footer carrying each block's length and CRC:
+//
+//	[sample block][per-IP index block][per-engine-ID index block][footer]
+//
+//	sample block:  uvarint count | count × sample (appendSampleEnc, in
+//	               canonical (IP, campaign, seq) order)
+//	ip index:      uvarint count | count × (ip | uvarint lo | uvarint hi)
+//	engine index:  uvarint count | count × (uvarint idLen | id |
+//	               uvarint nIPs | nIPs × ip)
+//	footer (44B):  u64 len + u32 crc32c per block | u32 version | u32 magic
+//
+// Files are written to a .tmp sibling, fsynced, renamed into place and the
+// directory fsynced, so a segment either exists whole or not at all; the
+// manifest decides which segments are live. Readers verify every CRC and
+// rebuild the in-memory segment straight from the index blocks — the
+// indexes are load-bearing, not advisory.
+
+const (
+	segMagic      = 0x53465031 // "SFP1"
+	segVersion    = 1
+	segFooterSize = 3*(8+4) + 4 + 4
+)
+
+func appendAddr(b []byte, ip netip.Addr) []byte {
+	if ip.Is4() {
+		a := ip.As4()
+		b = append(b, 4)
+		return append(b, a[:]...)
+	}
+	a := ip.As16()
+	b = append(b, 16)
+	return append(b, a[:]...)
+}
+
+func decodeAddr(b []byte) (netip.Addr, int, error) {
+	if len(b) < 1 {
+		return netip.Addr{}, 0, fmt.Errorf("store: segment: truncated address")
+	}
+	n := int(b[0])
+	if (n != 4 && n != 16) || len(b) < 1+n {
+		return netip.Addr{}, 0, fmt.Errorf("store: segment: bad address length %d", n)
+	}
+	if n == 4 {
+		return netip.AddrFrom4([4]byte(b[1:5])), 5, nil
+	}
+	return netip.AddrFrom16([16]byte(b[1:17])), 17, nil
+}
+
+// encodeSegment renders the three blocks and footer for g.
+func encodeSegment(g *segment) []byte {
+	samples := make([]byte, 0, 64*len(g.samples)+16)
+	samples = binary.AppendUvarint(samples, uint64(len(g.samples)))
+	for i := range g.samples {
+		samples = appendSampleEnc(samples, &g.samples[i])
+	}
+
+	// Index entries in ascending IP order — the iteration order readers
+	// rebuild the maps in, and a determinism guarantee for the file bytes.
+	ipIdx := make([]byte, 0, 16*len(g.byIP)+16)
+	ipIdx = binary.AppendUvarint(ipIdx, uint64(len(g.byIP)))
+	for i := 0; i < len(g.samples); {
+		ip := g.samples[i].IP
+		sp := g.byIP[ip]
+		ipIdx = appendAddr(ipIdx, ip)
+		ipIdx = binary.AppendUvarint(ipIdx, uint64(sp.lo))
+		ipIdx = binary.AppendUvarint(ipIdx, uint64(sp.hi))
+		i = sp.hi
+	}
+
+	// Engine IDs sorted by first-member IP then raw bytes would need a
+	// sort; instead reuse the sample order so encoding stays one pass:
+	// collect each engine ID at its first appearance.
+	engIdx := make([]byte, 0, 32*len(g.engines)+16)
+	engIdx = binary.AppendUvarint(engIdx, uint64(len(g.engines)))
+	emitted := make(map[string]struct{}, len(g.engines))
+	for i := range g.samples {
+		id := string(g.samples[i].EngineID)
+		if len(id) == 0 {
+			continue
+		}
+		if _, done := emitted[id]; done {
+			continue
+		}
+		emitted[id] = struct{}{}
+		ips := g.engines[id]
+		engIdx = binary.AppendUvarint(engIdx, uint64(len(id)))
+		engIdx = append(engIdx, id...)
+		engIdx = binary.AppendUvarint(engIdx, uint64(len(ips)))
+		for _, ip := range ips {
+			engIdx = appendAddr(engIdx, ip)
+		}
+	}
+
+	out := make([]byte, 0, len(samples)+len(ipIdx)+len(engIdx)+segFooterSize)
+	out = append(out, samples...)
+	out = append(out, ipIdx...)
+	out = append(out, engIdx...)
+	for _, blk := range [][]byte{samples, ipIdx, engIdx} {
+		out = binary.LittleEndian.AppendUint64(out, uint64(len(blk)))
+		out = appendUint32(out, crc32.Checksum(blk, castagnoli))
+	}
+	out = appendUint32(out, segVersion)
+	out = appendUint32(out, segMagic)
+	return out
+}
+
+// writeSegmentFile writes g to name atomically: tmp file, fsync, rename,
+// directory fsync.
+func (d *disk) writeSegmentFile(name string, g *segment) error {
+	if err := d.hook("seg.write"); err != nil {
+		return err
+	}
+	data := encodeSegment(g)
+	tmp := filepath.Join(d.dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: segment write: %w", err)
+	}
+	if err := d.hook("seg.write.torn"); err != nil {
+		_, _ = f.Write(data[:len(data)/2])
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("store: segment write: %w", err)
+	}
+	if err := d.hook("seg.sync"); err != nil {
+		f.Close()
+		return err
+	}
+	start := time.Now()
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: segment sync: %w", err)
+	}
+	d.observeFsync(time.Since(start))
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: segment close: %w", err)
+	}
+	if err := d.hook("seg.rename"); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(d.dir, name)); err != nil {
+		return fmt.Errorf("store: segment rename: %w", err)
+	}
+	return d.syncDir()
+}
+
+// readSegmentFile loads and verifies one segment file, rebuilding the
+// in-memory segment from its index blocks.
+func readSegmentFile(dir, name string) (*segment, error) {
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("store: segment read: %w", err)
+	}
+	bad := func(format string, args ...any) (*segment, error) {
+		return nil, fmt.Errorf("store: segment %s corrupt: %s", name, fmt.Sprintf(format, args...))
+	}
+	if len(data) < segFooterSize {
+		return bad("short file (%d bytes)", len(data))
+	}
+	foot := data[len(data)-segFooterSize:]
+	if binary.LittleEndian.Uint32(foot[segFooterSize-4:]) != segMagic {
+		return bad("bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(foot[segFooterSize-8:]); v != segVersion {
+		return bad("unsupported version %d", v)
+	}
+	var blocks [3][]byte
+	off := 0
+	for i := 0; i < 3; i++ {
+		blen := binary.LittleEndian.Uint64(foot[i*12:])
+		crc := binary.LittleEndian.Uint32(foot[i*12+8:])
+		if uint64(len(data)-segFooterSize-off) < blen {
+			return bad("block %d overruns file", i)
+		}
+		blk := data[off : off+int(blen)]
+		if crc32.Checksum(blk, castagnoli) != crc {
+			return bad("block %d checksum mismatch", i)
+		}
+		blocks[i] = blk
+		off += int(blen)
+	}
+	if off != len(data)-segFooterSize {
+		return bad("trailing garbage before footer")
+	}
+
+	// Sample block.
+	b := blocks[0]
+	count, n := binary.Uvarint(b)
+	if n <= 0 || count > uint64(len(b)) {
+		return bad("sample count")
+	}
+	b = b[n:]
+	g := &segment{
+		samples: make([]Sample, 0, count),
+		byIP:    make(map[netip.Addr]span),
+		engines: make(map[string][]netip.Addr),
+	}
+	for i := uint64(0); i < count; i++ {
+		s, n, err := decodeSampleEnc(b)
+		if err != nil {
+			return bad("sample %d: %v", i, err)
+		}
+		g.samples = append(g.samples, s)
+		b = b[n:]
+	}
+
+	// Per-IP index block.
+	b = blocks[1]
+	count, n = binary.Uvarint(b)
+	if n <= 0 {
+		return bad("ip index count")
+	}
+	b = b[n:]
+	for i := uint64(0); i < count; i++ {
+		ip, n, err := decodeAddr(b)
+		if err != nil {
+			return bad("ip index %d: %v", i, err)
+		}
+		b = b[n:]
+		lo, n := binary.Uvarint(b)
+		if n <= 0 {
+			return bad("ip index %d lo", i)
+		}
+		b = b[n:]
+		hi, n := binary.Uvarint(b)
+		if n <= 0 {
+			return bad("ip index %d hi", i)
+		}
+		b = b[n:]
+		if lo > hi || hi > uint64(len(g.samples)) {
+			return bad("ip index %d span [%d,%d) out of range", i, lo, hi)
+		}
+		g.byIP[ip] = span{int(lo), int(hi)}
+	}
+
+	// Per-engine-ID index block.
+	b = blocks[2]
+	count, n = binary.Uvarint(b)
+	if n <= 0 {
+		return bad("engine index count")
+	}
+	b = b[n:]
+	for i := uint64(0); i < count; i++ {
+		idLen, n := binary.Uvarint(b)
+		if n <= 0 || idLen > walMaxRecord || uint64(len(b)-n) < idLen {
+			return bad("engine index %d id", i)
+		}
+		id := string(b[n : n+int(idLen)])
+		b = b[n+int(idLen):]
+		nIPs, n := binary.Uvarint(b)
+		if n <= 0 {
+			return bad("engine index %d ip count", i)
+		}
+		b = b[n:]
+		ips := make([]netip.Addr, 0, nIPs)
+		for j := uint64(0); j < nIPs; j++ {
+			ip, n, err := decodeAddr(b)
+			if err != nil {
+				return bad("engine index %d ip %d: %v", i, j, err)
+			}
+			ips = append(ips, ip)
+			b = b[n:]
+		}
+		g.engines[id] = ips
+	}
+	g.file = name
+	return g, nil
+}

@@ -82,6 +82,11 @@ type segment struct {
 	// engines maps an engine ID (raw bytes as string) to the sorted,
 	// deduplicated IPs that reported it in this segment.
 	engines map[string][]netip.Addr
+	// file is the on-disk file backing this segment (base name within the
+	// store directory); empty for in-memory segments and the transient
+	// segments snapshots freeze. Set once before the segment is installed,
+	// never read by view code.
+	file string
 }
 
 // buildSegment sorts the samples into canonical order and indexes them. It

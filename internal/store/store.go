@@ -11,6 +11,15 @@
 // queries never block ingest and never observe a half-applied campaign
 // ingest step.
 //
+// With Options.Dir set the store is durable and crash-safe: every Add is
+// appended to a checksummed write-ahead log and fsynced before it is
+// acknowledged, flushes write segments to disk through an atomic
+// tmp-and-rename, and an atomically rewritten manifest records the live
+// segment set. Open replays the log, loads the manifest and rebuilds the
+// incremental alias state, so a kill -9 mid-ingest loses nothing that was
+// acknowledged (see DESIGN.md §12 for the formats and the recovery
+// sequence).
+//
 // Alias sets (Section 5) and vendor tallies (Section 6) over the two most
 // recent campaigns are maintained incrementally on ingest; their results
 // are byte-identical to the batch filter.Run + alias.Resolve pipeline.
@@ -20,7 +29,11 @@ import (
 	"context"
 	"errors"
 	"net/netip"
+	"os"
+	"path/filepath"
+	"sort"
 	"sync"
+	"time"
 
 	"snmpv3fp/internal/alias"
 	"snmpv3fp/internal/core"
@@ -29,6 +42,10 @@ import (
 
 // Options tunes a store.
 type Options struct {
+	// Dir, when set, makes the store durable: a write-ahead log, on-disk
+	// segments and a manifest live there, and Open recovers whatever a
+	// previous process acknowledged. Empty means a purely in-memory store.
+	Dir string
 	// FlushThreshold is how many memtable samples trigger a flush to an
 	// immutable segment (default 4096). Campaign boundaries always flush.
 	FlushThreshold int
@@ -45,9 +62,14 @@ type Options struct {
 	// Obs, when non-nil, receives the store's metrics: ingest/flush/
 	// compaction counters, memtable and segment gauges (read-time
 	// callbacks over the live state, so they reconcile exactly with
-	// Stats), a compaction-duration histogram, and store.ingest /
-	// store.flush / store.compact spans (see DESIGN.md §10).
+	// Stats), WAL append/byte/fsync counters and an fsync-latency
+	// histogram for durable stores, a compaction-duration histogram, and
+	// store.ingest / store.flush / store.compact spans (see DESIGN.md §10).
 	Obs *obs.Registry
+
+	// hooks intercepts durable-path steps; crash-recovery tests use it to
+	// kill the store at arbitrary points.
+	hooks *diskHooks
 }
 
 func (o *Options) fill() {
@@ -72,7 +94,8 @@ type Stats struct {
 	Campaigns uint64 `json:"campaigns"`
 	// Ingested counts samples ever accepted.
 	Ingested uint64 `json:"ingested"`
-	// MemSamples is the current memtable population.
+	// MemSamples is the current memtable population, frozen memtables
+	// awaiting flush included.
 	MemSamples int `json:"mem_samples"`
 	// Segments and SegmentSamples describe the immutable layer.
 	Segments       int `json:"segments"`
@@ -95,6 +118,18 @@ type Stats struct {
 	Vendors   int `json:"vendors"`
 }
 
+// frozenMem is an immutable memtable generation awaiting flush: its samples
+// are already acknowledged (and, durably, already in the WAL files it
+// owns), it just hasn't been built into an installed segment yet. Snapshots
+// read it; exactly one flusher retires it.
+type frozenMem struct {
+	samples  []Sample
+	walNames []string   // log files to delete once the segment is durable
+	walRefs  []*walFile // open handles to retire before deletion
+	// seg caches the built segment; written only under the store mutex.
+	seg *segment
+}
+
 // Store is the fingerprint observation store. All methods are safe for
 // concurrent use.
 type Store struct {
@@ -102,7 +137,8 @@ type Store struct {
 
 	mu       sync.Mutex
 	mem      *memtable
-	segs     []*segment // immutable elements; slice rebuilt on change
+	frozen   []*frozenMem // generations awaiting flush, oldest first
+	segs     []*segment   // immutable elements; slice rebuilt on change
 	seq      uint64
 	campaign uint64
 	// prev and cur map IPs to their observation in the previous and
@@ -117,6 +153,25 @@ type Store struct {
 	flushes     uint64
 	compactions uint64
 	superseded  uint64
+
+	// Durable-mode state. walBuf accumulates encoded records under mu and
+	// is written to wal in one append per commit; walNames is the current
+	// generation's log files (recovered files plus the live one);
+	// durableSeq is the manifest horizon — the highest seq durable in an
+	// installed segment. diskErr latches the first durable-path failure:
+	// after it, mutations fail fast (reads keep working).
+	d          *disk
+	wal        *walFile
+	walNames   []string
+	walBuf     []byte
+	durableSeq uint64
+	diskErr    error
+	closed     bool
+
+	// diskMu serializes the flusher and the compactor — the only two
+	// mutators of the installed segment set and the manifest. Never
+	// acquired while holding mu.
+	diskMu sync.Mutex
 
 	view      *View
 	viewValid bool
@@ -134,8 +189,14 @@ type Store struct {
 // ErrNoCampaign is returned by Add before any BeginCampaign call.
 var ErrNoCampaign = errors.New("store: no campaign begun")
 
-// Open creates a store and starts its background compactor.
-func Open(opt Options) *Store {
+// ErrClosed is returned by mutations after Close.
+var ErrClosed = errors.New("store: closed")
+
+// Open creates a store and starts its background compactor. With a Dir it
+// first recovers the on-disk state: manifest, segments, then the
+// write-ahead log replayed into the memtable, with leftovers of an
+// unfinished flush or compaction swept away.
+func Open(opt Options) (*Store, error) {
 	opt.fill()
 	s := &Store{
 		opt:       opt,
@@ -149,12 +210,149 @@ func Open(opt Options) *Store {
 		done:      make(chan struct{}),
 		tracer:    obs.NewTracer(opt.Obs, nil),
 	}
+	if opt.Dir != "" {
+		s.d = &disk{dir: opt.Dir, hooks: opt.hooks}
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+	}
 	s.registerMetrics(opt.Obs)
 	if !opt.DisableCompaction {
 		s.wg.Add(1)
 		go s.compactor()
 	}
-	return s
+	return s, nil
+}
+
+// recover rebuilds the store from its directory. Called from Open before
+// the store is shared, so no locking.
+func (s *Store) recover() error {
+	start := time.Now()
+	if err := os.MkdirAll(s.d.dir, 0o755); err != nil {
+		return err
+	}
+	man, _, err := readManifest(s.d.dir)
+	if err != nil {
+		return err
+	}
+	wals, orphans, maxFile, err := scanDir(s.d.dir, &man)
+	if err != nil {
+		return err
+	}
+	if man.NextFile > maxFile {
+		maxFile = man.NextFile
+	}
+	s.d.nextFile.Store(maxFile)
+	// Orphans are leftovers of an unfinished flush or compaction: tmp
+	// files, and segments the manifest never committed (their samples are
+	// still in the WAL, so deleting them loses nothing).
+	for _, name := range orphans {
+		if err := os.Remove(filepath.Join(s.d.dir, name)); err != nil {
+			return err
+		}
+	}
+	for _, name := range man.Segments {
+		g, err := readSegmentFile(s.d.dir, name)
+		if err != nil {
+			return err
+		}
+		s.segs = append(s.segs, g)
+	}
+	rep, err := replayWAL(s.d.dir, wals, man.Seq)
+	if err != nil {
+		return err
+	}
+	s.mem.samples = rep.samples
+	s.walNames = append(s.walNames, rep.liveFiles...)
+	s.durableSeq = man.Seq
+	s.seq = man.Seq
+	if rep.maxSeq > s.seq {
+		s.seq = rep.maxSeq
+	}
+	s.campaign = man.Campaigns
+	if rep.maxCampaign > s.campaign {
+		s.campaign = rep.maxCampaign
+	}
+	s.rebuildDerivedState()
+	s.d.recovered.Store(uint64(len(rep.samples)))
+	s.d.walTruncations.Add(uint64(rep.truncated))
+
+	// New appends go to a fresh log file; the recovered files keep backing
+	// the recovered memtable until it flushes.
+	wf, err := s.d.createWAL()
+	if err != nil {
+		return err
+	}
+	s.wal = wf
+	s.walNames = append(s.walNames, wf.name)
+	s.mutateLocked()
+
+	// An oversized recovered memtable (the previous process died between
+	// threshold and flush) flushes immediately.
+	if s.mem.len() >= s.opt.FlushThreshold {
+		if err := s.freezeLocked(); err != nil {
+			return err
+		}
+		if err := s.flushPending(); err != nil {
+			return err
+		}
+	}
+	s.d.recoverySeconds.Store(uint64(time.Since(start).Microseconds()))
+	return nil
+}
+
+// rebuildDerivedState reconstructs everything the samples imply: the
+// distinct-IP and distinct-engine sets over all campaigns, the (previous,
+// current) observation pair, and the incremental alias index — by replaying
+// the latest campaign's samples in seq order, exactly the call sequence the
+// live ingest path made.
+func (s *Store) rebuildDerivedState() {
+	var prevSamples, curSamples []Sample
+	scan := func(samples []Sample) {
+		for i := range samples {
+			sm := &samples[i]
+			if sm.Campaign > s.campaign {
+				s.campaign = sm.Campaign
+			}
+			s.known[sm.IP] = struct{}{}
+			if len(sm.EngineID) > 0 {
+				s.engines[string(sm.EngineID)] = struct{}{}
+			}
+			s.ingested++
+		}
+	}
+	for _, g := range s.segs {
+		scan(g.samples)
+	}
+	scan(s.mem.samples)
+	if s.campaign == 0 {
+		return
+	}
+	pick := func(samples []Sample) {
+		for i := range samples {
+			switch samples[i].Campaign {
+			case s.campaign - 1:
+				prevSamples = append(prevSamples, samples[i])
+			case s.campaign:
+				curSamples = append(curSamples, samples[i])
+			}
+		}
+	}
+	for _, g := range s.segs {
+		pick(g.samples)
+	}
+	pick(s.mem.samples)
+	sort.Slice(prevSamples, func(i, j int) bool { return prevSamples[i].Seq < prevSamples[j].Seq })
+	sort.Slice(curSamples, func(i, j int) bool { return curSamples[i].Seq < curSamples[j].Seq })
+	for i := range prevSamples {
+		s.prev[prevSamples[i].IP] = prevSamples[i].Observation()
+	}
+	s.aidx.reset([2]uint64{s.campaign - 1, s.campaign})
+	for i := range curSamples {
+		o := curSamples[i].Observation()
+		s.cur[o.IP] = o
+		s.aidx.update(o.IP, s.prev[o.IP], o)
+	}
 }
 
 // registerMetrics republishes the store's counters and layout gauges as
@@ -188,7 +386,7 @@ func (s *Store) registerMetrics(reg *obs.Registry) {
 		name string
 		read func() float64
 	}{
-		{"snmpfp_store_mem_samples", func() float64 { return float64(s.mem.len()) }},
+		{"snmpfp_store_mem_samples", func() float64 { return float64(s.memSamplesLocked()) }},
 		{"snmpfp_store_segments", func() float64 { return float64(len(s.segs)) }},
 		{"snmpfp_store_campaigns", func() float64 { return float64(s.campaign) }},
 		{"snmpfp_store_tracked_ips", func() float64 { return float64(len(s.known)) }},
@@ -201,54 +399,190 @@ func (s *Store) registerMetrics(reg *obs.Registry) {
 	reg.Help("snmpfp_store_flushes_total", "memtable freezes into immutable segments")
 	reg.Help("snmpfp_store_compactions_total", "segment merges completed")
 	reg.Help("snmpfp_store_superseded_total", "samples discarded by compaction as superseded")
-	reg.Help("snmpfp_store_mem_samples", "current memtable population")
+	reg.Help("snmpfp_store_mem_samples", "current memtable population (frozen generations included)")
 	reg.Help("snmpfp_store_segments", "immutable segment count")
 	reg.Help("snmpfp_store_campaigns", "campaigns begun")
 	reg.Help("snmpfp_store_tracked_ips", "distinct IPs ever observed")
 	reg.Help("snmpfp_store_devices", "distinct engine IDs ever observed")
+
+	if s.d != nil {
+		reg.CounterFunc("snmpfp_store_wal_appends_total", s.d.walAppends.Load)
+		reg.CounterFunc("snmpfp_store_wal_bytes_total", s.d.walBytes.Load)
+		reg.CounterFunc("snmpfp_store_wal_fsyncs_total", s.d.walFsyncs.Load)
+		reg.CounterFunc("snmpfp_store_wal_replay_truncations_total", s.d.walTruncations.Load)
+		reg.GaugeFunc("snmpfp_store_recovered_samples", func() float64 { return float64(s.d.recovered.Load()) })
+		reg.GaugeFunc("snmpfp_store_recovery_seconds", func() float64 { return float64(s.d.recoverySeconds.Load()) / 1e6 })
+		s.d.setFsyncHist(reg.Histogram("snmpfp_store_fsync_seconds", obs.ExpBuckets(1e-5, 4, 10)))
+		reg.Help("snmpfp_store_wal_appends_total", "write-ahead-log batch appends")
+		reg.Help("snmpfp_store_wal_bytes_total", "bytes appended to the write-ahead log")
+		reg.Help("snmpfp_store_wal_fsyncs_total", "write-ahead-log fsync calls")
+		reg.Help("snmpfp_store_wal_replay_truncations_total", "log files truncated or dropped at a corrupt tail during recovery")
+		reg.Help("snmpfp_store_recovered_samples", "samples replayed from the write-ahead log at open")
+		reg.Help("snmpfp_store_recovery_seconds", "how long crash recovery took at open")
+		reg.Help("snmpfp_store_fsync_seconds", "fsync latency, write-ahead log and segment files")
+	}
 }
 
-// Close stops the background compactor. The store stays queryable.
-func (s *Store) Close() {
-	s.closeOnce.Do(func() { close(s.done) })
-	s.wg.Wait()
+// memSamplesLocked is the not-yet-installed population: the live memtable
+// plus every frozen generation awaiting flush.
+func (s *Store) memSamplesLocked() int {
+	n := s.mem.len()
+	for _, f := range s.frozen {
+		n += len(f.samples)
+	}
+	return n
+}
+
+// usableLocked reports whether mutations may proceed.
+func (s *Store) usableLocked() error {
+	if s.closed {
+		return ErrClosed
+	}
+	return s.diskErr
+}
+
+// fail latches the first durable-path error; later mutations fail fast.
+func (s *Store) fail(err error) error {
+	s.mu.Lock()
+	if s.diskErr == nil {
+		s.diskErr = err
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// Close seals the store: it stops the background compactor, freezes and
+// flushes the memtable (so no buffered sample is dropped on a clean
+// shutdown), and — durably — writes a final manifest and deletes the
+// now-empty write-ahead log. The store stays queryable; mutations return
+// ErrClosed.
+func (s *Store) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.done)
+		s.wg.Wait()
+		s.mu.Lock()
+		err = s.freezeLocked()
+		s.closed = true
+		s.mu.Unlock()
+		if err != nil {
+			return
+		}
+		if err = s.flushPending(); err != nil {
+			return
+		}
+		if s.d == nil {
+			return
+		}
+		// The memtable is flushed, so the log holds nothing the segments
+		// don't: persist the campaign counter in a final manifest, then
+		// drop the log.
+		s.diskMu.Lock()
+		defer s.diskMu.Unlock()
+		s.mu.Lock()
+		m := s.manifestLocked()
+		wal, names := s.wal, s.walNames
+		s.wal, s.walNames = nil, nil
+		s.mu.Unlock()
+		if wal != nil {
+			wal.retire()
+		}
+		if err = s.d.writeManifest(m); err != nil {
+			return
+		}
+		for _, name := range names {
+			if err = s.d.removeWAL(name); err != nil {
+				return
+			}
+		}
+	})
+	return err
 }
 
 // BeginCampaign seals the current campaign (flushing its samples to a
 // segment) and starts the next one, advancing the alias pair to (previous,
-// new). Returns the new campaign's 1-based sequence number.
-func (s *Store) BeginCampaign() uint64 {
+// new). The boundary is logged and fsynced before it returns. Returns the
+// new campaign's 1-based sequence number.
+func (s *Store) BeginCampaign() (uint64, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.flushLocked()
+	if err := s.usableLocked(); err != nil {
+		s.mu.Unlock()
+		return 0, err
+	}
+	if err := s.freezeLocked(); err != nil {
+		s.mu.Unlock()
+		return 0, err
+	}
 	s.campaign++
+	n := s.campaign
 	s.prev = s.cur
 	s.cur = map[netip.Addr]*core.Observation{}
 	s.aidx.reset([2]uint64{s.campaign - 1, s.campaign})
+	if s.d != nil {
+		s.walBuf = appendWALBegin(s.walBuf, s.campaign)
+	}
 	s.mutateLocked()
-	return s.campaign
+	wf, end, err := s.commitLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return n, err
+	}
+	if wf != nil {
+		if err := wf.sync(s.d, end); err != nil {
+			return n, s.fail(err)
+		}
+	}
+	return n, s.flushPending()
 }
 
 // Add ingests one observation into the current campaign: it lands in the
-// memtable, updates the per-campaign pair state and the incremental alias
-// index, and flushes if the memtable is full. Re-adding an IP within the
-// same campaign supersedes the earlier sample.
+// write-ahead log (fsynced before Add returns — the acknowledgment is the
+// durability contract) and the memtable, updates the per-campaign pair
+// state and the incremental alias index, and flushes if the memtable is
+// full. Re-adding an IP within the same campaign supersedes the earlier
+// sample.
 func (s *Store) Add(o *core.Observation) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.campaign == 0 {
+		s.mu.Unlock()
 		return ErrNoCampaign
 	}
+	if err := s.usableLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
 	s.addLocked(o)
+	needFlush := s.mem.len() >= s.opt.FlushThreshold
+	wf, end, err := s.commitLocked()
+	if err == nil && needFlush {
+		err = s.freezeLocked()
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if wf != nil {
+		if err := wf.sync(s.d, end); err != nil {
+			return s.fail(err)
+		}
+	}
+	if needFlush {
+		return s.flushPending()
+	}
 	return nil
 }
 
-// addLocked is the ingest step proper; the caller holds s.mu and has
-// verified a campaign is open. Batched ingest amortizes the lock and the
-// memtable growth across many samples by calling this in a loop.
+// addLocked is the ingest step proper; the caller holds s.mu, has verified
+// a campaign is open, and is responsible for committing the log buffer and
+// flushing afterwards. Batched ingest amortizes the lock, the log append
+// and the fsync across many samples by calling this in a loop.
 func (s *Store) addLocked(o *core.Observation) {
 	s.seq++
-	s.mem.add(sampleFrom(o, s.campaign, s.seq))
+	sm := sampleFrom(o, s.campaign, s.seq)
+	if s.d != nil {
+		s.walBuf = appendWALSample(s.walBuf, &sm)
+	}
+	s.mem.add(sm)
 	s.ingested++
 	s.known[o.IP] = struct{}{}
 	if len(o.EngineID) > 0 {
@@ -257,9 +591,55 @@ func (s *Store) addLocked(o *core.Observation) {
 	s.cur[o.IP] = o
 	s.aidx.update(o.IP, s.prev[o.IP], o)
 	s.mutateLocked()
-	if s.mem.len() >= s.opt.FlushThreshold {
-		s.flushLocked()
+}
+
+// commitLocked drains the pending log records to the current WAL file in
+// one append. The caller must sync the returned file through the returned
+// offset — outside the store lock — before acknowledging.
+func (s *Store) commitLocked() (*walFile, int64, error) {
+	if s.d == nil || len(s.walBuf) == 0 {
+		return nil, 0, nil
 	}
+	wf := s.wal
+	end, err := wf.append(s.d, s.walBuf)
+	s.walBuf = s.walBuf[:0]
+	if err != nil {
+		if s.diskErr == nil {
+			s.diskErr = err
+		}
+		return nil, 0, err
+	}
+	return wf, end, nil
+}
+
+// freezeLocked retires the memtable to the frozen queue and rotates the
+// write-ahead log, so the flusher can build and persist the segment without
+// the store lock. The caller must have drained walBuf (commitLocked) first:
+// pending records belong to the generation being frozen.
+func (s *Store) freezeLocked() error {
+	if s.mem.len() == 0 {
+		return nil
+	}
+	f := &frozenMem{samples: s.mem.samples, walNames: s.walNames}
+	if s.wal != nil {
+		f.walRefs = []*walFile{s.wal}
+	}
+	s.frozen = append(s.frozen, f)
+	s.mem = newMemtable()
+	s.walNames = nil
+	if s.d != nil {
+		wf, err := s.d.createWAL()
+		if err != nil {
+			s.wal = nil
+			if s.diskErr == nil {
+				s.diskErr = err
+			}
+			return err
+		}
+		s.wal = wf
+		s.walNames = []string{wf.name}
+	}
+	return nil
 }
 
 // AddCampaign begins a new campaign and ingests every observation of c in
@@ -277,40 +657,77 @@ const ingestCheckEvery = 256
 
 // Ingest begins a new campaign and adds every observation of c in address
 // order (deterministic segment contents), checking ctx between batches.
-// On cancellation it stops early and returns ctx's error; the samples
-// already added remain in the store as a partial campaign (queries observe
-// them, and the next campaign ingest supersedes the pair state as usual).
-// Returns the campaign sequence number.
+// Batches are split at the flush threshold, so the memtable never
+// overshoots it no matter how large the campaign; each batch is logged,
+// fsynced and — when the threshold is reached — flushed before the next
+// begins. On cancellation it stops early and returns ctx's error; the
+// samples already added remain in the store as a partial campaign (queries
+// observe them, and the next campaign ingest supersedes the pair state as
+// usual). Returns the campaign sequence number.
 func (s *Store) Ingest(ctx context.Context, c *core.Campaign) (uint64, error) {
 	span := s.tracer.Start("store.ingest")
 	defer span.End()
-	n := s.BeginCampaign()
+	n, err := s.BeginCampaign()
+	if err != nil {
+		return n, err
+	}
 	ips := c.SortedIPs()
-	for start := 0; start < len(ips); start += ingestCheckEvery {
+	for i := 0; i < len(ips); {
 		if err := ctx.Err(); err != nil {
 			return n, err
 		}
-		end := start + ingestCheckEvery
+		s.mu.Lock()
+		if err := s.usableLocked(); err != nil {
+			s.mu.Unlock()
+			return n, err
+		}
+		// One lock acquisition, one log append and one fsync per batch;
+		// the batch is capped at the flush boundary so the memtable never
+		// exceeds the threshold.
+		batch := ingestCheckEvery
+		if room := s.opt.FlushThreshold - s.mem.len(); room < batch {
+			batch = room
+		}
+		end := i + batch
 		if end > len(ips) {
 			end = len(ips)
 		}
-		// One lock acquisition and one memtable growth per batch; the flush
-		// threshold is still honored per sample inside addLocked.
-		s.mu.Lock()
-		s.mem.reserve(end - start)
-		for _, ip := range ips[start:end] {
-			s.addLocked(c.ByIP[ip])
+		s.mem.reserve(end - i)
+		for ; i < end; i++ {
+			s.addLocked(c.ByIP[ips[i]])
+		}
+		needFlush := s.mem.len() >= s.opt.FlushThreshold
+		wf, off, err := s.commitLocked()
+		if err == nil && needFlush {
+			err = s.freezeLocked()
 		}
 		s.mu.Unlock()
+		if err != nil {
+			return n, err
+		}
+		if wf != nil {
+			if err := wf.sync(s.d, off); err != nil {
+				return n, s.fail(err)
+			}
+		}
+		if needFlush {
+			if err := s.flushPending(); err != nil {
+				return n, err
+			}
+		}
 	}
 	return n, nil
 }
 
 // Flush seals the memtable into an immutable segment immediately.
-func (s *Store) Flush() {
+func (s *Store) Flush() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.flushLocked()
+	err := s.freezeLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.flushPending()
 }
 
 // mutateLocked marks store state changed: bumps the version and drops the
@@ -321,19 +738,92 @@ func (s *Store) mutateLocked() {
 	s.view = nil
 }
 
-func (s *Store) flushLocked() {
-	if s.mem.len() == 0 {
-		return
+// manifestLocked renders the manifest for the current installed state.
+func (s *Store) manifestLocked() *manifest {
+	m := &manifest{
+		Version:   1,
+		Campaigns: s.campaign,
+		Seq:       s.durableSeq,
+		NextFile:  s.d.nextFile.Load(),
 	}
-	defer s.tracer.Start("store.flush").End()
-	seg := s.mem.freeze()
-	s.segs = append(s.segs, seg)
-	s.mem = newMemtable()
-	s.flushes++
-	s.mutateLocked()
-	select {
-	case s.compactCh <- struct{}{}:
-	default:
+	for _, g := range s.segs {
+		if g.file != "" {
+			m.Segments = append(m.Segments, g.file)
+		}
+	}
+	return m
+}
+
+// flushPending drains the frozen queue: for each generation it builds the
+// sorted, indexed segment and (durably) writes it to disk — all without the
+// store lock, so concurrent Ingest and Snapshot callers never stall behind
+// segment construction — then briefly re-locks to install it, commits the
+// manifest, and deletes the generation's write-ahead log.
+func (s *Store) flushPending() error {
+	s.diskMu.Lock()
+	defer s.diskMu.Unlock()
+	for {
+		s.mu.Lock()
+		if len(s.frozen) == 0 {
+			s.mu.Unlock()
+			return nil
+		}
+		f := s.frozen[0]
+		seg := f.seg
+		s.mu.Unlock()
+
+		span := s.tracer.Start("store.flush")
+		if seg == nil {
+			// A concurrent snapshot may have built it already; otherwise
+			// sort and index here, outside the store lock.
+			seg = (&memtable{samples: f.samples}).freeze()
+		}
+		if s.d != nil {
+			name := fileName(s.d.nextFile.Add(1), ".seg")
+			if err := s.d.writeSegmentFile(name, seg); err != nil {
+				span.End()
+				return s.fail(err)
+			}
+			seg.file = name
+		}
+
+		var man *manifest
+		s.mu.Lock()
+		f.seg = seg
+		s.segs = append(s.segs, seg)
+		s.frozen = s.frozen[1:]
+		s.flushes++
+		if n := len(f.samples); n > 0 {
+			if last := f.samples[n-1].Seq; last > s.durableSeq {
+				s.durableSeq = last
+			}
+		}
+		if s.d != nil {
+			man = s.manifestLocked()
+		}
+		s.mutateLocked()
+		s.mu.Unlock()
+		span.End()
+
+		if s.d != nil {
+			if err := s.d.writeManifest(man); err != nil {
+				return s.fail(err)
+			}
+			// The generation is durable in its segment; its log is now
+			// redundant.
+			for _, wf := range f.walRefs {
+				wf.retire()
+			}
+			for _, name := range f.walNames {
+				if err := s.d.removeWAL(name); err != nil {
+					return s.fail(err)
+				}
+			}
+		}
+		select {
+		case s.compactCh <- struct{}{}:
+		default:
+		}
 	}
 }
 
@@ -344,29 +834,32 @@ func (s *Store) compactor() {
 		case <-s.done:
 			return
 		case <-s.compactCh:
-			s.compactIfNeeded(s.opt.MaxSegments)
+			// Errors latch diskErr; the next mutation reports them.
+			_ = s.compactIfNeeded(s.opt.MaxSegments)
 		}
 	}
 }
 
 // Compact merges all current segments into one, discarding superseded
 // samples, regardless of the MaxSegments trigger.
-func (s *Store) Compact() {
-	s.compactIfNeeded(2)
+func (s *Store) Compact() error {
+	return s.compactIfNeeded(2)
 }
 
-// compactIfNeeded merges when at least minSegs segments exist. The merge
-// itself runs without the store lock: flushes may append new segments
-// meanwhile, and only the prefix that was merged is replaced. A single
-// compactor mutates the prefix at a time (the background goroutine, or an
-// explicit Compact call), so the prefix snapshot stays valid; concurrent
-// explicit calls are serialized by the store lock around the swap and at
-// worst re-merge an already-compacted prefix.
-func (s *Store) compactIfNeeded(minSegs int) {
+// compactIfNeeded merges when at least minSegs segments exist. The merge —
+// and, durably, the merged segment's file write — runs without the store
+// lock; diskMu excludes the flusher, so the merged prefix cannot change
+// underneath (the stability check stays as a cheap invariant). The swap
+// commits via the manifest before the superseded segment files are
+// deleted, so no crash point loses data.
+func (s *Store) compactIfNeeded(minSegs int) error {
+	s.diskMu.Lock()
+	defer s.diskMu.Unlock()
 	s.mu.Lock()
-	if len(s.segs) < minSegs {
+	if len(s.segs) < minSegs || s.diskErr != nil {
+		err := s.diskErr
 		s.mu.Unlock()
-		return
+		return err
 	}
 	prefix := s.segs[:len(s.segs):len(s.segs)]
 	s.mu.Unlock()
@@ -375,6 +868,15 @@ func (s *Store) compactIfNeeded(minSegs int) {
 	merged, dropped := mergeSegments(prefix)
 	span.End()
 
+	if s.d != nil {
+		name := fileName(s.d.nextFile.Add(1), ".seg")
+		if err := s.d.writeSegmentFile(name, merged); err != nil {
+			return s.fail(err)
+		}
+		merged.file = name
+	}
+
+	var man *manifest
 	s.mu.Lock()
 	same := len(s.segs) >= len(prefix)
 	if same {
@@ -386,9 +888,10 @@ func (s *Store) compactIfNeeded(minSegs int) {
 		}
 	}
 	if !same {
-		// Someone else replaced the prefix; drop this merge.
+		// Unreachable while diskMu serializes segment mutators; the merged
+		// file, if any, is swept as an orphan on the next open.
 		s.mu.Unlock()
-		return
+		return nil
 	}
 	rest := s.segs[len(prefix):]
 	next := make([]*segment, 0, 1+len(rest))
@@ -397,8 +900,25 @@ func (s *Store) compactIfNeeded(minSegs int) {
 	s.segs = next
 	s.compactions++
 	s.superseded += uint64(dropped)
+	if s.d != nil {
+		man = s.manifestLocked()
+	}
 	s.mutateLocked()
 	s.mu.Unlock()
+
+	if s.d != nil {
+		if err := s.d.writeManifest(man); err != nil {
+			return s.fail(err)
+		}
+		for _, g := range prefix {
+			if g.file != "" {
+				if err := s.d.removeSegment(g.file); err != nil {
+					return s.fail(err)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // Snapshot returns an immutable view of the store. Views are cached: until
@@ -411,11 +931,17 @@ func (s *Store) Snapshot() *View {
 	if s.viewValid {
 		return s.view
 	}
-	segs := make([]*segment, 0, len(s.segs)+1)
+	segs := make([]*segment, 0, len(s.segs)+len(s.frozen)+1)
 	segs = append(segs, s.segs...)
 	segSamples := 0
 	for _, g := range s.segs {
 		segSamples += len(g.samples)
+	}
+	for _, f := range s.frozen {
+		if f.seg == nil {
+			f.seg = (&memtable{samples: f.samples}).freeze()
+		}
+		segs = append(segs, f.seg)
 	}
 	if s.mem.len() > 0 {
 		segs = append(segs, s.mem.freeze())
@@ -431,7 +957,7 @@ func (s *Store) Snapshot() *View {
 			Version:           s.version,
 			Campaigns:         s.campaign,
 			Ingested:          s.ingested,
-			MemSamples:        s.mem.len(),
+			MemSamples:        s.memSamplesLocked(),
 			Segments:          len(s.segs),
 			SegmentSamples:    segSamples,
 			Flushes:           s.flushes,

@@ -19,6 +19,16 @@ import (
 
 var t0 = time.Date(2021, 4, 16, 0, 0, 0, 0, time.UTC)
 
+// mustOpen opens a store or fails the test.
+func mustOpen(t *testing.T, opt Options) *Store {
+	t.Helper()
+	s, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 // engID builds a conformant octets-format engine ID under the enterprise.
 func engID(enterprise uint32, body ...byte) []byte {
 	id := []byte{byte(0x80 | enterprise>>24), byte(enterprise >> 16), byte(enterprise >> 8), byte(enterprise), 5}
@@ -90,7 +100,7 @@ func mustJSON(t *testing.T, v any) string {
 }
 
 func TestHistorySupersedeAndCompaction(t *testing.T) {
-	s := Open(Options{FlushThreshold: 2, DisableCompaction: true})
+	s := mustOpen(t, Options{FlushThreshold: 2, DisableCompaction: true})
 	defer s.Close()
 
 	id := engID(9, 1, 2, 3, 4)
@@ -146,7 +156,7 @@ func TestHistorySupersedeAndCompaction(t *testing.T) {
 }
 
 func TestAddBeforeBeginCampaign(t *testing.T) {
-	s := Open(Options{})
+	s := mustOpen(t, Options{})
 	defer s.Close()
 	if err := s.Add(mkObs("192.0.2.1", engID(9, 1, 2, 3, 4), 1, 1, t0)); err != ErrNoCampaign {
 		t.Fatalf("got %v, want ErrNoCampaign", err)
@@ -183,7 +193,7 @@ func TestIncrementalAliasMatchesBatchSynthetic(t *testing.T) {
 		mkObs("192.0.2.8", idB, 9, 50, t0.Add(day)), // new in campaign 2
 	)
 
-	s := Open(Options{FlushThreshold: 3})
+	s := mustOpen(t, Options{FlushThreshold: 3})
 	defer s.Close()
 	s.AddCampaign(c1)
 	s.AddCampaign(c2)
@@ -244,7 +254,7 @@ func TestIncrementalAliasMatchesBatchNetsim(t *testing.T) {
 		t.Fatal("empty sim campaigns")
 	}
 
-	s := Open(Options{FlushThreshold: 512})
+	s := mustOpen(t, Options{FlushThreshold: 512})
 	defer s.Close()
 	s.AddCampaign(c1)
 	s.AddCampaign(c2)
@@ -288,7 +298,7 @@ func TestTimelineFoldMatchesTrackerExtend(t *testing.T) {
 		mkCampaign(mkObs("192.0.2.2", idB, 1, 50+86400, t0.Add(2*day))),
 	}
 
-	s := Open(Options{})
+	s := mustOpen(t, Options{})
 	defer s.Close()
 	timelines := map[netip.Addr]*tracker.Timeline{}
 	for _, c := range cs {
@@ -315,7 +325,7 @@ func TestTimelineFoldMatchesTrackerExtend(t *testing.T) {
 // must be monotonic per reader. Run under -race this is the store half of
 // the soak requirement.
 func TestSnapshotIsolation(t *testing.T) {
-	s := Open(Options{FlushThreshold: 64, MaxSegments: 3})
+	s := mustOpen(t, Options{FlushThreshold: 64, MaxSegments: 3})
 	defer s.Close()
 
 	const campaigns = 12

@@ -27,7 +27,12 @@ func TestObservabilityReconciles(t *testing.T) {
 	w.Cfg.Faults = netsim.FullHostileProfile()
 	w.RegisterMetrics(reg)
 
-	st := snmpv3fp.OpenStore(snmpv3fp.StoreOptions{FlushThreshold: 2048, Obs: reg})
+	// Durable store: the reconciliation must hold with the WAL and on-disk
+	// segments enabled, including the extra WAL/fsync metric families.
+	st, err := snmpv3fp.OpenStore(snmpv3fp.StoreOptions{Dir: t.TempDir(), FlushThreshold: 2048, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer st.Close()
 
 	var wantSent, wantRetried, wantOffPath, wantResponses, wantUnanswered, wantIngested uint64

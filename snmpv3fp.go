@@ -166,8 +166,10 @@ func ScanContext(ctx context.Context, tr Transport, targets TargetSpace, cfg Sca
 }
 
 // OpenStore opens a longitudinal fingerprint store. Ingest campaigns with
-// Store.Ingest and query through Store.Snapshot or NewServer.
-func OpenStore(opt StoreOptions) *Store {
+// Store.Ingest and query through Store.Snapshot or NewServer. With
+// StoreOptions.Dir set the store is durable: acknowledged samples survive
+// crashes, and OpenStore recovers them (which is when it can fail).
+func OpenStore(opt StoreOptions) (*Store, error) {
 	return store.Open(opt)
 }
 
