@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-smoke bench-json bench-serve-json smoke-serve metrics-smoke durability-smoke reproduce examples ci fuzz-smoke clean
+.PHONY: all build vet test test-short race bench bench-smoke bench-gate bench-json bench-serve-json smoke-serve metrics-smoke durability-smoke reproduce examples ci fuzz-smoke clean
 
 all: build vet test
 
@@ -33,6 +33,7 @@ ci:
 	$(MAKE) metrics-smoke
 	$(MAKE) durability-smoke
 	$(MAKE) bench-smoke
+	$(MAKE) bench-gate
 
 # 10 seconds of native fuzzing per target. go test accepts one -fuzz target
 # per invocation, so loop over every FuzzXxx the fuzzing packages list.
@@ -53,6 +54,12 @@ bench:
 # numbers come from bench-json.
 bench-smoke:
 	$(GO) test ./bench -run 'Alloc' -bench=. -benchtime=1x -benchmem
+
+# Scan-campaign regression gate: re-measure ScanCampaign and fail when it
+# lands more than 15% above the checked-in BENCH_scan.json baseline. The
+# headroom absorbs runner noise; a hot-path regression trips it immediately.
+bench-gate:
+	$(GO) run ./cmd/benchjson -gate 1.15
 
 # Refresh the committed benchmark baselines: runs the continuous suite at
 # full benchtime and rewrites BENCH_scan.json / BENCH_store.json /

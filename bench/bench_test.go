@@ -5,9 +5,26 @@
 // BENCH_*.json baselines.
 package bench
 
-import "testing"
+import (
+	"fmt"
+	"testing"
 
-func BenchmarkScanCampaign(b *testing.B)       { benchScanCampaign(b) }
+	"snmpv3fp/internal/benchsuite"
+)
+
+func BenchmarkScanCampaign(b *testing.B) { benchScanCampaign(b) }
+
+// BenchmarkScanScaling sweeps the campaign over the (workers, batch) grid,
+// reporting probes/s per point: the pps-vs-configuration curve behind the
+// batch transport tuning (DESIGN.md §13).
+func BenchmarkScanScaling(b *testing.B) {
+	for _, workers := range benchsuite.ScanScalingGrid.Workers {
+		for _, batch := range benchsuite.ScanScalingGrid.Batches {
+			b.Run(fmt.Sprintf("workers=%d/batch=%d", workers, batch),
+				benchsuite.ScanScaling(workers, batch))
+		}
+	}
+}
 func BenchmarkCollectResponses(b *testing.B)   { benchCollectResponses(b) }
 func BenchmarkEncodeProbe(b *testing.B)        { benchEncodeProbe(b) }
 func BenchmarkParseResponse(b *testing.B)      { benchParseResponse(b) }

@@ -6,8 +6,15 @@
 // Each file records ns/op, B/op and allocs/op per benchmark next to the
 // pre-optimization baseline captured before the zero-allocation hot-path
 // work, with the byte- and allocation-reduction factors computed in place.
+// The scan suite additionally carries the ScanScaling (workers, batch) grid —
+// the probes-per-second curve behind the batch transport tuning.
 // CI runs the cheap `make bench-smoke` pass instead; refresh these files
 // manually with `make bench-json` on a quiet machine.
+//
+// With -gate FACTOR the command regresses instead of refreshing: it re-runs
+// ScanCampaign and exits nonzero when the measured ns/op exceeds the
+// checked-in BENCH_scan.json entry by more than FACTOR (CI uses 1.15 via
+// `make bench-gate`).
 package main
 
 import (
@@ -63,12 +70,12 @@ type benchDef struct {
 // (snmp.EncodeDiscoveryRequest / snmp.ParseDiscoveryResponse), per-datagram
 // receive copies and per-sample store locking.
 var suites = map[string][]benchDef{
-	"scan": {
+	"scan": append([]benchDef{
 		{"ScanCampaign", benchsuite.ScanCampaign, &Baseline{27399152, 208874}},
 		{"CollectResponses", benchsuite.CollectResponses, &Baseline{13895504, 191260}},
 		{"EncodeProbe", benchsuite.EncodeProbe, &Baseline{576, 6}},
 		{"ParseResponse", benchsuite.ParseResponse, &Baseline{883, 14}},
-	},
+	}, scalingDefs()...),
 	"store": {
 		{"StoreIngest", benchsuite.StoreIngest, &Baseline{15002628, 76294}},
 		// Durable arm: same campaign bodies with the WAL and on-disk
@@ -83,6 +90,22 @@ var suites = map[string][]benchDef{
 		{"ServeVendors", benchsuite.ServeVendors, &Baseline{11681, 39}},
 		{"ServeStats", benchsuite.ServeStats, &Baseline{12764, 56}},
 	},
+}
+
+// scalingDefs expands the ScanScaling (workers, batch) grid into suite
+// entries; no pre-PR baseline — the batched transport did not exist before
+// the grid, and the interesting comparison is across the grid itself.
+func scalingDefs() []benchDef {
+	var defs []benchDef
+	for _, workers := range benchsuite.ScanScalingGrid.Workers {
+		for _, batch := range benchsuite.ScanScalingGrid.Batches {
+			defs = append(defs, benchDef{
+				name: fmt.Sprintf("ScanScaling/workers=%d/batch=%d", workers, batch),
+				fn:   benchsuite.ScanScaling(workers, batch),
+			})
+		}
+	}
+	return defs
 }
 
 func ratio(base, cur int64) float64 {
@@ -121,10 +144,51 @@ func runSuite(name string, defs []benchDef) File {
 	return f
 }
 
+// gateScanCampaign is the CI regression gate: it re-measures ScanCampaign
+// and compares against the checked-in BENCH_scan.json. A run slower than
+// factor times the recorded ns/op fails. The headroom absorbs machine noise;
+// a real hot-path regression overshoots it immediately.
+func gateScanCampaign(dir string, factor float64) error {
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_scan.json"))
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return fmt.Errorf("parsing baseline: %w", err)
+	}
+	var base int64
+	for _, e := range f.Benchmarks {
+		if e.Name == "ScanCampaign" {
+			base = e.NsPerOp
+		}
+	}
+	if base <= 0 {
+		return fmt.Errorf("no ScanCampaign entry in BENCH_scan.json")
+	}
+	r := testing.Benchmark(benchsuite.ScanCampaign)
+	got := r.NsPerOp()
+	limit := int64(float64(base) * factor)
+	fmt.Printf("gate: ScanCampaign %d ns/op, baseline %d ns/op, limit %.2fx = %d ns/op\n",
+		got, base, factor, limit)
+	if got > limit {
+		return fmt.Errorf("ScanCampaign regressed: %d ns/op > %d ns/op (%.2fx baseline)", got, limit, factor)
+	}
+	return nil
+}
+
 func main() {
 	dir := flag.String("dir", ".", "directory to write the BENCH_*.json files into")
 	only := flag.String("suite", "", "run a single suite (scan, store or serve) instead of all three")
+	gate := flag.Float64("gate", 0, "regression-gate mode: re-run ScanCampaign and fail if ns/op exceeds the checked-in BENCH_scan.json by this factor (e.g. 1.15); 0 refreshes the baselines instead")
 	flag.Parse()
+	if *gate > 0 {
+		if err := gateScanCampaign(*dir, *gate); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	for _, suite := range []string{"scan", "store", "serve"} {
 		if *only != "" && suite != *only {
 			continue

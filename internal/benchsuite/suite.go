@@ -42,8 +42,9 @@ func sharedWorld() *netsim.World {
 }
 
 // runCampaign runs one deterministic virtual-time campaign over the shared
-// world and returns its result.
-func runCampaign(w *netsim.World, workers int) (*scanner.Result, error) {
+// world and returns its result. batch is the engine's send-batch size — the
+// number of probes per transport operation.
+func runCampaign(w *netsim.World, workers, batch int) (*scanner.Result, error) {
 	w.Clock.Set(w.Cfg.StartTime.Add(15 * 24 * time.Hour))
 	w.BeginScan()
 	targets, err := scanner.NewPrefixSpace(w.ScanPrefixes4(), 42)
@@ -51,7 +52,7 @@ func runCampaign(w *netsim.World, workers int) (*scanner.Result, error) {
 		return nil, err
 	}
 	return scanner.Scan(w.NewTransport(), targets, scanner.Config{
-		Rate: 5000, Batch: 256, Timeout: 8 * time.Second,
+		Rate: 5000, Batch: batch, Timeout: 8 * time.Second,
 		Clock: w.Clock, Seed: 42, Workers: workers,
 	})
 }
@@ -66,7 +67,7 @@ func ScanCampaign(b *testing.B) {
 	b.ResetTimer()
 	var probes, responses uint64
 	for i := 0; i < b.N; i++ {
-		res, err := runCampaign(w, 4)
+		res, err := runCampaign(w, 4, 256)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -77,11 +78,48 @@ func ScanCampaign(b *testing.B) {
 	b.ReportMetric(float64(responses), "responses/op")
 }
 
+// ScanScalingGrid is the (workers, batch) grid the pps-vs-configuration
+// curve is measured over: worker counts spanning single-threaded to
+// oversubscribed, batch sizes from the scalar-equivalent 1 to past the
+// sendmmsg chunk size.
+var ScanScalingGrid = struct {
+	Workers []int
+	Batches []int
+}{
+	Workers: []int{1, 4, 16},
+	Batches: []int{1, 8, 64, 256},
+}
+
+// ScanScaling returns the campaign benchmark for one (workers, batch) point
+// of the scaling grid. Alongside ns/op it reports probes/s — the
+// hardware-speed packets-per-second figure the batch transport work is
+// measured by (virtual campaign time never enters it).
+func ScanScaling(workers, batch int) func(*testing.B) {
+	return func(b *testing.B) {
+		w := sharedWorld()
+		b.ReportAllocs()
+		b.ResetTimer()
+		var probes uint64
+		for i := 0; i < b.N; i++ {
+			res, err := runCampaign(w, workers, batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			probes = res.Sent
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(probes), "probes/op")
+		if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
+			b.ReportMetric(float64(probes)*float64(b.N)/elapsed, "probes/s")
+		}
+	}
+}
+
 // CollectResponses benchmarks the response-parsing fold (core.Collect) over
 // one campaign's captured datagrams.
 func CollectResponses(b *testing.B) {
 	w := sharedWorld()
-	res, err := runCampaign(w, 4)
+	res, err := runCampaign(w, 4, 256)
 	if err != nil {
 		b.Fatal(err)
 	}

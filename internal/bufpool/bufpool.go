@@ -67,6 +67,33 @@ func (p *Pool) Put(buf []byte) {
 	}
 }
 
+// GetBatch leases a ring of buffers for a batch receive: every nil slot in
+// bufs is filled with a buffer of length p.BufSize() (pooled when available,
+// freshly allocated otherwise). Non-nil slots are left alone, so a caller can
+// reuse one ring across calls and only replace the buffers it handed off to
+// consumers. The ownership contract is per-slot and identical to Get: each
+// filled buffer belongs to the caller (or whoever it hands the buffer to)
+// until returned via Put or PutBatch.
+func (p *Pool) GetBatch(bufs [][]byte) {
+	for i, b := range bufs {
+		if b == nil {
+			bufs[i] = p.Get()
+		}
+	}
+}
+
+// PutBatch returns every non-nil buffer in bufs to the free list and clears
+// the slots, so a retained ring never pins buffers the pool has reclaimed.
+// Like Put it never blocks; overflow is dropped for the GC.
+func (p *Pool) PutBatch(bufs [][]byte) {
+	for i, b := range bufs {
+		if b != nil {
+			p.Put(b)
+			bufs[i] = nil
+		}
+	}
+}
+
 // Idle reports how many buffers are currently parked in the free list; it is
 // a point-in-time observation for tests and metrics.
 func (p *Pool) Idle() int { return len(p.free) }

@@ -57,6 +57,52 @@ func TestZeroAllocSteadyState(t *testing.T) {
 	}
 }
 
+func TestGetBatchFillsOnlyNilSlots(t *testing.T) {
+	p := New(8, 64)
+	ring := make([][]byte, 4)
+	keep := p.Get()
+	ring[2] = keep
+	p.GetBatch(ring)
+	for i, b := range ring {
+		if b == nil {
+			t.Fatalf("slot %d left nil", i)
+		}
+		if len(b) != 64 {
+			t.Fatalf("slot %d length %d, want 64", i, len(b))
+		}
+	}
+	if &ring[2][0] != &keep[0] {
+		t.Fatal("GetBatch replaced a non-nil slot")
+	}
+}
+
+func TestPutBatchReturnsAndClears(t *testing.T) {
+	p := New(8, 64)
+	ring := make([][]byte, 4)
+	p.GetBatch(ring)
+	ring[1] = nil // handed off to a consumer: not ours to return
+	p.PutBatch(ring)
+	for i, b := range ring {
+		if b != nil {
+			t.Fatalf("slot %d not cleared", i)
+		}
+	}
+	if p.Idle() != 3 {
+		t.Fatalf("Idle = %d, want 3", p.Idle())
+	}
+}
+
+func TestBatchZeroAllocSteadyState(t *testing.T) {
+	p := New(32, 256)
+	ring := make([][]byte, 16)
+	if avg := testing.AllocsPerRun(200, func() {
+		p.GetBatch(ring)
+		p.PutBatch(ring)
+	}); avg != 0 {
+		t.Errorf("GetBatch/PutBatch cycle: %v allocs/op, want 0", avg)
+	}
+}
+
 // TestConcurrentHammer shakes the pool under the race detector: many
 // goroutines get, scribble, and put concurrently. Ownership violations show
 // up as data races on the buffer contents.

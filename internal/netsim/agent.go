@@ -23,7 +23,7 @@ const lossProb = 0.025
 // share one backing array. The transport uses respond directly and copies
 // each enqueued datagram into its own pooled buffer instead.
 func (w *World) HandleSNMP(dst netip.Addr, payload []byte, now time.Time) [][]byte {
-	wire, n := w.respond(dst, payload, now, nil)
+	wire, n := w.respond(dst, w.addrHash(dst), payload, now, nil)
 	if n == 0 {
 		return nil
 	}
@@ -40,15 +40,24 @@ func (w *World) HandleSNMP(dst netip.Addr, payload []byte, now time.Time) [][]by
 // an allocation-free reply path; the returned slice aliases scratch's
 // backing array and must be copied before scratch is reused.
 //
+// ah is dst's addrHash state, computed once by the caller and shared by the
+// per-probe coins here and in the fault layer.
+//
 // The implementation round-trips real wire bytes through internal/snmp, so a
 // simulated campaign and a live campaign exercise the same codec.
-func (w *World) respond(dst netip.Addr, payload []byte, now time.Time, scratch []byte) ([]byte, int) {
-	if !w.RespondsAt(dst) {
+func (w *World) respond(dst netip.Addr, ah uint64, payload []byte, now time.Time, scratch []byte) ([]byte, int) {
+	// Inline of RespondsAt with the device lookup shared: respond runs once
+	// per probe, and a second byAddr lookup for the device was measurable
+	// on the campaign profile.
+	d := w.deviceAt(dst)
+	if d == nil || !d.Responds {
 		return nil, 0
 	}
-	d := w.byAddr[dst]
+	if d.Class == ClassRouter && !w.coinH(ah, 0xAC1, w.Cfg.RouterIfaceProb) {
+		return nil, 0
+	}
 	// Per-campaign deterministic loss.
-	if w.coin(dst, uint64(0xA110+w.scanEpoch), lossProb) {
+	if w.coinH(ah, uint64(0xA110+w.scanEpoch), lossProb) {
 		return nil, 0
 	}
 	version, err := snmp.PeekVersion(payload)

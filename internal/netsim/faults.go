@@ -53,6 +53,15 @@ type FaultProfile struct {
 	// datagram; distinct per copy, so duplicated responses reorder against
 	// their originals and against other sources.
 	Jitter time.Duration
+
+	// SendErr is the probability a destination's first probe attempt fails
+	// at the sender with a transient errno (ENOBUFS — the local qdisc or
+	// socket buffer momentarily full, as sendmmsg routinely reports at line
+	// rate). The failure fires exactly once per selected address, so an
+	// engine that retries transient send errors delivers a campaign
+	// byte-identical to an unfaulted run, while an engine that aborts on
+	// the first send error never finishes.
+	SendErr float64
 }
 
 // HostileProfile returns the fault mix used by the hostile-network
@@ -104,6 +113,9 @@ type FaultTally struct {
 	OffPath uint64
 	// Delayed counts datagrams that picked up nonzero jitter.
 	Delayed uint64
+	// TransientSendErrs counts probe attempts failed at the sender with a
+	// transient errno (the SendErr knob).
+	TransientSendErrs uint64
 }
 
 // faultCounters is the internal atomic view of FaultTally; senders on any
@@ -111,7 +123,7 @@ type FaultTally struct {
 type faultCounters struct {
 	lost, rateLimited, mismatched    atomic.Uint64
 	duplicated, truncated, corrupted atomic.Uint64
-	offPath, delayed                 atomic.Uint64
+	offPath, delayed, sendErrs       atomic.Uint64
 }
 
 func (c *faultCounters) reset() {
@@ -123,6 +135,7 @@ func (c *faultCounters) reset() {
 	c.corrupted.Store(0)
 	c.offPath.Store(0)
 	c.delayed.Store(0)
+	c.sendErrs.Store(0)
 }
 
 // FaultStats snapshots the faults injected since the last BeginScan.
@@ -136,6 +149,8 @@ func (w *World) FaultStats() FaultTally {
 		Corrupted:   w.faults.corrupted.Load(),
 		OffPath:     w.faults.offPath.Load(),
 		Delayed:     w.faults.delayed.Load(),
+
+		TransientSendErrs: w.faults.sendErrs.Load(),
 	}
 }
 
@@ -152,11 +167,17 @@ const (
 	saltOffPath   = 0xF7000
 	saltJitter    = 0xF8000
 	saltSpoof     = 0xF9000
+	saltSendErr   = 0xFA000
 )
 
 // epochCoin is a deterministic per-campaign coin flip for addr.
 func (w *World) epochCoin(addr netip.Addr, salt uint64, prob float64) bool {
 	return w.coin(addr, salt+uint64(w.scanEpoch), prob)
+}
+
+// epochCoinH is epochCoin over a precomputed addrHash state.
+func (w *World) epochCoinH(ah, salt uint64, prob float64) bool {
+	return w.coinH(ah, salt+uint64(w.scanEpoch), prob)
 }
 
 // TruncatePayload returns payload cut short at a deterministic offset in
@@ -236,32 +257,38 @@ func (w *World) spoofedPayload(dst netip.Addr) []byte {
 }
 
 // jitterFor returns the extra one-way delay for copy i of the responses to a
-// probe of addr in the current campaign.
-func (w *World) jitterFor(f *FaultProfile, addr netip.Addr, i int) time.Duration {
+// probe in the current campaign; ah is the probed address's addrHash state.
+func (w *World) jitterFor(f *FaultProfile, ah uint64, i int) time.Duration {
 	if f.Jitter <= 0 {
 		return 0
 	}
-	h := w.hash64(addr, saltJitter+uint64(w.scanEpoch)+uint64(i)<<20)
+	h := w.saltHash(ah, saltJitter+uint64(w.scanEpoch)+uint64(i)<<20)
 	return time.Duration(h % uint64(f.Jitter))
 }
 
 // deliverFaulted runs the response datagrams for one probe through the fault
-// layer and enqueues what survives. The probe reached the agent at `at`; rtt
-// is the path's base round-trip time. It is called from Transport.SendAt
-// with the send admission already held.
-func (t *Transport) deliverFaulted(f *FaultProfile, dst netip.Addr, payload []byte, at time.Time, rtt time.Duration) {
+// layer and appends what survives to the pending batch, which it returns.
+// The probe reached the agent at `at`; rtt is the path's base round-trip
+// time. It is called from Transport.sendBatch with the send admission
+// already held; scratch is the caller's reply buffer, reused across the
+// whole batch (the batch copies every appended payload, so aliasing is
+// safe).
+//
+// Every fault coin keys on (world seed, dst, scan epoch) — never on send
+// order, batch boundaries or the shared clock — which is what keeps a
+// faulted campaign byte-identical across worker counts and batch sizes.
+func (t *Transport) deliverFaulted(f *FaultProfile, batch []simPacket, dst netip.Addr, ah uint64, payload []byte, at time.Time, rtt time.Duration, scratch []byte) []simPacket {
 	w := t.w
 	c := &w.faults
 
 	// Forward-path middlebox rewrite happens before the agent sees the
 	// probe, so its reports echo the rewritten msgID.
-	mismatched := f.Mismatch > 0 && w.epochCoin(dst, saltMismatch, f.Mismatch)
+	mismatched := f.Mismatch > 0 && w.epochCoinH(ah, saltMismatch, f.Mismatch)
 	if mismatched {
 		payload = mangleProbe(payload)
 	}
 
-	scratch := t.pool.Get()
-	wire, n := w.respond(dst, payload, at, scratch[:0])
+	wire, n := w.respond(dst, ah, payload, at, scratch[:0])
 
 	// Destructive faults: the legitimate responses never arrive. Every
 	// datagram a device emits for one probe carries identical bytes, so the
@@ -269,23 +296,23 @@ func (t *Transport) deliverFaulted(f *FaultProfile, dst netip.Addr, payload []by
 	switch {
 	case n == 0:
 		// Silent target; only off-path injection below applies.
-	case f.Loss > 0 && w.epochCoin(dst, saltLoss, f.Loss):
+	case f.Loss > 0 && w.epochCoinH(ah, saltLoss, f.Loss):
 		c.lost.Add(uint64(n))
 		n = 0
-	case f.RateLimit > 0 && w.epochCoin(dst, saltRateLimit, f.RateLimit) &&
-		(at.Unix()+int64(w.hash64(dst, saltRateLimit)&1))%2 != 0:
+	case f.RateLimit > 0 && w.epochCoinH(ah, saltRateLimit, f.RateLimit) &&
+		(at.Unix()+int64(w.saltHash(ah, saltRateLimit)&1))%2 != 0:
 		c.rateLimited.Add(uint64(n))
 		n = 0
 	}
 
 	copyIdx := 0
 	enqueue := func(src netip.Addr, pkt []byte) {
-		d := w.jitterFor(f, dst, copyIdx)
+		d := w.jitterFor(f, ah, copyIdx)
 		copyIdx++
 		if d > 0 {
 			c.delayed.Add(1)
 		}
-		t.enqueue(src, pkt, at.Add(rtt+d))
+		batch = t.appendPacket(batch, src, pkt, at.Add(rtt+d))
 	}
 
 	for ri := 0; ri < n; ri++ {
@@ -293,7 +320,7 @@ func (t *Transport) deliverFaulted(f *FaultProfile, dst netip.Addr, payload []by
 			c.mismatched.Add(1)
 		}
 		enqueue(dst, wire)
-		if f.Duplicate > 0 && w.epochCoin(dst, saltDuplicate, f.Duplicate) {
+		if f.Duplicate > 0 && w.epochCoinH(ah, saltDuplicate, f.Duplicate) {
 			copies := f.DupCopies
 			if copies <= 0 {
 				copies = 2
@@ -303,22 +330,22 @@ func (t *Transport) deliverFaulted(f *FaultProfile, dst netip.Addr, payload []by
 				enqueue(dst, wire)
 			}
 		}
-		if f.Truncate > 0 && w.epochCoin(dst, saltTruncate, f.Truncate) {
+		if f.Truncate > 0 && w.epochCoinH(ah, saltTruncate, f.Truncate) {
 			c.truncated.Add(1)
-			enqueue(dst, TruncatePayload(w.hash64(dst, saltTruncate+uint64(w.scanEpoch)+1), wire))
+			enqueue(dst, TruncatePayload(w.saltHash(ah, saltTruncate+uint64(w.scanEpoch)+1), wire))
 		}
-		if f.Corrupt > 0 && w.epochCoin(dst, saltCorrupt, f.Corrupt) {
+		if f.Corrupt > 0 && w.epochCoinH(ah, saltCorrupt, f.Corrupt) {
 			c.corrupted.Add(1)
 			enqueue(dst, CorruptPayload(wire))
 		}
 	}
-	t.pool.Put(scratch)
 
 	// Off-path spoofing keys on the probed address (silent or not): probing
 	// dst tickles some on-path box into emitting junk from a source the
 	// campaign never probed.
-	if f.OffPath > 0 && w.epochCoin(dst, saltOffPath, f.OffPath) {
+	if f.OffPath > 0 && w.epochCoinH(ah, saltOffPath, f.OffPath) {
 		c.offPath.Add(1)
 		enqueue(w.spoofedSource(dst), w.spoofedPayload(dst))
 	}
+	return batch
 }

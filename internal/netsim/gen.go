@@ -117,6 +117,7 @@ func Generate(cfg Config) *World {
 	g.genIoT()
 	g.genSpecialPopulations()
 	g.genHitlistFiller()
+	g.w.buildAddr4Index()
 	return g.w
 }
 

@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"hash/fnv"
+	"net/netip"
+	"testing"
+)
+
+// TestHash64MatchesStdlibFNV pins the inlined split-state hash against
+// hash/fnv: hash64(addr, salt) must be byte-identical to FNV-1a over the 16
+// address bytes, the 8 little-endian salt bytes and the 8 little-endian seed
+// bytes. The inlined fold (and its precomputed v4-mapped prefix state) exists
+// purely for speed; any drift here would silently re-randomize every
+// deterministic coin in the simulation.
+func TestHash64MatchesStdlibFNV(t *testing.T) {
+	w := &World{Cfg: Config{Seed: -7777}}
+	addrs := []netip.Addr{
+		netip.MustParseAddr("1.2.3.4"),
+		netip.MustParseAddr("0.0.0.0"),
+		netip.MustParseAddr("255.255.255.255"),
+		netip.MustParseAddr("198.51.100.17"),
+		netip.MustParseAddr("2001:db8::1"),
+		netip.MustParseAddr("::"),
+		netip.MustParseAddr("fe80::dead:beef"),
+	}
+	salts := []uint64{0, 1, 0x277, 0xAC1, saltSendErr, ^uint64(0)}
+	for _, addr := range addrs {
+		for _, salt := range salts {
+			h := fnv.New64a()
+			b := addr.As16()
+			h.Write(b[:])
+			var tail [16]byte
+			for i := 0; i < 8; i++ {
+				tail[i] = byte(salt >> (8 * i))
+				tail[8+i] = byte(uint64(w.Cfg.Seed) >> (8 * i))
+			}
+			h.Write(tail[:])
+			if got, want := w.hash64(addr, salt), h.Sum64(); got != want {
+				t.Errorf("hash64(%v, %#x) = %#x, want stdlib FNV-1a %#x", addr, salt, got, want)
+			}
+		}
+	}
+}
+
+// TestAddr4IndexMatchesByAddr checks the open-addressing IPv4 device index
+// against the authoritative netip map: every allocated IPv4 address resolves
+// to the same device, and unallocated probes miss cleanly.
+func TestAddr4IndexMatchesByAddr(t *testing.T) {
+	w := tinyWorld(t)
+	n := 0
+	for a, want := range w.byAddr {
+		if !a.Is4() {
+			continue
+		}
+		n++
+		if got := w.deviceAt(a); got != want {
+			t.Fatalf("deviceAt(%v) = %p, want %p", a, got, want)
+		}
+	}
+	if n == 0 {
+		t.Fatal("world has no IPv4 allocations")
+	}
+	for _, s := range []string{"240.0.0.1", "0.0.0.0", "203.0.113.254"} {
+		a := netip.MustParseAddr(s)
+		if _, allocated := w.byAddr[a]; allocated {
+			continue
+		}
+		if got := w.deviceAt(a); got != nil {
+			t.Errorf("deviceAt(%v) = %p for unallocated address", a, got)
+		}
+	}
+}

@@ -26,6 +26,7 @@ func (w *World) RegisterMetrics(reg *obs.Registry) {
 		{"corrupted", w.faults.corrupted.Load},
 		{"off_path", w.faults.offPath.Load},
 		{"delayed", w.faults.delayed.Load},
+		{"transient_send", w.faults.sendErrs.Load},
 	}
 	for _, k := range kinds {
 		reg.CounterFunc("snmpfp_netsim_faults_total", k.fn, obs.L("kind", k.kind))

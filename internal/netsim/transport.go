@@ -1,15 +1,18 @@
 package netsim
 
 import (
+	"fmt"
 	"io"
 	"net"
 	"net/netip"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"snmpv3fp/internal/bufpool"
+	"snmpv3fp/internal/scanner"
 )
 
 type simPacket struct {
@@ -21,13 +24,23 @@ type simPacket struct {
 // Transport is the in-memory scanner transport: probes sent through it are
 // answered by the world's simulated agents, with deterministic per-path
 // RTTs stamped on the virtual clock. It satisfies the scanner package's
-// Transport, TimedTransport and ResponseCounter interfaces, and is safe for
-// concurrent use by the sharded scan engine: any number of senders may race
-// each other and Close, and a Send that loses the race to Close is a no-op
-// returning net.ErrClosed instead of panicking on the closed channel.
+// Transport, TimedTransport, BatchSender, TimedBatchSender, BatchReceiver
+// and ResponseCounter interfaces, and is safe for concurrent use by the
+// sharded scan engine: any number of senders may race each other and Close,
+// and a Send that loses the race to Close is a no-op returning net.ErrClosed
+// instead of panicking on the closed channel.
+//
+// Internally responses move in batches: each Send/SendBatch call accumulates
+// its response datagrams into a []simPacket and flushes whole batches
+// through one channel operation, so the per-datagram channel hop that
+// used to dominate the simulated hot path is amortized across the batch —
+// the in-memory analogue of sendmmsg/recvmmsg.
 type Transport struct {
 	w  *World
-	ch chan simPacket
+	ch chan []simPacket
+	// freeBatches recycles flushed batch slices once the receive side has
+	// drained them, keeping the steady-state send path allocation-free.
+	freeBatches chan []simPacket
 
 	// pool recycles the response-datagram buffers flowing through ch. Every
 	// queued payload is copied into its own pooled buffer (even quirky
@@ -40,6 +53,17 @@ type Transport struct {
 	closed  bool
 	sending sync.WaitGroup
 	queued  atomic.Uint64
+
+	// recvMu serializes consumers over the current in-progress batch; any
+	// number of goroutines may call Recv/RecvBatch concurrently.
+	recvMu sync.Mutex
+	cur    []simPacket
+	curIdx int
+
+	// sendFailed tracks which fault-selected addresses have already burned
+	// their one transient send failure (see FaultProfile.SendErr).
+	failMu     sync.Mutex
+	sendFailed map[netip.Addr]struct{}
 }
 
 // simBufSize comfortably covers a discovery report (engine IDs are at most a
@@ -47,19 +71,93 @@ type Transport struct {
 // back to exact allocations that the pool simply declines to recycle.
 const simBufSize = 256
 
-// simPoolSize bounds the parked free list; the scanner's capture goroutine
-// releases buffers almost as fast as senders queue them, so the list stays
-// small relative to the channel capacity.
-const simPoolSize = 4096
+// simPoolSize bounds the parked free list; it covers the maximum number of
+// payloads in flight (simChanBatches full batches plus slack), so a consumer
+// that releases promptly makes the steady-state send path allocation-free.
+const simPoolSize = 8192
+
+// simFlushLen is the response-batch flush threshold: a sender accumulates up
+// to this many response datagrams before pushing them through the channel in
+// one operation.
+const simFlushLen = 128
+
+// simChanBatches is the response channel's depth in batches. It is kept
+// moderate deliberately: a full channel blocks senders (backpressure) rather
+// than letting them race ahead of the capture goroutine through an unbounded
+// allocation of fresh batches and payload buffers.
+const simChanBatches = 64
+
+// simFreeBatches bounds the parked batch slices; sized above simChanBatches
+// so every batch the consumer drains finds a free-list slot and the batch
+// population stops growing once the pipeline is primed.
+const simFreeBatches = 128
 
 // NewTransport opens a transport onto the world. Each campaign should use a
 // fresh transport and call World.BeginScan first.
 func (w *World) NewTransport() *Transport {
 	return &Transport{
-		w:    w,
-		ch:   make(chan simPacket, 4096),
-		pool: bufpool.New(simPoolSize, simBufSize),
+		w:           w,
+		ch:          make(chan []simPacket, simChanBatches),
+		freeBatches: make(chan []simPacket, simFreeBatches),
+		pool:        bufpool.New(simPoolSize, simBufSize),
+		sendFailed:  make(map[netip.Addr]struct{}),
 	}
+}
+
+func (t *Transport) getBatch() []simPacket {
+	select {
+	case b := <-t.freeBatches:
+		return b[:0]
+	default:
+		return make([]simPacket, 0, simFlushLen)
+	}
+}
+
+// recycleBatch clears a drained batch (dropping payload references — the
+// consumer owns those) and parks the slice for reuse.
+func (t *Transport) recycleBatch(b []simPacket) {
+	for i := range b {
+		b[i] = simPacket{}
+	}
+	select {
+	case t.freeBatches <- b:
+	default:
+	}
+}
+
+// appendPacket copies one response datagram into a pooled buffer and adds it
+// to the pending batch, flushing when the batch is full. The copy decouples
+// the queued payload from the caller's scratch and gives every datagram —
+// including the identical copies quirky devices emit — a single owner, so
+// Recv consumers can release each payload independently.
+func (t *Transport) appendPacket(batch []simPacket, src netip.Addr, payload []byte, at time.Time) []simPacket {
+	buf := t.pool.Get()
+	var pkt []byte
+	if len(payload) > len(buf) {
+		t.pool.Put(buf)
+		pkt = make([]byte, len(payload))
+	} else {
+		pkt = buf[:len(payload)]
+	}
+	copy(pkt, payload)
+	batch = append(batch, simPacket{src: src, payload: pkt, at: at})
+	if len(batch) >= simFlushLen {
+		t.flush(batch)
+		batch = t.getBatch()
+	}
+	return batch
+}
+
+// flush pushes the pending batch to the receive side. queued is bumped
+// before the channel send so QueuedResponses never under-counts packets a
+// consumer can already observe.
+func (t *Transport) flush(batch []simPacket) {
+	if len(batch) == 0 {
+		t.recycleBatch(batch)
+		return
+	}
+	t.queued.Add(uint64(len(batch)))
+	t.ch <- batch
 }
 
 // Send implements scanner.Transport: the datagram is delivered to the agent
@@ -72,46 +170,91 @@ func (t *Transport) Send(dst netip.Addr, payload []byte) error {
 // the given virtual instant, independent of the shared clock's current
 // reading, so the engine can schedule deterministic multi-worker campaigns.
 func (t *Transport) SendAt(dst netip.Addr, payload []byte, at time.Time) error {
+	dsts := [1]netip.Addr{dst}
+	ats := [1]time.Time{at}
+	_, err := t.sendBatch(dsts[:], payload, ats[:], time.Time{})
+	return err
+}
+
+// SendBatch implements scanner.BatchSender: one payload delivered to every
+// destination, all at the shared clock's current instant. Returns how many
+// leading destinations were sent; n < len(dsts) implies err != nil.
+func (t *Transport) SendBatch(dsts []netip.Addr, payload []byte) (int, error) {
+	return t.sendBatch(dsts, payload, nil, t.w.Clock.Now())
+}
+
+// SendBatchAt implements scanner.TimedBatchSender: the probe to dsts[i]
+// reaches its agent at ats[i].
+func (t *Transport) SendBatchAt(dsts []netip.Addr, payload []byte, ats []time.Time) (int, error) {
+	if len(ats) != len(dsts) {
+		return 0, fmt.Errorf("netsim: SendBatchAt: %d ats for %d dsts", len(ats), len(dsts))
+	}
+	return t.sendBatch(dsts, payload, ats, time.Time{})
+}
+
+// sendBatch is the shared delivery core: admission, fault-layer dispatch and
+// response batching happen once per batch instead of once per probe. When
+// ats is nil every probe lands at the fallback instant `at`.
+func (t *Transport) sendBatch(dsts []netip.Addr, payload []byte, ats []time.Time, at time.Time) (int, error) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
-		return net.ErrClosed
+		return 0, net.ErrClosed
 	}
 	t.sending.Add(1)
 	t.mu.Unlock()
 	defer t.sending.Done()
 
-	rtt := time.Duration(10+t.w.hash64(dst, 0x277)%190) * time.Millisecond
-	if f := t.w.Cfg.Faults; f != nil {
-		t.deliverFaulted(f, dst, payload, at, rtt)
-		return nil
-	}
+	f := t.w.Cfg.Faults
 	scratch := t.pool.Get()
-	wire, n := t.w.respond(dst, payload, at, scratch[:0])
-	for i := 0; i < n; i++ {
-		t.enqueue(dst, wire, at.Add(rtt))
+	batch := t.getBatch()
+	for i, dst := range dsts {
+		// One address-prefix hash per probe feeds every per-probe coin: the
+		// RTT draw, the loss coin, and the whole fault profile.
+		ah := t.w.addrHash(dst)
+		if f != nil && f.SendErr > 0 && t.transientSendFailure(f, dst, ah) {
+			t.flush(batch)
+			t.pool.Put(scratch)
+			return i, fmt.Errorf("netsim: send to %v: %w", dst, syscall.ENOBUFS)
+		}
+		pat := at
+		if ats != nil {
+			pat = ats[i]
+		}
+		rtt := time.Duration(10+t.w.saltHash(ah, 0x277)%190) * time.Millisecond
+		if f != nil {
+			batch = t.deliverFaulted(f, batch, dst, ah, payload, pat, rtt, scratch)
+		} else {
+			wire, n := t.w.respond(dst, ah, payload, pat, scratch[:0])
+			for c := 0; c < n; c++ {
+				batch = t.appendPacket(batch, dst, wire, pat.Add(rtt))
+			}
+		}
 	}
+	t.flush(batch)
 	t.pool.Put(scratch)
-	return nil
+	return len(dsts), nil
 }
 
-// enqueue copies one response datagram into a pooled buffer and queues it
-// for Recv. The copy decouples the queued payload from the caller's scratch
-// and gives every datagram — including the identical copies quirky devices
-// emit — a single owner, so Recv consumers can release each payload
-// independently.
-func (t *Transport) enqueue(src netip.Addr, payload []byte, at time.Time) {
-	buf := t.pool.Get()
-	var pkt []byte
-	if len(payload) > len(buf) {
-		t.pool.Put(buf)
-		pkt = make([]byte, len(payload))
-	} else {
-		pkt = buf[:len(payload)]
+// transientSendFailure reports whether the probe to dst should fail with a
+// transient errno this attempt. Each fault-selected address fails exactly
+// once — the first attempt — so a retrying sender always makes progress and
+// the delivered campaign stays byte-identical to an unfaulted run.
+func (t *Transport) transientSendFailure(f *FaultProfile, dst netip.Addr, ah uint64) bool {
+	if !t.w.epochCoinH(ah, saltSendErr, f.SendErr) {
+		return false
 	}
-	copy(pkt, payload)
-	t.ch <- simPacket{src: src, payload: pkt, at: at}
-	t.queued.Add(1)
+	t.failMu.Lock()
+	_, done := t.sendFailed[dst]
+	if !done {
+		t.sendFailed[dst] = struct{}{}
+	}
+	t.failMu.Unlock()
+	if done {
+		return false
+	}
+	t.w.faults.sendErrs.Add(1)
+	return true
 }
 
 // QueuedResponses implements scanner.ResponseCounter.
@@ -122,11 +265,72 @@ func (t *Transport) QueuedResponses() uint64 { return t.queued.Load() }
 // or copied, and do not touch it afterwards. Skipping the release is safe —
 // the buffer is simply left to the GC.
 func (t *Transport) Recv() (netip.Addr, []byte, time.Time, error) {
-	p, ok := <-t.ch
-	if !ok {
+	t.recvMu.Lock()
+	if !t.nextBatchLocked() {
+		t.recvMu.Unlock()
 		return netip.Addr{}, nil, time.Time{}, io.EOF
 	}
+	p := t.cur[t.curIdx]
+	t.curIdx++
+	t.recvMu.Unlock()
 	return p.src, p.payload, p.at, nil
+}
+
+// RecvBatch implements scanner.BatchReceiver: it blocks until at least one
+// datagram is available, then fills into with everything immediately queued,
+// up to len(into). Payload ownership per datagram is identical to Recv.
+func (t *Transport) RecvBatch(into []scanner.Datagram) (int, error) {
+	if len(into) == 0 {
+		return 0, nil
+	}
+	t.recvMu.Lock()
+	defer t.recvMu.Unlock()
+	if !t.nextBatchLocked() {
+		return 0, io.EOF
+	}
+	n := 0
+	for n < len(into) {
+		if t.curIdx >= len(t.cur) {
+			// Current batch drained: take another only if one is already
+			// waiting — never block once we have datagrams to deliver.
+			t.recycleBatch(t.cur)
+			t.cur = nil
+			select {
+			case b, ok := <-t.ch:
+				if !ok {
+					return n, nil
+				}
+				t.cur, t.curIdx = b, 0
+			default:
+				return n, nil
+			}
+		}
+		p := t.cur[t.curIdx]
+		t.curIdx++
+		into[n] = scanner.Datagram{Src: p.src, Payload: p.payload, At: p.at}
+		n++
+	}
+	return n, nil
+}
+
+// nextBatchLocked ensures t.cur holds an unconsumed packet, blocking on the
+// channel when everything so far has been handed out. It returns false once
+// the transport is closed and drained. Callers hold recvMu; a consumer
+// blocked inside the channel receive makes its peers wait on recvMu, which
+// preserves the any-number-of-consumers contract.
+func (t *Transport) nextBatchLocked() bool {
+	for t.cur == nil || t.curIdx >= len(t.cur) {
+		if t.cur != nil {
+			t.recycleBatch(t.cur)
+			t.cur = nil
+		}
+		b, ok := <-t.ch
+		if !ok {
+			return false
+		}
+		t.cur, t.curIdx = b, 0
+	}
+	return true
 }
 
 // ReleasePayload implements scanner.PayloadReleaser: it returns a payload

@@ -1,7 +1,6 @@
 package netsim
 
 import (
-	"hash/fnv"
 	"net/netip"
 	"time"
 
@@ -162,6 +161,10 @@ type World struct {
 
 	asByNumber map[uint32]*AS
 	byAddr     map[netip.Addr]*Device
+	// byAddr4 indexes the IPv4 subset of byAddr by packed address: the
+	// campaign hot path resolves almost every probe through this
+	// open-addressing table instead of hashing a full netip.Addr.
+	byAddr4 addr4Index
 	// churnFlip is the instant at which QuirkChurn devices hand their IPs
 	// to the replacement device and QuirkReboot devices restart.
 	churnFlip time.Time
@@ -184,6 +187,84 @@ func (w *World) ASByNumber(n uint32) *AS { return w.asByNumber[n] }
 // DeviceAt returns the device holding addr, nil when the address is
 // unallocated.
 func (w *World) DeviceAt(addr netip.Addr) *Device { return w.byAddr[addr] }
+
+// deviceAt is the hot-path lookup behind respond: IPv4 probes — the bulk of
+// every campaign — go through the packed uint32 index.
+func (w *World) deviceAt(addr netip.Addr) *Device {
+	if addr.Is4() {
+		b := addr.As4()
+		return w.byAddr4.get(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]))
+	}
+	return w.byAddr[addr]
+}
+
+// addr4Index is a fixed-size open-addressing table from packed IPv4 address
+// to device. The generic map's hashing and bucket machinery was the top
+// entry on the campaign CPU profile once the response path itself went
+// allocation-free; a Fibonacci-hashed flat table with linear probing makes
+// the lookup a couple of cache lines with no per-call overhead. The table
+// is built once after world generation and read-only afterwards, so it
+// needs no growth or deletion support. Empty slots are vals[i] == nil
+// (0.0.0.0 is never allocated, but keying emptiness off the value avoids
+// even that assumption).
+type addr4Index struct {
+	keys  []uint32
+	vals  []*Device
+	mask  uint32
+	shift uint
+}
+
+// get returns the device for packed key k, nil when absent.
+func (ix *addr4Index) get(k uint32) *Device {
+	if ix.vals == nil {
+		return nil
+	}
+	i := (k * 0x9E3779B1) >> ix.shift
+	for {
+		v := ix.vals[i]
+		if v == nil || ix.keys[i] == k {
+			return v
+		}
+		i = (i + 1) & ix.mask
+	}
+}
+
+// buildAddr4Index (re)builds byAddr4 from the IPv4 entries of byAddr at
+// <= 50% load. Generation calls it once after the last address is assigned.
+func (w *World) buildAddr4Index() {
+	n := 0
+	for a := range w.byAddr {
+		if a.Is4() {
+			n++
+		}
+	}
+	size := uint32(8)
+	shift := uint(29)
+	for int(size) < 2*n {
+		size <<= 1
+		shift--
+	}
+	ix := addr4Index{
+		keys:  make([]uint32, size),
+		vals:  make([]*Device, size),
+		mask:  size - 1,
+		shift: shift,
+	}
+	for a, d := range w.byAddr {
+		if !a.Is4() {
+			continue
+		}
+		b := a.As4()
+		k := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+		i := (k * 0x9E3779B1) >> ix.shift
+		for ix.vals[i] != nil {
+			i = (i + 1) & ix.mask
+		}
+		ix.keys[i] = k
+		ix.vals[i] = d
+	}
+	w.byAddr4 = ix
+}
 
 // PTR returns the reverse-DNS name of addr, "" when none exists.
 func (w *World) PTR(addr netip.Addr) string { return w.ptr[addr] }
@@ -215,24 +296,85 @@ func (w *World) BeginScan() {
 // BeginScan).
 func (w *World) ScanEpoch() int { return w.scanEpoch }
 
+// FNV-1a parameters (matching hash/fnv's 64-bit variant).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // hash64 produces a stable per-world hash for deterministic coin flips.
+//
+// It is FNV-1a over the 16 address bytes, the 8 salt bytes (little-endian)
+// and the 8 seed bytes (little-endian) — byte-identical to hashing the same
+// 32 bytes through hash/fnv (TestHash64MatchesStdlibFNV pins this), but
+// inlined: the hash/fnv round trip (interface dispatch plus a per-call
+// digest allocation escape) was the single hottest block of the simulated
+// campaign profile, and every fault coin and RTT draw funnels through here.
+//
+// The hash is split at the address/salt boundary: addrHash folds the 16
+// address bytes, saltHash continues with the salt and seed. A caller that
+// draws several per-address coins (the transport draws an RTT, a loss coin
+// and possibly a whole fault profile per probe) computes addrHash once and
+// fans out through saltHash, paying for the address bytes once.
 func (w *World) hash64(addr netip.Addr, salt uint64) uint64 {
-	h := fnv.New64a()
-	b := addr.As16()
-	h.Write(b[:])
-	var s [16]byte
-	for i := 0; i < 8; i++ {
-		s[i] = byte(salt >> (8 * i))
-		s[8+i] = byte(uint64(w.Cfg.Seed) >> (8 * i))
+	return w.saltHash(w.addrHash(addr), salt)
+}
+
+// fnvV4Prefix is the FNV-1a state after the first 12 bytes of As16() for
+// any IPv4 address — ten zero bytes then 0xFF, 0xFF (the v4-mapped prefix).
+// Hoisting it turns the v4 fold (the overwhelming majority of a campaign)
+// into four FNV rounds instead of sixteen.
+var fnvV4Prefix = func() uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < 10; i++ {
+		h *= fnvPrime64 // XOR with a zero byte is the identity
 	}
-	h.Write(s[:])
-	return h.Sum64()
+	h = (h ^ 0xFF) * fnvPrime64
+	h = (h ^ 0xFF) * fnvPrime64
+	return h
+}()
+
+// addrHash is the address-prefix state of hash64: FNV-1a over As16().
+func (w *World) addrHash(addr netip.Addr) uint64 {
+	if addr.Is4() {
+		b := addr.As4()
+		h := fnvV4Prefix
+		h = (h ^ uint64(b[0])) * fnvPrime64
+		h = (h ^ uint64(b[1])) * fnvPrime64
+		h = (h ^ uint64(b[2])) * fnvPrime64
+		h = (h ^ uint64(b[3])) * fnvPrime64
+		return h
+	}
+	b := addr.As16()
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return h
+}
+
+// saltHash finishes hash64 from an addrHash state: the salt bytes then the
+// world-seed bytes, little-endian, through the same FNV-1a fold.
+func (w *World) saltHash(ah, salt uint64) uint64 {
+	for i := 0; i < 64; i += 8 {
+		ah = (ah ^ (salt >> i & 0xFF)) * fnvPrime64
+	}
+	seed := uint64(w.Cfg.Seed)
+	for i := 0; i < 64; i += 8 {
+		ah = (ah ^ (seed >> i & 0xFF)) * fnvPrime64
+	}
+	return ah
 }
 
 // coin returns a deterministic pseudo-random coin flip for addr with the
 // given probability and salt.
 func (w *World) coin(addr netip.Addr, salt uint64, prob float64) bool {
 	return float64(w.hash64(addr, salt))/float64(^uint64(0)) < prob
+}
+
+// coinH is coin over a precomputed addrHash state.
+func (w *World) coinH(ah, salt uint64, prob float64) bool {
+	return float64(w.saltHash(ah, salt))/float64(^uint64(0)) < prob
 }
 
 // PoolIdentity is one backend behind a load-balanced VIP.

@@ -25,13 +25,17 @@ type engine struct {
 
 	// timed / vclk / shardable / positioned / member / releaser cache the
 	// optional capability checks that select the pacing mode, response
-	// validation, and receive-buffer recycling.
-	timed      TimedTransport
-	vclk       *vclock.Virtual
-	shardable  ShardableSpace
-	member     MembershipSpace
-	releaser   PayloadReleaser
-	positioned bool
+	// validation, and receive-buffer recycling; batcher / timedBatcher /
+	// recvBatcher select the vectorized send and receive paths.
+	timed        TimedTransport
+	batcher      BatchSender
+	timedBatcher TimedBatchSender
+	recvBatcher  BatchReceiver
+	vclk         *vclock.Virtual
+	shardable    ShardableSpace
+	member       MembershipSpace
+	releaser     PayloadReleaser
+	positioned   bool
 	// logical is true when probe send times are computed from permutation
 	// slots instead of pacing sleeps: virtual clock + timed transport +
 	// positioned space. In this mode workers run at full host speed and
@@ -98,6 +102,9 @@ func newEngine(tr Transport, targets TargetSpace, cfg Config, probe []byte) *eng
 	}
 	e.drained = sync.NewCond(&e.mu)
 	e.timed, _ = tr.(TimedTransport)
+	e.batcher, _ = tr.(BatchSender)
+	e.timedBatcher, _ = tr.(TimedBatchSender)
+	e.recvBatcher, _ = tr.(BatchReceiver)
 	e.releaser, _ = tr.(PayloadReleaser)
 	e.vclk, _ = cfg.Clock.(*vclock.Virtual)
 	e.shardable, _ = targets.(ShardableSpace)
@@ -216,71 +223,206 @@ func (e *engine) runPass(pass int, shards []TargetSpace, skip map[netip.Addr]str
 	wg.Wait()
 }
 
-// worker walks one shard, sending a probe per target. In logical mode the
-// probe timestamp is computed from the target's permutation slot; otherwise
-// the worker paces itself with token-bucket sleeps on the campaign clock.
+// worker walks one shard, gathering targets into Config.Batch sized runs
+// and flushing each run through the transport in one operation when it
+// implements the batch API (a scalar per-probe loop otherwise). In logical
+// mode the probe timestamps are computed from the targets' permutation
+// slots; otherwise the worker paces itself against a deadline timeline on
+// the campaign clock, so per-sleep overshoot never accumulates into rate
+// sag (see paceBatch).
 func (e *engine) worker(pass, shard int, space TargetSpace, skip map[netip.Addr]struct{}, passStart time.Time) {
 	defer e.shardDone[shard].Store(true)
 	e.metrics.inflight.Add(1)
 	defer e.metrics.inflight.Add(-1)
 	ps, _ := space.(PositionedSpace)
-	batch := 0
-	for {
+
+	dsts := make([]netip.Addr, 0, e.cfg.Batch)
+	var ats []time.Time
+	if e.logical {
+		ats = make([]time.Time, 0, e.cfg.Batch)
+	}
+	// due is the worker's ideal send timeline: after n probes it should be
+	// n*Workers/Rate into the pass. Sleeping to a deadline rather than for a
+	// fixed duration carries any sleep overshoot into the next batch's
+	// sleep, so the realized rate tracks Config.Rate on long passes.
+	due := e.cfg.Clock.Now()
+	exhausted := false
+	for !exhausted {
 		select {
 		case <-e.cancel:
 			return
 		default:
 		}
-		var (
-			addr netip.Addr
-			pos  uint64
-			ok   bool
-		)
-		if ps != nil {
-			addr, pos, ok = ps.NextPos()
-		} else {
-			addr, ok = space.Next()
+		dsts = dsts[:0]
+		ats = ats[:0]
+		for len(dsts) < e.cfg.Batch {
+			var (
+				addr netip.Addr
+				pos  uint64
+				ok   bool
+			)
+			if ps != nil {
+				addr, pos, ok = ps.NextPos()
+			} else {
+				addr, ok = space.Next()
+			}
+			if !ok {
+				exhausted = true
+				break
+			}
+			if skip != nil {
+				if _, responded := skip[addr]; responded {
+					// A skipped target still owns its slot in the logical
+					// timeline, which keeps retry timestamps deterministic.
+					continue
+				}
+			}
+			dsts = append(dsts, addr)
+			if e.logical {
+				ats = append(ats, passStart.Add(e.slotOffset(pos)))
+			}
 		}
-		if !ok {
+		if len(dsts) == 0 {
 			break
 		}
-		if skip != nil {
-			if _, responded := skip[addr]; responded {
-				// A skipped target still owns its slot in the logical
-				// timeline, which keeps retry timestamps deterministic.
-				continue
-			}
-		}
-		var err error
-		var sentAt time.Time
-		if e.logical {
-			sentAt = passStart.Add(e.slotOffset(pos))
-			err = e.timed.SendAt(addr, e.probe, sentAt)
-		} else {
-			if e.sendLog != nil {
-				sentAt = e.cfg.Clock.Now()
-			}
-			err = e.tr.Send(addr, e.probe)
-		}
-		if err != nil {
-			e.sendErrs.Add(1)
-			e.metrics.sendErrs.Inc()
-			e.fail(fmt.Errorf("scanner: sending to %v: %w", addr, err))
+		if !e.sendRun(shard, pass, dsts, ats) {
 			return
 		}
-		e.noteRTTSend(shard, addr, sentAt)
-		e.noteSent(shard, pass)
 		if !e.logical {
-			batch++
-			if batch >= e.cfg.Batch {
-				e.cfg.Clock.Sleep(e.paceDuration(batch))
-				batch = 0
-			}
+			due = e.paceBatch(due, len(dsts))
 		}
 	}
-	if !e.logical && batch > 0 {
-		e.cfg.Clock.Sleep(e.paceDuration(batch))
+	if !e.logical {
+		e.observePaceLag(due)
 	}
+}
+
+// sendRun flushes one gathered batch through the transport, retrying
+// transient errnos with bounded backoff and resuming from the first unsent
+// destination after a partial send. It returns false when the campaign must
+// stop (cancellation, a non-transient error, or a persistent stall).
+func (e *engine) sendRun(shard, pass int, dsts []netip.Addr, ats []time.Time) bool {
+	backoff := sendBackoffBase
+	stalls := 0
+	for len(dsts) > 0 {
+		select {
+		case <-e.cancel:
+			return false
+		default:
+		}
+		n, err := e.dispatchSend(shard, dsts, ats)
+		if n == 0 && err == nil {
+			// Defensive: a batch transport must report an error when it
+			// accepts nothing, or the retry loop could spin.
+			err = io.ErrNoProgress
+		}
+		if n > 0 {
+			e.noteSentBatch(shard, pass, n)
+			dsts = dsts[n:]
+			if e.logical {
+				ats = ats[n:]
+			}
+			stalls = 0
+			backoff = sendBackoffBase
+		}
+		if err == nil {
+			continue
+		}
+		e.sendErrs.Add(1)
+		e.metrics.sendErrs.Inc()
+		if len(dsts) == 0 {
+			// A transport error with every destination already accepted:
+			// nothing left to retry.
+			return true
+		}
+		if !TransientSendError(err) {
+			e.fail(fmt.Errorf("scanner: sending to %v: %w", dsts[0], err))
+			return false
+		}
+		stalls++
+		if stalls >= maxSendStalls {
+			e.fail(fmt.Errorf("scanner: sending to %v: transient send errors persisted across %d attempts: %w",
+				dsts[0], stalls, err))
+			return false
+		}
+		e.cfg.Clock.Sleep(backoff)
+		if backoff < sendBackoffMax {
+			backoff *= 2
+		}
+	}
+	return true
+}
+
+// dispatchSend hands dsts to the transport over the widest API it offers,
+// returning how many leading destinations were sent. Scalar transports are
+// driven in a loop that stops at the first error, so the caller sees the
+// same partial-progress contract in every mode.
+func (e *engine) dispatchSend(shard int, dsts []netip.Addr, ats []time.Time) (int, error) {
+	if e.logical {
+		if e.timedBatcher != nil {
+			n, err := e.timedBatcher.SendBatchAt(dsts, e.probe, ats)
+			e.noteBatchOp(n)
+			e.noteRTTSends(shard, dsts[:n], ats[:n], time.Time{})
+			return n, err
+		}
+		for i, dst := range dsts {
+			if err := e.timed.SendAt(dst, e.probe, ats[i]); err != nil {
+				e.noteRTTSends(shard, dsts[:i], ats[:i], time.Time{})
+				return i, err
+			}
+		}
+		e.noteRTTSends(shard, dsts, ats, time.Time{})
+		return len(dsts), nil
+	}
+	if e.batcher != nil {
+		var at time.Time
+		if e.sendLog != nil {
+			at = e.cfg.Clock.Now()
+		}
+		n, err := e.batcher.SendBatch(dsts, e.probe)
+		e.noteBatchOp(n)
+		e.noteRTTSends(shard, dsts[:n], nil, at)
+		return n, err
+	}
+	for i, dst := range dsts {
+		var at time.Time
+		if e.sendLog != nil {
+			at = e.cfg.Clock.Now()
+		}
+		if err := e.tr.Send(dst, e.probe); err != nil {
+			return i, err
+		}
+		e.noteRTTSend(shard, dst, at)
+	}
+	return len(dsts), nil
+}
+
+// paceBatch advances the worker's deadline timeline past a batch of n sent
+// probes and sleeps until the timeline is due. When the clock overshoots a
+// sleep, the next deadline arrives early and the sleep shrinks — the
+// overshoot is carried, not accumulated. A worker that has fallen more than
+// maxPaceDebt behind (a retry stall) forgives the excess backlog so the
+// catch-up burst stays bounded.
+func (e *engine) paceBatch(due time.Time, n int) time.Time {
+	due = due.Add(e.paceDuration(n))
+	now := e.cfg.Clock.Now()
+	if d := due.Sub(now); d > 0 {
+		e.cfg.Clock.Sleep(d)
+	} else if -d > maxPaceDebt {
+		due = now.Add(-maxPaceDebt)
+	}
+	return due
+}
+
+// observePaceLag publishes how far the worker's realized send timeline ended
+// up behind its deadline timeline. With deadline pacing this sits at ~0 (one
+// sleep's overshoot at most); the duration-per-batch pacer it replaced let
+// it grow linearly with pass length.
+func (e *engine) observePaceLag(due time.Time) {
+	if e.metrics.paceLag == nil {
+		return
+	}
+	e.metrics.paceLag.Set(e.cfg.Clock.Now().Sub(due).Seconds())
 }
 
 // endPass advances the campaign clock past the pass's send window plus the
@@ -329,6 +471,10 @@ func (e *engine) paceDuration(n int) time.Duration {
 // bookkeeping.
 func (e *engine) capture() {
 	defer e.captureWG.Done()
+	if e.recvBatcher != nil {
+		e.captureBatched()
+		return
+	}
 	for {
 		src, payload, at, err := e.tr.Recv()
 		if err != nil {
@@ -380,6 +526,89 @@ func (e *engine) capture() {
 		e.mu.Unlock()
 		e.received.Add(1)
 		e.metrics.received.Inc()
+	}
+}
+
+// captureRingLen sizes the capture goroutine's receive ring: large enough
+// to amortize the per-batch lock and wakeup over hundreds of datagrams,
+// small enough that the ring itself stays cache-resident.
+const captureRingLen = 256
+
+// captureBatched is capture over the transport's RecvBatch: one receive
+// operation, one arena pass, one lock acquisition and one drain wakeup per
+// batch of datagrams instead of per datagram.
+func (e *engine) captureBatched() {
+	ring := make([]Datagram, captureRingLen)
+	for {
+		n, err := e.recvBatcher.RecvBatch(ring)
+		if n > 0 {
+			e.consumeBatch(ring[:n])
+			// Clear consumed slots so the ring does not pin released
+			// transport buffers or retained payloads.
+			for i := 0; i < n; i++ {
+				ring[i] = Datagram{}
+			}
+		}
+		if err != nil {
+			e.mu.Lock()
+			if !errors.Is(err, io.EOF) {
+				e.recvErr = err
+			}
+			e.captureDone = true
+			e.drained.Broadcast()
+			e.mu.Unlock()
+			return
+		}
+	}
+}
+
+// consumeBatch records one batch of received datagrams: off-path rejection
+// and arena retention run outside the lock (compacting the keepers in
+// place), then a single locked section appends every keeper, maintains the
+// responder set, and advances the drain accounting once for the whole batch.
+func (e *engine) consumeBatch(ds []Datagram) {
+	var rejected uint64
+	kept := 0
+	for i := range ds {
+		d := ds[i]
+		if e.member != nil && !e.member.Contains(d.Src) {
+			if e.releaser != nil {
+				e.releaser.ReleasePayload(d.Payload)
+			}
+			rejected++
+			continue
+		}
+		if e.releaser != nil {
+			retained := e.arena.copyOf(d.Payload)
+			e.releaser.ReleasePayload(d.Payload)
+			d.Payload = retained
+		}
+		ds[kept] = d
+		kept++
+	}
+	e.mu.Lock()
+	for _, d := range ds[:kept] {
+		if len(e.respCur) == cap(e.respCur) {
+			if e.respCur != nil {
+				e.respChunks = append(e.respChunks, e.respCur)
+			}
+			e.respCur = make([]Response, 0, respChunkLen)
+		}
+		e.respCur = append(e.respCur, Response{Src: d.Src, Payload: d.Payload, At: d.At})
+		e.responders[d.Src] = struct{}{}
+	}
+	// Off-path rejects were still consumed from the transport's queue, so
+	// the quiesce barrier counts them too.
+	e.consumed += uint64(kept) + rejected
+	e.drained.Broadcast()
+	e.mu.Unlock()
+	if rejected > 0 {
+		e.offPath.Add(rejected)
+		e.metrics.offPath.Add(rejected)
+	}
+	if kept > 0 {
+		e.received.Add(uint64(kept))
+		e.metrics.received.Add(uint64(kept))
 	}
 }
 

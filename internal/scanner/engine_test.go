@@ -198,6 +198,65 @@ func TestScanCoordinatedPacing(t *testing.T) {
 	}
 }
 
+// overshootClock models a host whose sleeps systematically return late — the
+// real-world behavior of timer slack and scheduler latency. Every Sleep
+// overshoots its requested duration by a fixed amount.
+type overshootClock struct {
+	mu        sync.Mutex
+	now       time.Time
+	overshoot time.Duration
+}
+
+func (c *overshootClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *overshootClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d + c.overshoot)
+	c.mu.Unlock()
+}
+
+// TestScanPacingCarriesOvershoot pins the deadline-pacing bugfix: sleep
+// overshoot must be carried into the next batch's deadline, not accumulated
+// into rate sag. On a clock that overshoots every sleep by 5ms, the realized
+// send window must stay within one overshoot of the ideal n/Rate window; the
+// old sleep-a-duration pacer accumulated one overshoot per batch (+80ms over
+// this pass, ~8% under the target rate).
+func TestScanPacingCarriesOvershoot(t *testing.T) {
+	const overshoot = 5 * time.Millisecond
+	clock := &overshootClock{now: time.Unix(0, 0), overshoot: overshoot}
+	tr := newCountTransport(clock, nil)
+	targets, err := NewPrefixSpace([]netip.Prefix{netip.MustParsePrefix("10.0.0.0/22")}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Scan(tr, targets, Config{
+		Rate: 1000, Batch: 64, Timeout: time.Second, Clock: clock, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 1024 {
+		t.Fatalf("Sent = %d", res.Sent)
+	}
+	// Finished = send window + drain Timeout (whose own sleep overshoots once).
+	window := res.Finished.Sub(res.Started) - time.Second - overshoot
+	ideal := 1024 * time.Second / 1000
+	if window < ideal {
+		t.Errorf("send window %v shorter than ideal %v: pacing under-slept", window, ideal)
+	}
+	if lag := window - ideal; lag > 2*overshoot {
+		t.Errorf("send window %v exceeds ideal %v by %v: overshoot accumulated into rate sag (old pacer: ~%v)",
+			window, ideal, lag, 16*overshoot)
+	}
+}
+
 func TestRateClampKeepsPacing(t *testing.T) {
 	// Rate beyond 1e9 pps used to truncate the per-batch interval to zero,
 	// silently disabling pacing. fill() now clamps it.

@@ -23,7 +23,10 @@ type scanMetrics struct {
 	shardSent []*obs.Counter
 	inflight  *obs.Gauge
 	drift     *obs.Gauge
+	paceLag   *obs.Gauge
 	rtt       *obs.Histogram
+	batchSize *obs.Histogram
+	sysSaved  *obs.Counter
 	tracer    *obs.Tracer
 }
 
@@ -39,10 +42,13 @@ func newScanMetrics(reg *obs.Registry, clock vclock.Clock, workers int) *scanMet
 		sendErrs: reg.Counter("snmpfp_scan_send_errors_total"),
 		passes:   reg.Counter("snmpfp_scan_passes_total"),
 		timeouts: reg.Counter("snmpfp_scan_unanswered_total"),
-		inflight: reg.Gauge("snmpfp_scan_inflight_workers"),
-		drift:    reg.Gauge("snmpfp_scan_vclock_drift_seconds"),
-		rtt:      reg.Histogram("snmpfp_scan_probe_rtt_seconds", nil),
-		tracer:   obs.NewTracer(reg, clock),
+		inflight:  reg.Gauge("snmpfp_scan_inflight_workers"),
+		drift:     reg.Gauge("snmpfp_scan_vclock_drift_seconds"),
+		paceLag:   reg.Gauge("snmpfp_scan_pace_lag_seconds"),
+		rtt:       reg.Histogram("snmpfp_scan_probe_rtt_seconds", nil),
+		batchSize: reg.Histogram("snmpfp_scan_send_batch_datagrams", obs.ExpBuckets(1, 2, 12)),
+		sysSaved:  reg.Counter("snmpfp_scan_batch_syscalls_saved_total"),
+		tracer:    obs.NewTracer(reg, clock),
 	}
 	reg.Help("snmpfp_scan_probes_sent_total", "probes transmitted, retries included")
 	reg.Help("snmpfp_scan_retries_total", "probes re-sent by retry passes")
@@ -53,7 +59,10 @@ func newScanMetrics(reg *obs.Registry, clock vclock.Clock, workers int) *scanMet
 	reg.Help("snmpfp_scan_unanswered_total", "targets that never responded by campaign end")
 	reg.Help("snmpfp_scan_inflight_workers", "send workers currently running")
 	reg.Help("snmpfp_scan_vclock_drift_seconds", "campaign-clock elapsed minus wall elapsed")
+	reg.Help("snmpfp_scan_pace_lag_seconds", "per-worker realized send timeline behind the deadline timeline at pass end")
 	reg.Help("snmpfp_scan_probe_rtt_seconds", "probe-to-response round-trip time")
+	reg.Help("snmpfp_scan_send_batch_datagrams", "datagrams accepted per batch send operation")
+	reg.Help("snmpfp_scan_batch_syscalls_saved_total", "per-datagram send operations avoided by batching (n-1 per accepted batch)")
 	m.shardSent = make([]*obs.Counter, workers)
 	for i := range m.shardSent {
 		m.shardSent[i] = reg.Counter("snmpfp_scan_shard_probes_sent_total",
@@ -76,6 +85,37 @@ func (e *engine) noteRTTSend(shard int, addr netip.Addr, at time.Time) {
 		return
 	}
 	e.sendLog[shard] = append(e.sendLog[shard], sendRec{addr: addr, at: at})
+}
+
+// noteRTTSends logs a whole batch of transmissions. ats carries per-probe
+// logical send instants (logical mode); when ats is nil every probe is logged
+// at fallbackAt, the instant the batch call returned.
+func (e *engine) noteRTTSends(shard int, dsts []netip.Addr, ats []time.Time, fallbackAt time.Time) {
+	if e.sendLog == nil {
+		return
+	}
+	log := e.sendLog[shard]
+	for i, dst := range dsts {
+		at := fallbackAt
+		if ats != nil {
+			at = ats[i]
+		}
+		log = append(log, sendRec{addr: dst, at: at})
+	}
+	e.sendLog[shard] = log
+}
+
+// noteBatchOp records one accepted batch operation: the batch-size histogram
+// feeds the pps-vs-batch tuning curve, and every datagram beyond the first
+// is one per-datagram send operation (syscall, on real sockets) avoided.
+func (e *engine) noteBatchOp(n int) {
+	if n <= 0 {
+		return
+	}
+	e.metrics.batchSize.Observe(float64(n))
+	if n > 1 {
+		e.metrics.sysSaved.Add(uint64(n - 1))
+	}
 }
 
 // observePassRTTs runs after the pass's quiesce barrier: every response the

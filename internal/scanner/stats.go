@@ -44,19 +44,24 @@ type ShardProgress struct {
 	Done bool
 }
 
-// noteSent records one transmitted probe and fires the Progress callback on
-// interval boundaries.
-func (e *engine) noteSent(shard, pass int) {
-	e.shardSent[shard].Add(1)
-	e.metrics.shardSent[shard].Inc()
-	e.metrics.sent.Inc()
+// noteSentBatch records n transmitted probes in one step — one atomic add
+// per counter per batch instead of per probe — and fires the Progress
+// callback when the batch crosses a ProgressEvery boundary.
+func (e *engine) noteSentBatch(shard, pass, n int) {
+	un := uint64(n)
+	e.shardSent[shard].Add(un)
+	e.metrics.shardSent[shard].Add(un)
+	e.metrics.sent.Add(un)
 	if pass > 0 {
-		e.retried.Add(1)
-		e.metrics.retried.Inc()
+		e.retried.Add(un)
+		e.metrics.retried.Add(un)
 	}
-	n := e.sent.Add(1)
-	if e.cfg.Progress != nil && n%uint64(e.cfg.ProgressEvery) == 0 {
-		e.fireProgress(false)
+	total := e.sent.Add(un)
+	if e.cfg.Progress != nil {
+		every := uint64(e.cfg.ProgressEvery)
+		if (total-un)/every != total/every {
+			e.fireProgress(false)
+		}
 	}
 }
 

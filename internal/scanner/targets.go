@@ -63,6 +63,13 @@ type prefixSpace struct {
 	sorted []netip.Prefix
 	perm   *Permutation
 	total  uint64
+	// lut accelerates the per-probe index→prefix resolution: lut[b] is the
+	// last prefix whose flattened start is at or below block b's first
+	// index (blocks are 1<<lutShift indices wide), so NextPos starts a
+	// short forward scan there instead of binary-searching starts on every
+	// probe. Shards share it.
+	lut      []uint32
+	lutShift uint
 }
 
 // NewPrefixSpace builds a permuted target space over the union of the given
@@ -87,7 +94,34 @@ func NewPrefixSpaceShard(prefixes []netip.Prefix, seed int64, shard, totalShards
 	s.perm = perm
 	s.sorted = append([]netip.Prefix(nil), prefixes...)
 	sort.Slice(s.sorted, func(i, j int) bool { return s.sorted[i].Addr().Less(s.sorted[j].Addr()) })
+	s.buildLUT()
 	return s, nil
+}
+
+// buildLUT sizes the block table at up to four blocks per prefix — the
+// average forward scan from a block's entry is then a step or two — and
+// fills it with a single pass over starts. Table memory is bounded by the
+// prefix count, never by the address count.
+func (s *prefixSpace) buildLUT() {
+	if s.total == 0 || len(s.starts) == 0 {
+		return
+	}
+	maxBlocks := uint64(len(s.starts)) * 4
+	var shift uint
+	for s.total>>shift > maxBlocks {
+		shift++
+	}
+	s.lutShift = shift
+	nblocks := (s.total-1)>>shift + 1
+	s.lut = make([]uint32, nblocks)
+	pi := 0
+	for b := uint64(0); b < nblocks; b++ {
+		first := b << shift
+		for pi+1 < len(s.starts) && s.starts[pi+1] <= first {
+			pi++
+		}
+		s.lut[b] = uint32(pi)
+	}
 }
 
 // Contains implements MembershipSpace by binary search over the prefixes
@@ -112,7 +146,10 @@ func (s *prefixSpace) Shard(shard, totalShards int) (TargetSpace, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &prefixSpace{prefixes: s.prefixes, starts: s.starts, sorted: s.sorted, perm: perm, total: s.total}, nil
+	return &prefixSpace{
+		prefixes: s.prefixes, starts: s.starts, sorted: s.sorted,
+		perm: perm, total: s.total, lut: s.lut, lutShift: s.lutShift,
+	}, nil
 }
 
 func (s *prefixSpace) Next() (netip.Addr, bool) {
@@ -125,15 +162,13 @@ func (s *prefixSpace) NextPos() (netip.Addr, uint64, bool) {
 	if !ok {
 		return netip.Addr{}, 0, false
 	}
-	// Binary search for the containing prefix.
-	lo, hi := 0, len(s.starts)-1
-	for lo < hi {
-		mid := (lo + hi + 1) / 2
-		if s.starts[mid] <= idx {
-			lo = mid
-		} else {
-			hi = mid - 1
-		}
+	// Containing-prefix resolution: jump to the block's last-known prefix
+	// and scan forward. The permutation visits indices in pseudo-random
+	// order, so a cache-friendly near-constant lookup beats re-running a
+	// full binary search on every probe.
+	lo := int(s.lut[idx>>s.lutShift])
+	for lo+1 < len(s.starts) && s.starts[lo+1] <= idx {
+		lo++
 	}
 	return iputil.NthAddr(s.prefixes[lo], idx-s.starts[lo]), pos, true
 }

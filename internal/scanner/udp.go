@@ -2,16 +2,22 @@ package scanner
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"net/netip"
+	"syscall"
 	"time"
 
 	"snmpv3fp/internal/bufpool"
 )
 
 // UDPTransport sends probes over a real UDP socket — the transport a live
-// campaign (and the loopback integration tests and examples) uses.
+// campaign (and the loopback integration tests and examples) uses. It
+// implements BatchSender and BatchReceiver: on linux/amd64 and linux/arm64
+// the batch paths use sendmmsg/recvmmsg to move many datagrams per syscall;
+// elsewhere they fall back to portable per-datagram loops (udp_mmsg_fallback.go)
+// so callers can use the batch API unconditionally.
 type UDPTransport struct {
 	conn *net.UDPConn
 	// Port is the destination port, 161 for SNMP.
@@ -21,7 +27,16 @@ type UDPTransport struct {
 	// silently truncated into corrupt BER) and returns a payload slice of
 	// it; ReleasePayload returns the buffer for reuse. Callers that never
 	// release degrade to the old allocate-per-datagram behavior.
+	//
+	// RecvBatch leases rings of these buffers via GetBatch; ownership is
+	// per-datagram and identical to Recv's contract.
 	pool *bufpool.Pool
+	// raw is the connection's syscall.RawConn, cached at construction for
+	// the sendmmsg/recvmmsg paths (obtaining it per batch would allocate).
+	raw syscall.RawConn
+	// family6 records whether the socket is AF_INET6 (the default wildcard
+	// bind): batch sends must then address IPv4 targets as v4-mapped IPv6.
+	family6 bool
 }
 
 // maxUDPPayload is the largest payload an IPv4/IPv6 UDP datagram can carry.
@@ -41,7 +56,19 @@ func NewUDPTransport(port uint16) (*UDPTransport, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &UDPTransport{conn: conn, port: port, pool: bufpool.New(recvPoolSize, maxUDPPayload)}, nil
+	raw, err := conn.SyscallConn()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	local := conn.LocalAddr().(*net.UDPAddr).AddrPort().Addr()
+	return &UDPTransport{
+		conn:    conn,
+		port:    port,
+		pool:    bufpool.New(recvPoolSize, maxUDPPayload),
+		raw:     raw,
+		family6: !local.Is4(),
+	}, nil
 }
 
 // LocalAddr returns the bound source address.
@@ -49,10 +76,18 @@ func (t *UDPTransport) LocalAddr() netip.AddrPort {
 	return t.conn.LocalAddr().(*net.UDPAddr).AddrPort()
 }
 
-// Send implements Transport.
+// Send implements Transport. A short write — the kernel accepting fewer
+// bytes than the payload — would put corrupt BER on the wire; it is reported
+// as an error rather than silently ignored.
 func (t *UDPTransport) Send(dst netip.Addr, payload []byte) error {
-	_, err := t.conn.WriteToUDPAddrPort(payload, netip.AddrPortFrom(dst, t.port))
-	return err
+	n, err := t.conn.WriteToUDPAddrPort(payload, netip.AddrPortFrom(dst, t.port))
+	if err != nil {
+		return err
+	}
+	if n != len(payload) {
+		return fmt.Errorf("scanner: short write to %v: %d of %d bytes", dst, n, len(payload))
+	}
+	return nil
 }
 
 // Recv implements Transport. The receive timestamp is taken as the datagram
@@ -73,6 +108,24 @@ func (t *UDPTransport) Recv() (netip.Addr, []byte, time.Time, error) {
 		return netip.Addr{}, nil, time.Time{}, err
 	}
 	return from.Addr().Unmap(), buf[:n], time.Now(), nil
+}
+
+// SendBatch implements BatchSender: one payload to every destination in
+// dsts, using sendmmsg where available. It returns the number of leading
+// destinations sent; n < len(dsts) implies err != nil. Per-message byte
+// counts are checked — a short write inside an otherwise-successful
+// sendmmsg is surfaced as an error at its offset, never silently skipped.
+func (t *UDPTransport) SendBatch(dsts []netip.Addr, payload []byte) (int, error) {
+	return t.sendBatch(dsts, payload)
+}
+
+// RecvBatch implements BatchReceiver: it blocks for at least one datagram,
+// then drains as many as are immediately available (recvmmsg where possible)
+// into into, up to len(into). Each filled Datagram's payload is a pooled
+// buffer under the same ownership contract as Recv — release each exactly
+// once via ReleasePayload. Returns io.EOF after Close.
+func (t *UDPTransport) RecvBatch(into []Datagram) (int, error) {
+	return t.recvBatch(into)
 }
 
 // ReleasePayload implements PayloadReleaser: it returns a payload obtained

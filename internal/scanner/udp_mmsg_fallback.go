@@ -1,0 +1,30 @@
+//go:build !linux || !(amd64 || arm64)
+
+package scanner
+
+import "net/netip"
+
+// Portable fallbacks for platforms without the raw sendmmsg/recvmmsg path:
+// the batch API stays available everywhere, it just degrades to per-datagram
+// calls, so callers never need their own build-tagged dispatch.
+
+func (t *UDPTransport) sendBatch(dsts []netip.Addr, payload []byte) (int, error) {
+	for i, dst := range dsts {
+		if err := t.Send(dst, payload); err != nil {
+			return i, err
+		}
+	}
+	return len(dsts), nil
+}
+
+func (t *UDPTransport) recvBatch(into []Datagram) (int, error) {
+	if len(into) == 0 {
+		return 0, nil
+	}
+	src, payload, at, err := t.Recv()
+	if err != nil {
+		return 0, err
+	}
+	into[0] = Datagram{Src: src, Payload: payload, At: at}
+	return 1, nil
+}

@@ -1,0 +1,210 @@
+//go:build linux && (amd64 || arm64)
+
+package scanner
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// Batched UDP I/O over sendmmsg(2)/recvmmsg(2). The Go standard library
+// exposes neither call, and this module deliberately carries no external
+// dependencies (no golang.org/x/sys), so the two syscalls are invoked raw:
+// per-architecture syscall numbers live in udp_mmsg_linux_{amd64,arm64}.go
+// and the mmsghdr layout is declared here. The implementation is gated to
+// 64-bit Linux because syscall.Msghdr's Iovlen/Controllen widths are
+// arch-dependent; every other platform takes the portable loop in
+// udp_mmsg_fallback.go.
+
+// mmsgChunk bounds how many messages one sendmmsg/recvmmsg call carries.
+// The per-call header/iovec/sockaddr scratch lives on the stack, so the
+// bound also caps stack growth (~128 × ~100 B ≈ 13 KiB per array set).
+const mmsgChunk = 128
+
+// mmsghdr mirrors the kernel's struct mmsghdr: a msghdr plus the
+// kernel-filled per-message byte count, padded to 8-byte alignment on the
+// 64-bit targets this file builds for.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// putPort stores port into a sockaddr port field in network byte order,
+// independent of host endianness.
+func putPort(dst *uint16, port uint16) {
+	p := (*[2]byte)(unsafe.Pointer(dst))
+	p[0] = byte(port >> 8)
+	p[1] = byte(port)
+}
+
+// sockaddrAddr recovers the source address from a kernel-filled sockaddr
+// buffer (declared as the larger RawSockaddrInet6; AF_INET reinterprets).
+func sockaddrAddr(sa *syscall.RawSockaddrInet6) netip.Addr {
+	if sa.Family == syscall.AF_INET {
+		sa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		return netip.AddrFrom4(sa4.Addr)
+	}
+	return netip.AddrFrom16(sa.Addr).Unmap()
+}
+
+// sendBatch is the sendmmsg implementation behind SendBatch: it walks dsts
+// in mmsgChunk-sized runs, retrying partially-accepted runs, and returns on
+// the first error with the count of destinations confirmed sent.
+func (t *UDPTransport) sendBatch(dsts []netip.Addr, payload []byte) (int, error) {
+	sent := 0
+	for sent < len(dsts) {
+		run := dsts[sent:]
+		if len(run) > mmsgChunk {
+			run = run[:mmsgChunk]
+		}
+		n, err := t.sendmmsgChunk(run, payload)
+		sent += n
+		if err != nil {
+			return sent, err
+		}
+		if n == 0 {
+			// sendmmsg reported success but accepted nothing; bail rather
+			// than spin (should be impossible — a failing first message
+			// surfaces as an errno).
+			return sent, io.ErrNoProgress
+		}
+	}
+	return sent, nil
+}
+
+func (t *UDPTransport) sendmmsgChunk(dsts []netip.Addr, payload []byte) (int, error) {
+	var (
+		hdrs  [mmsgChunk]mmsghdr
+		names [mmsgChunk]syscall.RawSockaddrInet6
+		iov   [mmsgChunk]syscall.Iovec
+	)
+	k := len(dsts)
+	for i, dst := range dsts {
+		if len(payload) > 0 {
+			iov[i].Base = &payload[0]
+			iov[i].SetLen(len(payload))
+		}
+		h := &hdrs[i].hdr
+		h.Iov = &iov[i]
+		h.Iovlen = 1
+		if t.family6 {
+			// Wildcard sockets are AF_INET6; IPv4 targets go v4-mapped.
+			sa := &names[i]
+			sa.Family = syscall.AF_INET6
+			putPort(&sa.Port, t.port)
+			sa.Addr = dst.As16()
+			h.Name = (*byte)(unsafe.Pointer(sa))
+			h.Namelen = uint32(unsafe.Sizeof(*sa))
+		} else {
+			sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(&names[i]))
+			sa.Family = syscall.AF_INET
+			putPort(&sa.Port, t.port)
+			sa.Addr = dst.Unmap().As4()
+			h.Name = (*byte)(unsafe.Pointer(sa))
+			h.Namelen = uint32(unsafe.Sizeof(*sa))
+		}
+	}
+	var (
+		n     int
+		errno syscall.Errno
+	)
+	werr := t.raw.Write(func(fd uintptr) bool {
+		r1, _, e := syscall.Syscall6(sysSendmmsg, fd,
+			uintptr(unsafe.Pointer(&hdrs[0])), uintptr(k), 0, 0, 0)
+		if e == syscall.EAGAIN || e == syscall.EWOULDBLOCK {
+			// Unwritable socket: park on the runtime poller and retry when
+			// writable instead of bubbling EAGAIN per call.
+			return false
+		}
+		n, errno = int(r1), e
+		return true
+	})
+	if werr != nil {
+		return 0, werr
+	}
+	if errno != 0 {
+		return 0, fmt.Errorf("scanner: sendmmsg: %w", errno)
+	}
+	// The kernel accepted n messages; verify each went out whole. A short
+	// write inside an accepted message would put truncated BER on the wire
+	// with no errno — surface it against the offending destination.
+	for i := 0; i < n; i++ {
+		if int(hdrs[i].n) != len(payload) {
+			return i, fmt.Errorf("scanner: short write to %v: %d of %d bytes",
+				dsts[i], hdrs[i].n, len(payload))
+		}
+	}
+	return n, nil
+}
+
+// recvBatch is the recvmmsg implementation behind RecvBatch: it blocks on
+// the runtime poller for the first datagram, then drains whatever else is
+// immediately queued, up to len(into) (capped at mmsgChunk per call).
+func (t *UDPTransport) recvBatch(into []Datagram) (int, error) {
+	if len(into) == 0 {
+		return 0, nil
+	}
+	var (
+		hdrs  [mmsgChunk]mmsghdr
+		names [mmsgChunk]syscall.RawSockaddrInet6
+		iov   [mmsgChunk]syscall.Iovec
+		bufs  [mmsgChunk][]byte
+	)
+	k := len(into)
+	if k > mmsgChunk {
+		k = mmsgChunk
+	}
+	ring := bufs[:k]
+	t.pool.GetBatch(ring)
+	for i := range ring {
+		iov[i].Base = &ring[i][0]
+		iov[i].SetLen(len(ring[i]))
+		h := &hdrs[i].hdr
+		h.Iov = &iov[i]
+		h.Iovlen = 1
+		h.Name = (*byte)(unsafe.Pointer(&names[i]))
+		h.Namelen = uint32(unsafe.Sizeof(names[i]))
+	}
+	var (
+		n     int
+		errno syscall.Errno
+	)
+	rerr := t.raw.Read(func(fd uintptr) bool {
+		r1, _, e := syscall.Syscall6(sysRecvmmsg, fd,
+			uintptr(unsafe.Pointer(&hdrs[0])), uintptr(k),
+			syscall.MSG_DONTWAIT, 0, 0)
+		if e == syscall.EAGAIN || e == syscall.EWOULDBLOCK {
+			return false // nothing queued: block on the poller
+		}
+		n, errno = int(r1), e
+		return true
+	})
+	at := time.Now()
+	if rerr != nil || errno != 0 {
+		t.pool.PutBatch(ring)
+		if rerr == nil {
+			return 0, fmt.Errorf("scanner: recvmmsg: %w", errno)
+		}
+		if errors.Is(rerr, net.ErrClosed) {
+			rerr = io.EOF
+		}
+		return 0, rerr
+	}
+	for i := 0; i < n; i++ {
+		into[i] = Datagram{
+			Src:     sockaddrAddr(&names[i]),
+			Payload: ring[i][:hdrs[i].n],
+			At:      at,
+		}
+		ring[i] = nil // ownership moved to the caller
+	}
+	t.pool.PutBatch(ring) // return the unfilled tail
+	return n, nil
+}

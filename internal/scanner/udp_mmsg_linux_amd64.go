@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package scanner
+
+// Syscall numbers for linux/amd64. SYS_SENDMMSG is absent from the frozen
+// syscall package's zsysnum table on this arch, so both are pinned here.
+const (
+	sysSendmmsg = 307
+	sysRecvmmsg = 299
+)

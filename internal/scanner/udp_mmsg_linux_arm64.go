@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package scanner
+
+// Syscall numbers for linux/arm64 (asm-generic table).
+const (
+	sysSendmmsg = 269
+	sysRecvmmsg = 243
+)

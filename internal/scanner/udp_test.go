@@ -2,11 +2,110 @@ package scanner
 
 import (
 	"bytes"
+	"fmt"
 	"net"
 	"net/netip"
 	"testing"
 	"time"
 )
+
+// TestUDPTransportBatchRoundTrip drives the batched socket path end to end
+// over loopback: one SendBatch fans a probe out to the peer (sendmmsg on
+// Linux, the portable loop elsewhere), the peer echoes a distinct payload per
+// datagram, and RecvBatch collects the echoes from the leased buffer ring.
+func TestUDPTransportBatchRoundTrip(t *testing.T) {
+	peer, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	defer peer.Close()
+	port := uint16(peer.LocalAddr().(*net.UDPAddr).Port)
+
+	tr, err := NewUDPTransport(port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	const fanout = 200 // larger than one sendmmsg chunk
+	probe := []byte("probe-payload")
+	dsts := make([]netip.Addr, fanout)
+	for i := range dsts {
+		dsts[i] = netip.MustParseAddr("127.0.0.1")
+	}
+
+	echoed := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 2048)
+		for i := 0; i < fanout; i++ {
+			n, from, err := peer.ReadFromUDPAddrPort(buf)
+			if err != nil {
+				echoed <- err
+				return
+			}
+			if !bytes.Equal(buf[:n], probe) {
+				echoed <- fmt.Errorf("datagram %d: peer received %q, want %q", i, buf[:n], probe)
+				return
+			}
+			if _, err := peer.WriteToUDPAddrPort([]byte(fmt.Sprintf("echo-%03d", i)), from); err != nil {
+				echoed <- err
+				return
+			}
+		}
+		echoed <- nil
+	}()
+
+	sent := 0
+	for sent < fanout {
+		n, err := tr.SendBatch(dsts[sent:], probe)
+		sent += n
+		if err != nil {
+			if TransientSendError(err) {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			t.Fatalf("SendBatch after %d: %v", sent, err)
+		}
+	}
+	select {
+	case err := <-echoed:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer echo timed out")
+	}
+
+	seen := make(map[string]bool)
+	ring := make([]Datagram, 32)
+	deadline := time.Now().Add(5 * time.Second)
+	for len(seen) < fanout {
+		if time.Now().After(deadline) {
+			t.Fatalf("collected %d of %d echoes before timeout", len(seen), fanout)
+		}
+		n, err := tr.RecvBatch(ring)
+		if err != nil {
+			t.Fatalf("RecvBatch: %v", err)
+		}
+		for i := 0; i < n; i++ {
+			d := ring[i]
+			if d.Src != netip.MustParseAddr("127.0.0.1") {
+				t.Fatalf("echo from %v", d.Src)
+			}
+			if d.At.IsZero() {
+				t.Fatal("datagram missing receive timestamp")
+			}
+			seen[string(d.Payload)] = true
+			tr.ReleasePayload(d.Payload)
+			ring[i] = Datagram{}
+		}
+	}
+	for i := 0; i < fanout; i++ {
+		if key := fmt.Sprintf("echo-%03d", i); !seen[key] {
+			t.Errorf("echo %q never received", key)
+		}
+	}
+}
 
 func TestUDPTransportLargeDatagram(t *testing.T) {
 	// Regression for the fixed 2048-byte receive buffer: a response larger
