@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-smoke bench-gate bench-json bench-serve-json smoke-serve metrics-smoke durability-smoke reproduce examples ci fuzz-smoke clean
+.PHONY: all build vet test test-short race bench bench-smoke bench-gate bench-json bench-serve-json smoke-serve metrics-smoke durability-smoke dist-smoke reproduce examples ci fuzz-smoke clean
 
 all: build vet test
 
@@ -32,13 +32,14 @@ ci:
 	$(MAKE) smoke-serve
 	$(MAKE) metrics-smoke
 	$(MAKE) durability-smoke
+	$(MAKE) dist-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) bench-gate
 
 # 10 seconds of native fuzzing per target. go test accepts one -fuzz target
 # per invocation, so loop over every FuzzXxx the fuzzing packages list.
 fuzz-smoke:
-	@for pkg in ./internal/ber ./internal/snmp; do \
+	@for pkg in ./internal/ber ./internal/snmp ./internal/vantage; do \
 		for t in $$($(GO) test $$pkg -list '^Fuzz' | grep '^Fuzz'); do \
 			echo "fuzz $$pkg $$t"; \
 			$(GO) test $$pkg -run '^$$' -fuzz "^$$t$$" -fuzztime 10s || exit 1; \
@@ -102,6 +103,15 @@ metrics-smoke:
 # exactly once (internal/store/kill_test.go), under the race detector.
 durability-smoke:
 	$(GO) test -race -run TestKillDuringIngest -count=1 -v ./internal/store
+
+# Distributed smoke: build snmpcoord and snmpscan, spawn one coordinator and
+# three vantage worker processes over loopback TCP against a seeded netsim
+# world (one worker rigged to die mid-campaign), and verify the merged
+# campaign output is byte-identical to a single-process scan, the shutdown
+# is clean, and the merged campaign landed in the durable store
+# (internal/vantage/dist_smoke_test.go), under the race detector.
+dist-smoke:
+	$(GO) test -race -run TestDistSmoke -count=1 -v ./internal/vantage
 
 # The complete evaluation, paper order, full scale.
 reproduce:

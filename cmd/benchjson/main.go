@@ -12,18 +12,21 @@
 // manually with `make bench-json` on a quiet machine.
 //
 // With -gate FACTOR the command regresses instead of refreshing: it re-runs
-// ScanCampaign and exits nonzero when the measured ns/op exceeds the
-// checked-in BENCH_scan.json entry by more than FACTOR (CI uses 1.15 via
-// `make bench-gate`).
+// one gated benchmark per suite — ScanCampaign, StoreDurableIngest and
+// ServeIP — and exits nonzero when any measured ns/op exceeds its
+// checked-in BENCH_*.json entry by more than FACTOR times the gate's
+// per-suite noise headroom (CI uses 1.15 via `make bench-gate`).
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 
 	"snmpv3fp/internal/benchsuite"
@@ -144,35 +147,69 @@ func runSuite(name string, defs []benchDef) File {
 	return f
 }
 
-// gateScanCampaign is the CI regression gate: it re-measures ScanCampaign
-// and compares against the checked-in BENCH_scan.json. A run slower than
-// factor times the recorded ns/op fails. The headroom absorbs machine noise;
-// a real hot-path regression overshoots it immediately.
-func gateScanCampaign(dir string, factor float64) error {
-	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_scan.json"))
+// gateDef is one CI regression gate: a benchmark re-measured against its
+// checked-in BENCH_<suite>.json entry. headroom scales the global gate
+// factor per suite — the scan campaign is long and stable so it gets none,
+// the durable-store arm jitters with fsync latency, and the serve
+// microbenchmarks run in microseconds where scheduler noise dominates.
+type gateDef struct {
+	suite    string
+	bench    string
+	fn       func(*testing.B)
+	headroom float64
+}
+
+var gates = []gateDef{
+	{"scan", "ScanCampaign", benchsuite.ScanCampaign, 1.0},
+	{"store", "StoreDurableIngest", benchsuite.StoreDurableIngest, 1.2},
+	{"serve", "ServeIP", benchsuite.ServeIP, 1.5},
+}
+
+// baselineNsPerOp reads one benchmark's recorded ns/op from the checked-in
+// BENCH_<suite>.json.
+func baselineNsPerOp(dir, suite, bench string) (int64, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_"+suite+".json"))
 	if err != nil {
-		return fmt.Errorf("reading baseline: %w", err)
+		return 0, fmt.Errorf("reading baseline: %w", err)
 	}
 	var f File
 	if err := json.Unmarshal(raw, &f); err != nil {
-		return fmt.Errorf("parsing baseline: %w", err)
+		return 0, fmt.Errorf("parsing baseline: %w", err)
 	}
-	var base int64
 	for _, e := range f.Benchmarks {
-		if e.Name == "ScanCampaign" {
-			base = e.NsPerOp
+		if e.Name == bench {
+			if e.NsPerOp <= 0 {
+				break
+			}
+			return e.NsPerOp, nil
 		}
 	}
-	if base <= 0 {
-		return fmt.Errorf("no ScanCampaign entry in BENCH_scan.json")
+	return 0, fmt.Errorf("no usable %s entry in BENCH_%s.json", bench, suite)
+}
+
+// gateAll is the CI regression gate: every gated benchmark is re-measured
+// and compared against its checked-in baseline. A run slower than factor
+// times headroom times the recorded ns/op fails; all gates run even after
+// a failure so one CI pass reports every regression at once.
+func gateAll(dir string, factor float64) error {
+	var failures []string
+	for _, g := range gates {
+		base, err := baselineNsPerOp(dir, g.suite, g.bench)
+		if err != nil {
+			return err
+		}
+		got := testing.Benchmark(g.fn).NsPerOp()
+		limit := int64(float64(base) * factor * g.headroom)
+		fmt.Printf("gate: %-18s %12d ns/op, baseline %12d ns/op, limit %.2fx = %d ns/op\n",
+			g.bench, got, base, factor*g.headroom, limit)
+		if got > limit {
+			failures = append(failures,
+				fmt.Sprintf("%s regressed: %d ns/op > %d ns/op (%.2fx baseline)",
+					g.bench, got, limit, factor*g.headroom))
+		}
 	}
-	r := testing.Benchmark(benchsuite.ScanCampaign)
-	got := r.NsPerOp()
-	limit := int64(float64(base) * factor)
-	fmt.Printf("gate: ScanCampaign %d ns/op, baseline %d ns/op, limit %.2fx = %d ns/op\n",
-		got, base, factor, limit)
-	if got > limit {
-		return fmt.Errorf("ScanCampaign regressed: %d ns/op > %d ns/op (%.2fx baseline)", got, limit, factor)
+	if len(failures) > 0 {
+		return errors.New(strings.Join(failures, "; "))
 	}
 	return nil
 }
@@ -180,10 +217,10 @@ func gateScanCampaign(dir string, factor float64) error {
 func main() {
 	dir := flag.String("dir", ".", "directory to write the BENCH_*.json files into")
 	only := flag.String("suite", "", "run a single suite (scan, store or serve) instead of all three")
-	gate := flag.Float64("gate", 0, "regression-gate mode: re-run ScanCampaign and fail if ns/op exceeds the checked-in BENCH_scan.json by this factor (e.g. 1.15); 0 refreshes the baselines instead")
+	gate := flag.Float64("gate", 0, "regression-gate mode: re-run the gated benchmarks (scan campaign, durable store ingest, serve latency) and fail if any exceeds its checked-in baseline by this factor times its per-suite headroom (CI uses 1.15); 0 refreshes the baselines instead")
 	flag.Parse()
 	if *gate > 0 {
-		if err := gateScanCampaign(*dir, *gate); err != nil {
+		if err := gateAll(*dir, *gate); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}

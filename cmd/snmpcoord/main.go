@@ -1,0 +1,166 @@
+// Command snmpcoord coordinates a distributed scan campaign: it listens for
+// snmpscan -vantage workers, leases them ZMap-style shards of the simulated
+// target space, folds their streamed partial results into one campaign —
+// byte-identical to a single-process scan of the same seed and
+// configuration — and prints the merged campaign exactly as snmpscan would.
+//
+//	snmpcoord -listen 127.0.0.1:7161 -shards 8 -sim-seed 7 &
+//	snmpscan -vantage 127.0.0.1:7161 -vantage-name eu-west &
+//	snmpscan -vantage 127.0.0.1:7161 -vantage-name us-east &
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"snmpv3fp/internal/core"
+	"snmpv3fp/internal/netsim"
+	"snmpv3fp/internal/obs"
+	"snmpv3fp/internal/records"
+	"snmpv3fp/internal/store"
+	"snmpv3fp/internal/vantage"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "TCP address to accept vantage connections on")
+	addrFile := flag.String("addr-file", "", "write the bound listen address to this file (for scripted vantage launch)")
+	shards := flag.Int("shards", 4, "number of shard leases to split the target space into")
+	viewpoints := flag.Int("viewpoints", 1, "vantage viewpoints per shard (viewpoint 0 is the merged reference)")
+	rate := flag.Int("rate", 5000, "probe rate (packets per second)")
+	timeout := flag.Duration("timeout", 0, "post-send drain timeout (0 = engine default)")
+	seed := flag.Int64("seed", 1, "campaign permutation seed")
+	workers := flag.Int("workers", 1, "send workers per vantage scan")
+	retries := flag.Int("retries", 0, "extra passes re-probing non-responders")
+	simSeed := flag.Int64("sim-seed", 1, "simulated world seed")
+	simScan := flag.Int("sim-scan", 1, "simulated campaign number: 1 (day 15) or 2 (day 21)")
+	simHostile := flag.Bool("sim-hostile", false, "route the campaign through the hostile path-fault layer")
+	simFull := flag.Bool("sim-full", false, "scan the full-size simulated world instead of the tiny one")
+	heartbeatTTL := flag.Duration("heartbeat-ttl", 5*time.Second, "re-lease a shard after this much vantage silence")
+	storeDir := flag.String("store", "", "ingest the merged campaign into a durable store at this directory")
+	jsonOut := flag.Bool("json", false, "emit NDJSON records instead of text")
+	metrics := flag.Bool("metrics", false, "dump coordinator metrics to stderr after the merge")
+	quiet := flag.Bool("quiet", false, "suppress progress logging on stderr")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	day := 15
+	if *simScan == 2 {
+		day = 21
+	}
+	var faults *netsim.FaultProfile
+	if *simHostile {
+		faults = netsim.HostileProfile()
+	}
+	cfg := vantage.CoordConfig{
+		Spec: vantage.CampaignSpec{
+			CampaignSeed: *seed,
+			SimSeed:      *simSeed,
+			SimFull:      *simFull,
+			ScanDay:      day,
+			ScanEpochs:   *simScan,
+			Rate:         *rate,
+			Workers:      *workers,
+			Retries:      *retries,
+			Timeout:      *timeout,
+			TotalShards:  *shards,
+			Faults:       faults,
+		},
+		Viewpoints:   *viewpoints,
+		HeartbeatTTL: *heartbeatTTL,
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "snmpcoord: "+format+"\n", args...)
+		}
+	}
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+	if *storeDir != "" {
+		st, err := store.Open(store.Options{Dir: *storeDir, Obs: reg})
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		cfg.Store = st
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "snmpcoord: listening on %s\n", l.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(l.Addr().String()+"\n"), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	coord := vantage.NewCoordinator(cfg)
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		coord.Serve(l)
+	}()
+	out, err := coord.Wait(ctx)
+	// Stop accepting and let every handler finish its CampaignDone goodbye
+	// before printing, so vantage processes always see a clean shutdown.
+	l.Close()
+	<-serveDone
+	if err != nil {
+		fatal(err)
+	}
+
+	emit(out.Campaign, *jsonOut)
+	for _, a := range out.Agreement[1:] {
+		fmt.Fprintf(os.Stderr, "viewpoint %d: %d responders, %d shared with reference\n",
+			a.Viewpoint, a.Responders, a.SharedWithRef)
+	}
+	if cfg.Store != nil {
+		fmt.Fprintf(os.Stderr, "stored campaign %d (%d observations)\n", out.CampaignSeq, len(out.Campaign.ByIP))
+	}
+	if *metrics {
+		if err := reg.WritePrometheus(os.Stderr); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func emit(c *core.Campaign, jsonOut bool) {
+	if jsonOut {
+		if err := records.WriteCampaign(os.Stdout, c); err != nil {
+			fatal(err)
+		}
+	} else {
+		printCampaign(c)
+	}
+	fmt.Fprintf(os.Stderr, "%d responsive IPs, %d response packets (%d malformed, %d truncated, %d mismatched msgID, %d duplicates, %d off-path rejected)\n",
+		len(c.ByIP), c.TotalPackets, c.Malformed, c.Truncated, c.Mismatched, c.Duplicates, c.OffPath)
+}
+
+func printCampaign(c *core.Campaign) {
+	out := make([]*core.Observation, 0, len(c.ByIP))
+	for _, o := range c.ByIP {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].IP.Less(out[j].IP) })
+	for _, o := range out {
+		fp := core.FingerprintEngineID(o.EngineID)
+		fmt.Printf("%-40v engineID=0x%x boots=%d time=%d lastReboot=%s vendor=%s\n",
+			o.IP, o.EngineID, o.EngineBoots, o.EngineTime,
+			o.LastReboot().UTC().Format(time.RFC3339), fp.VendorLabel())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "snmpcoord: %v\n", err)
+	os.Exit(1)
+}

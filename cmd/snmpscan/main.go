@@ -17,6 +17,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/netip"
 	"os"
 	"os/signal"
@@ -29,6 +30,7 @@ import (
 	"snmpv3fp/internal/netsim"
 	"snmpv3fp/internal/records"
 	"snmpv3fp/internal/scanner"
+	"snmpv3fp/internal/vantage"
 )
 
 func main() {
@@ -48,12 +50,21 @@ func main() {
 	simSeed := flag.Int64("sim-seed", 1, "simulated world seed")
 	simScan := flag.Int("sim-scan", 1, "simulated campaign number: 1 (day 15) or 2 (day 21)")
 	simHostile := flag.Bool("sim-hostile", false, "run the simulated scan through the hostile path-fault layer")
+	coordAddr := flag.String("vantage", "", "run as a vantage worker for the snmpcoord coordinator at this address")
+	vantageName := flag.String("vantage-name", "", "vantage name reported to the coordinator (default hostname/pid)")
+	killShards := flag.Int("vantage-kill-shards", 0, "test hook: sever the coordinator connection after completing N shards")
+	killPartials := flag.Int("vantage-kill-partials", 0, "test hook: sever the coordinator connection after streaming N partial chunks")
 	flag.Parse()
 
 	// Ctrl-C drains the scan workers mid-campaign instead of killing the
 	// process with responses unhandled.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *coordAddr != "" {
+		runVantage(ctx, *coordAddr, *vantageName, *killShards, *killPartials)
+		return
+	}
 
 	eng := engineConfig{workers: *workers, retries: *retries, progress: *progress}
 	if *sim {
@@ -123,6 +134,31 @@ func printProgress(s snmpv3fp.ScanSnapshot) {
 	fmt.Fprintf(os.Stderr,
 		"pass %d: sent %d/%d (retried %d), received %d (off-path %d), %.0f probes/s across %d shards\n",
 		s.Pass+1, s.Sent, s.Targets, s.Retried, s.Received, s.OffPath, s.AchievedRate, len(s.Shards))
+}
+
+// runVantage turns this process into a vantage worker: it dials the
+// coordinator, receives the campaign spec, and scans leased shards of the
+// simulated world until the coordinator says the campaign is done. The
+// campaign's parameters all come from the coordinator; local scan flags are
+// ignored.
+func runVantage(ctx context.Context, addr, name string, killShards, killPartials int) {
+	if name == "" {
+		host, _ := os.Hostname()
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	err = vantage.RunNode(ctx, conn, vantage.NodeConfig{
+		Name:              name,
+		KillAfterShards:   killShards,
+		KillAfterPartials: killPartials,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "snmpscan: vantage %s: campaign complete\n", name)
 }
 
 func scanSim(ctx context.Context, simSeed int64, simScan, rate int, seed int64, jsonOut, hostile bool, eng engineConfig) {

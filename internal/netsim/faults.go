@@ -91,6 +91,52 @@ func FullHostileProfile() *FaultProfile {
 	return p
 }
 
+// DeriveVantageProfile returns the fault profile vantage `viewpoint`
+// observes the world through, derived from a base profile as a pure
+// function of (seed, viewpoint): each probability knob is scaled by a
+// deterministic factor in [0.5, 1.5) and clamped to [0, 1], and the jitter
+// bound is scaled the same way. Viewpoint 0 — the reference vantage — gets
+// the base profile unchanged, so a campaign that merges only reference-
+// viewpoint observations remains byte-identical to a single-vantage scan
+// while the extra viewpoints perturb loss, rate limiting and off-path
+// exposure the way genuinely path-diverse vantage points would. A nil base
+// derives nil: a clean path stays clean from everywhere.
+func DeriveVantageProfile(base *FaultProfile, seed int64, viewpoint int) *FaultProfile {
+	if base == nil {
+		return nil
+	}
+	p := *base
+	if viewpoint == 0 {
+		return &p
+	}
+	salt := ViewpointSalt(seed, viewpoint)
+	knob := 0
+	scale := func(v float64) float64 {
+		// One splitmix-style draw per knob, all keyed off the viewpoint salt.
+		s := salt + uint64(knob)*0x9E3779B97F4A7C15
+		knob++
+		z := (s ^ (s >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		f := 0.5 + float64(z)/float64(^uint64(0))
+		out := v * f
+		if out > 1 {
+			out = 1
+		}
+		return out
+	}
+	p.Loss = scale(p.Loss)
+	p.RateLimit = scale(p.RateLimit)
+	p.Mismatch = scale(p.Mismatch)
+	p.Duplicate = scale(p.Duplicate)
+	p.Truncate = scale(p.Truncate)
+	p.Corrupt = scale(p.Corrupt)
+	p.OffPath = scale(p.OffPath)
+	p.SendErr = scale(p.SendErr)
+	p.Jitter = time.Duration(scale(float64(p.Jitter)/float64(time.Hour)) * float64(time.Hour))
+	return &p
+}
+
 // FaultTally counts the faults the layer injected during one campaign
 // (reset by BeginScan). Counts are per datagram: a duplicated burst of three
 // adds three to Duplicated.
@@ -170,14 +216,18 @@ const (
 	saltSendErr   = 0xFA000
 )
 
-// epochCoin is a deterministic per-campaign coin flip for addr.
+// epochCoin is a deterministic per-campaign coin flip for addr. The vantage
+// salt folds the scan viewpoint into every path-level coin (zero at the
+// reference viewpoint), so different vantages draw independent faults for
+// the same address while the reference viewpoint reproduces the
+// single-vantage path bit for bit.
 func (w *World) epochCoin(addr netip.Addr, salt uint64, prob float64) bool {
-	return w.coin(addr, salt+uint64(w.scanEpoch), prob)
+	return w.coin(addr, salt+uint64(w.scanEpoch)+w.vantageSalt, prob)
 }
 
 // epochCoinH is epochCoin over a precomputed addrHash state.
 func (w *World) epochCoinH(ah, salt uint64, prob float64) bool {
-	return w.coinH(ah, salt+uint64(w.scanEpoch), prob)
+	return w.coinH(ah, salt+uint64(w.scanEpoch)+w.vantageSalt, prob)
 }
 
 // TruncatePayload returns payload cut short at a deterministic offset in
@@ -230,7 +280,7 @@ func mangleProbe(payload []byte) []byte {
 // from the documentation prefix (2001:db8::/32), both of which the world
 // generator never allocates, so a spoofed source is never a probed target.
 func (w *World) spoofedSource(dst netip.Addr) netip.Addr {
-	h := w.hash64(dst, saltSpoof+uint64(w.scanEpoch))
+	h := w.hash64(dst, saltSpoof+uint64(w.scanEpoch)+w.vantageSalt)
 	if dst.Is4() {
 		return netip.AddrFrom4([4]byte{
 			0xF0 | byte(h>>24)&0x0F, byte(h >> 16), byte(h >> 8), byte(h),
@@ -249,7 +299,7 @@ func (w *World) spoofedSource(dst netip.Addr) netip.Addr {
 // unrelated to any probe. The scanner must reject it by source, not by
 // shape.
 func (w *World) spoofedPayload(dst netip.Addr) []byte {
-	h := w.hash64(dst, saltOffPath+uint64(w.scanEpoch)+1)
+	h := w.hash64(dst, saltOffPath+uint64(w.scanEpoch)+w.vantageSalt+1)
 	engineID := []byte{0x80, 0x00, 0x1F, 0x88, 0x04,
 		byte(h >> 32), byte(h >> 24), byte(h >> 16), byte(h >> 8), byte(h)}
 	return snmp.AppendDiscoveryReport(nil, int64(h&0x7FFFFFFF), int64(h>>33&0x7FFFFFFF),
@@ -262,7 +312,7 @@ func (w *World) jitterFor(f *FaultProfile, ah uint64, i int) time.Duration {
 	if f.Jitter <= 0 {
 		return 0
 	}
-	h := w.saltHash(ah, saltJitter+uint64(w.scanEpoch)+uint64(i)<<20)
+	h := w.saltHash(ah, saltJitter+uint64(w.scanEpoch)+w.vantageSalt+uint64(i)<<20)
 	return time.Duration(h % uint64(f.Jitter))
 }
 
@@ -300,7 +350,7 @@ func (t *Transport) deliverFaulted(f *FaultProfile, batch []simPacket, dst netip
 		c.lost.Add(uint64(n))
 		n = 0
 	case f.RateLimit > 0 && w.epochCoinH(ah, saltRateLimit, f.RateLimit) &&
-		(at.Unix()+int64(w.saltHash(ah, saltRateLimit)&1))%2 != 0:
+		(at.Unix()+int64(w.saltHash(ah, saltRateLimit+w.vantageSalt)&1))%2 != 0:
 		c.rateLimited.Add(uint64(n))
 		n = 0
 	}
@@ -332,7 +382,7 @@ func (t *Transport) deliverFaulted(f *FaultProfile, batch []simPacket, dst netip
 		}
 		if f.Truncate > 0 && w.epochCoinH(ah, saltTruncate, f.Truncate) {
 			c.truncated.Add(1)
-			enqueue(dst, TruncatePayload(w.saltHash(ah, saltTruncate+uint64(w.scanEpoch)+1), wire))
+			enqueue(dst, TruncatePayload(w.saltHash(ah, saltTruncate+uint64(w.scanEpoch)+w.vantageSalt+1), wire))
 		}
 		if f.Corrupt > 0 && w.epochCoinH(ah, saltCorrupt, f.Corrupt) {
 			c.corrupted.Add(1)

@@ -221,7 +221,11 @@ func (t *Transport) sendBatch(dsts []netip.Addr, payload []byte, ats []time.Time
 		if ats != nil {
 			pat = ats[i]
 		}
-		rtt := time.Duration(10+t.w.saltHash(ah, 0x277)%190) * time.Millisecond
+		// The RTT is a path property, so it draws through the vantage salt:
+		// different viewpoints reach the same device over different paths
+		// (the reference viewpoint's salt is zero, preserving the historical
+		// draw exactly).
+		rtt := time.Duration(10+t.w.saltHash(ah, 0x277+t.w.vantageSalt)%190) * time.Millisecond
 		if f != nil {
 			batch = t.deliverFaulted(f, batch, dst, ah, payload, pat, rtt, scratch)
 		} else {

@@ -171,6 +171,12 @@ type World struct {
 	// scanEpoch increments per campaign; used for deterministic per-scan
 	// response loss.
 	scanEpoch int
+	// vantageSalt folds the scan viewpoint into every path-level random
+	// draw (fault coins, jitter, spoofed sources, RTTs) without touching
+	// device ground truth, so different vantage points see the same devices
+	// through different paths. Zero — viewpoint 0 — reproduces the
+	// historical single-vantage path exactly. See SetViewpoint.
+	vantageSalt uint64
 
 	ptr map[netip.Addr]string
 	// hitlistFiller holds unresponsive IPv6 hitlist entries.
@@ -283,6 +289,41 @@ func (w *World) RespondsAt(addr netip.Addr) bool {
 		return false
 	}
 	return true
+}
+
+// SetViewpoint selects the vantage point the world is observed from. The
+// viewpoint perturbs every path-level draw — fault-layer coins, delay
+// jitter, off-path spoof identities and per-path RTTs — as a pure function
+// of (world seed, viewpoint, address, scan epoch), while device ground
+// truth (which devices exist, respond, their identities and quirks) is
+// viewpoint-independent. Viewpoint 0 is the reference vantage: it leaves
+// every draw byte-identical to a world that never called SetViewpoint,
+// which is what lets a distributed campaign's viewpoint-0 merge stay
+// byte-identical to a single-process scan. Viewpoints are the simulated
+// form of path diversity: two vantages disagree about a source only because
+// the paths differ, so cross-vantage agreement becomes a validation signal.
+func (w *World) SetViewpoint(viewpoint int) {
+	w.vantageSalt = ViewpointSalt(w.Cfg.Seed, viewpoint)
+}
+
+// ViewpointSalt derives the path-diversity salt for a viewpoint: 0 for the
+// reference viewpoint, a splitmix64-mixed function of (seed, viewpoint)
+// otherwise. Exported so vantage nodes and the coordinator agree on the
+// derivation without sharing a World.
+func ViewpointSalt(seed int64, viewpoint int) uint64 {
+	if viewpoint == 0 {
+		return 0
+	}
+	s := uint64(seed)*0x9E3779B97F4A7C15 + uint64(viewpoint)
+	s += 0x9E3779B97F4A7C15
+	z := s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 1 // never collide with the reference viewpoint
+	}
+	return z
 }
 
 // BeginScan marks the start of a new campaign, refreshing the per-scan

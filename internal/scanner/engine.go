@@ -168,9 +168,17 @@ func (e *engine) run(ctx context.Context, res *Result) error {
 		}
 		var slots uint64
 		if ps, ok := e.targets.(PositionedSpace); ok {
-			// Slots is invariant under consumption and sharding, so the
-			// caller's space reports the full pass timeline.
+			// Slots is invariant under consumption (shards are cut from the
+			// caller's unconsumed space), so the caller's space reports the
+			// full pass timeline.
 			slots = ps.Slots()
+		}
+		if rs, ok := e.targets.(RootedSpace); ok {
+			// When the caller's space is itself a shard of a larger campaign
+			// (a vantage slice of a distributed scan), the pass timeline must
+			// span the root walk: probe slots index into the root cycle, and
+			// the next pass starts only after every sibling shard's window.
+			slots = rs.RootSlots()
 		}
 		passStart = e.endPass(passStart, slots)
 		e.quiesce()

@@ -100,6 +100,15 @@ func (p *Permutation) Remaining() uint64 { return p.cycleLeft }
 // Slots()/rate seconds.
 func (p *Permutation) Slots() uint64 { return p.cycleLeft + p.steps }
 
+// RootSlots reports the slot-cycle length of the root (unsharded) sequence
+// this walk's positions index into: the power-of-two modulus of the original
+// permutation, invariant under sharding and consumption. A shard executing
+// one slice of a campaign uses it as the pass timeline length, so its probe
+// schedule spans the same window the full walk would — the invariant that
+// lets disjoint shards of one campaign run on different machines and still
+// merge byte-identically.
+func (p *Permutation) RootSlots() uint64 { return p.m }
+
 // Shard splits an unconsumed walk into shard `shard` of `totalShards`,
 // following ZMap's mechanism: the shard steps through every totalShards-th
 // position of the parent sequence, starting at position `shard`, so shards

@@ -244,7 +244,7 @@ func (e *engine) fillResult(res *Result, probeMsgID int64) {
 	}
 	out = append(out, e.respCur...)
 	res.Responses = out
-	sortResponses(res.Responses)
+	SortResponses(res.Responses)
 	res.Sent = e.sent.Load()
 	res.Retried = e.retried.Load()
 	res.OffPath = e.offPath.Load()
@@ -252,11 +252,13 @@ func (e *engine) fillResult(res *Result, probeMsgID int64) {
 	res.Finished = e.cfg.Clock.Now()
 }
 
-// sortResponses orders captured datagrams canonically: by receive time,
+// SortResponses orders captured datagrams canonically: by receive time,
 // then source address, then payload bytes. Arrival order through the shared
 // capture channel depends on worker interleaving; the canonical order does
-// not, so equal campaigns produce equal Results.
-func sortResponses(rs []Response) {
+// not, so equal campaigns produce equal Results. Exported for the
+// distributed merge layer, which folds per-vantage partial results back
+// into this same canonical order.
+func SortResponses(rs []Response) {
 	sort.SliceStable(rs, func(i, j int) bool {
 		if !rs[i].At.Equal(rs[j].At) {
 			return rs[i].At.Before(rs[j].At)
@@ -266,4 +268,34 @@ func sortResponses(rs []Response) {
 		}
 		return bytes.Compare(rs[i].Payload, rs[j].Payload) < 0
 	})
+}
+
+// MergeResults folds the partial Results of disjoint shards of one campaign
+// into the Result the unsharded campaign would have produced: responses are
+// concatenated and re-sorted into canonical order, counters are summed, and
+// the campaign window is the union of the parts' windows. All parts must
+// come from the same campaign configuration (same seed, so same ProbeMsgID);
+// MergeResults does not verify that beyond the msgID.
+func MergeResults(parts ...*Result) *Result {
+	out := &Result{}
+	total := 0
+	for _, p := range parts {
+		total += len(p.Responses)
+	}
+	out.Responses = make([]Response, 0, total)
+	for i, p := range parts {
+		out.Responses = append(out.Responses, p.Responses...)
+		out.Sent += p.Sent
+		out.Retried += p.Retried
+		out.OffPath += p.OffPath
+		if i == 0 || p.Started.Before(out.Started) {
+			out.Started = p.Started
+		}
+		if p.Finished.After(out.Finished) {
+			out.Finished = p.Finished
+		}
+		out.ProbeMsgID = p.ProbeMsgID
+	}
+	SortResponses(out.Responses)
+	return out
 }

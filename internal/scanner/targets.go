@@ -40,6 +40,20 @@ type PositionedSpace interface {
 	Slots() uint64
 }
 
+// RootedSpace is a PositionedSpace that also reports the slot-cycle length
+// of the root (unsharded) walk its slot positions index into. Slots()
+// shrinks as a space is sharded — each shard owns a fraction of the cycle —
+// but RootSlots is invariant: it is the full campaign's pass timeline
+// length. The engine prefers it when computing pass boundaries, so a
+// process scanning one vantage shard of a campaign advances its clock
+// through exactly the timeline the unsharded campaign would, which is what
+// keeps a multi-process merge byte-identical to a single-process scan.
+type RootedSpace interface {
+	PositionedSpace
+	// RootSlots is the root walk's cycle length in slots.
+	RootSlots() uint64
+}
+
 // MembershipSpace is a TargetSpace that can answer whether an address is a
 // member of the space at all. The engine uses it to validate response
 // sources: a datagram from an address the campaign never probed is off-path
@@ -137,8 +151,9 @@ func (s *prefixSpace) Contains(addr netip.Addr) bool {
 	return s.sorted[i-1].Contains(addr)
 }
 
-func (s *prefixSpace) Size() uint64  { return s.total }
-func (s *prefixSpace) Slots() uint64 { return s.perm.Slots() }
+func (s *prefixSpace) Size() uint64      { return s.total }
+func (s *prefixSpace) Slots() uint64     { return s.perm.Slots() }
+func (s *prefixSpace) RootSlots() uint64 { return s.perm.RootSlots() }
 
 // Shard implements ShardableSpace (vantage shards sub-shard onto workers).
 func (s *prefixSpace) Shard(shard, totalShards int) (TargetSpace, error) {
@@ -206,8 +221,9 @@ func (s *listSpace) Contains(addr netip.Addr) bool {
 	return ok
 }
 
-func (s *listSpace) Size() uint64  { return uint64(len(s.addrs)) }
-func (s *listSpace) Slots() uint64 { return s.perm.Slots() }
+func (s *listSpace) Size() uint64      { return uint64(len(s.addrs)) }
+func (s *listSpace) Slots() uint64     { return s.perm.Slots() }
+func (s *listSpace) RootSlots() uint64 { return s.perm.RootSlots() }
 
 // Shard implements ShardableSpace.
 func (s *listSpace) Shard(shard, totalShards int) (TargetSpace, error) {

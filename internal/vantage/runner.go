@@ -1,0 +1,62 @@
+package vantage
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"snmpv3fp/internal/netsim"
+	"snmpv3fp/internal/scanner"
+)
+
+// Runner executes one lease: a scan of one shard of the campaign's target
+// space as seen from one viewpoint. Implementations must be deterministic —
+// the same spec and lease must always produce the same Result — because the
+// coordinator re-runs leases after vantage failures and the merge invariant
+// (DESIGN.md §14) depends on the re-run reproducing the dead vantage's
+// bytes exactly.
+type Runner interface {
+	RunLease(ctx context.Context, spec CampaignSpec, lease Lease) (*scanner.Result, error)
+}
+
+// SimRunner runs leases against the deterministic netsim world named by the
+// campaign spec. Every lease regenerates the world from its seed, advances
+// it to the spec's scan day and epoch, and scans one shard on the virtual
+// clock — so a lease's result is a pure function of (spec, lease), no
+// matter which vantage runs it or how many leases it ran before.
+type SimRunner struct{}
+
+// RunLease implements Runner.
+func (SimRunner) RunLease(ctx context.Context, spec CampaignSpec, lease Lease) (*scanner.Result, error) {
+	if spec.TotalShards < 1 || lease.Shard < 0 || lease.Shard >= spec.TotalShards {
+		return nil, fmt.Errorf("vantage: lease shard %d outside [0,%d)", lease.Shard, spec.TotalShards)
+	}
+	cfg := netsim.TinyConfig(spec.SimSeed)
+	if spec.SimFull {
+		cfg = netsim.DefaultConfig(spec.SimSeed)
+	}
+	w := netsim.Generate(cfg)
+	// The fault layer this vantage scans through: the base profile bent by
+	// the viewpoint's deterministic path diversity. Viewpoint 0 keeps the
+	// base profile and salt 0, which is what makes its partials mergeable
+	// byte-identically with a single-process reference scan.
+	w.Cfg.Faults = netsim.DeriveVantageProfile(spec.Faults, w.Cfg.Seed, lease.Viewpoint)
+	w.SetViewpoint(lease.Viewpoint)
+	w.Clock.Set(w.Cfg.StartTime.Add(time.Duration(spec.ScanDay) * 24 * time.Hour))
+	for i := 0; i < spec.ScanEpochs; i++ {
+		w.BeginScan()
+	}
+	targets, err := scanner.NewPrefixSpaceShard(w.ScanPrefixes4(), spec.CampaignSeed, lease.Shard, spec.TotalShards)
+	if err != nil {
+		return nil, err
+	}
+	return scanner.ScanContext(ctx, w.NewTransport(), targets, scanner.Config{
+		Rate:    spec.Rate,
+		Batch:   spec.Batch,
+		Timeout: spec.Timeout,
+		Clock:   w.Clock,
+		Seed:    spec.CampaignSeed,
+		Workers: spec.Workers,
+		Retries: spec.Retries,
+	})
+}
