@@ -75,6 +75,9 @@ type benchDef struct {
 var suites = map[string][]benchDef{
 	"scan": append([]benchDef{
 		{"ScanCampaign", benchsuite.ScanCampaign, &Baseline{27399152, 208874}},
+		// Multi-protocol arm: no pre-PR baseline — the module seam did not
+		// exist before; the interesting comparison is against ScanCampaign.
+		{"IcmpTsCampaign", benchsuite.IcmpTsCampaign, nil},
 		{"CollectResponses", benchsuite.CollectResponses, &Baseline{13895504, 191260}},
 		{"EncodeProbe", benchsuite.EncodeProbe, &Baseline{576, 6}},
 		{"ParseResponse", benchsuite.ParseResponse, &Baseline{883, 14}},
@@ -161,6 +164,7 @@ type gateDef struct {
 
 var gates = []gateDef{
 	{"scan", "ScanCampaign", benchsuite.ScanCampaign, 1.0},
+	{"scan", "IcmpTsCampaign", benchsuite.IcmpTsCampaign, 1.15},
 	{"store", "StoreDurableIngest", benchsuite.StoreDurableIngest, 1.2},
 	{"serve", "ServeIP", benchsuite.ServeIP, 1.5},
 }

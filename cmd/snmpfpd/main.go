@@ -21,8 +21,12 @@
 //	snmpfpd -bench-json BENCH_store.json
 //
 // Endpoints: /v1/ip/{addr}, /v1/device/{engineID}, /v1/vendors,
-// /v1/reboots/{addr}, /v1/stats, /v1/metrics; plus /debug/pprof/ with
-// -pprof.
+// /v1/reboots/{addr}, /v1/fusion, /v1/stats, /v1/metrics; plus
+// /debug/pprof/ with -pprof.
+//
+// Simulated ingest also runs the non-SNMP probe modules listed in
+// -sim-protocols after each campaign and stores their alias evidence, so
+// /v1/fusion has cross-protocol input to fuse.
 //
 // One obs.Registry spans the whole daemon — scanner, netsim faults, store
 // and HTTP server all publish into it — so /v1/metrics is the single pane
@@ -47,6 +51,7 @@ import (
 	"snmpv3fp/internal/core"
 	"snmpv3fp/internal/netsim"
 	"snmpv3fp/internal/obs"
+	"snmpv3fp/internal/probe"
 	"snmpv3fp/internal/records"
 	"snmpv3fp/internal/scanner"
 	"snmpv3fp/internal/serve"
@@ -59,6 +64,7 @@ func main() {
 	sim := flag.Bool("sim", false, "ingest live scan campaigns of the simulated Internet")
 	simSeed := flag.Int64("sim-seed", 7, "simulated world seed")
 	simCampaigns := flag.Int("sim-campaigns", 2, "number of simulated campaigns to run")
+	simProtocols := flag.String("sim-protocols", "snmpv3,icmp-ts,ntp", "probe modules run per simulated campaign (non-SNMP ones ingest fusion evidence)")
 	rate := flag.Int("rate", 50000, "simulated scan probe rate (packets per second)")
 	workers := flag.Int("workers", 4, "simulated scan send workers")
 	flushThreshold := flag.Int("flush", 4096, "memtable samples per segment flush")
@@ -127,7 +133,7 @@ func main() {
 	// they land.
 	ingestDone := make(chan error, 1)
 	go func() {
-		ingestDone <- runIngest(ctx, st, reg, *ingest, *sim, *simSeed, *simCampaigns, *rate, *workers)
+		ingestDone <- runIngest(ctx, st, reg, *ingest, *sim, *simSeed, *simCampaigns, *rate, *workers, splitList(*simProtocols))
 	}()
 
 	if *smoke {
@@ -135,7 +141,7 @@ func main() {
 			fatal(err)
 		}
 		base := "http://" + ln.Addr().String()
-		for _, path := range []string{"/v1/stats", "/v1/vendors", "/v1/metrics"} {
+		for _, path := range []string{"/v1/stats", "/v1/vendors", "/v1/fusion", "/v1/metrics"} {
 			body, err := httpGet(base + path)
 			if err != nil {
 				fatal(err)
@@ -161,8 +167,18 @@ func main() {
 	shutdown(hs)
 }
 
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // runIngest feeds the store: NDJSON files first, then simulated campaigns.
-func runIngest(ctx context.Context, st *store.Store, reg *obs.Registry, ingest string, sim bool, simSeed int64, simCampaigns, rate, workers int) error {
+func runIngest(ctx context.Context, st *store.Store, reg *obs.Registry, ingest string, sim bool, simSeed int64, simCampaigns, rate, workers int, protocols []string) error {
 	if ingest != "" {
 		for _, name := range strings.Split(ingest, ",") {
 			name = strings.TrimSpace(name)
@@ -178,7 +194,7 @@ func runIngest(ctx context.Context, st *store.Store, reg *obs.Registry, ingest s
 		}
 	}
 	if sim {
-		if err := runSim(ctx, st, reg, simSeed, simCampaigns, rate, workers); err != nil {
+		if err := runSim(ctx, st, reg, simSeed, simCampaigns, rate, workers, protocols); err != nil {
 			return err
 		}
 	}
@@ -196,22 +212,27 @@ func readCampaignFile(name string) (*core.Campaign, error) {
 
 // runSim scans the simulated Internet repeatedly — campaign i on day
 // 15 + 6·(i-1), matching the paper's scan cadence — ingesting each campaign
-// as it completes.
-func runSim(ctx context.Context, st *store.Store, reg *obs.Registry, simSeed int64, campaigns, rate, workers int) error {
+// as it completes. Non-SNMP protocols then re-sweep the same targets from
+// the same campaign base time, storing their alias evidence alongside the
+// SNMPv3 samples (the SNMPv3 campaign itself stays byte-identical: the
+// evidence sweeps neither advance the scan epoch nor touch derived state).
+func runSim(ctx context.Context, st *store.Store, reg *obs.Registry, simSeed int64, campaigns, rate, workers int, protocols []string) error {
 	w := netsim.Generate(netsim.TinyConfig(simSeed))
 	w.RegisterMetrics(reg)
 	for i := 1; i <= campaigns; i++ {
 		day := 15 + 6*(i-1)
-		w.Clock.Set(w.Cfg.StartTime.Add(time.Duration(day) * 24 * time.Hour))
+		base := w.Cfg.StartTime.Add(time.Duration(day) * 24 * time.Hour)
+		w.Clock.Set(base)
 		w.BeginScan()
 		targets, err := scanner.NewPrefixSpace(w.ScanPrefixes4(), simSeed+int64(i))
 		if err != nil {
 			return err
 		}
-		res, err := scanner.ScanContext(ctx, w.NewTransport(), targets, scanner.Config{
+		cfg := scanner.Config{
 			Rate: rate, Batch: 256, Clock: w.Clock, Seed: simSeed + int64(i), Workers: workers,
 			Obs: reg,
-		})
+		}
+		res, err := scanner.ScanContext(ctx, w.NewTransport(), targets, cfg)
 		if err != nil {
 			return err
 		}
@@ -221,6 +242,27 @@ func runSim(ctx context.Context, st *store.Store, reg *obs.Registry, simSeed int
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "snmpfpd: campaign %d: %d IPs from sim day %d\n", n, len(c.ByIP), day)
+		for _, name := range protocols {
+			if name == "snmpv3" {
+				continue
+			}
+			m, err := probe.Get(name)
+			if err != nil {
+				return err
+			}
+			w.Clock.Set(base)
+			pres, err := scanner.ScanProbe(ctx, w.NewTransport(), targets, cfg, scanner.ProbeSpec{
+				Payload: m.AppendProbe(nil, cfg.Seed), Ident: m.Ident(cfg.Seed),
+			})
+			if err != nil {
+				return err
+			}
+			pc := probe.Collect(m, pres)
+			if err := st.IngestEvidence(ctx, name, store.EvidenceFromCampaign(pc)); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "snmpfpd: campaign %d: %d %s evidence IPs\n", n, len(pc.ByIP), name)
+		}
 	}
 	return nil
 }

@@ -11,6 +11,11 @@
 //
 //	snmpscan -sim -sim-seed 7
 //	snmpscan -sim -sim-hostile -progress
+//
+// Multi-protocol fingerprinting (sim only) scans with several probe modules
+// and fuses their alias evidence, reporting each protocol's marginal gain:
+//
+//	snmpscan -sim -protocols snmpv3,icmp-ts,ntp
 package main
 
 import (
@@ -46,6 +51,7 @@ func main() {
 	retries := flag.Int("retries", 0, "extra passes re-probing non-responders after the drain window")
 	progress := flag.Bool("progress", false, "report live campaign throughput on stderr")
 	jsonOut := flag.Bool("json", false, "emit NDJSON records (for snmpalias) instead of text")
+	protocols := flag.String("protocols", "snmpv3", "comma-separated probe modules to scan with (beyond snmpv3: sim only)")
 	sim := flag.Bool("sim", false, "scan the simulated Internet instead of real targets")
 	simSeed := flag.Int64("sim-seed", 1, "simulated world seed")
 	simScan := flag.Int("sim-scan", 1, "simulated campaign number: 1 (day 15) or 2 (day 21)")
@@ -66,10 +72,26 @@ func main() {
 		return
 	}
 
+	var protoList []string
+	for _, s := range strings.Split(*protocols, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			protoList = append(protoList, s)
+		}
+	}
+	multi := len(protoList) != 1 || protoList[0] != "snmpv3"
+
 	eng := engineConfig{workers: *workers, retries: *retries, progress: *progress}
 	if *sim {
+		if multi {
+			scanSimMulti(ctx, *simSeed, *simScan, *rate, *seed, *simHostile, protoList, eng)
+			return
+		}
 		scanSim(ctx, *simSeed, *simScan, *rate, *seed, *jsonOut, *simHostile, eng)
 		return
+	}
+	if multi {
+		fmt.Fprintln(os.Stderr, "snmpscan: -protocols beyond snmpv3 is sim-only (the icmp-ts and ntp modules have no real transport yet)")
+		os.Exit(2)
 	}
 
 	var targets snmpv3fp.TargetSpace
@@ -186,6 +208,65 @@ func scanSim(ctx context.Context, simSeed int64, simScan, rate int, seed int64, 
 		fatal(err)
 	}
 	emit(campaign, jsonOut)
+}
+
+// scanSimMulti runs one campaign per requested probe module over the same
+// simulated world and fuses the per-protocol alias evidence. Each protocol
+// gets a fresh transport with the virtual clock reset to the campaign base,
+// so the campaigns are deterministic regardless of protocol order.
+func scanSimMulti(ctx context.Context, simSeed int64, simScan, rate int, seed int64, hostile bool, protocols []string, eng engineConfig) {
+	w := netsim.Generate(netsim.TinyConfig(simSeed))
+	if hostile {
+		w.Cfg.Faults = netsim.HostileProfile()
+	}
+	day := 15
+	if simScan == 2 {
+		day = 21
+	}
+	base := w.Cfg.StartTime.Add(time.Duration(day) * 24 * time.Hour)
+	for i := 0; i < simScan; i++ {
+		w.BeginScan()
+	}
+	targets, err := scanner.NewPrefixSpace(w.ScanPrefixes4(), seed)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := snmpv3fp.ScanConfig{Rate: rate, Clock: w.Clock, Seed: seed, Protocols: protocols}
+	eng.apply(&cfg)
+	newTransport := func(string) (snmpv3fp.Transport, error) {
+		w.Clock.Set(base)
+		return w.NewTransport(), nil
+	}
+	camps, err := snmpv3fp.ScanProtocols(ctx, newTransport, targets, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	names := make([]string, 0, len(camps))
+	for name := range camps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ev := make([]snmpv3fp.ProtocolEvidence, 0, len(names))
+	for _, name := range names {
+		c := camps[name]
+		fmt.Fprintf(os.Stderr, "%s: %d responsive IPs, %d packets (%d malformed, %d truncated, %d mismatched msgID, %d duplicates, %d off-path rejected)\n",
+			name, len(c.ByIP), c.TotalPackets, c.Malformed, c.Truncated, c.Mismatched, c.Duplicates, c.OffPath)
+		ev = append(ev, snmpv3fp.ProtocolEvidence{Protocol: name, Weight: c.Weight, Groups: c.Groups()})
+	}
+	printFusion(snmpv3fp.Fuse(ev))
+}
+
+// printFusion renders the fusion report: totals, then per-protocol
+// accounting with the marginal alias gain — what each protocol added beyond
+// every other.
+func printFusion(rep *snmpv3fp.FusionReport) {
+	fmt.Printf("fusion: %d fused sets, %d accepted pairs, %d conflict pairs\n",
+		len(rep.Sets), rep.AcceptedPairs, rep.ConflictPairs)
+	for _, pr := range rep.Protocols {
+		fmt.Printf("  %-8s weight=%.1f ips=%d groups=%d proposed=%d accepted=%d conflicted=%d marginal=+%d pairs in %d sets\n",
+			pr.Protocol, pr.Weight, pr.IPs, pr.Groups, pr.Proposed, pr.Accepted, pr.Conflicted,
+			pr.MarginalPairs, pr.MarginalSets)
+	}
 }
 
 func emit(c *snmpv3fp.Campaign, jsonOut bool) {

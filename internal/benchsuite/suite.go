@@ -10,6 +10,7 @@
 package benchsuite
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"net/netip"
@@ -20,6 +21,7 @@ import (
 
 	"snmpv3fp/internal/core"
 	"snmpv3fp/internal/netsim"
+	"snmpv3fp/internal/probe"
 	"snmpv3fp/internal/scanner"
 	"snmpv3fp/internal/serve"
 	"snmpv3fp/internal/snmp"
@@ -68,6 +70,50 @@ func ScanCampaign(b *testing.B) {
 	var probes, responses uint64
 	for i := 0; i < b.N; i++ {
 		res, err := runCampaign(w, 4, 256)
+		if err != nil {
+			b.Fatal(err)
+		}
+		probes = res.Sent
+		responses = uint64(len(res.Responses))
+	}
+	b.ReportMetric(float64(probes), "probes/op")
+	b.ReportMetric(float64(responses), "responses/op")
+}
+
+// runModuleCampaign is runCampaign through a probe module: the same
+// deterministic virtual-time campaign, but with the module's probe bytes on
+// the wire instead of the inline SNMPv3 discovery request.
+func runModuleCampaign(w *netsim.World, m probe.Module, workers, batch int) (*scanner.Result, error) {
+	w.Clock.Set(w.Cfg.StartTime.Add(15 * 24 * time.Hour))
+	w.BeginScan()
+	targets, err := scanner.NewPrefixSpace(w.ScanPrefixes4(), 42)
+	if err != nil {
+		return nil, err
+	}
+	cfg := scanner.Config{
+		Rate: 5000, Batch: batch, Timeout: 8 * time.Second,
+		Clock: w.Clock, Seed: 42, Workers: workers,
+	}
+	return scanner.ScanProbe(context.Background(), w.NewTransport(), targets, cfg, scanner.ProbeSpec{
+		Payload: m.AppendProbe(nil, cfg.Seed), Ident: m.Ident(cfg.Seed),
+	})
+}
+
+// IcmpTsCampaign is ScanCampaign through the icmp-ts probe module: one full
+// simulated ICMP-timestamp campaign per iteration, pinning the module seam's
+// hot path (AppendProbe into the engine's buffer, the agents' timestamp
+// responders) to the same performance envelope as the SNMPv3 campaign.
+func IcmpTsCampaign(b *testing.B) {
+	w := sharedWorld()
+	m, err := probe.Get("icmp-ts")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var probes, responses uint64
+	for i := 0; i < b.N; i++ {
+		res, err := runModuleCampaign(w, m, 4, 256)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -213,7 +213,7 @@ func (f Fingerprint) VendorLabel() string {
 
 // Probe sends a single discovery request with a background context.
 //
-// Deprecated: use ProbeContext, which supports cancellation.
+// Deprecated: use [ProbeContext], which supports cancellation.
 func Probe(tr scanner.Transport, addr netip.Addr, timeout time.Duration) (*Observation, error) {
 	return ProbeContext(context.Background(), tr, addr, 1, timeout)
 }
@@ -221,7 +221,7 @@ func Probe(tr scanner.Transport, addr netip.Addr, timeout time.Duration) (*Obser
 // ProbeWithID is Probe with a caller-chosen message ID and a background
 // context.
 //
-// Deprecated: use ProbeContext, which supports cancellation.
+// Deprecated: use [ProbeContext], which supports cancellation.
 func ProbeWithID(tr scanner.Transport, addr netip.Addr, msgID int64, timeout time.Duration) (*Observation, error) {
 	return ProbeContext(context.Background(), tr, addr, msgID, timeout)
 }

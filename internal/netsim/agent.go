@@ -4,6 +4,7 @@ import (
 	"net/netip"
 	"time"
 
+	"snmpv3fp/internal/probe"
 	"snmpv3fp/internal/snmp"
 )
 
@@ -50,7 +51,25 @@ func (w *World) respond(dst netip.Addr, ah uint64, payload []byte, now time.Time
 	// per probe, and a second byAddr lookup for the device was measurable
 	// on the campaign profile.
 	d := w.deviceAt(dst)
-	if d == nil || !d.Responds {
+	if d == nil {
+		return nil, 0
+	}
+	// Non-SNMP probe modules dispatch on the first payload byte (an SNMP
+	// message always starts with the BER SEQUENCE tag 0x30, an ICMP
+	// timestamp request with type 13, an NTP mode-6 request with 0x16).
+	// Each protocol has its own reachability model — ICMP answers from
+	// interfaces whose management plane is closed, which is exactly why it
+	// adds marginal alias coverage — so the dispatch happens before the
+	// SNMP-specific Responds/router-interface/loss coins.
+	if len(payload) > 0 {
+		switch payload[0] {
+		case probe.ICMPTypeTimestamp:
+			return w.respondICMPTs(d, ah, payload, now, scratch)
+		case probe.NTPControlByte:
+			return w.respondNTP(d, ah, payload, scratch)
+		}
+	}
+	if !d.Responds {
 		return nil, 0
 	}
 	if d.Class == ClassRouter && !w.coinH(ah, 0xAC1, w.Cfg.RouterIfaceProb) {

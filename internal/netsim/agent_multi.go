@@ -1,0 +1,119 @@
+package netsim
+
+import (
+	"time"
+
+	"snmpv3fp/internal/probe"
+)
+
+// Multi-protocol agent behaviour: the non-SNMP probe modules (ICMP
+// timestamp, NTP mode 6) answer from the same simulated devices through the
+// same respond() seam, but with their own reachability models. That is the
+// point of multi-protocol fingerprinting — an interface whose SNMP plane is
+// closed may still answer ICMP, so the fused alias view covers devices the
+// SNMPv3 campaign alone cannot.
+//
+// Every draw below is a pure function of (world seed, address, scan epoch),
+// never of probe order, so multi-protocol campaigns stay byte-identical
+// across worker counts, batch sizes and module orderings.
+
+// Salts for the multi-protocol coins and per-device attributes; disjoint
+// from the fault-layer salt block (0xF1000+) and the misc SNMP salts.
+const (
+	saltIcmpReach = 0xE1000
+	saltIcmpLoss  = 0xE2000
+	saltIcmpClock = 0xE3000
+	saltIcmpJunk  = 0xE4000
+	saltNtpReach  = 0xE5000
+	saltNtpLoss   = 0xE6000
+	saltNtpClock  = 0xE7000
+)
+
+const (
+	// icmpReachProb is the per-interface probability an address answers
+	// ICMP timestamp requests, independent of its SNMP posture: ICMP is
+	// handled by the forwarding stack, not the management plane.
+	icmpReachProb = 0.72
+	// icmpLossProb is the per-campaign transient loss on the ICMP path.
+	icmpLossProb = 0.02
+	// ntpReachProb is the per-interface probability the NTP daemon is
+	// reachable (mode 6 is frequently filtered since the 2014 amplification
+	// attacks, so reachability is well below ICMP's).
+	ntpReachProb = 0.55
+	ntpLossProb  = 0.02
+)
+
+// respondICMPTs answers one ICMP timestamp request per the device vendor's
+// quirk. Replies echo identifier, sequence and originate timestamp; receive
+// and transmit carry the device clock — milliseconds since midnight UT plus
+// a device-stable offset shared by every interface, which is the alias
+// signal the icmp-ts module bins on.
+func (w *World) respondICMPTs(d *Device, ah uint64, payload []byte, now time.Time, scratch []byte) ([]byte, int) {
+	if d.Profile.TsQuirk == TsSilent {
+		return nil, 0
+	}
+	// Lenient request parse: real stacks answer without verifying the
+	// checksum, which keeps msgID-rewrite faults observable as mismatched
+	// replies rather than silent drops.
+	if len(payload) < 20 || payload[1] != 0 {
+		return nil, 0
+	}
+	if !w.coinH(ah, saltIcmpReach, icmpReachProb) {
+		return nil, 0
+	}
+	if w.coinH(ah, saltIcmpLoss+uint64(w.scanEpoch), icmpLossProb) {
+		return nil, 0
+	}
+	ident := uint16(payload[4])<<8 | uint16(payload[5])
+	seq := uint16(payload[6])<<8 | uint16(payload[7])
+	orig := uint32(payload[8])<<24 | uint32(payload[9])<<16 | uint32(payload[10])<<8 | uint32(payload[11])
+	var ts uint32
+	switch d.Profile.TsQuirk {
+	case TsCorrect, TsLittleEndian:
+		ms := uint32((probe.MsOfDayUTC(now) + int64(w.hash64(d.V4Addr(), saltIcmpClock)%probe.DayMs)) % probe.DayMs)
+		ts = ms
+		if d.Profile.TsQuirk == TsLittleEndian {
+			ts = ms<<24 | ms>>24 | ms<<8&0xFF0000 | ms>>8&0xFF00
+		}
+	case TsZero:
+		ts = 0
+	case TsNonStandard:
+		ts = 0x80000000 | uint32(w.hash64(d.V4Addr(), saltIcmpJunk))&0x7FFFFFFF
+	}
+	return probe.AppendICMPTs(scratch, probe.ICMPTypeTimestampReply, ident, seq, orig, ts, ts), 1
+}
+
+const ntpHexDigits = "0123456789abcdef"
+
+// respondNTP answers one NTP mode-6 read-variables request with the vendor's
+// daemon version string and a device-stable clock identity (shared across
+// interfaces: the daemon has one system clock regardless of ingress).
+func (w *World) respondNTP(d *Device, ah uint64, payload []byte, scratch []byte) ([]byte, int) {
+	ver := d.Profile.NTPVersion
+	if ver == "" {
+		return nil, 0
+	}
+	if len(payload) < 12 || payload[1]&0x80 != 0 || payload[1]&0x1F != probe.NTPOpReadVar {
+		return nil, 0
+	}
+	if !w.coinH(ah, saltNtpReach, ntpReachProb) {
+		return nil, 0
+	}
+	if w.coinH(ah, saltNtpLoss+uint64(w.scanEpoch), ntpLossProb) {
+		return nil, 0
+	}
+	seq := uint16(payload[2])<<8 | uint16(payload[3])
+	start := len(scratch)
+	wire := probe.AppendNTPControl(scratch, true, seq, nil)
+	wire = append(wire, "version=\""...)
+	wire = append(wire, ver...)
+	wire = append(wire, "\", clock=0x"...)
+	clock := w.hash64(d.V4Addr(), saltNtpClock)
+	for i := 60; i >= 0; i -= 4 {
+		wire = append(wire, ntpHexDigits[clock>>uint(i)&0xF])
+	}
+	n := len(wire) - start - 12
+	wire[start+10] = byte(n >> 8)
+	wire[start+11] = byte(n)
+	return wire, 1
+}

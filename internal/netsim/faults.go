@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"snmpv3fp/internal/probe"
 	"snmpv3fp/internal/snmp"
 )
 
@@ -263,6 +264,37 @@ func CorruptPayload(payload []byte) []byte {
 // msgID in flight, so the agent's report echoes an ID the scanner never
 // used. Payloads that do not decode pass through untouched.
 func mangleProbe(payload []byte) []byte {
+	if len(payload) == 0 {
+		return payload
+	}
+	// Per-protocol identity rewrite: each probe module's campaign identity
+	// lives in different bytes, and the Mismatch tally is only honest if
+	// the agent still answers (echoing the rewritten identity) so the
+	// scanner can observe and reject the mismatch.
+	switch payload[0] {
+	case probe.ICMPTypeTimestamp:
+		// Rewrite the identifier field; agents parse requests leniently
+		// (no checksum verification), so the reply comes back with a
+		// valid checksum over the wrong identity.
+		if len(payload) < 8 {
+			return payload
+		}
+		out := make([]byte, len(payload))
+		copy(out, payload)
+		out[4] ^= 0x2A
+		out[5] ^= 0x5A
+		return out
+	case probe.NTPControlByte:
+		// Rewrite the mode-6 sequence number.
+		if len(payload) < 4 {
+			return payload
+		}
+		out := make([]byte, len(payload))
+		copy(out, payload)
+		out[2] ^= 0x2A
+		out[3] ^= 0x5A
+		return out
+	}
 	msg, err := snmp.DecodeV3(payload)
 	if err != nil && err != snmp.ErrEncrypted {
 		return payload

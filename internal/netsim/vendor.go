@@ -103,6 +103,72 @@ type Profile struct {
 	// ImplicitV3 models the Section 6.2.1 lab finding: configuring an
 	// SNMPv2c community implicitly enables unauthenticated SNMPv3 replies.
 	ImplicitV3 bool
+	// TsQuirk is how this vendor's stack fills ICMP timestamp replies
+	// (the per-vendor encoding quirks of "Sundials in the Shade").
+	TsQuirk TsBehavior
+	// NTPVersion is the version string the vendor's NTP daemon advertises
+	// in mode-6 read-variables responses; empty for stacks that do not
+	// answer mode 6.
+	NTPVersion string
+}
+
+// TsBehavior models a vendor stack's ICMP timestamp reply behaviour.
+type TsBehavior int
+
+// ICMP timestamp reply behaviours.
+const (
+	// TsCorrect: big-endian milliseconds since midnight UT, per RFC 792.
+	TsCorrect TsBehavior = iota
+	// TsLittleEndian: correct value, little-endian encoded (the classic
+	// Linux-derived quirk).
+	TsLittleEndian
+	// TsZero: replies with zeroed timestamps.
+	TsZero
+	// TsNonStandard: sets the RFC 792 high-order "non-standard" bit over a
+	// device-stable junk value.
+	TsNonStandard
+	// TsSilent: never answers timestamp requests.
+	TsSilent
+)
+
+// probeTraits assigns per-vendor multi-protocol behaviour without touching
+// the positional profile constructor calls: ICMP timestamp quirk and NTP
+// mode-6 version string. Vendors absent from the map keep the zero values
+// (TsCorrect, NTP silent).
+var probeTraits = map[string]struct {
+	ts  TsBehavior
+	ntp string
+}{
+	"Cisco":      {TsCorrect, "ntpd 4.1.0-cisco"},
+	"Huawei":     {TsCorrect, "ntpd HUAWEI-VRP"},
+	"Juniper":    {TsCorrect, "ntpd 4.2.0-JUNOS"},
+	"H3C":        {TsCorrect, "ntpd H3C-Comware"},
+	"Net-SNMP":   {TsLittleEndian, "ntpd 4.2.8p10"},
+	"MikroTik":   {TsLittleEndian, "ntpd MikroTik-RouterOS"},
+	"Arista":     {TsCorrect, "ntpd 4.2.8p12-EOS"},
+	"Nokia SROS": {TsCorrect, "ntpd 4.2.0-TiMOS"},
+	"ZTE":        {TsCorrect, "ntpd ZTE-ZXR10"},
+	"Ubiquiti":   {TsCorrect, "ntpd 4.2.8p15-Ubiquiti"},
+	"Ericsson":   {TsCorrect, ""},
+	"Fortinet":   {TsSilent, ""},
+	"Netgear":    {TsZero, ""},
+	"TP-Link":    {TsZero, ""},
+	"D-Link":     {TsZero, ""},
+	"ZyXEL":      {TsZero, ""},
+	"Ambit":      {TsNonStandard, ""},
+	"Thomson":    {TsNonStandard, ""},
+	"Broadcom":   {TsNonStandard, ""},
+}
+
+func init() {
+	for vendor, t := range probeTraits {
+		p, ok := Profiles[vendor]
+		if !ok {
+			panic("netsim: probe trait for unknown vendor: " + vendor)
+		}
+		p.TsQuirk = t.ts
+		p.NTPVersion = t.ntp
+	}
 }
 
 func mustEnterprise(vendor string) uint32 {

@@ -1,0 +1,152 @@
+package probe
+
+import (
+	"errors"
+	"net/netip"
+	"sort"
+	"time"
+
+	"snmpv3fp/internal/ber"
+	"snmpv3fp/internal/scanner"
+)
+
+// FloodCap mirrors core.FloodCap for the generic fold: per-source duplicate
+// datagrams are tallied in full but parsed only up to this many.
+const FloodCap = 64
+
+// Sighting is the merged per-IP result of one protocol's campaign: the
+// module's alias key and vendor inference plus the same flood/consistency
+// accounting the SNMPv3 fold keeps.
+type Sighting struct {
+	IP netip.Addr
+	// Key is the module's alias key; "" when the evidence carried no
+	// alias-usable identity (e.g. a zeroed ICMP clock).
+	Key string
+	// Vendor is the module's vendor inference, "" when unknown.
+	Vendor string
+	// ReceivedAt is when the first response packet arrived.
+	ReceivedAt time.Time
+	// Packets counts response datagrams from this IP.
+	Packets int
+	// Inconsistent marks IPs whose responses disagreed on the alias key
+	// within a single campaign (load balancers, forged duplicates).
+	Inconsistent bool
+}
+
+// Campaign is the per-IP view of one protocol's scan, the generic analogue
+// of core.Campaign (which remains the SNMPv3 fold, byte-identical to the
+// pre-module pipeline).
+type Campaign struct {
+	Protocol string
+	// Weight is the module's fusion weight, carried so downstream layers
+	// need not look the module up again.
+	Weight float64
+	ByIP   map[netip.Addr]*Sighting
+	// Counters mirror core.Campaign: see that type for semantics.
+	Malformed    int
+	Truncated    int
+	Mismatched   int
+	OffPath      int
+	Duplicates   int
+	FloodCapped  int
+	TotalPackets int
+	Started      time.Time
+	Finished     time.Time
+}
+
+// SortedIPs returns the campaign's responsive addresses in address order.
+func (c *Campaign) SortedIPs() []netip.Addr {
+	out := make([]netip.Addr, 0, len(c.ByIP))
+	for ip := range c.ByIP {
+		out = append(out, ip)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Groups buckets the campaign's sightings by alias key: each group is one
+// inferred device's interface set, sorted by address. Keyless and
+// inconsistent sightings are excluded — evidence that cannot support an
+// alias claim must not vote in fusion.
+func (c *Campaign) Groups() map[string][]netip.Addr {
+	groups := make(map[string][]netip.Addr)
+	for ip, s := range c.ByIP {
+		if s.Key == "" || s.Inconsistent {
+			continue
+		}
+		groups[s.Key] = append(groups[s.Key], ip)
+	}
+	for _, ips := range groups {
+		sort.Slice(ips, func(i, j int) bool { return ips[i].Less(ips[j]) })
+	}
+	return groups
+}
+
+// Collect folds raw scan responses into per-IP sightings through m's parser,
+// with the same hostile-path defenses as the SNMPv3 fold: unparseable
+// datagrams count as Malformed (Truncated when cut short in transit),
+// responses echoing the wrong campaign identity count as Mismatched and are
+// dropped, per-source floods parse only up to FloodCap, and sources whose
+// responses disagree on the alias key are flagged Inconsistent.
+func Collect(m Module, res *scanner.Result) *Campaign {
+	c := &Campaign{
+		Protocol: m.Name(),
+		Weight:   m.Weight(),
+		ByIP:     make(map[netip.Addr]*Sighting, len(res.Responses)),
+		OffPath:  int(res.OffPath),
+		Started:  res.Started,
+		Finished: res.Finished,
+	}
+	vm, _ := m.(VendorMapper)
+	// One evidence struct serves the whole fold; ParseInto resets it per
+	// datagram, and the alias key is materialized into the Sighting before
+	// the next parse can invalidate aliased payload bytes.
+	var ev Evidence
+	for i := range res.Responses {
+		r := &res.Responses[i]
+		c.TotalPackets++
+		s, seen := c.ByIP[r.Src]
+		if seen {
+			c.Duplicates++
+			s.Packets++
+			if s.Packets > FloodCap {
+				c.FloodCapped++
+				continue
+			}
+			err := m.ParseInto(&ev, r.Payload)
+			switch {
+			case err != nil:
+				c.noteMalformed(err)
+			case res.ProbeMsgID != 0 && ev.MsgID != res.ProbeMsgID:
+				c.Mismatched++
+			default:
+				if key, _ := m.AliasKey(&ev, r.At); key != s.Key {
+					s.Inconsistent = true
+				}
+			}
+			continue
+		}
+		if err := m.ParseInto(&ev, r.Payload); err != nil {
+			c.noteMalformed(err)
+			continue
+		}
+		if res.ProbeMsgID != 0 && ev.MsgID != res.ProbeMsgID {
+			c.Mismatched++
+			continue
+		}
+		key, _ := m.AliasKey(&ev, r.At)
+		s = &Sighting{IP: r.Src, Key: key, ReceivedAt: r.At, Packets: 1}
+		if vm != nil {
+			s.Vendor = vm.Vendor(&ev)
+		}
+		c.ByIP[r.Src] = s
+	}
+	return c
+}
+
+func (c *Campaign) noteMalformed(err error) {
+	c.Malformed++
+	if errors.Is(err, ber.ErrTruncated) {
+		c.Truncated++
+	}
+}

@@ -1,0 +1,64 @@
+package probe_test
+
+import (
+	"testing"
+
+	"snmpv3fp/internal/probe"
+)
+
+// FuzzIcmpTsParse drives the ICMP timestamp parser with arbitrary payloads:
+// it must never panic, and evidence it accepts must satisfy the parser's own
+// invariants (reply type, valid checksum, normalized clock in range).
+func FuzzIcmpTsParse(f *testing.F) {
+	m, err := probe.Get("icmp-ts")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(probe.AppendICMPTs(nil, probe.ICMPTypeTimestampReply, 0x12, 0x34, 0, 5000, 5000))
+	f.Add(probe.AppendICMPTs(nil, probe.ICMPTypeTimestamp, 1, 2, 0, 0, 0))
+	f.Add([]byte{probe.ICMPTypeTimestampReply, 0})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var ev probe.Evidence
+		if err := m.ParseInto(&ev, payload); err != nil {
+			return
+		}
+		if len(payload) < 20 {
+			t.Fatalf("accepted %d-byte payload", len(payload))
+		}
+		if payload[0] != probe.ICMPTypeTimestampReply {
+			t.Fatalf("accepted type %d", payload[0])
+		}
+		if probe.ICMPChecksum(payload[:20]) != 0 {
+			t.Fatal("accepted bad checksum")
+		}
+		if ev.HasClock && ev.RemoteMs >= probe.DayMs {
+			t.Fatalf("normalized clock %d out of range", ev.RemoteMs)
+		}
+	})
+}
+
+// FuzzNTPParse drives the mode-6 parser with arbitrary payloads: no panics,
+// and accepted evidence aliases in-bounds payload bytes only.
+func FuzzNTPParse(f *testing.F) {
+	m, err := probe.Get("ntp")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(probe.AppendNTPControl(nil, true, 7,
+		[]byte(`version="ntpd 4.2.8p10", clock=0xdeadbeef01234567`)))
+	f.Add(probe.AppendNTPControl(nil, false, 7, nil))
+	f.Add([]byte{probe.NTPControlByte, 0x82, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var ev probe.Evidence
+		if err := m.ParseInto(&ev, payload); err != nil {
+			return
+		}
+		if len(payload) < 12 || payload[0] != probe.NTPControlByte || payload[1]&0x80 == 0 {
+			t.Fatalf("accepted invalid header % x", payload[:min(len(payload), 12)])
+		}
+		count := int(payload[10])<<8 | int(payload[11])
+		if len(payload) < 12+count {
+			t.Fatalf("accepted count %d beyond %d-byte payload", count, len(payload))
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package probe
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"snmpv3fp/internal/ber"
+)
+
+// ICMP timestamp wire format (RFC 792): 20-byte message, type 13 request /
+// type 14 reply, with originate/receive/transmit timestamps in milliseconds
+// since midnight UT. Exported constants and the checksum are shared with the
+// netsim agents so both sides speak one format.
+const (
+	ICMPTypeTimestamp      = 13
+	ICMPTypeTimestampReply = 14
+	// DayMs is the timestamp modulus: milliseconds per day.
+	DayMs = 86400000
+
+	icmpTsLen = 20
+)
+
+// ICMPChecksum returns the RFC 1071 Internet checksum of b. A message whose
+// checksum field is filled correctly sums to 0.
+func ICMPChecksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// AppendICMPTs appends one 20-byte ICMP timestamp message (request or reply,
+// per typ) with a valid checksum and returns the extended slice.
+func AppendICMPTs(dst []byte, typ byte, ident, seq uint16, orig, recv, trans uint32) []byte {
+	base := len(dst)
+	dst = append(dst,
+		typ, 0, 0, 0, // type, code, checksum placeholder
+		byte(ident>>8), byte(ident),
+		byte(seq>>8), byte(seq),
+		byte(orig>>24), byte(orig>>16), byte(orig>>8), byte(orig),
+		byte(recv>>24), byte(recv>>16), byte(recv>>8), byte(recv),
+		byte(trans>>24), byte(trans>>16), byte(trans>>8), byte(trans),
+	)
+	ck := ICMPChecksum(dst[base:])
+	dst[base+2] = byte(ck >> 8)
+	dst[base+3] = byte(ck)
+	return dst
+}
+
+// icmpTsModule probes with ICMP timestamp requests and aliases interfaces by
+// shared device clock offset — the "Sundials in the Shade" signal: every
+// interface of a router answers from the same (usually skewed) clock, so
+// (remote ms − local ms) mod day is a device identity. Per-vendor encoding
+// quirks (little-endian, zeroed, RFC-violating high-bit values) are decoded
+// and recorded as evidence.
+type icmpTsModule struct{}
+
+func init() { mustRegister(icmpTsModule{}) }
+
+func (icmpTsModule) Name() string { return "icmp-ts" }
+
+// Weight is below SNMPv3: clock-offset bins can collide across devices, so
+// an ICMP agreement is suggestive, not conclusive.
+func (icmpTsModule) Weight() float64 { return 0.6 }
+
+// icmpIdent32 packs the campaign identity into the identifier+sequence
+// fields: high 16 bits identifier, low 16 bits sequence.
+func icmpIdent32(seed int64) uint32 { return uint32(seed & 0x7FFFFFFF) }
+
+func (icmpTsModule) AppendProbe(dst []byte, seed int64) []byte {
+	v := icmpIdent32(seed)
+	return AppendICMPTs(dst, ICMPTypeTimestamp, uint16(v>>16), uint16(v), 0, 0, 0)
+}
+
+func (icmpTsModule) Ident(seed int64) int64 { return int64(icmpIdent32(seed)) }
+
+func (icmpTsModule) ParseInto(ev *Evidence, payload []byte) error {
+	ev.reset("icmp-ts")
+	if len(payload) < icmpTsLen {
+		return fmt.Errorf("icmp-ts: %w: %d bytes", ber.ErrTruncated, len(payload))
+	}
+	b := payload[:icmpTsLen]
+	if b[0] != ICMPTypeTimestampReply {
+		return fmt.Errorf("icmp-ts: not a timestamp reply (type %d)", b[0])
+	}
+	if b[1] != 0 {
+		return fmt.Errorf("icmp-ts: nonzero code %d", b[1])
+	}
+	if ICMPChecksum(b) != 0 {
+		return fmt.Errorf("icmp-ts: bad checksum")
+	}
+	ev.MsgID = int64(uint32(b[4])<<24 | uint32(b[5])<<16 | uint32(b[6])<<8 | uint32(b[7]))
+	ts := uint32(b[16])<<24 | uint32(b[17])<<16 | uint32(b[18])<<8 | uint32(b[19])
+	sw := ts<<24 | ts>>24 | ts<<8&0xFF0000 | ts>>8&0xFF00
+	switch {
+	case ts == 0:
+		ev.TsEncoding = "zero"
+	case ts < DayMs:
+		ev.HasClock, ev.RemoteMs, ev.TsEncoding = true, ts, "be"
+	case sw < DayMs:
+		// Byte-swapped value is a plausible ms-of-day: little-endian
+		// sender (the classic Linux-derived quirk).
+		ev.HasClock, ev.RemoteMs, ev.TsEncoding = true, sw, "le"
+	default:
+		// RFC 792 says senders that cannot provide ms-since-midnight set
+		// the high-order bit; anything else out of range lands here too.
+		ev.TsEncoding = "nonstd"
+	}
+	return nil
+}
+
+// icmpBinMs is the clock-offset bin width. RTT plus hostile jitter smear the
+// measured offset by well under a second; 2 s bins keep one device's
+// interfaces together while separating devices with distinct skews.
+const icmpBinMs = 2000
+
+func (icmpTsModule) AliasKey(ev *Evidence, receivedAt time.Time) (string, bool) {
+	if !ev.HasClock {
+		return "", false
+	}
+	o := (int64(ev.RemoteMs) - MsOfDayUTC(receivedAt)) % DayMs
+	if o < 0 {
+		o += DayMs
+	}
+	return "ts:" + ev.TsEncoding + ":" + strconv.FormatInt(o/icmpBinMs, 10), true
+}
+
+// MsOfDayUTC reduces a clock reading to the ICMP timestamp domain:
+// milliseconds since midnight UT. Shared with the netsim agents so both
+// sides of the simulation use one definition.
+func MsOfDayUTC(t time.Time) int64 {
+	u := t.UTC()
+	h, m, s := u.Clock()
+	return (int64(h)*3600+int64(m)*60+int64(s))*1000 + int64(u.Nanosecond()/1e6)
+}

@@ -1,0 +1,143 @@
+// Package probe defines the pluggable probe-module seam: each fingerprinting
+// protocol (SNMPv3 discovery, ICMP timestamp, NTP mode 6, ...) is a Module
+// that encodes its campaign probe into a caller-owned buffer, parses
+// responses into a caller-owned Evidence struct, and derives the per-device
+// alias key its evidence supports. The scan engine (internal/scanner) stays
+// protocol-agnostic — it sends Module payloads through scanner.ScanProbe —
+// and the fusion layer (internal/fusion) combines per-module alias groups by
+// Module weight.
+//
+// Hot-path contract (holds the PR 5 AllocsPerRun gates): AppendProbe appends
+// into dst and allocates nothing when dst has capacity; ParseInto writes into
+// the caller's Evidence, aliasing payload bytes rather than copying, and
+// allocates nothing. Alias-key derivation may allocate (it runs once per
+// responding source, not per packet).
+package probe
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Evidence is the per-response parse target shared by every module. A module
+// fills only its own fields; byte-slice fields alias the response payload
+// and are valid only while the payload is (clone before retaining past a
+// transport release).
+type Evidence struct {
+	// Protocol is the name of the module that parsed the response.
+	Protocol string
+	// MsgID is the echoed campaign identity (SNMPv3 msgID, ICMP
+	// identifier+sequence, NTP sequence), compared against
+	// scanner.Result.ProbeMsgID to reject forged or corrupted datagrams.
+	MsgID int64
+
+	// SNMPv3 discovery fields.
+	EngineID   []byte
+	Boots      int64
+	EngineTime int64
+
+	// ICMP timestamp fields. RemoteMs is the remote clock in milliseconds
+	// since midnight UTC, already normalized from the sender's encoding;
+	// HasClock is false when the reply carried no usable clock (zeroed or
+	// RFC-violating high-bit timestamps). TsEncoding records the observed
+	// encoding quirk ("be", "le", "zero", "nonstd") — itself a vendor
+	// signal, per "Sundials in the Shade".
+	HasClock   bool
+	RemoteMs   uint32
+	TsEncoding string
+
+	// NTP mode-6 fields: the advertised version string and the device
+	// clock/reference identity attribute.
+	Version []byte
+	ClockID []byte
+
+	// oid is a reusable scratch buffer for SNMPv3 report OID parsing,
+	// preserved across reset so repeated parses stay allocation-free.
+	oid []uint32
+}
+
+// Module is one fingerprinting protocol behind the probe seam.
+type Module interface {
+	// Name is the registry key and wire-format tag ("snmpv3", "icmp-ts",
+	// "ntp").
+	Name() string
+	// Weight is the module's vote weight in alias fusion: how much an
+	// agreement (or conflict) from this protocol counts relative to the
+	// others. SNMPv3 engine IDs are the strongest signal and anchor at 1.0.
+	Weight() float64
+	// AppendProbe appends the campaign probe payload to dst and returns
+	// the extended slice. The payload is a pure function of seed, so equal
+	// seeds give byte-identical campaigns.
+	AppendProbe(dst []byte, seed int64) []byte
+	// Ident returns the identity value embedded in AppendProbe(nil, seed),
+	// for scanner.ProbeSpec.Ident.
+	Ident(seed int64) int64
+	// ParseInto parses one response payload into ev, resetting every field
+	// the module owns. It returns an error for malformed or truncated
+	// payloads; the error text is stable per failure mode so campaign
+	// accounting is deterministic.
+	ParseInto(ev *Evidence, payload []byte) error
+	// AliasKey derives the device-identity string this evidence supports:
+	// responses sharing a key are interfaces of one device. receivedAt is
+	// the response capture time (clock-offset keys need the local clock).
+	// ok is false when the evidence carries no alias-usable identity.
+	AliasKey(ev *Evidence, receivedAt time.Time) (key string, ok bool)
+}
+
+// VendorMapper is implemented by modules whose evidence maps to a router
+// vendor (NTP/SSH version strings, ICMP encoding quirks). Vendor returns ""
+// when the evidence does not identify one.
+type VendorMapper interface {
+	Vendor(ev *Evidence) string
+}
+
+// registry holds the built-in and caller-registered modules. Registration
+// happens at init time or program start, before campaigns run; the registry
+// is not synchronized for concurrent mutation.
+var registry = map[string]Module{}
+
+// Register adds m to the module registry. It fails on empty or duplicate
+// names so a typo cannot silently shadow a built-in.
+func Register(m Module) error {
+	name := m.Name()
+	if name == "" {
+		return fmt.Errorf("probe: module with empty name")
+	}
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("probe: module %q already registered", name)
+	}
+	registry[name] = m
+	return nil
+}
+
+// ErrUnknownProtocol is wrapped by Get for names with no registered module,
+// so every layer (fusion queries, the serve endpoints, the CLI flags) can
+// classify the failure uniformly.
+var ErrUnknownProtocol = errors.New("unknown protocol")
+
+// Get returns the registered module named name.
+func Get(name string) (Module, error) {
+	m, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("probe: %w %q (have %v)", ErrUnknownProtocol, name, Modules())
+	}
+	return m, nil
+}
+
+// Modules lists the registered module names, sorted.
+func Modules() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func mustRegister(m Module) {
+	if err := Register(m); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,204 @@
+package probe_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"snmpv3fp/internal/probe"
+	"snmpv3fp/internal/snmp"
+)
+
+var at0 = time.Date(2021, 4, 16, 0, 0, 0, 0, time.UTC)
+
+func mustModule(t *testing.T, name string) probe.Module {
+	t.Helper()
+	m, err := probe.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRegistryBuiltins(t *testing.T) {
+	got := probe.Modules()
+	for _, want := range []string{"icmp-ts", "ntp", "snmpv3"} {
+		found := false
+		for _, name := range got {
+			if name == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Modules() = %v, missing %q", got, want)
+		}
+	}
+	if _, err := probe.Get("nope"); !errors.Is(err, probe.ErrUnknownProtocol) {
+		t.Errorf("Get(nope) error = %v, want ErrUnknownProtocol", err)
+	}
+}
+
+// TestSnmpv3ProbeByteIdentity pins the module seam to the pre-module engine:
+// the snmpv3 module's probe bytes and campaign identity must match what
+// scanner.ScanContext encoded inline before the refactor, for any seed.
+func TestSnmpv3ProbeByteIdentity(t *testing.T) {
+	m := mustModule(t, "snmpv3")
+	for _, seed := range []int64{0, 1, 7, 42, 1 << 40, -3} {
+		msgID := seed & 0x7FFFFFFF
+		want := snmp.AppendDiscoveryRequest(nil, msgID, (seed*2654435761)&0x7FFFFFFF)
+		got := m.AppendProbe(nil, seed)
+		if !bytes.Equal(got, want) {
+			t.Errorf("seed %d: AppendProbe differs from legacy encoding", seed)
+		}
+		if id := m.Ident(seed); id != msgID {
+			t.Errorf("seed %d: Ident = %d, want %d", seed, id, msgID)
+		}
+	}
+}
+
+// sampleResponse builds one valid response payload per module.
+func sampleResponse(t *testing.T, name string) []byte {
+	t.Helper()
+	switch name {
+	case "snmpv3":
+		rep, err := snmp.NewDiscoveryReport(snmp.NewDiscoveryRequest(7, 7),
+			[]byte{0x80, 0x00, 0x1F, 0x88, 0x04, 1, 2, 3, 4, 5}, 3, 123456, 9).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	case "icmp-ts":
+		return probe.AppendICMPTs(nil, probe.ICMPTypeTimestampReply, 0x12, 0x34, 0, 5000, 5000)
+	case "ntp":
+		return probe.AppendNTPControl(nil, true, 7,
+			[]byte(`version="ntpd 4.2.8p10", clock=0xdeadbeef01234567`))
+	}
+	t.Fatalf("no sample for %s", name)
+	return nil
+}
+
+// TestHotPathAllocs holds the zero-allocation contract for every module:
+// AppendProbe into a reused buffer and ParseInto a warmed Evidence must not
+// allocate.
+func TestHotPathAllocs(t *testing.T) {
+	for _, name := range []string{"snmpv3", "icmp-ts", "ntp"} {
+		m := mustModule(t, name)
+		buf := m.AppendProbe(nil, 42)
+		if n := testing.AllocsPerRun(200, func() {
+			buf = m.AppendProbe(buf[:0], 42)
+		}); n != 0 {
+			t.Errorf("%s: AppendProbe allocates %.1f/op into a reused buffer", name, n)
+		}
+		payload := sampleResponse(t, name)
+		var ev probe.Evidence
+		if err := m.ParseInto(&ev, payload); err != nil {
+			t.Fatalf("%s: warm parse: %v", name, err)
+		}
+		if n := testing.AllocsPerRun(200, func() {
+			if err := m.ParseInto(&ev, payload); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("%s: ParseInto allocates %.1f/op", name, n)
+		}
+	}
+}
+
+func TestIcmpTsClassification(t *testing.T) {
+	m := mustModule(t, "icmp-ts")
+	mk := func(trans uint32) []byte {
+		return probe.AppendICMPTs(nil, probe.ICMPTypeTimestampReply, 1, 2, 0, trans, trans)
+	}
+	cases := []struct {
+		name     string
+		trans    uint32
+		encoding string
+		hasClock bool
+		remoteMs uint32
+	}{
+		// 5000 ms after midnight, straight big-endian.
+		{"be", 5000, "be", true, 5000},
+		// 1000 ms little-endian: 0xE8030000 as big-endian is out of range,
+		// byte-swapped it is a plausible ms-of-day.
+		{"le", 0xE8030000, "le", true, 1000},
+		{"zero", 0, "zero", false, 0},
+		// High bit set (RFC 792 nonstandard-timestamp flag) and no plausible
+		// ms-of-day under either byte order.
+		{"nonstd", 0xFFFFFFFF, "nonstd", false, 0},
+	}
+	for _, tc := range cases {
+		var ev probe.Evidence
+		if err := m.ParseInto(&ev, mk(tc.trans)); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if ev.TsEncoding != tc.encoding || ev.HasClock != tc.hasClock || ev.RemoteMs != tc.remoteMs {
+			t.Errorf("%s: got (%q, %v, %d), want (%q, %v, %d)",
+				tc.name, ev.TsEncoding, ev.HasClock, ev.RemoteMs, tc.encoding, tc.hasClock, tc.remoteMs)
+		}
+		key, ok := m.AliasKey(&ev, at0)
+		if ok != tc.hasClock {
+			t.Errorf("%s: AliasKey ok = %v, want %v", tc.name, ok, tc.hasClock)
+		}
+		// at0 is midnight UTC, so the offset is RemoteMs itself; bins are 2 s.
+		if tc.name == "be" && key != "ts:be:2" {
+			t.Errorf("be: AliasKey = %q, want ts:be:2", key)
+		}
+	}
+	if err := m.ParseInto(&probe.Evidence{}, mk(5000)[:10]); err == nil {
+		t.Error("truncated reply parsed without error")
+	}
+	bad := mk(5000)
+	bad[16] ^= 0xFF // corrupt timestamp without fixing the checksum
+	if err := m.ParseInto(&probe.Evidence{}, bad); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corrupted reply: err = %v, want checksum failure", err)
+	}
+}
+
+func TestNTPParseAndVendor(t *testing.T) {
+	m := mustModule(t, "ntp")
+	payload := probe.AppendNTPControl(nil, true, 77,
+		[]byte(`version="ntpd 4.2.0-JUNOS", clock=0x0123456789abcdef`))
+	var ev probe.Evidence
+	if err := m.ParseInto(&ev, payload); err != nil {
+		t.Fatal(err)
+	}
+	if ev.MsgID != 77 {
+		t.Errorf("MsgID = %d, want 77", ev.MsgID)
+	}
+	if string(ev.Version) != "ntpd 4.2.0-JUNOS" {
+		t.Errorf("Version = %q", ev.Version)
+	}
+	key, ok := m.AliasKey(&ev, at0)
+	if !ok || key != "ntp:0x0123456789abcdef" {
+		t.Errorf("AliasKey = %q, %v", key, ok)
+	}
+	vm, isVM := m.(probe.VendorMapper)
+	if !isVM {
+		t.Fatal("ntp module does not implement VendorMapper")
+	}
+	if v := vm.Vendor(&ev); v != "Juniper" {
+		t.Errorf("Vendor = %q, want Juniper", v)
+	}
+	// A request (response bit clear) must not parse as evidence.
+	if err := m.ParseInto(&ev, probe.AppendNTPControl(nil, false, 77, nil)); err == nil {
+		t.Error("mode-6 request parsed as a response")
+	}
+}
+
+func TestVendorFromVersion(t *testing.T) {
+	cases := map[string]string{
+		"ntpd 4.1.0-cisco":      "Cisco",
+		"SSH-2.0-ROSSSH":        "MikroTik", // SSH banner, same mapper
+		"ntpd 4.2.8p12-EOS":     "Arista",
+		"ntpd 4.2.0-TiMOS":      "Nokia SROS",
+		"OpenSSH_8.9":           "",
+		"ntpd 4.2.8p10 generic": "",
+	}
+	for in, want := range cases {
+		if got := probe.VendorFromVersion(in); got != want {
+			t.Errorf("VendorFromVersion(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

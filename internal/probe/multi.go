@@ -1,0 +1,46 @@
+package probe
+
+import (
+	"context"
+	"fmt"
+
+	"snmpv3fp/internal/scanner"
+)
+
+// ScanProtocols runs one campaign per protocol named in cfg.Protocols
+// (default: snmpv3 only), all over the same target space with the same
+// configuration, and returns the per-protocol raw results keyed by module
+// name. Each campaign gets a fresh transport from newTransport — the engine
+// closes its transport at campaign end — and the caller's factory is where
+// simulated runs reset the campaign clock so every protocol scans the same
+// instant and the sweep is independent of module ordering.
+//
+// The SNMPv3 campaign is byte-identical to scanner.ScanContext with the same
+// transport, targets and config: same probe bytes, same engine path.
+func ScanProtocols(ctx context.Context, newTransport func(protocol string) (scanner.Transport, error), targets scanner.TargetSpace, cfg scanner.Config) (map[string]*scanner.Result, error) {
+	protocols := cfg.Protocols
+	if len(protocols) == 0 {
+		protocols = []string{"snmpv3"}
+	}
+	out := make(map[string]*scanner.Result, len(protocols))
+	for _, name := range protocols {
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("probe: protocol %q listed twice", name)
+		}
+		m, err := Get(name)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := newTransport(name)
+		if err != nil {
+			return nil, fmt.Errorf("probe: %s transport: %w", name, err)
+		}
+		spec := scanner.ProbeSpec{Payload: m.AppendProbe(nil, cfg.Seed), Ident: m.Ident(cfg.Seed)}
+		res, err := scanner.ScanProbe(ctx, tr, targets, cfg, spec)
+		if err != nil {
+			return nil, fmt.Errorf("probe: %s campaign: %w", name, err)
+		}
+		out[name] = res
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package probe_test
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"snmpv3fp/internal/fusion"
+	"snmpv3fp/internal/netsim"
+	"snmpv3fp/internal/probe"
+	"snmpv3fp/internal/scanner"
+)
+
+// runMulti runs one multi-protocol sweep over a freshly generated world (a
+// fresh world per run keeps the scan epoch identical across runs) and folds
+// each protocol's result into a campaign.
+func runMulti(t *testing.T, hostile bool, workers int, protocols []string) map[string]*probe.Campaign {
+	t.Helper()
+	w := netsim.Generate(netsim.TinyConfig(7))
+	if hostile {
+		w.Cfg.Faults = netsim.FullHostileProfile()
+	}
+	base := w.Cfg.StartTime.Add(15 * 24 * time.Hour)
+	w.Clock.Set(base)
+	w.BeginScan()
+	targets, err := scanner.NewPrefixSpace(w.ScanPrefixes4(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := scanner.Config{
+		Rate: 5000, Batch: 64, Timeout: 8 * time.Second,
+		Clock: w.Clock, Seed: 42, Workers: workers, Protocols: protocols,
+	}
+	results, err := probe.ScanProtocols(context.Background(), func(string) (scanner.Transport, error) {
+		w.Clock.Set(base)
+		return w.NewTransport(), nil
+	}, targets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]*probe.Campaign, len(results))
+	for name, res := range results {
+		m, err := probe.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = probe.Collect(m, res)
+	}
+	return out
+}
+
+// fuseCampaigns builds the fusion report from a sweep's campaigns.
+func fuseCampaigns(camps map[string]*probe.Campaign) *fusion.Report {
+	names := make([]string, 0, len(camps))
+	for name := range camps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ev := make([]fusion.ProtocolEvidence, 0, len(names))
+	for _, name := range names {
+		c := camps[name]
+		ev = append(ev, fusion.ProtocolEvidence{Protocol: name, Weight: c.Weight, Groups: c.Groups()})
+	}
+	return fusion.Fuse(ev)
+}
+
+// TestScanProtocolsDeterministic pins the whole multi-protocol pipeline —
+// per-protocol campaigns through the hostile fault layer, alias grouping,
+// fusion — to one output across worker counts and module orderings.
+func TestScanProtocolsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-campaign sweep")
+	}
+	orderings := [][]string{
+		{"snmpv3", "icmp-ts", "ntp"},
+		{"ntp", "icmp-ts", "snmpv3"},
+	}
+	baseCamps := runMulti(t, true, 1, orderings[0])
+	baseReport := fuseCampaigns(baseCamps)
+	for _, workers := range []int{1, 4, 16} {
+		for _, order := range orderings {
+			if workers == 1 && reflect.DeepEqual(order, orderings[0]) {
+				continue
+			}
+			camps := runMulti(t, true, workers, order)
+			for name, want := range baseCamps {
+				got := camps[name]
+				if got == nil {
+					t.Fatalf("workers=%d order=%v: protocol %s missing", workers, order, name)
+				}
+				if !reflect.DeepEqual(got.Groups(), want.Groups()) {
+					t.Errorf("workers=%d order=%v: %s alias groups differ", workers, order, name)
+				}
+				if got.TotalPackets != want.TotalPackets || got.Malformed != want.Malformed ||
+					got.Truncated != want.Truncated || got.Mismatched != want.Mismatched {
+					t.Errorf("workers=%d order=%v: %s counters differ: got %+v",
+						workers, order, name, got)
+				}
+			}
+			if rep := fuseCampaigns(camps); !reflect.DeepEqual(rep, baseReport) {
+				t.Errorf("workers=%d order=%v: fusion report differs", workers, order)
+			}
+		}
+	}
+}
+
+// TestFusionMarginalGain asserts the paper-lineage metric on the stock world:
+// protocols that answer where SNMPv3 is silent must contribute alias pairs no
+// other protocol proposed.
+func TestFusionMarginalGain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-campaign sweep")
+	}
+	camps := runMulti(t, false, 4, []string{"snmpv3", "icmp-ts", "ntp"})
+	rep := fuseCampaigns(camps)
+	for _, name := range []string{"icmp-ts", "ntp"} {
+		found := false
+		for _, pr := range rep.Protocols {
+			if pr.Protocol == name {
+				found = true
+				if pr.MarginalPairs <= 0 {
+					t.Errorf("%s: marginal pairs = %d, want > 0", name, pr.MarginalPairs)
+				}
+				if pr.Accepted <= 0 {
+					t.Errorf("%s: accepted pairs = %d, want > 0", name, pr.Accepted)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s missing from fusion report", name)
+		}
+	}
+	if len(rep.Sets) == 0 || rep.AcceptedPairs == 0 {
+		t.Fatalf("empty fusion: %d sets, %d accepted pairs", len(rep.Sets), rep.AcceptedPairs)
+	}
+}
+
+// TestScanProtocolsHostileAccounting checks the fault layer is visible per
+// protocol: under the full hostile profile every module must reject mangled
+// and truncated responses rather than silently accepting them.
+func TestScanProtocolsHostileAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-campaign sweep")
+	}
+	camps := runMulti(t, true, 4, []string{"icmp-ts", "ntp"})
+	for name, c := range camps {
+		if c.TotalPackets == 0 {
+			t.Fatalf("%s: no responses under hostile profile", name)
+		}
+		if c.Mismatched == 0 {
+			t.Errorf("%s: no mismatched-identity rejections under probe mangling", name)
+		}
+		if c.Malformed+c.Truncated == 0 {
+			t.Errorf("%s: no malformed/truncated rejections under corruption faults", name)
+		}
+	}
+}

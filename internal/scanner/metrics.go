@@ -35,13 +35,13 @@ type scanMetrics struct {
 // export deterministic span histograms.
 func newScanMetrics(reg *obs.Registry, clock vclock.Clock, workers int) *scanMetrics {
 	m := &scanMetrics{
-		sent:     reg.Counter("snmpfp_scan_probes_sent_total"),
-		retried:  reg.Counter("snmpfp_scan_retries_total"),
-		received: reg.Counter("snmpfp_scan_responses_total"),
-		offPath:  reg.Counter("snmpfp_scan_offpath_rejected_total"),
-		sendErrs: reg.Counter("snmpfp_scan_send_errors_total"),
-		passes:   reg.Counter("snmpfp_scan_passes_total"),
-		timeouts: reg.Counter("snmpfp_scan_unanswered_total"),
+		sent:      reg.Counter("snmpfp_scan_probes_sent_total"),
+		retried:   reg.Counter("snmpfp_scan_retries_total"),
+		received:  reg.Counter("snmpfp_scan_responses_total"),
+		offPath:   reg.Counter("snmpfp_scan_offpath_rejected_total"),
+		sendErrs:  reg.Counter("snmpfp_scan_send_errors_total"),
+		passes:    reg.Counter("snmpfp_scan_passes_total"),
+		timeouts:  reg.Counter("snmpfp_scan_unanswered_total"),
 		inflight:  reg.Gauge("snmpfp_scan_inflight_workers"),
 		drift:     reg.Gauge("snmpfp_scan_vclock_drift_seconds"),
 		paceLag:   reg.Gauge("snmpfp_scan_pace_lag_seconds"),

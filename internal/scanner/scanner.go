@@ -107,6 +107,11 @@ type Config struct {
 	// accounting keeps a per-pass send log (one small record per probe),
 	// so leave Obs nil for Internet-scale real scans on tight memory.
 	Obs *obs.Registry
+	// Protocols selects which probe modules a multi-protocol sweep runs
+	// (see internal/probe.ScanProtocols); empty means SNMPv3 discovery
+	// only. The engine itself ignores the field — each module's campaign
+	// runs through ScanProbe with that module's payload.
+	Protocols []string
 }
 
 const (
@@ -178,17 +183,45 @@ type Result struct {
 
 // Scan runs one campaign with a background context.
 //
-// Deprecated: use ScanContext, which supports mid-campaign cancellation.
+// Deprecated: use [ScanContext], which runs the same module-aware engine
+// path and supports mid-campaign cancellation.
 func Scan(tr Transport, targets TargetSpace, cfg Config) (*Result, error) {
 	return ScanContext(context.Background(), tr, targets, cfg)
 }
 
-// ScanContext runs one campaign: N worker goroutines walk disjoint shards
-// of the target space in permuted order, collectively pacing to the
-// configured aggregate rate and sending one SNMPv3 discovery probe per
-// target, while a capture goroutine collects every response until the
-// post-send timeout. Optional retry passes re-probe the remaining
-// non-responders.
+// ProbeSpec is the probe a campaign sends: one stateless payload for every
+// target (as in ZMap, per-target state would defeat the point) plus the
+// identity value well-behaved agents echo back. Probe modules
+// (internal/probe) build specs; the engine is protocol-agnostic and treats
+// the payload as opaque bytes.
+type ProbeSpec struct {
+	// Payload is the wire bytes sent to every target.
+	Payload []byte
+	// Ident is the campaign identity embedded in Payload (SNMPv3 msgID,
+	// ICMP identifier+sequence, NTP sequence). It lands in
+	// Result.ProbeMsgID so collectors can reject responses whose echoed
+	// identity does not match the campaign. 0 disables that check.
+	Ident int64
+}
+
+// ScanContext runs one SNMPv3 discovery campaign. It is a thin wrapper
+// over [ScanProbe] with the SNMPv3 discovery module's probe spec, kept
+// byte-identical to the pre-module engine: same payload bytes, same
+// msgID derivation, same engine path.
+func ScanContext(ctx context.Context, tr Transport, targets TargetSpace, cfg Config) (*Result, error) {
+	// Responses are matched by source address, and the echoed msgID lets
+	// collectors reject forgeries.
+	probeMsgID := cfg.Seed & 0x7FFFFFFF
+	probe := snmp.AppendDiscoveryRequest(nil, probeMsgID, (cfg.Seed*2654435761)&0x7FFFFFFF)
+	return ScanProbe(ctx, tr, targets, cfg, ProbeSpec{Payload: probe, Ident: probeMsgID})
+}
+
+// ScanProbe runs one campaign with an arbitrary probe payload: N worker
+// goroutines walk disjoint shards of the target space in permuted order,
+// collectively pacing to the configured aggregate rate and sending
+// spec.Payload to every target, while a capture goroutine collects every
+// response until the post-send timeout. Optional retry passes re-probe the
+// remaining non-responders.
 //
 // Cancelling ctx drains every worker at its next loop iteration. The
 // returned error then wraps ctx's error, and — unlike other failures — the
@@ -197,15 +230,9 @@ func Scan(tr Transport, targets TargetSpace, cfg Config) (*Result, error) {
 //
 // The transport is closed on every exit path, including mid-campaign send
 // failures and cancellation, so the capture goroutine never leaks.
-func ScanContext(ctx context.Context, tr Transport, targets TargetSpace, cfg Config) (*Result, error) {
+func ScanProbe(ctx context.Context, tr Transport, targets TargetSpace, cfg Config, spec ProbeSpec) (*Result, error) {
 	cfg.fill()
-	// One stateless probe serves the whole campaign (as in ZMap, per-target
-	// state would defeat the point); responses are matched by source
-	// address, and the echoed msgID lets collectors reject forgeries.
-	probeMsgID := cfg.Seed & 0x7FFFFFFF
-	probe := snmp.AppendDiscoveryRequest(nil, probeMsgID, (cfg.Seed*2654435761)&0x7FFFFFFF)
-
-	e := newEngine(tr, targets, cfg, probe)
+	e := newEngine(tr, targets, cfg, spec.Payload)
 	campaignSpan := e.metrics.tracer.Start("scan.campaign")
 	res := &Result{Started: cfg.Clock.Now()}
 	runErr := e.run(ctx, res)
@@ -218,12 +245,12 @@ func ScanContext(ctx context.Context, tr Transport, targets TargetSpace, cfg Con
 	if err := errors.Join(runErr, closeErr, e.recvErr); err != nil {
 		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
 			// Partial-campaign accounting survives cancellation.
-			e.fillResult(res, probeMsgID)
+			e.fillResult(res, spec.Ident)
 			return res, err
 		}
 		return nil, err
 	}
-	e.fillResult(res, probeMsgID)
+	e.fillResult(res, spec.Ident)
 	if size := e.targets.Size(); size > uint64(len(e.responders)) {
 		e.metrics.timeouts.Add(size - uint64(len(e.responders)))
 	}

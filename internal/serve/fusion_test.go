@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"net/netip"
+	"testing"
+
+	"snmpv3fp/internal/store"
+)
+
+func addr(t *testing.T, s string) netip.Addr {
+	t.Helper()
+	return netip.MustParseAddr(s)
+}
+
+// seedFusionStore layers protocol evidence over the seeded SNMPv3 store:
+// icmp-ts confirms the two-IP device and extends it by one interface SNMPv3
+// never saw.
+func seedFusionStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, _, _ := seedStore(t)
+	err := st.IngestEvidence(context.Background(), "icmp-ts", []store.EvidenceSample{
+		{IP: addr(t, "192.0.2.1"), Key: "ts:be:7", ReceivedAt: t0, Packets: 1},
+		{IP: addr(t, "192.0.2.2"), Key: "ts:be:7", ReceivedAt: t0, Packets: 1},
+		{IP: addr(t, "192.0.2.9"), Key: "ts:be:7", ReceivedAt: t0, Packets: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestFusionEndpoint(t *testing.T) {
+	ts := httptest.NewServer(New(seedFusionStore(t)))
+	defer ts.Close()
+
+	var out WireFusion
+	get(t, ts, "/v1/fusion", 200, &out)
+	if out.Campaign != 2 {
+		t.Errorf("campaign = %d, want 2", out.Campaign)
+	}
+	if out.Report == nil || len(out.Report.Protocols) != 2 {
+		t.Fatalf("report = %+v, want snmpv3 + icmp-ts", out.Report)
+	}
+	var icmp, snmp int
+	for _, pr := range out.Report.Protocols {
+		switch pr.Protocol {
+		case "icmp-ts":
+			icmp = pr.MarginalPairs
+			if pr.Weight != 0.6 {
+				t.Errorf("icmp-ts weight = %v, want the module's 0.6", pr.Weight)
+			}
+		case "snmpv3":
+			snmp = pr.Proposed
+		}
+	}
+	// 192.0.2.9 answered only ICMP: the (.1,.9) and (.2,.9) pairs are
+	// icmp-ts's marginal gain.
+	if icmp != 2 {
+		t.Errorf("icmp-ts marginal pairs = %d, want 2", icmp)
+	}
+	if snmp == 0 {
+		t.Error("snmpv3 proposed no pairs")
+	}
+
+	// Restricting to one protocol drops the other's evidence.
+	get(t, ts, "/v1/fusion?protocols=snmpv3", 200, &out)
+	if len(out.Report.Protocols) != 1 || out.Report.Protocols[0].Protocol != "snmpv3" {
+		t.Errorf("filtered report protocols = %+v", out.Report.Protocols)
+	}
+
+	var we WireError
+	get(t, ts, "/v1/fusion?protocols=snmpv3,bogus", 400, &we)
+	if we.Error.Code != ErrCodeUnknownProtocol {
+		t.Errorf("unknown protocol code = %q, want %q", we.Error.Code, ErrCodeUnknownProtocol)
+	}
+}
+
+func TestFusionEmptyStore(t *testing.T) {
+	st, err := store.Open(store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	ts := httptest.NewServer(New(st))
+	defer ts.Close()
+	var we WireError
+	get(t, ts, "/v1/fusion", 404, &we)
+	if we.Error.Code != ErrCodeNotFound {
+		t.Errorf("code = %q, want %q", we.Error.Code, ErrCodeNotFound)
+	}
+}
+
+func TestIPProtocolQuery(t *testing.T) {
+	ts := httptest.NewServer(New(seedFusionStore(t)))
+	defer ts.Close()
+
+	var out WireProtocolIP
+	get(t, ts, "/v1/ip/192.0.2.9?protocol=icmp-ts", 200, &out)
+	if out.Protocol != "icmp-ts" || len(out.History) != 1 || out.History[0].Key != "ts:be:7" {
+		t.Errorf("protocol history = %+v", out)
+	}
+
+	// ?protocol=snmpv3 keeps the default SNMPv3 response shape.
+	var ip WireIP
+	get(t, ts, "/v1/ip/192.0.2.1?protocol=snmpv3", 200, &ip)
+	if len(ip.History) != 2 {
+		t.Errorf("snmpv3 history = %+v, want both campaigns", ip.History)
+	}
+
+	var we WireError
+	get(t, ts, "/v1/ip/192.0.2.1?protocol=bogus", 400, &we)
+	if we.Error.Code != ErrCodeUnknownProtocol {
+		t.Errorf("code = %q, want %q", we.Error.Code, ErrCodeUnknownProtocol)
+	}
+	get(t, ts, "/v1/ip/192.0.2.3?protocol=icmp-ts", 404, &we)
+	if we.Error.Code != ErrCodeNotFound {
+		t.Errorf("code = %q, want %q", we.Error.Code, ErrCodeNotFound)
+	}
+}

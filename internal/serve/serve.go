@@ -7,9 +7,12 @@
 // Endpoints:
 //
 //	GET /v1/ip/{addr}          current identity + full observation history
+//	                           (?protocol= selects a probe module's evidence)
 //	GET /v1/device/{engineID}  alias sets + every IP ever seen for the device
 //	GET /v1/vendors            devices per vendor over the latest pair
 //	GET /v1/reboots/{addr}     longitudinal reboot timeline and events
+//	GET /v1/fusion             cross-protocol alias fusion report
+//	                           (?protocols= restricts the fused evidence)
 //	GET /v1/stats              store and server counters
 //	GET /v1/metrics            Prometheus text exposition of the obs registry
 //
@@ -26,15 +29,19 @@ import (
 	"context"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/netip"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"snmpv3fp/internal/core"
+	"snmpv3fp/internal/fusion"
 	"snmpv3fp/internal/obs"
+	"snmpv3fp/internal/probe"
 	"snmpv3fp/internal/store"
 )
 
@@ -48,6 +55,7 @@ type Server struct {
 	reg *obs.Registry
 
 	reqIP, reqDevice, reqVendors, reqReboots, reqStats, reqMetrics atomic.Uint64
+	reqFusion                                                      atomic.Uint64
 	errors                                                         atomic.Uint64
 }
 
@@ -83,6 +91,7 @@ func New(st *store.Store, opts ...Option) *Server {
 	s.route("GET /v1/device/{engineID}", "device", &s.reqDevice, s.handleDevice)
 	s.route("GET /v1/vendors", "vendors", &s.reqVendors, s.handleVendors)
 	s.route("GET /v1/reboots/{addr}", "reboots", &s.reqReboots, s.handleReboots)
+	s.route("GET /v1/fusion", "fusion", &s.reqFusion, s.handleFusion)
 	s.route("GET /v1/stats", "stats", &s.reqStats, s.handleStats)
 	s.route("GET /v1/metrics", "metrics", &s.reqMetrics, s.handleMetrics)
 	return s
@@ -237,12 +246,58 @@ type WireStats struct {
 	Serve map[string]uint64 `json:"serve"`
 }
 
+// WireEvidenceSample is one stored protocol-evidence observation — the
+// multi-protocol counterpart of WireSample. The key is the probe module's
+// device-identity string (readable ASCII), not a hex engine ID.
+type WireEvidenceSample struct {
+	Campaign     uint64 `json:"campaign"`
+	Key          string `json:"key"`
+	ReceivedAt   string `json:"received_at"`
+	Packets      int    `json:"packets"`
+	Inconsistent bool   `json:"inconsistent,omitempty"`
+}
+
+// WireProtocolIP is the /v1/ip response when ?protocol= selects a non-SNMP
+// probe module's evidence.
+type WireProtocolIP struct {
+	IP       string               `json:"ip"`
+	Protocol string               `json:"protocol"`
+	History  []WireEvidenceSample `json:"history"`
+}
+
 func (s *Server) handleIP(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 	addr, ok := s.parseAddr(w, r)
 	if !ok {
 		return
 	}
 	v := s.st.Snapshot()
+	if proto := r.URL.Query().Get("protocol"); proto != "" && proto != "snmpv3" {
+		if _, err := probe.Get(proto); err != nil {
+			s.protocolError(w, err)
+			return
+		}
+		h := v.HistoryProtocol(addr, proto)
+		if len(h) == 0 {
+			s.notFound(w, "ip never observed by "+proto)
+			return
+		}
+		out := WireProtocolIP{
+			IP:       addr.String(),
+			Protocol: proto,
+			History:  make([]WireEvidenceSample, 0, len(h)),
+		}
+		for _, sm := range h {
+			out.History = append(out.History, WireEvidenceSample{
+				Campaign:     sm.Campaign,
+				Key:          string(sm.EngineID),
+				ReceivedAt:   sm.ReceivedAt.UTC().Format(timeLayout),
+				Packets:      sm.Packets,
+				Inconsistent: sm.Inconsistent,
+			})
+		}
+		s.writeJSON(w, out)
+		return
+	}
 	latest, ok := v.Latest(addr)
 	if !ok {
 		s.notFound(w, "ip never observed")
@@ -336,6 +391,57 @@ func (s *Server) handleReboots(ctx context.Context, w http.ResponseWriter, r *ht
 	s.writeJSON(w, out)
 }
 
+// WireFusion is the /v1/fusion response: the cross-protocol alias fusion
+// report over the latest campaign's evidence.
+type WireFusion struct {
+	Campaign uint64         `json:"campaign"`
+	Report   *fusion.Report `json:"report"`
+}
+
+// defaultFusionWeight is the vote weight for protocols found in the store
+// but not in the probe-module registry (evidence ingested by an external
+// tool, or a module since removed): trusted less than any built-in module.
+const defaultFusionWeight = 0.5
+
+func (s *Server) handleFusion(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+	v := s.st.Snapshot()
+	campaign := v.Campaigns()
+	if campaign == 0 {
+		s.notFound(w, "no campaigns ingested")
+		return
+	}
+	byProto := v.FusionEvidence(campaign)
+	if q := r.URL.Query().Get("protocols"); q != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(q, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if _, err := probe.Get(name); err != nil {
+				s.protocolError(w, err)
+				return
+			}
+			want[name] = true
+		}
+		for name := range byProto {
+			if !want[name] {
+				delete(byProto, name)
+			}
+		}
+	}
+	ev := make([]fusion.ProtocolEvidence, 0, len(byProto))
+	for name, groups := range byProto {
+		weight := defaultFusionWeight
+		if m, err := probe.Get(name); err == nil {
+			weight = m.Weight()
+		}
+		ev = append(ev, fusion.ProtocolEvidence{Protocol: name, Weight: weight, Groups: groups})
+	}
+	// Fuse sorts the evidence itself, so map iteration order is harmless.
+	s.writeJSON(w, WireFusion{Campaign: campaign, Report: fusion.Fuse(ev)})
+}
+
 func (s *Server) handleStats(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, WireStats{
 		Store: s.st.Snapshot().Stats(),
@@ -344,6 +450,7 @@ func (s *Server) handleStats(ctx context.Context, w http.ResponseWriter, r *http
 			"device":  s.reqDevice.Load(),
 			"vendors": s.reqVendors.Load(),
 			"reboots": s.reqReboots.Load(),
+			"fusion":  s.reqFusion.Load(),
 			"stats":   s.reqStats.Load(),
 			"metrics": s.reqMetrics.Load(),
 			"errors":  s.errors.Load(),
@@ -410,6 +517,9 @@ const (
 	ErrCodeNotFound         = "not_found"
 	ErrCodeMethodNotAllowed = "method_not_allowed"
 	ErrCodeCanceled         = "canceled"
+	// ErrCodeUnknownProtocol reports a ?protocol=/?protocols= name that is
+	// not a registered probe module; /v1/ip and /v1/fusion share it.
+	ErrCodeUnknownProtocol = "unknown_protocol"
 )
 
 // WireError is the versioned error envelope every failing endpoint returns:
@@ -432,6 +542,19 @@ func (s *Server) badRequest(w http.ResponseWriter, msg string) {
 func (s *Server) notFound(w http.ResponseWriter, msg string) {
 	s.errors.Add(1)
 	writeError(w, http.StatusNotFound, ErrCodeNotFound, msg)
+}
+
+// protocolError maps probe-module lookup failures onto the envelope:
+// probe.ErrUnknownProtocol gets its stable code so /v1/ip and /v1/fusion
+// report protocol-specific failures consistently; anything else degrades to
+// plain bad_request.
+func (s *Server) protocolError(w http.ResponseWriter, err error) {
+	s.errors.Add(1)
+	code := ErrCodeBadRequest
+	if errors.Is(err, probe.ErrUnknownProtocol) {
+		code = ErrCodeUnknownProtocol
+	}
+	writeError(w, http.StatusBadRequest, code, err.Error())
 }
 
 func writeError(w http.ResponseWriter, status int, code, msg string) {

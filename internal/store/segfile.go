@@ -29,8 +29,11 @@ import (
 // indexes are load-bearing, not advisory.
 
 const (
-	segMagic      = 0x53465031 // "SFP1"
-	segVersion    = 1
+	segMagic = 0x53465031 // "SFP1"
+	// segVersion 2 added the per-sample protocol tag to the sample
+	// encoding; v1 files (pre-multi-protocol) are rejected rather than
+	// misparsed.
+	segVersion    = 2
 	segFooterSize = 3*(8+4) + 4 + 4
 )
 

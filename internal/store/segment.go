@@ -11,14 +11,20 @@ import (
 
 // Sample is one stored observation: what a single campaign saw at one IP.
 // Samples are immutable once ingested; a later sample for the same
-// (IP, campaign) supersedes the earlier one (re-ingesting a corrected
-// campaign file), with compaction discarding the loser.
+// (IP, campaign, protocol) supersedes the earlier one (re-ingesting a
+// corrected campaign file), with compaction discarding the loser.
 type Sample struct {
 	IP       netip.Addr
 	Campaign uint64
 	// Seq is the store-global ingest sequence number; among samples with
-	// equal (IP, Campaign) the highest Seq wins.
-	Seq          uint64
+	// equal (IP, Campaign, Protocol) the highest Seq wins.
+	Seq uint64
+	// Protocol names the probe module that produced the sample; "" is
+	// SNMPv3 discovery (the legacy single-protocol schema). Non-SNMP
+	// samples reuse EngineID to carry the module's alias key bytes and
+	// stay out of the SNMP-specific derived state (engine index, alias
+	// pipeline, /v1/ip history).
+	Protocol     string
 	EngineID     []byte
 	Boots        int64
 	EngineTime   int64
@@ -59,13 +65,19 @@ func sampleFrom(o *core.Observation, campaign, seq uint64) Sample {
 	}
 }
 
-// sampleLess is the canonical segment order: (IP, Campaign, Seq).
+// sampleLess is the canonical segment order: (IP, Campaign, Protocol, Seq).
+// Protocol "" (SNMPv3) sorts first within a campaign, so the legacy
+// single-protocol layout is unchanged when no multi-protocol evidence
+// exists.
 func sampleLess(a, b *Sample) bool {
 	if a.IP != b.IP {
 		return a.IP.Less(b.IP)
 	}
 	if a.Campaign != b.Campaign {
 		return a.Campaign < b.Campaign
+	}
+	if a.Protocol != b.Protocol {
+		return a.Protocol < b.Protocol
 	}
 	return a.Seq < b.Seq
 }
@@ -108,6 +120,12 @@ func buildSegment(samples []Sample) *segment {
 		// appended in sorted order and dedupes against its own tail: no
 		// per-group scratch set needed.
 		for k := i; k < j; k++ {
+			// Only SNMPv3 samples enter the engine index: non-SNMP
+			// protocols reuse EngineID for their alias keys, which must
+			// not answer engine-ID device lookups.
+			if samples[k].Protocol != "" {
+				continue
+			}
 			id := samples[k].EngineID
 			if len(id) == 0 {
 				continue
@@ -129,8 +147,9 @@ func buildSegment(samples []Sample) *segment {
 var mergeScratch = sync.Pool{New: func() any { return new([]Sample) }}
 
 // mergeSegments folds several segments (oldest first) into one, dropping
-// superseded samples: for each (IP, campaign) only the highest-Seq sample
-// survives. Returns the merged segment and how many samples were dropped.
+// superseded samples: for each (IP, campaign, protocol) only the highest-Seq
+// sample survives. Returns the merged segment and how many samples were
+// dropped.
 func mergeSegments(segs []*segment) (*segment, int) {
 	total := 0
 	for _, g := range segs {
@@ -149,7 +168,7 @@ func mergeSegments(segs []*segment) (*segment, int) {
 	for i := range all {
 		if len(kept) > 0 {
 			last := &kept[len(kept)-1]
-			if last.IP == all[i].IP && last.Campaign == all[i].Campaign {
+			if last.IP == all[i].IP && last.Campaign == all[i].Campaign && last.Protocol == all[i].Protocol {
 				// Same key: the later (higher-Seq) sample supersedes.
 				kept[len(kept)-1] = all[i]
 				continue

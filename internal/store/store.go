@@ -314,11 +314,16 @@ func (s *Store) rebuildDerivedState() {
 			if sm.Campaign > s.campaign {
 				s.campaign = sm.Campaign
 			}
+			s.ingested++
+			// Non-SNMP evidence never touched known/engines on the live
+			// path (addEvidenceLocked), so replay skips it the same way.
+			if sm.Protocol != "" {
+				continue
+			}
 			s.known[sm.IP] = struct{}{}
 			if len(sm.EngineID) > 0 {
 				s.engines[string(sm.EngineID)] = struct{}{}
 			}
-			s.ingested++
 		}
 	}
 	for _, g := range s.segs {
@@ -330,6 +335,12 @@ func (s *Store) rebuildDerivedState() {
 	}
 	pick := func(samples []Sample) {
 		for i := range samples {
+			// The alias pipeline is SNMPv3-only: non-SNMP evidence must
+			// never enter prev/cur or the incremental alias index (it
+			// fuses downstream, in internal/fusion).
+			if samples[i].Protocol != "" {
+				continue
+			}
 			switch samples[i].Campaign {
 			case s.campaign - 1:
 				prevSamples = append(prevSamples, samples[i])
@@ -646,7 +657,7 @@ func (s *Store) freezeLocked() error {
 // address order (deterministic segment contents). Returns the campaign
 // sequence number.
 //
-// Deprecated: use Ingest, which supports cancellation mid-campaign.
+// Deprecated: use [Store.Ingest], which supports cancellation mid-campaign.
 func (s *Store) AddCampaign(c *core.Campaign) uint64 {
 	n, _ := s.Ingest(context.Background(), c)
 	return n

@@ -26,17 +26,33 @@ func (v *View) Stats() Stats { return v.stats }
 // Campaigns returns how many campaigns the snapshot covers.
 func (v *View) Campaigns() uint64 { return v.campaigns }
 
-// History returns every surviving sample for the IP in campaign order,
-// superseded samples (same campaign, lower sequence) removed. The slice is
-// freshly allocated; callers may keep it.
+// History returns every surviving SNMPv3 sample for the IP in campaign
+// order, superseded samples (same campaign, lower sequence) removed. The
+// slice is freshly allocated; callers may keep it. Multi-protocol evidence
+// is excluded — the reboot/alias semantics downstream (Timeline, Latest,
+// /v1/ip) are SNMPv3 observations; use HistoryProtocol for other modules.
 func (v *View) History(addr netip.Addr) []Sample {
+	return v.HistoryProtocol(addr, "")
+}
+
+// HistoryProtocol is History for one protocol's samples: "" or "snmpv3" for
+// SNMPv3 discovery, a module name (e.g. "icmp-ts", "ntp") for evidence
+// ingested by IngestEvidence.
+func (v *View) HistoryProtocol(addr netip.Addr, protocol string) []Sample {
+	if protocol == "snmpv3" {
+		protocol = ""
+	}
 	var out []Sample
 	for _, g := range v.segs {
 		sp, ok := g.byIP[addr]
 		if !ok {
 			continue
 		}
-		out = append(out, g.samples[sp.lo:sp.hi]...)
+		for _, sm := range g.samples[sp.lo:sp.hi] {
+			if sm.Protocol == protocol {
+				out = append(out, sm)
+			}
+		}
 	}
 	if len(out) == 0 {
 		return nil
@@ -56,6 +72,54 @@ func (v *View) History(addr netip.Addr) []Sample {
 		kept = append(kept, out[i])
 	}
 	return kept
+}
+
+// FusionEvidence gathers the alias groups of one campaign, per protocol:
+// protocol name ("snmpv3" for the legacy "" tag) → device-identity key →
+// addresses, ready for internal/fusion. Keyless and inconsistent samples are
+// excluded; among samples with equal (IP, protocol) the highest Seq wins.
+// Address lists are sorted.
+func (v *View) FusionEvidence(campaign uint64) map[string]map[string][]netip.Addr {
+	type pk struct {
+		proto string
+		ip    netip.Addr
+	}
+	best := make(map[pk]*Sample)
+	for _, g := range v.segs {
+		for i := range g.samples {
+			sm := &g.samples[i]
+			if sm.Campaign != campaign {
+				continue
+			}
+			k := pk{sm.Protocol, sm.IP}
+			if cur, ok := best[k]; !ok || sm.Seq > cur.Seq {
+				best[k] = sm
+			}
+		}
+	}
+	out := make(map[string]map[string][]netip.Addr)
+	for k, sm := range best {
+		if sm.Inconsistent || len(sm.EngineID) == 0 {
+			continue
+		}
+		proto := k.proto
+		if proto == "" {
+			proto = "snmpv3"
+		}
+		groups := out[proto]
+		if groups == nil {
+			groups = make(map[string][]netip.Addr)
+			out[proto] = groups
+		}
+		key := string(sm.EngineID)
+		groups[key] = append(groups[key], k.ip)
+	}
+	for _, groups := range out {
+		for _, ips := range groups {
+			sort.Slice(ips, func(i, j int) bool { return ips[i].Less(ips[j]) })
+		}
+	}
+	return out
 }
 
 // Latest returns the IP's most recent sample.

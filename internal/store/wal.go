@@ -70,7 +70,12 @@ func appendSampleEnc(b []byte, s *Sample) []byte {
 	if s.Inconsistent {
 		inc = 1
 	}
-	return append(b, inc)
+	b = append(b, inc)
+	// Protocol tag (schema v2; "" = SNMPv3). Always encoded: sample
+	// entries are concatenated back to back in segment sample blocks, so
+	// an optional trailing field would be ambiguous.
+	b = binary.AppendUvarint(b, uint64(len(s.Protocol)))
+	return append(b, s.Protocol...)
 }
 
 // decodeSampleEnc decodes one appendSampleEnc payload, returning the sample
@@ -149,6 +154,14 @@ func decodeSampleEnc(b []byte) (Sample, int, error) {
 	}
 	s.Inconsistent = b[off] == 1
 	off++
+	protoLen, ok := uv("protocol length")
+	if !ok || protoLen > walMaxRecord || len(b) < off+int(protoLen) {
+		return fail("protocol")
+	}
+	if protoLen > 0 {
+		s.Protocol = string(b[off : off+int(protoLen)])
+	}
+	off += int(protoLen)
 	return s, off, nil
 }
 

@@ -18,6 +18,8 @@
 // stable surface. The map from façade to internal package:
 //
 //	ProbeContext / ScanContext      internal/core, internal/scanner
+//	RegisterModule / ScanProtocols  internal/probe
+//	Fuse / FusionReport             internal/fusion
 //	Validate                        internal/filter
 //	ResolveAliases                  internal/alias
 //	FingerprintEngineID             internal/core, internal/engineid
@@ -26,6 +28,13 @@
 //	NewRegistry / Registry          internal/obs
 //	Track / SummarizeTimelines      internal/tracker
 //	CrackUSMPassword                internal/usm
+//
+// Beyond SNMPv3, fingerprinting is pluggable: a ProbeModule encodes one
+// stateless probe and parses its responses into alias evidence. Built-in
+// modules cover SNMPv3 discovery ("snmpv3"), ICMP timestamp clock offsets
+// ("icmp-ts") and NTP mode-6 clock identities ("ntp"); ScanProtocols runs
+// several in one sweep and Fuse merges their alias claims with weighted
+// voting, reporting each protocol's marginal gain.
 //
 // Long-running entry points take a context.Context; cancelling it drains
 // scan workers and aborts store ingest cleanly. The context-free variants
@@ -44,7 +53,9 @@ import (
 	"snmpv3fp/internal/core"
 	"snmpv3fp/internal/engineid"
 	"snmpv3fp/internal/filter"
+	"snmpv3fp/internal/fusion"
 	"snmpv3fp/internal/obs"
+	"snmpv3fp/internal/probe"
 	"snmpv3fp/internal/scanner"
 	"snmpv3fp/internal/serve"
 	"snmpv3fp/internal/snmp"
@@ -106,6 +117,25 @@ type (
 	// Registry collects counters, gauges and histograms; /v1/metrics serves
 	// its Prometheus text exposition.
 	Registry = obs.Registry
+	// ProbeModule is one pluggable fingerprinting protocol: probe encoding,
+	// response parsing and alias-key extraction.
+	ProbeModule = probe.Module
+	// ProbeEvidence is one parsed response from any probe module.
+	ProbeEvidence = probe.Evidence
+	// ProtocolCampaign is the per-IP fold of one module's campaign.
+	ProtocolCampaign = probe.Campaign
+	// ProtocolSighting is one address's folded sightings within a
+	// ProtocolCampaign.
+	ProtocolSighting = probe.Sighting
+	// ProtocolEvidence is one protocol's alias groups, input to Fuse.
+	ProtocolEvidence = fusion.ProtocolEvidence
+	// FusionReport is the cross-protocol fusion result.
+	FusionReport = fusion.Report
+	// FusedSet is one fused device in a FusionReport.
+	FusedSet = fusion.FusedSet
+	// FusionProtocolReport carries one protocol's fusion accounting,
+	// including its marginal alias gain.
+	FusionProtocolReport = fusion.ProtocolReport
 )
 
 // USM authentication protocols.
@@ -136,7 +166,7 @@ func NewListTargets(addrs []netip.Addr, seed int64) (TargetSpace, error) {
 
 // Probe sends one discovery packet with a background context.
 //
-// Deprecated: use ProbeContext, which supports cancellation.
+// Deprecated: use [ProbeContext], which supports cancellation.
 func Probe(tr Transport, addr netip.Addr, timeout time.Duration) (*Observation, error) {
 	return ProbeContext(context.Background(), tr, addr, 1, timeout)
 }
@@ -149,7 +179,8 @@ func ProbeContext(ctx context.Context, tr Transport, addr netip.Addr, msgID int6
 
 // Scan runs one campaign with a background context.
 //
-// Deprecated: use ScanContext, which supports mid-campaign cancellation.
+// Deprecated: use [ScanContext], which runs the same module-aware engine
+// path and supports mid-campaign cancellation.
 func Scan(tr Transport, targets TargetSpace, cfg ScanConfig) (*Campaign, error) {
 	return ScanContext(context.Background(), tr, targets, cfg)
 }
@@ -163,6 +194,53 @@ func ScanContext(ctx context.Context, tr Transport, targets TargetSpace, cfg Sca
 		return nil, err
 	}
 	return core.Collect(res), nil
+}
+
+// RegisterModule adds a probe module to the registry ScanProtocols and the
+// ScanConfig.Protocols selector resolve names against. The built-in modules
+// ("snmpv3", "icmp-ts", "ntp") register themselves; call this for external
+// modules before scanning. Duplicate or empty names error.
+func RegisterModule(m ProbeModule) error {
+	return probe.Register(m)
+}
+
+// Modules lists the registered probe-module names, sorted.
+func Modules() []string {
+	return probe.Modules()
+}
+
+// GetModule resolves a registered probe module by name.
+func GetModule(name string) (ProbeModule, error) {
+	return probe.Get(name)
+}
+
+// ScanProtocols runs one campaign per protocol in cfg.Protocols (default
+// ["snmpv3"]) over the same target space and folds each protocol's raw
+// responses into a per-IP campaign. newTransport opens a fresh transport per
+// protocol — with virtual-time transports it should also reset the clock so
+// every protocol's campaign is deterministic in isolation.
+func ScanProtocols(ctx context.Context, newTransport func(protocol string) (Transport, error), targets TargetSpace, cfg ScanConfig) (map[string]*ProtocolCampaign, error) {
+	results, err := probe.ScanProtocols(ctx, newTransport, targets, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*ProtocolCampaign, len(results))
+	for name, res := range results {
+		m, err := probe.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = probe.Collect(m, res)
+	}
+	return out, nil
+}
+
+// Fuse combines per-protocol alias evidence into fused device sets with
+// weighted cross-protocol voting, reporting each protocol's marginal gain
+// (the accepted pairs only it proposed). Build ProtocolEvidence from
+// ProtocolCampaign.Groups, or from a store View's FusionEvidence.
+func Fuse(evidence []ProtocolEvidence) *FusionReport {
+	return fusion.Fuse(evidence)
 }
 
 // OpenStore opens a longitudinal fingerprint store. Ingest campaigns with
