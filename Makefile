@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-smoke bench-gate bench-json bench-serve-json smoke-serve metrics-smoke durability-smoke dist-smoke reproduce examples ci fuzz-smoke clean
+.PHONY: all build vet test test-short race bench bench-smoke bench-gate bench-json bench-serve-json smoke-serve metrics-smoke durability-smoke dist-smoke replica-smoke reproduce examples ci fuzz-smoke clean
 
 all: build vet test
 
@@ -33,6 +33,7 @@ ci:
 	$(MAKE) metrics-smoke
 	$(MAKE) durability-smoke
 	$(MAKE) dist-smoke
+	$(MAKE) replica-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) bench-gate
 
@@ -112,6 +113,13 @@ durability-smoke:
 # (internal/vantage/dist_smoke_test.go), under the race detector.
 dist-smoke:
 	$(GO) test -race -run TestDistSmoke -count=1 -v ./internal/vantage
+
+# Read scale-out smoke: one durable primary shipping sealed segments over
+# loopback TCP to two read replicas — one severed mid-ship and reconnected —
+# then every /v1/* endpoint compared byte-for-byte across all three servers
+# (internal/serve/replica_test.go), under the race detector.
+replica-smoke:
+	$(GO) test -race -run TestReplicaSmoke -count=1 -v ./internal/serve
 
 # The complete evaluation, paper order, full scale.
 reproduce:

@@ -33,5 +33,8 @@ func BenchmarkStoreIngest(b *testing.B)        { benchStoreIngest(b) }
 func BenchmarkStoreDurableIngest(b *testing.B) { benchStoreDurableIngest(b) }
 func BenchmarkStoreCompact(b *testing.B)       { benchStoreCompact(b) }
 func BenchmarkServeIP(b *testing.B)            { benchServeIP(b) }
+func BenchmarkServeIPWarm(b *testing.B)        { benchServeIPWarm(b) }
+func BenchmarkServeIPMissBloom(b *testing.B)   { benchServeIPMissBloom(b) }
+func BenchmarkServeIPMissNoBloom(b *testing.B) { benchServeIPMissNoBloom(b) }
 func BenchmarkServeVendors(b *testing.B)       { benchServeVendors(b) }
 func BenchmarkServeStats(b *testing.B)         { benchServeStats(b) }

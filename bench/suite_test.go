@@ -17,6 +17,9 @@ var (
 	benchStoreDurableIngest = benchsuite.StoreDurableIngest
 	benchStoreCompact       = benchsuite.StoreCompact
 	benchServeIP            = benchsuite.ServeIP
+	benchServeIPWarm        = benchsuite.ServeIPWarm
+	benchServeIPMissBloom   = benchsuite.ServeIPMissBloom
+	benchServeIPMissNoBloom = benchsuite.ServeIPMissNoBloom
 	benchServeVendors       = benchsuite.ServeVendors
 	benchServeStats         = benchsuite.ServeStats
 )

@@ -12,10 +12,14 @@
 // manually with `make bench-json` on a quiet machine.
 //
 // With -gate FACTOR the command regresses instead of refreshing: it re-runs
-// one gated benchmark per suite — ScanCampaign, StoreDurableIngest and
-// ServeIP — and exits nonzero when any measured ns/op exceeds its
-// checked-in BENCH_*.json entry by more than FACTOR times the gate's
-// per-suite noise headroom (CI uses 1.15 via `make bench-gate`).
+// the gated benchmarks — ScanCampaign, IcmpTsCampaign, StoreDurableIngest
+// and the serve latency arms — and exits nonzero when any measured ns/op or
+// p99_ns exceeds its checked-in BENCH_*.json entry by more than FACTOR
+// times the gate's per-suite noise headroom (CI uses 1.15 via
+// `make bench-gate`). Two read-tier SLOs ride along: warm cached /v1/ip
+// p99 must stay under the fixed pre-cache ServeIP average, and cold
+// negative /v1/ip lookups must read ≥5x fewer segment bytes with bloom
+// filters than without.
 package main
 
 import (
@@ -92,9 +96,17 @@ var suites = map[string][]benchDef{
 		{"StoreCompact", benchsuite.StoreCompact, &Baseline{2763208, 9610}},
 	},
 	"serve": {
-		{"ServeIP", benchsuite.ServeIP, &Baseline{15504, 72}},
-		{"ServeVendors", benchsuite.ServeVendors, &Baseline{11681, 39}},
-		{"ServeStats", benchsuite.ServeStats, &Baseline{12764, 56}},
+		{"ServeIP", benchsuite.ServeIP, &Baseline{10030, 54}},
+		// Read-tier arms: no pre-PR baseline — the result cache and the
+		// bloom-filtered segment read path did not exist before; the
+		// interesting comparisons are warm-vs-cold within this file and
+		// MissBloom-vs-MissNoBloom (the bytes-read reduction the bench gate
+		// enforces at ≥5x).
+		{"ServeIPWarm", benchsuite.ServeIPWarm, nil},
+		{"ServeIPMissBloom", benchsuite.ServeIPMissBloom, nil},
+		{"ServeIPMissNoBloom", benchsuite.ServeIPMissNoBloom, nil},
+		{"ServeVendors", benchsuite.ServeVendors, &Baseline{6208, 20}},
+		{"ServeStats", benchsuite.ServeStats, &Baseline{7300, 38}},
 	},
 }
 
@@ -151,27 +163,43 @@ func runSuite(name string, defs []benchDef) File {
 }
 
 // gateDef is one CI regression gate: a benchmark re-measured against its
-// checked-in BENCH_<suite>.json entry. headroom scales the global gate
-// factor per suite — the scan campaign is long and stable so it gets none,
-// the durable-store arm jitters with fsync latency, and the serve
-// microbenchmarks run in microseconds where scheduler noise dominates.
+// checked-in BENCH_<suite>.json entry (or a fixed SLO). headroom scales the
+// global gate factor per suite — the scan campaign is long and stable so it
+// gets none, the durable-store arm jitters with fsync latency, and the
+// serve microbenchmarks run in microseconds where scheduler noise
+// dominates. metric selects a ReportMetric value instead of ns/op (the p99
+// latency gates); absLimit pins the metric to a fixed ceiling instead of a
+// relative baseline — the warm-read p99 SLO is absolute by design: warm
+// cache hits must beat the pre-cache ServeIP average no matter what the
+// baseline file says.
 type gateDef struct {
 	suite    string
 	bench    string
 	fn       func(*testing.B)
 	headroom float64
+	metric   string  // "" gates ns/op; otherwise this ReportMetric key
+	absLimit float64 // > 0: fixed limit for the value, no baseline lookup
 }
 
 var gates = []gateDef{
-	{"scan", "ScanCampaign", benchsuite.ScanCampaign, 1.0},
-	{"scan", "IcmpTsCampaign", benchsuite.IcmpTsCampaign, 1.15},
-	{"store", "StoreDurableIngest", benchsuite.StoreDurableIngest, 1.2},
-	{"serve", "ServeIP", benchsuite.ServeIP, 1.5},
+	{suite: "scan", bench: "ScanCampaign", fn: benchsuite.ScanCampaign, headroom: 1.0},
+	{suite: "scan", bench: "IcmpTsCampaign", fn: benchsuite.IcmpTsCampaign, headroom: 1.15},
+	{suite: "store", bench: "StoreDurableIngest", fn: benchsuite.StoreDurableIngest, headroom: 1.2},
+	{suite: "serve", bench: "ServeIP", fn: benchsuite.ServeIP, headroom: 1.5},
+	{suite: "serve", bench: "ServeVendors", fn: benchsuite.ServeVendors, headroom: 1.5, metric: "p99_ns"},
+	// The warm-read SLO: cached /v1/ip p99 must beat the pre-cache ServeIP
+	// ns/op (18474 ns, BENCH_serve.json before the read-tier work).
+	{suite: "serve", bench: "ServeIPWarm", fn: benchsuite.ServeIPWarm, metric: "p99_ns", absLimit: 18474},
 }
 
-// baselineNsPerOp reads one benchmark's recorded ns/op from the checked-in
-// BENCH_<suite>.json.
-func baselineNsPerOp(dir, suite, bench string) (int64, error) {
+// bloomBytesGateRatio is the cold-negative-lookup contract: misses against
+// bloom-filtered segments must read at least this many times fewer segment
+// bytes than the unfiltered path.
+const bloomBytesGateRatio = 5.0
+
+// baselineValue reads one benchmark's recorded ns/op (metric == "") or
+// extra metric from the checked-in BENCH_<suite>.json.
+func baselineValue(dir, suite, bench, metric string) (float64, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_"+suite+".json"))
 	if err != nil {
 		return 0, fmt.Errorf("reading baseline: %w", err)
@@ -181,41 +209,89 @@ func baselineNsPerOp(dir, suite, bench string) (int64, error) {
 		return 0, fmt.Errorf("parsing baseline: %w", err)
 	}
 	for _, e := range f.Benchmarks {
-		if e.Name == bench {
-			if e.NsPerOp <= 0 {
-				break
-			}
-			return e.NsPerOp, nil
+		if e.Name != bench {
+			continue
 		}
+		if metric == "" {
+			if e.NsPerOp > 0 {
+				return float64(e.NsPerOp), nil
+			}
+			break
+		}
+		if v, ok := e.Metrics[metric]; ok && v > 0 {
+			return v, nil
+		}
+		break
 	}
-	return 0, fmt.Errorf("no usable %s entry in BENCH_%s.json", bench, suite)
+	if metric == "" {
+		metric = "ns/op"
+	}
+	return 0, fmt.Errorf("no usable %s %s entry in BENCH_%s.json", bench, metric, suite)
 }
 
 // gateAll is the CI regression gate: every gated benchmark is re-measured
-// and compared against its checked-in baseline. A run slower than factor
-// times headroom times the recorded ns/op fails; all gates run even after
-// a failure so one CI pass reports every regression at once.
+// and compared against its checked-in baseline (or fixed SLO), then the
+// bloom bytes-read ratio is checked. All gates run even after a failure so
+// one CI pass reports every regression at once.
 func gateAll(dir string, factor float64) error {
 	var failures []string
 	for _, g := range gates {
-		base, err := baselineNsPerOp(dir, g.suite, g.bench)
-		if err != nil {
-			return err
+		r := testing.Benchmark(g.fn)
+		label, got := "ns/op", float64(r.NsPerOp())
+		if g.metric != "" {
+			label = g.metric
+			var ok bool
+			if got, ok = r.Extra[g.metric]; !ok {
+				failures = append(failures, fmt.Sprintf("%s reported no %s", g.bench, g.metric))
+				continue
+			}
 		}
-		got := testing.Benchmark(g.fn).NsPerOp()
-		limit := int64(float64(base) * factor * g.headroom)
-		fmt.Printf("gate: %-18s %12d ns/op, baseline %12d ns/op, limit %.2fx = %d ns/op\n",
-			g.bench, got, base, factor*g.headroom, limit)
+		var limit float64
+		if g.absLimit > 0 {
+			limit = g.absLimit
+			fmt.Printf("gate: %-18s %12.0f %s, SLO limit %.0f %s\n", g.bench, got, label, limit, label)
+		} else {
+			base, err := baselineValue(dir, g.suite, g.bench, g.metric)
+			if err != nil {
+				return err
+			}
+			limit = base * factor * g.headroom
+			fmt.Printf("gate: %-18s %12.0f %s, baseline %12.0f %s, limit %.2fx = %.0f %s\n",
+				g.bench, got, label, base, label, factor*g.headroom, limit, label)
+		}
 		if got > limit {
 			failures = append(failures,
-				fmt.Sprintf("%s regressed: %d ns/op > %d ns/op (%.2fx baseline)",
-					g.bench, got, limit, factor*g.headroom))
+				fmt.Sprintf("%s regressed: %.0f %s > %.0f %s", g.bench, got, label, limit, label))
 		}
+	}
+	if msg := gateBloomBytes(); msg != "" {
+		failures = append(failures, msg)
 	}
 	if len(failures) > 0 {
 		return errors.New(strings.Join(failures, "; "))
 	}
 	return nil
+}
+
+// gateBloomBytes re-measures the cold negative-lookup arms and fails when
+// the filtered path reads less than bloomBytesGateRatio times fewer segment
+// bytes per miss than the unfiltered one. The filtered arm typically reads
+// zero bytes, so it is clamped to 1 before dividing.
+func gateBloomBytes() string {
+	bloom := testing.Benchmark(benchsuite.ServeIPMissBloom).Extra["seg_bytes/op"]
+	noBloom := testing.Benchmark(benchsuite.ServeIPMissNoBloom).Extra["seg_bytes/op"]
+	denom := bloom
+	if denom < 1 {
+		denom = 1
+	}
+	ratio := noBloom / denom
+	fmt.Printf("gate: ServeIPMiss bloom %.1f seg_bytes/op vs no-bloom %.1f seg_bytes/op, ratio %.1fx (need ≥%.0fx)\n",
+		bloom, noBloom, ratio, bloomBytesGateRatio)
+	if ratio < bloomBytesGateRatio {
+		return fmt.Sprintf("bloom bytes-read reduction %.1fx < %.0fx (bloom %.1f, no-bloom %.1f seg_bytes/op)",
+			ratio, bloomBytesGateRatio, bloom, noBloom)
+	}
+	return ""
 }
 
 func main() {

@@ -69,6 +69,9 @@ func main() {
 	workers := flag.Int("workers", 4, "simulated scan send workers")
 	flushThreshold := flag.Int("flush", 4096, "memtable samples per segment flush")
 	dataDir := flag.String("data-dir", "", "durable store directory (WAL + segments); empty keeps the store in memory")
+	verify := flag.Bool("verify", false, "checksum and decode every segment sample on open (recovery is lazy by default: indexes are validated, sample blocks on first touch)")
+	replListen := flag.String("replicate-listen", "", "TCP address to ship sealed segments to read replicas from (requires -data-dir)")
+	replicaOf := flag.String("replica-of", "", "run as a read replica of the primary at this replication address: no ingest, serves the shipped state (requires -data-dir)")
 	smoke := flag.Bool("smoke", false, "ingest, self-query /v1/stats, /v1/vendors and /v1/metrics, print, exit")
 	pprofFlag := flag.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/")
 	benchJSON := flag.String("bench-json", "", "run the store+serve benchmark, write JSON to this file, exit")
@@ -78,21 +81,49 @@ func main() {
 		runBenchJSON(*benchJSON)
 		return
 	}
+	if *replicaOf != "" {
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "snmpfpd: -replica-of requires -data-dir")
+			os.Exit(2)
+		}
+		if *ingest != "" || *sim {
+			fmt.Fprintln(os.Stderr, "snmpfpd: a replica cannot ingest; drop -ingest/-sim")
+			os.Exit(2)
+		}
+		runReplica(*replicaOf, *dataDir, *listen, *verify, *pprofFlag)
+		return
+	}
+	if *replListen != "" && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "snmpfpd: -replicate-listen requires -data-dir (only sealed segments ship)")
+		os.Exit(2)
+	}
 	if *ingest == "" && !*sim {
-		fmt.Fprintln(os.Stderr, "snmpfpd: need -ingest, -sim or -bench-json")
+		fmt.Fprintln(os.Stderr, "snmpfpd: need -ingest, -sim, -replica-of or -bench-json")
 		os.Exit(2)
 	}
 
 	// One registry for the whole daemon: the store, the HTTP server and
 	// every simulated campaign publish into it.
 	reg := obs.NewRegistry()
-	st, err := store.Open(store.Options{Dir: *dataDir, FlushThreshold: *flushThreshold, Obs: reg})
+	st, err := store.Open(store.Options{Dir: *dataDir, FlushThreshold: *flushThreshold, Obs: reg, VerifyOnOpen: *verify})
 	if err != nil {
 		fatal(err)
 	}
 	if *dataDir != "" {
 		fmt.Fprintf(os.Stderr, "snmpfpd: durable store in %s (%d samples on open)\n",
 			*dataDir, st.Snapshot().Stats().Ingested)
+	}
+	if *replListen != "" {
+		rln, err := net.Listen("tcp", *replListen)
+		if err != nil {
+			fatal(err)
+		}
+		go func() {
+			if err := st.ServeReplication(rln); err != nil {
+				fmt.Fprintf(os.Stderr, "snmpfpd: replication listener: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "snmpfpd: shipping segments to replicas on %s\n", rln.Addr())
 	}
 	// Close seals the memtable and fsyncs the final manifest; on the
 	// SIGINT/SIGTERM path below it runs before exit, so a clean shutdown
@@ -161,6 +192,60 @@ func main() {
 		<-ctx.Done()
 	case <-ctx.Done():
 		fmt.Fprintln(os.Stderr, "snmpfpd: interrupted; shutting down")
+	case err := <-serveErr:
+		fatal(err)
+	}
+	shutdown(hs)
+}
+
+// runReplica is the -replica-of mode: open (or create) the replica
+// directory, follow the primary's replication stream with reconnect
+// backoff, and serve the same read-only HTTP API over the shipped state.
+func runReplica(primary, dataDir, listen string, verify, pprofFlag bool) {
+	reg := obs.NewRegistry()
+	r, err := store.OpenReplica(store.ReplicaOptions{Dir: dataDir, Obs: reg, VerifyOnOpen: verify})
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := r.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "snmpfpd: replica close: %v\n", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "snmpfpd: replica of %s in %s (%d samples on open)\n",
+		primary, dataDir, r.Snapshot().Stats().Ingested)
+
+	srv := serve.New(r, serve.WithObs(reg))
+	var handler http.Handler = srv
+	if pprofFlag {
+		root := http.NewServeMux()
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.Handle("/", srv)
+		handler = root
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Handler: handler}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "snmpfpd: replica serving on http://%s\n", ln.Addr())
+
+	syncErr := make(chan error, 1)
+	go func() { syncErr <- r.SyncLoop(ctx, primary) }()
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "snmpfpd: interrupted; shutting down")
+	case err := <-syncErr:
+		if err != nil && ctx.Err() == nil {
+			fmt.Fprintf(os.Stderr, "snmpfpd: replica sync: %v\n", err)
+		}
 	case err := <-serveErr:
 		fatal(err)
 	}

@@ -15,6 +15,7 @@ import (
 	"net/http/httptest"
 	"net/netip"
 	"os"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -338,36 +339,190 @@ func newBenchServer(b *testing.B) (*serve.Server, []*core.Observation) {
 	return serve.New(st), obs
 }
 
+// reportP99 sorts the per-iteration latencies and reports the 99th
+// percentile in nanoseconds — the number the bench-gate SLO pins.
+func reportP99(b *testing.B, durs []time.Duration) {
+	if len(durs) == 0 {
+		return
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	b.ReportMetric(float64(durs[len(durs)*99/100].Nanoseconds()), "p99_ns")
+}
+
 // ServeIP benchmarks GET /v1/ip/{addr} straight through the handler (no
-// socket), measuring store snapshot + JSON encode cost.
+// socket), measuring store snapshot + JSON encode cost (with the default
+// result cache, so the steady state mixes cold encodes and warm hits).
+// Alongside ns/op it reports the per-request p99 latency.
 func ServeIP(b *testing.B) {
 	srv, obs := newBenchServer(b)
+	durs := make([]time.Duration, 0, b.N)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		o := obs[i%len(obs)]
 		req := httptest.NewRequest("GET", "/v1/ip/"+o.IP.String(), nil)
 		w := httptest.NewRecorder()
+		start := time.Now()
 		srv.ServeHTTP(w, req)
+		durs = append(durs, time.Since(start))
 		if w.Code != http.StatusOK {
 			b.Fatalf("GET /v1/ip: %d", w.Code)
 		}
 	}
+	b.StopTimer()
+	reportP99(b, durs)
 }
 
-// ServeVendors benchmarks GET /v1/vendors.
+// benchRecorder is a reusable allocation-free ResponseWriter for the
+// latency-SLO arms: the httptest recorder allocates a body buffer and
+// header map per request, and that garbage-collection churn — not the
+// serve path — ends up dominating the measured tail.
+type benchRecorder struct {
+	h    http.Header
+	code int
+	n    int
+}
+
+func (r *benchRecorder) Header() http.Header  { return r.h }
+func (r *benchRecorder) WriteHeader(code int) { r.code = code }
+func (r *benchRecorder) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	r.n += len(p)
+	return len(p), nil
+}
+
+func (r *benchRecorder) reset() {
+	for k := range r.h {
+		delete(r.h, k)
+	}
+	r.code, r.n = 0, 0
+}
+
+// ServeIPWarm is the warm-cache arm of ServeIP: 64 hot IPs hammered in
+// rotation, so after the first lap every response comes from the result
+// cache. Its p99_ns is the warm-read SLO the bench gate enforces; requests
+// are preallocated and the recorder reused, so the timed section is the
+// serve path alone.
+func ServeIPWarm(b *testing.B) {
+	srv, obs := newBenchServer(b)
+	hot := obs
+	if len(hot) > 64 {
+		hot = hot[:64]
+	}
+	reqs := make([]*http.Request, len(hot))
+	for i, o := range hot {
+		reqs[i] = httptest.NewRequest("GET", "/v1/ip/"+o.IP.String(), nil)
+	}
+	w := &benchRecorder{h: make(http.Header)}
+	// Prime the cache so iteration 0 is already warm.
+	for _, req := range reqs {
+		srv.ServeHTTP(w, req)
+		if w.code != http.StatusOK {
+			b.Fatalf("GET /v1/ip prime: %d", w.code)
+		}
+		w.reset()
+	}
+	durs := make([]time.Duration, 0, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := reqs[i%len(reqs)]
+		start := time.Now()
+		srv.ServeHTTP(w, req)
+		durs = append(durs, time.Since(start))
+		if w.code != http.StatusOK {
+			b.Fatalf("GET /v1/ip: %d", w.code)
+		}
+		w.reset()
+	}
+	b.StopTimer()
+	reportP99(b, durs)
+}
+
+// newMissBenchServer builds a durable store whose whole state lives in
+// sealed v3 segments, for the cold negative-lookup arms. disableBloom
+// controls whether the segments carry their split-block filters.
+func newMissBenchServer(b *testing.B, disableBloom bool) (*serve.Server, *store.Store) {
+	const n = 2000
+	obs := benchObservations(n)
+	c := &core.Campaign{ByIP: make(map[netip.Addr]*core.Observation, n)}
+	for _, o := range obs {
+		c.ByIP[o.IP] = o
+	}
+	// os.MkdirTemp rather than b.TempDir: these bodies also run through
+	// testing.Benchmark in cmd/benchjson, where no test cleanup runs.
+	dir, err := os.MkdirTemp("", "snmpfp-bench-miss")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { os.RemoveAll(dir) })
+	st, err := store.Open(store.Options{Dir: dir, DisableCompaction: true, DisableBloom: disableBloom})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { st.Close() })
+	for i := 0; i < 3; i++ {
+		st.AddCampaign(c)
+	}
+	if err := st.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	return serve.New(st), st
+}
+
+// serveIPMiss drives GET /v1/ip for addresses the store has never seen and
+// reports seg_bytes/op — segment bytes physically consulted per miss. With
+// bloom filters every segment rejects the probe before its index is
+// touched; without them each miss pays a binary search per segment.
+func serveIPMiss(b *testing.B, disableBloom bool) {
+	srv, st := newMissBenchServer(b, disableBloom)
+	before := st.SegBytesRead()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// 203.0.113.0/24 and friends never appear in benchObservations.
+		addr := netip.AddrFrom4([4]byte{203, byte(i >> 16), byte(i >> 8), byte(i)})
+		req := httptest.NewRequest("GET", "/v1/ip/"+addr.String(), nil)
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if w.Code != http.StatusNotFound {
+			b.Fatalf("GET /v1/ip miss: %d", w.Code)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(st.SegBytesRead()-before)/float64(b.N), "seg_bytes/op")
+}
+
+// ServeIPMissBloom is the cold negative lookup with per-segment bloom
+// filters consulted first.
+func ServeIPMissBloom(b *testing.B) { serveIPMiss(b, false) }
+
+// ServeIPMissNoBloom is the same workload with filters disabled — the
+// pre-PR read path, kept as the comparison arm for the ≥5x bytes-read
+// reduction gate.
+func ServeIPMissNoBloom(b *testing.B) { serveIPMiss(b, true) }
+
+// ServeVendors benchmarks GET /v1/vendors, reporting p99_ns alongside
+// ns/op.
 func ServeVendors(b *testing.B) {
 	srv, _ := newBenchServer(b)
+	durs := make([]time.Duration, 0, b.N)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		req := httptest.NewRequest("GET", "/v1/vendors", nil)
 		w := httptest.NewRecorder()
+		start := time.Now()
 		srv.ServeHTTP(w, req)
+		durs = append(durs, time.Since(start))
 		if w.Code != http.StatusOK {
 			b.Fatalf("GET /v1/vendors: %d", w.Code)
 		}
 	}
+	b.StopTimer()
+	reportP99(b, durs)
 }
 
 // ServeStats benchmarks GET /v1/stats.

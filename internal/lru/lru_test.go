@@ -1,0 +1,119 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPutGetEvict(t *testing.T) {
+	// One shard's budget is max/shardCount; use keys that land wherever they
+	// like but drive a single shard over budget deterministically by cost.
+	c := New[int](16 * shardCount)
+	c.Put("a", 1, 8)
+	c.Put("b", 2, 8)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	if got := c.Bytes(); got == 0 {
+		t.Fatal("Bytes() = 0 after puts")
+	}
+	if c.Hits() != 1 {
+		t.Fatalf("Hits() = %d, want 1", c.Hits())
+	}
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("Get(missing) hit")
+	}
+	if c.Misses() != 1 {
+		t.Fatalf("Misses() = %d, want 1", c.Misses())
+	}
+}
+
+func TestEvictionOrderLRU(t *testing.T) {
+	// All three keys collide into the same shard only by luck; instead pin
+	// behavior per shard: fill one shard to capacity and verify the cold
+	// entry goes first. Find three keys in the same shard.
+	c := New[string](10 * shardCount)
+	var keys []string
+	want := fnv1a("seed") & (shardCount - 1)
+	for i := 0; len(keys) < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if fnv1a(k)&(shardCount-1) == want {
+			keys = append(keys, k)
+		}
+	}
+	c.Put(keys[0], "old", 4)
+	c.Put(keys[1], "mid", 4)
+	c.Get(keys[0]) // promote old above mid
+	c.Put(keys[2], "new", 4)
+	if _, ok := c.Get(keys[1]); ok {
+		t.Fatal("least-recently-used entry survived eviction")
+	}
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Fatal("recently-promoted entry was evicted")
+	}
+	if c.Evictions() == 0 {
+		t.Fatal("Evictions() = 0 after capacity overflow")
+	}
+}
+
+func TestReplaceAdjustsBytes(t *testing.T) {
+	c := New[int](1 << 20)
+	c.Put("k", 1, 100)
+	c.Put("k", 2, 40)
+	if got := c.Bytes(); got != 40 {
+		t.Fatalf("Bytes() = %d after replace, want 40", got)
+	}
+	if v, _ := c.Get("k"); v != 2 {
+		t.Fatalf("Get(k) = %d after replace, want 2", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", c.Len())
+	}
+}
+
+func TestOversizedValueRejected(t *testing.T) {
+	c := New[int](8 * shardCount)
+	c.Put("small", 1, 4)
+	c.Put("huge", 2, 1<<20)
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("value larger than a shard was cached")
+	}
+	if _, ok := c.Get("small"); !ok {
+		t.Fatal("oversized put flushed an unrelated entry")
+	}
+}
+
+func TestNilCacheIsNoop(t *testing.T) {
+	var c *Cache[int]
+	c.Put("k", 1, 8)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	if c.Hits()+c.Misses()+c.Evictions() != 0 || c.Bytes() != 0 || c.Len() != 0 {
+		t.Fatal("nil cache reported nonzero counters")
+	}
+	if New[int](0) != nil {
+		t.Fatal("New(0) should return the nil no-op cache")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int](1 << 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := fmt.Sprintf("k%d", (w*i)%257)
+				c.Put(k, i, 64)
+				c.Get(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Bytes() < 0 {
+		t.Fatalf("Bytes() went negative: %d", c.Bytes())
+	}
+}

@@ -40,6 +40,7 @@ import (
 
 	"snmpv3fp/internal/core"
 	"snmpv3fp/internal/fusion"
+	"snmpv3fp/internal/lru"
 	"snmpv3fp/internal/obs"
 	"snmpv3fp/internal/probe"
 	"snmpv3fp/internal/store"
@@ -48,15 +49,31 @@ import (
 // timeLayout renders timestamps as the records package does.
 const timeLayout = time.RFC3339Nano
 
+// Source is anything that can produce consistent store snapshots — a
+// primary *store.Store or a read-only *store.Replica. Every handler works
+// on one snapshot per request.
+type Source interface {
+	Snapshot() *store.View
+}
+
+// defaultResultCacheBytes bounds the hot-response cache when the caller
+// doesn't size it explicitly.
+const defaultResultCacheBytes = 32 << 20
+
 // Server routes API requests to a store.
 type Server struct {
-	st  *store.Store
+	st  Source
 	mux *http.ServeMux
 	reg *obs.Registry
+
+	// results caches encoded 200 bodies of view-pure endpoints, keyed by
+	// (view generation, path, query); nil when disabled.
+	results *lru.Cache[[]byte]
 
 	reqIP, reqDevice, reqVendors, reqReboots, reqStats, reqMetrics atomic.Uint64
 	reqFusion                                                      atomic.Uint64
 	errors                                                         atomic.Uint64
+	cacheBytes                                                     int64
 }
 
 // Option configures a Server.
@@ -75,26 +92,106 @@ func WithObs(reg *obs.Registry) Option {
 	}
 }
 
+// WithResultCache sizes the hot-response cache: encoded 200 bodies of the
+// view-pure endpoints (/v1/ip, /v1/device, /v1/vendors, /v1/reboots,
+// /v1/fusion) are cached keyed by the store's view generation, so a burst
+// of identical queries between ingests costs one snapshot walk and one JSON
+// encode. maxBytes <= 0 disables the cache. Without this option the server
+// uses defaultResultCacheBytes.
+func WithResultCache(maxBytes int64) Option {
+	return func(s *Server) { s.cacheBytes = maxBytes }
+}
+
 // handlerFunc is an API handler: the request context is passed explicitly
 // so cancellation propagates without each handler re-deriving it.
 type handlerFunc func(ctx context.Context, w http.ResponseWriter, r *http.Request)
 
-// New builds a server over the store.
-func New(st *store.Store, opts ...Option) *Server {
-	s := &Server{st: st, mux: http.NewServeMux(), reg: obs.NewRegistry()}
+// New builds a server over a snapshot source — a primary store or a read
+// replica.
+func New(st Source, opts ...Option) *Server {
+	s := &Server{st: st, mux: http.NewServeMux(), reg: obs.NewRegistry(), cacheBytes: defaultResultCacheBytes}
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.cacheBytes > 0 {
+		s.results = lru.New[[]byte](s.cacheBytes)
+	}
 	s.reg.Help("snmpfp_http_requests_total", "API requests by endpoint")
 	s.reg.Help("snmpfp_http_request_duration_seconds", "API request latency by endpoint")
-	s.route("GET /v1/ip/{addr}", "ip", &s.reqIP, s.handleIP)
-	s.route("GET /v1/device/{engineID}", "device", &s.reqDevice, s.handleDevice)
-	s.route("GET /v1/vendors", "vendors", &s.reqVendors, s.handleVendors)
-	s.route("GET /v1/reboots/{addr}", "reboots", &s.reqReboots, s.handleReboots)
-	s.route("GET /v1/fusion", "fusion", &s.reqFusion, s.handleFusion)
+	s.registerCacheMetrics()
+	s.route("GET /v1/ip/{addr}", "ip", &s.reqIP, s.cached(s.handleIP))
+	s.route("GET /v1/device/{engineID}", "device", &s.reqDevice, s.cached(s.handleDevice))
+	s.route("GET /v1/vendors", "vendors", &s.reqVendors, s.cached(s.handleVendors))
+	s.route("GET /v1/reboots/{addr}", "reboots", &s.reqReboots, s.cached(s.handleReboots))
+	s.route("GET /v1/fusion", "fusion", &s.reqFusion, s.cached(s.handleFusion))
 	s.route("GET /v1/stats", "stats", &s.reqStats, s.handleStats)
 	s.route("GET /v1/metrics", "metrics", &s.reqMetrics, s.handleMetrics)
 	return s
+}
+
+// registerCacheMetrics exposes result-cache effectiveness in the registry.
+func (s *Server) registerCacheMetrics() {
+	if s.results == nil {
+		return
+	}
+	s.reg.Help("snmpfp_serve_result_cache_hits_total", "Result cache hits")
+	s.reg.Help("snmpfp_serve_result_cache_misses_total", "Result cache misses")
+	s.reg.Help("snmpfp_serve_result_cache_bytes", "Result cache resident bytes")
+	s.reg.CounterFunc("snmpfp_serve_result_cache_hits_total", s.results.Hits)
+	s.reg.CounterFunc("snmpfp_serve_result_cache_misses_total", s.results.Misses)
+	s.reg.GaugeFunc("snmpfp_serve_result_cache_bytes", func() float64 { return float64(s.results.Bytes()) })
+}
+
+// resultRecorder tees a handler's response so a 200 body can be cached.
+// Error responses pass through uncached.
+type resultRecorder struct {
+	http.ResponseWriter
+	status int
+	body   bytes.Buffer
+}
+
+func (rr *resultRecorder) WriteHeader(status int) {
+	rr.status = status
+	rr.ResponseWriter.WriteHeader(status)
+}
+
+func (rr *resultRecorder) Write(p []byte) (int, error) {
+	if rr.status == 0 {
+		rr.status = http.StatusOK
+	}
+	if rr.status == http.StatusOK {
+		rr.body.Write(p)
+	}
+	return rr.ResponseWriter.Write(p)
+}
+
+// cached wraps a view-pure handler with the result cache. The key includes
+// the store's view generation, so any ingest, flush or replica commit that
+// changes visible state invalidates every cached response at once — two
+// identical GETs with an ingest between them can never serve the same
+// bytes from cache.
+func (s *Server) cached(h handlerFunc) handlerFunc {
+	if s.results == nil {
+		return h
+	}
+	return func(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+		version := s.st.Snapshot().Stats().Version
+		key := strconv.FormatUint(version, 16) + "\x00" + r.URL.Path + "\x00" + r.URL.RawQuery
+		if body, ok := s.results.Get(key); ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+			if _, err := w.Write(body); err != nil {
+				s.errors.Add(1)
+			}
+			return
+		}
+		rr := &resultRecorder{ResponseWriter: w}
+		h(ctx, rr, r)
+		if rr.status == http.StatusOK && rr.body.Len() > 0 {
+			body := append([]byte(nil), rr.body.Bytes()...)
+			s.results.Put(key, body, int64(len(body))+int64(len(key)))
+		}
+	}
 }
 
 // route registers one instrumented endpoint: it counts the request (both

@@ -208,6 +208,11 @@ type VendorCount struct {
 	Devices int    `json:"devices"`
 }
 
+// setCount and vendorCount are the live tallies materialize would render,
+// without building the slices — Stats reads them on every snapshot.
+func (ai *aliasIndex) setCount() int    { return len(ai.sets) }
+func (ai *aliasIndex) vendorCount() int { return len(ai.vendors) }
+
 // materialize renders the live sets and tallies in the batch pipeline's
 // canonical order: sets by decreasing size then first member IP, members by
 // IP, vendors by decreasing device count then name — matching

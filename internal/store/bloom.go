@@ -1,0 +1,116 @@
+package store
+
+import "encoding/binary"
+
+// Split-block bloom filter over a segment's IP and engine-ID keys,
+// consulted before any index probe so a cold negative lookup touches zero
+// segment bytes. The layout is the cache-friendly SBBF of Putze et al. (the
+// parquet variant): the filter is an array of 32-byte blocks, each key
+// hashes to one block and sets/tests one bit in each of the block's eight
+// 32-bit words — one cache line per query instead of k scattered probes.
+//
+// Keys are namespaced by a one-byte prefix so an IP can never alias an
+// engine ID: 'i' + the 4- or 16-byte address, 'e' + the raw engine-ID
+// bytes (see bloomIPKey / bloomEngineKey).
+
+// sbbfBlockSize is one filter block: 8 words × 32 bits = 256 bits.
+const sbbfBlockSize = 32
+
+// segBloomBitsPerKey sizes the filter at segment-write time. 16 bits/key
+// puts the SBBF false-positive rate well under 1% (≈0.1%); the FPR test
+// pins that headroom.
+const segBloomBitsPerKey = 16
+
+// sbbfSalts are the per-word odd multipliers (the parquet constants); each
+// picks an independent bit position inside its word.
+var sbbfSalts = [8]uint32{
+	0x47b6137b, 0x44974d91, 0x8824ad5b, 0xa2b7289d,
+	0x705495c7, 0x2df1424b, 0x9efc4947, 0x5c6bfb31,
+}
+
+// sbbf is the filter over its raw block bytes; the zero value (no blocks)
+// is the "absent" filter whose mayContain always answers true, which is
+// exactly the semantics old no-filter segments need.
+type sbbf struct {
+	blocks []byte // len is a multiple of sbbfBlockSize
+}
+
+// newSBBF sizes a filter for nKeys at bitsPerKey.
+func newSBBF(nKeys, bitsPerKey int) sbbf {
+	if nKeys < 1 {
+		nKeys = 1
+	}
+	nBlocks := (nKeys*bitsPerKey + sbbfBlockSize*8 - 1) / (sbbfBlockSize * 8)
+	if nBlocks < 1 {
+		nBlocks = 1
+	}
+	return sbbf{blocks: make([]byte, nBlocks*sbbfBlockSize)}
+}
+
+// splitmix64 finalizes the FNV hash: FNV-1a alone is too regular over
+// structured keys (sequential IPs differ in one byte), and the block index
+// consumes the high bits where FNV mixes worst.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func bloomHash(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range key {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return splitmix64(h)
+}
+
+// blockOf maps the hash's high 32 bits onto a block index without a modulo
+// (Lemire's multiply-shift range reduction).
+func (f sbbf) blockOf(h uint64) int {
+	nBlocks := uint64(len(f.blocks) / sbbfBlockSize)
+	return int(((h >> 32) * nBlocks) >> 32)
+}
+
+func (f sbbf) add(key []byte) {
+	h := bloomHash(key)
+	blk := f.blocks[f.blockOf(h)*sbbfBlockSize:]
+	x := uint32(h)
+	for i, salt := range sbbfSalts {
+		bit := (x * salt) >> 27 // top 5 bits: position within the word
+		w := binary.LittleEndian.Uint32(blk[i*4:])
+		binary.LittleEndian.PutUint32(blk[i*4:], w|1<<bit)
+	}
+}
+
+// mayContain reports whether the key might be present; false is definitive.
+// An empty (absent) filter answers true for everything.
+func (f sbbf) mayContain(key []byte) bool {
+	if len(f.blocks) == 0 {
+		return true
+	}
+	h := bloomHash(key)
+	blk := f.blocks[f.blockOf(h)*sbbfBlockSize:]
+	x := uint32(h)
+	for i, salt := range sbbfSalts {
+		bit := (x * salt) >> 27
+		if binary.LittleEndian.Uint32(blk[i*4:])&(1<<bit) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// bloomIPKey renders the namespaced filter key for an address. The scratch
+// byte array keeps the hot negative-lookup path allocation-free.
+func bloomIPKey(dst []byte, addrLen int, addr []byte) []byte {
+	dst = append(dst[:0], 'i')
+	return append(dst, addr[:addrLen]...)
+}
+
+// bloomEngineKey renders the namespaced filter key for an engine ID.
+func bloomEngineKey(dst []byte, id []byte) []byte {
+	dst = append(dst[:0], 'e')
+	return append(dst, id...)
+}

@@ -30,7 +30,9 @@ func allSamples(s *Store) []Sample {
 	defer s.mu.Unlock()
 	var out []Sample
 	for _, g := range s.segs {
-		out = append(out, g.samples...)
+		if err := g.scan(func(sm *Sample) { out = append(out, *sm) }); err != nil {
+			panic(err)
+		}
 	}
 	for _, f := range s.frozen {
 		out = append(out, f.samples...)
@@ -242,7 +244,7 @@ func TestIngestSplitsAtFlushThreshold(t *testing.T) {
 	s.mu.Lock()
 	var sizes []int
 	for _, g := range s.segs {
-		sizes = append(sizes, len(g.samples))
+		sizes = append(sizes, g.length())
 	}
 	memLen := s.mem.len()
 	s.mu.Unlock()

@@ -98,7 +98,9 @@ func TestKillDuringIngest(t *testing.T) {
 	}
 	_ = cmd.Wait() // reaps; exit status is the kill signal
 
-	st, err := Open(Options{Dir: dir, FlushThreshold: 16})
+	// VerifyOnOpen keeps the full checksum-and-decode pass in the
+	// durability-smoke contract even though normal opens are lazy.
+	st, err := Open(Options{Dir: dir, FlushThreshold: 16, VerifyOnOpen: true})
 	if err != nil {
 		t.Fatalf("recovery after SIGKILL failed: %v", err)
 	}

@@ -37,16 +37,48 @@ type manifest struct {
 	Segments []string `json:"segments"`
 }
 
+// renderManifest encodes m to the on-disk (and on-wire, for replication)
+// representation: the canonical JSON line plus its crc32c hex line.
+func renderManifest(m *manifest) ([]byte, error) {
+	line, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("store: manifest encode: %w", err)
+	}
+	return []byte(fmt.Sprintf("%s\n%08x\n", line, crc32.Checksum(line, castagnoli))), nil
+}
+
+// parseManifest decodes and checksum-verifies the rendered representation.
+func parseManifest(data []byte) (m manifest, err error) {
+	line, crcLine, found := strings.Cut(strings.TrimSuffix(string(data), "\n"), "\n")
+	if !found {
+		return m, fmt.Errorf("store: manifest corrupt: missing checksum line")
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(crcLine, "%08x", &want); err != nil {
+		return m, fmt.Errorf("store: manifest corrupt: bad checksum line %q", crcLine)
+	}
+	if got := crc32.Checksum([]byte(line), castagnoli); got != want {
+		return m, fmt.Errorf("store: manifest corrupt: checksum %08x, want %08x", got, want)
+	}
+	if err := json.Unmarshal([]byte(line), &m); err != nil {
+		return m, fmt.Errorf("store: manifest corrupt: %w", err)
+	}
+	if m.Version != 1 {
+		return m, fmt.Errorf("store: manifest version %d unsupported", m.Version)
+	}
+	return m, nil
+}
+
 // writeManifest atomically replaces the manifest.
 func (d *disk) writeManifest(m *manifest) error {
 	if err := d.hook("manifest.write"); err != nil {
 		return err
 	}
-	line, err := json.Marshal(m)
+	rendered, err := renderManifest(m)
 	if err != nil {
-		return fmt.Errorf("store: manifest encode: %w", err)
+		return err
 	}
-	data := fmt.Sprintf("%s\n%08x\n", line, crc32.Checksum(line, castagnoli))
+	data := string(rendered)
 	tmp := filepath.Join(d.dir, manifestTmpName)
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -82,22 +114,9 @@ func readManifest(dir string) (m manifest, ok bool, err error) {
 	if err != nil {
 		return m, false, fmt.Errorf("store: manifest read: %w", err)
 	}
-	line, crcLine, found := strings.Cut(strings.TrimSuffix(string(data), "\n"), "\n")
-	if !found {
-		return m, false, fmt.Errorf("store: manifest corrupt: missing checksum line")
-	}
-	var want uint32
-	if _, err := fmt.Sscanf(crcLine, "%08x", &want); err != nil {
-		return m, false, fmt.Errorf("store: manifest corrupt: bad checksum line %q", crcLine)
-	}
-	if got := crc32.Checksum([]byte(line), castagnoli); got != want {
-		return m, false, fmt.Errorf("store: manifest corrupt: checksum %08x, want %08x", got, want)
-	}
-	if err := json.Unmarshal([]byte(line), &m); err != nil {
-		return m, false, fmt.Errorf("store: manifest corrupt: %w", err)
-	}
-	if m.Version != 1 {
-		return m, false, fmt.Errorf("store: manifest version %d unsupported", m.Version)
+	m, err = parseManifest(data)
+	if err != nil {
+		return m, false, err
 	}
 	return m, true, nil
 }

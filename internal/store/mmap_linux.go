@@ -1,0 +1,56 @@
+//go:build linux
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapReader backs a lazily opened segment with a read-only shared mapping:
+// N serving processes over the same directory share one page-cache copy of
+// every segment instead of N heap copies, and opening a segment costs two
+// syscalls regardless of its size. Uses the stdlib syscall mmap wrappers
+// directly — no golang.org/x/sys dependency.
+type mmapReader struct {
+	data []byte
+}
+
+func (m *mmapReader) bytes() []byte { return m.data }
+
+func (m *mmapReader) close() error {
+	if m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	return syscall.Munmap(data)
+}
+
+// openSegReader maps the file read-only. Decoded samples copy what they
+// need out of the mapping (addresses, engine IDs, protocol strings), so
+// nothing queries hand out can outlive an unmap.
+func openSegReader(path string) (segReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: segment open: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("store: segment stat: %w", err)
+	}
+	size := fi.Size()
+	if size == 0 {
+		return &heapReader{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("store: segment %s too large to map (%d bytes)", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("store: segment mmap %s: %w", path, err)
+	}
+	return &mmapReader{data: data}, nil
+}

@@ -1,0 +1,20 @@
+//go:build !linux
+
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// openSegReader on non-linux platforms reads the whole file into the heap —
+// the portable fallback behind the same segReader interface. The lazy
+// segment machinery above it is identical; only the page-cache sharing is
+// lost.
+func openSegReader(path string) (segReader, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: segment read: %w", err)
+	}
+	return &heapReader{data: data}, nil
+}

@@ -1,0 +1,496 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"snmpv3fp/internal/alias"
+	"snmpv3fp/internal/lru"
+	"snmpv3fp/internal/obs"
+)
+
+// Replica is the read-only receiving end of segment-shipping replication: a
+// store directory populated over the wire instead of by ingest. It holds
+// the same on-disk layout as a primary (segment files plus MANIFEST, minus
+// any WAL), opens its segments through the same lazy mmap/bloom machinery,
+// and serves the same Snapshot interface — so an HTTP tier in front of a
+// Replica is byte-identical to one in front of the primary once the replica
+// has applied the primary's latest commit and the primary has flushed its
+// memtable.
+//
+// Commits apply atomically: the shipped manifest bytes are renamed into
+// place first, then the in-memory segment list and derived state swap in
+// one critical section, and only after that are superseded local segment
+// files deleted — a segment shipped and then superseded by a racing
+// compaction can therefore never resurrect into the serving state.
+type Replica struct {
+	opt     ReplicaOptions
+	d       *disk
+	segStat *segStats
+
+	mu       sync.Mutex
+	segs     []*segment
+	byName   map[string]*segment
+	held     map[string]bool // complete segment files on disk
+	campaign uint64
+	der      derived
+	stats    Stats
+	statsOK  bool
+	applied  uint64 // applied manifest seq horizon
+	view     *View
+	viewOK   bool
+
+	primarySeq atomic.Uint64
+	appliedSeq atomic.Uint64
+	commits    atomic.Uint64
+	connected  atomic.Int64
+
+	closed atomic.Bool
+}
+
+// ReplicaOptions tunes a replica.
+type ReplicaOptions struct {
+	// Dir is the replica's store directory; created if absent.
+	Dir string
+	// Variant is the alias-resolution rule used to rebuild derived state
+	// from shipped segments (default alias.Default). Must match the
+	// primary's for byte-identical query results.
+	Variant alias.Variant
+	// Obs, when non-nil, receives the replica's metrics.
+	Obs *obs.Registry
+	// BlockCacheBytes bounds the decoded-block cache (0 = 16 MiB default,
+	// negative disables), exactly as Options.BlockCacheBytes.
+	BlockCacheBytes int64
+	// VerifyOnOpen checksums and decodes every sample of every shipped
+	// segment at open and apply time.
+	VerifyOnOpen bool
+}
+
+// replicaStatsName is the file the last shipped primary Stats persist in,
+// so a restarted replica serves consistent stats before its first commit.
+const replicaStatsName = "REPLICA"
+
+// ErrReplicaGap reports a commit listing a segment the replica does not
+// hold — the stream skipped ahead (e.g. a different primary). The replica
+// should reconnect and resynchronize from a fresh Hello.
+var ErrReplicaGap = errors.New("store: replica: commit references a segment not shipped")
+
+// OpenReplica opens (or creates) a replica directory and loads whatever a
+// previous session applied: manifest, segments, last shipped stats.
+// Leftover partial downloads (tmp files) and segments no applied manifest
+// lists are swept, exactly like primary crash recovery.
+func OpenReplica(opt ReplicaOptions) (*Replica, error) {
+	zero := alias.Variant{}
+	if opt.Variant == zero {
+		opt.Variant = alias.Default
+	}
+	r := &Replica{
+		opt:    opt,
+		d:      &disk{dir: opt.Dir},
+		byName: map[string]*segment{},
+		held:   map[string]bool{},
+	}
+	r.segStat = &segStats{}
+	cacheBytes := opt.BlockCacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = defaultBlockCacheBytes
+	}
+	if cacheBytes > 0 {
+		r.segStat.blocks = lru.New[[]Sample](cacheBytes)
+	}
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	man, _, err := readManifest(opt.Dir)
+	if err != nil {
+		return nil, err
+	}
+	_, orphans, _, err := scanDir(opt.Dir, &man)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range orphans {
+		if err := os.Remove(filepath.Join(opt.Dir, name)); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range man.Segments {
+		g, err := openSegment(opt.Dir, name, r.segStat, opt.VerifyOnOpen)
+		if err != nil {
+			return nil, err
+		}
+		r.segs = append(r.segs, g)
+		r.byName[name] = g
+		r.held[name] = true
+	}
+	der, err := rebuildDerived(r.segs, nil, man.Campaigns, opt.Variant)
+	if err != nil {
+		return nil, err
+	}
+	r.der = der
+	r.campaign = der.campaign
+	r.applied = man.Seq
+	r.appliedSeq.Store(man.Seq)
+	r.primarySeq.Store(man.Seq)
+	if data, err := os.ReadFile(filepath.Join(opt.Dir, replicaStatsName)); err == nil {
+		var st Stats
+		if json.Unmarshal(data, &st) == nil {
+			r.stats, r.statsOK = st, true
+		}
+	}
+	r.registerMetrics(opt.Obs)
+	return r, nil
+}
+
+func (r *Replica) registerMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("snmpfp_replica_applied_seq", func() float64 { return float64(r.appliedSeq.Load()) })
+	reg.GaugeFunc("snmpfp_replica_primary_seq", func() float64 { return float64(r.primarySeq.Load()) })
+	reg.GaugeFunc("snmpfp_replica_lag_seq", func() float64 {
+		return float64(r.primarySeq.Load()) - float64(r.appliedSeq.Load())
+	})
+	reg.GaugeFunc("snmpfp_replica_connected", func() float64 { return float64(r.connected.Load()) })
+	reg.CounterFunc("snmpfp_replica_commits_total", r.commits.Load)
+	reg.Help("snmpfp_replica_applied_seq", "manifest seq horizon applied locally")
+	reg.Help("snmpfp_replica_primary_seq", "latest manifest seq horizon received from the primary")
+	reg.Help("snmpfp_replica_lag_seq", "replication lag: primary seq horizon minus applied")
+	reg.Help("snmpfp_replica_connected", "1 while a replication stream to the primary is live")
+	reg.Help("snmpfp_replica_commits_total", "manifest commits applied")
+	if r.segStat != nil {
+		reg.CounterFunc("snmpfp_store_seg_query_bytes_total", r.segStat.queryBytes.Load)
+		if c := r.segStat.blocks; c != nil {
+			reg.CounterFunc("snmpfp_store_block_cache_hits_total", c.Hits)
+			reg.CounterFunc("snmpfp_store_block_cache_misses_total", c.Misses)
+			reg.CounterFunc("snmpfp_store_block_cache_evictions_total", c.Evictions)
+			reg.GaugeFunc("snmpfp_store_block_cache_bytes", func() float64 { return float64(c.Bytes()) })
+		}
+	}
+}
+
+// Close marks the replica closed; in-flight Sync calls return after their
+// current frame.
+func (r *Replica) Close() error {
+	r.closed.Store(true)
+	return nil
+}
+
+// Snapshot returns an immutable view of the replica, the same View type a
+// primary's Snapshot returns — a serve tier accepts either.
+func (r *Replica) Snapshot() *View {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.viewOK {
+		return r.view
+	}
+	segs := append([]*segment(nil), r.segs...)
+	sets, vendors, byEngine := r.der.aidx.materialize()
+	stats := r.stats
+	if !r.statsOK {
+		// No commit shipped yet: serve locally derived counts so the
+		// endpoints are coherent, even though live-primary counters
+		// (flushes, memtable) are unknowable here.
+		segSamples := 0
+		for _, g := range segs {
+			segSamples += g.length()
+		}
+		stats = Stats{
+			Campaigns:         r.campaign,
+			Ingested:          r.der.ingested,
+			Segments:          len(segs),
+			SegmentSamples:    segSamples,
+			TrackedIPs:        len(r.der.known),
+			CurrentResponsive: len(r.der.cur),
+			Devices:           len(r.der.engines),
+			AliasSets:         r.der.aidx.setCount(),
+			Vendors:           r.der.aidx.vendorCount(),
+		}
+	}
+	v := &View{
+		segs:      segs,
+		campaigns: r.campaign,
+		sets:      sets,
+		vendors:   vendors,
+		byEngine:  byEngine,
+		stats:     stats,
+	}
+	r.view, r.viewOK = v, true
+	return v
+}
+
+// SyncLoop dials the primary and replicates until ctx is cancelled,
+// reconnecting with a backoff after any error — the long-running mode
+// behind snmpfpd -replica-of.
+func (r *Replica) SyncLoop(ctx context.Context, addr string) error {
+	backoff := 250 * time.Millisecond
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			start := time.Now()
+			err = r.Sync(ctx, conn)
+			if time.Since(start) > 10*time.Second {
+				backoff = 250 * time.Millisecond
+			}
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		_ = err // transient: reconnect
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff < 4*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// Sync replicates over one established connection until the stream ends,
+// ctx is cancelled or the replica is closed. Taking the conn rather than an
+// address makes fault injection trivial: tests hand in one half of a pipe
+// or a conn they sever mid-ship.
+func (r *Replica) Sync(ctx context.Context, conn net.Conn) error {
+	defer conn.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-stop:
+		}
+	}()
+
+	r.connected.Add(1)
+	defer r.connected.Add(-1)
+
+	r.mu.Lock()
+	hello := replHello{Version: replProtoVersion, AppliedSeq: r.applied}
+	for name := range r.held {
+		hello.Held = append(hello.Held, name)
+	}
+	r.mu.Unlock()
+	body := replFramePool.Get()[:0]
+	body = appendReplHello(body, hello)
+	err := writeReplFrame(conn, replFrameHello, body)
+	replFramePool.Put(body)
+	if err != nil {
+		return err
+	}
+
+	// incoming is the segment file currently being streamed, nil between
+	// files.
+	var incoming *replSeg
+	var incomingBuf []byte
+	for {
+		if r.closed.Load() {
+			return nil
+		}
+		typ, body, err := readReplFrame(conn)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		switch typ {
+		case replFrameSeg:
+			seg, err := parseReplSeg(body)
+			if err != nil {
+				return err
+			}
+			if seg.Size > 1<<32 {
+				return fmt.Errorf("store: replica: segment %s implausibly large (%d bytes)", seg.Name, seg.Size)
+			}
+			incoming = &seg
+			incomingBuf = make([]byte, 0, seg.Size)
+		case replFrameChunk:
+			if incoming == nil {
+				return errReplFrame
+			}
+			if uint64(len(incomingBuf)+len(body)) > incoming.Size {
+				return fmt.Errorf("store: replica: segment %s overflows its announced size", incoming.Name)
+			}
+			incomingBuf = append(incomingBuf, body...)
+		case replFrameSegDone:
+			if incoming == nil {
+				return errReplFrame
+			}
+			if uint64(len(incomingBuf)) != incoming.Size {
+				return fmt.Errorf("store: replica: segment %s truncated (%d of %d bytes)", incoming.Name, len(incomingBuf), incoming.Size)
+			}
+			if crc32.Checksum(incomingBuf, castagnoli) != incoming.CRC {
+				return fmt.Errorf("store: replica: segment %s checksum mismatch", incoming.Name)
+			}
+			if err := writeFileAtomic(r.opt.Dir, incoming.Name, incomingBuf); err != nil {
+				return err
+			}
+			r.mu.Lock()
+			r.held[incoming.Name] = true
+			r.mu.Unlock()
+			incoming, incomingBuf = nil, nil
+		case replFrameCommit:
+			c, err := parseReplCommit(body)
+			if err != nil {
+				return err
+			}
+			if err := r.applyCommit(c); err != nil {
+				return err
+			}
+			ack := replFramePool.Get()[:0]
+			ack = replAppendU64(ack, r.appliedSeq.Load())
+			err = writeReplFrame(conn, replFrameAck, ack)
+			replFramePool.Put(ack)
+			if err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("store: replica: unexpected frame %d", typ)
+		}
+	}
+}
+
+// applyCommit makes a shipped (manifest, stats) pair the serving state:
+// manifest to disk first, then the atomic in-memory swap, then cleanup of
+// segments the new manifest no longer lists.
+func (r *Replica) applyCommit(c replCommit) error {
+	man, err := parseManifest(c.Manifest)
+	if err != nil {
+		return err
+	}
+	r.primarySeq.Store(man.Seq)
+	var stats Stats
+	if err := json.Unmarshal(c.Stats, &stats); err != nil {
+		return fmt.Errorf("store: replica: stats decode: %w", err)
+	}
+
+	// Every listed segment must already be on disk — the protocol ships
+	// segments before their commit, and Hello told the primary what we
+	// hold. Anything missing means the stream and our state diverged.
+	r.mu.Lock()
+	for _, name := range man.Segments {
+		if !r.held[name] {
+			r.mu.Unlock()
+			return fmt.Errorf("%w: %s", ErrReplicaGap, name)
+		}
+	}
+	r.mu.Unlock()
+
+	// Open newly shipped segments outside the lock (index validation and
+	// mmap), reusing already open ones so their cache ids stay warm.
+	opened := map[string]*segment{}
+	r.mu.Lock()
+	for name, g := range r.byName {
+		opened[name] = g
+	}
+	r.mu.Unlock()
+	segs := make([]*segment, 0, len(man.Segments))
+	for _, name := range man.Segments {
+		g := opened[name]
+		if g == nil {
+			var err error
+			g, err = openSegment(r.opt.Dir, name, r.segStat, r.opt.VerifyOnOpen)
+			if err != nil {
+				return err
+			}
+			opened[name] = g
+		}
+		segs = append(segs, g)
+	}
+	der, err := rebuildDerived(segs, nil, man.Campaigns, r.opt.Variant)
+	if err != nil {
+		return err
+	}
+
+	// Commit point: manifest bytes land on disk exactly as shipped, then
+	// the in-memory state swaps.
+	if err := writeFileAtomic(r.opt.Dir, manifestName, c.Manifest); err != nil {
+		return err
+	}
+	_ = writeFileAtomic(r.opt.Dir, replicaStatsName, c.Stats)
+
+	live := make(map[string]bool, len(man.Segments))
+	for _, name := range man.Segments {
+		live[name] = true
+	}
+	var drop []string
+	r.mu.Lock()
+	r.segs = segs
+	byName := make(map[string]*segment, len(segs))
+	for i, name := range man.Segments {
+		byName[name] = segs[i]
+	}
+	r.byName = byName
+	r.der = der
+	r.campaign = der.campaign
+	r.stats, r.statsOK = stats, true
+	r.applied = man.Seq
+	for name := range r.held {
+		if !live[name] {
+			delete(r.held, name)
+			drop = append(drop, name)
+		}
+	}
+	r.view, r.viewOK = nil, false
+	r.mu.Unlock()
+	r.appliedSeq.Store(man.Seq)
+	r.commits.Add(1)
+
+	// Only after the swap is visible do superseded files go away: a crash
+	// at any earlier point leaves them held or sweepable, never a serving
+	// state referencing a deleted file.
+	for _, name := range drop {
+		_ = os.Remove(filepath.Join(r.opt.Dir, name))
+	}
+	return nil
+}
+
+// writeFileAtomic writes name in dir through a tmp file, fsync and rename,
+// then fsyncs the directory.
+func writeFileAtomic(dir, name string, data []byte) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// compile-time interface hygiene: both ends serve the same snapshots.
+var _ interface{ Snapshot() *View } = (*Store)(nil)
+var _ interface{ Snapshot() *View } = (*Replica)(nil)

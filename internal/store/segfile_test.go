@@ -1,0 +1,187 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"snmpv3fp/internal/lru"
+)
+
+// buildTestSegment makes an eager segment with a spread of v4 IPs, two
+// engine IDs and a non-SNMP evidence sample.
+func buildTestSegment(n int) *segment {
+	idA := engID(9, 1, 2, 3, 4)
+	idB := engID(2636, 9, 9, 9, 9)
+	var samples []Sample
+	for i := 0; i < n; i++ {
+		id := idA
+		if i%3 == 0 {
+			id = idB
+		}
+		o := mkObs(fmt.Sprintf("10.5.%d.%d", i/200, i%200), id, 2, int64(100+i), t0)
+		samples = append(samples, sampleFrom(o, uint64(1+i%2), uint64(i+1)))
+	}
+	// One non-SNMP evidence sample: excluded from engine index and flags.
+	o := mkObs("10.5.250.1", []byte("key-bytes"), 0, 0, t0)
+	ev := sampleFrom(o, 2, uint64(n+1))
+	ev.Protocol = "icmp-ts"
+	samples = append(samples, ev)
+	return buildSegment(samples)
+}
+
+// writeAndOpen round-trips a segment through the v3 file format.
+func writeAndOpen(t *testing.T, g *segment, withBloom, verify bool, st *segStats) *segment {
+	t.Helper()
+	dir := t.TempDir()
+	d := &disk{dir: dir}
+	if err := d.writeSegmentFile("000001.seg", g, withBloom); err != nil {
+		t.Fatal(err)
+	}
+	lz, err := openSegment(dir, "000001.seg", st, verify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lz
+}
+
+// TestSegmentV3RoundTrip: every accessor of the lazy segment answers
+// exactly like the eager one it was written from.
+func TestSegmentV3RoundTrip(t *testing.T) {
+	for _, verify := range []bool{false, true} {
+		g := buildTestSegment(300)
+		lz := writeAndOpen(t, g, true, verify, nil)
+		if lz.lz == nil {
+			t.Fatal("v3 open produced an eager segment")
+		}
+		if lz.length() != g.length() {
+			t.Fatalf("length %d, want %d", lz.length(), g.length())
+		}
+		var eager, lazy []Sample
+		g.mustScan(func(sm *Sample) { eager = append(eager, *sm) })
+		lz.mustScan(func(sm *Sample) { lazy = append(lazy, *sm) })
+		if mustJSON(t, lazy) != mustJSON(t, eager) {
+			t.Fatal("scan order or contents diverge")
+		}
+		for ip := range g.byIP {
+			if mustJSON(t, lz.ipSamples(ip)) != mustJSON(t, g.ipSamples(ip)) {
+				t.Fatalf("ipSamples(%s) diverges", ip)
+			}
+		}
+		for id := range g.engines {
+			if mustJSON(t, lz.engineIPs([]byte(id))) != mustJSON(t, g.engineIPs([]byte(id))) {
+				t.Fatalf("engineIPs(%x) diverges", id)
+			}
+		}
+		// The evidence sample's protocol key must not answer engine lookups.
+		if got := lz.engineIPs([]byte("key-bytes")); got != nil {
+			t.Fatalf("evidence alias key leaked into engine index: %v", got)
+		}
+	}
+}
+
+// TestSegmentBloomScreensNegatives is the cold-negative-lookup contract:
+// with the filter, a miss touches zero segment bytes; without it, every
+// miss pays an index probe.
+func TestSegmentBloomScreensNegatives(t *testing.T) {
+	st := &segStats{}
+	g := buildTestSegment(300)
+	lz := writeAndOpen(t, g, true, false, st)
+
+	misses := 0
+	for i := 0; i < 1000; i++ {
+		addr := mkObs(fmt.Sprintf("172.16.%d.%d", i/250, i%250), nil, 0, 0, t0).IP
+		if lz.ipSamples(addr) != nil {
+			t.Fatalf("phantom samples for %s", addr)
+		}
+		misses++
+	}
+	bloomBytes := st.queryBytes.Load()
+
+	st2 := &segStats{}
+	noBloom := writeAndOpen(t, g, false, false, st2)
+	for i := 0; i < 1000; i++ {
+		addr := mkObs(fmt.Sprintf("172.16.%d.%d", i/250, i%250), nil, 0, 0, t0).IP
+		if noBloom.ipSamples(addr) != nil {
+			t.Fatalf("phantom samples for %s", addr)
+		}
+	}
+	noBloomBytes := st2.queryBytes.Load()
+
+	if noBloomBytes == 0 {
+		t.Fatal("no-bloom misses touched zero bytes; accounting broken")
+	}
+	// The acceptance bar is ≥5x; with a ~0.1% FPR the filtered path
+	// typically touches nothing at all.
+	if bloomBytes*5 > noBloomBytes {
+		t.Fatalf("bloom path read %d bytes over %d misses vs %d without; want ≥5x reduction",
+			bloomBytes, misses, noBloomBytes)
+	}
+}
+
+// TestSegmentBlockCache: a repeated positive lookup is served from the
+// cache — no extra segment bytes read — and the result is identical.
+func TestSegmentBlockCache(t *testing.T) {
+	st := &segStats{blocks: lru.New[[]Sample](1 << 20)}
+	g := buildTestSegment(300)
+	lz := writeAndOpen(t, g, true, false, st)
+	var addr = mkObs("10.5.0.1", nil, 0, 0, t0).IP
+	first := lz.ipSamples(addr)
+	if len(first) == 0 {
+		t.Fatal("expected samples for a present IP")
+	}
+	cold := st.queryBytes.Load()
+	again := lz.ipSamples(addr)
+	if mustJSON(t, again) != mustJSON(t, first) {
+		t.Fatal("cached result diverges")
+	}
+	warm := st.queryBytes.Load()
+	if warm != cold {
+		t.Fatalf("cache hit still read %d segment bytes", warm-cold)
+	}
+	if st.blocks.Hits() == 0 {
+		t.Fatal("no cache hit recorded")
+	}
+}
+
+// TestSegmentV3CorruptionDetection: flipped bytes in the index or bloom
+// blocks fail open immediately; a flipped sample byte passes a lazy open
+// but fails the verify pass.
+func TestSegmentV3CorruptionDetection(t *testing.T) {
+	dir := t.TempDir()
+	d := &disk{dir: dir}
+	g := buildTestSegment(100)
+	if err := d.writeSegmentFile("000001.seg", g, true); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "000001.seg")
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A flipped byte mid-sample-block: lazy open fine, verify catches it.
+	data := append([]byte(nil), pristine...)
+	data[len(data)/8] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openSegment(dir, "000001.seg", nil, false); err != nil {
+		t.Fatalf("lazy open should defer sample checksums, got %v", err)
+	}
+	if _, err := openSegment(dir, "000001.seg", nil, true); err == nil {
+		t.Fatal("verify open missed sample-block corruption")
+	}
+
+	// A flipped byte near the tail (inside index/bloom/footer): caught by
+	// every open.
+	data = append([]byte(nil), pristine...)
+	data[len(data)-segFooterSize-10] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openSegment(dir, "000001.seg", nil, false); err == nil {
+		t.Fatal("lazy open missed tail-block corruption")
+	}
+}

@@ -1,12 +1,17 @@
 package store
 
 import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
 	"net/netip"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"snmpv3fp/internal/core"
+	"snmpv3fp/internal/lru"
 )
 
 // Sample is one stored observation: what a single campaign saw at one IP.
@@ -85,9 +90,31 @@ func sampleLess(a, b *Sample) bool {
 // span is a half-open index range into a segment's sample slice.
 type span struct{ lo, hi int }
 
+// segStats is the shared read-tier plumbing every lazily opened segment of
+// one store (or replica) hangs off: the bytes-read accounting behind the
+// bloom-effectiveness bench, the decoded-block cache, and the id counter
+// that keys cache entries per segment incarnation.
+type segStats struct {
+	// queryBytes counts segment bytes actually touched by point lookups —
+	// index entries probed plus sample bytes decoded. Bloom probes and
+	// block-cache hits cost zero, which is exactly the number the
+	// cold-negative-lookup acceptance criterion is measured on.
+	queryBytes atomic.Uint64
+	nextSegID  atomic.Uint64
+	// blocks caches decoded per-IP sample runs, keyed (segment id, addr);
+	// nil disables.
+	blocks *lru.Cache[[]Sample]
+}
+
 // segment is one immutable sorted run of samples with its per-IP and
 // per-engine-ID indexes. Segments are never mutated after construction, so
 // readers touch them without synchronization.
+//
+// A segment is either eager (samples + maps in the heap: freshly built
+// memtable freezes, merges in flight, v2 files) or lazy (lz != nil: a v3
+// file served straight from its mapped bytes, decoding per-IP runs on
+// demand). All reads go through the accessor methods below, which hide the
+// difference.
 type segment struct {
 	samples []Sample
 	byIP    map[netip.Addr]span
@@ -99,6 +126,308 @@ type segment struct {
 	// segments snapshots freeze. Set once before the segment is installed,
 	// never read by view code.
 	file string
+
+	// lz, when non-nil, is the lazy mmap-backed representation; samples/
+	// byIP/engines above are then unused (nil).
+	lz *lazySeg
+}
+
+// lazySeg serves a v3 segment file from its raw (typically mmap'd) bytes.
+type lazySeg struct {
+	rd      segReader
+	sblk    []byte // sample block, count header included
+	count   int
+	ip4     []byte // fixed-width v4 index entries, ascending
+	ip6     []byte
+	n4, n6  int
+	engOffs []byte // nEng × u32 offsets into engBlk
+	engBlk  []byte
+	nEng    int
+	filter  sbbf // zero value when the file carries no bloom
+	// minC/maxC bound the campaigns present, so recovery and per-campaign
+	// scans skip whole segments from the footer alone.
+	minC, maxC uint64
+	st         *segStats
+	id         uint64
+}
+
+func (lz *lazySeg) read(n int) {
+	if lz.st != nil {
+		lz.st.queryBytes.Add(uint64(n))
+	}
+}
+
+// ipEntry binary-searches the fixed-width index for addr, returning the
+// entry bytes (ip | flags | lo | hi | off) or nil.
+func (lz *lazySeg) ipEntry(addr netip.Addr) []byte {
+	var key []byte
+	var tbl []byte
+	var width, ipLen, n int
+	if addr.Is4() {
+		a := addr.As4()
+		key, tbl, width, ipLen, n = a[:], lz.ip4, segIPEntry4, 4, lz.n4
+	} else {
+		a := addr.As16()
+		key, tbl, width, ipLen, n = a[:], lz.ip6, segIPEntry6, 16, lz.n6
+	}
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		e := tbl[mid*width : mid*width+width]
+		lz.read(width)
+		switch bytes.Compare(e[:ipLen], key) {
+		case 0:
+			return e
+		case -1:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return nil
+}
+
+// decodeSpan decodes the n samples starting at byte offset off within the
+// sample block.
+func (lz *lazySeg) decodeSpan(off, n int) ([]Sample, error) {
+	b := lz.sblk[off:]
+	out := make([]Sample, 0, n)
+	read := 0
+	for i := 0; i < n; i++ {
+		sm, sz, err := decodeSampleEnc(b)
+		if err != nil {
+			return nil, fmt.Errorf("store: segment %d sample decode at %d: %w", lz.id, off+read, err)
+		}
+		out = append(out, sm)
+		b = b[sz:]
+		read += sz
+	}
+	lz.read(read)
+	return out, nil
+}
+
+// ipSamples returns the segment's samples for addr (all protocols), nil if
+// absent. The bloom filter screens first (zero bytes touched on a true
+// negative), then the index probe, then the block cache or a decode.
+func (lz *lazySeg) ipSamples(addr netip.Addr) []Sample {
+	var scratch [17]byte
+	if addr.Is4() {
+		a := addr.As4()
+		if !lz.filter.mayContain(bloomIPKey(scratch[:0], 4, a[:])) {
+			return nil
+		}
+	} else {
+		a := addr.As16()
+		if !lz.filter.mayContain(bloomIPKey(scratch[:0], 16, a[:])) {
+			return nil
+		}
+	}
+	ipLen := 4
+	if !addr.Is4() {
+		ipLen = 16
+	}
+	// The cache key is (segment id, addr) — independent of the index entry —
+	// so a warm hit skips the index probe entirely and reads zero bytes.
+	var key string
+	if lz.st != nil && lz.st.blocks != nil {
+		var kb [32]byte
+		k := binary.LittleEndian.AppendUint64(kb[:0], lz.id)
+		k = append(k, scratch[:1+ipLen]...)
+		key = string(k)
+		if cached, ok := lz.st.blocks.Get(key); ok {
+			return cached
+		}
+	}
+	e := lz.ipEntry(addr)
+	if e == nil {
+		return nil
+	}
+	spanLo := int(binary.LittleEndian.Uint32(e[ipLen+1:]))
+	spanHi := int(binary.LittleEndian.Uint32(e[ipLen+5:]))
+	off := int(binary.LittleEndian.Uint32(e[ipLen+9:]))
+	out, err := lz.decodeSpan(off, spanHi-spanLo)
+	if err != nil {
+		// The index and bloom blocks were verified at open; a decode
+		// failure here means the mapped file was corrupted underneath a
+		// live store. Fail stop, like the SIGBUS an externally truncated
+		// mapping would raise.
+		panic(err)
+	}
+	if key != "" {
+		lz.st.blocks.Put(key, out, sampleSliceCost(out))
+	}
+	return out
+}
+
+// engineIPs returns every IP recorded for the engine ID, nil if absent.
+func (lz *lazySeg) engineIPs(id []byte) []netip.Addr {
+	if len(id) == 0 || lz.nEng == 0 {
+		return nil
+	}
+	var scratch [64]byte
+	if !lz.filter.mayContain(bloomEngineKey(scratch[:0], id)) {
+		return nil
+	}
+	lo, hi := 0, lz.nEng
+	for lo < hi {
+		mid := (lo + hi) / 2
+		off := int(binary.LittleEndian.Uint32(lz.engOffs[mid*4:]))
+		b := lz.engBlk[off:]
+		idLen, n := binary.Uvarint(b)
+		if n <= 0 || uint64(len(b)-n) < idLen {
+			panic(fmt.Errorf("store: segment %d engine index corrupt at %d", lz.id, off))
+		}
+		entryID := b[n : n+int(idLen)]
+		lz.read(4 + n + int(idLen))
+		switch bytes.Compare(entryID, id) {
+		case 0:
+			b = b[n+int(idLen):]
+			nIPs, n := binary.Uvarint(b)
+			if n <= 0 {
+				panic(fmt.Errorf("store: segment %d engine entry corrupt at %d", lz.id, off))
+			}
+			b = b[n:]
+			ips := make([]netip.Addr, 0, nIPs)
+			read := n
+			for j := uint64(0); j < nIPs; j++ {
+				ip, sz, err := decodeAddr(b)
+				if err != nil {
+					panic(fmt.Errorf("store: segment %d engine entry corrupt at %d: %w", lz.id, off, err))
+				}
+				ips = append(ips, ip)
+				b = b[sz:]
+				read += sz
+			}
+			lz.read(read)
+			return ips
+		case -1:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return nil
+}
+
+// scan streams every sample through fn in canonical order. Used by full
+// scans (fusion evidence, recovery replay, compaction merges) — nothing is
+// retained, so a lazy segment never materializes a heap copy of itself.
+func (lz *lazySeg) scan(fn func(*Sample)) error {
+	b := lz.sblk
+	_, n := binary.Uvarint(b)
+	if n <= 0 {
+		return fmt.Errorf("store: segment %d sample count corrupt", lz.id)
+	}
+	b = b[n:]
+	for i := 0; i < lz.count; i++ {
+		sm, sz, err := decodeSampleEnc(b)
+		if err != nil {
+			return fmt.Errorf("store: segment %d sample %d: %w", lz.id, i, err)
+		}
+		fn(&sm)
+		b = b[sz:]
+	}
+	return nil
+}
+
+// forEachIPEntry walks the index entries (v4 then v6) without touching the
+// sample block; recovery rebuilds the known-IP set from this alone.
+func (lz *lazySeg) forEachIPEntry(fn func(addr netip.Addr, flags byte)) {
+	for i := 0; i < lz.n4; i++ {
+		e := lz.ip4[i*segIPEntry4:]
+		fn(netip.AddrFrom4([4]byte(e[:4])), e[4])
+	}
+	for i := 0; i < lz.n6; i++ {
+		e := lz.ip6[i*segIPEntry6:]
+		fn(netip.AddrFrom16([16]byte(e[:16])), e[16])
+	}
+}
+
+// forEachEngineID walks the engine index keys; recovery rebuilds the
+// distinct-device set from this alone.
+func (lz *lazySeg) forEachEngineID(fn func(id []byte)) {
+	for i := 0; i < lz.nEng; i++ {
+		off := int(binary.LittleEndian.Uint32(lz.engOffs[i*4:]))
+		b := lz.engBlk[off:]
+		idLen, n := binary.Uvarint(b)
+		if n <= 0 || uint64(len(b)-n) < idLen {
+			panic(fmt.Errorf("store: segment %d engine index corrupt at %d", lz.id, off))
+		}
+		fn(b[n : n+int(idLen)])
+	}
+}
+
+// sampleSliceCost estimates the heap footprint of a decoded sample run for
+// the block cache's byte budget.
+func sampleSliceCost(samples []Sample) int64 {
+	cost := int64(24)
+	for i := range samples {
+		cost += 112 + int64(len(samples[i].EngineID)) + int64(len(samples[i].Protocol))
+	}
+	return cost
+}
+
+// ---- accessor methods: the one query surface over both representations ----
+
+// length returns the sample count.
+func (g *segment) length() int {
+	if g.lz != nil {
+		return g.lz.count
+	}
+	return len(g.samples)
+}
+
+// ipSamples returns the segment's samples for addr (all protocols) in
+// canonical order, nil if absent. Callers must not mutate the result: it
+// may be a shared sub-slice (eager) or a cached decode (lazy).
+func (g *segment) ipSamples(addr netip.Addr) []Sample {
+	if g.lz != nil {
+		return g.lz.ipSamples(addr)
+	}
+	sp, ok := g.byIP[addr]
+	if !ok {
+		return nil
+	}
+	return g.samples[sp.lo:sp.hi]
+}
+
+// engineIPs returns every IP recorded for the engine ID. Shared; do not
+// mutate.
+func (g *segment) engineIPs(id []byte) []netip.Addr {
+	if g.lz != nil {
+		return g.lz.engineIPs(id)
+	}
+	return g.engines[string(id)]
+}
+
+// scan streams every sample through fn in canonical order. The *Sample is
+// only valid for the duration of the call.
+func (g *segment) scan(fn func(*Sample)) error {
+	if g.lz != nil {
+		return g.lz.scan(fn)
+	}
+	for i := range g.samples {
+		fn(&g.samples[i])
+	}
+	return nil
+}
+
+// mayContainCampaign reports whether the segment can hold samples of
+// campaign c; lazy segments answer from the footer's campaign range, eager
+// ones conservatively say yes.
+func (g *segment) mayContainCampaign(c uint64) bool {
+	if g.lz != nil {
+		return c >= g.lz.minC && c <= g.lz.maxC
+	}
+	return true
+}
+
+// mustScan is scan for view paths that have no error channel: a decode
+// failure on an open-verified segment is fail-stop.
+func (g *segment) mustScan(fn func(*Sample)) {
+	if err := g.scan(fn); err != nil {
+		panic(err)
+	}
 }
 
 // buildSegment sorts the samples into canonical order and indexes them. It
@@ -149,11 +478,12 @@ var mergeScratch = sync.Pool{New: func() any { return new([]Sample) }}
 // mergeSegments folds several segments (oldest first) into one, dropping
 // superseded samples: for each (IP, campaign, protocol) only the highest-Seq
 // sample survives. Returns the merged segment and how many samples were
-// dropped.
-func mergeSegments(segs []*segment) (*segment, int) {
+// dropped. Lazy inputs are streamed through their decoder; an undecodable
+// sample fails the merge rather than silently dropping data.
+func mergeSegments(segs []*segment) (*segment, int, error) {
 	total := 0
 	for _, g := range segs {
-		total += len(g.samples)
+		total += g.length()
 	}
 	scratch := mergeScratch.Get().(*[]Sample)
 	if cap(*scratch) < total {
@@ -161,7 +491,11 @@ func mergeSegments(segs []*segment) (*segment, int) {
 	}
 	all := (*scratch)[:0]
 	for _, g := range segs {
-		all = append(all, g.samples...)
+		if err := g.scan(func(sm *Sample) { all = append(all, *sm) }); err != nil {
+			*scratch = all[:0]
+			mergeScratch.Put(scratch)
+			return nil, 0, err
+		}
 	}
 	sort.Slice(all, func(i, j int) bool { return sampleLess(&all[i], &all[j]) })
 	kept := all[:0]
@@ -183,7 +517,7 @@ func mergeSegments(segs []*segment) (*segment, int) {
 	copy(out, kept)
 	*scratch = all[:0]
 	mergeScratch.Put(scratch)
-	return buildSegment(out), dropped
+	return buildSegment(out), dropped, nil
 }
 
 // memtable is the mutable ingest buffer: an append-only sample log frozen

@@ -37,6 +37,7 @@ import (
 
 	"snmpv3fp/internal/alias"
 	"snmpv3fp/internal/core"
+	"snmpv3fp/internal/lru"
 	"snmpv3fp/internal/obs"
 )
 
@@ -66,11 +67,26 @@ type Options struct {
 	// histogram for durable stores, a compaction-duration histogram, and
 	// store.ingest / store.flush / store.compact spans (see DESIGN.md §10).
 	Obs *obs.Registry
+	// VerifyOnOpen makes recovery checksum and decode every sample of
+	// every segment (the pre-v3 behavior). Off by default: v3 segments
+	// open lazily, verifying only their footer, index and bloom blocks.
+	VerifyOnOpen bool
+	// DisableBloom writes segments without a bloom filter block. Used by
+	// benches to measure the filter's effect; the files stay readable.
+	DisableBloom bool
+	// BlockCacheBytes bounds the decoded-block cache shared by the
+	// store's lazy segments: 0 means the 16 MiB default, negative
+	// disables caching. In-memory stores have no block cache.
+	BlockCacheBytes int64
 
 	// hooks intercepts durable-path steps; crash-recovery tests use it to
 	// kill the store at arbitrary points.
 	hooks *diskHooks
 }
+
+// defaultBlockCacheBytes bounds the decoded-block cache when
+// Options.BlockCacheBytes is zero.
+const defaultBlockCacheBytes = 16 << 20
 
 func (o *Options) fill() {
 	if o.FlushThreshold <= 0 {
@@ -173,6 +189,14 @@ type Store struct {
 	// acquired while holding mu.
 	diskMu sync.Mutex
 
+	// segStat is the shared read-tier state of the store's lazy segments:
+	// query-bytes accounting and the decoded-block cache. Nil for
+	// in-memory stores (whose segments are always eager).
+	segStat *segStats
+	// repl publishes committed (manifest, stats, segments) states to
+	// replication subscribers; nil for in-memory stores.
+	repl *replPub
+
 	view      *View
 	viewValid bool
 
@@ -212,9 +236,21 @@ func Open(opt Options) (*Store, error) {
 	}
 	if opt.Dir != "" {
 		s.d = &disk{dir: opt.Dir, hooks: opt.hooks}
+		s.segStat = &segStats{}
+		cacheBytes := opt.BlockCacheBytes
+		if cacheBytes == 0 {
+			cacheBytes = defaultBlockCacheBytes
+		}
+		if cacheBytes > 0 {
+			s.segStat.blocks = lru.New[[]Sample](cacheBytes)
+		}
+		s.repl = newReplPub()
 		if err := s.recover(); err != nil {
 			return nil, err
 		}
+		// Publish the recovered state so replicas connecting before the
+		// first flush still get a full baseline to sync from.
+		s.publishRepl(s.manifestLocked())
 	}
 	s.registerMetrics(opt.Obs)
 	if !opt.DisableCompaction {
@@ -252,7 +288,7 @@ func (s *Store) recover() error {
 		}
 	}
 	for _, name := range man.Segments {
-		g, err := readSegmentFile(s.d.dir, name)
+		g, err := openSegment(s.d.dir, name, s.segStat, s.opt.VerifyOnOpen)
 		if err != nil {
 			return err
 		}
@@ -273,7 +309,15 @@ func (s *Store) recover() error {
 	if rep.maxCampaign > s.campaign {
 		s.campaign = rep.maxCampaign
 	}
-	s.rebuildDerivedState()
+	der, err := rebuildDerived(s.segs, s.mem.samples, s.campaign, s.opt.Variant)
+	if err != nil {
+		return err
+	}
+	s.campaign = der.campaign
+	s.ingested = der.ingested
+	s.known, s.engines = der.known, der.engines
+	s.prev, s.cur = der.prev, der.cur
+	s.aidx = der.aidx
 	s.d.recovered.Store(uint64(len(rep.samples)))
 	s.d.walTruncations.Add(uint64(rep.truncated))
 
@@ -301,69 +345,117 @@ func (s *Store) recover() error {
 	return nil
 }
 
-// rebuildDerivedState reconstructs everything the samples imply: the
-// distinct-IP and distinct-engine sets over all campaigns, the (previous,
-// current) observation pair, and the incremental alias index — by replaying
-// the latest campaign's samples in seq order, exactly the call sequence the
-// live ingest path made.
-func (s *Store) rebuildDerivedState() {
+// derived is everything the stored samples imply: the distinct-IP and
+// distinct-engine sets over all campaigns, the (previous, current)
+// observation pair and the incremental alias index over the latest
+// campaign pair. Rebuilt at open by both Store and Replica.
+type derived struct {
+	campaign  uint64
+	ingested  uint64
+	known     map[netip.Addr]struct{}
+	engines   map[string]struct{}
+	prev, cur map[netip.Addr]*core.Observation
+	aidx      *aliasIndex
+}
+
+// rebuildDerived reconstructs the derived state from installed segments and
+// not-yet-flushed memtable samples, replaying the latest campaign's samples
+// in seq order — exactly the call sequence the live ingest path made.
+//
+// Lazy (v3) segments answer the global pass from their indexes and footer
+// alone — known IPs from the ip-index flag bits, engines from the
+// engine-index keys, counts and campaign bounds from the footer — and their
+// sample blocks are decoded only when the footer's campaign range
+// intersects the (previous, current) alias pair. On a store with a long
+// segment tail, recovery reads a few percent of the bytes it used to.
+func rebuildDerived(segs []*segment, mem []Sample, campaign uint64, variant alias.Variant) (derived, error) {
+	d := derived{
+		campaign: campaign,
+		known:    map[netip.Addr]struct{}{},
+		engines:  map[string]struct{}{},
+		prev:     map[netip.Addr]*core.Observation{},
+		cur:      map[netip.Addr]*core.Observation{},
+		aidx:     newAliasIndex(variant),
+	}
+	global := func(sm *Sample) {
+		if sm.Campaign > d.campaign {
+			d.campaign = sm.Campaign
+		}
+		d.ingested++
+		// Non-SNMP evidence never touched known/engines on the live path
+		// (addEvidenceLocked), so replay skips it the same way.
+		if sm.Protocol != "" {
+			return
+		}
+		d.known[sm.IP] = struct{}{}
+		if len(sm.EngineID) > 0 {
+			d.engines[string(sm.EngineID)] = struct{}{}
+		}
+	}
+	for _, g := range segs {
+		if lz := g.lz; lz != nil {
+			d.ingested += uint64(lz.count)
+			if lz.maxC > d.campaign {
+				d.campaign = lz.maxC
+			}
+			lz.forEachIPEntry(func(addr netip.Addr, flags byte) {
+				if flags&segFlagSNMP != 0 {
+					d.known[addr] = struct{}{}
+				}
+			})
+			lz.forEachEngineID(func(id []byte) {
+				d.engines[string(id)] = struct{}{}
+			})
+			continue
+		}
+		if err := g.scan(global); err != nil {
+			return d, err
+		}
+	}
+	for i := range mem {
+		global(&mem[i])
+	}
+	if d.campaign == 0 {
+		return d, nil
+	}
 	var prevSamples, curSamples []Sample
-	scan := func(samples []Sample) {
-		for i := range samples {
-			sm := &samples[i]
-			if sm.Campaign > s.campaign {
-				s.campaign = sm.Campaign
-			}
-			s.ingested++
-			// Non-SNMP evidence never touched known/engines on the live
-			// path (addEvidenceLocked), so replay skips it the same way.
-			if sm.Protocol != "" {
-				continue
-			}
-			s.known[sm.IP] = struct{}{}
-			if len(sm.EngineID) > 0 {
-				s.engines[string(sm.EngineID)] = struct{}{}
-			}
+	pick := func(sm *Sample) {
+		// The alias pipeline is SNMPv3-only: non-SNMP evidence must
+		// never enter prev/cur or the incremental alias index (it
+		// fuses downstream, in internal/fusion).
+		if sm.Protocol != "" {
+			return
+		}
+		switch sm.Campaign {
+		case d.campaign - 1:
+			prevSamples = append(prevSamples, *sm)
+		case d.campaign:
+			curSamples = append(curSamples, *sm)
 		}
 	}
-	for _, g := range s.segs {
-		scan(g.samples)
-	}
-	scan(s.mem.samples)
-	if s.campaign == 0 {
-		return
-	}
-	pick := func(samples []Sample) {
-		for i := range samples {
-			// The alias pipeline is SNMPv3-only: non-SNMP evidence must
-			// never enter prev/cur or the incremental alias index (it
-			// fuses downstream, in internal/fusion).
-			if samples[i].Protocol != "" {
-				continue
-			}
-			switch samples[i].Campaign {
-			case s.campaign - 1:
-				prevSamples = append(prevSamples, samples[i])
-			case s.campaign:
-				curSamples = append(curSamples, samples[i])
-			}
+	for _, g := range segs {
+		if !g.mayContainCampaign(d.campaign-1) && !g.mayContainCampaign(d.campaign) {
+			continue
+		}
+		if err := g.scan(pick); err != nil {
+			return d, err
 		}
 	}
-	for _, g := range s.segs {
-		pick(g.samples)
+	for i := range mem {
+		pick(&mem[i])
 	}
-	pick(s.mem.samples)
 	sort.Slice(prevSamples, func(i, j int) bool { return prevSamples[i].Seq < prevSamples[j].Seq })
 	sort.Slice(curSamples, func(i, j int) bool { return curSamples[i].Seq < curSamples[j].Seq })
 	for i := range prevSamples {
-		s.prev[prevSamples[i].IP] = prevSamples[i].Observation()
+		d.prev[prevSamples[i].IP] = prevSamples[i].Observation()
 	}
-	s.aidx.reset([2]uint64{s.campaign - 1, s.campaign})
+	d.aidx.reset([2]uint64{d.campaign - 1, d.campaign})
 	for i := range curSamples {
 		o := curSamples[i].Observation()
-		s.cur[o.IP] = o
-		s.aidx.update(o.IP, s.prev[o.IP], o)
+		d.cur[o.IP] = o
+		d.aidx.update(o.IP, d.prev[o.IP], o)
 	}
+	return d, nil
 }
 
 // registerMetrics republishes the store's counters and layout gauges as
@@ -432,6 +524,37 @@ func (s *Store) registerMetrics(reg *obs.Registry) {
 		reg.Help("snmpfp_store_recovery_seconds", "how long crash recovery took at open")
 		reg.Help("snmpfp_store_fsync_seconds", "fsync latency, write-ahead log and segment files")
 	}
+	if s.segStat != nil {
+		reg.CounterFunc("snmpfp_store_seg_query_bytes_total", s.segStat.queryBytes.Load)
+		reg.Help("snmpfp_store_seg_query_bytes_total", "segment bytes touched by point lookups (index probes plus decoded samples; bloom rejections cost zero)")
+		if c := s.segStat.blocks; c != nil {
+			reg.CounterFunc("snmpfp_store_block_cache_hits_total", c.Hits)
+			reg.CounterFunc("snmpfp_store_block_cache_misses_total", c.Misses)
+			reg.CounterFunc("snmpfp_store_block_cache_evictions_total", c.Evictions)
+			reg.GaugeFunc("snmpfp_store_block_cache_bytes", func() float64 { return float64(c.Bytes()) })
+			reg.Help("snmpfp_store_block_cache_hits_total", "decoded-block cache hits")
+			reg.Help("snmpfp_store_block_cache_misses_total", "decoded-block cache misses")
+			reg.Help("snmpfp_store_block_cache_evictions_total", "decoded-block cache evictions")
+			reg.Help("snmpfp_store_block_cache_bytes", "decoded-block cache resident bytes")
+		}
+	}
+	if s.repl != nil {
+		reg.CounterFunc("snmpfp_store_repl_commits_total", s.repl.commits.Load)
+		reg.GaugeFunc("snmpfp_store_repl_subscribers", func() float64 { return float64(s.repl.subscribers.Load()) })
+		reg.Help("snmpfp_store_repl_commits_total", "replication states published (manifest commits)")
+		reg.Help("snmpfp_store_repl_subscribers", "connected replication subscribers")
+	}
+}
+
+// SegBytesRead reports how many segment bytes point lookups have touched —
+// index entries probed plus sample bytes decoded; bloom-filter rejections
+// and block-cache hits count zero. Benches use the delta per operation to
+// prove the bloom filters' effect. Always zero for in-memory stores.
+func (s *Store) SegBytesRead() uint64 {
+	if s.segStat == nil {
+		return 0
+	}
+	return s.segStat.queryBytes.Load()
 }
 
 // memSamplesLocked is the not-yet-installed population: the live memtable
@@ -501,6 +624,7 @@ func (s *Store) Close() error {
 		if err = s.d.writeManifest(m); err != nil {
 			return
 		}
+		s.publishRepl(m)
 		for _, name := range names {
 			if err = s.d.removeWAL(name); err != nil {
 				return
@@ -791,11 +915,19 @@ func (s *Store) flushPending() error {
 		}
 		if s.d != nil {
 			name := fileName(s.d.nextFile.Add(1), ".seg")
-			if err := s.d.writeSegmentFile(name, seg); err != nil {
+			if err := s.d.writeSegmentFile(name, seg, !s.opt.DisableBloom); err != nil {
 				span.End()
 				return s.fail(err)
 			}
-			seg.file = name
+			// Install the just-written file's lazy (mmap-backed, bloom-
+			// screened) form rather than the eager build: the heap copy is
+			// released, and reads immediately benefit from the filter.
+			lzg, err := openSegment(s.d.dir, name, s.segStat, false)
+			if err != nil {
+				span.End()
+				return s.fail(err)
+			}
+			seg = lzg
 		}
 
 		var man *manifest
@@ -820,6 +952,7 @@ func (s *Store) flushPending() error {
 			if err := s.d.writeManifest(man); err != nil {
 				return s.fail(err)
 			}
+			s.publishRepl(man)
 			// The generation is durable in its segment; its log is now
 			// redundant.
 			for _, wf := range f.walRefs {
@@ -876,15 +1009,22 @@ func (s *Store) compactIfNeeded(minSegs int) error {
 	s.mu.Unlock()
 
 	span := s.tracer.Start("store.compact")
-	merged, dropped := mergeSegments(prefix)
+	merged, dropped, err := mergeSegments(prefix)
 	span.End()
+	if err != nil {
+		return s.fail(err)
+	}
 
 	if s.d != nil {
 		name := fileName(s.d.nextFile.Add(1), ".seg")
-		if err := s.d.writeSegmentFile(name, merged); err != nil {
+		if err := s.d.writeSegmentFile(name, merged, !s.opt.DisableBloom); err != nil {
 			return s.fail(err)
 		}
-		merged.file = name
+		lzg, err := openSegment(s.d.dir, name, s.segStat, false)
+		if err != nil {
+			return s.fail(err)
+		}
+		merged = lzg
 	}
 
 	var man *manifest
@@ -921,6 +1061,7 @@ func (s *Store) compactIfNeeded(minSegs int) error {
 		if err := s.d.writeManifest(man); err != nil {
 			return s.fail(err)
 		}
+		s.publishRepl(man)
 		for _, g := range prefix {
 			if g.file != "" {
 				if err := s.d.removeSegment(g.file); err != nil {
@@ -944,10 +1085,6 @@ func (s *Store) Snapshot() *View {
 	}
 	segs := make([]*segment, 0, len(s.segs)+len(s.frozen)+1)
 	segs = append(segs, s.segs...)
-	segSamples := 0
-	for _, g := range s.segs {
-		segSamples += len(g.samples)
-	}
 	for _, f := range s.frozen {
 		if f.seg == nil {
 			f.seg = (&memtable{samples: f.samples}).freeze()
@@ -964,24 +1101,35 @@ func (s *Store) Snapshot() *View {
 		sets:      sets,
 		vendors:   vendors,
 		byEngine:  byEngine,
-		stats: Stats{
-			Version:           s.version,
-			Campaigns:         s.campaign,
-			Ingested:          s.ingested,
-			MemSamples:        s.memSamplesLocked(),
-			Segments:          len(s.segs),
-			SegmentSamples:    segSamples,
-			Flushes:           s.flushes,
-			Compactions:       s.compactions,
-			Superseded:        s.superseded,
-			TrackedIPs:        len(s.known),
-			CurrentResponsive: len(s.cur),
-			Devices:           len(s.engines),
-			AliasSets:         len(sets),
-			Vendors:           len(vendors),
-		},
+		stats:     s.statsLocked(),
 	}
 	s.view = v
 	s.viewValid = true
 	return v
+}
+
+// statsLocked renders the point-in-time Stats under s.mu. Shared by
+// Snapshot and the replication publisher (replicas serve the primary's
+// stats verbatim, so both must render from the same fields).
+func (s *Store) statsLocked() Stats {
+	segSamples := 0
+	for _, g := range s.segs {
+		segSamples += g.length()
+	}
+	return Stats{
+		Version:           s.version,
+		Campaigns:         s.campaign,
+		Ingested:          s.ingested,
+		MemSamples:        s.memSamplesLocked(),
+		Segments:          len(s.segs),
+		SegmentSamples:    segSamples,
+		Flushes:           s.flushes,
+		Compactions:       s.compactions,
+		Superseded:        s.superseded,
+		TrackedIPs:        len(s.known),
+		CurrentResponsive: len(s.cur),
+		Devices:           len(s.engines),
+		AliasSets:         s.aidx.setCount(),
+		Vendors:           s.aidx.vendorCount(),
+	}
 }

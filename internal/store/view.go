@@ -44,11 +44,7 @@ func (v *View) HistoryProtocol(addr netip.Addr, protocol string) []Sample {
 	}
 	var out []Sample
 	for _, g := range v.segs {
-		sp, ok := g.byIP[addr]
-		if !ok {
-			continue
-		}
-		for _, sm := range g.samples[sp.lo:sp.hi] {
+		for _, sm := range g.ipSamples(addr) {
 			if sm.Protocol == protocol {
 				out = append(out, sm)
 			}
@@ -84,18 +80,20 @@ func (v *View) FusionEvidence(campaign uint64) map[string]map[string][]netip.Add
 		proto string
 		ip    netip.Addr
 	}
-	best := make(map[pk]*Sample)
+	best := make(map[pk]Sample)
 	for _, g := range v.segs {
-		for i := range g.samples {
-			sm := &g.samples[i]
+		if !g.mayContainCampaign(campaign) {
+			continue
+		}
+		g.mustScan(func(sm *Sample) {
 			if sm.Campaign != campaign {
-				continue
+				return
 			}
 			k := pk{sm.Protocol, sm.IP}
 			if cur, ok := best[k]; !ok || sm.Seq > cur.Seq {
-				best[k] = sm
+				best[k] = *sm
 			}
-		}
+		})
 	}
 	out := make(map[string]map[string][]netip.Addr)
 	for k, sm := range best {
@@ -137,7 +135,7 @@ func (v *View) Latest(addr netip.Addr) (Sample, bool) {
 func (v *View) DeviceIPs(engineID []byte) []netip.Addr {
 	seen := map[netip.Addr]struct{}{}
 	for _, g := range v.segs {
-		for _, ip := range g.engines[string(engineID)] {
+		for _, ip := range g.engineIPs(engineID) {
 			seen[ip] = struct{}{}
 		}
 	}

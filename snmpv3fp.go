@@ -110,6 +110,13 @@ type (
 	StoreOptions = store.Options
 	// View is an immutable store snapshot; all reads are served from one.
 	View = store.View
+	// Replica is a read-only store fed by a primary's replication stream.
+	Replica = store.Replica
+	// ReplicaOptions tunes a replica (directory, caches, verify-on-open).
+	ReplicaOptions = store.ReplicaOptions
+	// ServeSource is anything a Server can serve snapshots from: a *Store
+	// or a *Replica.
+	ServeSource = serve.Source
 	// Server exposes a store over the versioned HTTP JSON API.
 	Server = serve.Server
 	// ServerOption configures a Server (e.g. WithObs).
@@ -254,8 +261,15 @@ func OpenStore(opt StoreOptions) (*Store, error) {
 // NewServer builds the HTTP query API over a store; mount it on any
 // http.Server. Pass WithObs to serve a shared metrics registry at
 // /v1/metrics.
-func NewServer(st *Store, opts ...ServerOption) *Server {
+func NewServer(st ServeSource, opts ...ServerOption) *Server {
 	return serve.New(st, opts...)
+}
+
+// OpenReplica opens a read replica directory; feed it with
+// (*Replica).SyncLoop against a primary serving (*Store).ServeReplication,
+// and serve it with NewServer.
+func OpenReplica(opt ReplicaOptions) (*Replica, error) {
+	return store.OpenReplica(opt)
 }
 
 // WithObs attaches a metrics registry to a Server (see serve.WithObs).
